@@ -1,0 +1,17 @@
+//! # fides-baselines
+//!
+//! The comparator systems of the paper's evaluation: a Phantom-configured
+//! GPU backend (the leading open-source CUDA CKKS library, modeled as an
+//! ablation of the FIDESlib engine per Table VIII's feature matrix) and
+//! calibrated OpenFHE CPU / HEXL device models, plus the placeholder-key
+//! helpers cost-only benchmark runs use.
+
+#![warn(missing_docs)]
+
+pub mod openfhe;
+pub mod phantom;
+pub mod util;
+
+pub use openfhe::{cpu_context, cpu_params, measure_wall_us, ryzen_1t, ryzen_hexl_24t};
+pub use phantom::{phantom_params, PhantomCkks, PHANTOM_ACCESS_EFFICIENCY, PHANTOM_NTT_OP_FACTOR};
+pub use util::{placeholder_switching_key, synth_keys, synth_keys_with_rotations};

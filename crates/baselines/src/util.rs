@@ -1,0 +1,59 @@
+//! Shared helpers for cost-only benchmark runs.
+
+use std::sync::Arc;
+
+use fides_client::{Domain, RawKeyDigit, RawPoly, RawSwitchingKey};
+use fides_core::{adapter, CkksContext, EvalKeySet};
+
+/// A zero-shaped raw switching key for cost-only execution (kernel bodies
+/// never read the data; only shapes matter).
+pub fn placeholder_switching_key(ctx: &Arc<CkksContext>) -> RawSwitchingKey {
+    let chain = ctx.max_level() + 1 + ctx.alpha();
+    RawSwitchingKey {
+        digits: (0..ctx.raw_params().dnum)
+            .map(|_| RawKeyDigit {
+                b: RawPoly { limbs: vec![Vec::new(); chain], domain: Domain::Eval },
+                a: RawPoly { limbs: vec![Vec::new(); chain], domain: Domain::Eval },
+            })
+            .collect(),
+    }
+}
+
+/// Builds a key set with a relinearization key only (cost-only mode).
+pub fn synth_keys(ctx: &Arc<CkksContext>) -> EvalKeySet {
+    let mut keys = EvalKeySet::new();
+    keys.set_mult(adapter::load_switching_key(ctx, &placeholder_switching_key(ctx)));
+    keys
+}
+
+/// Builds a key set with relinearization, conjugation and the given rotation
+/// shifts (cost-only mode).
+pub fn synth_keys_with_rotations(ctx: &Arc<CkksContext>, shifts: &[i32]) -> EvalKeySet {
+    let mut keys = synth_keys(ctx);
+    keys.set_conj(adapter::load_switching_key(ctx, &placeholder_switching_key(ctx)));
+    for &s in shifts {
+        if s == 0 {
+            continue;
+        }
+        let g = fides_client::galois_for_rotation(s, ctx.n());
+        keys.insert_rotation(g, adapter::load_switching_key(ctx, &placeholder_switching_key(ctx)));
+    }
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fides_core::CkksParameters;
+    use fides_gpu_sim::{DeviceSpec, ExecMode, GpuSim};
+
+    #[test]
+    fn synth_keys_shapes() {
+        let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::CostOnly);
+        let ctx = CkksContext::new(CkksParameters::toy(), gpu);
+        let keys = synth_keys_with_rotations(&ctx, &[1, -1, 0, 1]);
+        assert!(keys.mult_key().is_ok());
+        assert!(keys.conj_key().is_ok());
+        assert_eq!(keys.loaded_rotations().len(), 2, "dedup and skip zero");
+    }
+}

@@ -1,0 +1,77 @@
+//! Table III ablation: modular reduction methods measured on the host.
+//!
+//! Barrett (the FIDESlib default), Shoup (constant-operand fast path) and
+//! Montgomery, applied over full limbs — the relative ordering mirrors the
+//! wide-vs-low multiplication trade-off of the paper's Table III.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fides_math::{generate_ntt_primes, Modulus, MontgomeryOps, ShoupPrecomp};
+use std::hint::black_box;
+
+fn bench_modmul(c: &mut Criterion) {
+    let n = 1 << 14;
+    let p = generate_ntt_primes(59, 1, 1 << 14)[0];
+    let m = Modulus::new(p);
+    let mut state = 0x1234_5678_9abc_def0u64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state % p
+    };
+    let a: Vec<u64> = (0..n).map(|_| next()).collect();
+    let b: Vec<u64> = (0..n).map(|_| next()).collect();
+    let w = next();
+
+    let mut group = c.benchmark_group("modmul");
+    group.throughput(Throughput::Elements(n as u64));
+
+    group.bench_function(BenchmarkId::new("barrett", n), |bench| {
+        bench.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc ^= m.mul_mod(black_box(a[i]), black_box(b[i]));
+            }
+            acc
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("shoup_const", n), |bench| {
+        let sp = ShoupPrecomp::new(w, &m);
+        bench.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc ^= sp.mul(black_box(a[i]), &m);
+            }
+            acc
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("montgomery", n), |bench| {
+        let mont = MontgomeryOps::new(&m);
+        let am: Vec<u64> = a.iter().map(|&x| mont.to_mont(x)).collect();
+        let bm: Vec<u64> = b.iter().map(|&x| mont.to_mont(x)).collect();
+        bench.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc ^= mont.mul(black_box(am[i]), black_box(bm[i]));
+            }
+            acc
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("naive_u128_rem", n), |bench| {
+        bench.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc ^= (black_box(a[i]) as u128 * black_box(b[i]) as u128 % p as u128) as u64;
+            }
+            acc
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_modmul);
+criterion_main!(benches);

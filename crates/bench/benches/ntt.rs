@@ -1,0 +1,64 @@
+//! NTT microbenchmarks: radix-2 vs hierarchical/2D organization and the
+//! inverse transform, measured on the host across ring degrees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fides_math::{generate_ntt_primes, Modulus, Ntt2d, NttTable};
+use std::hint::black_box;
+
+fn bench_ntt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt");
+    for log_n in [12u32, 14, 16] {
+        let n = 1usize << log_n;
+        let p = generate_ntt_primes(59, 1, n)[0];
+        let table = NttTable::new(n, Modulus::new(p));
+        let two_d = Ntt2d::new(table.clone());
+        let mut state = 7u64;
+        let data: Vec<u64> = (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                state % p
+            })
+            .collect();
+        group.throughput(Throughput::Elements(n as u64));
+
+        group.bench_function(BenchmarkId::new("radix2_forward", n), |b| {
+            b.iter_batched(
+                || data.clone(),
+                |mut v| {
+                    table.forward_inplace(black_box(&mut v));
+                    v
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+
+        group.bench_function(BenchmarkId::new("hierarchical_forward", n), |b| {
+            b.iter_batched(
+                || data.clone(),
+                |mut v| {
+                    two_d.forward_pass1(black_box(&mut v));
+                    two_d.forward_pass2(black_box(&mut v));
+                    v
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+
+        group.bench_function(BenchmarkId::new("radix2_inverse", n), |b| {
+            let mut eval = data.clone();
+            table.forward_inplace(&mut eval);
+            b.iter_batched(
+                || eval.clone(),
+                |mut v| {
+                    table.inverse_inplace(black_box(&mut v));
+                    v
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ntt);
+criterion_main!(benches);

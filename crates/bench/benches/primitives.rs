@@ -1,0 +1,63 @@
+//! Host-side wall-clock microbenchmarks of the functional CKKS primitives at
+//! test scale (the library's own performance, independent of the simulator).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fides_client::{ClientContext, KeyGenerator};
+use fides_core::{adapter, Ciphertext, CkksContext, CkksParameters, EvalKeySet};
+use fides_gpu_sim::{DeviceSpec, ExecMode, GpuSim};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Setup {
+    ctx: Arc<CkksContext>,
+    keys: EvalKeySet,
+    a: Ciphertext,
+    b: Ciphertext,
+}
+
+fn setup() -> Setup {
+    let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::Functional);
+    let ctx = CkksContext::new(CkksParameters::new(12, 6, 45, 3).unwrap(), gpu);
+    let client = ClientContext::new(ctx.raw_params().clone());
+    let mut kg = KeyGenerator::new(&client, 1);
+    let sk = kg.secret_key();
+    let pk = kg.public_key(&sk);
+    let relin = kg.relinearization_key(&sk);
+    let rot = kg.rotation_key(&sk, 1);
+    let keys = adapter::load_eval_keys(&ctx, Some(&relin), &[(1, rot)], None);
+    let data: Vec<f64> = (0..2048).map(|i| (i as f64 * 0.001).sin()).collect();
+    let mut rng = StdRng::seed_from_u64(2);
+    let pt = client.encode_real(&data, ctx.fresh_scale(), ctx.max_level());
+    let a = adapter::load_ciphertext(&ctx, &client.encrypt(&pt, &pk, &mut rng));
+    let b = adapter::load_ciphertext(&ctx, &client.encrypt(&pt, &pk, &mut rng));
+    Setup { ctx, keys, a, b }
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("primitives_n4096");
+    group.sample_size(20);
+
+    group.bench_function("hadd", |bench| bench.iter(|| s.a.add(&s.b).unwrap()));
+    group.bench_function("scalar_mult", |bench| bench.iter(|| s.a.mul_scalar(1.5)));
+    group.bench_function("hmult", |bench| bench.iter(|| s.a.mul(&s.b, &s.keys).unwrap()));
+    group.bench_function("hmult_rescale", |bench| {
+        bench.iter(|| {
+            let mut p = s.a.mul(&s.b, &s.keys).unwrap();
+            p.rescale_in_place().unwrap();
+            p
+        })
+    });
+    group.bench_function("hsquare", |bench| bench.iter(|| s.a.square(&s.keys).unwrap()));
+    group.bench_function("hrotate", |bench| bench.iter(|| s.a.rotate(1, &s.keys).unwrap()));
+    group.bench_function("hoisted_rotations_x4", |bench| {
+        bench.iter(|| s.a.hoisted_rotations(&[0, 1], &s.keys).unwrap())
+    });
+    let _ = &s.ctx;
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ablation: the kernel fusions of §III-F.5, toggled individually.
+//!
+//! Measures HMult + Rescale at `[16, 29, 59, 4]` on the RTX 4090 with each
+//! fusion family disabled, quantifying what each contributes.
+
+use std::sync::Arc;
+
+use fides_baselines::synth_keys;
+use fides_bench::{fmt_us, print_table};
+use fides_core::{adapter, CkksContext, CkksParameters, FusionConfig};
+use fides_gpu_sim::{DeviceSpec, ExecMode, GpuSim};
+
+fn measure(params: &CkksParameters) -> (f64, u64) {
+    let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::CostOnly);
+    let ctx = CkksContext::new(params.clone(), Arc::clone(&gpu));
+    let keys = synth_keys(&ctx);
+    let ct =
+        adapter::placeholder_ciphertext(&ctx, ctx.max_level(), ctx.fresh_scale(), ctx.n() / 2);
+    let run = || {
+        let mut prod = ct.mul(&ct, &keys).unwrap();
+        prod.rescale_in_place().unwrap();
+    };
+    run();
+    gpu.sync();
+    gpu.reset_stats();
+    let t0 = gpu.sync();
+    run();
+    let dt = gpu.sync() - t0;
+    (dt, gpu.stats().kernel_launches)
+}
+
+fn main() {
+    println!("Fusion ablation — HMult + Rescale, [16, 29, 59, 4], RTX 4090");
+    let base = CkksParameters::paper_default().with_limb_batch(12);
+    let configs: Vec<(&str, FusionConfig)> = vec![
+        ("all fusions (FIDESlib)", FusionConfig::default()),
+        ("no rescale fusion", FusionConfig { rescale: false, ..FusionConfig::default() }),
+        ("no moddown fusion", FusionConfig { mod_down: false, ..FusionConfig::default() }),
+        ("no keyswitch fusion", FusionConfig { key_switch: false, ..FusionConfig::default() }),
+        ("no dot-product fusion", FusionConfig { dot_product: false, ..FusionConfig::default() }),
+        ("no fusions at all", FusionConfig::none()),
+    ];
+    let (base_us, _) = measure(&base.clone().with_fusion(FusionConfig::default()));
+    let mut rows = Vec::new();
+    for (name, fusion) in configs {
+        let (us, launches) = measure(&base.clone().with_fusion(fusion));
+        rows.push(vec![
+            name.to_string(),
+            fmt_us(us),
+            launches.to_string(),
+            format!("{:+5.1}%", (us / base_us - 1.0) * 100.0),
+        ]);
+    }
+    print_table(
+        "HMult + Rescale fusion ablation",
+        &["configuration", "time", "kernel launches", "vs fused"],
+        &rows,
+    );
+}

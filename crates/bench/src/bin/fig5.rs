@@ -1,0 +1,65 @@
+//! Fig. 5: PtMult + Rescale vs processed limbs across the four GPU
+//! platforms (`[16, 29, 59, 4]`, best limb batch per platform).
+//!
+//! The paper highlights near-linear scaling with a knee on the RTX 4060 Ti
+//! when the working set starts fitting its 32 MB L2 below ~20 limbs.
+
+use std::sync::Arc;
+
+use fides_bench::print_table;
+use fides_core::{adapter, CkksContext, CkksParameters};
+use fides_gpu_sim::{DeviceSpec, ExecMode, GpuSim};
+
+/// Best limb batch per platform (from the Fig. 7 sweep).
+pub fn best_batch(name: &str) -> usize {
+    match name {
+        "RTX 4060 Ti" => 4,
+        "RTX A4500" => 6,
+        "V100" => 8,
+        _ => 12,
+    }
+}
+
+fn main() {
+    println!("Fig. 5 reproduction — PtMult + Rescale (µs) vs processed limbs");
+    let limb_points: Vec<usize> = vec![5, 10, 15, 20, 25, 30];
+    let mut rows: Vec<Vec<String>> = limb_points.iter().map(|l| vec![l.to_string()]).collect();
+    let mut headers: Vec<String> = vec!["limbs".into()];
+
+    for spec in DeviceSpec::all_gpus() {
+        headers.push(spec.name.clone());
+        let params =
+            CkksParameters::paper_default().with_limb_batch(best_batch(&spec.name));
+        let gpu = GpuSim::new(spec.clone(), ExecMode::CostOnly);
+        let ctx = CkksContext::new(params, Arc::clone(&gpu));
+        for (row, &limbs) in rows.iter_mut().zip(&limb_points) {
+            let level = limbs - 1;
+            let ct = adapter::placeholder_ciphertext(
+                &ctx,
+                level,
+                ctx.standard_scale(level),
+                ctx.n() / 2,
+            );
+            let pt = adapter::placeholder_plaintext(
+                &ctx,
+                level,
+                ctx.standard_scale(level),
+                ctx.n() / 2,
+            );
+            let run = || {
+                let mut prod = ct.mul_plain(&pt).unwrap();
+                prod.rescale_in_place().unwrap();
+            };
+            run();
+            gpu.sync();
+            let t0 = gpu.sync();
+            run();
+            let dt = gpu.sync() - t0;
+            row.push(format!("{dt:8.1}"));
+        }
+    }
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table("PtMult + Rescale (µs)", &headers_ref, &rows);
+    println!("\nPaper shape: ~linear in limbs; ~100–500 µs range; 4060 Ti knee below");
+    println!("~20 limbs as the working set fits its 32 MB L2.");
+}

@@ -1,0 +1,66 @@
+//! Fig. 6: HMult vs processed limbs across the four GPU platforms
+//! (`[16, 29, 59, 4]`, best limb batch per platform).
+//!
+//! Hybrid key switching drops a whole digit each time `⌈(ℓ+1)/α⌉` shrinks,
+//! producing the stair-step speedups the paper points out.
+
+use std::sync::Arc;
+
+use fides_baselines::synth_keys;
+use fides_bench::print_table;
+use fides_core::{adapter, CkksContext, CkksParameters};
+use fides_gpu_sim::{DeviceSpec, ExecMode, GpuSim};
+
+fn best_batch(name: &str) -> usize {
+    match name {
+        "RTX 4060 Ti" => 4,
+        "RTX A4500" => 6,
+        "V100" => 8,
+        _ => 12,
+    }
+}
+
+fn main() {
+    println!("Fig. 6 reproduction — HMult (µs) vs processed limbs");
+    let limb_points: Vec<usize> = vec![5, 8, 10, 15, 16, 20, 24, 25, 30];
+    let mut rows: Vec<Vec<String>> = limb_points
+        .iter()
+        .map(|l| {
+            // Digits active at this level (α = 8 for the default set).
+            let digits = l.div_ceil(8);
+            vec![l.to_string(), digits.to_string()]
+        })
+        .collect();
+    let mut headers: Vec<String> = vec!["limbs".into(), "digits".into()];
+
+    for spec in DeviceSpec::all_gpus() {
+        headers.push(spec.name.clone());
+        let params =
+            CkksParameters::paper_default().with_limb_batch(best_batch(&spec.name));
+        let gpu = GpuSim::new(spec.clone(), ExecMode::CostOnly);
+        let ctx = CkksContext::new(params, Arc::clone(&gpu));
+        let keys = synth_keys(&ctx);
+        for (row, &limbs) in rows.iter_mut().zip(&limb_points) {
+            let level = limbs - 1;
+            let ct = adapter::placeholder_ciphertext(
+                &ctx,
+                level,
+                ctx.standard_scale(level),
+                ctx.n() / 2,
+            );
+            let run = || {
+                let _ = ct.mul(&ct, &keys).unwrap();
+            };
+            run();
+            gpu.sync();
+            let t0 = gpu.sync();
+            run();
+            let dt = gpu.sync() - t0;
+            row.push(format!("{dt:8.1}"));
+        }
+    }
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table("HMult (µs)", &headers_ref, &rows);
+    println!("\nPaper shape: up to ~3.5 ms at 30 limbs; visible steps each time a");
+    println!("key-switching digit activates (8 → 9 limbs, 16 → 17, 24 → 25).");
+}

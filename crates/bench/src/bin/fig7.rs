@@ -1,0 +1,59 @@
+//! Fig. 7: HMult at maximum level vs limb-batch size, per GPU platform
+//! (`[16, 29, 59, 4]`).
+//!
+//! The paper's observation: small batches are CPU-launch-bound (many tiny
+//! kernels), large batches lose L2 temporal locality; higher-throughput GPUs
+//! peak at larger batches.
+
+use std::sync::Arc;
+
+use fides_baselines::synth_keys;
+use fides_bench::print_table;
+use fides_core::{adapter, CkksContext, CkksParameters};
+use fides_gpu_sim::{DeviceSpec, ExecMode, GpuSim};
+
+fn main() {
+    println!("Fig. 7 reproduction — HMult (µs) at ℓ = 29 vs limb batch");
+    let batches: Vec<usize> = vec![2, 4, 6, 8, 10, 12];
+    let mut rows: Vec<Vec<String>> = batches.iter().map(|b| vec![b.to_string()]).collect();
+    let mut headers: Vec<String> = vec!["batch".into()];
+    let mut best: Vec<(String, usize, f64)> = Vec::new();
+
+    for spec in DeviceSpec::all_gpus() {
+        headers.push(spec.name.clone());
+        let mut dev_best = (0usize, f64::INFINITY);
+        for (row, &batch) in rows.iter_mut().zip(&batches) {
+            let params = CkksParameters::paper_default().with_limb_batch(batch);
+            let gpu = GpuSim::new(spec.clone(), ExecMode::CostOnly);
+            let ctx = CkksContext::new(params, Arc::clone(&gpu));
+            let keys = synth_keys(&ctx);
+            let ct = adapter::placeholder_ciphertext(
+                &ctx,
+                ctx.max_level(),
+                ctx.fresh_scale(),
+                ctx.n() / 2,
+            );
+            let run = || {
+                let _ = ct.mul(&ct, &keys).unwrap();
+            };
+            run();
+            gpu.sync();
+            let t0 = gpu.sync();
+            run();
+            let dt = gpu.sync() - t0;
+            if dt < dev_best.1 {
+                dev_best = (batch, dt);
+            }
+            row.push(format!("{dt:8.1}"));
+        }
+        best.push((spec.name.clone(), dev_best.0, dev_best.1));
+    }
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table("HMult (µs) vs limb batch", &headers_ref, &rows);
+    println!("\nbest batch per platform:");
+    for (name, batch, us) in best {
+        println!("  {name:12} → batch {batch:2} ({us:8.1} µs)");
+    }
+    println!("\nPaper shape: optimum shifts right with GPU throughput (4090 peaks at the");
+    println!("largest batches; 4060 Ti at small ones).");
+}

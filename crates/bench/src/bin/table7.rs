@@ -1,0 +1,109 @@
+//! Table VII: logistic-regression training performance.
+//!
+//! `[logN, L, Δ, dnum] = [16, 26, 59, 4]`, mini-batches of 1,024 samples ×
+//! 32 features (32,768 slots), bootstrapping every iteration.
+
+use std::sync::Arc;
+
+use fides_baselines::{cpu_context, ryzen_1t, ryzen_hexl_24t, synth_keys_with_rotations};
+use fides_bench::{fmt_us, print_table, sim_time_us};
+use fides_client::ClientContext;
+use fides_core::{adapter, BootstrapConfig, Bootstrapper, CkksContext, CkksParameters};
+use fides_gpu_sim::{DeviceSpec, ExecMode, GpuSim};
+use fides_workloads::{LrConfig, LrTrainer};
+
+fn lr_times(params: &CkksParameters, spec: DeviceSpec, cpu_flavor: bool) -> (f64, f64) {
+    let (gpu, ctx) = if cpu_flavor {
+        cpu_context(params, spec)
+    } else {
+        let gpu = GpuSim::new(spec, ExecMode::CostOnly);
+        let ctx = CkksContext::new(params.clone(), Arc::clone(&gpu));
+        (gpu, ctx)
+    };
+    let client = ClientContext::new(ctx.raw_params().clone());
+    let cfg = LrConfig::paper();
+    let trainer = LrTrainer::new(&ctx, &client, cfg);
+    // Bootstrap configuration leaving ≥ 6 levels for the next iteration.
+    let boot_cfg = BootstrapConfig {
+        slots: cfg.slots(),
+        level_budget: (2, 2),
+        k_range: 128.0,
+        double_angles: 6,
+        degree: 31,
+    };
+    let boot = Bootstrapper::new(&ctx, &client, boot_cfg).expect("chain deep enough");
+    assert!(boot.min_output_level() >= LrTrainer::LEVELS_PER_ITERATION);
+
+    let mut shifts = trainer.required_rotations();
+    shifts.extend(boot.required_rotations());
+    let keys = synth_keys_with_rotations(&ctx, &shifts);
+
+    let top = ctx.max_level();
+    let w = adapter::placeholder_ciphertext(&ctx, top, ctx.standard_scale(top), cfg.slots());
+    let x = adapter::placeholder_ciphertext(&ctx, top, ctx.standard_scale(top), cfg.slots());
+    let y = adapter::placeholder_ciphertext(&ctx, top, ctx.standard_scale(top), cfg.slots());
+
+    // Warm up.
+    let _ = trainer.iteration(&w, &x, &y, &keys).unwrap();
+    gpu.sync();
+    let iter_us = sim_time_us(&gpu, || {
+        let _ = trainer.iteration(&w, &x, &y, &keys).unwrap();
+    });
+    let iter_boot_us = sim_time_us(&gpu, || {
+        let w1 = trainer.iteration(&w, &x, &y, &keys).unwrap();
+        let mut low = w1;
+        low.drop_to_level(0).unwrap();
+        let _ = boot.bootstrap(&low, &keys).unwrap();
+    });
+    (iter_us, iter_boot_us)
+}
+
+fn main() {
+    let params = CkksParameters::paper_lr().with_limb_batch(12);
+    println!("Table VII reproduction — LR training, [16, 26, 59, 4], 1024×32 batches");
+
+    let (f_it, f_ib) = lr_times(&params, DeviceSpec::rtx_4090(), false);
+    let (c1_it, c1_ib) = lr_times(&params, ryzen_1t(), true);
+    let (ch_it, ch_ib) = lr_times(&params, ryzen_hexl_24t(), true);
+
+    // Paper: iteration 1555 / 448 / 23 ms; iteration+boot 16233 / 7233 / 169 ms.
+    let rows = vec![
+        vec![
+            "Iteration".to_string(),
+            fmt_us(c1_it),
+            fmt_us(1_555_000.0),
+            fmt_us(ch_it),
+            fmt_us(448_000.0),
+            fmt_us(f_it),
+            fmt_us(23_000.0),
+            format!("{:5.1}x", ch_it / f_it),
+            "19.5x".to_string(),
+        ],
+        vec![
+            "Iteration + Bootstrap".to_string(),
+            fmt_us(c1_ib),
+            fmt_us(16_233_000.0),
+            fmt_us(ch_ib),
+            fmt_us(7_233_000.0),
+            fmt_us(f_ib),
+            fmt_us(169_000.0),
+            format!("{:5.1}x", ch_ib / f_ib),
+            "42.8x".to_string(),
+        ],
+    ];
+    print_table(
+        "Table VII: logistic regression",
+        &[
+            "phase",
+            "OpenFHE-1T (model)",
+            "(paper)",
+            "HEXL-24T (model)",
+            "(paper)",
+            "FIDESlib 4090 (sim)",
+            "(paper)",
+            "vs HEXL",
+            "(paper)",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,89 @@
+//! Client-side CKKS context: moduli, NTT tables and CRT reconstruction.
+
+use fides_math::{Modulus, NttTable};
+use fides_rns::CrtContext;
+
+use crate::raw::RawParams;
+
+/// Everything the client needs for encoding, key generation, encryption and
+/// decryption — the stand-in for OpenFHE's crypto-context on the client side
+/// of Fig. 1.
+#[derive(Debug)]
+pub struct ClientContext {
+    params: RawParams,
+    moduli_q: Vec<Modulus>,
+    moduli_p: Vec<Modulus>,
+    ntt_q: Vec<NttTable>,
+    ntt_p: Vec<NttTable>,
+    /// `crt_levels[ℓ]` reconstructs over `q_0 … q_ℓ`.
+    crt_levels: Vec<CrtContext>,
+}
+
+impl ClientContext {
+    /// Builds all client tables for the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any modulus is not NTT-friendly for the ring degree.
+    pub fn new(params: RawParams) -> Self {
+        let n = params.n();
+        let moduli_q: Vec<Modulus> = params.moduli_q.iter().map(|&q| Modulus::new(q)).collect();
+        let moduli_p: Vec<Modulus> = params.moduli_p.iter().map(|&p| Modulus::new(p)).collect();
+        let ntt_q = moduli_q.iter().map(|&m| NttTable::new(n, m)).collect();
+        let ntt_p = moduli_p.iter().map(|&m| NttTable::new(n, m)).collect();
+        let crt_levels =
+            (0..moduli_q.len()).map(|l| CrtContext::new(&moduli_q[..=l])).collect();
+        Self { params, moduli_q, moduli_p, ntt_q, ntt_p, crt_levels }
+    }
+
+    /// The shared parameter description.
+    pub fn params(&self) -> &RawParams {
+        &self.params
+    }
+
+    /// Ring degree `N`.
+    pub fn n(&self) -> usize {
+        self.params.n()
+    }
+
+    /// Scaling-chain moduli.
+    pub fn moduli_q(&self) -> &[Modulus] {
+        &self.moduli_q
+    }
+
+    /// Auxiliary moduli.
+    pub fn moduli_p(&self) -> &[Modulus] {
+        &self.moduli_p
+    }
+
+    /// NTT tables for the scaling chain.
+    pub fn ntt_q(&self) -> &[NttTable] {
+        &self.ntt_q
+    }
+
+    /// NTT tables for the auxiliary primes.
+    pub fn ntt_p(&self) -> &[NttTable] {
+        &self.ntt_p
+    }
+
+    /// CRT reconstruction tables for level `level`.
+    pub fn crt_at(&self, level: usize) -> &CrtContext {
+        &self.crt_levels[level]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_builds_consistent_tables() {
+        let params = RawParams::generate(10, 3, 40, 50, 2);
+        let ctx = ClientContext::new(params);
+        assert_eq!(ctx.n(), 1024);
+        assert_eq!(ctx.ntt_q().len(), ctx.moduli_q().len());
+        assert_eq!(ctx.ntt_p().len(), ctx.moduli_p().len());
+        assert_eq!(ctx.crt_at(0).moduli().len(), 1);
+        assert_eq!(ctx.crt_at(3).moduli().len(), 4);
+    }
+}

@@ -1,0 +1,242 @@
+//! CKKS encoding and decoding via the canonical embedding.
+//!
+//! Mirrors OpenFHE/HEAAN: `slots ≤ N/2` complex values are mapped through the
+//! inverse special FFT onto polynomial coefficients at stride `gap = (N/2) /
+//! slots` (real parts in the low half, imaginary parts in the high half),
+//! scaled by `Δ` and rounded into RNS residues. Decoding reconstructs exact
+//! centered coefficients through CRT and applies the forward special FFT.
+
+use fides_math::Complex64;
+
+use crate::context::ClientContext;
+use crate::raw::{Domain, RawPlaintext, RawPoly};
+
+impl ClientContext {
+    /// Encodes `values` (length a power of two, at most `N/2`) at the given
+    /// `scale` for ciphertext level `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot count is not a power of two, exceeds `N/2`, or
+    /// `level` is out of range.
+    pub fn encode(&self, values: &[Complex64], scale: f64, level: usize) -> RawPlaintext {
+        let n = self.n();
+        let slots = values.len();
+        assert!(slots.is_power_of_two() && slots <= n / 2, "bad slot count {slots}");
+        assert!(level < self.moduli_q().len(), "level {level} out of range");
+        assert!(scale > 0.0, "scale must be positive");
+        let gap = (n / 2) / slots;
+
+        let mut u = values.to_vec();
+        fides_math::special_ifft(&mut u, 2 * n);
+
+        // Coefficients as exact signed integers.
+        let mut coeffs = vec![0i128; n];
+        for (k, v) in u.iter().enumerate() {
+            coeffs[k * gap] = (v.re * scale).round() as i128;
+            coeffs[n / 2 + k * gap] = (v.im * scale).round() as i128;
+        }
+
+        let limbs = self.moduli_q()[..=level]
+            .iter()
+            .map(|m| {
+                coeffs
+                    .iter()
+                    .map(|&c| {
+                        let p = m.value() as i128;
+                        let mut r = c % p;
+                        if r < 0 {
+                            r += p;
+                        }
+                        r as u64
+                    })
+                    .collect()
+            })
+            .collect();
+        RawPlaintext { poly: RawPoly { limbs, domain: Domain::Coeff }, level, scale, slots }
+    }
+
+    /// Encodes real values (imaginary parts zero).
+    pub fn encode_real(&self, values: &[f64], scale: f64, level: usize) -> RawPlaintext {
+        let v: Vec<Complex64> = values.iter().map(|&x| Complex64::from_real(x)).collect();
+        self.encode(&v, scale, level)
+    }
+
+    /// Decodes a plaintext back to complex slot values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plaintext is not in coefficient domain (the adapter
+    /// always converts before handing data back to the client).
+    pub fn decode(&self, pt: &RawPlaintext) -> Vec<Complex64> {
+        assert_eq!(pt.poly.domain, Domain::Coeff, "decode expects coefficient domain");
+        let n = self.n();
+        let slots = pt.slots;
+        let gap = (n / 2) / slots;
+        let crt = self.crt_at(pt.level);
+        let inv_scale = 1.0 / pt.scale;
+        let limbs = &pt.poly.limbs;
+        let mut u = Vec::with_capacity(slots);
+        let mut residues = vec![0u64; pt.level + 1];
+        let coeff_at = |idx: usize, residues: &mut Vec<u64>| {
+            for (i, limb) in limbs[..=pt.level].iter().enumerate() {
+                residues[i] = limb[idx];
+            }
+            crt.reconstruct_centered_f64(residues)
+        };
+        for k in 0..slots {
+            let re = coeff_at(k * gap, &mut residues) * inv_scale;
+            let im = coeff_at(n / 2 + k * gap, &mut residues) * inv_scale;
+            u.push(Complex64::new(re, im));
+        }
+        fides_math::special_fft(&mut u, 2 * n);
+        u
+    }
+
+    /// Decodes and keeps only real parts.
+    pub fn decode_real(&self, pt: &RawPlaintext) -> Vec<f64> {
+        self.decode(pt).into_iter().map(|c| c.re).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raw::RawParams;
+    use fides_math::{automorphism_coeff, Modulus, PolyOps};
+
+    fn ctx() -> ClientContext {
+        ClientContext::new(RawParams::generate(10, 3, 40, 50, 2))
+    }
+
+    fn close_all(a: &[Complex64], b: &[Complex64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((*x - *y).abs() < tol, "slot {i}: {x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_full_and_sparse_slots() {
+        let c = ctx();
+        for slots in [512usize, 64, 8, 1] {
+            let values: Vec<Complex64> = (0..slots)
+                .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+                .collect();
+            let pt = c.encode(&values, 2f64.powi(40), 2);
+            let back = c.decode(&pt);
+            close_all(&back, &values, 1e-8);
+        }
+    }
+
+    #[test]
+    fn slotwise_addition_is_coefficient_addition() {
+        let c = ctx();
+        let scale = 2f64.powi(40);
+        let a: Vec<Complex64> = (0..256).map(|i| Complex64::new(i as f64 * 0.01, 0.3)).collect();
+        let b: Vec<Complex64> = (0..256).map(|i| Complex64::new(0.5, i as f64 * -0.02)).collect();
+        let pa = c.encode(&a, scale, 1);
+        let pb = c.encode(&b, scale, 1);
+        let mut sum = pa.clone();
+        for (i, m) in c.moduli_q()[..=1].iter().enumerate() {
+            m.add_assign_slices(&mut sum.poly.limbs[i], &pb.poly.limbs[i]);
+        }
+        let got = c.decode(&sum);
+        let expect: Vec<Complex64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        close_all(&got, &expect, 1e-8);
+    }
+
+    #[test]
+    fn slotwise_product_is_negacyclic_poly_product() {
+        let c = ctx();
+        let scale = 2f64.powi(20); // modest scale: product scale is 2^40 < q_i products
+        let slots = 16usize;
+        let a: Vec<Complex64> =
+            (0..slots).map(|i| Complex64::new(0.8 + 0.01 * i as f64, 0.1)).collect();
+        let b: Vec<Complex64> =
+            (0..slots).map(|i| Complex64::new(0.5, 0.02 * i as f64 - 0.1)).collect();
+        let pa = c.encode(&a, scale, 1);
+        let pb = c.encode(&b, scale, 1);
+        // Multiply polynomials mod each prime via NTT.
+        let mut prod_limbs = Vec::new();
+        for (i, t) in c.ntt_q()[..=1].iter().enumerate() {
+            let mut ea = pa.poly.limbs[i].clone();
+            let mut eb = pb.poly.limbs[i].clone();
+            t.forward_inplace(&mut ea);
+            t.forward_inplace(&mut eb);
+            let m = t.modulus();
+            let mut prod: Vec<u64> = ea.iter().zip(&eb).map(|(&x, &y)| m.mul_mod(x, y)).collect();
+            t.inverse_inplace(&mut prod);
+            prod_limbs.push(prod);
+        }
+        let ppt = RawPlaintext {
+            poly: RawPoly { limbs: prod_limbs, domain: Domain::Coeff },
+            level: 1,
+            scale: scale * scale,
+            slots,
+        };
+        let got = c.decode(&ppt);
+        let expect: Vec<Complex64> = a.iter().zip(&b).map(|(&x, &y)| x * y).collect();
+        // Quantization error at scale 2^20 is ~2^-20 per factor.
+        close_all(&got, &expect, 1e-4);
+    }
+
+    /// Pins down the rotation convention: the automorphism X → X^{5^k}
+    /// rotates slots LEFT by k (slot i receives old slot i+k).
+    #[test]
+    fn galois_five_rotates_slots_left() {
+        let c = ctx();
+        let n = c.n();
+        let slots = 8usize;
+        let values: Vec<Complex64> =
+            (0..slots).map(|i| Complex64::from_real(i as f64 + 1.0)).collect();
+        let pt = c.encode(&values, 2f64.powi(40), 0);
+        let m: Modulus = c.moduli_q()[0];
+        for k in [1usize, 2, 3] {
+            let g = crate::keygen::galois_for_rotation(k as i32, n);
+            let mut rotated = vec![0u64; n];
+            automorphism_coeff(&pt.poly.limbs[0], g, &m, &mut rotated);
+            let rpt = RawPlaintext {
+                poly: RawPoly { limbs: vec![rotated], domain: Domain::Coeff },
+                level: 0,
+                scale: pt.scale,
+                slots,
+            };
+            let got = c.decode(&rpt);
+            let expect: Vec<Complex64> =
+                (0..slots).map(|i| values[(i + k) % slots]).collect();
+            close_all(&got, &expect, 1e-8);
+        }
+    }
+
+    /// Conjugation is the Galois element 2N − 1.
+    #[test]
+    fn galois_conjugate() {
+        let c = ctx();
+        let n = c.n();
+        let slots = 8usize;
+        let values: Vec<Complex64> =
+            (0..slots).map(|i| Complex64::new(i as f64, 0.5 - i as f64)).collect();
+        let pt = c.encode(&values, 2f64.powi(40), 0);
+        let m = c.moduli_q()[0];
+        let mut conj = vec![0u64; n];
+        automorphism_coeff(&pt.poly.limbs[0], 2 * n - 1, &m, &mut conj);
+        let rpt = RawPlaintext {
+            poly: RawPoly { limbs: vec![conj], domain: Domain::Coeff },
+            level: 0,
+            scale: pt.scale,
+            slots,
+        };
+        let got = c.decode(&rpt);
+        let expect: Vec<Complex64> = values.iter().map(|v| v.conj()).collect();
+        close_all(&got, &expect, 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad slot count")]
+    fn oversized_slots_rejected() {
+        let c = ctx();
+        let values = vec![Complex64::ZERO; 1024]; // N/2 = 512 max
+        c.encode(&values, 2f64.powi(40), 0);
+    }
+}

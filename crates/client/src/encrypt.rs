@@ -1,0 +1,178 @@
+//! RLWE encryption and decryption (client-side, Fig. 1).
+
+use fides_math::{sample_gaussian_coeffs, sample_ternary_coeffs, signed_to_residues, PolyOps};
+use rand::Rng;
+
+use crate::context::ClientContext;
+use crate::keygen::{SecretKey, ERROR_SIGMA};
+use crate::raw::{Domain, RawCiphertext, RawPlaintext, RawPoly, RawPublicKey};
+
+impl ClientContext {
+    /// Public-key encryption of an encoded plaintext. The resulting
+    /// ciphertext is in evaluation domain, ready for the server adapter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plaintext is not in coefficient domain.
+    pub fn encrypt<R: Rng + ?Sized>(
+        &self,
+        pt: &RawPlaintext,
+        pk: &RawPublicKey,
+        rng: &mut R,
+    ) -> RawCiphertext {
+        assert_eq!(pt.poly.domain, Domain::Coeff, "encrypt expects an encoded plaintext");
+        let n = self.n();
+        let level = pt.level;
+        let v = sample_ternary_coeffs(rng, n);
+        let e0 = sample_gaussian_coeffs(rng, n, ERROR_SIGMA);
+        let e1 = sample_gaussian_coeffs(rng, n, ERROR_SIGMA);
+
+        let mut c0_limbs = Vec::with_capacity(level + 1);
+        let mut c1_limbs = Vec::with_capacity(level + 1);
+        for (i, (m, t)) in self.moduli_q()[..=level].iter().zip(self.ntt_q()).enumerate() {
+            let mut v_hat = signed_to_residues(&v, m);
+            t.forward_inplace(&mut v_hat);
+            // c0 = b·v + NTT(e0 + m)
+            let mut w = signed_to_residues(&e0, m);
+            m.add_assign_slices(&mut w, &pt.poly.limbs[i]);
+            t.forward_inplace(&mut w);
+            let mut c0 = vec![0u64; n];
+            m.mul_slices(&pk.b.limbs[i], &v_hat, &mut c0);
+            m.add_assign_slices(&mut c0, &w);
+            // c1 = a·v + NTT(e1)
+            let mut e1_hat = signed_to_residues(&e1, m);
+            t.forward_inplace(&mut e1_hat);
+            let mut c1 = vec![0u64; n];
+            m.mul_slices(&pk.a.limbs[i], &v_hat, &mut c1);
+            m.add_assign_slices(&mut c1, &e1_hat);
+            c0_limbs.push(c0);
+            c1_limbs.push(c1);
+        }
+        let noise_log2 = (ERROR_SIGMA * (n as f64).sqrt() * 8.0).log2();
+        RawCiphertext {
+            c0: RawPoly { limbs: c0_limbs, domain: Domain::Eval },
+            c1: RawPoly { limbs: c1_limbs, domain: Domain::Eval },
+            level,
+            scale: pt.scale,
+            slots: pt.slots,
+            noise_log2,
+        }
+    }
+
+    /// Decrypts a ciphertext to a coefficient-domain plaintext
+    /// (`m ≈ c_0 + c_1·s`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext is not in evaluation domain.
+    pub fn decrypt(&self, ct: &RawCiphertext, sk: &SecretKey) -> RawPlaintext {
+        assert_eq!(ct.c0.domain, Domain::Eval, "server ciphertexts are in evaluation domain");
+        let n = self.n();
+        let mut limbs = Vec::with_capacity(ct.level + 1);
+        for (i, (m, t)) in self.moduli_q()[..=ct.level].iter().zip(self.ntt_q()).enumerate() {
+            let mut s_hat = signed_to_residues(&sk.coeffs, m);
+            t.forward_inplace(&mut s_hat);
+            let mut d = vec![0u64; n];
+            m.mul_slices(&ct.c1.limbs[i], &s_hat, &mut d);
+            m.add_assign_slices(&mut d, &ct.c0.limbs[i]);
+            t.inverse_inplace(&mut d);
+            limbs.push(d);
+        }
+        RawPlaintext {
+            poly: RawPoly { limbs, domain: Domain::Coeff },
+            level: ct.level,
+            scale: ct.scale,
+            slots: ct.slots,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keygen::KeyGenerator;
+    use crate::raw::RawParams;
+    use fides_math::Complex64;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ClientContext, SecretKey, RawPublicKey) {
+        let ctx = ClientContext::new(RawParams::generate(10, 3, 40, 50, 2));
+        let mut kg = KeyGenerator::new(&ctx, 1234);
+        let sk = kg.secret_key();
+        let pk = kg.public_key(&sk);
+        (ctx, sk, pk)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (ctx, sk, pk) = setup();
+        let mut rng = StdRng::seed_from_u64(5);
+        let values: Vec<Complex64> = (0..512)
+            .map(|i| Complex64::new((i as f64 * 0.01).sin(), (i as f64 * 0.02).cos()))
+            .collect();
+        let pt = ctx.encode(&values, ctx.params().scale(), ctx.params().max_level());
+        let ct = ctx.encrypt(&pt, &pk, &mut rng);
+        let dec = ctx.decrypt(&ct, &sk);
+        let got = ctx.decode(&dec);
+        for (a, b) in got.iter().zip(&values) {
+            assert!((*a - *b).abs() < 1e-6, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn fresh_ciphertext_noise_is_small() {
+        let (ctx, sk, pk) = setup();
+        let mut rng = StdRng::seed_from_u64(6);
+        // Encrypt zero and inspect the raw noise magnitude.
+        let pt = ctx.encode_real(&vec![0.0; 512], ctx.params().scale(), 1);
+        let ct = ctx.encrypt(&pt, &pk, &mut rng);
+        let dec = ctx.decrypt(&ct, &sk);
+        let m0 = ctx.moduli_q()[0];
+        let max_coeff = dec.poly.limbs[0]
+            .iter()
+            .map(|&c| m0.to_centered_i64(c).unsigned_abs())
+            .max()
+            .unwrap();
+        // Noise must be far below the scale 2^40.
+        assert!(max_coeff < 1 << 25, "fresh noise too large: {max_coeff}");
+        assert!(max_coeff > 0, "noise must be present");
+    }
+
+    #[test]
+    fn homomorphic_addition_at_raw_level() {
+        let (ctx, sk, pk) = setup();
+        let mut rng = StdRng::seed_from_u64(7);
+        use fides_math::PolyOps;
+        let a: Vec<f64> = (0..256).map(|i| i as f64 * 0.001).collect();
+        let b: Vec<f64> = (0..256).map(|i| 1.0 - i as f64 * 0.002).collect();
+        let scale = ctx.params().scale();
+        let cta = ctx.encrypt(&ctx.encode_real(&a, scale, 2), &pk, &mut rng);
+        let ctb = ctx.encrypt(&ctx.encode_real(&b, scale, 2), &pk, &mut rng);
+        let mut sum = cta.clone();
+        for i in 0..=2 {
+            let m = ctx.moduli_q()[i];
+            m.add_assign_slices(&mut sum.c0.limbs[i], &ctb.c0.limbs[i]);
+            m.add_assign_slices(&mut sum.c1.limbs[i], &ctb.c1.limbs[i]);
+        }
+        let got = ctx.decode_real(&ctx.decrypt(&sum, &sk));
+        for (i, g) in got.iter().enumerate() {
+            assert!((g - (a[i] + b[i])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn serialization_through_adapter_boundary() {
+        let (ctx, sk, pk) = setup();
+        let mut rng = StdRng::seed_from_u64(8);
+        let values = vec![1.5f64, -2.5, 3.25, 0.0];
+        let pt = ctx.encode_real(&values, ctx.params().scale(), 1);
+        let ct = ctx.encrypt(&pt, &pk, &mut rng);
+        let wire = ct.to_bytes();
+        let back = RawCiphertext::from_bytes(&wire).unwrap();
+        let got = ctx.decode_real(&ctx.decrypt(&back, &sk));
+        for (g, v) in got.iter().zip(&values) {
+            assert!((g - v).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Client-side key generation: secret, public, relinearization, rotation and
+//! conjugation keys (the OpenFHE `KeyGen` box of Fig. 1).
+//!
+//! Switching keys follow the hybrid (Han–Ki) layout: for digit `j`,
+//! `b_j = −a_j·s + e_j + P·s′` on the limbs of digit `j` (and without the
+//! `P·s′` term elsewhere), over the extended base `Q ∪ P`, in evaluation
+//! domain. The factor `Q̂_j·[Q̂_j^{-1}]_{Q_j}` reduces to `1` on digit-`j`
+//! limbs and `0` elsewhere, which is why only `[P]_{q_i}` appears explicitly.
+
+use fides_math::{
+    sample_gaussian_coeffs, sample_ternary_coeffs, signed_to_residues, Modulus, NttTable, PolyOps,
+};
+use fides_rns::{product_mod, DigitPartition};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::context::ClientContext;
+use crate::raw::{Domain, RawKeyDigit, RawPoly, RawPublicKey, RawSwitchingKey};
+
+/// Standard deviation of the RLWE error distribution
+/// (HomomorphicEncryption.org standard).
+pub const ERROR_SIGMA: f64 = 3.19;
+
+/// The CKKS secret key: a ternary polynomial.
+#[derive(Clone, Debug)]
+pub struct SecretKey {
+    pub(crate) coeffs: Vec<i64>,
+}
+
+impl SecretKey {
+    /// The signed coefficient vector.
+    pub fn coeffs(&self) -> &[i64] {
+        &self.coeffs
+    }
+}
+
+/// Returns the Galois element `g` such that `X → X^g` rotates slots **left**
+/// by `k` (negative `k` rotates right). `n` is the ring degree.
+pub fn galois_for_rotation(k: i32, n: usize) -> usize {
+    let order = (n / 2) as i32; // multiplicative order of 5 modulo 2N
+    let k = k.rem_euclid(order) as u64;
+    let two_n = 2 * n;
+    let mut g = 1usize;
+    let mut base = 5usize % two_n;
+    let mut e = k;
+    while e > 0 {
+        if e & 1 == 1 {
+            g = g * base % two_n;
+        }
+        base = base * base % two_n;
+        e >>= 1;
+    }
+    g
+}
+
+/// The Galois element for complex conjugation: `2N − 1`.
+pub fn galois_for_conjugation(n: usize) -> usize {
+    2 * n - 1
+}
+
+/// Applies `X → X^g` to a signed coefficient vector (used to derive rotated
+/// secret keys).
+fn automorphism_signed(a: &[i64], g: usize) -> Vec<i64> {
+    let n = a.len();
+    let mask = 2 * n - 1;
+    let mut out = vec![0i64; n];
+    for (i, &c) in a.iter().enumerate() {
+        let j = (i * g) & mask;
+        if j < n {
+            out[j] = c;
+        } else {
+            out[j - n] = -c;
+        }
+    }
+    out
+}
+
+/// Deterministic key generator (seeded), mirroring OpenFHE's client keygen.
+#[derive(Debug)]
+pub struct KeyGenerator<'a> {
+    ctx: &'a ClientContext,
+    rng: StdRng,
+}
+
+impl<'a> KeyGenerator<'a> {
+    /// Creates a generator with an explicit seed for reproducible tests.
+    pub fn new(ctx: &'a ClientContext, seed: u64) -> Self {
+        Self { ctx, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Samples a fresh uniform-ternary secret key.
+    pub fn secret_key(&mut self) -> SecretKey {
+        SecretKey { coeffs: sample_ternary_coeffs(&mut self.rng, self.ctx.n()) }
+    }
+
+    /// Generates the public key `(b, a) = (−a·s + e, a)` over the full `Q`
+    /// chain, in evaluation domain.
+    pub fn public_key(&mut self, sk: &SecretKey) -> RawPublicKey {
+        let n = self.ctx.n();
+        let e = sample_gaussian_coeffs(&mut self.rng, n, ERROR_SIGMA);
+        let mut b_limbs = Vec::new();
+        let mut a_limbs = Vec::new();
+        for (m, t) in self.ctx.moduli_q().iter().zip(self.ctx.ntt_q()) {
+            let a: Vec<u64> = (0..n).map(|_| self.rng.random_range(0..m.value())).collect();
+            let mut s_hat = signed_to_residues(&sk.coeffs, m);
+            t.forward_inplace(&mut s_hat);
+            let mut e_hat = signed_to_residues(&e, m);
+            t.forward_inplace(&mut e_hat);
+            let mut b = vec![0u64; n];
+            m.mul_slices(&a, &s_hat, &mut b);
+            m.neg_assign(&mut b);
+            m.add_assign_slices(&mut b, &e_hat);
+            b_limbs.push(b);
+            a_limbs.push(a);
+        }
+        RawPublicKey {
+            b: RawPoly { limbs: b_limbs, domain: Domain::Eval },
+            a: RawPoly { limbs: a_limbs, domain: Domain::Eval },
+        }
+    }
+
+    /// Relinearization key: switches `s²` back to `s`.
+    pub fn relinearization_key(&mut self, sk: &SecretKey) -> RawSwitchingKey {
+        self.switching_key(sk, |_m, t, s_hat| {
+            let modulus = *t.modulus();
+            let mut sq = vec![0u64; s_hat.len()];
+            modulus.mul_slices(s_hat, s_hat, &mut sq);
+            sq
+        })
+    }
+
+    /// Rotation key for a **left** rotation by `k` slots: switches
+    /// `φ_{g}(s)` back to `s` with `g = 5^k mod 2N`.
+    pub fn rotation_key(&mut self, sk: &SecretKey, k: i32) -> RawSwitchingKey {
+        let g = galois_for_rotation(k, self.ctx.n());
+        let rotated = automorphism_signed(&sk.coeffs, g);
+        self.switching_key(sk, move |m, t, _s_hat| {
+            let mut r = signed_to_residues(&rotated, m);
+            t.forward_inplace(&mut r);
+            r
+        })
+    }
+
+    /// Conjugation key (`g = 2N − 1`).
+    pub fn conjugation_key(&mut self, sk: &SecretKey) -> RawSwitchingKey {
+        let g = galois_for_conjugation(self.ctx.n());
+        let conj = automorphism_signed(&sk.coeffs, g);
+        self.switching_key(sk, move |m, t, _s_hat| {
+            let mut r = signed_to_residues(&conj, m);
+            t.forward_inplace(&mut r);
+            r
+        })
+    }
+
+    /// Rotation keys for a set of shifts (deduplicated).
+    pub fn rotation_keys(&mut self, sk: &SecretKey, shifts: &[i32]) -> Vec<(i32, RawSwitchingKey)> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        for &k in shifts {
+            if seen.insert(k) {
+                out.push((k, self.rotation_key(sk, k)));
+            }
+        }
+        out
+    }
+
+    /// Core hybrid switching-key generation. `s_prime` produces the
+    /// evaluation-domain limb of the *source* secret for each chain modulus;
+    /// it receives `(modulus, table, ŝ)` where `ŝ` is the evaluation form of
+    /// the target secret `s` for that modulus.
+    fn switching_key<F>(&mut self, sk: &SecretKey, s_prime: F) -> RawSwitchingKey
+    where
+        F: Fn(&Modulus, &NttTable, &[u64]) -> Vec<u64>,
+    {
+        let ctx = self.ctx;
+        let n = ctx.n();
+        let params = ctx.params();
+        let num_q = params.moduli_q.len();
+        let partition = DigitPartition::new(num_q, params.dnum);
+        let chain: Vec<(&Modulus, &NttTable, bool, usize)> = ctx
+            .moduli_q()
+            .iter()
+            .zip(ctx.ntt_q())
+            .enumerate()
+            .map(|(i, (m, t))| (m, t, true, i))
+            .chain(
+                ctx.moduli_p()
+                    .iter()
+                    .zip(ctx.ntt_p())
+                    .enumerate()
+                    .map(|(i, (m, t))| (m, t, false, i)),
+            )
+            .collect();
+
+        let mut digits = Vec::with_capacity(params.dnum);
+        for j in 0..params.dnum {
+            let range = partition.digit_range(j);
+            let e = sample_gaussian_coeffs(&mut self.rng, n, ERROR_SIGMA);
+            let mut b_limbs = Vec::with_capacity(chain.len());
+            let mut a_limbs = Vec::with_capacity(chain.len());
+            for &(m, t, is_q, idx) in &chain {
+                let a: Vec<u64> = (0..n).map(|_| self.rng.random_range(0..m.value())).collect();
+                let mut s_hat = signed_to_residues(&sk.coeffs, m);
+                t.forward_inplace(&mut s_hat);
+                let mut e_hat = signed_to_residues(&e, m);
+                t.forward_inplace(&mut e_hat);
+                let mut b = vec![0u64; n];
+                m.mul_slices(&a, &s_hat, &mut b);
+                m.neg_assign(&mut b);
+                m.add_assign_slices(&mut b, &e_hat);
+                if is_q && range.contains(&idx) {
+                    // + [P]_{q_i} · ŝ′ on digit-j limbs.
+                    let p_mod = product_mod(&params.moduli_p, m);
+                    let mut term = s_prime(m, t, &s_hat);
+                    m.scalar_mul_assign(&mut term, p_mod);
+                    m.add_assign_slices(&mut b, &term);
+                }
+                b_limbs.push(b);
+                a_limbs.push(a);
+            }
+            digits.push(RawKeyDigit {
+                b: RawPoly { limbs: b_limbs, domain: Domain::Eval },
+                a: RawPoly { limbs: a_limbs, domain: Domain::Eval },
+            });
+        }
+        RawSwitchingKey { digits }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raw::RawParams;
+
+    #[test]
+    fn galois_elements() {
+        let n = 1024;
+        assert_eq!(galois_for_rotation(0, n), 1);
+        assert_eq!(galois_for_rotation(1, n), 5);
+        assert_eq!(galois_for_rotation(2, n), 25);
+        // Inverse rotations compose to identity.
+        let g = galois_for_rotation(3, n);
+        let ginv = galois_for_rotation(-3, n);
+        assert_eq!(g * ginv % (2 * n), 1);
+        assert_eq!(galois_for_conjugation(n), 2047);
+    }
+
+    #[test]
+    fn automorphism_signed_matches_unsigned() {
+        let a = vec![1i64, -1, 0, 2];
+        let out = automorphism_signed(&a, 3);
+        // φ_3(1 - X + 2X^3) = 1 - X^3 + 2X^9 = 1 + 2X - X^3 (X^9 ≡ +X mod X^4+1).
+        assert_eq!(out, vec![1, 2, 0, -1]);
+    }
+
+    #[test]
+    fn key_shapes() {
+        let ctx = ClientContext::new(RawParams::generate(8, 3, 30, 40, 2));
+        let mut kg = KeyGenerator::new(&ctx, 7);
+        let sk = kg.secret_key();
+        assert!(sk.coeffs().iter().all(|&c| (-1..=1).contains(&c)));
+        let pk = kg.public_key(&sk);
+        assert_eq!(pk.b.limbs.len(), 4);
+        let rk = kg.relinearization_key(&sk);
+        assert_eq!(rk.digits.len(), 2);
+        // 4 q-limbs + alpha=2 p-limbs.
+        assert_eq!(rk.digits[0].b.limbs.len(), 6);
+        let rots = kg.rotation_keys(&sk, &[1, 2, 1, -1]);
+        assert_eq!(rots.len(), 3, "duplicates removed");
+    }
+
+    /// Validates the core switching-key identity on the full extended basis:
+    /// b_j + a_j·s ≡ e_j + P·s′ (digit-j q-limbs) / e_j (elsewhere), i.e. the
+    /// decrypted key must be a small error except for the planted term.
+    #[test]
+    fn switching_key_identity() {
+        let ctx = ClientContext::new(RawParams::generate(6, 3, 30, 40, 2));
+        let mut kg = KeyGenerator::new(&ctx, 99);
+        let sk = kg.secret_key();
+        let rk = kg.relinearization_key(&sk);
+        let n = ctx.n();
+        let params = ctx.params().clone();
+        let partition = DigitPartition::new(params.moduli_q.len(), params.dnum);
+        for (j, digit) in rk.digits.iter().enumerate() {
+            let range = partition.digit_range(j);
+            for (chain_idx, (m, t)) in ctx
+                .moduli_q()
+                .iter()
+                .zip(ctx.ntt_q())
+                .chain(ctx.moduli_p().iter().zip(ctx.ntt_p()))
+                .enumerate()
+            {
+                let mut s_hat = signed_to_residues(&sk.coeffs, m);
+                t.forward_inplace(&mut s_hat);
+                // d = b + a·s in eval, then to coeff.
+                let mut d = vec![0u64; n];
+                m.mul_slices(&digit.a.limbs[chain_idx], &s_hat, &mut d);
+                m.add_assign_slices(&mut d, &digit.b.limbs[chain_idx]);
+                // Subtract the planted P·s² term on digit-j q-limbs.
+                let is_digit_q = chain_idx < params.moduli_q.len() && range.contains(&chain_idx);
+                if is_digit_q {
+                    let p_mod = product_mod(&params.moduli_p, m);
+                    let mut sq = vec![0u64; n];
+                    m.mul_slices(&s_hat, &s_hat, &mut sq);
+                    m.scalar_mul_assign(&mut sq, p_mod);
+                    m.sub_assign_slices(&mut d, &sq);
+                }
+                t.inverse_inplace(&mut d);
+                for &c in &d {
+                    let centered = m.to_centered_i64(c);
+                    assert!(
+                        centered.abs() <= (6.0 * ERROR_SIGMA) as i64 + 1,
+                        "digit {j} chain {chain_idx}: residual {centered} too large"
+                    );
+                }
+            }
+        }
+    }
+}

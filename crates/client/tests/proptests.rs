@@ -1,0 +1,85 @@
+//! Property-based tests for the client: encode/decode precision envelopes
+//! and homomorphic-operation correspondence at the raw level.
+
+use fides_client::{ClientContext, KeyGenerator, RawParams};
+use fides_math::{Complex64, PolyOps};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ctx() -> ClientContext {
+    ClientContext::new(RawParams::generate(9, 2, 40, 50, 2))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Encode/decode roundtrip stays within the quantization envelope for
+    /// arbitrary bounded messages, at any power-of-two slot count.
+    #[test]
+    fn encode_decode_envelope(
+        seed in any::<u64>(),
+        log_slots in 0u32..8,
+        magnitude in 0.01f64..100.0,
+    ) {
+        let c = ctx();
+        let slots = 1usize << log_slots;
+        let mut s = seed | 1;
+        let values: Vec<Complex64> = (0..slots)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let re = (s % 2001) as f64 / 1000.0 - 1.0;
+                let im = ((s >> 32) % 2001) as f64 / 1000.0 - 1.0;
+                Complex64::new(re * magnitude, im * magnitude)
+            })
+            .collect();
+        let pt = c.encode(&values, 2f64.powi(40), 1);
+        let back = c.decode(&pt);
+        // Quantization error ~ sqrt(N)/Δ per slot, scaled by nothing else.
+        let tol = magnitude * 1e-9 + 1e-9;
+        for (a, b) in back.iter().zip(&values) {
+            prop_assert!((*a - *b).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    /// Raw-level homomorphic addition is exact up to encryption noise.
+    #[test]
+    fn raw_homomorphic_add(seed in any::<u64>()) {
+        let c = ctx();
+        let mut kg = KeyGenerator::new(&c, seed);
+        let sk = kg.secret_key();
+        let pk = kg.public_key(&sk);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcdef);
+        let a: Vec<f64> = (0..64).map(|i| ((seed.wrapping_add(i) % 100) as f64) / 50.0 - 1.0).collect();
+        let b: Vec<f64> = (0..64).map(|i| ((seed.wrapping_mul(31).wrapping_add(i) % 100) as f64) / 50.0 - 1.0).collect();
+        let scale = c.params().scale();
+        let ca = c.encrypt(&c.encode_real(&a, scale, 1), &pk, &mut rng);
+        let cb = c.encrypt(&c.encode_real(&b, scale, 1), &pk, &mut rng);
+        let mut sum = ca.clone();
+        for i in 0..=1 {
+            let m = c.moduli_q()[i];
+            m.add_assign_slices(&mut sum.c0.limbs[i], &cb.c0.limbs[i]);
+            m.add_assign_slices(&mut sum.c1.limbs[i], &cb.c1.limbs[i]);
+        }
+        let got = c.decode_real(&c.decrypt(&sum, &sk));
+        for i in 0..64 {
+            prop_assert!((got[i] - (a[i] + b[i])).abs() < 1e-5);
+        }
+    }
+
+    /// Serialization roundtrips arbitrary ciphertext frames.
+    #[test]
+    fn serialization_roundtrip(seed in any::<u64>()) {
+        let c = ctx();
+        let mut kg = KeyGenerator::new(&c, seed);
+        let sk = kg.secret_key();
+        let pk = kg.public_key(&sk);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = vec![0.25f64, -0.5, 0.75, 0.125];
+        let ct = c.encrypt(&c.encode_real(&v, c.params().scale(), 0), &pk, &mut rng);
+        let back = fides_client::RawCiphertext::from_bytes(&ct.to_bytes()).unwrap();
+        prop_assert_eq!(ct, back);
+    }
+}

@@ -1,0 +1,172 @@
+//! The thin adapter layer between the client's `Raw*` objects and the
+//! server's device-resident structures (paper §III-B).
+//!
+//! Uploads charge PCIe transfers; plaintexts arrive in coefficient domain and
+//! are NTT'd on the device; downloads carry the static noise estimate back to
+//! the client for decryption bookkeeping.
+
+use std::sync::Arc;
+
+use fides_client::{
+    Domain, RawCiphertext, RawPlaintext, RawPoly, RawSwitchingKey,
+};
+
+use crate::ciphertext::{Ciphertext, Plaintext};
+use crate::context::CkksContext;
+use crate::keys::{EvalKeySet, KeySwitchingKey};
+use crate::poly::RNSPoly;
+
+/// Uploads a client ciphertext onto the device.
+///
+/// # Panics
+///
+/// Panics if the ciphertext is not in evaluation domain or its level exceeds
+/// the context chain.
+pub fn load_ciphertext(ctx: &Arc<CkksContext>, raw: &RawCiphertext) -> Ciphertext {
+    assert_eq!(raw.c0.domain, Domain::Eval, "client ciphertexts arrive in evaluation domain");
+    assert!(raw.level <= ctx.max_level());
+    let bytes = (raw.c0.limbs.len() * ctx.n() * 8 * 2) as u64;
+    ctx.gpu().transfer_to_device(bytes);
+    let c0 = RNSPoly::from_host_q_limbs(ctx, raw.c0.limbs.clone(), Domain::Eval);
+    let c1 = RNSPoly::from_host_q_limbs(ctx, raw.c1.limbs.clone(), Domain::Eval);
+    Ciphertext::from_parts(c0, c1, raw.scale, raw.slots, raw.noise_log2)
+}
+
+/// Downloads a ciphertext back into the adapter format (for client
+/// decryption), including the noise estimate (§III-B).
+pub fn store_ciphertext(ct: &Ciphertext) -> RawCiphertext {
+    let ctx = ct.context();
+    let bytes = ((ct.level() + 1) * ctx.n() * 8 * 2) as u64;
+    ctx.gpu().transfer_to_host(bytes);
+    RawCiphertext {
+        c0: RawPoly { limbs: ct.c0().to_host_q_limbs(), domain: Domain::Eval },
+        c1: RawPoly { limbs: ct.c1().to_host_q_limbs(), domain: Domain::Eval },
+        level: ct.level(),
+        scale: ct.scale(),
+        slots: ct.slots(),
+        noise_log2: ct.noise_log2(),
+    }
+}
+
+/// Uploads an encoded plaintext and converts it to evaluation domain on the
+/// device.
+///
+/// # Panics
+///
+/// Panics if the plaintext is not in coefficient domain.
+pub fn load_plaintext(ctx: &Arc<CkksContext>, raw: &RawPlaintext) -> Plaintext {
+    assert_eq!(raw.poly.domain, Domain::Coeff, "plaintexts arrive in coefficient domain");
+    let bytes = (raw.poly.limbs.len() * ctx.n() * 8) as u64;
+    ctx.gpu().transfer_to_device(bytes);
+    let mut poly = RNSPoly::from_host_q_limbs(ctx, raw.poly.limbs.clone(), Domain::Coeff);
+    poly.ntt_inplace();
+    Plaintext::from_poly(poly, raw.scale, raw.slots)
+}
+
+/// Creates a placeholder plaintext with the right shape but no data — used
+/// by cost-only benchmark runs, where values are irrelevant (all kernels are
+/// data-oblivious).
+pub fn placeholder_plaintext(
+    ctx: &Arc<CkksContext>,
+    level: usize,
+    scale: f64,
+    slots: usize,
+) -> Plaintext {
+    let poly = RNSPoly::zero(ctx, level, false, Domain::Eval);
+    Plaintext::from_poly(poly, scale, slots)
+}
+
+/// Creates a placeholder ciphertext for cost-only runs.
+pub fn placeholder_ciphertext(
+    ctx: &Arc<CkksContext>,
+    level: usize,
+    scale: f64,
+    slots: usize,
+) -> Ciphertext {
+    Ciphertext::zero(ctx, level, scale, slots)
+}
+
+/// Uploads a switching key (relinearization / rotation / conjugation).
+///
+/// # Panics
+///
+/// Panics if digit limb counts do not match the context chain.
+pub fn load_switching_key(ctx: &Arc<CkksContext>, raw: &RawSwitchingKey) -> KeySwitchingKey {
+    let expected = ctx.max_level() + 1 + ctx.alpha();
+    let mut digits = Vec::with_capacity(raw.digits.len());
+    let mut bytes = 0u64;
+    for d in &raw.digits {
+        assert_eq!(d.b.limbs.len(), expected, "switching key limb count mismatch");
+        assert_eq!(d.a.limbs.len(), expected);
+        bytes += (2 * expected * ctx.n() * 8) as u64;
+        let b = extended_poly_from_host(ctx, &d.b);
+        let a = extended_poly_from_host(ctx, &d.a);
+        digits.push((b, a));
+    }
+    ctx.gpu().transfer_to_device(bytes);
+    KeySwitchingKey { digits }
+}
+
+fn extended_poly_from_host(ctx: &Arc<CkksContext>, raw: &RawPoly) -> RNSPoly {
+    use crate::context::ChainIdx;
+    use crate::poly::{Limb, LimbPartition};
+    use fides_gpu_sim::VectorGpu;
+    assert_eq!(raw.domain, Domain::Eval);
+    let num_q = ctx.max_level() + 1;
+    let limbs: Vec<Limb> = raw
+        .limbs
+        .iter()
+        .enumerate()
+        .map(|(i, host)| {
+            let chain =
+                if i < num_q { ChainIdx::Q(i) } else { ChainIdx::P(i - num_q) };
+            Limb { data: VectorGpu::from_vec(ctx.gpu(), host.clone()), chain }
+        })
+        .collect();
+    RNSPoly {
+        ctx: Arc::clone(ctx),
+        part: LimbPartition { limbs },
+        num_q,
+        num_p: ctx.alpha(),
+        format: Domain::Eval,
+    }
+}
+
+impl EvalKeySet {
+    /// Installs the relinearization key.
+    pub fn set_mult(&mut self, key: KeySwitchingKey) {
+        self.mult = Some(key);
+    }
+
+    /// Installs a rotation key under its Galois element.
+    pub fn insert_rotation(&mut self, galois: usize, key: KeySwitchingKey) {
+        self.rotations.insert(galois, key);
+    }
+
+    /// Installs the conjugation key.
+    pub fn set_conj(&mut self, key: KeySwitchingKey) {
+        self.conj = Some(key);
+    }
+}
+
+/// Convenience: uploads a full key set from client material. `rotations`
+/// pairs each slot shift with its key.
+pub fn load_eval_keys(
+    ctx: &Arc<CkksContext>,
+    mult: Option<&RawSwitchingKey>,
+    rotations: &[(i32, RawSwitchingKey)],
+    conj: Option<&RawSwitchingKey>,
+) -> EvalKeySet {
+    let mut keys = EvalKeySet::new();
+    if let Some(m) = mult {
+        keys.set_mult(load_switching_key(ctx, m));
+    }
+    for (shift, raw) in rotations {
+        let g = fides_client::galois_for_rotation(*shift, ctx.n());
+        keys.insert_rotation(g, load_switching_key(ctx, raw));
+    }
+    if let Some(c) = conj {
+        keys.set_conj(load_switching_key(ctx, c));
+    }
+    keys
+}

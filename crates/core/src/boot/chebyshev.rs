@@ -1,0 +1,158 @@
+//! Chebyshev approximation machinery for ApproxModEval (§III-F.7).
+//!
+//! FIDESlib adapts OpenFHE's approach: a Chebyshev cosine approximation
+//! evaluated with BSGS + Paterson–Stockmeyer, followed by double-angle
+//! iterations. This module provides the numeric side: coefficient fitting,
+//! Clenshaw reference evaluation, and Chebyshev long division (the core of
+//! the PS recursion).
+
+/// Fits `degree+1` Chebyshev coefficients of `f` on `[a, b]` by
+/// Chebyshev-node interpolation (exact for polynomials, spectrally accurate
+/// for smooth `f`).
+pub fn chebyshev_coefficients(f: impl Fn(f64) -> f64, a: f64, b: f64, degree: usize) -> Vec<f64> {
+    let m = degree + 1;
+    let nodes: Vec<f64> =
+        (0..m).map(|k| (std::f64::consts::PI * (k as f64 + 0.5) / m as f64).cos()).collect();
+    let values: Vec<f64> =
+        nodes.iter().map(|&x| f(0.5 * (b - a) * x + 0.5 * (a + b))).collect();
+    (0..m)
+        .map(|j| {
+            let sum: f64 = (0..m)
+                .map(|k| {
+                    values[k]
+                        * (std::f64::consts::PI * j as f64 * (k as f64 + 0.5) / m as f64).cos()
+                })
+                .sum();
+            let norm = if j == 0 { 1.0 } else { 2.0 };
+            norm * sum / m as f64
+        })
+        .collect()
+}
+
+/// Clenshaw evaluation of a Chebyshev series on `[a, b]` (plaintext
+/// reference).
+pub fn eval_chebyshev_plain(coeffs: &[f64], a: f64, b: f64, x: f64) -> f64 {
+    let u = (2.0 * x - (a + b)) / (b - a);
+    let mut b1 = 0.0f64;
+    let mut b2 = 0.0f64;
+    for &c in coeffs.iter().skip(1).rev() {
+        let t = 2.0 * u * b1 - b2 + c;
+        b2 = b1;
+        b1 = t;
+    }
+    coeffs[0] + u * b1 - b2
+}
+
+/// Degree of a coefficient vector after trimming trailing ~zeros.
+pub fn trim_degree(coeffs: &[f64]) -> usize {
+    let mut d = coeffs.len().saturating_sub(1);
+    while d > 0 && coeffs[d].abs() < 1e-13 {
+        d -= 1;
+    }
+    d
+}
+
+/// Chebyshev long division: `f = q·T_k + r` with `deg r < k`, all in the
+/// Chebyshev basis. Uses `T_a·T_b = (T_{a+b} + T_{|a−b|})/2`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `deg f < k`.
+pub fn long_division_chebyshev(f: &[f64], k: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(k >= 1, "divisor degree must be positive");
+    let n = trim_degree(f);
+    assert!(n >= k, "dividend degree must reach the divisor");
+    let mut r = f[..=n].to_vec();
+    let mut q = vec![0.0f64; n - k + 1];
+    for i in (k..=n).rev() {
+        let ri = r[i];
+        if ri == 0.0 {
+            continue;
+        }
+        if i == k {
+            // T_0 · T_k = T_k.
+            q[0] += ri;
+            r[i] = 0.0;
+        } else {
+            // q_{i−k}·T_{i−k}·T_k = q/2·(T_i + T_{|i−2k|}).
+            let qc = 2.0 * ri;
+            q[i - k] += qc;
+            r[i] = 0.0;
+            let other = (i as isize - 2 * k as isize).unsigned_abs();
+            r[other] -= ri;
+        }
+    }
+    r.truncate(k);
+    (q, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clenshaw(coeffs: &[f64], u: f64) -> f64 {
+        // Proper Clenshaw on [-1, 1].
+        let mut b1 = 0.0;
+        let mut b2 = 0.0;
+        for &c in coeffs.iter().skip(1).rev() {
+            let t = 2.0 * u * b1 - b2 + c;
+            b2 = b1;
+            b1 = t;
+        }
+        coeffs[0] + u * b1 - b2
+    }
+
+    #[test]
+    fn fits_cosine_accurately() {
+        let coeffs = chebyshev_coefficients(|x| x.cos(), -3.0, 3.0, 24);
+        for i in 0..=100 {
+            let x = -3.0 + 6.0 * i as f64 / 100.0;
+            let u = x / 3.0;
+            let got = clenshaw(&coeffs, u);
+            assert!((got - x.cos()).abs() < 1e-12, "x={x}: {got} vs {}", x.cos());
+        }
+    }
+
+    #[test]
+    fn fits_polynomials_exactly() {
+        // f(x) = T_3(x) on [-1,1] must produce coefficient e_3.
+        let coeffs = chebyshev_coefficients(|x| 4.0 * x * x * x - 3.0 * x, -1.0, 1.0, 5);
+        assert!((coeffs[3] - 1.0).abs() < 1e-12);
+        for (j, &c) in coeffs.iter().enumerate() {
+            if j != 3 {
+                assert!(c.abs() < 1e-12, "c[{j}] = {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn long_division_identity() {
+        // Random-ish series; verify f(u) == q(u)·T_k(u) + r(u) numerically.
+        let f: Vec<f64> = (0..16).map(|i| ((i * 37 % 11) as f64 - 5.0) * 0.3).collect();
+        for k in [1usize, 3, 5, 8] {
+            let (q, r) = long_division_chebyshev(&f, k);
+            assert!(trim_degree(&r) < k || r.iter().all(|&x| x == 0.0));
+            for i in 0..=60 {
+                let u = -1.0 + 2.0 * i as f64 / 60.0;
+                let tk = (k as f64 * u.acos()).cos();
+                let lhs = clenshaw(&f, u);
+                let rhs = clenshaw(&q, u) * tk
+                    + if r.is_empty() { 0.0 } else { clenshaw(&r, u) };
+                assert!((lhs - rhs).abs() < 1e-9, "k={k} u={u}: {lhs} vs {rhs}");
+            }
+        }
+    }
+
+    #[test]
+    fn trim_degree_works() {
+        assert_eq!(trim_degree(&[1.0, 2.0, 0.0, 0.0]), 1);
+        assert_eq!(trim_degree(&[0.0]), 0);
+        assert_eq!(trim_degree(&[0.0, 0.0, 3.0]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dividend degree")]
+    fn division_by_larger_degree_panics() {
+        long_division_chebyshev(&[1.0, 2.0], 5);
+    }
+}

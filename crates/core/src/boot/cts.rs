@@ -1,0 +1,363 @@
+//! CoeffToSlot / SlotToCoeff matrix construction (§III-F.7).
+//!
+//! The homomorphic encoding/decoding transforms are the special-FFT stage
+//! matrices with the bit-reversal permutations *omitted*: because every step
+//! between CoeffToSlot and SlotToCoeff (conjugate extraction, ApproxModEval)
+//! is slot-wise, the two bit reversals cancel. Each FFT level is a
+//! 3-diagonal matrix (shifts `{0, ±len/2}` in rotation space); consecutive
+//! levels are composed into `level budget` stages of higher diagonal count —
+//! the sparsity/level trade-off of [44] the paper adopts.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use fides_client::ClientContext;
+use fides_math::Complex64;
+
+use crate::adapter;
+use crate::context::CkksContext;
+use crate::ops::linear::{BsgsEntry, BsgsPlan};
+
+/// A cyclic diagonal-sparse complex matrix of dimension `n`:
+/// `out[k] = Σ_s diag[s][k] · in[(k+s) mod n]`.
+///
+/// In cost-only execution the value vectors stay empty and only the shift
+/// structure is tracked (values never reach a kernel).
+#[derive(Clone, Debug)]
+pub(crate) struct DiagMatrix {
+    pub(crate) n: usize,
+    pub(crate) diags: BTreeMap<usize, Vec<Complex64>>,
+    /// Whether diagonal values are materialized.
+    pub(crate) numeric: bool,
+}
+
+impl DiagMatrix {
+    fn empty(n: usize, numeric: bool) -> Self {
+        Self { n, diags: BTreeMap::new(), numeric }
+    }
+
+    fn insert_entry(&mut self, shift: usize, row: usize, v: Complex64) {
+        let n = self.n;
+        let d = self
+            .diags
+            .entry(shift)
+            .or_insert_with(|| if self.numeric { vec![Complex64::ZERO; n] } else { Vec::new() });
+        if self.numeric {
+            d[row] = v;
+        }
+    }
+
+    /// Applies the matrix to a plain vector (test oracle).
+    #[cfg(test)]
+    pub(crate) fn apply_plain(&self, v: &[Complex64]) -> Vec<Complex64> {
+        assert!(self.numeric);
+        assert_eq!(v.len(), self.n);
+        let mut out = vec![Complex64::ZERO; self.n];
+        for (&s, d) in &self.diags {
+            for k in 0..self.n {
+                out[k] += d[k] * v[(k + s) % self.n];
+            }
+        }
+        out
+    }
+
+    /// Composition `self ∘ rhs` (apply `rhs` first).
+    pub(crate) fn compose(&self, rhs: &DiagMatrix) -> DiagMatrix {
+        assert_eq!(self.n, rhs.n);
+        let numeric = self.numeric && rhs.numeric;
+        let mut out = DiagMatrix::empty(self.n, numeric);
+        for (&sa, da) in &self.diags {
+            for (&sb, db) in &rhs.diags {
+                let shift = (sa + sb) % self.n;
+                let entry = out.diags.entry(shift).or_insert_with(|| {
+                    if numeric {
+                        vec![Complex64::ZERO; self.n]
+                    } else {
+                        Vec::new()
+                    }
+                });
+                if numeric {
+                    for k in 0..self.n {
+                        entry[k] += da[k] * db[(k + sa) % self.n];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Multiplies every entry by a real scalar.
+    pub(crate) fn scale(&mut self, s: f64) {
+        if self.numeric {
+            for d in self.diags.values_mut() {
+                for v in d.iter_mut() {
+                    *v = v.scale(s);
+                }
+            }
+        }
+    }
+
+    /// Diagonal count.
+    pub(crate) fn num_diags(&self) -> usize {
+        self.diags.len()
+    }
+}
+
+fn rot_group(size: usize, m: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(size);
+    let mut five = 1usize;
+    for _ in 0..size {
+        out.push(five);
+        five = five * 5 % m;
+    }
+    out
+}
+
+/// One forward special-FFT level (`len`) as a diagonal matrix (no bit
+/// reversal).
+fn fft_level_matrix(n: usize, len: usize, m: usize, numeric: bool) -> DiagMatrix {
+    let lenh = len / 2;
+    let lenq = len * 4;
+    let rot = rot_group(lenh, m);
+    let mut out = DiagMatrix::empty(n, numeric);
+    let mut i = 0;
+    while i < n {
+        for j in 0..lenh {
+            let idx = (rot[j] % lenq) * (m / lenq);
+            let w = Complex64::exp_2pi_i(idx as f64 / m as f64);
+            // out[i+j] = in[i+j] + w·in[i+j+lenh]
+            out.insert_entry(0, i + j, Complex64::ONE);
+            out.insert_entry(lenh, i + j, w);
+            // out[i+j+lenh] = in[i+j] − w·in[i+j+lenh]
+            out.insert_entry(n - lenh, i + j + lenh, Complex64::ONE);
+            out.insert_entry(0, i + j + lenh, -w);
+        }
+        i += len;
+    }
+    out
+}
+
+/// One inverse special-FFT level (`len`) as a diagonal matrix, pre-scaled by
+/// `1/2` so the product over all levels carries the `1/n` normalization.
+fn ifft_level_matrix(n: usize, len: usize, m: usize, numeric: bool) -> DiagMatrix {
+    let lenh = len / 2;
+    let lenq = len * 4;
+    let rot = rot_group(lenh, m);
+    let mut out = DiagMatrix::empty(n, numeric);
+    let half = 0.5;
+    let mut i = 0;
+    while i < n {
+        for j in 0..lenh {
+            let idx = (lenq - (rot[j] % lenq)) * (m / lenq);
+            let w = Complex64::exp_2pi_i(idx as f64 / m as f64).scale(half);
+            // out[i+j] = (in[i+j] + in[i+j+lenh]) / 2
+            out.insert_entry(0, i + j, Complex64::from_real(half));
+            out.insert_entry(lenh, i + j, Complex64::from_real(half));
+            // out[i+j+lenh] = w·(in[i+j] − in[i+j+lenh])
+            out.insert_entry(n - lenh, i + j + lenh, w);
+            out.insert_entry(0, i + j + lenh, -w);
+        }
+        i += len;
+    }
+    out
+}
+
+/// Groups a list of level matrices (in application order) into `budget`
+/// composed stages, returned in application order.
+fn group_stages(levels: Vec<DiagMatrix>, budget: usize) -> Vec<DiagMatrix> {
+    assert!(budget >= 1 && budget <= levels.len());
+    let per = levels.len().div_ceil(budget);
+    let mut stages = Vec::with_capacity(budget);
+    let mut iter = levels.into_iter().peekable();
+    while iter.peek().is_some() {
+        let group: Vec<DiagMatrix> = iter.by_ref().take(per).collect();
+        // Apply order within group: first element first ⇒ stage = last ∘ … ∘ first.
+        let mut stage = group[0].clone();
+        for m in &group[1..] {
+            stage = m.compose(&stage);
+        }
+        stages.push(stage);
+    }
+    stages
+}
+
+/// CoeffToSlot stages: the inverse-FFT levels (len = n_s down to 2) with the
+/// overall correction `scale_factor` folded into the first applied stage.
+pub(crate) fn build_cts_stages(
+    n_s: usize,
+    budget: usize,
+    scale_factor: f64,
+    numeric: bool,
+) -> Vec<DiagMatrix> {
+    let m_sub = 4 * n_s;
+    let mut levels = Vec::new();
+    let mut len = n_s;
+    while len >= 2 {
+        levels.push(ifft_level_matrix(n_s, len, m_sub, numeric));
+        len /= 2;
+    }
+    let mut stages = group_stages(levels, budget.min(n_s.trailing_zeros() as usize));
+    stages[0].scale(scale_factor);
+    stages
+}
+
+/// SlotToCoeff stages: the forward-FFT levels (len = 2 up to n_s) with
+/// `scale_factor` distributed evenly across stages.
+pub(crate) fn build_stc_stages(
+    n_s: usize,
+    budget: usize,
+    scale_factor: f64,
+    numeric: bool,
+) -> Vec<DiagMatrix> {
+    let m_sub = 4 * n_s;
+    let mut levels = Vec::new();
+    let mut len = 2;
+    while len <= n_s {
+        levels.push(fft_level_matrix(n_s, len, m_sub, numeric));
+        len *= 2;
+    }
+    let mut stages = group_stages(levels, budget.min(n_s.trailing_zeros() as usize));
+    let per_stage = scale_factor.powf(1.0 / stages.len() as f64);
+    for s in stages.iter_mut() {
+        s.scale(per_stage);
+    }
+    stages
+}
+
+/// Encodes one stage matrix into a [`BsgsPlan`] of device plaintexts at the
+/// given application level.
+pub(crate) fn encode_stage(
+    ctx: &Arc<CkksContext>,
+    client: &ClientContext,
+    stage: &DiagMatrix,
+    level: usize,
+    slots: usize,
+) -> BsgsPlan {
+    // FLEXIBLEAUTO-exact plaintext scale: after the post-apply rescale the
+    // ciphertext lands back on the standard ladder.
+    let q_l = ctx.moduli_q()[level].value() as f64;
+    let pt_scale = q_l * ctx.standard_scale(level - 1) / ctx.standard_scale(level);
+    let num_diags = stage.num_diags();
+    let n1 = (1usize << (((num_diags as f64).sqrt().ceil() as usize).next_power_of_two().trailing_zeros()))
+        .max(1);
+    let mut entries = Vec::with_capacity(num_diags);
+    for (&shift, values) in &stage.diags {
+        let giant = shift / n1;
+        let baby = shift % n1;
+        let pt = if stage.numeric && ctx.gpu().is_functional() {
+            // Pre-rotate right by giant·n1.
+            let n = stage.n;
+            let rotated: Vec<Complex64> = (0..n)
+                .map(|k| values[(k + n - (giant * n1) % n) % n])
+                .collect();
+            let raw = client.encode(&rotated, pt_scale, level);
+            adapter::load_plaintext(ctx, &raw)
+        } else {
+            adapter::placeholder_plaintext(ctx, level, pt_scale, slots)
+        };
+        entries.push(BsgsEntry { giant, baby, pt });
+    }
+    BsgsPlan { n1, entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    /// The composed CtS∘StC pipeline (without bit reversal) must be the
+    /// identity: S^{-1} then S.
+    #[test]
+    fn cts_then_stc_is_identity() {
+        for n_s in [4usize, 16, 64] {
+            let cts = build_cts_stages(n_s, 2.min(n_s.trailing_zeros() as usize), 1.0, true);
+            let stc = build_stc_stages(n_s, 2.min(n_s.trailing_zeros() as usize), 1.0, true);
+            let v: Vec<Complex64> = (0..n_s)
+                .map(|i| Complex64::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+                .collect();
+            let mut x = v.clone();
+            for s in &cts {
+                x = s.apply_plain(&x);
+            }
+            for s in &stc {
+                x = s.apply_plain(&x);
+            }
+            for (a, b) in x.iter().zip(&v) {
+                assert!(close(*a, *b, 1e-9), "n_s={n_s}: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    /// The StC stages equal the special FFT up to bit reversal of the input.
+    #[test]
+    fn stc_matches_special_fft_up_to_bitrev() {
+        let n_s = 16usize;
+        let stc = build_stc_stages(n_s, 1, 1.0, true);
+        assert_eq!(stc.len(), 1);
+        let v: Vec<Complex64> =
+            (0..n_s).map(|i| Complex64::new(i as f64, -(i as f64) * 0.5)).collect();
+        // Reference: special_fft includes bitrev first; our matrix omits it.
+        let mut reference = v.clone();
+        fides_math::bit_reverse(&mut reference); // pre-undo: fft(bitrev(x)) = stages(x)
+        fides_math::special_fft(&mut reference, 4 * n_s);
+        let got = stc[0].apply_plain(&v);
+        for (a, b) in got.iter().zip(&reference) {
+            assert!(close(*a, *b, 1e-9), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn stage_diag_counts_grow_with_grouping() {
+        let n_s = 64usize;
+        let fine = build_cts_stages(n_s, 6, 1.0, true); // one level per stage
+        for s in &fine {
+            assert!(s.num_diags() <= 3, "single level has ≤ 3 diagonals");
+        }
+        let coarse = build_cts_stages(n_s, 2, 1.0, true);
+        assert_eq!(coarse.len(), 2);
+        assert!(coarse[0].num_diags() > 3);
+        // Same total transform.
+        let v: Vec<Complex64> =
+            (0..n_s).map(|i| Complex64::from_real(i as f64)).collect();
+        let mut a = v.clone();
+        for s in &fine {
+            a = s.apply_plain(&a);
+        }
+        let mut b = v;
+        for s in &coarse {
+            b = s.apply_plain(&b);
+        }
+        for (x, y) in a.iter().zip(&b) {
+            assert!(close(*x, *y, 1e-8));
+        }
+    }
+
+    #[test]
+    fn structure_only_matches_numeric_shifts() {
+        let n_s = 32usize;
+        let numeric = build_cts_stages(n_s, 2, 1.0, true);
+        let structural = build_cts_stages(n_s, 2, 1.0, false);
+        for (a, b) in numeric.iter().zip(&structural) {
+            let sa: Vec<usize> = a.diags.keys().copied().collect();
+            let sb: Vec<usize> = b.diags.keys().copied().collect();
+            assert_eq!(sa, sb);
+            assert!(!b.numeric);
+        }
+    }
+
+    #[test]
+    fn scale_factor_applied() {
+        let n_s = 8usize;
+        let plain = build_cts_stages(n_s, 1, 1.0, true);
+        let scaled = build_cts_stages(n_s, 1, 2.5, true);
+        let v: Vec<Complex64> = (0..n_s).map(|i| Complex64::from_real(1.0 + i as f64)).collect();
+        let a = plain[0].apply_plain(&v);
+        let b = scaled[0].apply_plain(&v);
+        for (x, y) in a.iter().zip(&b) {
+            assert!(close(x.scale(2.5), *y, 1e-9));
+        }
+    }
+}

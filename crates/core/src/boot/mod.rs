@@ -1,0 +1,383 @@
+//! CKKS bootstrapping (§III-F.7): ModRaise → (sparse fold) → CoeffToSlot →
+//! conjugate extraction → ApproxModEval (Chebyshev cosine + BSGS/PS +
+//! double-angle) → SlotToCoeff.
+//!
+//! The flow follows OpenFHE's EvalBootstrap as adapted by FIDESlib:
+//! CoeffToSlot/SlotToCoeff are generalized into one routine over decomposed
+//! DFT stage matrices applied through BSGS ciphertext×plaintext-matrix
+//! products with hoisted rotations; ApproxModEval approximates
+//! `(q_0/2π)·sin(2π t/q_0)` to recover `m ≪ q_0` from `t = m + q_0·I`.
+
+pub(crate) mod chebyshev;
+pub(crate) mod cts;
+pub(crate) mod poly_eval;
+
+use std::sync::Arc;
+
+use fides_client::{ClientContext, Domain};
+use fides_gpu_sim::{KernelDesc, KernelKind, VectorGpu};
+use fides_math::switch_modulus_centered;
+
+pub use chebyshev::{chebyshev_coefficients, eval_chebyshev_plain};
+pub use poly_eval::ChebyshevEvaluator;
+
+use crate::ciphertext::Ciphertext;
+use crate::context::{ChainIdx, CkksContext};
+use crate::error::{FidesError, Result};
+use crate::kernels;
+use crate::keys::EvalKeySet;
+use crate::ops::linear::{fold_rotations, BsgsPlan};
+use crate::poly::{Limb, LimbPartition, RNSPoly};
+
+/// Bootstrapping configuration.
+#[derive(Clone, Debug)]
+pub struct BootstrapConfig {
+    /// Packed slot count of the ciphertexts to refresh.
+    pub slots: usize,
+    /// `(CoeffToSlot, SlotToCoeff)` level budgets: stages per transform.
+    pub level_budget: (usize, usize),
+    /// Range bound `K`: correct as long as `|m + q_0·I| ≤ K·q_0/2`.
+    pub k_range: f64,
+    /// Double-angle iterations `r`.
+    pub double_angles: u32,
+    /// Chebyshev approximation degree.
+    pub degree: usize,
+}
+
+impl BootstrapConfig {
+    /// Reasonable defaults for a given slot count: uniform-ternary-safe
+    /// range bound, more transform stages for larger slot counts.
+    pub fn for_slots(slots: usize) -> Self {
+        let budget = if slots >= 1 << 10 {
+            3
+        } else if slots >= 16 {
+            2
+        } else {
+            1
+        };
+        Self {
+            slots,
+            level_budget: (budget, budget),
+            k_range: 128.0,
+            double_angles: 6,
+            degree: 40,
+        }
+    }
+}
+
+/// Precomputed bootstrapping state for one `(context, config)` pair.
+///
+/// Construction performs all §III-E-style precomputation: stage matrices,
+/// their encoded plaintext diagonals, and the Chebyshev coefficients.
+#[derive(Debug)]
+pub struct Bootstrapper {
+    config: BootstrapConfig,
+    cts_plans: Vec<BsgsPlan>,
+    stc_plans: Vec<BsgsPlan>,
+    cheby_coeffs: Vec<f64>,
+    fold_iters: u32,
+    min_output_level: usize,
+    /// Ladder-consistent scale the raised ciphertext is reinterpreted to.
+    sigma_ref: f64,
+}
+
+impl Bootstrapper {
+    /// Builds all precomputed material. The client context performs the
+    /// plaintext encoding of the DFT diagonals (encoding is a client-side
+    /// operation in the FIDESlib architecture).
+    ///
+    /// # Errors
+    ///
+    /// [`FidesError::InvalidParams`] if the parameter chain is too shallow
+    /// for the configured transform budgets and approximation depth.
+    pub fn new(
+        ctx: &Arc<CkksContext>,
+        client: &ClientContext,
+        config: BootstrapConfig,
+    ) -> Result<Self> {
+        let n = ctx.n();
+        let n_s = config.slots;
+        if !n_s.is_power_of_two() || n_s > n / 2 {
+            return Err(FidesError::InvalidParams(format!("invalid slot count {n_s}")));
+        }
+        let levels_max = ctx.max_level();
+        let n_cts = config.level_budget.0.min(n_s.trailing_zeros().max(1) as usize);
+        let n_stc = config.level_budget.1.min(n_s.trailing_zeros().max(1) as usize);
+        let cheby_depth = ChebyshevEvaluator::depth_estimate(config.degree);
+        let needed = n_cts + cheby_depth + config.double_angles as usize + n_stc;
+        if needed >= levels_max {
+            return Err(FidesError::InvalidParams(format!(
+                "bootstrapping needs {needed} levels, chain has {levels_max}"
+            )));
+        }
+        let min_output_level = levels_max - needed;
+
+        let g_fold = (n / 2) / n_s;
+        let fold_iters = g_fold.trailing_zeros();
+        let q0 = ctx.moduli_q()[0].value() as f64;
+        // The raised ciphertext lives at the top of the chain; reinterpret
+        // its scale to the ladder value THERE so every downstream operation
+        // stays scale-consistent (the ladder drifts away from Δ at low
+        // levels, so anchoring at level 0 would inject an off-ladder scale).
+        let sigma_ref = ctx.standard_scale(levels_max);
+        let numeric = ctx.gpu().is_functional();
+
+        // CtS: α = σ_ref / (g·K·q_0) — yields slots u with t/q_0 = K·u/2
+        // after the ×2 of conjugate extraction.
+        let alpha = sigma_ref / (g_fold as f64 * config.k_range * q0);
+        let cts_mats = cts::build_cts_stages(n_s, n_cts, alpha, numeric);
+        // StC: β = q_0 / (2π·σ_ref) — converts sin(2πt/q_0) back to m/σ_ref.
+        let beta = q0 / (2.0 * std::f64::consts::PI * sigma_ref);
+        let stc_mats = cts::build_stc_stages(n_s, n_stc, beta, numeric);
+
+        // Level schedule (worst case; apply() drops to the encoded level).
+        let mut lvl = levels_max;
+        let mut cts_plans = Vec::with_capacity(cts_mats.len());
+        for m in &cts_mats {
+            cts_plans.push(cts::encode_stage(ctx, client, m, lvl, n_s));
+            lvl -= 1;
+        }
+        lvl -= cheby_depth + config.double_angles as usize;
+        let mut stc_plans = Vec::with_capacity(stc_mats.len());
+        for m in &stc_mats {
+            stc_plans.push(cts::encode_stage(ctx, client, m, lvl, n_s));
+            lvl -= 1;
+        }
+
+        // cos((π·K·w − π/2) / 2^r) on w ∈ [−1, 1]: after r double angles this
+        // becomes cos(π·K·w − π/2) = sin(2π·t/q_0) with t/q_0 = K·w/2.
+        let k = config.k_range;
+        let r = config.double_angles;
+        let cheby_coeffs = chebyshev_coefficients(
+            move |w| {
+                ((std::f64::consts::PI * k * w - std::f64::consts::FRAC_PI_2)
+                    / 2f64.powi(r as i32))
+                .cos()
+            },
+            -1.0,
+            1.0,
+            config.degree,
+        );
+
+        Ok(Self {
+            config,
+            cts_plans,
+            stc_plans,
+            cheby_coeffs,
+            fold_iters,
+            min_output_level,
+            sigma_ref,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BootstrapConfig {
+        &self.config
+    }
+
+    /// Minimum level of refreshed ciphertexts (the "levels remaining after
+    /// bootstrapping" of Table VI).
+    pub fn min_output_level(&self) -> usize {
+        self.min_output_level
+    }
+
+    /// Every rotation shift the bootstrap circuit needs keys for (the client
+    /// generates exactly these).
+    pub fn required_rotations(&self) -> Vec<i32> {
+        let mut shifts: Vec<i32> = Vec::new();
+        for i in 0..self.fold_iters {
+            shifts.push((self.config.slots << i) as i32);
+        }
+        for plan in self.cts_plans.iter().chain(&self.stc_plans) {
+            shifts.extend(plan.required_shifts());
+        }
+        shifts.sort_unstable();
+        shifts.dedup();
+        shifts.retain(|&s| s != 0);
+        shifts
+    }
+
+    /// Refreshes a ciphertext: returns an encryption of (approximately) the
+    /// same message at a high level (Bootstrap in Fig. 1).
+    ///
+    /// # Errors
+    ///
+    /// Missing keys, slot mismatch, or insufficient levels.
+    pub fn bootstrap(&self, ct: &Ciphertext, keys: &EvalKeySet) -> Result<Ciphertext> {
+        if ct.slots() != self.config.slots {
+            return Err(FidesError::SlotMismatch { left: ct.slots(), right: self.config.slots });
+        }
+        let sigma_ref = self.sigma_ref;
+        let rho = ct.scale() / sigma_ref;
+
+        // 1. ModRaise from the lowest level to the top of the chain.
+        let mut low = ct.duplicate();
+        low.drop_to_level(0)?;
+        let raised_c0 = raise_to_top(low.c0());
+        let raised_c1 = raise_to_top(low.c1());
+        let mut work = Ciphertext::from_parts(
+            raised_c0,
+            raised_c1,
+            sigma_ref, // scale reinterpretation; ρ restored at the end
+            self.config.slots,
+            ct.noise_log2(),
+        );
+
+        // 2. Sparse packing: trace-fold onto the subring.
+        if self.fold_iters > 0 {
+            work = fold_rotations(&work, self.config.slots as i32, self.fold_iters, keys)?;
+        }
+
+        // 3. CoeffToSlot.
+        for plan in &self.cts_plans {
+            work = plan.apply(&work, keys)?;
+        }
+
+        // 4. Conjugate extraction: re = c + conj(c) = 2a·γ,
+        //    im = i·(conj(c) − c) = 2b·γ.
+        let conj = work.conjugate(keys)?;
+        let re = work.add(&conj)?;
+        let im = conj.sub(&work)?.mul_by_i();
+
+        // 5. ApproxModEval on both halves.
+        let re_sin = self.approx_mod(&re, keys)?;
+        let im_sin = self.approx_mod(&im, keys)?;
+
+        // 6. Recombine a + i·b.
+        let lvl = re_sin.level().min(im_sin.level());
+        let mut comb = re_sin;
+        comb.drop_to_level(lvl)?;
+        let mut im_part = im_sin.mul_by_i();
+        im_part.drop_to_level(lvl)?;
+        comb.add_assign_ct(&im_part)?;
+
+        // 7. SlotToCoeff.
+        for plan in &self.stc_plans {
+            comb = plan.apply(&comb, keys)?;
+        }
+
+        // 8. Restore the caller's scale interpretation.
+        let s = comb.scale();
+        comb.set_scale(s * rho);
+        Ok(comb)
+    }
+
+    /// Chebyshev series + double-angle iterations.
+    fn approx_mod(&self, ct: &Ciphertext, keys: &EvalKeySet) -> Result<Ciphertext> {
+        let ev = ChebyshevEvaluator::new(ct, self.config.degree, keys)?;
+        let mut c = ev.evaluate(&self.cheby_coeffs)?;
+        for _ in 0..self.config.double_angles {
+            c = poly_eval::double_angle_step(&c, keys)?;
+        }
+        Ok(c)
+    }
+}
+
+/// ModRaise: extends a level-0 polynomial to the full chain by centered
+/// modulus switching of its coefficients (the raised plaintext becomes
+/// `t = m + q_0·I`).
+fn raise_to_top(poly: &RNSPoly) -> RNSPoly {
+    assert_eq!(poly.format(), Domain::Eval);
+    assert_eq!(poly.num_q(), 1, "ModRaise expects a level-0 polynomial");
+    let ctx = Arc::clone(poly.context());
+    let gpu = Arc::clone(ctx.gpu());
+    let n = ctx.n();
+    let lb = kernels::limb_bytes(n);
+    let target = ctx.max_level();
+    let q0 = ctx.moduli_q()[0];
+
+    // Coefficient form of limb 0.
+    let mut coeff0 = VectorGpu::<u64>::new(ctx.gpu(), n);
+    {
+        let stream = ctx.stream_for_batch(0);
+        let copy = KernelDesc::new(KernelKind::Fill)
+            .read(poly.limb(0).data.buffer(), lb)
+            .write(coeff0.buffer(), lb);
+        gpu.launch(stream, copy, || {
+            coeff0.copy_from_slice(poly.limb(0).data.as_slice());
+        });
+        for pass in 0..2u8 {
+            let kind = if pass == 0 { KernelKind::InttPhase1 } else { KernelKind::InttPhase2 };
+            let desc = KernelDesc::new(kind)
+                .ops(ctx.ntt_phase_ops_scaled())
+                .read(coeff0.buffer(), lb)
+                .write(coeff0.buffer(), lb);
+            gpu.launch(stream, desc, || {
+                let t = ctx.ntt(ChainIdx::Q(0));
+                if pass == 0 {
+                    t.inverse_pass1(coeff0.as_mut_slice());
+                } else {
+                    t.inverse_pass2(coeff0.as_mut_slice());
+                }
+            });
+        }
+    }
+    ctx.sync_batch_streams();
+
+    let mut slots: Vec<Option<Limb>> = (0..=target).map(|_| None).collect();
+    // Limb 0: the original evaluation-form data.
+    {
+        let stream = ctx.stream_for_batch(0);
+        let mut dst = VectorGpu::new(ctx.gpu(), n);
+        let copy = KernelDesc::new(KernelKind::Fill)
+            .read(poly.limb(0).data.buffer(), lb)
+            .write(dst.buffer(), lb);
+        gpu.launch(stream, copy, || {
+            dst.copy_from_slice(poly.limb(0).data.as_slice());
+        });
+        slots[0] = Some(Limb { data: dst, chain: ChainIdx::Q(0) });
+    }
+    // Remaining limbs: centered switch + NTT.
+    let upper: Vec<usize> = (1..=target).collect();
+    for (k, range) in ctx.batch_ranges(upper.len()).into_iter().enumerate() {
+        let stream = ctx.stream_for_batch(k);
+        let mut fresh: Vec<(usize, VectorGpu<u64>)> = Vec::with_capacity(range.len());
+        let mut sw = KernelDesc::new(KernelKind::SwitchModulus)
+            .ops(kernels::switch_modulus_ops(n) * range.len() as u64)
+            .read(coeff0.buffer(), lb);
+        for off in range.clone() {
+            let i = upper[off];
+            let dst = VectorGpu::new(ctx.gpu(), n);
+            sw = sw.write(dst.buffer(), lb);
+            fresh.push((i, dst));
+        }
+        gpu.launch(stream, sw, || {
+            for (i, dst) in fresh.iter_mut() {
+                let m = &ctx.moduli_q()[*i];
+                for (o, &v) in dst.as_mut_slice().iter_mut().zip(coeff0.as_slice()) {
+                    *o = switch_modulus_centered(v, &q0, m);
+                }
+            }
+        });
+        let phase_ops = ctx.ntt_phase_ops_scaled() * range.len() as u64;
+        for pass in 0..2u8 {
+            let kind = if pass == 0 { KernelKind::NttPhase1 } else { KernelKind::NttPhase2 };
+            let mut desc = KernelDesc::new(kind).ops(phase_ops);
+            for (_, dst) in &fresh {
+                desc = desc.read(dst.buffer(), lb).write(dst.buffer(), lb);
+            }
+            gpu.launch(stream, desc, || {
+                for (i, dst) in fresh.iter_mut() {
+                    let t = ctx.ntt(ChainIdx::Q(*i));
+                    if pass == 0 {
+                        t.forward_pass1(dst.as_mut_slice());
+                    } else {
+                        t.forward_pass2(dst.as_mut_slice());
+                    }
+                }
+            });
+        }
+        for (i, dst) in fresh {
+            slots[i] = Some(Limb { data: dst, chain: ChainIdx::Q(i) });
+        }
+    }
+    ctx.sync_batch_streams();
+    let limbs: Vec<Limb> = slots.into_iter().map(|s| s.expect("limb filled")).collect();
+    RNSPoly {
+        ctx: Arc::clone(&ctx),
+        part: LimbPartition { limbs },
+        num_q: target + 1,
+        num_p: 0,
+        format: Domain::Eval,
+    }
+}

@@ -1,0 +1,216 @@
+//! Encrypted Chebyshev-series evaluation: BSGS baby/giant steps plus the
+//! Paterson–Stockmeyer recursion over the Chebyshev basis (§III-F.7,
+//! following OpenFHE's EvalChebyshevSeriesPS).
+
+use crate::boot::chebyshev::{long_division_chebyshev, trim_degree};
+use crate::ciphertext::Ciphertext;
+use crate::error::Result;
+use crate::keys::EvalKeySet;
+
+/// Result of a sub-evaluation: either a ciphertext or an exact constant.
+enum Val {
+    Ct(Ciphertext),
+    Const(f64),
+}
+
+/// Baby-step/giant-step Chebyshev evaluator.
+///
+/// Baby steps `T_1 … T_{k−1}` and giant steps `T_k, T_{2k}, …` are built once
+/// (at predictable depth) and aligned to a common level; the series is then
+/// evaluated by recursive Chebyshev long division.
+pub struct ChebyshevEvaluator<'a> {
+    keys: &'a EvalKeySet,
+    /// `baby[i]` holds `T_i` for `1 ≤ i < k`.
+    baby: Vec<Ciphertext>,
+    /// `(degree, T_degree)` for `degree = k·2^j`, ascending.
+    giants: Vec<(usize, Ciphertext)>,
+    k: usize,
+}
+
+impl<'a> ChebyshevEvaluator<'a> {
+    /// Chooses the baby-step count for a series degree.
+    pub fn baby_count(degree: usize) -> usize {
+        let k = ((degree + 1) as f64).sqrt();
+        (k.log2().ceil().exp2() as usize).clamp(2, 32)
+    }
+
+    /// Worst-case multiplicative depth consumed from the input level by
+    /// [`Self::new`] + [`Self::evaluate`].
+    pub fn depth_estimate(degree: usize) -> usize {
+        let k = Self::baby_count(degree);
+        let j_max = if degree >= k {
+            (degree / k).ilog2() as usize
+        } else {
+            0
+        };
+        let log_k = k.ilog2() as usize;
+        // baby/giant construction + one mult per recursion layer + base case.
+        log_k + j_max + (j_max + 1) + 1
+    }
+
+    /// Builds all powers. `ct` must hold values in `[−1, 1]` on the standard
+    /// scale ladder.
+    ///
+    /// # Errors
+    ///
+    /// Missing relinearization key or insufficient levels.
+    pub fn new(ct: &Ciphertext, degree: usize, keys: &'a EvalKeySet) -> Result<Self> {
+        let k = Self::baby_count(degree);
+        // T_1..T_{k-1}.
+        let mut baby: Vec<Ciphertext> = vec![ct.duplicate()];
+        for i in 2..k {
+            let a = i.div_ceil(2);
+            let b = i / 2;
+            let t = mul_chebyshev(&baby[a - 1], &baby[b - 1], i % 2 == 0, &baby, keys)?;
+            baby.push(t);
+        }
+        // Giants: T_k, T_2k, ...
+        let mut giants: Vec<(usize, Ciphertext)> = Vec::new();
+        {
+            // T_k = 2·T_{k/2}² − 1.
+            let half = &baby[k / 2 - 1];
+            let t_k = double_angle_step(half, keys)?;
+            giants.push((k, t_k));
+        }
+        let mut d = 2 * k;
+        while d <= degree {
+            let prev = &giants.last().unwrap().1;
+            let next = double_angle_step(prev, keys)?;
+            giants.push((d, next));
+            d *= 2;
+        }
+        // Align everything to the deepest level.
+        let base = giants
+            .iter()
+            .map(|(_, c)| c.level())
+            .chain(baby.iter().map(|c| c.level()))
+            .min()
+            .expect("non-empty");
+        for c in baby.iter_mut() {
+            c.drop_to_level(base)?;
+        }
+        for (_, c) in giants.iter_mut() {
+            c.drop_to_level(base)?;
+        }
+        Ok(Self { keys, baby, giants, k })
+    }
+
+    /// The common level of all precomputed powers.
+    pub fn base_level(&self) -> usize {
+        self.baby[0].level()
+    }
+
+    /// Evaluates `Σ coeffs[j]·T_j(u)` homomorphically.
+    ///
+    /// # Errors
+    ///
+    /// Missing keys or insufficient levels.
+    pub fn evaluate(&self, coeffs: &[f64]) -> Result<Ciphertext> {
+        match self.eval_rec(coeffs)? {
+            Val::Ct(c) => Ok(c),
+            Val::Const(c) => {
+                // Degenerate all-constant series: materialize via 0·T_1 + c.
+                let mut out = self.baby[0].mul_scalar_rescale(0.0)?;
+                out.add_scalar_assign(c);
+                Ok(out)
+            }
+        }
+    }
+
+    fn eval_rec(&self, coeffs: &[f64]) -> Result<Val> {
+        let d = trim_degree(coeffs);
+        if d == 0 {
+            return Ok(Val::Const(coeffs.first().copied().unwrap_or(0.0)));
+        }
+        if d < self.k {
+            // Direct baby-step combination: Σ c_j·T_j + c_0.
+            let mut acc: Option<Ciphertext> = None;
+            for (j, &c) in coeffs.iter().enumerate().skip(1).take(d) {
+                if c == 0.0 {
+                    continue;
+                }
+                let term = self.baby[j - 1].mul_scalar_rescale(c)?;
+                match &mut acc {
+                    None => acc = Some(term),
+                    Some(a) => a.add_assign_ct(&term)?,
+                }
+            }
+            return Ok(match acc {
+                None => Val::Const(coeffs[0]),
+                Some(mut a) => {
+                    a.add_scalar_assign(coeffs[0]);
+                    Val::Ct(a)
+                }
+            });
+        }
+        // Split at the largest giant ≤ d.
+        let (g_deg, g_ct) =
+            self.giants.iter().rev().find(|(deg, _)| *deg <= d).expect("giant exists");
+        let (q, r) = long_division_chebyshev(coeffs, *g_deg);
+        let eq = self.eval_rec(&q)?;
+        let er = self.eval_rec(&r)?;
+        // out = eq·T_g + er.
+        let mut out = match eq {
+            Val::Const(c) => g_ct.mul_scalar_rescale(c)?,
+            Val::Ct(cq) => {
+                let lvl = cq.level().min(g_ct.level());
+                let mut a = cq;
+                a.drop_to_level(lvl)?;
+                let mut b = g_ct.duplicate();
+                b.drop_to_level(lvl)?;
+                let mut prod = a.mul(&b, self.keys)?;
+                prod.rescale_in_place()?;
+                prod
+            }
+        };
+        match er {
+            Val::Const(c) => {
+                out.add_scalar_assign(c);
+            }
+            Val::Ct(mut cr) => {
+                let lvl = out.level().min(cr.level());
+                out.drop_to_level(lvl)?;
+                cr.drop_to_level(lvl)?;
+                out.add_assign_ct(&cr)?;
+            }
+        }
+        Ok(Val::Ct(out))
+    }
+}
+
+/// `T_{a+b} = 2·T_a·T_b − T_{a−b}` where `a = ⌈i/2⌉, b = ⌊i/2⌋`; subtracts
+/// `T_0 = 1` for even `i` and `T_1` for odd `i`.
+fn mul_chebyshev(
+    ta: &Ciphertext,
+    tb: &Ciphertext,
+    even: bool,
+    baby: &[Ciphertext],
+    keys: &EvalKeySet,
+) -> Result<Ciphertext> {
+    let lvl = ta.level().min(tb.level());
+    let mut a = ta.duplicate();
+    a.drop_to_level(lvl)?;
+    let mut b = tb.duplicate();
+    b.drop_to_level(lvl)?;
+    let mut prod = a.mul(&b, keys)?;
+    prod.rescale_in_place()?;
+    let mut out = prod.mul_int(2);
+    if even {
+        out.add_scalar_assign(-1.0);
+    } else {
+        let mut t1 = baby[0].duplicate();
+        t1.drop_to_level(out.level())?;
+        out.sub_assign_ct(&t1)?;
+    }
+    Ok(out)
+}
+
+/// One double-angle step: `T_{2m} = 2·T_m² − 1` (also `cos 2θ = 2cos²θ − 1`,
+/// the ApproxModEval iteration).
+pub(crate) fn double_angle_step(ct: &Ciphertext, keys: &EvalKeySet) -> Result<Ciphertext> {
+    let mut sq = ct.square(keys)?;
+    sq.rescale_in_place()?;
+    let mut out = sq.mul_int(2);
+    out.add_scalar_assign(-1.0);
+    Ok(out)
+}

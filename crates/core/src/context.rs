@@ -1,0 +1,408 @@
+//! The server-side crypto context (`CKKS::Context` in FIDESlib).
+//!
+//! Holds every precomputed table the GPU kernels consume: NTT tables per
+//! prime, base-conversion matrices per (level, digit), rescale and ModDown
+//! scalars, the digit partition, evaluation-domain automorphism permutations
+//! and the standard-scale ladder. The paper stores these in CUDA constant /
+//! global memory behind a singleton (§III-E); the Rust port shares one
+//! immutable context through an [`Arc`], which models the same "precompute
+//! once at context creation" discipline while staying re-entrant.
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+use fides_client::RawParams;
+use fides_gpu_sim::{GpuSim, VectorGpu};
+use fides_math::{build_eval_permutation, Modulus, Ntt2d, NttTable, ShoupPrecomp};
+use fides_rns::{product_inv_mod, product_mod, BaseConverter, DigitPartition};
+use parking_lot::Mutex;
+
+use crate::params::CkksParameters;
+
+/// Index into the combined modulus chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ChainIdx {
+    /// Scaling prime `q_i`.
+    Q(usize),
+    /// Auxiliary prime `p_k`.
+    P(usize),
+}
+
+/// ModUp tables for one (level, digit) pair.
+#[derive(Debug)]
+pub(crate) struct ModUpTables {
+    /// Conversion from the active digit primes to the complement.
+    pub(crate) conv: BaseConverter,
+    /// Chain `q` indices of the conversion destination, in destination
+    /// order (the `p` limbs follow in natural order).
+    pub(crate) dst_q_indices: Vec<usize>,
+}
+
+/// Evaluation-domain automorphism permutation, resident on the device.
+#[derive(Debug)]
+pub struct EvalPerm {
+    /// Host copy used by kernel bodies.
+    pub host: Vec<u32>,
+    /// Device residency (gives the table a BufferId for the L2 model).
+    pub dev: VectorGpu<u32>,
+}
+
+/// Number of CUDA streams the server cycles kernel batches over.
+pub const NUM_STREAMS: usize = 16;
+
+/// The immutable server context.
+#[derive(Debug)]
+pub struct CkksContext {
+    params: CkksParameters,
+    raw: RawParams,
+    gpu: Arc<GpuSim>,
+    moduli_q: Vec<Modulus>,
+    moduli_p: Vec<Modulus>,
+    ntt_q: Vec<Ntt2d>,
+    ntt_p: Vec<Ntt2d>,
+    partition: DigitPartition,
+    /// `[level][digit]` ModUp conversion tables.
+    mod_up: Vec<Vec<ModUpTables>>,
+    /// `[level]`: conversion `P → q_0..q_level` for ModDown.
+    mod_down: Vec<BaseConverter>,
+    /// `[l][i]`: `q_l^{-1} mod q_i` for `i < l` (Rescale).
+    rescale_inv: Vec<Vec<ShoupPrecomp>>,
+    /// `[i]`: `P^{-1} mod q_i` (ModDown).
+    p_inv_mod_q: Vec<ShoupPrecomp>,
+    /// `[i]`: `P mod q_i`.
+    p_mod_q: Vec<u64>,
+    /// FLEXIBLEAUTO-style standard scale per level.
+    standard_scale: Vec<f64>,
+    /// Cache of evaluation-domain automorphism permutations by Galois
+    /// element.
+    perms: Mutex<HashMap<usize, Arc<EvalPerm>>>,
+    /// `NTT(X^{N/2}) mod q_i` — the imaginary-unit monomial used by
+    /// bootstrapping's real/imaginary extraction.
+    monomial_half: Vec<Vec<u64>>,
+}
+
+impl CkksContext {
+    /// Builds the full context (all precomputation of §III-E happens here).
+    pub fn new(params: CkksParameters, gpu: Arc<GpuSim>) -> Arc<Self> {
+        let raw = params.to_raw();
+        Self::from_raw(params, raw, gpu)
+    }
+
+    /// Builds the context from an explicit prime chain (used when the client
+    /// dictated the chain).
+    pub fn from_raw(params: CkksParameters, raw: RawParams, gpu: Arc<GpuSim>) -> Arc<Self> {
+        let n = raw.n();
+        let moduli_q: Vec<Modulus> = raw.moduli_q.iter().map(|&q| Modulus::new(q)).collect();
+        let moduli_p: Vec<Modulus> = raw.moduli_p.iter().map(|&p| Modulus::new(p)).collect();
+        let ntt_q: Vec<Ntt2d> =
+            moduli_q.iter().map(|&m| Ntt2d::new(NttTable::new(n, m))).collect();
+        let ntt_p: Vec<Ntt2d> =
+            moduli_p.iter().map(|&m| Ntt2d::new(NttTable::new(n, m))).collect();
+        let num_q = moduli_q.len();
+        let partition = DigitPartition::new(num_q, raw.dnum);
+
+        // ModUp converters per (level, digit).
+        let mut mod_up = Vec::with_capacity(num_q);
+        for level in 0..num_q {
+            let digits = partition.digits_at_level(level);
+            let mut per_digit = Vec::with_capacity(digits);
+            for j in 0..digits {
+                let src_range = partition.digit_range_at_level(j, level);
+                let src: Vec<Modulus> = src_range.clone().map(|i| moduli_q[i]).collect();
+                let dst_q_indices: Vec<usize> =
+                    (0..=level).filter(|i| !src_range.contains(i)).collect();
+                let mut dst: Vec<Modulus> =
+                    dst_q_indices.iter().map(|&i| moduli_q[i]).collect();
+                dst.extend(moduli_p.iter().copied());
+                per_digit.push(ModUpTables { conv: BaseConverter::new(&src, &dst), dst_q_indices });
+            }
+            mod_up.push(per_digit);
+        }
+
+        // ModDown converters P → Q_l.
+        let mod_down: Vec<BaseConverter> = (0..num_q)
+            .map(|level| BaseConverter::new(&moduli_p, &moduli_q[..=level]))
+            .collect();
+
+        // Rescale scalars.
+        let rescale_inv: Vec<Vec<ShoupPrecomp>> = (0..num_q)
+            .map(|l| {
+                (0..l)
+                    .map(|i| {
+                        let m = &moduli_q[i];
+                        ShoupPrecomp::new(m.inv_mod(m.reduce_u64(moduli_q[l].value())), m)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let p_values = raw.moduli_p.clone();
+        let p_inv_mod_q: Vec<ShoupPrecomp> = moduli_q
+            .iter()
+            .map(|m| ShoupPrecomp::new(product_inv_mod(&p_values, m), m))
+            .collect();
+        let p_mod_q: Vec<u64> = moduli_q.iter().map(|m| product_mod(&p_values, m)).collect();
+
+        // Standard (FLEXIBLEAUTO-style) scale ladder.
+        let mut standard_scale = vec![0.0f64; num_q];
+        let delta = raw.scale();
+        standard_scale[num_q - 1] = delta;
+        for l in (0..num_q - 1).rev() {
+            let s_next = standard_scale[l + 1];
+            standard_scale[l] = s_next * s_next / moduli_q[l + 1].value() as f64;
+        }
+
+        // NTT(X^{N/2}) per q prime.
+        let monomial_half: Vec<Vec<u64>> = ntt_q
+            .iter()
+            .map(|t| {
+                let mut v = vec![0u64; n];
+                v[n / 2] = 1;
+                t.table().forward_inplace(&mut v);
+                v
+            })
+            .collect();
+
+        Arc::new(Self {
+            params,
+            raw,
+            gpu,
+            moduli_q,
+            moduli_p,
+            ntt_q,
+            ntt_p,
+            partition,
+            mod_up,
+            mod_down,
+            rescale_inv,
+            p_inv_mod_q,
+            p_mod_q,
+            standard_scale,
+            perms: Mutex::new(HashMap::new()),
+            monomial_half,
+        })
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &CkksParameters {
+        &self.params
+    }
+
+    /// The shared client/server parameter description.
+    pub fn raw_params(&self) -> &RawParams {
+        &self.raw
+    }
+
+    /// The simulated device.
+    pub fn gpu(&self) -> &Arc<GpuSim> {
+        &self.gpu
+    }
+
+    /// Ring degree.
+    pub fn n(&self) -> usize {
+        self.raw.n()
+    }
+
+    /// Maximum level `L`.
+    pub fn max_level(&self) -> usize {
+        self.raw.max_level()
+    }
+
+    /// Number of auxiliary primes `α`.
+    pub fn alpha(&self) -> usize {
+        self.moduli_p.len()
+    }
+
+    /// Scaling moduli.
+    pub fn moduli_q(&self) -> &[Modulus] {
+        &self.moduli_q
+    }
+
+    /// Auxiliary moduli.
+    pub fn moduli_p(&self) -> &[Modulus] {
+        &self.moduli_p
+    }
+
+    /// The digit partition.
+    pub fn partition(&self) -> &DigitPartition {
+        &self.partition
+    }
+
+    /// Modulus for a chain index.
+    pub fn modulus(&self, c: ChainIdx) -> &Modulus {
+        match c {
+            ChainIdx::Q(i) => &self.moduli_q[i],
+            ChainIdx::P(k) => &self.moduli_p[k],
+        }
+    }
+
+    /// NTT tables for a chain index.
+    pub fn ntt(&self, c: ChainIdx) -> &Ntt2d {
+        match c {
+            ChainIdx::Q(i) => &self.ntt_q[i],
+            ChainIdx::P(k) => &self.ntt_p[k],
+        }
+    }
+
+    /// The standard scale `σ_ℓ` the FLEXIBLEAUTO-style ladder assigns to
+    /// `level`.
+    pub fn standard_scale(&self, level: usize) -> f64 {
+        self.standard_scale[level]
+    }
+
+    /// Fresh-encryption scale `Δ`.
+    pub fn fresh_scale(&self) -> f64 {
+        self.raw.scale()
+    }
+
+    pub(crate) fn mod_up_tables(&self, level: usize, digit: usize) -> &ModUpTables {
+        &self.mod_up[level][digit]
+    }
+
+    pub(crate) fn mod_down_conv(&self, level: usize) -> &BaseConverter {
+        &self.mod_down[level]
+    }
+
+    pub(crate) fn rescale_scalar(&self, l: usize, i: usize) -> &ShoupPrecomp {
+        &self.rescale_inv[l][i]
+    }
+
+    pub(crate) fn p_inv_mod_q(&self, i: usize) -> &ShoupPrecomp {
+        &self.p_inv_mod_q[i]
+    }
+
+    /// `P mod q_i`.
+    pub fn p_mod_q(&self, i: usize) -> u64 {
+        self.p_mod_q[i]
+    }
+
+    /// `NTT(X^{N/2})` for prime `q_i` (the "multiply by i" monomial).
+    pub(crate) fn monomial_half(&self, i: usize) -> &[u64] {
+        &self.monomial_half[i]
+    }
+
+    /// The cached evaluation-domain permutation for Galois element `g`.
+    pub fn eval_perm(&self, g: usize) -> Arc<EvalPerm> {
+        let mut cache = self.perms.lock();
+        if let Some(p) = cache.get(&g) {
+            return Arc::clone(p);
+        }
+        let host = build_eval_permutation(self.n(), g);
+        let mut dev = VectorGpu::<u32>::new(&self.gpu, host.len());
+        dev.copy_from_slice(&host);
+        let entry = Arc::new(EvalPerm { host, dev });
+        cache.insert(g, Arc::clone(&entry));
+        entry
+    }
+
+    /// int32 ops of one NTT phase over one limb, scaled by the configured
+    /// radix cost factor.
+    pub(crate) fn ntt_phase_ops_scaled(&self) -> u64 {
+        (crate::kernels::ntt_phase_ops(self.n()) as f64 * self.params.ntt_op_factor) as u64
+    }
+
+    /// Limb-batch ranges over `count` limbs (§III-F.1).
+    pub fn batch_ranges(&self, count: usize) -> Vec<Range<usize>> {
+        let b = self.params.limb_batch.max(1);
+        (0..count.div_ceil(b)).map(|k| (k * b)..((k + 1) * b).min(count)).collect()
+    }
+
+    /// Stream assignment for batch `k`.
+    pub fn stream_for_batch(&self, k: usize) -> usize {
+        k % NUM_STREAMS
+    }
+
+    /// Synchronizes every stream used by batched kernels (cross-limb
+    /// dependency barrier).
+    pub fn sync_batch_streams(&self) {
+        let streams: Vec<usize> = (0..NUM_STREAMS).collect();
+        self.gpu.fence(&streams, &streams);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fides_gpu_sim::{DeviceSpec, ExecMode};
+
+    fn ctx() -> Arc<CkksContext> {
+        CkksContext::new(
+            CkksParameters::toy(),
+            GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::Functional),
+        )
+    }
+
+    #[test]
+    fn context_tables_consistent() {
+        let c = ctx();
+        assert_eq!(c.max_level(), 4);
+        assert_eq!(c.moduli_q().len(), 5);
+        assert_eq!(c.alpha(), 3); // ceil(5/2)
+        // Rescale scalar is the inverse of q_l mod q_i.
+        let l = 4;
+        for i in 0..l {
+            let m = &c.moduli_q()[i];
+            let q_l = m.reduce_u64(c.moduli_q()[l].value());
+            let inv = c.rescale_scalar(l, i).mul(q_l, m);
+            assert_eq!(inv, 1);
+        }
+        // P scalars.
+        for i in 0..=c.max_level() {
+            let m = &c.moduli_q()[i];
+            assert_eq!(c.p_inv_mod_q(i).mul(c.p_mod_q(i), m), 1);
+        }
+    }
+
+    #[test]
+    fn standard_scale_ladder() {
+        let c = ctx();
+        let top = c.standard_scale(c.max_level());
+        assert_eq!(top, 2f64.powi(40));
+        for l in 0..c.max_level() {
+            let s = c.standard_scale(l);
+            assert!((s / top - 1.0).abs() < 0.01, "σ_{l} = {s} drifted from Δ");
+        }
+    }
+
+    #[test]
+    fn batch_ranges_cover_and_respect_batch() {
+        let c = ctx(); // limb_batch = 2
+        let ranges = c.batch_ranges(5);
+        assert_eq!(ranges, vec![0..2, 2..4, 4..5]);
+        assert_eq!(c.batch_ranges(0).len(), 0);
+    }
+
+    #[test]
+    fn eval_perm_cached() {
+        let c = ctx();
+        let p1 = c.eval_perm(5);
+        let p2 = c.eval_perm(5);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(p1.host.len(), c.n());
+    }
+
+    #[test]
+    fn mod_up_tables_shapes() {
+        let c = ctx();
+        // Level 4, digit 0: src = q0..q1 (alpha... digit size ceil(5/2)=3 → digit0 = 0..3).
+        let t = c.mod_up_tables(4, 0);
+        assert_eq!(t.conv.src().len(), 3);
+        assert_eq!(t.dst_q_indices, vec![3, 4]);
+        assert_eq!(t.conv.dst().len(), 2 + 3); // 2 q + 3 p
+        // Level 1: only digit 0 active with 2 primes.
+        let t = c.mod_up_tables(1, 0);
+        assert_eq!(t.conv.src().len(), 2);
+        assert!(t.dst_q_indices.is_empty());
+    }
+
+    #[test]
+    fn monomial_is_imaginary_unit_squared_minus_one() {
+        // NTT(X^{N/2}) ⊙ NTT(X^{N/2}) = NTT(X^N) = NTT(-1).
+        let c = ctx();
+        let m = &c.moduli_q()[0];
+        let mono = c.monomial_half(0);
+        let sq0 = m.mul_mod(mono[0], mono[0]);
+        assert_eq!(sq0, m.value() - 1, "X^{{N/2}} squared must be -1 in eval domain");
+    }
+}

@@ -1,0 +1,88 @@
+//! Error types for server-side CKKS operations.
+
+use std::fmt;
+
+/// Errors produced by `fides-core` operations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FidesError {
+    /// Operand levels differ where they must match.
+    LevelMismatch {
+        /// Left operand level.
+        left: usize,
+        /// Right operand level.
+        right: usize,
+    },
+    /// Operand scales differ beyond the drift tolerance.
+    ScaleMismatch {
+        /// Left operand scale.
+        left: f64,
+        /// Right operand scale.
+        right: f64,
+    },
+    /// Slot counts differ.
+    SlotMismatch {
+        /// Left operand slots.
+        left: usize,
+        /// Right operand slots.
+        right: usize,
+    },
+    /// The operation needs more multiplicative levels than remain.
+    NotEnoughLevels {
+        /// Levels required.
+        needed: usize,
+        /// Levels available.
+        available: usize,
+    },
+    /// A required evaluation key (relinearization / rotation / conjugation)
+    /// was not loaded.
+    MissingKey(String),
+    /// Invalid parameter combination.
+    InvalidParams(String),
+}
+
+impl fmt::Display for FidesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FidesError::LevelMismatch { left, right } => {
+                write!(f, "ciphertext level mismatch: {left} vs {right}")
+            }
+            FidesError::ScaleMismatch { left, right } => {
+                write!(f, "scale mismatch beyond drift tolerance: {left:e} vs {right:e}")
+            }
+            FidesError::SlotMismatch { left, right } => {
+                write!(f, "slot count mismatch: {left} vs {right}")
+            }
+            FidesError::NotEnoughLevels { needed, available } => {
+                write!(f, "not enough levels: need {needed}, have {available}")
+            }
+            FidesError::MissingKey(which) => write!(f, "missing evaluation key: {which}"),
+            FidesError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FidesError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, FidesError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = FidesError::LevelMismatch { left: 3, right: 5 };
+        assert!(e.to_string().contains("3 vs 5"));
+        let e = FidesError::MissingKey("rotation(4)".into());
+        assert!(e.to_string().contains("rotation(4)"));
+        let e = FidesError::NotEnoughLevels { needed: 2, available: 1 };
+        assert!(e.to_string().contains("need 2"));
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        fn takes_err(_: &(dyn std::error::Error + Send + Sync)) {}
+        takes_err(&FidesError::InvalidParams("x".into()));
+    }
+}

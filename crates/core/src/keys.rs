@@ -1,0 +1,111 @@
+//! Device-resident evaluation keys (`CKKS::KeySwitchingKey`, `EvalKey`).
+
+use std::collections::HashMap;
+
+use crate::context::ChainIdx;
+use crate::error::{FidesError, Result};
+use crate::poly::{Limb, RNSPoly};
+
+/// A hybrid key-switching key: per digit, the pair `(b_j, a_j)` over the full
+/// chain `Q ∪ P` in evaluation domain.
+#[derive(Debug)]
+pub struct KeySwitchingKey {
+    pub(crate) digits: Vec<(RNSPoly, RNSPoly)>,
+}
+
+impl KeySwitchingKey {
+    /// Number of digits.
+    pub fn dnum(&self) -> usize {
+        self.digits.len()
+    }
+
+    /// Device-memory footprint in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.digits
+            .iter()
+            .map(|(b, a)| (b.num_limbs() + a.num_limbs()) as u64 * 8 * b.context().n() as u64)
+            .sum()
+    }
+
+    /// The `(b, a)` limbs of digit `j` for a chain index.
+    pub(crate) fn limbs_for(&self, j: usize, chain: ChainIdx, num_q_full: usize) -> (&Limb, &Limb) {
+        let idx = match chain {
+            ChainIdx::Q(i) => i,
+            ChainIdx::P(k) => num_q_full + k,
+        };
+        (self.digits[j].0.limb(idx), self.digits[j].1.limb(idx))
+    }
+}
+
+/// The complete set of server-side evaluation keys.
+#[derive(Debug, Default)]
+pub struct EvalKeySet {
+    pub(crate) mult: Option<KeySwitchingKey>,
+    /// Rotation keys indexed by Galois element.
+    pub(crate) rotations: HashMap<usize, KeySwitchingKey>,
+    pub(crate) conj: Option<KeySwitchingKey>,
+}
+
+impl EvalKeySet {
+    /// Empty key set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The relinearization key.
+    ///
+    /// # Errors
+    ///
+    /// [`FidesError::MissingKey`] if not loaded.
+    pub fn mult_key(&self) -> Result<&KeySwitchingKey> {
+        self.mult.as_ref().ok_or_else(|| FidesError::MissingKey("relinearization".into()))
+    }
+
+    /// The rotation key for Galois element `g`.
+    ///
+    /// # Errors
+    ///
+    /// [`FidesError::MissingKey`] if not loaded.
+    pub fn rotation_key(&self, g: usize) -> Result<&KeySwitchingKey> {
+        self.rotations.get(&g).ok_or_else(|| FidesError::MissingKey(format!("rotation(g={g})")))
+    }
+
+    /// The conjugation key.
+    ///
+    /// # Errors
+    ///
+    /// [`FidesError::MissingKey`] if not loaded.
+    pub fn conj_key(&self) -> Result<&KeySwitchingKey> {
+        self.conj.as_ref().ok_or_else(|| FidesError::MissingKey("conjugation".into()))
+    }
+
+    /// Galois elements with loaded rotation keys.
+    pub fn loaded_rotations(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.rotations.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Total device bytes held by all keys (the KSK sizes discussed with
+    /// Fig. 8).
+    pub fn bytes(&self) -> u64 {
+        self.mult.iter().map(|k| k.bytes()).sum::<u64>()
+            + self.conj.iter().map(|k| k.bytes()).sum::<u64>()
+            + self.rotations.values().map(|k| k.bytes()).sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_keys_error() {
+        let ks = EvalKeySet::new();
+        assert!(matches!(ks.mult_key(), Err(FidesError::MissingKey(_))));
+        assert!(matches!(ks.rotation_key(5), Err(FidesError::MissingKey(_))));
+        assert!(matches!(ks.conj_key(), Err(FidesError::MissingKey(_))));
+        assert!(ks.loaded_rotations().is_empty());
+        assert_eq!(ks.bytes(), 0);
+    }
+}

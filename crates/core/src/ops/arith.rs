@@ -1,0 +1,121 @@
+//! Additive operations: HAdd, HSub, PtAdd, ScalarAdd (Fig. 1 API surface).
+
+use crate::ciphertext::{Ciphertext, Plaintext};
+use crate::error::{FidesError, Result};
+
+impl Ciphertext {
+    /// HAdd: homomorphic addition of two ciphertexts.
+    ///
+    /// # Errors
+    ///
+    /// Level/scale/slot mismatches.
+    pub fn add(&self, other: &Ciphertext) -> Result<Ciphertext> {
+        let mut out = self.duplicate();
+        out.add_assign_ct(other)?;
+        Ok(out)
+    }
+
+    /// In-place HAdd.
+    ///
+    /// # Errors
+    ///
+    /// Level/scale/slot mismatches.
+    pub fn add_assign_ct(&mut self, other: &Ciphertext) -> Result<()> {
+        self.check_compatible(other)?;
+        self.c0.add_assign_poly(&other.c0);
+        self.c1.add_assign_poly(&other.c1);
+        self.noise_log2 = self.noise_log2.max(other.noise_log2) + 0.5;
+        Ok(())
+    }
+
+    /// HSub: homomorphic subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Level/scale/slot mismatches.
+    pub fn sub(&self, other: &Ciphertext) -> Result<Ciphertext> {
+        let mut out = self.duplicate();
+        out.sub_assign_ct(other)?;
+        Ok(out)
+    }
+
+    /// In-place HSub.
+    ///
+    /// # Errors
+    ///
+    /// Level/scale/slot mismatches.
+    pub fn sub_assign_ct(&mut self, other: &Ciphertext) -> Result<()> {
+        self.check_compatible(other)?;
+        self.c0.sub_assign_poly(&other.c0);
+        self.c1.sub_assign_poly(&other.c1);
+        self.noise_log2 = self.noise_log2.max(other.noise_log2) + 0.5;
+        Ok(())
+    }
+
+    /// Negates the message.
+    pub fn negate_assign(&mut self) {
+        self.c0.neg_assign();
+        self.c1.neg_assign();
+    }
+
+    /// PtAdd: adds an encoded plaintext.
+    ///
+    /// # Errors
+    ///
+    /// Level/scale/slot mismatches.
+    pub fn add_plain(&self, pt: &Plaintext) -> Result<Ciphertext> {
+        let mut out = self.duplicate();
+        out.add_plain_assign(pt)?;
+        Ok(out)
+    }
+
+    /// In-place PtAdd.
+    ///
+    /// # Errors
+    ///
+    /// Level/scale/slot mismatches.
+    pub fn add_plain_assign(&mut self, pt: &Plaintext) -> Result<()> {
+        if pt.level() != self.level() {
+            return Err(FidesError::LevelMismatch { left: self.level(), right: pt.level() });
+        }
+        let drift = (self.scale / pt.scale - 1.0).abs();
+        if drift > crate::ciphertext::SCALE_TOLERANCE {
+            return Err(FidesError::ScaleMismatch { left: self.scale, right: pt.scale });
+        }
+        self.c0.add_assign_poly(&pt.poly);
+        self.noise_log2 += 0.25;
+        Ok(())
+    }
+
+    /// ScalarAdd: adds the real constant `c` to every slot. Exact (no level
+    /// consumed): adds `round(c·scale)` to the constant coefficient, which in
+    /// evaluation domain is a per-limb scalar addition.
+    pub fn add_scalar(&self, c: f64) -> Ciphertext {
+        let mut out = self.duplicate();
+        out.add_scalar_assign(c);
+        out
+    }
+
+    /// In-place ScalarAdd.
+    pub fn add_scalar_assign(&mut self, c: f64) {
+        let v = (c * self.scale).round() as i128;
+        let scalars: Vec<u64> = (0..self.c0.num_q())
+            .map(|i| {
+                let m = &self.context().moduli_q()[i];
+                let p = m.value() as i128;
+                let mut r = v % p;
+                if r < 0 {
+                    r += p;
+                }
+                r as u64
+            })
+            .collect();
+        self.c0.scalar_add_assign(&scalars);
+        self.noise_log2 += 0.1;
+    }
+
+    /// ScalarSub: subtracts a constant from every slot.
+    pub fn sub_scalar_assign(&mut self, c: f64) {
+        self.add_scalar_assign(-c);
+    }
+}

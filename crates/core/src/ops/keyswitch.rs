@@ -1,0 +1,433 @@
+//! Hybrid key switching: ModUp, key inner product, ModDown (§III-F.3, F.5).
+//!
+//! The kernel pipeline mirrors FIDESlib's HMult fusion schedule:
+//!
+//! 1. per digit, the relevant limbs are copied and iNTT'd with the Eq. 1
+//!    scaling (`(C/c_i)^{-1}`) fused into the second iNTT pass;
+//! 2. the base-conversion kernel lifts the digit to `Q_ℓ ∪ P` (the digit's
+//!    own limbs are reused directly in evaluation form);
+//! 3. the NTT of each lifted limb fuses the two switching-key inner-product
+//!    multiplications (`x̃ ⊙ ksk_{0}`, `x̃ ⊙ ksk_{1}`);
+//! 4. both accumulators are ModDown'ed by `P` with the `P^{-1}(x − NTT(x'))`
+//!    sequence fused into the NTT kernels.
+//!
+//! With the corresponding [`FusionConfig`](crate::params::FusionConfig) flags
+//! off, every step launches separate kernels (the ablation baseline).
+
+use std::sync::Arc;
+
+use fides_client::Domain;
+use fides_gpu_sim::{KernelDesc, KernelKind, VectorGpu};
+use fides_math::PolyOps;
+
+use crate::context::ChainIdx;
+use crate::kernels;
+use crate::keys::KeySwitchingKey;
+use crate::poly::{Limb, LimbPartition, RNSPoly};
+
+/// Lifts digit `j` of `d2` (evaluation domain, level `ℓ`) to the extended
+/// base `Q_ℓ ∪ P`. Returns an extended polynomial in evaluation domain.
+pub(crate) fn mod_up_digit(d2: &RNSPoly, j: usize) -> RNSPoly {
+    assert_eq!(d2.format(), Domain::Eval);
+    assert_eq!(d2.num_p(), 0);
+    let ctx = Arc::clone(d2.context());
+    let gpu = Arc::clone(ctx.gpu());
+    let n = ctx.n();
+    let lb = kernels::limb_bytes(n);
+    let level = d2.level();
+    let tables = ctx.mod_up_tables(level, j);
+    let src_range = ctx.partition().digit_range_at_level(j, level);
+    let src_len = src_range.len();
+    assert!(src_len > 0, "digit {j} inactive at level {level}");
+    let fused = ctx.params().fusion.key_switch;
+
+    // Step 1: coefficient-domain, Eq.1-scaled copies of the digit limbs.
+    let mut scaled: Vec<VectorGpu<u64>> = Vec::with_capacity(src_len);
+    for (k, range) in ctx.batch_ranges(src_len).into_iter().enumerate() {
+        let stream = ctx.stream_for_batch(k);
+        // Copy kernel.
+        let mut copy_desc = KernelDesc::new(KernelKind::Fill);
+        let mut fresh: Vec<VectorGpu<u64>> = Vec::with_capacity(range.len());
+        for di in range.clone() {
+            let src = d2.limb(src_range.start + di);
+            let dst = VectorGpu::new(ctx.gpu(), n);
+            copy_desc = copy_desc.read(src.data.buffer(), lb).write(dst.buffer(), lb);
+            fresh.push(dst);
+        }
+        gpu.launch(stream, copy_desc, || {
+            for (off, di) in range.clone().enumerate() {
+                fresh[off].copy_from_slice(d2.limb(src_range.start + di).data.as_slice());
+            }
+        });
+        // iNTT pass 1.
+        let phase_ops = ctx.ntt_phase_ops_scaled() * range.len() as u64;
+        let mut d1 = KernelDesc::new(KernelKind::InttPhase1)
+            .ops(phase_ops)
+            .access_efficiency(ctx.params().access_efficiency);
+        for f in &fresh {
+            d1 = d1.read(f.buffer(), lb).write(f.buffer(), lb);
+        }
+        gpu.launch(stream, d1, || {
+            for (off, di) in range.clone().enumerate() {
+                let chain = ChainIdx::Q(src_range.start + di);
+                ctx.ntt(chain).inverse_pass1(fresh[off].as_mut_slice());
+            }
+        });
+        // iNTT pass 2, with the Eq. 1 scaling fused (or separate).
+        let mut ops2 = phase_ops;
+        if fused {
+            ops2 += kernels::shoup_ops(n) * range.len() as u64;
+        }
+        let mut d2k = KernelDesc::new(KernelKind::InttPhase2)
+            .ops(ops2)
+            .access_efficiency(ctx.params().access_efficiency);
+        for f in &fresh {
+            d2k = d2k.read(f.buffer(), lb).write(f.buffer(), lb);
+        }
+        gpu.launch(stream, d2k, || {
+            for (off, di) in range.clone().enumerate() {
+                let chain = ChainIdx::Q(src_range.start + di);
+                ctx.ntt(chain).inverse_pass2(fresh[off].as_mut_slice());
+                if fused {
+                    tables.conv.scale_input_inplace(di, fresh[off].as_mut_slice());
+                }
+            }
+        });
+        if !fused {
+            let mut ds = KernelDesc::new(KernelKind::Elementwise)
+                .ops(kernels::shoup_ops(n) * range.len() as u64);
+            for f in &fresh {
+                ds = ds.read(f.buffer(), lb).write(f.buffer(), lb);
+            }
+            gpu.launch(stream, ds, || {
+                for (off, di) in range.clone().enumerate() {
+                    tables.conv.scale_input_inplace(di, fresh[off].as_mut_slice());
+                }
+            });
+        }
+        scaled.extend(fresh);
+    }
+    ctx.sync_batch_streams();
+
+    // Step 2: assemble the lifted polynomial.
+    let alpha = ctx.alpha();
+    let total = level + 1 + alpha;
+    let mut slots: Vec<Option<Limb>> = (0..total).map(|_| None).collect();
+    // Own digit limbs: direct evaluation-domain copies.
+    for (k, range) in ctx.batch_ranges(src_len).into_iter().enumerate() {
+        let stream = ctx.stream_for_batch(k);
+        let mut desc = KernelDesc::new(KernelKind::Fill);
+        let mut fresh: Vec<(usize, VectorGpu<u64>)> = Vec::with_capacity(range.len());
+        for di in range.clone() {
+            let i = src_range.start + di;
+            let dst = VectorGpu::new(ctx.gpu(), n);
+            desc = desc.read(d2.limb(i).data.buffer(), lb).write(dst.buffer(), lb);
+            fresh.push((i, dst));
+        }
+        gpu.launch(stream, desc, || {
+            for (off, di) in range.clone().enumerate() {
+                let i = src_range.start + di;
+                fresh[off].1.copy_from_slice(d2.limb(i).data.as_slice());
+            }
+        });
+        for (i, dst) in fresh {
+            slots[i] = Some(Limb { data: dst, chain: ChainIdx::Q(i) });
+        }
+    }
+
+    // Converted limbs: dst position → chain index.
+    let dst_chains: Vec<ChainIdx> = tables
+        .dst_q_indices
+        .iter()
+        .map(|&i| ChainIdx::Q(i))
+        .chain((0..alpha).map(ChainIdx::P))
+        .collect();
+    let scaled_bufs: Vec<_> = scaled.iter().map(|s| (s.buffer(), lb)).collect();
+    for (k, range) in ctx.batch_ranges(dst_chains.len()).into_iter().enumerate() {
+        let stream = ctx.stream_for_batch(k);
+        // Base-conversion kernel for this batch of destination limbs.
+        let mut conv_desc = KernelDesc::new(KernelKind::BaseConv)
+            .ops(kernels::base_conv_ops(n, src_len) * range.len() as u64);
+        for &(b, bytes) in &scaled_bufs {
+            conv_desc = conv_desc.read(b, bytes);
+        }
+        let mut fresh: Vec<(usize, VectorGpu<u64>)> = Vec::with_capacity(range.len());
+        for dpos in range.clone() {
+            let dst = VectorGpu::new(ctx.gpu(), n);
+            conv_desc = conv_desc.write(dst.buffer(), lb);
+            fresh.push((dpos, dst));
+        }
+        gpu.launch(stream, conv_desc, || {
+            let scaled_refs: Vec<&[u64]> = scaled.iter().map(|s| s.as_slice()).collect();
+            for (off, dpos) in range.clone().enumerate() {
+                tables.conv.convert_scaled_limb(&scaled_refs, dpos, fresh[off].1.as_mut_slice());
+            }
+        });
+        // NTT the converted limbs back to evaluation domain.
+        let phase_ops = ctx.ntt_phase_ops_scaled() * range.len() as u64;
+        for pass in 0..2u8 {
+            let kind = if pass == 0 { KernelKind::NttPhase1 } else { KernelKind::NttPhase2 };
+            let mut nd = KernelDesc::new(kind)
+                .ops(phase_ops)
+                .access_efficiency(ctx.params().access_efficiency);
+            for (_, dst) in &fresh {
+                nd = nd.read(dst.buffer(), lb).write(dst.buffer(), lb);
+            }
+            gpu.launch(stream, nd, || {
+                for (off, dpos) in range.clone().enumerate() {
+                    let t = ctx.ntt(dst_chains[dpos]);
+                    let data = fresh[off].1.as_mut_slice();
+                    if pass == 0 {
+                        t.forward_pass1(data);
+                    } else {
+                        t.forward_pass2(data);
+                    }
+                }
+            });
+        }
+        for (dpos, dst) in fresh {
+            let chain = dst_chains[dpos];
+            let slot = match chain {
+                ChainIdx::Q(i) => i,
+                ChainIdx::P(kk) => level + 1 + kk,
+            };
+            slots[slot] = Some(Limb { data: dst, chain });
+        }
+    }
+    ctx.sync_batch_streams();
+
+    let limbs: Vec<Limb> = slots.into_iter().map(|s| s.expect("all limbs assigned")).collect();
+    RNSPoly {
+        ctx: Arc::clone(&ctx),
+        part: LimbPartition { limbs },
+        num_q: level + 1,
+        num_p: alpha,
+        format: Domain::Eval,
+    }
+}
+
+/// Fused inner product: `acc0 += lifted ⊙ b_j`, `acc1 += lifted ⊙ a_j` for
+/// one digit, over the extended basis.
+pub(crate) fn ksk_inner_product(
+    acc0: &mut RNSPoly,
+    acc1: &mut RNSPoly,
+    lifted: &RNSPoly,
+    ksk: &KeySwitchingKey,
+    digit: usize,
+) {
+    let ctx = Arc::clone(lifted.context());
+    let gpu = Arc::clone(ctx.gpu());
+    let n = ctx.n();
+    let lb = kernels::limb_bytes(n);
+    let num_q_full = ctx.max_level() + 1;
+    let fused = ctx.params().fusion.dot_product;
+    let total = lifted.num_limbs();
+    assert_eq!(acc0.num_limbs(), total);
+    assert_eq!(acc1.num_limbs(), total);
+
+    for (k, range) in ctx.batch_ranges(total).into_iter().enumerate() {
+        let stream = ctx.stream_for_batch(k);
+        let launches: usize = if fused { 1 } else { 2 };
+        for li in 0..launches {
+            let ops = kernels::mul_add_ops(n) * range.len() as u64 * if fused { 2 } else { 1 };
+            let mut desc = KernelDesc::new(KernelKind::Elementwise).ops(ops);
+            for i in range.clone() {
+                let chain = lifted.limb(i).chain;
+                let (kb, ka) = ksk.limbs_for(digit, chain, num_q_full);
+                desc = desc.read(lifted.limb(i).data.buffer(), lb);
+                if fused || li == 0 {
+                    desc = desc
+                        .read(kb.data.buffer(), lb)
+                        .read(acc0.limb(i).data.buffer(), lb)
+                        .write(acc0.limb(i).data.buffer(), lb);
+                }
+                if fused || li == 1 {
+                    desc = desc
+                        .read(ka.data.buffer(), lb)
+                        .read(acc1.limb(i).data.buffer(), lb)
+                        .write(acc1.limb(i).data.buffer(), lb);
+                }
+            }
+            gpu.launch(stream, desc, || {
+                for i in range.clone() {
+                    let chain = lifted.limb(i).chain;
+                    let m = ctx.modulus(chain);
+                    let (kb, ka) = ksk.limbs_for(digit, chain, num_q_full);
+                    let src = lifted.limb(i).data.as_slice();
+                    if fused || li == 0 {
+                        m.mul_add_assign_slices(
+                            acc0.part.limbs[i].data.as_mut_slice(),
+                            src,
+                            kb.data.as_slice(),
+                        );
+                    }
+                    if fused || li == 1 {
+                        m.mul_add_assign_slices(
+                            acc1.part.limbs[i].data.as_mut_slice(),
+                            src,
+                            ka.data.as_slice(),
+                        );
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// ModDown by `P`: `x ← P^{-1}·(x − Conv_{P→Q_ℓ}([x]_P))`, dropping the
+/// extension limbs.
+pub(crate) fn mod_down(poly: &mut RNSPoly) {
+    assert_eq!(poly.format(), Domain::Eval);
+    let alpha = poly.num_p();
+    assert!(alpha > 0, "mod_down needs extension limbs");
+    let ctx = Arc::clone(poly.context());
+    let gpu = Arc::clone(ctx.gpu());
+    let n = ctx.n();
+    let lb = kernels::limb_bytes(n);
+    let level = poly.level();
+    let num_q = poly.num_q();
+    let conv = ctx.mod_down_conv(level);
+    let fused = ctx.params().fusion.mod_down;
+
+    // Step 1: iNTT the P limbs with the Eq. 1 scaling fused into pass 2.
+    {
+        let (_q_limbs, p_limbs) = poly.part.limbs.split_at_mut(num_q);
+        for (k, range) in ctx.batch_ranges(alpha).into_iter().enumerate() {
+            let stream = ctx.stream_for_batch(k);
+            let phase_ops = ctx.ntt_phase_ops_scaled() * range.len() as u64;
+            for pass in 0..2u8 {
+                let kind = if pass == 0 { KernelKind::InttPhase1 } else { KernelKind::InttPhase2 };
+                let mut ops = phase_ops;
+                if pass == 1 {
+                    ops += kernels::shoup_ops(n) * range.len() as u64;
+                }
+                let mut desc = KernelDesc::new(kind)
+                    .ops(ops)
+                    .access_efficiency(ctx.params().access_efficiency);
+                for i in range.clone() {
+                    desc = desc
+                        .read(p_limbs[i].data.buffer(), lb)
+                        .write(p_limbs[i].data.buffer(), lb);
+                }
+                gpu.launch(stream, desc, || {
+                    for i in range.clone() {
+                        let t = ctx.ntt(ChainIdx::P(i));
+                        let data = p_limbs[i].data.as_mut_slice();
+                        if pass == 0 {
+                            t.inverse_pass1(data);
+                        } else {
+                            t.inverse_pass2(data);
+                            conv.scale_input_inplace(i, data);
+                        }
+                    }
+                });
+            }
+        }
+    }
+    ctx.sync_batch_streams();
+
+    // Step 2: per q limb, convert, NTT, and combine (fused into the NTT
+    // kernels when enabled).
+    let (q_limbs, p_limbs) = poly.part.limbs.split_at_mut(num_q);
+    let p_bufs: Vec<_> = p_limbs.iter().map(|l| (l.data.buffer(), lb)).collect();
+    for (k, range) in ctx.batch_ranges(num_q).into_iter().enumerate() {
+        let stream = ctx.stream_for_batch(k);
+        let mut conv_desc = KernelDesc::new(KernelKind::BaseConv)
+            .ops(kernels::base_conv_ops(n, alpha) * range.len() as u64);
+        for &(b, bytes) in &p_bufs {
+            conv_desc = conv_desc.read(b, bytes);
+        }
+        let mut tmps: Vec<VectorGpu<u64>> = Vec::with_capacity(range.len());
+        for _ in range.clone() {
+            let t = VectorGpu::new(ctx.gpu(), n);
+            conv_desc = conv_desc.write(t.buffer(), lb);
+            tmps.push(t);
+        }
+        gpu.launch(stream, conv_desc, || {
+            let p_refs: Vec<&[u64]> = p_limbs.iter().map(|l| l.data.as_slice()).collect();
+            for (off, i) in range.clone().enumerate() {
+                conv.convert_scaled_limb(&p_refs, i, tmps[off].as_mut_slice());
+            }
+        });
+        let phase_ops = ctx.ntt_phase_ops_scaled() * range.len() as u64;
+        for pass in 0..2u8 {
+            let kind = if pass == 0 { KernelKind::NttPhase1 } else { KernelKind::NttPhase2 };
+            let mut ops = phase_ops;
+            if pass == 1 && fused {
+                ops += (kernels::add_ops(n) + kernels::shoup_ops(n)) * range.len() as u64;
+            }
+            let mut desc = KernelDesc::new(kind)
+                .ops(ops)
+                .access_efficiency(ctx.params().access_efficiency);
+            for (off, i) in range.clone().enumerate() {
+                desc = desc.read(tmps[off].buffer(), lb).write(tmps[off].buffer(), lb);
+                if pass == 1 && fused {
+                    desc = desc
+                        .read(q_limbs[i].data.buffer(), lb)
+                        .write(q_limbs[i].data.buffer(), lb);
+                }
+            }
+            gpu.launch(stream, desc, || {
+                for (off, i) in range.clone().enumerate() {
+                    let t = ctx.ntt(ChainIdx::Q(i));
+                    if pass == 0 {
+                        t.forward_pass1(tmps[off].as_mut_slice());
+                    } else {
+                        t.forward_pass2(tmps[off].as_mut_slice());
+                        if fused {
+                            combine_mod_down(&ctx, i, q_limbs[i].data.as_mut_slice(), tmps[off].as_slice());
+                        }
+                    }
+                }
+            });
+        }
+        if !fused {
+            let mut desc = KernelDesc::new(KernelKind::Elementwise)
+                .ops((kernels::add_ops(n) + kernels::shoup_ops(n)) * range.len() as u64);
+            for (off, i) in range.clone().enumerate() {
+                desc = desc
+                    .read(tmps[off].buffer(), lb)
+                    .read(q_limbs[i].data.buffer(), lb)
+                    .write(q_limbs[i].data.buffer(), lb);
+            }
+            gpu.launch(stream, desc, || {
+                for (off, i) in range.clone().enumerate() {
+                    combine_mod_down(&ctx, i, q_limbs[i].data.as_mut_slice(), tmps[off].as_slice());
+                }
+            });
+        }
+    }
+    ctx.sync_batch_streams();
+    poly.truncate_p();
+}
+
+fn combine_mod_down(
+    ctx: &crate::context::CkksContext,
+    q_idx: usize,
+    x: &mut [u64],
+    converted: &[u64],
+) {
+    let m = &ctx.moduli_q()[q_idx];
+    let inv = ctx.p_inv_mod_q(q_idx);
+    for (xi, &c) in x.iter_mut().zip(converted) {
+        *xi = inv.mul(m.sub_mod(*xi, c), m);
+    }
+}
+
+/// Full key switch of an evaluation-domain polynomial `d2` with `ksk`:
+/// returns the pair to add onto `(c_0, c_1)`.
+pub(crate) fn key_switch_core(d2: &RNSPoly, ksk: &KeySwitchingKey) -> (RNSPoly, RNSPoly) {
+    let ctx = Arc::clone(d2.context());
+    let level = d2.level();
+    let digits = ctx.partition().digits_at_level(level);
+    assert!(ksk.dnum() >= digits, "switching key has too few digits");
+    let mut acc0 = RNSPoly::zero(&ctx, level, true, Domain::Eval);
+    let mut acc1 = RNSPoly::zero(&ctx, level, true, Domain::Eval);
+    for j in 0..digits {
+        let lifted = mod_up_digit(d2, j);
+        ksk_inner_product(&mut acc0, &mut acc1, &lifted, ksk, j);
+    }
+    mod_down(&mut acc0);
+    mod_down(&mut acc1);
+    (acc0, acc1)
+}

@@ -1,0 +1,143 @@
+//! Ciphertext × plaintext-matrix products via BSGS over diagonals, plus
+//! rotate-and-add folding — the building blocks of CoeffToSlot/SlotToCoeff
+//! (§III-F.7).
+
+use std::collections::BTreeMap;
+
+use crate::ciphertext::{Ciphertext, Plaintext};
+use crate::error::{FidesError, Result};
+use crate::keys::EvalKeySet;
+
+/// One diagonal of a BSGS-decomposed matrix: the plaintext is the diagonal at
+/// shift `giant·n1 + baby`, **pre-rotated** left by `−giant·n1` at
+/// construction time (the standard BSGS trick).
+#[derive(Debug)]
+pub struct BsgsEntry {
+    /// Giant-step multiple (`shift / n1`).
+    pub giant: usize,
+    /// Baby-step offset (`shift % n1`).
+    pub baby: usize,
+    /// Pre-rotated encoded diagonal.
+    pub pt: Plaintext,
+}
+
+/// A plaintext matrix in BSGS form.
+#[derive(Debug)]
+pub struct BsgsPlan {
+    /// Baby-step count `n1`.
+    pub n1: usize,
+    /// All non-zero diagonals.
+    pub entries: Vec<BsgsEntry>,
+}
+
+impl BsgsPlan {
+    /// Baby shifts required by [`Self::apply`] (excluding 0).
+    pub fn baby_shifts(&self) -> Vec<i32> {
+        let mut s: Vec<i32> =
+            self.entries.iter().map(|e| e.baby as i32).filter(|&b| b != 0).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+
+    /// Giant shifts required by [`Self::apply`] (excluding 0).
+    pub fn giant_shifts(&self) -> Vec<i32> {
+        let mut s: Vec<i32> = self
+            .entries
+            .iter()
+            .map(|e| (e.giant * self.n1) as i32)
+            .filter(|&g| g != 0)
+            .collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+
+    /// All rotation shifts this plan needs keys for.
+    pub fn required_shifts(&self) -> Vec<i32> {
+        let mut s = self.baby_shifts();
+        s.extend(self.giant_shifts());
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+
+    /// Applies the matrix: `out = Σ_g rot_{g·n1}( Σ_b pt_{g,b} ⊙ rot_b(ct) )`,
+    /// with the baby rotations hoisted (§III-F.6) and a single final rescale.
+    ///
+    /// # Errors
+    ///
+    /// Level mismatch with the encoded diagonals or missing rotation keys.
+    pub fn apply(&self, ct: &Ciphertext, keys: &EvalKeySet) -> Result<Ciphertext> {
+        let pt_level = self.entries[0].pt.level();
+        // Tolerate inputs above the encoded level (LevelReduce down to it).
+        let owned;
+        let ct = if ct.level() > pt_level {
+            let mut d = ct.duplicate();
+            d.drop_to_level(pt_level)?;
+            owned = d;
+            &owned
+        } else {
+            ct
+        };
+        let level = ct.level();
+        if pt_level != level {
+            return Err(FidesError::LevelMismatch { left: level, right: pt_level });
+        }
+        let pt_scale = self.entries[0].pt.scale();
+        // Hoisted baby rotations (0 handled as a copy inside).
+        let mut baby_shift_list = vec![0i32];
+        baby_shift_list.extend(self.baby_shifts());
+        let babies = ct.hoisted_rotations(&baby_shift_list, keys)?;
+        let baby_index: BTreeMap<usize, usize> = baby_shift_list
+            .iter()
+            .enumerate()
+            .map(|(pos, &b)| (b as usize, pos))
+            .collect();
+
+        // Group entries by giant step.
+        let mut by_giant: BTreeMap<usize, Vec<&BsgsEntry>> = BTreeMap::new();
+        for e in &self.entries {
+            by_giant.entry(e.giant).or_default().push(e);
+        }
+
+        let mut acc: Option<Ciphertext> = None;
+        for (&giant, entries) in &by_giant {
+            // Inner sum: Σ_b pt ⊙ baby_b at scale ct.scale · pt.scale.
+            let mut inner =
+                Ciphertext::zero(ct.context(), level, ct.scale() * pt_scale, ct.slots());
+            for e in entries {
+                let baby_ct = &babies[baby_index[&e.baby]];
+                inner.c0.mul_add_assign_poly(&baby_ct.c0, &e.pt.poly);
+                inner.c1.mul_add_assign_poly(&baby_ct.c1, &e.pt.poly);
+            }
+            inner.noise_log2 = ct.noise_log2() + 2.0;
+            let rotated =
+                if giant == 0 { inner } else { inner.rotate((giant * self.n1) as i32, keys)? };
+            match &mut acc {
+                None => acc = Some(rotated),
+                Some(a) => a.add_assign_ct(&rotated)?,
+            }
+        }
+        let mut out = acc.expect("plan has at least one diagonal");
+        out.rescale_in_place()?;
+        Ok(out)
+    }
+}
+
+/// Rotate-and-add folding: returns `Σ_{j=0}^{2^iterations − 1} rot(ct,
+/// j·step)` using `iterations` rotations (the partial-sums step of sparse
+/// bootstrapping).
+///
+/// # Errors
+///
+/// Missing rotation keys for `step·2^i`.
+pub fn fold_rotations(ct: &Ciphertext, step: i32, iterations: u32, keys: &EvalKeySet) -> Result<Ciphertext> {
+    let mut acc = ct.duplicate();
+    for i in 0..iterations {
+        let shift = step * (1 << i);
+        let rotated = acc.rotate(shift, keys)?;
+        acc.add_assign_ct(&rotated)?;
+    }
+    Ok(acc)
+}

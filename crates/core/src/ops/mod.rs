@@ -1,0 +1,24 @@
+//! Server-side CKKS operations (the `FIDESlib::CKKS` API surface of Fig. 1).
+//!
+//! | Paper operation | Rust API |
+//! |---|---|
+//! | `HAdd` | [`Ciphertext::add`](crate::Ciphertext::add) |
+//! | `PtAdd` | [`Ciphertext::add_plain`](crate::Ciphertext::add_plain) |
+//! | `ScalarAdd` | [`Ciphertext::add_scalar`](crate::Ciphertext::add_scalar) |
+//! | `HMult` | [`Ciphertext::mul`](crate::Ciphertext::mul) |
+//! | `HSquare` | [`Ciphertext::square`](crate::Ciphertext::square) |
+//! | `PtMult` | [`Ciphertext::mul_plain`](crate::Ciphertext::mul_plain) |
+//! | `ScalarMult` | [`Ciphertext::mul_scalar`](crate::Ciphertext::mul_scalar) |
+//! | `Rescale` | [`Ciphertext::rescale_in_place`](crate::Ciphertext::rescale_in_place) |
+//! | `HRotate` | [`Ciphertext::rotate`](crate::Ciphertext::rotate) |
+//! | `HConjugate` | [`Ciphertext::conjugate`](crate::Ciphertext::conjugate) |
+//! | `HoistedRotate` | [`Ciphertext::hoisted_rotations`](crate::Ciphertext::hoisted_rotations) |
+//! | `KeySwitch`/`ModUp`/`ModDown` | internal (`ops::keyswitch`) |
+//! | `Bootstrap` | [`Bootstrapper`](crate::boot::Bootstrapper) |
+
+pub(crate) mod arith;
+pub(crate) mod keyswitch;
+pub(crate) mod linear;
+pub(crate) mod mult;
+pub(crate) mod rescale;
+pub(crate) mod rotate;

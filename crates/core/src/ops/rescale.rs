@@ -1,0 +1,172 @@
+//! Rescale: drop the top prime and divide the message by it (§III-F.3).
+//!
+//! Pipeline (with the Rescale fusion of §III-F.5): iNTT the last limb, then
+//! for every remaining limb one fused NTT pair computes
+//! `q_ℓ^{-1}·(x_i − NTT(SwitchModulus(x_ℓ)))`.
+
+use std::sync::Arc;
+
+use fides_client::Domain;
+use fides_gpu_sim::{KernelDesc, KernelKind, VectorGpu};
+use fides_math::switch_modulus_centered;
+
+use crate::context::ChainIdx;
+use crate::kernels;
+use crate::poly::RNSPoly;
+
+/// Rescales a single polynomial in place, dropping its top limb.
+pub(crate) fn rescale_poly(poly: &mut RNSPoly) {
+    assert_eq!(poly.format(), Domain::Eval, "rescale operates on evaluation-domain polynomials");
+    assert_eq!(poly.num_p(), 0);
+    assert!(poly.num_q() >= 2, "cannot rescale at the last level");
+    let ctx = Arc::clone(poly.context());
+    let gpu = Arc::clone(ctx.gpu());
+    let n = ctx.n();
+    let lb = kernels::limb_bytes(n);
+    let l = poly.num_q() - 1;
+    let fused = ctx.params().fusion.rescale;
+    let q_last = ctx.moduli_q()[l];
+
+    // iNTT a copy of the dropped limb.
+    let mut last = VectorGpu::<u64>::new(ctx.gpu(), n);
+    {
+        let stream = ctx.stream_for_batch(l);
+        let copy = KernelDesc::new(KernelKind::Fill)
+            .read(poly.limb(l).data.buffer(), lb)
+            .write(last.buffer(), lb);
+        gpu.launch(stream, copy, || {
+            last.copy_from_slice(poly.limb(l).data.as_slice());
+        });
+        for pass in 0..2u8 {
+            let kind = if pass == 0 { KernelKind::InttPhase1 } else { KernelKind::InttPhase2 };
+            let desc = KernelDesc::new(kind)
+                .ops(ctx.ntt_phase_ops_scaled())
+                .read(last.buffer(), lb)
+                .write(last.buffer(), lb);
+            gpu.launch(stream, desc, || {
+                let t = ctx.ntt(ChainIdx::Q(l));
+                if pass == 0 {
+                    t.inverse_pass1(last.as_mut_slice());
+                } else {
+                    t.inverse_pass2(last.as_mut_slice());
+                }
+            });
+        }
+    }
+    ctx.sync_batch_streams();
+
+    // Fused per-limb pipeline on the remaining limbs.
+    for (k, range) in ctx.batch_ranges(l).into_iter().enumerate() {
+        let stream = ctx.stream_for_batch(k);
+        let mut tmps: Vec<VectorGpu<u64>> = Vec::with_capacity(range.len());
+        for _ in range.clone() {
+            tmps.push(VectorGpu::new(ctx.gpu(), n));
+        }
+        if !fused {
+            // Separate SwitchModulus kernel.
+            let mut desc = KernelDesc::new(KernelKind::SwitchModulus)
+                .ops(kernels::switch_modulus_ops(n) * range.len() as u64)
+                .read(last.buffer(), lb);
+            for t in &tmps {
+                desc = desc.write(t.buffer(), lb);
+            }
+            gpu.launch(stream, desc, || {
+                for (off, i) in range.clone().enumerate() {
+                    let m = &ctx.moduli_q()[i];
+                    for (o, &v) in tmps[off].as_mut_slice().iter_mut().zip(last.as_slice()) {
+                        *o = switch_modulus_centered(v, &q_last, m);
+                    }
+                }
+            });
+        }
+        let phase_ops = ctx.ntt_phase_ops_scaled() * range.len() as u64;
+        for pass in 0..2u8 {
+            let kind = if pass == 0 { KernelKind::NttPhase1 } else { KernelKind::NttPhase2 };
+            let mut ops = phase_ops;
+            let mut desc = KernelDesc::new(kind);
+            if pass == 0 && fused {
+                // SwitchModulus fused into the first NTT pass: reads the
+                // dropped limb instead of a precomputed tmp.
+                ops += kernels::switch_modulus_ops(n) * range.len() as u64;
+                desc = desc.read(last.buffer(), lb);
+            }
+            if pass == 1 && fused {
+                ops += (kernels::add_ops(n) + kernels::shoup_ops(n)) * range.len() as u64;
+            }
+            desc = desc.ops(ops);
+            for (off, i) in range.clone().enumerate() {
+                desc = desc.read(tmps[off].buffer(), lb).write(tmps[off].buffer(), lb);
+                if pass == 1 && fused {
+                    desc = desc
+                        .read(poly.limb(i).data.buffer(), lb)
+                        .write(poly.limb(i).data.buffer(), lb);
+                }
+            }
+            gpu.launch(stream, desc, || {
+                for (off, i) in range.clone().enumerate() {
+                    let t = ctx.ntt(ChainIdx::Q(i));
+                    if pass == 0 {
+                        if fused {
+                            let m = &ctx.moduli_q()[i];
+                            for (o, &v) in
+                                tmps[off].as_mut_slice().iter_mut().zip(last.as_slice())
+                            {
+                                *o = switch_modulus_centered(v, &q_last, m);
+                            }
+                        }
+                        t.forward_pass1(tmps[off].as_mut_slice());
+                    } else {
+                        t.forward_pass2(tmps[off].as_mut_slice());
+                        if fused {
+                            combine_rescale(
+                                &ctx,
+                                l,
+                                i,
+                                poly.part.limbs[i].data.as_mut_slice(),
+                                tmps[off].as_slice(),
+                            );
+                        }
+                    }
+                }
+            });
+        }
+        if !fused {
+            let mut desc = KernelDesc::new(KernelKind::Elementwise)
+                .ops((kernels::add_ops(n) + kernels::shoup_ops(n)) * range.len() as u64);
+            for (off, i) in range.clone().enumerate() {
+                desc = desc
+                    .read(tmps[off].buffer(), lb)
+                    .read(poly.limb(i).data.buffer(), lb)
+                    .write(poly.limb(i).data.buffer(), lb);
+            }
+            gpu.launch(stream, desc, || {
+                for (off, i) in range.clone().enumerate() {
+                    combine_rescale(
+                        &ctx,
+                        l,
+                        i,
+                        poly.part.limbs[i].data.as_mut_slice(),
+                        tmps[off].as_slice(),
+                    );
+                }
+            });
+        }
+    }
+    ctx.sync_batch_streams();
+    poly.part.limbs.truncate(l);
+    poly.num_q = l;
+}
+
+fn combine_rescale(
+    ctx: &crate::context::CkksContext,
+    l: usize,
+    i: usize,
+    x: &mut [u64],
+    switched: &[u64],
+) {
+    let m = &ctx.moduli_q()[i];
+    let inv = ctx.rescale_scalar(l, i);
+    for (xi, &s) in x.iter_mut().zip(switched) {
+        *xi = inv.mul(m.sub_mod(*xi, s), m);
+    }
+}

@@ -1,0 +1,107 @@
+//! Rotations and conjugation: HRotate, HConjugate, HoistedRotate
+//! (§III-F.6).
+
+use std::sync::Arc;
+
+use fides_client::{galois_for_conjugation, galois_for_rotation};
+
+use crate::ciphertext::Ciphertext;
+use crate::error::Result;
+use crate::keys::{EvalKeySet, KeySwitchingKey};
+use crate::ops::keyswitch::{key_switch_core, ksk_inner_product, mod_down, mod_up_digit};
+use crate::poly::RNSPoly;
+
+impl Ciphertext {
+    /// HRotate: rotates slots **left** by `k` (negative `k` rotates right).
+    ///
+    /// # Errors
+    ///
+    /// Missing rotation key for the required Galois element.
+    pub fn rotate(&self, k: i32, keys: &EvalKeySet) -> Result<Ciphertext> {
+        if k == 0 {
+            return Ok(self.duplicate());
+        }
+        let g = galois_for_rotation(k, self.context().n());
+        let ksk = keys.rotation_key(g)?;
+        Ok(self.apply_galois(g, ksk))
+    }
+
+    /// HConjugate: complex-conjugates every slot.
+    ///
+    /// # Errors
+    ///
+    /// Missing conjugation key.
+    pub fn conjugate(&self, keys: &EvalKeySet) -> Result<Ciphertext> {
+        let g = galois_for_conjugation(self.context().n());
+        let ksk = keys.conj_key()?;
+        Ok(self.apply_galois(g, ksk))
+    }
+
+    /// Core Galois transform: automorphism on both components followed by a
+    /// key switch of the `c_1` part.
+    pub(crate) fn apply_galois(&self, g: usize, ksk: &KeySwitchingKey) -> Ciphertext {
+        let a0 = self.c0.automorph_eval(g);
+        let a1 = self.c1.automorph_eval(g);
+        let (ks0, ks1) = key_switch_core(&a1, ksk);
+        let mut c0 = a0;
+        c0.add_assign_poly(&ks0);
+        Ciphertext {
+            c0,
+            c1: ks1,
+            scale: self.scale,
+            slots: self.slots,
+            noise_log2: self.noise_log2 + 1.0,
+        }
+    }
+
+    /// HoistedRotate: produces the rotations of `self` by every shift in
+    /// `shifts`, performing the expensive decomposition + ModUp of `c_1`
+    /// **once** (Halevi–Shoup hoisting, §III-F.6). Shift 0 returns a copy.
+    ///
+    /// # Errors
+    ///
+    /// Missing rotation key for any requested shift.
+    pub fn hoisted_rotations(&self, shifts: &[i32], keys: &EvalKeySet) -> Result<Vec<Ciphertext>> {
+        let ctx = Arc::clone(self.context());
+        let n = ctx.n();
+        // Check all keys up front.
+        for &k in shifts {
+            if k != 0 {
+                keys.rotation_key(galois_for_rotation(k, n))?;
+            }
+        }
+        let level = self.level();
+        let digits = ctx.partition().digits_at_level(level);
+        // Hoisted: decompose + ModUp once.
+        let lifted: Vec<RNSPoly> = (0..digits).map(|j| mod_up_digit(&self.c1, j)).collect();
+
+        let mut out = Vec::with_capacity(shifts.len());
+        for &k in shifts {
+            if k == 0 {
+                out.push(self.duplicate());
+                continue;
+            }
+            let g = galois_for_rotation(k, n);
+            let ksk = keys.rotation_key(g)?;
+            let mut acc0 = RNSPoly::zero(&ctx, level, true, fides_client::Domain::Eval);
+            let mut acc1 = RNSPoly::zero(&ctx, level, true, fides_client::Domain::Eval);
+            for (j, lift) in lifted.iter().enumerate() {
+                // Automorphism commutes with ModUp: permute the lifted digit.
+                let permuted = lift.automorph_eval(g);
+                ksk_inner_product(&mut acc0, &mut acc1, &permuted, ksk, j);
+            }
+            mod_down(&mut acc0);
+            mod_down(&mut acc1);
+            let mut c0 = self.c0.automorph_eval(g);
+            c0.add_assign_poly(&acc0);
+            out.push(Ciphertext {
+                c0,
+                c1: acc1,
+                scale: self.scale,
+                slots: self.slots,
+                noise_log2: self.noise_log2 + 1.0,
+            });
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,221 @@
+//! Functional bootstrapping tests: the complete pipeline executed bit-exactly
+//! at reduced ring degree, validated by client-side decryption — the
+//! integration-test methodology of the paper applied to its headline feature.
+
+use std::sync::Arc;
+
+use fides_client::{ClientContext, KeyGenerator, RawSwitchingKey, SecretKey};
+use fides_core::{
+    adapter, BootstrapConfig, Bootstrapper, Ciphertext, CkksContext, CkksParameters, EvalKeySet,
+};
+use fides_core::boot::{chebyshev_coefficients, eval_chebyshev_plain, ChebyshevEvaluator};
+use fides_gpu_sim::{DeviceSpec, ExecMode, GpuSim};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Harness {
+    ctx: Arc<CkksContext>,
+    client: ClientContext,
+    sk: SecretKey,
+    pk: fides_client::RawPublicKey,
+    rng: StdRng,
+}
+
+impl Harness {
+    fn new(params: CkksParameters) -> Self {
+        let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::Functional);
+        let ctx = CkksContext::new(params, gpu);
+        let client = ClientContext::new(ctx.raw_params().clone());
+        let mut kg = KeyGenerator::new(&client, 0xb001);
+        let sk = kg.secret_key();
+        let pk = kg.public_key(&sk);
+        Self { ctx, client, sk, pk, rng: StdRng::seed_from_u64(0x5eed) }
+    }
+
+    fn keys_with_rotations(&self, shifts: &[i32]) -> EvalKeySet {
+        let mut kg = KeyGenerator::new(&self.client, 0xb002);
+        // Re-derive the same secret key stream? No: keys must match self.sk,
+        // so generate from the stored secret.
+        let relin = kg.relinearization_key(&self.sk);
+        let rots: Vec<(i32, RawSwitchingKey)> =
+            shifts.iter().map(|&k| (k, kg.rotation_key(&self.sk, k))).collect();
+        let conj = kg.conjugation_key(&self.sk);
+        adapter::load_eval_keys(&self.ctx, Some(&relin), &rots, Some(&conj))
+    }
+
+    fn encrypt_at(&mut self, values: &[f64], level: usize) -> Ciphertext {
+        let pt = self.client.encode_real(values, self.ctx.standard_scale(level), level);
+        let raw = self.client.encrypt(&pt, &self.pk, &mut self.rng);
+        adapter::load_ciphertext(&self.ctx, &raw)
+    }
+
+    fn decrypt(&self, ct: &Ciphertext) -> Vec<f64> {
+        let raw = adapter::store_ciphertext(ct);
+        self.client.decode_real(&self.client.decrypt(&raw, &self.sk))
+    }
+}
+
+/// The encrypted Chebyshev evaluator must reproduce plaintext Clenshaw
+/// evaluation for a generic smooth function.
+#[test]
+fn chebyshev_evaluator_matches_plain() {
+    let mut h = Harness::new(CkksParameters::toy_boot());
+    let keys = h.keys_with_rotations(&[]);
+    let degree = 23;
+    let coeffs = chebyshev_coefficients(|x| (1.5 * x).sin() * 0.7 + 0.2 * x, -1.0, 1.0, degree);
+    let inputs: Vec<f64> = (0..16).map(|i| -1.0 + 2.0 * (i as f64 + 0.5) / 16.0).collect();
+    let ct = h.encrypt_at(&inputs, h.ctx.max_level());
+    let ev = ChebyshevEvaluator::new(&ct, degree, &keys).unwrap();
+    let out = ev.evaluate(&coeffs).unwrap();
+    let consumed = h.ctx.max_level() - out.level();
+    assert!(
+        consumed <= ChebyshevEvaluator::depth_estimate(degree),
+        "actual depth {consumed} exceeds estimate {}",
+        ChebyshevEvaluator::depth_estimate(degree)
+    );
+    let got = h.decrypt(&out);
+    for (i, (&x, g)) in inputs.iter().zip(&got).enumerate() {
+        let expect = eval_chebyshev_plain(&coeffs, -1.0, 1.0, x);
+        assert!((g - expect).abs() < 1e-4, "slot {i}: {g} vs {expect}");
+    }
+}
+
+/// ApproxModEval in isolation: cos series + double angles must compute
+/// sin(π·K·u) for u ∈ [−1, 1].
+#[test]
+fn approx_mod_sine_pipeline() {
+    let mut h = Harness::new(CkksParameters::toy_boot());
+    let keys = h.keys_with_rotations(&[]);
+    let k_range = 128.0f64;
+    let r = 6u32;
+    let degree = 40usize;
+    let coeffs = chebyshev_coefficients(
+        |w| ((std::f64::consts::PI * k_range * w - std::f64::consts::FRAC_PI_2) / 64.0).cos(),
+        -1.0,
+        1.0,
+        degree,
+    );
+    // Inputs small enough that sin stays in its principal behaviour zone.
+    let inputs: Vec<f64> = (0..16).map(|i| (i as f64 - 8.0) / (k_range * 4.0)).collect();
+    let ct = h.encrypt_at(&inputs, h.ctx.max_level());
+    let ev = ChebyshevEvaluator::new(&ct, degree, &keys).unwrap();
+    let mut c = ev.evaluate(&coeffs).unwrap();
+    for _ in 0..r {
+        // double angle: 2c² − 1
+        let mut sq = c.square(&keys).unwrap();
+        sq.rescale_in_place().unwrap();
+        c = sq.mul_int(2);
+        c.add_scalar_assign(-1.0);
+    }
+    let got = h.decrypt(&c);
+    for (i, (&u, g)) in inputs.iter().zip(&got).enumerate() {
+        let expect = (std::f64::consts::PI * k_range * u).sin();
+        assert!((g - expect).abs() < 1e-3, "slot {i}: {g} vs {expect} (u={u})");
+    }
+}
+
+/// Full bootstrap: message preserved, level refreshed.
+#[test]
+fn bootstrap_refreshes_levels_and_preserves_message() {
+    let mut h = Harness::new(CkksParameters::toy_boot());
+    let slots = 8usize;
+    let config = BootstrapConfig::for_slots(slots);
+    let boot = Bootstrapper::new(&h.ctx, &h.client, config).unwrap();
+    let keys = h.keys_with_rotations(&boot.required_rotations());
+
+    let values: Vec<f64> = (0..slots).map(|i| 0.35 * ((i as f64) * 0.9).sin()).collect();
+    // Encrypt at the bottom of the chain (level 0): nothing left to compute.
+    let mut ct = h.encrypt_at(&values, h.ctx.max_level());
+    ct.drop_to_level(0).unwrap();
+    assert_eq!(ct.level(), 0);
+
+    let refreshed = boot.bootstrap(&ct, &keys).unwrap();
+    assert!(
+        refreshed.level() >= boot.min_output_level(),
+        "refreshed level {} below promised {}",
+        refreshed.level(),
+        boot.min_output_level()
+    );
+    assert!(refreshed.level() >= 3, "must regain usable multiplicative depth");
+
+    let got = h.decrypt(&refreshed);
+    for (i, (v, g)) in values.iter().zip(&got).enumerate() {
+        assert!((v - g).abs() < 0.02, "slot {i}: {g} vs {v}");
+    }
+}
+
+/// Bootstrapped ciphertexts must support further computation.
+#[test]
+fn bootstrap_output_is_computable() {
+    let mut h = Harness::new(CkksParameters::toy_boot());
+    let slots = 8usize;
+    let boot = Bootstrapper::new(&h.ctx, &h.client, BootstrapConfig::for_slots(slots)).unwrap();
+    let keys = h.keys_with_rotations(&boot.required_rotations());
+
+    let values: Vec<f64> = (0..slots).map(|i| 0.2 + 0.05 * i as f64).collect();
+    let mut ct = h.encrypt_at(&values, h.ctx.max_level());
+    ct.drop_to_level(0).unwrap();
+    let refreshed = boot.bootstrap(&ct, &keys).unwrap();
+
+    // Square the refreshed ciphertext — impossible before bootstrapping.
+    let mut sq = refreshed.square(&keys).unwrap();
+    sq.rescale_in_place().unwrap();
+    let got = h.decrypt(&sq);
+    for (i, (v, g)) in values.iter().zip(&got).enumerate() {
+        assert!((v * v - g).abs() < 0.03, "slot {i}: {g} vs {}", v * v);
+    }
+}
+
+/// Setup must reject chains too shallow for the circuit.
+#[test]
+fn bootstrap_rejects_shallow_chains() {
+    let h = Harness::new(CkksParameters::toy());
+    let err = Bootstrapper::new(&h.ctx, &h.client, BootstrapConfig::for_slots(8));
+    assert!(err.is_err(), "4-level chain cannot host bootstrapping");
+}
+
+/// Cost-only mode: the full bootstrap kernel schedule at paper scale.
+#[test]
+fn bootstrap_cost_only_at_paper_scale() {
+    let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::CostOnly);
+    let ctx = CkksContext::new(CkksParameters::paper_default(), Arc::clone(&gpu));
+    let client = ClientContext::new(ctx.raw_params().clone());
+    let config = BootstrapConfig::for_slots(1 << 14);
+    let boot = Bootstrapper::new(&ctx, &client, config).unwrap();
+
+    // Placeholder keys (values irrelevant in cost-only mode).
+    let mut keys = EvalKeySet::new();
+    let chain = ctx.max_level() + 1 + ctx.alpha();
+    let mk = || fides_client::RawSwitchingKey {
+        digits: (0..ctx.raw_params().dnum)
+            .map(|_| fides_client::RawKeyDigit {
+                b: fides_client::RawPoly {
+                    limbs: vec![Vec::new(); chain],
+                    domain: fides_client::Domain::Eval,
+                },
+                a: fides_client::RawPoly {
+                    limbs: vec![Vec::new(); chain],
+                    domain: fides_client::Domain::Eval,
+                },
+            })
+            .collect(),
+    };
+    keys.set_mult(adapter::load_switching_key(&ctx, &mk()));
+    keys.set_conj(adapter::load_switching_key(&ctx, &mk()));
+    for shift in boot.required_rotations() {
+        let g = fides_client::galois_for_rotation(shift, ctx.n());
+        keys.insert_rotation(g, adapter::load_switching_key(&ctx, &mk()));
+    }
+
+    let ct = adapter::placeholder_ciphertext(&ctx, 0, ctx.standard_scale(0), 1 << 14);
+    let t0 = gpu.sync();
+    let refreshed = boot.bootstrap(&ct, &keys).unwrap();
+    let dt_us = gpu.sync() - t0;
+    assert!(refreshed.level() >= boot.min_output_level());
+    // Table VI: FIDESlib bootstraps 16384 slots in ~112 ms on the 4090.
+    // The simulated figure must land in the same order of magnitude.
+    assert!(
+        dt_us > 20_000.0 && dt_us < 2_000_000.0,
+        "simulated bootstrap = {dt_us} µs, outside the plausible window"
+    );
+}

@@ -1,0 +1,420 @@
+//! # fides-gpu-sim
+//!
+//! The GPU-backend substitute for `fideslib-rs`: a functional + timing
+//! simulator of a CUDA-like device.
+//!
+//! The real FIDESlib expresses every server-side CKKS operation as GPU kernel
+//! launches on CUDA streams. This crate reproduces that execution model in
+//! pure Rust: library code wraps each unit of work in a [`KernelDesc`]
+//! (traffic + compute totals) and a closure with the actual math, and the
+//! simulator both *runs* the math (in [`ExecMode::Functional`]) and *times*
+//! the launch against a device model ([`DeviceSpec`], Table IV of the paper).
+//!
+//! Because CKKS server operations are data-oblivious, the kernel schedule is
+//! identical whether or not the math runs — [`ExecMode::CostOnly`] produces
+//! exact timing ledgers at full paper scale (N = 2¹⁶) at negligible CPU cost.
+//!
+//! ```
+//! use fides_gpu_sim::{DeviceSpec, ExecMode, GpuSim, KernelDesc, KernelKind, VectorGpu};
+//!
+//! let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::Functional);
+//! let mut v = VectorGpu::<u64>::from_vec(&gpu, vec![1, 2, 3, 4]);
+//! let desc = KernelDesc::new(KernelKind::Elementwise)
+//!     .read(v.buffer(), v.bytes())
+//!     .write(v.buffer(), v.bytes())
+//!     .ops(4 * fides_gpu_sim::ADD_OPS);
+//! gpu.launch(0, desc, || {
+//!     for x in v.as_mut_slice() {
+//!         *x += 1;
+//!     }
+//! });
+//! assert_eq!(v.to_vec(), vec![2, 3, 4, 5]);
+//! assert!(gpu.sync() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod device;
+mod kernel;
+mod mem;
+mod timeline;
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+pub use device::{DeviceKind, DeviceSpec};
+pub use kernel::{
+    KernelDesc, KernelKind, ADD_OPS, BARRETT_MULMOD_OPS, BUTTERFLY_OPS, LOW_MUL_OPS, MODADD_OPS,
+    SHOUP_MULMOD_OPS, WIDE_MUL_OPS,
+};
+pub use mem::BufferId;
+pub use timeline::{KindStats, SimStats};
+
+use mem::PoolState;
+use timeline::Timeline;
+
+/// Whether kernel bodies execute (functional correctness) or are skipped
+/// (timing-only at full scale).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// Run kernel bodies; results are bit-exact CKKS.
+    Functional,
+    /// Skip kernel bodies; only the timing ledger advances. Valid because all
+    /// server-side CKKS kernels are data-oblivious.
+    CostOnly,
+}
+
+/// A simulated GPU: device model, timeline, memory pool and execution mode.
+///
+/// Cheap to share: wrap in [`Arc`] (construction already returns one).
+#[derive(Debug)]
+pub struct GpuSim {
+    mode: ExecMode,
+    state: Mutex<SimState>,
+}
+
+#[derive(Debug)]
+struct SimState {
+    timeline: Timeline,
+    pool: PoolState,
+}
+
+impl GpuSim {
+    /// Creates a simulated device.
+    pub fn new(spec: DeviceSpec, mode: ExecMode) -> Arc<Self> {
+        Arc::new(Self {
+            mode,
+            state: Mutex::new(SimState {
+                timeline: Timeline::new(spec),
+                pool: PoolState::default(),
+            }),
+        })
+    }
+
+    /// Execution mode.
+    #[inline]
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// True when kernel bodies run.
+    #[inline]
+    pub fn is_functional(&self) -> bool {
+        self.mode == ExecMode::Functional
+    }
+
+    /// The device specification.
+    pub fn spec(&self) -> DeviceSpec {
+        self.state.lock().timeline.spec().clone()
+    }
+
+    /// Launches a kernel on `stream`: records its timing and, in functional
+    /// mode, runs `body` synchronously.
+    pub fn launch<F: FnOnce()>(&self, stream: usize, desc: KernelDesc, body: F) {
+        self.state.lock().timeline.launch(stream, &desc);
+        if self.is_functional() {
+            body();
+        }
+    }
+
+    /// Launches a kernel whose body returns a value (functional mode), or
+    /// `None` in cost-only mode.
+    pub fn launch_map<T, F: FnOnce() -> T>(
+        &self,
+        stream: usize,
+        desc: KernelDesc,
+        body: F,
+    ) -> Option<T> {
+        self.state.lock().timeline.launch(stream, &desc);
+        if self.is_functional() {
+            Some(body())
+        } else {
+            None
+        }
+    }
+
+    /// Records a host→device transfer of `bytes`.
+    pub fn transfer_to_device(&self, bytes: u64) {
+        self.state.lock().timeline.transfer(bytes, true);
+    }
+
+    /// Records a device→host transfer of `bytes`.
+    pub fn transfer_to_host(&self, bytes: u64) {
+        self.state.lock().timeline.transfer(bytes, false);
+    }
+
+    /// Device-wide synchronize; returns the simulated makespan in µs.
+    ///
+    /// The standard timing idiom is
+    /// `let t0 = gpu.sync(); /* ops */ let dt = gpu.sync() - t0;`.
+    pub fn sync(&self) -> f64 {
+        self.state.lock().timeline.sync_all()
+    }
+
+    /// Event fence: streams in `waiters` wait for work recorded on
+    /// `signals`.
+    pub fn fence(&self, signals: &[usize], waiters: &[usize]) {
+        self.state.lock().timeline.fence(signals, waiters);
+    }
+
+    /// Snapshot of the statistics ledger.
+    pub fn stats(&self) -> SimStats {
+        let st = self.state.lock();
+        let mut s = st.timeline.stats.clone();
+        s.current_alloc_bytes = st.pool.current_bytes;
+        s.peak_alloc_bytes = st.pool.peak_bytes;
+        s
+    }
+
+    /// Clears the statistics ledger (clocks keep advancing monotonically).
+    pub fn reset_stats(&self) {
+        let mut st = self.state.lock();
+        st.timeline.stats = SimStats::default();
+    }
+
+    fn pool_alloc(&self, bytes: u64) -> BufferId {
+        self.state.lock().pool.alloc(bytes)
+    }
+
+    fn pool_free(&self, buf: BufferId, bytes: u64) {
+        let mut st = self.state.lock();
+        st.pool.free(bytes);
+        st.timeline.evict_buffer(buf);
+    }
+}
+
+/// An RAII device buffer of `T` elements, the Rust counterpart of FIDESlib's
+/// `VectorGPU` (§III-D).
+///
+/// Allocation registers with the device pool at construction and frees at
+/// drop. In cost-only mode the host-side stand-in storage stays empty — only
+/// the accounting exists, mirroring the fact that kernel bodies never touch
+/// the data.
+#[derive(Debug)]
+pub struct VectorGpu<T: Copy + Default> {
+    data: Vec<T>,
+    logical_len: usize,
+    buffer: BufferId,
+    gpu: Arc<GpuSim>,
+    managed: bool,
+}
+
+impl<T: Copy + Default> VectorGpu<T> {
+    /// Allocates a managed, zero-initialized device vector of `len` elements.
+    pub fn new(gpu: &Arc<GpuSim>, len: usize) -> Self {
+        let bytes = (len * std::mem::size_of::<T>()) as u64;
+        let buffer = gpu.pool_alloc(bytes);
+        let data = if gpu.is_functional() { vec![T::default(); len] } else { Vec::new() };
+        Self { data, logical_len: len, buffer, gpu: Arc::clone(gpu), managed: true }
+    }
+
+    /// Allocates an *unmanaged* vector: accounting for its bytes is assumed
+    /// to belong to an enclosing flattened allocation (the 2D-array mode of
+    /// §III-D), so the pool records no separate alloc/free bytes.
+    pub fn unmanaged(gpu: &Arc<GpuSim>, len: usize) -> Self {
+        let buffer = gpu.pool_alloc(0);
+        let data = if gpu.is_functional() { vec![T::default(); len] } else { Vec::new() };
+        Self { data, logical_len: len, buffer, gpu: Arc::clone(gpu), managed: false }
+    }
+
+    /// Uploads `data` into a fresh managed vector (functional mode keeps the
+    /// contents; cost-only mode records the allocation only). Does **not**
+    /// charge a PCIe transfer — call [`GpuSim::transfer_to_device`] where
+    /// modelling the copy matters.
+    pub fn from_vec(gpu: &Arc<GpuSim>, data: Vec<T>) -> Self {
+        let len = data.len();
+        let bytes = (len * std::mem::size_of::<T>()) as u64;
+        let buffer = gpu.pool_alloc(bytes);
+        let data = if gpu.is_functional() { data } else { Vec::new() };
+        Self { data, logical_len: len, buffer, gpu: Arc::clone(gpu), managed: true }
+    }
+
+    /// Logical element count (valid in both execution modes).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.logical_len
+    }
+
+    /// True if the logical length is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.logical_len == 0
+    }
+
+    /// Logical size in bytes.
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        (self.logical_len * std::mem::size_of::<T>()) as u64
+    }
+
+    /// Buffer identity for kernel descriptors.
+    #[inline]
+    pub fn buffer(&self) -> BufferId {
+        self.buffer
+    }
+
+    /// Borrows the backing storage. Empty in cost-only mode; only kernel
+    /// bodies (which never run in that mode) should index it.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutably borrows the backing storage (see [`Self::as_slice`]).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Copies the contents out (functional mode) or returns zeros.
+    pub fn to_vec(&self) -> Vec<T> {
+        if self.gpu.is_functional() {
+            self.data.clone()
+        } else {
+            vec![T::default(); self.logical_len]
+        }
+    }
+
+    /// Overwrites contents from a host slice (no-op in cost-only mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics in functional mode if `src.len() != self.len()`.
+    pub fn copy_from_slice(&mut self, src: &[T]) {
+        if self.gpu.is_functional() {
+            assert_eq!(src.len(), self.logical_len);
+            self.data.copy_from_slice(src);
+        }
+    }
+
+    /// The owning device.
+    #[inline]
+    pub fn gpu(&self) -> &Arc<GpuSim> {
+        &self.gpu
+    }
+}
+
+impl<T: Copy + Default> Clone for VectorGpu<T> {
+    fn clone(&self) -> Self {
+        let bytes = if self.managed { self.bytes() } else { 0 };
+        let buffer = self.gpu.pool_alloc(bytes);
+        let _ = bytes;
+        Self {
+            data: self.data.clone(),
+            logical_len: self.logical_len,
+            buffer,
+            gpu: Arc::clone(&self.gpu),
+            managed: self.managed,
+        }
+    }
+}
+
+impl<T: Copy + Default> Drop for VectorGpu<T> {
+    fn drop(&mut self) {
+        let bytes = if self.managed { self.bytes() } else { 0 };
+        self.gpu.pool_free(self.buffer, bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functional_mode_runs_bodies() {
+        let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::Functional);
+        let mut hits = 0;
+        gpu.launch(0, KernelDesc::new(KernelKind::Elementwise), || hits += 1);
+        assert_eq!(hits, 1);
+        assert!(gpu.is_functional());
+    }
+
+    #[test]
+    fn cost_only_mode_skips_bodies_but_counts() {
+        let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::CostOnly);
+        let mut hits = 0;
+        gpu.launch(0, KernelDesc::new(KernelKind::Elementwise), || hits += 1);
+        assert_eq!(hits, 0);
+        assert_eq!(gpu.stats().kernel_launches, 1);
+        assert!(gpu.sync() > 0.0);
+    }
+
+    #[test]
+    fn launch_map_returns_none_in_cost_only() {
+        let gpu = GpuSim::new(DeviceSpec::v100(), ExecMode::CostOnly);
+        let r = gpu.launch_map(0, KernelDesc::new(KernelKind::Elementwise), || 42);
+        assert_eq!(r, None);
+        let gpu = GpuSim::new(DeviceSpec::v100(), ExecMode::Functional);
+        let r = gpu.launch_map(0, KernelDesc::new(KernelKind::Elementwise), || 42);
+        assert_eq!(r, Some(42));
+    }
+
+    #[test]
+    fn vector_gpu_raii_accounting() {
+        let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::Functional);
+        {
+            let v = VectorGpu::<u64>::new(&gpu, 1024);
+            assert_eq!(v.bytes(), 8192);
+            assert_eq!(gpu.stats().current_alloc_bytes, 8192);
+            let w = v.clone();
+            assert_eq!(gpu.stats().current_alloc_bytes, 16384);
+            assert_ne!(v.buffer(), w.buffer());
+        }
+        assert_eq!(gpu.stats().current_alloc_bytes, 0);
+        assert_eq!(gpu.stats().peak_alloc_bytes, 16384);
+    }
+
+    #[test]
+    fn unmanaged_vectors_do_not_count_bytes() {
+        let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::Functional);
+        let v = VectorGpu::<u64>::unmanaged(&gpu, 4096);
+        assert_eq!(gpu.stats().current_alloc_bytes, 0);
+        assert_eq!(v.len(), 4096);
+    }
+
+    #[test]
+    fn cost_only_vectors_have_no_storage_but_logical_len() {
+        let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::CostOnly);
+        let v = VectorGpu::<u64>::from_vec(&gpu, vec![1, 2, 3]);
+        assert_eq!(v.len(), 3);
+        assert!(v.as_slice().is_empty());
+        assert_eq!(v.to_vec(), vec![0, 0, 0]);
+        assert_eq!(gpu.stats().current_alloc_bytes, 24);
+    }
+
+    #[test]
+    fn timing_is_monotonic_and_sync_stable() {
+        let gpu = GpuSim::new(DeviceSpec::rtx_a4500(), ExecMode::CostOnly);
+        let t0 = gpu.sync();
+        gpu.launch(
+            0,
+            KernelDesc::new(KernelKind::Elementwise).read(BufferId(1), 1 << 20).ops(1000),
+            || {},
+        );
+        let t1 = gpu.sync();
+        assert!(t1 > t0);
+        assert_eq!(gpu.sync(), t1);
+    }
+
+    #[test]
+    fn stats_reset_clears_ledger_only() {
+        let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::CostOnly);
+        gpu.launch(0, KernelDesc::new(KernelKind::Elementwise).ops(5), || {});
+        let t1 = gpu.sync();
+        gpu.reset_stats();
+        assert_eq!(gpu.stats().kernel_launches, 0);
+        assert!(gpu.sync() >= t1, "clocks stay monotonic");
+    }
+
+    #[test]
+    fn transfers_accumulate() {
+        let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::CostOnly);
+        gpu.transfer_to_device(1000);
+        gpu.transfer_to_host(500);
+        let s = gpu.stats();
+        assert_eq!(s.h2d_bytes, 1000);
+        assert_eq!(s.d2h_bytes, 500);
+    }
+}

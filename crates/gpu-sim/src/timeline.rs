@@ -1,0 +1,422 @@
+//! The discrete timeline model.
+//!
+//! Kernels launched on streams advance four clocks:
+//!
+//! * a **CPU launch clock** — every launch occupies the host for
+//!   `kernel_launch_us`, the effect limb batching amortizes (§III-F.1);
+//! * per-**stream** ready times — kernels on one stream serialize;
+//! * a serial **DRAM resource** — miss traffic from all streams shares the
+//!   off-chip bandwidth;
+//! * a serial **L2 resource** — hit traffic shares the on-chip bandwidth;
+//! * a serial **compute resource** — integer throughput is shared.
+//!
+//! A kernel's finish time is the max of its latency floor and its resource
+//! phases; concurrency across streams therefore overlaps launch overhead and
+//! latency but never exceeds the device's aggregate bandwidth/compute — the
+//! same first-order behaviour the paper exploits and measures.
+//!
+//! L2 residency is a byte-accurate LRU over [`BufferId`]s: a read hits iff
+//! the buffer was touched recently enough that it has not been evicted, which
+//! is what produces the working-set knees of Figs. 4, 5 and 7.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceSpec;
+use crate::kernel::{KernelDesc, KernelKind};
+use crate::mem::BufferId;
+
+/// Aggregated statistics for one kernel kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct KindStats {
+    /// Number of launches.
+    pub count: u64,
+    /// Total busy time attributed to this kind, µs.
+    pub busy_us: f64,
+    /// Total bytes moved (read + write).
+    pub bytes: u64,
+}
+
+/// Snapshot of simulator counters.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Total kernel launches.
+    pub kernel_launches: u64,
+    /// Bytes read that missed L2 (served from DRAM).
+    pub dram_read_bytes: u64,
+    /// Bytes read that hit L2.
+    pub l2_hit_bytes: u64,
+    /// Bytes written (write-through in the model).
+    pub write_bytes: u64,
+    /// Total int32-equivalent ops executed.
+    pub int32_ops: u64,
+    /// Host→device transfer bytes.
+    pub h2d_bytes: u64,
+    /// Device→host transfer bytes.
+    pub d2h_bytes: u64,
+    /// Per-kind breakdown.
+    pub per_kind: BTreeMap<String, KindStats>,
+    /// Live device allocation, bytes.
+    pub current_alloc_bytes: u64,
+    /// Peak device allocation, bytes.
+    pub peak_alloc_bytes: u64,
+}
+
+#[derive(Debug)]
+struct Resident {
+    bytes: u64,
+    seq: u64,
+    dirty: bool,
+}
+
+/// L2 residency model: an exact LRU over buffers by byte size.
+#[derive(Debug, Default)]
+pub(crate) struct L2Model {
+    capacity: u64,
+    resident: HashMap<BufferId, Resident>,
+    lru: BTreeMap<u64, BufferId>,
+    total: u64,
+    next_seq: u64,
+}
+
+impl L2Model {
+    pub(crate) fn new(capacity: u64) -> Self {
+        Self { capacity, ..Default::default() }
+    }
+
+    /// Returns `(hit, writebacks)`: whether `buf` was resident, and the
+    /// dirty bytes of every buffer evicted to make room (write-back model).
+    /// Marks the buffer dirty when `write` is set.
+    fn touch(&mut self, buf: BufferId, bytes: u64, write: bool) -> (bool, Vec<u64>) {
+        let (hit, was_dirty) = if let Some(r) = self.resident.get_mut(&buf) {
+            self.lru.remove(&r.seq);
+            self.total -= r.bytes;
+            (true, r.dirty)
+        } else {
+            (false, false)
+        };
+        let bytes = bytes.min(self.capacity);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.resident.insert(buf, Resident { bytes, seq, dirty: write || (hit && was_dirty) });
+        self.lru.insert(seq, buf);
+        self.total += bytes;
+        let mut writebacks = Vec::new();
+        while self.total > self.capacity {
+            let (&victim_seq, &victim) = self.lru.iter().next().expect("lru non-empty");
+            if victim == buf {
+                break; // never evict the buffer being touched
+            }
+            self.lru.remove(&victim_seq);
+            let r = self.resident.remove(&victim).expect("resident entry");
+            self.total -= r.bytes;
+            if r.dirty {
+                writebacks.push(r.bytes);
+            }
+        }
+        (hit, writebacks)
+    }
+
+    fn evict(&mut self, buf: BufferId) {
+        if let Some(r) = self.resident.remove(&buf) {
+            self.lru.remove(&r.seq);
+            self.total -= r.bytes;
+        }
+    }
+}
+
+/// Mutable simulator state (guarded by the [`crate::GpuSim`] lock).
+#[derive(Debug)]
+pub(crate) struct Timeline {
+    spec: DeviceSpec,
+    /// Host launch clock, µs.
+    cpu_clock: f64,
+    /// Per-stream ready times, µs.
+    stream_ready: Vec<f64>,
+    dram_free: f64,
+    l2_free: f64,
+    compute_free: f64,
+    pcie_free: f64,
+    l2: L2Model,
+    pub(crate) stats: SimStats,
+}
+
+/// PCIe gen4 x16 effective bandwidth, bytes/µs (≈ 24 GB/s achieved).
+const PCIE_BYTES_PER_US: f64 = 24_000.0;
+
+impl Timeline {
+    pub(crate) fn new(spec: DeviceSpec) -> Self {
+        let l2 = L2Model::new(spec.l2_bytes);
+        Self {
+            spec,
+            cpu_clock: 0.0,
+            stream_ready: vec![0.0; 4],
+            dram_free: 0.0,
+            l2_free: 0.0,
+            compute_free: 0.0,
+            pcie_free: 0.0,
+            l2,
+            stats: SimStats::default(),
+        }
+    }
+
+    fn stream_slot(&mut self, stream: usize) -> &mut f64 {
+        if stream >= self.stream_ready.len() {
+            self.stream_ready.resize(stream + 1, 0.0);
+        }
+        &mut self.stream_ready[stream]
+    }
+
+    /// Models one kernel launch; returns its completion time (µs).
+    pub(crate) fn launch(&mut self, stream: usize, desc: &KernelDesc) -> f64 {
+        let spec = self.spec.clone();
+        // Host-side submission cost.
+        self.cpu_clock += spec.kernel_launch_us;
+        let start = self.stream_slot(stream).max(self.cpu_clock);
+
+        // Classify read/write traffic through the write-back L2 model.
+        let mut hit_bytes = 0u64;
+        let mut miss_bytes = 0u64;
+        let mut writeback_bytes = 0u64;
+        for &(buf, bytes) in &desc.reads {
+            let (hit, wb) = self.l2.touch(buf, bytes, false);
+            if hit {
+                hit_bytes += bytes;
+            } else {
+                miss_bytes += bytes;
+            }
+            writeback_bytes += wb.iter().sum::<u64>();
+        }
+        let mut write_bytes = 0u64;
+        for &(buf, bytes) in &desc.writes {
+            let (_, wb) = self.l2.touch(buf, bytes, true);
+            write_bytes += bytes;
+            writeback_bytes += wb.iter().sum::<u64>();
+        }
+
+        let eff = desc.access_efficiency;
+        // Write-back model: writes land in L2; DRAM sees misses plus dirty
+        // evictions.
+        let dram_time =
+            (miss_bytes + writeback_bytes) as f64 / (spec.dram_bytes_per_us() * eff);
+        let l2_time = (hit_bytes + write_bytes) as f64 / (spec.l2_bytes_per_us() * eff);
+        let compute_time = desc.int32_ops as f64 / spec.effective_int32_ops_per_us();
+
+        let dram_at = self.dram_free.max(start);
+        let dram_end = dram_at + dram_time;
+        self.dram_free = dram_end;
+        let l2_at = self.l2_free.max(start);
+        let l2_end = l2_at + l2_time;
+        self.l2_free = l2_end;
+        let comp_at = self.compute_free.max(start);
+        let comp_end = comp_at + compute_time;
+        self.compute_free = comp_end;
+
+        let end = (start + spec.min_kernel_us).max(dram_end).max(l2_end).max(comp_end);
+        *self.stream_slot(stream) = end;
+
+        // Ledger.
+        self.stats.kernel_launches += 1;
+        self.stats.dram_read_bytes += miss_bytes + writeback_bytes;
+        self.stats.l2_hit_bytes += hit_bytes;
+        self.stats.write_bytes += write_bytes;
+        self.stats.int32_ops += desc.int32_ops;
+        let label = desc.kind.unwrap_or(KernelKind::Elementwise).label();
+        let entry = self.stats.per_kind.entry(label.to_string()).or_default();
+        entry.count += 1;
+        entry.busy_us += end - start;
+        entry.bytes += miss_bytes + hit_bytes + write_bytes;
+        end
+    }
+
+    /// Models a host↔device transfer on the PCIe resource.
+    pub(crate) fn transfer(&mut self, bytes: u64, to_device: bool) -> f64 {
+        let at = self.pcie_free.max(self.cpu_clock);
+        let end = at + bytes as f64 / PCIE_BYTES_PER_US;
+        self.pcie_free = end;
+        if to_device {
+            self.stats.h2d_bytes += bytes;
+        } else {
+            self.stats.d2h_bytes += bytes;
+        }
+        end
+    }
+
+    /// Makespan: the latest event on any clock.
+    pub(crate) fn makespan(&self) -> f64 {
+        self.stream_ready
+            .iter()
+            .copied()
+            .fold(self.cpu_clock, f64::max)
+            .max(self.dram_free)
+            .max(self.compute_free)
+            .max(self.l2_free)
+            .max(self.pcie_free)
+    }
+
+    /// `cudaDeviceSynchronize`: aligns every clock to the makespan and
+    /// returns it.
+    pub(crate) fn sync_all(&mut self) -> f64 {
+        let t = self.makespan();
+        self.cpu_clock = t;
+        for s in self.stream_ready.iter_mut() {
+            *s = t;
+        }
+        self.dram_free = t;
+        self.l2_free = t;
+        self.compute_free = t;
+        self.pcie_free = t;
+        t
+    }
+
+    /// Makes streams in `waiters` wait for everything recorded on `signals`
+    /// (event semantics).
+    pub(crate) fn fence(&mut self, signals: &[usize], waiters: &[usize]) {
+        let mut t = 0.0f64;
+        for &s in signals {
+            t = t.max(*self.stream_slot(s));
+        }
+        for &w in waiters {
+            let slot = self.stream_slot(w);
+            *slot = slot.max(t);
+        }
+    }
+
+    pub(crate) fn evict_buffer(&mut self, buf: BufferId) {
+        self.l2.evict(buf);
+    }
+
+    pub(crate) fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelKind;
+
+    fn tl() -> Timeline {
+        Timeline::new(DeviceSpec::rtx_4090())
+    }
+
+    #[test]
+    fn serial_kernels_on_one_stream() {
+        let mut t = tl();
+        let d = KernelDesc::new(KernelKind::Elementwise)
+            .read(BufferId(1), 1 << 20)
+            .write(BufferId(2), 1 << 20);
+        let e1 = t.launch(0, &d);
+        let e2 = t.launch(0, &d);
+        assert!(e2 > e1);
+    }
+
+    #[test]
+    fn streams_overlap_latency_but_share_dram() {
+        // Two big streaming kernels on different streams: combined time must
+        // respect aggregate DRAM bandwidth (no free parallel speedup).
+        let mut t = tl();
+        let bytes = 512u64 << 20; // 512 MB reads, distinct buffers => misses
+        let mk = |i: u64| {
+            KernelDesc::new(KernelKind::Elementwise).read(BufferId(100 + i), bytes)
+        };
+        t.launch(0, &mk(0));
+        t.launch(1, &mk(1));
+        let spec = DeviceSpec::rtx_4090();
+        let lower_bound = 2.0 * bytes as f64 / spec.dram_bytes_per_us();
+        assert!(t.makespan() >= lower_bound * 0.99, "{} < {}", t.makespan(), lower_bound);
+    }
+
+    #[test]
+    fn l2_hit_speeds_up_second_read() {
+        let mut t = tl();
+        let buf = BufferId(5);
+        let bytes = 4u64 << 20; // fits in 72MB L2
+        let d = KernelDesc::new(KernelKind::Elementwise).read(buf, bytes);
+        t.launch(0, &d);
+        let miss_stats = t.stats.dram_read_bytes;
+        t.launch(0, &d);
+        assert_eq!(t.stats.dram_read_bytes, miss_stats, "second read should hit L2");
+        assert_eq!(t.stats.l2_hit_bytes, bytes);
+    }
+
+    #[test]
+    fn working_set_beyond_l2_misses() {
+        let mut t = tl();
+        // Touch 100 buffers of 1MB each (100MB > 72MB), then re-read the first.
+        for i in 0..100 {
+            t.launch(0, &KernelDesc::new(KernelKind::Elementwise).read(BufferId(i), 1 << 20));
+        }
+        let before = t.stats.dram_read_bytes;
+        t.launch(0, &KernelDesc::new(KernelKind::Elementwise).read(BufferId(0), 1 << 20));
+        assert_eq!(t.stats.dram_read_bytes, before + (1 << 20), "evicted buffer must miss");
+    }
+
+    #[test]
+    fn launch_overhead_bounds_many_tiny_kernels() {
+        let mut t = tl();
+        for i in 0..1000u64 {
+            t.launch(
+                (i % 8) as usize,
+                &KernelDesc::new(KernelKind::Elementwise).read(BufferId(i), 64),
+            );
+        }
+        // 1000 launches × 2 µs host time ≥ 2000 µs regardless of stream count.
+        assert!(t.makespan() >= 1000.0 * DeviceSpec::rtx_4090().kernel_launch_us);
+    }
+
+    #[test]
+    fn fence_orders_streams() {
+        let mut t = tl();
+        let big = KernelDesc::new(KernelKind::Elementwise).read(BufferId(1), 256 << 20);
+        t.launch(0, &big);
+        let before = t.makespan();
+        t.fence(&[0], &[3]);
+        let tiny = KernelDesc::new(KernelKind::Elementwise).read(BufferId(2), 64);
+        let end = t.launch(3, &tiny);
+        assert!(end >= before, "stream 3 must wait for stream 0");
+    }
+
+    #[test]
+    fn sync_aligns_clocks() {
+        let mut t = tl();
+        t.launch(0, &KernelDesc::new(KernelKind::Elementwise).read(BufferId(1), 1 << 20));
+        let m = t.sync_all();
+        assert_eq!(t.makespan(), m);
+        let m2 = t.sync_all();
+        assert_eq!(m, m2, "idempotent");
+    }
+
+    #[test]
+    fn compute_bound_kernel_charged_by_ops() {
+        let mut t = tl();
+        let d = KernelDesc::new(KernelKind::BaseConv).ops(10_000_000_000); // 10 G int32 ops
+        let end = t.launch(0, &d);
+        let spec = DeviceSpec::rtx_4090();
+        let expect = 1e10 / spec.effective_int32_ops_per_us();
+        assert!((end - expect).abs() / expect < 0.1, "end={end} expect~{expect}");
+    }
+
+    #[test]
+    fn lru_never_evicts_active_buffer() {
+        let mut l2 = L2Model::new(10);
+        let (hit, _) = l2.touch(BufferId(0), 100, false); // clamped to capacity
+        assert!(!hit);
+        let (hit, _) = l2.touch(BufferId(0), 100, false);
+        assert!(hit);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut l2 = L2Model::new(100);
+        l2.touch(BufferId(1), 60, true); // dirty
+        l2.touch(BufferId(2), 60, false); // evicts 1
+        let (_, wb) = l2.touch(BufferId(3), 60, false); // evicts 2 (clean)
+        assert!(wb.is_empty(), "clean eviction has no write-back");
+        let mut l2 = L2Model::new(100);
+        l2.touch(BufferId(1), 60, true);
+        let (_, wb) = l2.touch(BufferId(2), 60, false);
+        assert_eq!(wb, vec![60], "dirty eviction writes back");
+    }
+}

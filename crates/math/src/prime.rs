@@ -1,0 +1,216 @@
+//! NTT-friendly prime generation.
+//!
+//! CKKS over RNS needs chains of word-sized primes `q ≡ 1 (mod 2N)` so that a
+//! primitive `2N`-th root of unity exists for the negacyclic NTT. FIDESlib
+//! selects the first modulus and the auxiliary (`P`) moduli near `2^60` and
+//! the scaling moduli near `2^Δ`, alternating above/below the target so that
+//! the product of any window stays close to a power of the scale (this is the
+//! "careful tracking of scaling factors" prerequisite of [36]).
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64`.
+///
+/// Uses the standard 12-base witness set which is known to be sufficient for
+/// all 64-bit integers.
+pub fn is_prime_u64(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod_u64(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mul_mod_u64(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[inline]
+fn mul_mod_u64(a: u64, b: u64, m: u64) -> u64 {
+    (a as u128 * b as u128 % m as u128) as u64
+}
+
+fn pow_mod_u64(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod_u64(acc, base, m);
+        }
+        base = mul_mod_u64(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Returns the largest prime `p < upper_bound` with `p ≡ 1 (mod 2n)`.
+///
+/// # Panics
+///
+/// Panics if no such prime exists above `2n` (practically unreachable for the
+/// CKKS parameter ranges used here).
+pub fn next_ntt_prime_below(upper_bound: u64, n: usize) -> u64 {
+    let step = 2 * n as u64;
+    // Largest candidate ≡ 1 (mod 2n) strictly below upper_bound.
+    let mut cand = (upper_bound - 2) / step * step + 1;
+    while cand > step {
+        if is_prime_u64(cand) {
+            return cand;
+        }
+        cand -= step;
+    }
+    panic!("no NTT prime found below {upper_bound} for ring degree {n}");
+}
+
+/// Returns the smallest prime `p > lower_bound` with `p ≡ 1 (mod 2n)`.
+fn next_ntt_prime_above(lower_bound: u64, n: usize) -> u64 {
+    let step = 2 * n as u64;
+    let mut cand = lower_bound / step * step + step + 1;
+    loop {
+        if is_prime_u64(cand) {
+            return cand;
+        }
+        cand += step;
+    }
+}
+
+/// Generates `count` distinct NTT-friendly primes of roughly `bit_size` bits
+/// for ring degree `n`, scanning downward from `2^bit_size`.
+///
+/// # Panics
+///
+/// Panics if `bit_size ≥ 62` (the library word-size bound) or if the search
+/// space is exhausted.
+pub fn generate_ntt_primes(bit_size: u32, count: usize, n: usize) -> Vec<u64> {
+    assert!(bit_size < 62, "bit size must stay below the 2^62 modulus bound");
+    assert!(bit_size > (2 * n).trailing_zeros() + 1, "bit size too small for ring degree");
+    let mut primes = Vec::with_capacity(count);
+    let mut bound = 1u64 << bit_size;
+    while primes.len() < count {
+        let p = next_ntt_prime_below(bound, n);
+        primes.push(p);
+        bound = p;
+    }
+    primes
+}
+
+/// Generates a scaling-prime chain of `count` primes near `2^delta_bits`,
+/// alternating just below / just above the target so that the running product
+/// of any `k` consecutive primes stays close to `2^{k·delta_bits}`.
+///
+/// This mirrors OpenFHE's scaling-modulus selection and keeps the rescaling
+/// error small under FIXEDMANUAL scale management.
+pub fn generate_scaling_primes(delta_bits: u32, count: usize, n: usize) -> Vec<u64> {
+    assert!(delta_bits < 62);
+    let target = 1u64 << delta_bits;
+    let mut primes = Vec::with_capacity(count);
+    let mut below_bound = target;
+    let mut above_bound = target;
+    for i in 0..count {
+        if i % 2 == 0 {
+            let p = next_ntt_prime_below(below_bound, n);
+            below_bound = p;
+            primes.push(p);
+        } else {
+            let p = next_ntt_prime_above(above_bound, n);
+            above_bound = p;
+            primes.push(p);
+        }
+    }
+    primes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_recognized() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 65537, 998244353, (1 << 61) - 1];
+        for p in primes {
+            assert!(is_prime_u64(p), "{p} should be prime");
+        }
+        let composites = [0u64, 1, 4, 9, 561, 65536, 6601, 8911, 1 << 61];
+        for c in composites {
+            assert!(!is_prime_u64(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn strong_pseudoprimes_rejected() {
+        // Known strong pseudoprimes to small bases.
+        for c in [3215031751u64, 3825123056546413051] {
+            assert!(!is_prime_u64(c), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn generated_primes_are_ntt_friendly() {
+        for log_n in [10usize, 12, 14] {
+            let n = 1 << log_n;
+            let primes = generate_ntt_primes(50, 4, n);
+            assert_eq!(primes.len(), 4);
+            for &p in &primes {
+                assert!(is_prime_u64(p));
+                assert_eq!(p % (2 * n as u64), 1);
+                assert!(p < (1 << 50));
+                assert!(p > (1 << 49), "prime {p} drifted far from target size");
+            }
+            // Distinct and descending.
+            for w in primes.windows(2) {
+                assert!(w[0] > w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_primes_alternate_around_target() {
+        let n = 1 << 12;
+        let primes = generate_scaling_primes(40, 6, n);
+        let target = 1u64 << 40;
+        assert_eq!(primes.len(), 6);
+        for (i, &p) in primes.iter().enumerate() {
+            assert!(is_prime_u64(p));
+            assert_eq!(p % (2 * n as u64), 1);
+            if i % 2 == 0 {
+                assert!(p < target);
+            } else {
+                assert!(p > target);
+            }
+            let drift = (p as f64 / target as f64).ln().abs();
+            assert!(drift < 0.01, "prime {p} drifted too far from 2^40");
+        }
+        // Geometric-mean drift of the whole chain stays small.
+        let log_product: f64 = primes.iter().map(|&p| (p as f64).log2()).sum();
+        assert!((log_product - 240.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn primes_distinct_across_alternation() {
+        let primes = generate_scaling_primes(45, 8, 1 << 10);
+        let mut sorted = primes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), primes.len());
+    }
+}

@@ -1,0 +1,99 @@
+//! Random polynomial sampling for RLWE.
+//!
+//! CKKS key generation and encryption need three distributions: uniform
+//! residues (public-key `a` components), uniform ternary secrets (the OpenFHE
+//! default secret-key distribution), and rounded Gaussian errors with
+//! `σ = 3.19` (the HomomorphicEncryption.org standard error width).
+
+use rand::Rng;
+
+use crate::modular::Modulus;
+
+/// Samples a polynomial with uniformly random residues in `[0, p)`.
+pub fn sample_uniform_poly<R: Rng + ?Sized>(rng: &mut R, n: usize, modulus: &Modulus) -> Vec<u64> {
+    let p = modulus.value();
+    (0..n).map(|_| rng.random_range(0..p)).collect()
+}
+
+/// Samples uniform ternary coefficients in `{-1, 0, 1}`.
+pub fn sample_ternary_coeffs<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<i64> {
+    (0..n).map(|_| rng.random_range(0..3u32) as i64 - 1).collect()
+}
+
+/// Samples discrete-Gaussian-ish coefficients by rounding a Box–Muller normal
+/// with standard deviation `sigma`, truncated at `±6σ` as in OpenFHE.
+pub fn sample_gaussian_coeffs<R: Rng + ?Sized>(rng: &mut R, n: usize, sigma: f64) -> Vec<i64> {
+    let bound = (6.0 * sigma).ceil() as i64;
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        // Box–Muller produces two independent normals per draw.
+        let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.random();
+        let r = (-2.0 * u1.ln()).sqrt() * sigma;
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        for v in [r * theta.cos(), r * theta.sin()] {
+            let x = v.round() as i64;
+            if x.abs() <= bound && out.len() < n {
+                out.push(x);
+            }
+        }
+    }
+    out
+}
+
+/// Reduces signed coefficients into canonical residues for one RNS limb.
+pub fn signed_to_residues(signed: &[i64], modulus: &Modulus) -> Vec<u64> {
+    signed.iter().map(|&v| modulus.from_i64(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_in_range_and_spread() {
+        let m = Modulus::new(998244353);
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = sample_uniform_poly(&mut rng, 4096, &m);
+        assert!(v.iter().all(|&x| x < m.value()));
+        let mean = v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
+        let expected = m.value() as f64 / 2.0;
+        assert!((mean - expected).abs() / expected < 0.05, "mean {mean} too far from {expected}");
+    }
+
+    #[test]
+    fn ternary_values_and_balance() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = sample_ternary_coeffs(&mut rng, 30000);
+        assert!(v.iter().all(|&x| (-1..=1).contains(&x)));
+        for target in [-1i64, 0, 1] {
+            let frac = v.iter().filter(|&&x| x == target).count() as f64 / v.len() as f64;
+            assert!((frac - 1.0 / 3.0).abs() < 0.02, "{target} freq {frac}");
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_and_truncation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sigma = 3.19;
+        let v = sample_gaussian_coeffs(&mut rng, 50000, sigma);
+        let bound = (6.0 * sigma).ceil() as i64;
+        assert!(v.iter().all(|&x| x.abs() <= bound));
+        let mean = v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
+        let var = v.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / v.len() as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - sigma).abs() < 0.15, "stddev {}", var.sqrt());
+    }
+
+    #[test]
+    fn signed_reduction_roundtrip() {
+        let m = Modulus::new(65537);
+        let signed = vec![-3i64, -1, 0, 1, 3, 32768, -32768];
+        let res = signed_to_residues(&signed, &m);
+        for (s, r) in signed.iter().zip(&res) {
+            assert_eq!(m.to_centered_i64(*r), *s);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! A minimal unsigned big integer.
+//!
+//! The RNS server never needs multiprecision arithmetic (that is the point of
+//! RNS), but the *client* does: exact CRT reconstruction during decoding and
+//! the reference implementations our property tests compare against. This is
+//! a deliberately small little-endian `Vec<u64>` implementation covering only
+//! the operations those paths need.
+
+use serde::{Deserialize, Serialize};
+
+/// Arbitrary-precision unsigned integer, little-endian 64-bit words, no
+/// leading zero words (canonical form).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UBig {
+    words: Vec<u64>,
+}
+
+impl UBig {
+    /// Zero.
+    pub fn zero() -> Self {
+        Self { words: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        Self { words: vec![1] }
+    }
+
+    /// From a single word.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            Self { words: vec![v] }
+        }
+    }
+
+    /// From a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut out = Self { words: vec![lo, hi] };
+        out.normalize();
+        out
+    }
+
+    /// True iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Number of significant bits.
+    pub fn bits(&self) -> u32 {
+        match self.words.last() {
+            None => 0,
+            Some(&w) => (self.words.len() as u32 - 1) * 64 + (64 - w.leading_zeros()),
+        }
+    }
+
+    fn normalize(&mut self) {
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
+    }
+
+    /// Three-way comparison.
+    pub fn cmp_big(&self, other: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match self.words.len().cmp(&other.words.len()) {
+            Ordering::Equal => {}
+            o => return o,
+        }
+        for (a, b) in self.words.iter().rev().zip(other.words.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => {}
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// `self += other`.
+    pub fn add_assign_big(&mut self, other: &Self) {
+        let n = self.words.len().max(other.words.len());
+        self.words.resize(n, 0);
+        let mut carry = 0u64;
+        for i in 0..n {
+            let b = other.words.get(i).copied().unwrap_or(0);
+            let (s1, c1) = self.words[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            self.words[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            self.words.push(carry);
+        }
+    }
+
+    /// `self -= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`.
+    pub fn sub_assign_big(&mut self, other: &Self) {
+        assert!(self.cmp_big(other) != std::cmp::Ordering::Less, "UBig underflow");
+        let mut borrow = 0u64;
+        for i in 0..self.words.len() {
+            let b = other.words.get(i).copied().unwrap_or(0);
+            let (d1, o1) = self.words[i].overflowing_sub(b);
+            let (d2, o2) = d1.overflowing_sub(borrow);
+            self.words[i] = d2;
+            borrow = (o1 as u64) + (o2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        self.normalize();
+    }
+
+    /// `self * scalar`, returning a new value.
+    pub fn mul_u64(&self, scalar: u64) -> Self {
+        if scalar == 0 || self.is_zero() {
+            return Self::zero();
+        }
+        let mut words = Vec::with_capacity(self.words.len() + 1);
+        let mut carry = 0u128;
+        for &w in &self.words {
+            let prod = w as u128 * scalar as u128 + carry;
+            words.push(prod as u64);
+            carry = prod >> 64;
+        }
+        if carry > 0 {
+            words.push(carry as u64);
+        }
+        Self { words }
+    }
+
+    /// `self % m` for a word-sized modulus.
+    pub fn rem_u64(&self, m: u64) -> u64 {
+        let mut rem = 0u128;
+        for &w in self.words.iter().rev() {
+            rem = ((rem << 64) | w as u128) % m as u128;
+        }
+        rem as u64
+    }
+
+    /// Approximates the value as an `f64` (round-to-nearest on the top bits).
+    pub fn to_f64(&self) -> f64 {
+        match self.words.len() {
+            0 => 0.0,
+            1 => self.words[0] as f64,
+            n => {
+                let hi = self.words[n - 1] as f64;
+                let mid = self.words[n - 2] as f64;
+                let lo = if n >= 3 { self.words[n - 3] as f64 } else { 0.0 };
+                let base = (n as f64 - 3.0) * 64.0;
+                (hi * 2f64.powi(128) + mid * 2f64.powi(64) + lo) * 2f64.powf(base)
+            }
+        }
+    }
+
+    /// Builds `Π primes` as a big integer.
+    pub fn product_of(primes: &[u64]) -> Self {
+        let mut acc = Self::one();
+        for &p in primes {
+            acc = acc.mul_u64(p);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_normalization() {
+        assert!(UBig::zero().is_zero());
+        assert_eq!(UBig::from_u64(0), UBig::zero());
+        assert_eq!(UBig::from_u128(1 << 64).bits(), 65);
+        assert_eq!(UBig::from_u64(1).bits(), 1);
+        assert_eq!(UBig::from_u64(255).bits(), 8);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = UBig::from_u128(u128::MAX - 5);
+        let b = UBig::from_u128(12345678901234567890);
+        let mut c = a.clone();
+        c.add_assign_big(&b);
+        c.sub_assign_big(&b);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn carry_propagation() {
+        let mut a = UBig::from_u128(u128::MAX);
+        a.add_assign_big(&UBig::one());
+        assert_eq!(a.bits(), 129);
+        assert_eq!(a.rem_u64(3), ((u128::MAX % 3 + 1) % 3) as u64);
+    }
+
+    #[test]
+    fn mul_and_rem_match_u128() {
+        let a = UBig::from_u128(0x1234_5678_9abc_def0_1111_2222_3333_4444);
+        let m = a.mul_u64(0xdead_beef);
+        // Verify by residue arithmetic against a prime.
+        let p = 2305843009213693951u64; // 2^61 - 1
+        let expect = (0x1234_5678_9abc_def0_1111_2222_3333_4444u128 % p as u128) as u64;
+        let expect = (expect as u128 * 0xdead_beefu128 % p as u128) as u64;
+        assert_eq!(m.rem_u64(p), expect);
+    }
+
+    #[test]
+    fn product_of_primes_has_expected_residues() {
+        let primes = [65537u64, 998244353, 1000003];
+        let q = UBig::product_of(&primes);
+        for &p in &primes {
+            assert_eq!(q.rem_u64(p), 0);
+        }
+        assert_eq!(q.rem_u64(7), {
+            let mut r = 1u64;
+            for &p in &primes {
+                r = r * (p % 7) % 7;
+            }
+            r
+        });
+    }
+
+    #[test]
+    fn to_f64_accuracy() {
+        let a = UBig::from_u128(1 << 100);
+        let f = a.to_f64();
+        assert!((f - 2f64.powi(100)).abs() / 2f64.powi(100) < 1e-12);
+        let b = UBig::product_of(&[(1 << 61) - 1, (1 << 61) - 1]);
+        assert!((b.to_f64().log2() - 122.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cmp_ordering() {
+        use std::cmp::Ordering;
+        let a = UBig::from_u64(5);
+        let b = UBig::from_u128(1 << 80);
+        assert_eq!(a.cmp_big(&b), Ordering::Less);
+        assert_eq!(b.cmp_big(&a), Ordering::Greater);
+        assert_eq!(a.cmp_big(&a.clone()), Ordering::Equal);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let mut a = UBig::from_u64(1);
+        a.sub_assign_big(&UBig::from_u64(2));
+    }
+}

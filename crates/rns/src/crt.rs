@@ -1,0 +1,163 @@
+//! Exact CRT reconstruction and residue generation.
+//!
+//! Used by the client for encoding (big scaled integers → RNS residues) and
+//! decoding (RNS residues → centered reals), and by property tests as the
+//! ground-truth oracle for the approximate base conversion.
+
+use fides_math::Modulus;
+use serde::{Deserialize, Serialize};
+
+use crate::bigint::UBig;
+
+/// CRT tables for one modulus chain `Q = q_0 ⋯ q_ℓ`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CrtContext {
+    moduli: Vec<Modulus>,
+    q: UBig,
+    q_hat: Vec<UBig>,
+    q_hat_inv: Vec<u64>,
+}
+
+impl CrtContext {
+    /// Builds tables for the given (distinct) primes.
+    pub fn new(moduli: &[Modulus]) -> Self {
+        assert!(!moduli.is_empty());
+        let values: Vec<u64> = moduli.iter().map(|m| m.value()).collect();
+        let q = UBig::product_of(&values);
+        let q_hat: Vec<UBig> = (0..moduli.len())
+            .map(|i| {
+                let others: Vec<u64> =
+                    values.iter().enumerate().filter(|&(k, _)| k != i).map(|(_, &v)| v).collect();
+                UBig::product_of(&others)
+            })
+            .collect();
+        let q_hat_inv = moduli
+            .iter()
+            .enumerate()
+            .map(|(i, m)| m.inv_mod(q_hat[i].rem_u64(m.value())))
+            .collect();
+        Self { moduli: moduli.to_vec(), q, q_hat, q_hat_inv }
+    }
+
+    /// The chain.
+    pub fn moduli(&self) -> &[Modulus] {
+        &self.moduli
+    }
+
+    /// `Q` as a big integer.
+    pub fn q(&self) -> &UBig {
+        &self.q
+    }
+
+    /// `log2(Q)`.
+    pub fn log2_q(&self) -> f64 {
+        self.moduli.iter().map(|m| (m.value() as f64).log2()).sum()
+    }
+
+    /// Exact reconstruction of one coefficient in `[0, Q)`.
+    pub fn reconstruct(&self, residues: &[u64]) -> UBig {
+        assert_eq!(residues.len(), self.moduli.len());
+        let mut acc = UBig::zero();
+        for (i, (&r, m)) in residues.iter().zip(&self.moduli).enumerate() {
+            let y = m.mul_mod(r, self.q_hat_inv[i]);
+            acc.add_assign_big(&self.q_hat[i].mul_u64(y));
+        }
+        while acc.cmp_big(&self.q) != std::cmp::Ordering::Less {
+            acc.sub_assign_big(&self.q);
+        }
+        acc
+    }
+
+    /// Reconstructs one coefficient as a **centered** `f64` in
+    /// `(−Q/2, Q/2]`. Precision is limited by the `f64` mantissa, which is
+    /// ample for CKKS decode (message ≪ Q).
+    pub fn reconstruct_centered_f64(&self, residues: &[u64]) -> f64 {
+        let x = self.reconstruct(residues);
+        // centered: if 2x > Q then x - Q (negative).
+        let mut twice = x.clone();
+        twice.add_assign_big(&x);
+        if twice.cmp_big(&self.q) == std::cmp::Ordering::Greater {
+            let mut neg = self.q.clone();
+            neg.sub_assign_big(&x);
+            -neg.to_f64()
+        } else {
+            x.to_f64()
+        }
+    }
+
+    /// Reduces a signed 128-bit integer into residues for every prime.
+    pub fn residues_from_i128(&self, v: i128) -> Vec<u64> {
+        self.moduli
+            .iter()
+            .map(|m| {
+                let p = m.value() as i128;
+                let mut r = v % p;
+                if r < 0 {
+                    r += p;
+                }
+                r as u64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fides_math::generate_ntt_primes;
+
+    fn ctx(bits: u32, count: usize) -> CrtContext {
+        let moduli: Vec<Modulus> =
+            generate_ntt_primes(bits, count, 64).into_iter().map(Modulus::new).collect();
+        CrtContext::new(&moduli)
+    }
+
+    #[test]
+    fn roundtrip_small_values() {
+        let c = ctx(40, 4);
+        for v in [0i128, 1, -1, 123456789, -987654321, 1 << 100, -(1 << 100)] {
+            let residues = c.residues_from_i128(v);
+            let back = c.reconstruct_centered_f64(&residues);
+            let expect = v as f64;
+            if v == 0 {
+                assert_eq!(back, 0.0);
+            } else {
+                assert!(
+                    (back - expect).abs() / expect.abs().max(1.0) < 1e-12,
+                    "v={v} back={back}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruct_matches_residues() {
+        let c = ctx(35, 3);
+        let residues = c.residues_from_i128(0x1234_5678_9abc);
+        let x = c.reconstruct(&residues);
+        for (i, m) in c.moduli().iter().enumerate() {
+            assert_eq!(x.rem_u64(m.value()), residues[i]);
+        }
+    }
+
+    #[test]
+    fn centered_range() {
+        let c = ctx(30, 2);
+        // Q - 1 should decode as -1.
+        let residues: Vec<u64> = c.moduli().iter().map(|m| m.value() - 1).collect();
+        assert_eq!(c.reconstruct_centered_f64(&residues), -1.0);
+    }
+
+    #[test]
+    fn log2_q_accumulates() {
+        let c = ctx(40, 5);
+        assert!((c.log2_q() - 200.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn single_prime_chain() {
+        let c = ctx(30, 1);
+        let residues = c.residues_from_i128(-42);
+        assert_eq!(c.reconstruct_centered_f64(&residues), -42.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Digit decomposition for hybrid key switching (Han–Ki, paper §II-A).
+//!
+//! The modulus chain `Q = q_0 · … · q_L` is partitioned into `dnum` *digits*
+//! of `α = ⌈(L+1)/dnum⌉` consecutive primes. Key switching decomposes a
+//! polynomial into its per-digit residues, lifts each digit to the extended
+//! base `Q_ℓ ∪ P`, and inner-products with the corresponding switching-key
+//! component. At level `ℓ < L` only the digits intersecting the active prime
+//! range participate — this is the "digit dropping" that produces the
+//! stair-step speedups of Fig. 6.
+
+use std::ops::Range;
+
+use serde::{Deserialize, Serialize};
+
+/// The static digit layout of a modulus chain.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DigitPartition {
+    num_q: usize,
+    dnum: usize,
+    alpha: usize,
+}
+
+impl DigitPartition {
+    /// Partitions a chain of `num_q` primes (`L + 1` for depth `L`) into
+    /// `dnum` digits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dnum` is zero or exceeds `num_q`.
+    pub fn new(num_q: usize, dnum: usize) -> Self {
+        assert!(dnum >= 1, "dnum must be positive");
+        assert!(dnum <= num_q, "dnum cannot exceed the number of primes");
+        let alpha = num_q.div_ceil(dnum);
+        Self { num_q, dnum, alpha }
+    }
+
+    /// Total primes in the chain.
+    pub fn num_q(&self) -> usize {
+        self.num_q
+    }
+
+    /// Number of digits at the *maximum* level.
+    pub fn dnum(&self) -> usize {
+        self.dnum
+    }
+
+    /// Digit size `α` (number of primes per digit; the last digit may be
+    /// smaller). Also the required number of auxiliary primes `|P| = α`.
+    pub fn alpha(&self) -> usize {
+        self.alpha
+    }
+
+    /// Prime-index range of digit `j` over the full chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j ≥ dnum`.
+    pub fn digit_range(&self, j: usize) -> Range<usize> {
+        assert!(j < self.dnum);
+        let start = j * self.alpha;
+        let end = ((j + 1) * self.alpha).min(self.num_q);
+        start..end
+    }
+
+    /// Number of digits that contain at least one active prime at `level`
+    /// (`level + 1` active primes).
+    pub fn digits_at_level(&self, level: usize) -> usize {
+        assert!(level < self.num_q);
+        (level + 1).div_ceil(self.alpha)
+    }
+
+    /// Prime-index range of digit `j` restricted to the active primes at
+    /// `level`. Empty iff the digit is entirely dropped.
+    pub fn digit_range_at_level(&self, j: usize, level: usize) -> Range<usize> {
+        let full = self.digit_range(j);
+        let end = full.end.min(level + 1);
+        full.start..end.max(full.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_partition() {
+        // [N, L, Δ, dnum] = [2^16, 29, 59, 4] → 30 primes, 4 digits of 8 (last 6).
+        let p = DigitPartition::new(30, 4);
+        assert_eq!(p.alpha(), 8);
+        assert_eq!(p.digit_range(0), 0..8);
+        assert_eq!(p.digit_range(1), 8..16);
+        assert_eq!(p.digit_range(2), 16..24);
+        assert_eq!(p.digit_range(3), 24..30);
+    }
+
+    #[test]
+    fn ranges_tile_the_chain() {
+        for (num_q, dnum) in [(30usize, 4usize), (27, 3), (6, 2), (13, 5), (9, 9), (45, 4)] {
+            let p = DigitPartition::new(num_q, dnum);
+            let mut covered = 0;
+            for j in 0..dnum {
+                let r = p.digit_range(j);
+                assert_eq!(r.start, covered);
+                covered = r.end;
+            }
+            assert_eq!(covered, num_q);
+        }
+    }
+
+    #[test]
+    fn digit_count_shrinks_with_level() {
+        let p = DigitPartition::new(30, 4);
+        assert_eq!(p.digits_at_level(29), 4);
+        assert_eq!(p.digits_at_level(24), 4); // prime 24 is in digit 3
+        assert_eq!(p.digits_at_level(23), 3);
+        assert_eq!(p.digits_at_level(15), 2);
+        assert_eq!(p.digits_at_level(7), 1);
+        assert_eq!(p.digits_at_level(0), 1);
+    }
+
+    #[test]
+    fn level_restricted_ranges() {
+        let p = DigitPartition::new(30, 4);
+        assert_eq!(p.digit_range_at_level(0, 29), 0..8);
+        assert_eq!(p.digit_range_at_level(1, 10), 8..11);
+        assert_eq!(p.digit_range_at_level(2, 10), 16..16); // dropped
+        assert!(p.digit_range_at_level(2, 10).is_empty());
+        assert_eq!(p.digit_range_at_level(3, 29), 24..30);
+    }
+
+    #[test]
+    fn single_digit_partition() {
+        let p = DigitPartition::new(10, 1);
+        assert_eq!(p.alpha(), 10);
+        assert_eq!(p.digits_at_level(9), 1);
+        assert_eq!(p.digit_range(0), 0..10);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn too_many_digits_rejected() {
+        DigitPartition::new(3, 4);
+    }
+}

@@ -1,0 +1,77 @@
+//! # fides-rns
+//!
+//! Residue-number-system machinery for `fideslib-rs`: base conversion
+//! (paper §III-F.3), digit decomposition for hybrid key switching, exact CRT
+//! reconstruction for the client, and the scalar tables ModDown/Rescale need.
+//!
+//! ```
+//! use fides_math::Modulus;
+//! use fides_rns::{BaseConverter, DigitPartition};
+//!
+//! let src: Vec<Modulus> =
+//!     fides_math::generate_ntt_primes(30, 2, 64).into_iter().map(Modulus::new).collect();
+//! let dst: Vec<Modulus> =
+//!     fides_math::generate_ntt_primes(31, 2, 64).into_iter().map(Modulus::new).collect();
+//! let conv = BaseConverter::new(&src, &dst);
+//! let limbs = [vec![42u64], vec![42u64]];
+//! let refs: Vec<&[u64]> = limbs.iter().map(|v| v.as_slice()).collect();
+//! let mut out = vec![Vec::new(); 2];
+//! conv.convert(&refs, &mut out);
+//! // Approximate conversion: the output is x + u·C for a small u ≥ 0.
+//! let c = fides_rns::UBig::product_of(&src.iter().map(|m| m.value()).collect::<Vec<_>>());
+//! let x_plus_uc = (42 + c.rem_u64(dst[0].value()) as u128) % dst[0].value() as u128;
+//! assert!(out[0][0] == 42 || out[0][0] as u128 == x_plus_uc);
+//!
+//! let digits = DigitPartition::new(30, 4);
+//! assert_eq!(digits.alpha(), 8);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bigint;
+mod conv;
+mod crt;
+mod digits;
+
+pub use bigint::UBig;
+pub use conv::BaseConverter;
+pub use crt::CrtContext;
+pub use digits::DigitPartition;
+
+use fides_math::Modulus;
+
+/// `Π primes mod m`, computed residue-wise.
+pub fn product_mod(primes: &[u64], m: &Modulus) -> u64 {
+    primes.iter().fold(1u64, |acc, &p| m.mul_mod(acc, m.reduce_u64(p)))
+}
+
+/// `(Π primes)^{-1} mod m` — the ModDown correction scalar `P^{-1}`.
+///
+/// # Panics
+///
+/// Panics if the product is divisible by `m` (bases must be coprime).
+pub fn product_inv_mod(primes: &[u64], m: &Modulus) -> u64 {
+    m.inv_mod(product_mod(primes, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_mod_matches_bigint() {
+        let primes = [65537u64, 998244353, 1000003, 7919];
+        let m = Modulus::new(2305843009213693951);
+        let big = UBig::product_of(&primes);
+        assert_eq!(product_mod(&primes, &m), big.rem_u64(m.value()));
+    }
+
+    #[test]
+    fn product_inv_is_inverse() {
+        let primes = [65537u64, 998244353];
+        let m = Modulus::new(1000003);
+        let p = product_mod(&primes, &m);
+        let inv = product_inv_mod(&primes, &m);
+        assert_eq!(m.mul_mod(p, inv), 1);
+    }
+}

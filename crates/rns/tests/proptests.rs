@@ -1,0 +1,88 @@
+//! Property-based tests for RNS invariants: CRT bijectivity and the
+//! approximate base-conversion error bound.
+
+use fides_math::{generate_ntt_primes, Modulus};
+use fides_rns::{BaseConverter, CrtContext, UBig};
+use proptest::prelude::*;
+
+fn chains() -> (Vec<Modulus>, Vec<Modulus>) {
+    let src: Vec<Modulus> =
+        generate_ntt_primes(30, 3, 64).into_iter().map(Modulus::new).collect();
+    let dst: Vec<Modulus> =
+        generate_ntt_primes(32, 3, 64).into_iter().map(Modulus::new).collect();
+    (src, dst)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CRT: residues → value → residues is the identity.
+    #[test]
+    fn crt_bijective(v in any::<i64>()) {
+        let moduli: Vec<Modulus> =
+            generate_ntt_primes(40, 3, 64).into_iter().map(Modulus::new).collect();
+        let crt = CrtContext::new(&moduli);
+        let residues = crt.residues_from_i128(v as i128);
+        let back = crt.reconstruct(&residues);
+        for (r, m) in residues.iter().zip(&moduli) {
+            prop_assert_eq!(back.rem_u64(m.value()), *r);
+        }
+        // And the centered float is the original value (well within f64).
+        prop_assert!((crt.reconstruct_centered_f64(&residues) - v as f64).abs()
+            <= v.abs() as f64 * 1e-12 + 0.5);
+    }
+
+    /// Base conversion: output ≡ x + u·C (mod t_j) with 0 ≤ u < |src| — the
+    /// HPS approximate-conversion guarantee the hybrid key switch relies on.
+    #[test]
+    fn base_conversion_error_bound(seed in any::<u64>()) {
+        let (src, dst) = chains();
+        let conv = BaseConverter::new(&src, &dst);
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let residues: Vec<u64> = src.iter().map(|m| next() % m.value()).collect();
+        let src_limbs: Vec<Vec<u64>> = residues.iter().map(|&r| vec![r]).collect();
+        let refs: Vec<&[u64]> = src_limbs.iter().map(|v| v.as_slice()).collect();
+        let mut out = vec![Vec::new(); dst.len()];
+        conv.convert(&refs, &mut out);
+
+        let crt = CrtContext::new(&src);
+        let x = crt.reconstruct(&residues);
+        let c = UBig::product_of(&src.iter().map(|m| m.value()).collect::<Vec<_>>());
+        for (j, t) in dst.iter().enumerate() {
+            let got = out[j][0];
+            let mut ok = false;
+            let mut candidate = x.clone();
+            for _ in 0..=src.len() {
+                if candidate.rem_u64(t.value()) == got {
+                    ok = true;
+                    break;
+                }
+                candidate.add_assign_big(&c);
+            }
+            prop_assert!(ok, "u out of bound for dst {}", j);
+        }
+    }
+
+    /// UBig arithmetic: add/sub roundtrip and residue consistency of
+    /// multiplication.
+    #[test]
+    fn ubig_arithmetic(a in any::<u128>(), b in any::<u128>(), k in 1u64..u64::MAX) {
+        let mut x = UBig::from_u128(a);
+        x.add_assign_big(&UBig::from_u128(b));
+        // x = a + b: check mod a 61-bit prime.
+        let p = (1u64 << 61) - 1;
+        let expect = ((a % p as u128) + (b % p as u128)) % p as u128;
+        prop_assert_eq!(x.rem_u64(p) as u128, expect);
+        x.sub_assign_big(&UBig::from_u128(b));
+        prop_assert_eq!(x, UBig::from_u128(a));
+        let y = UBig::from_u128(a).mul_u64(k);
+        let expect = (a % p as u128) * (k as u128 % p as u128) % p as u128;
+        prop_assert_eq!(y.rem_u64(p) as u128, expect);
+    }
+}

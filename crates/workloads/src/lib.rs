@@ -1,0 +1,14 @@
+//! # fides-workloads
+//!
+//! Realistic encrypted workloads for `fideslib-rs`: the logistic-regression
+//! training benchmark of the paper's §IV-B (Table VII) on a synthetic
+//! loan-eligibility dataset with the published shape (45,000 samples,
+//! 25 → 32 features, 1,024-sample mini-batches).
+
+#![warn(missing_docs)]
+
+pub mod loans;
+pub mod lr;
+
+pub use loans::LoanDataset;
+pub use lr::{LrConfig, LrTrainer};

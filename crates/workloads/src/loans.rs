@@ -1,0 +1,168 @@
+//! Synthetic loan-eligibility dataset.
+//!
+//! The paper trains logistic regression "on a dataset of 45,000 loan
+//! eligibility samples … each data sample had 25 parameters after encoding,
+//! aligned to the next power of two boundary, 32" (§IV-B). The original data
+//! is not published; this generator produces a deterministic dataset with the
+//! same shape and a planted logistic ground truth, so the workload exercises
+//! identical code paths.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of samples in the paper's dataset.
+pub const PAPER_SAMPLES: usize = 45_000;
+/// Real features per sample.
+pub const PAPER_FEATURES: usize = 25;
+/// Features after power-of-two padding.
+pub const PADDED_FEATURES: usize = 32;
+
+/// A binary-labelled dataset with standardized features.
+#[derive(Clone, Debug)]
+pub struct LoanDataset {
+    /// `samples × padded_features` row-major feature matrix; the first
+    /// padded feature is the constant 1 (bias), trailing pads are zero.
+    pub features: Vec<Vec<f64>>,
+    /// Labels in `{0.0, 1.0}`.
+    pub labels: Vec<f64>,
+    /// The planted generating weights (for evaluation only).
+    pub true_weights: Vec<f64>,
+}
+
+/// Logistic function.
+pub fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl LoanDataset {
+    /// Generates `samples` rows with `features` informative columns padded to
+    /// `padded` (bias column included in the padding budget).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `padded < features + 1`.
+    pub fn generate(samples: usize, features: usize, padded: usize, seed: u64) -> Self {
+        assert!(padded >= features + 1, "padding must fit the bias column");
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Planted weights: moderate magnitudes so labels are separable-ish.
+        let true_weights: Vec<f64> = (0..=features)
+            .map(|j| if j == 0 { 0.2 } else { 4.0 * ((j as f64 * 2.399).sin()) / (features as f64).sqrt() })
+            .collect();
+        let mut rows = Vec::with_capacity(samples);
+        let mut labels = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut row = vec![0.0f64; padded];
+            row[0] = 1.0; // bias
+            for j in 1..=features {
+                // Standardized feature values in roughly [-1, 1].
+                let u: f64 = rng.random::<f64>() + rng.random::<f64>() + rng.random::<f64>();
+                row[j] = (u / 1.5 - 1.0).clamp(-1.0, 1.0);
+            }
+            let z: f64 = true_weights.iter().zip(&row).map(|(w, x)| w * x).sum();
+            let p = sigmoid(z);
+            let label = if rng.random::<f64>() < p { 1.0 } else { 0.0 };
+            rows.push(row);
+            labels.push(label);
+        }
+        Self { features: rows, labels, true_weights }
+    }
+
+    /// The paper-shaped dataset: 45,000 × (25 → 32).
+    pub fn paper_shape(seed: u64) -> Self {
+        Self::generate(PAPER_SAMPLES, PAPER_FEATURES, PADDED_FEATURES, seed)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Padded feature count.
+    pub fn padded_features(&self) -> usize {
+        self.features.first().map_or(0, |r| r.len())
+    }
+
+    /// A contiguous mini-batch (wrapping).
+    pub fn batch(&self, start: usize, size: usize) -> (Vec<&[f64]>, Vec<f64>) {
+        let n = self.len();
+        let rows = (0..size).map(|i| self.features[(start + i) % n].as_slice()).collect();
+        let labels = (0..size).map(|i| self.labels[(start + i) % n]).collect();
+        (rows, labels)
+    }
+
+    /// Classification accuracy of a weight vector on this dataset.
+    pub fn accuracy(&self, weights: &[f64]) -> f64 {
+        let correct = self
+            .features
+            .iter()
+            .zip(&self.labels)
+            .filter(|(row, &y)| {
+                let z: f64 = weights.iter().zip(row.iter()).map(|(w, x)| w * x).sum();
+                (sigmoid(z) > 0.5) == (y > 0.5)
+            })
+            .count();
+        correct as f64 / self.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let a = LoanDataset::generate(100, 5, 8, 42);
+        let b = LoanDataset::generate(100, 5, 8, 42);
+        assert_eq!(a.features, b.features);
+        assert_eq!(a.labels, b.labels);
+        let c = LoanDataset::generate(100, 5, 8, 43);
+        assert_ne!(a.labels, c.labels);
+    }
+
+    #[test]
+    fn shape_and_padding() {
+        let d = LoanDataset::generate(50, 5, 8, 1);
+        assert_eq!(d.len(), 50);
+        assert_eq!(d.padded_features(), 8);
+        for row in &d.features {
+            assert_eq!(row[0], 1.0, "bias column");
+            assert_eq!(row[6], 0.0, "padding zero");
+            assert_eq!(row[7], 0.0, "padding zero");
+            assert!(row.iter().all(|x| x.abs() <= 1.0));
+        }
+    }
+
+    #[test]
+    fn planted_weights_are_learnable_signal() {
+        let d = LoanDataset::generate(2000, 8, 16, 7);
+        let acc = d.accuracy(&{
+            let mut w = d.true_weights.clone();
+            w.resize(16, 0.0);
+            w
+        });
+        assert!(acc > 0.6, "planted weights should beat chance: {acc}");
+        let zero_acc = d.accuracy(&vec![0.0; 16]);
+        assert!(acc > zero_acc, "signal exists");
+    }
+
+    #[test]
+    fn paper_shape_dimensions() {
+        // Smaller sample count for test speed; shape logic identical.
+        let d = LoanDataset::generate(1000, PAPER_FEATURES, PADDED_FEATURES, 3);
+        assert_eq!(d.padded_features(), 32);
+    }
+
+    #[test]
+    fn batches_wrap() {
+        let d = LoanDataset::generate(10, 3, 4, 9);
+        let (rows, labels) = d.batch(8, 4);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(labels.len(), 4);
+        assert_eq!(rows[2], d.features[0].as_slice(), "wraps to start");
+    }
+}

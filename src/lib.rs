@@ -1,0 +1,32 @@
+//! # fideslib (Rust reproduction)
+//!
+//! Facade crate re-exporting the full `fideslib-rs` stack — a from-scratch
+//! Rust reproduction of **FIDESlib: A Fully-Fledged Open-Source FHE Library
+//! for Efficient CKKS on GPUs** (ISPASS 2025) with the GPU replaced by a
+//! faithful execution simulator (see `DESIGN.md`).
+//!
+//! * [`client`] — OpenFHE-equivalent client: encode/decode, key generation,
+//!   encrypt/decrypt, serialization, adapter structures.
+//! * [`core`] — server-side CKKS on the simulated GPU: all primitives,
+//!   hybrid key switching, hoisted rotations, bootstrapping.
+//! * [`gpu_sim`] — the device models, streams, kernels and memory hierarchy.
+//! * [`math`] / [`rns`] — modular arithmetic, NTT, RNS substrates.
+//! * [`baselines`] — Phantom and OpenFHE-CPU comparators.
+//! * [`workloads`] — the logistic-regression training workload.
+//!
+//! ```
+//! use fideslib::core::{CkksContext, CkksParameters};
+//! use fideslib::gpu_sim::{DeviceSpec, ExecMode, GpuSim};
+//!
+//! let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::Functional);
+//! let ctx = CkksContext::new(CkksParameters::toy(), gpu);
+//! assert_eq!(ctx.n(), 1024);
+//! ```
+
+pub use fides_baselines as baselines;
+pub use fides_client as client;
+pub use fides_core as core;
+pub use fides_gpu_sim as gpu_sim;
+pub use fides_math as math;
+pub use fides_rns as rns;
+pub use fides_workloads as workloads;
