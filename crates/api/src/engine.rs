@@ -1,0 +1,462 @@
+//! The engine: builder, session state, encrypt/decrypt.
+
+use std::sync::{Arc, Mutex};
+
+use fides_client::{ClientContext, KeyGenerator, RawPublicKey, SecretKey};
+use fides_core::backend::{EvalBackend, GpuSimBackend};
+use fides_core::cpu_ref::CpuBackend;
+use fides_core::{
+    adapter, BootstrapConfig, Bootstrapper, CkksContext, CkksParameters, FidesError, FusionConfig,
+    Result,
+};
+use fides_gpu_sim::{DeviceSpec, ExecMode, GpuSim, SimStats};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::ct::Ct;
+
+/// Which execution substrate the engine builds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// The paper-faithful simulated-GPU pipeline (kernels, streams, timing).
+    #[default]
+    GpuSim,
+    /// The plain-CPU reference implementation of the same math.
+    Cpu,
+}
+
+/// Everything one encrypted session owns. [`Ct`] handles share it by `Arc`,
+/// so ciphertexts can be combined with plain operators without threading an
+/// engine reference around.
+pub(crate) struct EngineInner {
+    pub(crate) client: ClientContext,
+    pub(crate) sk: SecretKey,
+    pub(crate) pk: RawPublicKey,
+    pub(crate) backend: Box<dyn EvalBackend>,
+    pub(crate) rng: Mutex<StdRng>,
+}
+
+// Manual impl: the derived form would dump the secret key (and megabytes of
+// key material) into any `{:?}` log line.
+impl std::fmt::Debug for EngineInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineInner")
+            .field("backend", &self.backend.name())
+            .field("max_level", &self.backend.max_level())
+            .field("n", &self.client.n())
+            .field("sk", &"<redacted>")
+            .finish_non_exhaustive()
+    }
+}
+
+/// A complete CKKS session: parameters, simulator, server context, client
+/// context, and evaluation keys, constructed in one validated step.
+///
+/// Cloning is cheap (the session state is shared).
+#[derive(Clone, Debug)]
+pub struct CkksEngine {
+    pub(crate) inner: Arc<EngineInner>,
+}
+
+/// Builder for [`CkksEngine`] — see [`CkksEngine::builder`].
+#[derive(Clone, Debug)]
+pub struct CkksEngineBuilder {
+    log_n: usize,
+    levels: usize,
+    scale_bits: u32,
+    first_mod_bits: u32,
+    dnum: Option<usize>,
+    limb_batch: Option<usize>,
+    fusion: Option<FusionConfig>,
+    device: DeviceSpec,
+    exec_mode: ExecMode,
+    seed: u64,
+    backend: BackendChoice,
+    rotations: Vec<i32>,
+    conjugation: bool,
+    bootstrap: Option<BootstrapConfig>,
+}
+
+impl CkksEngine {
+    /// Starts a builder with the library defaults:
+    /// `[log N, L, Δ] = [12, 6, 2^40]`, simulated RTX 4090, functional
+    /// execution, the GPU-sim backend, and no rotation keys.
+    pub fn builder() -> CkksEngineBuilder {
+        CkksEngineBuilder {
+            log_n: 12,
+            levels: 6,
+            scale_bits: 40,
+            first_mod_bits: 60,
+            dnum: None,
+            limb_batch: None,
+            fusion: None,
+            device: DeviceSpec::rtx_4090(),
+            exec_mode: ExecMode::Functional,
+            seed: 0,
+            backend: BackendChoice::GpuSim,
+            rotations: Vec::new(),
+            conjugation: false,
+            bootstrap: None,
+        }
+    }
+
+    /// Encrypts real values into a session ciphertext at the top level.
+    ///
+    /// The slot count is padded up to the next power of two; [`decrypt`]
+    /// returns exactly `values.len()` entries.
+    ///
+    /// # Errors
+    ///
+    /// [`FidesError::Client`] when the (padded) value count exceeds the
+    /// ring's `N/2` slot capacity.
+    ///
+    /// [`decrypt`]: CkksEngine::decrypt
+    pub fn encrypt(&self, values: &[f64]) -> Result<Ct> {
+        self.encrypt_at(values, self.max_level())
+    }
+
+    /// Encrypts real values at an explicit `level` of the chain.
+    ///
+    /// # Errors
+    ///
+    /// As [`CkksEngine::encrypt`], plus [`FidesError::LevelOutOfRange`].
+    pub fn encrypt_at(&self, values: &[f64], level: usize) -> Result<Ct> {
+        if level > self.max_level() {
+            return Err(FidesError::LevelOutOfRange {
+                level,
+                max: self.max_level(),
+            });
+        }
+        let mut padded = values.to_vec();
+        let slots = values.len().next_power_of_two().max(1);
+        padded.resize(slots, 0.0);
+        let scale = self.inner.backend.standard_scale(level);
+        let pt = self.inner.client.try_encode_real(&padded, scale, level)?;
+        let raw = {
+            let mut rng = self.inner.rng.lock().unwrap_or_else(|e| e.into_inner());
+            self.inner
+                .client
+                .try_encrypt(&pt, &self.inner.pk, &mut *rng)?
+        };
+        let ct = self.inner.backend.load(&raw)?;
+        Ok(Ct {
+            inner: Arc::clone(&self.inner),
+            ct,
+            len: values.len(),
+        })
+    }
+
+    /// Decrypts a session ciphertext, returning as many values as were
+    /// encrypted into it.
+    ///
+    /// # Errors
+    ///
+    /// Backend `store` failures (e.g. a handle from another session).
+    pub fn decrypt(&self, ct: &Ct) -> Result<Vec<f64>> {
+        let raw = self.inner.backend.store(&ct.ct)?;
+        let pt = self.inner.client.try_decrypt(&raw, &self.inner.sk)?;
+        let mut out = self.inner.client.try_decode_real(&pt)?;
+        out.truncate(ct.len);
+        Ok(out)
+    }
+
+    /// The active backend.
+    pub fn backend(&self) -> &dyn EvalBackend {
+        self.inner.backend.as_ref()
+    }
+
+    /// Short name of the active backend (`"gpu-sim"`, `"cpu-reference"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.inner.backend.name()
+    }
+
+    /// Maximum level `L` of the modulus chain.
+    pub fn max_level(&self) -> usize {
+        self.inner.backend.max_level()
+    }
+
+    /// Slot capacity `N/2`.
+    pub fn max_slots(&self) -> usize {
+        self.inner.client.n() / 2
+    }
+
+    /// Minimum level a bootstrapped ciphertext comes back at, when the
+    /// session was built with bootstrapping.
+    pub fn min_bootstrap_level(&self) -> Option<usize> {
+        self.inner.backend.min_bootstrap_level()
+    }
+
+    /// Simulated-device name, when the backend models a device.
+    pub fn device_name(&self) -> Option<String> {
+        self.inner.backend.device_name()
+    }
+
+    /// Snapshot of the simulated-device statistics ledger, when timed.
+    pub fn sim_stats(&self) -> Option<SimStats> {
+        self.inner.backend.sim_stats()
+    }
+
+    /// Simulated-device makespan in µs (device-wide sync), when timed.
+    /// The standard timing idiom is two calls around the measured section.
+    pub fn sync_time_us(&self) -> Option<f64> {
+        self.inner.backend.sync_time_us()
+    }
+}
+
+impl CkksEngineBuilder {
+    /// log2 of the ring degree `N`.
+    pub fn log_n(mut self, log_n: usize) -> Self {
+        self.log_n = log_n;
+        self
+    }
+
+    /// Multiplicative depth (number of scaling primes).
+    pub fn levels(mut self, levels: usize) -> Self {
+        self.levels = levels;
+        self
+    }
+
+    /// log2 of the encoding scale `Δ`.
+    pub fn scale_bits(mut self, scale_bits: u32) -> Self {
+        self.scale_bits = scale_bits;
+        self
+    }
+
+    /// Bits of the first (decryption) modulus and the auxiliary primes.
+    pub fn first_mod_bits(mut self, bits: u32) -> Self {
+        self.first_mod_bits = bits;
+        self
+    }
+
+    /// Key-switching digit count (default: `min(3, L + 1)`).
+    pub fn dnum(mut self, dnum: usize) -> Self {
+        self.dnum = Some(dnum);
+        self
+    }
+
+    /// Limbs per kernel launch (GPU-sim backend; §III-F.1).
+    pub fn limb_batch(mut self, batch: usize) -> Self {
+        self.limb_batch = Some(batch);
+        self
+    }
+
+    /// Kernel fusion toggles (GPU-sim backend; §III-F.5).
+    pub fn fusion(mut self, fusion: FusionConfig) -> Self {
+        self.fusion = Some(fusion);
+        self
+    }
+
+    /// The simulated device model (GPU-sim backend).
+    pub fn device(mut self, device: DeviceSpec) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Functional (math runs) or cost-only (timing-only) execution
+    /// (GPU-sim backend).
+    pub fn exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
+        self
+    }
+
+    /// Seed for key generation and encryption randomness. Sessions with the
+    /// same seed and parameters are fully reproducible.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the execution backend.
+    pub fn backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Declares slot shifts the session will rotate by (keys are generated
+    /// at build time; rotating by an undeclared shift reports
+    /// [`FidesError::MissingKey`]).
+    pub fn rotations(mut self, shifts: &[i32]) -> Self {
+        self.rotations.extend_from_slice(shifts);
+        self
+    }
+
+    /// Generates the conjugation key.
+    pub fn conjugation(mut self) -> Self {
+        self.conjugation = true;
+        self
+    }
+
+    /// Prepares bootstrapping for ciphertexts of `slots` slots: generates
+    /// the Chebyshev/DFT material and every rotation key the pipeline
+    /// needs. GPU-sim backend only.
+    pub fn bootstrap_slots(self, slots: usize) -> Self {
+        self.bootstrap_config(BootstrapConfig::for_slots(slots))
+    }
+
+    /// Prepares bootstrapping with an explicit configuration (transform
+    /// budgets, approximation degree). GPU-sim backend only.
+    pub fn bootstrap_config(mut self, config: BootstrapConfig) -> Self {
+        self.bootstrap = Some(config);
+        self
+    }
+
+    /// Builds the session: validates parameters, generates the prime
+    /// chains, constructs the simulator and server context (GPU-sim), runs
+    /// key generation, and uploads every evaluation key.
+    ///
+    /// # Errors
+    ///
+    /// [`FidesError::InvalidParams`] for inconsistent parameters,
+    /// [`FidesError::Unsupported`] for capability mismatches (e.g.
+    /// bootstrapping on the CPU backend).
+    pub fn build(self) -> Result<CkksEngine> {
+        let dnum = self.dnum.unwrap_or_else(|| 3.min(self.levels + 1));
+        if self.scale_bits >= self.first_mod_bits {
+            return Err(FidesError::InvalidParams(
+                "scale must be smaller than the first modulus".into(),
+            ));
+        }
+        // `CkksParameters::new` validates against its default first-modulus
+        // size, so re-check the cap the override must respect here.
+        if self.first_mod_bits > 60 {
+            return Err(FidesError::InvalidParams(
+                "first modulus limited to 60 bits".into(),
+            ));
+        }
+        let mut params = CkksParameters::new(self.log_n, self.levels, self.scale_bits, dnum)?
+            .with_first_mod_bits(self.first_mod_bits);
+        if let Some(batch) = self.limb_batch {
+            params = params.with_limb_batch(batch);
+        }
+        if let Some(fusion) = self.fusion {
+            params = params.with_fusion(fusion);
+        }
+        let raw = params.to_raw();
+        let client = ClientContext::new(raw.clone());
+        let mut kg = KeyGenerator::new(&client, self.seed);
+        let sk = kg.secret_key();
+        let pk = kg.public_key(&sk);
+        let relin = kg.relinearization_key(&sk);
+
+        let backend: Box<dyn EvalBackend> = match self.backend {
+            BackendChoice::GpuSim => {
+                let gpu = GpuSim::new(self.device, self.exec_mode);
+                let ctx = CkksContext::from_raw(params, raw, gpu);
+                // Bootstrapping first: it may require extra rotations.
+                let boot = self
+                    .bootstrap
+                    .map(|config| Bootstrapper::new(&ctx, &client, config))
+                    .transpose()?;
+                let mut shifts = self.rotations.clone();
+                if let Some(b) = &boot {
+                    shifts.extend(b.required_rotations());
+                }
+                let rot_keys = dedup_rotation_keys(&mut kg, &sk, &shifts);
+                let conj = (self.conjugation || boot.is_some()).then(|| kg.conjugation_key(&sk));
+                let keys = adapter::load_eval_keys(&ctx, Some(&relin), &rot_keys, conj.as_ref())?;
+                let mut backend = GpuSimBackend::new(ctx, keys);
+                if let Some(b) = boot {
+                    backend = backend.with_bootstrapper(b);
+                }
+                Box::new(backend)
+            }
+            BackendChoice::Cpu => {
+                if self.bootstrap.is_some() {
+                    return Err(FidesError::Unsupported(
+                        "bootstrapping on the cpu-reference backend".into(),
+                    ));
+                }
+                let mut backend = CpuBackend::new(raw);
+                backend.set_relin_key(relin);
+                for (shift, key) in dedup_rotation_keys(&mut kg, &sk, &self.rotations) {
+                    backend.insert_rotation_key(shift, key);
+                }
+                if self.conjugation {
+                    backend.set_conj_key(kg.conjugation_key(&sk));
+                }
+                Box::new(backend)
+            }
+        };
+
+        // Encryption randomness is derived from (but distinct from) the key
+        // generation seed, so sessions are reproducible end to end.
+        let rng = Mutex::new(StdRng::seed_from_u64(self.seed ^ 0x9E37_79B9_7F4A_7C15));
+        Ok(CkksEngine {
+            inner: Arc::new(EngineInner {
+                client,
+                sk,
+                pk,
+                backend,
+                rng,
+            }),
+        })
+    }
+}
+
+fn dedup_rotation_keys(
+    kg: &mut KeyGenerator<'_>,
+    sk: &SecretKey,
+    shifts: &[i32],
+) -> Vec<(i32, fides_client::RawSwitchingKey)> {
+    let mut seen = std::collections::BTreeSet::new();
+    shifts
+        .iter()
+        .filter(|&&k| k != 0 && seen.insert(k))
+        .map(|&k| (k, kg.rotation_key(sk, k)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates_parameters() {
+        assert!(matches!(
+            CkksEngine::builder().log_n(3).build(),
+            Err(FidesError::InvalidParams(_))
+        ));
+        assert!(matches!(
+            CkksEngine::builder().levels(0).build(),
+            Err(FidesError::InvalidParams(_))
+        ));
+        assert!(matches!(
+            CkksEngine::builder().scale_bits(60).build(),
+            Err(FidesError::InvalidParams(_))
+        ));
+    }
+
+    #[test]
+    fn cpu_backend_rejects_bootstrapping() {
+        let r = CkksEngine::builder()
+            .log_n(10)
+            .levels(3)
+            .backend(BackendChoice::Cpu)
+            .bootstrap_slots(8)
+            .build();
+        assert!(matches!(r, Err(FidesError::Unsupported(_))));
+    }
+
+    #[test]
+    fn engine_exposes_session_metadata() {
+        let e = CkksEngine::builder()
+            .log_n(10)
+            .levels(3)
+            .seed(1)
+            .build()
+            .unwrap();
+        assert_eq!(e.backend_name(), "gpu-sim");
+        assert_eq!(e.max_level(), 3);
+        assert_eq!(e.max_slots(), 512);
+        assert!(e.device_name().unwrap().contains("4090"));
+        assert!(e.sim_stats().is_some());
+        let c = CkksEngine::builder()
+            .log_n(10)
+            .levels(3)
+            .backend(BackendChoice::Cpu)
+            .build()
+            .unwrap();
+        assert_eq!(c.backend_name(), "cpu-reference");
+        assert!(c.sim_stats().is_none());
+    }
+}

@@ -50,11 +50,17 @@ pub struct PhantomCkks {
 impl PhantomCkks {
     /// Builds the Phantom comparator on a simulated device.
     pub fn new(base: &CkksParameters, gpu: Arc<GpuSim>) -> Self {
-        Self { ctx: CkksContext::new(phantom_params(base), gpu) }
+        Self {
+            ctx: CkksContext::new(phantom_params(base), gpu),
+        }
     }
 
     /// Builds on a device in the given execution mode.
-    pub fn with_device(base: &CkksParameters, spec: fides_gpu_sim::DeviceSpec, mode: ExecMode) -> Self {
+    pub fn with_device(
+        base: &CkksParameters,
+        spec: fides_gpu_sim::DeviceSpec,
+        mode: ExecMode,
+    ) -> Self {
         Self::new(base, GpuSim::new(spec, mode))
     }
 
@@ -120,7 +126,13 @@ impl PhantomCkks {
     /// Operations Phantom does **not** provide (Table VIII); listed so
     /// benchmark tables can print `N/A` rows faithfully.
     pub fn unsupported_ops() -> &'static [&'static str] {
-        &["ScalarAdd", "ScalarMult", "HSquare", "HoistedRotate", "Bootstrap"]
+        &[
+            "ScalarAdd",
+            "ScalarMult",
+            "HSquare",
+            "HoistedRotate",
+            "Bootstrap",
+        ]
     }
 }
 

@@ -12,8 +12,14 @@ pub fn placeholder_switching_key(ctx: &Arc<CkksContext>) -> RawSwitchingKey {
     RawSwitchingKey {
         digits: (0..ctx.raw_params().dnum)
             .map(|_| RawKeyDigit {
-                b: RawPoly { limbs: vec![Vec::new(); chain], domain: Domain::Eval },
-                a: RawPoly { limbs: vec![Vec::new(); chain], domain: Domain::Eval },
+                b: RawPoly {
+                    limbs: vec![Vec::new(); chain],
+                    domain: Domain::Eval,
+                },
+                a: RawPoly {
+                    limbs: vec![Vec::new(); chain],
+                    domain: Domain::Eval,
+                },
             })
             .collect(),
     }
@@ -22,7 +28,10 @@ pub fn placeholder_switching_key(ctx: &Arc<CkksContext>) -> RawSwitchingKey {
 /// Builds a key set with a relinearization key only (cost-only mode).
 pub fn synth_keys(ctx: &Arc<CkksContext>) -> EvalKeySet {
     let mut keys = EvalKeySet::new();
-    keys.set_mult(adapter::load_switching_key(ctx, &placeholder_switching_key(ctx)));
+    keys.set_mult(
+        adapter::load_switching_key(ctx, &placeholder_switching_key(ctx))
+            .expect("placeholder keys match the chain shape"),
+    );
     keys
 }
 
@@ -30,13 +39,20 @@ pub fn synth_keys(ctx: &Arc<CkksContext>) -> EvalKeySet {
 /// shifts (cost-only mode).
 pub fn synth_keys_with_rotations(ctx: &Arc<CkksContext>, shifts: &[i32]) -> EvalKeySet {
     let mut keys = synth_keys(ctx);
-    keys.set_conj(adapter::load_switching_key(ctx, &placeholder_switching_key(ctx)));
+    keys.set_conj(
+        adapter::load_switching_key(ctx, &placeholder_switching_key(ctx))
+            .expect("placeholder keys match the chain shape"),
+    );
     for &s in shifts {
         if s == 0 {
             continue;
         }
         let g = fides_client::galois_for_rotation(s, ctx.n());
-        keys.insert_rotation(g, adapter::load_switching_key(ctx, &placeholder_switching_key(ctx)));
+        keys.insert_rotation(
+            g,
+            adapter::load_switching_key(ctx, &placeholder_switching_key(ctx))
+                .expect("placeholder keys match the chain shape"),
+        );
     }
     keys
 }

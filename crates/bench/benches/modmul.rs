@@ -40,8 +40,8 @@ fn bench_modmul(c: &mut Criterion) {
         let sp = ShoupPrecomp::new(w, &m);
         bench.iter(|| {
             let mut acc = 0u64;
-            for i in 0..n {
-                acc ^= sp.mul(black_box(a[i]), &m);
+            for &x in a.iter() {
+                acc ^= sp.mul(black_box(x), &m);
             }
             acc
         })

@@ -26,12 +26,12 @@ fn setup() -> Setup {
     let pk = kg.public_key(&sk);
     let relin = kg.relinearization_key(&sk);
     let rot = kg.rotation_key(&sk, 1);
-    let keys = adapter::load_eval_keys(&ctx, Some(&relin), &[(1, rot)], None);
+    let keys = adapter::load_eval_keys(&ctx, Some(&relin), &[(1, rot)], None).unwrap();
     let data: Vec<f64> = (0..2048).map(|i| (i as f64 * 0.001).sin()).collect();
     let mut rng = StdRng::seed_from_u64(2);
     let pt = client.encode_real(&data, ctx.fresh_scale(), ctx.max_level());
-    let a = adapter::load_ciphertext(&ctx, &client.encrypt(&pt, &pk, &mut rng));
-    let b = adapter::load_ciphertext(&ctx, &client.encrypt(&pt, &pk, &mut rng));
+    let a = adapter::load_ciphertext(&ctx, &client.encrypt(&pt, &pk, &mut rng)).unwrap();
+    let b = adapter::load_ciphertext(&ctx, &client.encrypt(&pt, &pk, &mut rng)).unwrap();
     Setup { ctx, keys, a, b }
 }
 
@@ -42,7 +42,9 @@ fn bench_primitives(c: &mut Criterion) {
 
     group.bench_function("hadd", |bench| bench.iter(|| s.a.add(&s.b).unwrap()));
     group.bench_function("scalar_mult", |bench| bench.iter(|| s.a.mul_scalar(1.5)));
-    group.bench_function("hmult", |bench| bench.iter(|| s.a.mul(&s.b, &s.keys).unwrap()));
+    group.bench_function("hmult", |bench| {
+        bench.iter(|| s.a.mul(&s.b, &s.keys).unwrap())
+    });
     group.bench_function("hmult_rescale", |bench| {
         bench.iter(|| {
             let mut p = s.a.mul(&s.b, &s.keys).unwrap();
@@ -50,8 +52,12 @@ fn bench_primitives(c: &mut Criterion) {
             p
         })
     });
-    group.bench_function("hsquare", |bench| bench.iter(|| s.a.square(&s.keys).unwrap()));
-    group.bench_function("hrotate", |bench| bench.iter(|| s.a.rotate(1, &s.keys).unwrap()));
+    group.bench_function("hsquare", |bench| {
+        bench.iter(|| s.a.square(&s.keys).unwrap())
+    });
+    group.bench_function("hrotate", |bench| {
+        bench.iter(|| s.a.rotate(1, &s.keys).unwrap())
+    });
     group.bench_function("hoisted_rotations_x4", |bench| {
         bench.iter(|| s.a.hoisted_rotations(&[0, 1], &s.keys).unwrap())
     });

@@ -14,8 +14,7 @@ fn measure(params: &CkksParameters) -> (f64, u64) {
     let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::CostOnly);
     let ctx = CkksContext::new(params.clone(), Arc::clone(&gpu));
     let keys = synth_keys(&ctx);
-    let ct =
-        adapter::placeholder_ciphertext(&ctx, ctx.max_level(), ctx.fresh_scale(), ctx.n() / 2);
+    let ct = adapter::placeholder_ciphertext(&ctx, ctx.max_level(), ctx.fresh_scale(), ctx.n() / 2);
     let run = || {
         let mut prod = ct.mul(&ct, &keys).unwrap();
         prod.rescale_in_place().unwrap();
@@ -34,10 +33,34 @@ fn main() {
     let base = CkksParameters::paper_default().with_limb_batch(12);
     let configs: Vec<(&str, FusionConfig)> = vec![
         ("all fusions (FIDESlib)", FusionConfig::default()),
-        ("no rescale fusion", FusionConfig { rescale: false, ..FusionConfig::default() }),
-        ("no moddown fusion", FusionConfig { mod_down: false, ..FusionConfig::default() }),
-        ("no keyswitch fusion", FusionConfig { key_switch: false, ..FusionConfig::default() }),
-        ("no dot-product fusion", FusionConfig { dot_product: false, ..FusionConfig::default() }),
+        (
+            "no rescale fusion",
+            FusionConfig {
+                rescale: false,
+                ..FusionConfig::default()
+            },
+        ),
+        (
+            "no moddown fusion",
+            FusionConfig {
+                mod_down: false,
+                ..FusionConfig::default()
+            },
+        ),
+        (
+            "no keyswitch fusion",
+            FusionConfig {
+                key_switch: false,
+                ..FusionConfig::default()
+            },
+        ),
+        (
+            "no dot-product fusion",
+            FusionConfig {
+                dot_product: false,
+                ..FusionConfig::default()
+            },
+        ),
         ("no fusions at all", FusionConfig::none()),
     ];
     let (base_us, _) = measure(&base.clone().with_fusion(FusionConfig::default()));

@@ -15,8 +15,7 @@ fn main() {
     let ctx = CkksContext::new(params, Arc::clone(&gpu));
     let all_shifts: Vec<i32> = (1..=16).collect();
     let keys = synth_keys_with_rotations(&ctx, &all_shifts);
-    let ct =
-        adapter::placeholder_ciphertext(&ctx, ctx.max_level(), ctx.fresh_scale(), ctx.n() / 2);
+    let ct = adapter::placeholder_ciphertext(&ctx, ctx.max_level(), ctx.fresh_scale(), ctx.n() / 2);
 
     let mut rows = Vec::new();
     for k in [1usize, 2, 4, 8, 16] {

@@ -32,8 +32,7 @@ fn ntt_us_per_limb(
     inverse: bool,
 ) -> f64 {
     let gpu = GpuSim::new(spec.clone(), ExecMode::CostOnly);
-    let bufs: Vec<VectorGpu<u64>> =
-        (0..limbs).map(|_| VectorGpu::new(&gpu, N)).collect();
+    let bufs: Vec<VectorGpu<u64>> = (0..limbs).map(|_| VectorGpu::new(&gpu, N)).collect();
     let lb = (N * 8) as u64;
     let run = |gpu: &Arc<GpuSim>| {
         let batches = limbs.div_ceil(batch);
@@ -99,7 +98,14 @@ fn main() {
         }
         print_table(
             &format!("{}: time per (i)NTT limb (µs)", spec.name),
-            &["limbs", "FIDESlib NTT", "FIDESlib iNTT", "Phantom NTT", "Phantom iNTT", "gap"],
+            &[
+                "limbs",
+                "FIDESlib NTT",
+                "FIDESlib iNTT",
+                "Phantom NTT",
+                "Phantom iNTT",
+                "gap",
+            ],
             &rows,
         );
     }

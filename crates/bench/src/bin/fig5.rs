@@ -28,8 +28,7 @@ fn main() {
 
     for spec in DeviceSpec::all_gpus() {
         headers.push(spec.name.clone());
-        let params =
-            CkksParameters::paper_default().with_limb_batch(best_batch(&spec.name));
+        let params = CkksParameters::paper_default().with_limb_batch(best_batch(&spec.name));
         let gpu = GpuSim::new(spec.clone(), ExecMode::CostOnly);
         let ctx = CkksContext::new(params, Arc::clone(&gpu));
         for (row, &limbs) in rows.iter_mut().zip(&limb_points) {
@@ -40,12 +39,8 @@ fn main() {
                 ctx.standard_scale(level),
                 ctx.n() / 2,
             );
-            let pt = adapter::placeholder_plaintext(
-                &ctx,
-                level,
-                ctx.standard_scale(level),
-                ctx.n() / 2,
-            );
+            let pt =
+                adapter::placeholder_plaintext(&ctx, level, ctx.standard_scale(level), ctx.n() / 2);
             let run = || {
                 let mut prod = ct.mul_plain(&pt).unwrap();
                 prod.rescale_in_place().unwrap();

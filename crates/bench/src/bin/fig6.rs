@@ -35,8 +35,7 @@ fn main() {
 
     for spec in DeviceSpec::all_gpus() {
         headers.push(spec.name.clone());
-        let params =
-            CkksParameters::paper_default().with_limb_batch(best_batch(&spec.name));
+        let params = CkksParameters::paper_default().with_limb_batch(best_batch(&spec.name));
         let gpu = GpuSim::new(spec.clone(), ExecMode::CostOnly);
         let ctx = CkksContext::new(params, Arc::clone(&gpu));
         let keys = synth_keys(&ctx);

@@ -107,7 +107,10 @@ fn main() {
                 best = (batch, t);
             }
         }
-        println!("best limb batch for RTX 4090: {} ({:.0} µs HMult)", best.0, best.1);
+        println!(
+            "best limb batch for RTX 4090: {} ({:.0} µs HMult)",
+            best.0, best.1
+        );
         best.0
     };
 
@@ -115,15 +118,15 @@ fn main() {
     let hexl = Bench::new(&params, ryzen_hexl_24t(), true);
     let phantom = {
         let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::CostOnly);
-        let ctx = CkksContext::new(
-            fides_baselines::phantom_params(&params),
-            Arc::clone(&gpu),
-        );
+        let ctx = CkksContext::new(fides_baselines::phantom_params(&params), Arc::clone(&gpu));
         let keys = synth_keys_with_rotations(&ctx, &[1]);
         Bench { gpu, ctx, keys }
     };
-    let fides =
-        Bench::new(&params.clone().with_limb_batch(best_batch), DeviceSpec::rtx_4090(), false);
+    let fides = Bench::new(
+        &params.clone().with_limb_batch(best_batch),
+        DeviceSpec::rtx_4090(),
+        false,
+    );
 
     // (op, paper 1T, paper HEXL, paper Phantom µs, paper FIDESlib µs)
     let ops: &[(&str, f64, f64, Option<f64>, f64)] = &[
@@ -142,11 +145,15 @@ fn main() {
     for &(op, p1t, phexl, pphantom, pfides) in ops {
         let c1 = cpu1.op_us(op);
         let ch = hexl.op_us(op);
-        let cp = if phantom_supported(op) { Some(phantom.op_us(op)) } else { None };
+        let cp = if phantom_supported(op) {
+            Some(phantom.op_us(op))
+        } else {
+            None
+        };
         let cf = fides.op_us(op);
         let measured = if measure {
             let m = measured_functional_us(&params, op);
-            format!("{}", fmt_us(m))
+            fmt_us(m).to_string()
         } else {
             "-".into()
         };
@@ -183,7 +190,10 @@ fn main() {
         ],
         &rows,
     );
-    println!("\nKSK device footprint (mult key): {:.1} MB", fides.keys.bytes() as f64 / 1e6);
+    println!(
+        "\nKSK device footprint (mult key): {:.1} MB",
+        fides.keys.bytes() as f64 / 1e6
+    );
 }
 
 /// Optional: wall-clock of the functional Rust path, single-threaded — an
@@ -199,13 +209,16 @@ fn measured_functional_us(params: &CkksParameters, op: &str) -> f64 {
     let pk = kg.public_key(&sk);
     let relin = kg.relinearization_key(&sk);
     let rot = kg.rotation_key(&sk, 1);
-    let keys = adapter::load_eval_keys(&ctx, Some(&relin), &[(1, rot)], None);
+    let keys = adapter::load_eval_keys(&ctx, Some(&relin), &[(1, rot)], None)
+        .expect("client-generated keys are always loadable");
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     let values: Vec<f64> = (0..ctx.n() / 2).map(|i| (i as f64 * 0.01).sin()).collect();
     let pt = client.encode_real(&values, ctx.fresh_scale(), ctx.max_level());
-    let a = adapter::load_ciphertext(&ctx, &client.encrypt(&pt, &pk, &mut rng));
+    let a = adapter::load_ciphertext(&ctx, &client.encrypt(&pt, &pk, &mut rng))
+        .expect("client-encrypted ciphertexts are always loadable");
     let b = a.duplicate();
-    let dev_pt = adapter::load_plaintext(&ctx, &pt);
+    let dev_pt =
+        adapter::load_plaintext(&ctx, &pt).expect("client-encoded plaintexts are always loadable");
     fides_baselines::measure_wall_us(|| match op {
         "ScalarAdd" => {
             let _ = a.add_scalar(1.5);

@@ -8,15 +8,42 @@ use fides_bench::print_table;
 
 fn main() {
     let features = [
-        ("Open Source", vec!["✗", "✓", "✓", "✓", "✓", "✗", "✓", "✗", "✓"]),
-        ("Published", vec!["✓", "✗", "✓", "✗", "✓", "✓", "✗", "✓", "✓"]),
-        ("Bootstrapping", vec!["✓", "✓", "✓", "✗", "✗", "✓", "✓", "✓", "✓"]),
-        ("OpenFHE Inter.", vec!["✗", "✗", "✗", "✗", "✗", "✗", "✗", "✗", "✓"]),
-        ("Benchmarks", vec!["✓", "✗", "✓", "✗", "✓", "✗", "✗", "✗", "LR"]),
-        ("Microbench.", vec!["✓", "✓", "✓", "✓", "✓", "✗", "✓", "✗", "✓"]),
-        ("Unit Tests", vec!["✗", "✓", "✗", "✓", "✗", "✗", "✗", "✗", "✓"]),
-        ("Integration Tests", vec!["✗", "✗", "✗", "✗", "✗", "✗", "✗", "✗", "✓"]),
-        ("Multi-GPU", vec!["✗", "✗", "✗", "✓", "✗", "✗", "✓", "✗", "WIP"]),
+        (
+            "Open Source",
+            vec!["✗", "✓", "✓", "✓", "✓", "✗", "✓", "✗", "✓"],
+        ),
+        (
+            "Published",
+            vec!["✓", "✗", "✓", "✗", "✓", "✓", "✗", "✓", "✓"],
+        ),
+        (
+            "Bootstrapping",
+            vec!["✓", "✓", "✓", "✗", "✗", "✓", "✓", "✓", "✓"],
+        ),
+        (
+            "OpenFHE Inter.",
+            vec!["✗", "✗", "✗", "✗", "✗", "✗", "✗", "✗", "✓"],
+        ),
+        (
+            "Benchmarks",
+            vec!["✓", "✗", "✓", "✗", "✓", "✗", "✗", "✗", "LR"],
+        ),
+        (
+            "Microbench.",
+            vec!["✓", "✓", "✓", "✓", "✓", "✗", "✓", "✗", "✓"],
+        ),
+        (
+            "Unit Tests",
+            vec!["✗", "✓", "✗", "✓", "✗", "✗", "✗", "✗", "✓"],
+        ),
+        (
+            "Integration Tests",
+            vec!["✗", "✗", "✗", "✗", "✗", "✗", "✗", "✗", "✓"],
+        ),
+        (
+            "Multi-GPU",
+            vec!["✗", "✗", "✗", "✓", "✗", "✗", "✓", "✗", "WIP"],
+        ),
     ];
     let libs = [
         "HEaaN [17]",
@@ -39,7 +66,11 @@ fn main() {
             row
         })
         .collect();
-    print_table("Table VIII: qualitative comparison of GPU CKKS libraries", &headers, &rows);
+    print_table(
+        "Table VIII: qualitative comparison of GPU CKKS libraries",
+        &headers,
+        &rows,
+    );
     println!("\nThis reproduction implements the full FIDESlib column: every server-side");
     println!("primitive incl. bootstrapping, OpenFHE-style client interoperation through");
     println!("the adapter layer, the LR benchmark, per-table microbenchmarks, unit tests");

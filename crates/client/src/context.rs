@@ -31,9 +31,17 @@ impl ClientContext {
         let moduli_p: Vec<Modulus> = params.moduli_p.iter().map(|&p| Modulus::new(p)).collect();
         let ntt_q = moduli_q.iter().map(|&m| NttTable::new(n, m)).collect();
         let ntt_p = moduli_p.iter().map(|&m| NttTable::new(n, m)).collect();
-        let crt_levels =
-            (0..moduli_q.len()).map(|l| CrtContext::new(&moduli_q[..=l])).collect();
-        Self { params, moduli_q, moduli_p, ntt_q, ntt_p, crt_levels }
+        let crt_levels = (0..moduli_q.len())
+            .map(|l| CrtContext::new(&moduli_q[..=l]))
+            .collect();
+        Self {
+            params,
+            moduli_q,
+            moduli_p,
+            ntt_q,
+            ntt_p,
+            crt_levels,
+        }
     }
 
     /// The shared parameter description.

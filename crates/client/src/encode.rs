@@ -9,6 +9,7 @@
 use fides_math::Complex64;
 
 use crate::context::ClientContext;
+use crate::error::ClientError;
 use crate::raw::{Domain, RawPlaintext, RawPoly};
 
 impl ClientContext {
@@ -17,14 +18,46 @@ impl ClientContext {
     ///
     /// # Panics
     ///
-    /// Panics if the slot count is not a power of two, exceeds `N/2`, or
-    /// `level` is out of range.
+    /// Panics on the conditions [`ClientContext::try_encode`] reports as
+    /// errors (kept as a convenience wrapper for example/test code; services
+    /// should prefer the `try_` form or the `CkksEngine` API).
     pub fn encode(&self, values: &[Complex64], scale: f64, level: usize) -> RawPlaintext {
+        self.try_encode(values, scale, level)
+            .unwrap_or_else(|e| panic!("encode failed: {e}"))
+    }
+
+    /// Encodes `values` (length a power of two, at most `N/2`) at the given
+    /// `scale` for ciphertext level `level`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::BadSlotCount`] when the slot count is not a power of
+    /// two or exceeds `N/2`, [`ClientError::LevelOutOfRange`] when `level`
+    /// is past the chain, [`ClientError::BadScale`] for non-positive or
+    /// non-finite scales.
+    pub fn try_encode(
+        &self,
+        values: &[Complex64],
+        scale: f64,
+        level: usize,
+    ) -> Result<RawPlaintext, ClientError> {
         let n = self.n();
         let slots = values.len();
-        assert!(slots.is_power_of_two() && slots <= n / 2, "bad slot count {slots}");
-        assert!(level < self.moduli_q().len(), "level {level} out of range");
-        assert!(scale > 0.0, "scale must be positive");
+        if !slots.is_power_of_two() || slots > n / 2 {
+            return Err(ClientError::BadSlotCount {
+                slots,
+                max_slots: n / 2,
+            });
+        }
+        if level >= self.moduli_q().len() {
+            return Err(ClientError::LevelOutOfRange {
+                level,
+                max: self.moduli_q().len() - 1,
+            });
+        }
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(ClientError::BadScale(scale));
+        }
         let gap = (n / 2) / slots;
 
         let mut u = values.to_vec();
@@ -53,13 +86,41 @@ impl ClientContext {
                     .collect()
             })
             .collect();
-        RawPlaintext { poly: RawPoly { limbs, domain: Domain::Coeff }, level, scale, slots }
+        Ok(RawPlaintext {
+            poly: RawPoly {
+                limbs,
+                domain: Domain::Coeff,
+            },
+            level,
+            scale,
+            slots,
+        })
     }
 
     /// Encodes real values (imaginary parts zero).
+    ///
+    /// # Panics
+    ///
+    /// See [`ClientContext::encode`].
     pub fn encode_real(&self, values: &[f64], scale: f64, level: usize) -> RawPlaintext {
         let v: Vec<Complex64> = values.iter().map(|&x| Complex64::from_real(x)).collect();
         self.encode(&v, scale, level)
+    }
+
+    /// Encodes real values (imaginary parts zero), reporting validation
+    /// failures as typed errors.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientContext::try_encode`].
+    pub fn try_encode_real(
+        &self,
+        values: &[f64],
+        scale: f64,
+        level: usize,
+    ) -> Result<RawPlaintext, ClientError> {
+        let v: Vec<Complex64> = values.iter().map(|&x| Complex64::from_real(x)).collect();
+        self.try_encode(&v, scale, level)
     }
 
     /// Decodes a plaintext back to complex slot values.
@@ -67,9 +128,26 @@ impl ClientContext {
     /// # Panics
     ///
     /// Panics if the plaintext is not in coefficient domain (the adapter
-    /// always converts before handing data back to the client).
+    /// always converts before handing data back to the client); see
+    /// [`ClientContext::try_decode`] for the typed form.
     pub fn decode(&self, pt: &RawPlaintext) -> Vec<Complex64> {
-        assert_eq!(pt.poly.domain, Domain::Coeff, "decode expects coefficient domain");
+        self.try_decode(pt)
+            .expect("decode expects coefficient domain")
+    }
+
+    /// Decodes a plaintext back to complex slot values.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::DomainMismatch`] if the plaintext is not in
+    /// coefficient domain.
+    pub fn try_decode(&self, pt: &RawPlaintext) -> Result<Vec<Complex64>, ClientError> {
+        if pt.poly.domain != Domain::Coeff {
+            return Err(ClientError::DomainMismatch {
+                expected: "coefficient",
+                found: "evaluation",
+            });
+        }
         let n = self.n();
         let slots = pt.slots;
         let gap = (n / 2) / slots;
@@ -90,12 +168,25 @@ impl ClientContext {
             u.push(Complex64::new(re, im));
         }
         fides_math::special_fft(&mut u, 2 * n);
-        u
+        Ok(u)
     }
 
     /// Decodes and keeps only real parts.
+    ///
+    /// # Panics
+    ///
+    /// See [`ClientContext::decode`].
     pub fn decode_real(&self, pt: &RawPlaintext) -> Vec<f64> {
         self.decode(pt).into_iter().map(|c| c.re).collect()
+    }
+
+    /// Decodes and keeps only real parts, with typed errors.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientContext::try_decode`].
+    pub fn try_decode_real(&self, pt: &RawPlaintext) -> Result<Vec<f64>, ClientError> {
+        Ok(self.try_decode(pt)?.into_iter().map(|c| c.re).collect())
     }
 }
 
@@ -133,8 +224,12 @@ mod tests {
     fn slotwise_addition_is_coefficient_addition() {
         let c = ctx();
         let scale = 2f64.powi(40);
-        let a: Vec<Complex64> = (0..256).map(|i| Complex64::new(i as f64 * 0.01, 0.3)).collect();
-        let b: Vec<Complex64> = (0..256).map(|i| Complex64::new(0.5, i as f64 * -0.02)).collect();
+        let a: Vec<Complex64> = (0..256)
+            .map(|i| Complex64::new(i as f64 * 0.01, 0.3))
+            .collect();
+        let b: Vec<Complex64> = (0..256)
+            .map(|i| Complex64::new(0.5, i as f64 * -0.02))
+            .collect();
         let pa = c.encode(&a, scale, 1);
         let pb = c.encode(&b, scale, 1);
         let mut sum = pa.clone();
@@ -151,10 +246,12 @@ mod tests {
         let c = ctx();
         let scale = 2f64.powi(20); // modest scale: product scale is 2^40 < q_i products
         let slots = 16usize;
-        let a: Vec<Complex64> =
-            (0..slots).map(|i| Complex64::new(0.8 + 0.01 * i as f64, 0.1)).collect();
-        let b: Vec<Complex64> =
-            (0..slots).map(|i| Complex64::new(0.5, 0.02 * i as f64 - 0.1)).collect();
+        let a: Vec<Complex64> = (0..slots)
+            .map(|i| Complex64::new(0.8 + 0.01 * i as f64, 0.1))
+            .collect();
+        let b: Vec<Complex64> = (0..slots)
+            .map(|i| Complex64::new(0.5, 0.02 * i as f64 - 0.1))
+            .collect();
         let pa = c.encode(&a, scale, 1);
         let pb = c.encode(&b, scale, 1);
         // Multiply polynomials mod each prime via NTT.
@@ -170,7 +267,10 @@ mod tests {
             prod_limbs.push(prod);
         }
         let ppt = RawPlaintext {
-            poly: RawPoly { limbs: prod_limbs, domain: Domain::Coeff },
+            poly: RawPoly {
+                limbs: prod_limbs,
+                domain: Domain::Coeff,
+            },
             level: 1,
             scale: scale * scale,
             slots,
@@ -188,8 +288,9 @@ mod tests {
         let c = ctx();
         let n = c.n();
         let slots = 8usize;
-        let values: Vec<Complex64> =
-            (0..slots).map(|i| Complex64::from_real(i as f64 + 1.0)).collect();
+        let values: Vec<Complex64> = (0..slots)
+            .map(|i| Complex64::from_real(i as f64 + 1.0))
+            .collect();
         let pt = c.encode(&values, 2f64.powi(40), 0);
         let m: Modulus = c.moduli_q()[0];
         for k in [1usize, 2, 3] {
@@ -197,14 +298,16 @@ mod tests {
             let mut rotated = vec![0u64; n];
             automorphism_coeff(&pt.poly.limbs[0], g, &m, &mut rotated);
             let rpt = RawPlaintext {
-                poly: RawPoly { limbs: vec![rotated], domain: Domain::Coeff },
+                poly: RawPoly {
+                    limbs: vec![rotated],
+                    domain: Domain::Coeff,
+                },
                 level: 0,
                 scale: pt.scale,
                 slots,
             };
             let got = c.decode(&rpt);
-            let expect: Vec<Complex64> =
-                (0..slots).map(|i| values[(i + k) % slots]).collect();
+            let expect: Vec<Complex64> = (0..slots).map(|i| values[(i + k) % slots]).collect();
             close_all(&got, &expect, 1e-8);
         }
     }
@@ -215,14 +318,18 @@ mod tests {
         let c = ctx();
         let n = c.n();
         let slots = 8usize;
-        let values: Vec<Complex64> =
-            (0..slots).map(|i| Complex64::new(i as f64, 0.5 - i as f64)).collect();
+        let values: Vec<Complex64> = (0..slots)
+            .map(|i| Complex64::new(i as f64, 0.5 - i as f64))
+            .collect();
         let pt = c.encode(&values, 2f64.powi(40), 0);
         let m = c.moduli_q()[0];
         let mut conj = vec![0u64; n];
         automorphism_coeff(&pt.poly.limbs[0], 2 * n - 1, &m, &mut conj);
         let rpt = RawPlaintext {
-            poly: RawPoly { limbs: vec![conj], domain: Domain::Coeff },
+            poly: RawPoly {
+                limbs: vec![conj],
+                domain: Domain::Coeff,
+            },
             level: 0,
             scale: pt.scale,
             slots,

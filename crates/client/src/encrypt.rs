@@ -4,6 +4,7 @@ use fides_math::{sample_gaussian_coeffs, sample_ternary_coeffs, signed_to_residu
 use rand::Rng;
 
 use crate::context::ClientContext;
+use crate::error::ClientError;
 use crate::keygen::{SecretKey, ERROR_SIGMA};
 use crate::raw::{Domain, RawCiphertext, RawPlaintext, RawPoly, RawPublicKey};
 
@@ -13,14 +14,36 @@ impl ClientContext {
     ///
     /// # Panics
     ///
-    /// Panics if the plaintext is not in coefficient domain.
+    /// Panics if the plaintext is not in coefficient domain; see
+    /// [`ClientContext::try_encrypt`] for the typed form.
     pub fn encrypt<R: Rng + ?Sized>(
         &self,
         pt: &RawPlaintext,
         pk: &RawPublicKey,
         rng: &mut R,
     ) -> RawCiphertext {
-        assert_eq!(pt.poly.domain, Domain::Coeff, "encrypt expects an encoded plaintext");
+        self.try_encrypt(pt, pk, rng)
+            .expect("encrypt expects an encoded plaintext")
+    }
+
+    /// Public-key encryption of an encoded plaintext, with typed errors.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::DomainMismatch`] if the plaintext is not in
+    /// coefficient domain.
+    pub fn try_encrypt<R: Rng + ?Sized>(
+        &self,
+        pt: &RawPlaintext,
+        pk: &RawPublicKey,
+        rng: &mut R,
+    ) -> Result<RawCiphertext, ClientError> {
+        if pt.poly.domain != Domain::Coeff {
+            return Err(ClientError::DomainMismatch {
+                expected: "coefficient",
+                found: "evaluation",
+            });
+        }
         let n = self.n();
         let level = pt.level;
         let v = sample_ternary_coeffs(rng, n);
@@ -29,7 +52,11 @@ impl ClientContext {
 
         let mut c0_limbs = Vec::with_capacity(level + 1);
         let mut c1_limbs = Vec::with_capacity(level + 1);
-        for (i, (m, t)) in self.moduli_q()[..=level].iter().zip(self.ntt_q()).enumerate() {
+        for (i, (m, t)) in self.moduli_q()[..=level]
+            .iter()
+            .zip(self.ntt_q())
+            .enumerate()
+        {
             let mut v_hat = signed_to_residues(&v, m);
             t.forward_inplace(&mut v_hat);
             // c0 = b·v + NTT(e0 + m)
@@ -49,14 +76,20 @@ impl ClientContext {
             c1_limbs.push(c1);
         }
         let noise_log2 = (ERROR_SIGMA * (n as f64).sqrt() * 8.0).log2();
-        RawCiphertext {
-            c0: RawPoly { limbs: c0_limbs, domain: Domain::Eval },
-            c1: RawPoly { limbs: c1_limbs, domain: Domain::Eval },
+        Ok(RawCiphertext {
+            c0: RawPoly {
+                limbs: c0_limbs,
+                domain: Domain::Eval,
+            },
+            c1: RawPoly {
+                limbs: c1_limbs,
+                domain: Domain::Eval,
+            },
             level,
             scale: pt.scale,
             slots: pt.slots,
             noise_log2,
-        }
+        })
     }
 
     /// Decrypts a ciphertext to a coefficient-domain plaintext
@@ -64,12 +97,38 @@ impl ClientContext {
     ///
     /// # Panics
     ///
-    /// Panics if the ciphertext is not in evaluation domain.
+    /// Panics if the ciphertext is not in evaluation domain; see
+    /// [`ClientContext::try_decrypt`] for the typed form.
     pub fn decrypt(&self, ct: &RawCiphertext, sk: &SecretKey) -> RawPlaintext {
-        assert_eq!(ct.c0.domain, Domain::Eval, "server ciphertexts are in evaluation domain");
+        self.try_decrypt(ct, sk)
+            .expect("server ciphertexts are in evaluation domain")
+    }
+
+    /// Decrypts a ciphertext to a coefficient-domain plaintext, with typed
+    /// errors.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::DomainMismatch`] if the ciphertext is not in
+    /// evaluation domain.
+    pub fn try_decrypt(
+        &self,
+        ct: &RawCiphertext,
+        sk: &SecretKey,
+    ) -> Result<RawPlaintext, ClientError> {
+        if ct.c0.domain != Domain::Eval {
+            return Err(ClientError::DomainMismatch {
+                expected: "evaluation",
+                found: "coefficient",
+            });
+        }
         let n = self.n();
         let mut limbs = Vec::with_capacity(ct.level + 1);
-        for (i, (m, t)) in self.moduli_q()[..=ct.level].iter().zip(self.ntt_q()).enumerate() {
+        for (i, (m, t)) in self.moduli_q()[..=ct.level]
+            .iter()
+            .zip(self.ntt_q())
+            .enumerate()
+        {
             let mut s_hat = signed_to_residues(&sk.coeffs, m);
             t.forward_inplace(&mut s_hat);
             let mut d = vec![0u64; n];
@@ -78,12 +137,15 @@ impl ClientContext {
             t.inverse_inplace(&mut d);
             limbs.push(d);
         }
-        RawPlaintext {
-            poly: RawPoly { limbs, domain: Domain::Coeff },
+        Ok(RawPlaintext {
+            poly: RawPoly {
+                limbs,
+                domain: Domain::Coeff,
+            },
             level: ct.level,
             scale: ct.scale,
             slots: ct.slots,
-        }
+        })
     }
 }
 

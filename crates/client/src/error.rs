@@ -1,0 +1,82 @@
+//! Typed errors for client-side operations.
+//!
+//! The client historically validated inputs with `assert!`; these variants
+//! carry the same conditions as values so service-style callers (and the
+//! `CkksEngine` session API) can surface them instead of aborting.
+
+use std::fmt;
+
+/// Errors produced by client-side CKKS operations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientError {
+    /// Slot count must be a power of two within `1..=N/2`.
+    BadSlotCount {
+        /// Requested slot count.
+        slots: usize,
+        /// Ring capacity `N/2`.
+        max_slots: usize,
+    },
+    /// Level index beyond the modulus chain.
+    LevelOutOfRange {
+        /// Requested level.
+        level: usize,
+        /// Last valid level.
+        max: usize,
+    },
+    /// Encoding scale must be strictly positive and finite.
+    BadScale(f64),
+    /// Data arrived in the wrong representation domain.
+    DomainMismatch {
+        /// Required domain.
+        expected: &'static str,
+        /// Actual domain.
+        found: &'static str,
+    },
+    /// A serialized frame was malformed.
+    Serialization(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::BadSlotCount { slots, max_slots } => write!(
+                f,
+                "bad slot count {slots}: must be a power of two in 1..={max_slots}"
+            ),
+            ClientError::LevelOutOfRange { level, max } => {
+                write!(f, "level {level} out of range (chain supports 0..={max})")
+            }
+            ClientError::BadScale(s) => write!(f, "encoding scale {s} must be positive and finite"),
+            ClientError::DomainMismatch { expected, found } => {
+                write!(
+                    f,
+                    "domain mismatch: expected {expected} representation, found {found}"
+                )
+            }
+            ClientError::Serialization(msg) => write!(f, "malformed frame: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ClientError::BadSlotCount {
+            slots: 3,
+            max_slots: 512,
+        };
+        assert!(e.to_string().contains("power of two"));
+        let e = ClientError::Serialization("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+        let e = ClientError::DomainMismatch {
+            expected: "coefficient",
+            found: "evaluation",
+        };
+        assert!(e.to_string().contains("coefficient"));
+    }
+}

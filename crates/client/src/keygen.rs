@@ -85,12 +85,17 @@ pub struct KeyGenerator<'a> {
 impl<'a> KeyGenerator<'a> {
     /// Creates a generator with an explicit seed for reproducible tests.
     pub fn new(ctx: &'a ClientContext, seed: u64) -> Self {
-        Self { ctx, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            ctx,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Samples a fresh uniform-ternary secret key.
     pub fn secret_key(&mut self) -> SecretKey {
-        SecretKey { coeffs: sample_ternary_coeffs(&mut self.rng, self.ctx.n()) }
+        SecretKey {
+            coeffs: sample_ternary_coeffs(&mut self.rng, self.ctx.n()),
+        }
     }
 
     /// Generates the public key `(b, a) = (−a·s + e, a)` over the full `Q`
@@ -101,7 +106,9 @@ impl<'a> KeyGenerator<'a> {
         let mut b_limbs = Vec::new();
         let mut a_limbs = Vec::new();
         for (m, t) in self.ctx.moduli_q().iter().zip(self.ctx.ntt_q()) {
-            let a: Vec<u64> = (0..n).map(|_| self.rng.random_range(0..m.value())).collect();
+            let a: Vec<u64> = (0..n)
+                .map(|_| self.rng.random_range(0..m.value()))
+                .collect();
             let mut s_hat = signed_to_residues(&sk.coeffs, m);
             t.forward_inplace(&mut s_hat);
             let mut e_hat = signed_to_residues(&e, m);
@@ -114,8 +121,14 @@ impl<'a> KeyGenerator<'a> {
             a_limbs.push(a);
         }
         RawPublicKey {
-            b: RawPoly { limbs: b_limbs, domain: Domain::Eval },
-            a: RawPoly { limbs: a_limbs, domain: Domain::Eval },
+            b: RawPoly {
+                limbs: b_limbs,
+                domain: Domain::Eval,
+            },
+            a: RawPoly {
+                limbs: a_limbs,
+                domain: Domain::Eval,
+            },
         }
     }
 
@@ -199,7 +212,9 @@ impl<'a> KeyGenerator<'a> {
             let mut b_limbs = Vec::with_capacity(chain.len());
             let mut a_limbs = Vec::with_capacity(chain.len());
             for &(m, t, is_q, idx) in &chain {
-                let a: Vec<u64> = (0..n).map(|_| self.rng.random_range(0..m.value())).collect();
+                let a: Vec<u64> = (0..n)
+                    .map(|_| self.rng.random_range(0..m.value()))
+                    .collect();
                 let mut s_hat = signed_to_residues(&sk.coeffs, m);
                 t.forward_inplace(&mut s_hat);
                 let mut e_hat = signed_to_residues(&e, m);
@@ -219,8 +234,14 @@ impl<'a> KeyGenerator<'a> {
                 a_limbs.push(a);
             }
             digits.push(RawKeyDigit {
-                b: RawPoly { limbs: b_limbs, domain: Domain::Eval },
-                a: RawPoly { limbs: a_limbs, domain: Domain::Eval },
+                b: RawPoly {
+                    limbs: b_limbs,
+                    domain: Domain::Eval,
+                },
+                a: RawPoly {
+                    limbs: a_limbs,
+                    domain: Domain::Eval,
+                },
             });
         }
         RawSwitchingKey { digits }

@@ -30,11 +30,13 @@
 mod context;
 mod encode;
 mod encrypt;
+mod error;
 mod keygen;
 mod raw;
 pub mod security;
 
 pub use context::ClientContext;
+pub use error::ClientError;
 pub use keygen::{
     galois_for_conjugation, galois_for_rotation, KeyGenerator, SecretKey, ERROR_SIGMA,
 };

@@ -10,6 +10,8 @@
 use bytes::{Buf, BufMut};
 use serde::{Deserialize, Serialize};
 
+use crate::error::ClientError;
+
 /// Polynomial representation domain.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Domain {
@@ -58,7 +60,11 @@ impl RawParams {
 
     /// Total bit-length of `Q·P` (for security accounting).
     pub fn log_qp(&self) -> f64 {
-        self.moduli_q.iter().chain(&self.moduli_p).map(|&q| (q as f64).log2()).sum()
+        self.moduli_q
+            .iter()
+            .chain(&self.moduli_p)
+            .map(|&q| (q as f64).log2())
+            .sum()
     }
 
     /// Generates a parameter set `[log N, L, Δ, dnum]` in the paper's
@@ -77,7 +83,10 @@ impl RawParams {
         first_bits: u32,
         dnum: usize,
     ) -> Self {
-        assert!(scale_bits < first_bits, "scaling primes must stay below the first modulus size");
+        assert!(
+            scale_bits < first_bits,
+            "scaling primes must stay below the first modulus size"
+        );
         let n = 1usize << log_n;
         let alpha = (levels + 1).div_ceil(dnum);
         // One 2^first_bits prime for q_0 plus α for P, all distinct.
@@ -86,7 +95,13 @@ impl RawParams {
         let moduli_p = big[1..].to_vec();
         let mut moduli_q = vec![q0];
         moduli_q.extend(fides_math::generate_scaling_primes(scale_bits, levels, n));
-        Self { log_n, moduli_q, moduli_p, scale_bits, dnum }
+        Self {
+            log_n,
+            moduli_q,
+            moduli_p,
+            scale_bits,
+            dnum,
+        }
     }
 }
 
@@ -102,7 +117,10 @@ pub struct RawPoly {
 impl RawPoly {
     /// An all-zero polynomial with `count` limbs of length `n`.
     pub fn zero(n: usize, count: usize, domain: Domain) -> Self {
-        Self { limbs: vec![vec![0u64; n]; count], domain }
+        Self {
+            limbs: vec![vec![0u64; n]; count],
+            domain,
+        }
     }
 
     /// Ring degree.
@@ -185,19 +203,31 @@ fn put_poly(buf: &mut Vec<u8>, poly: &RawPoly) {
     }
 }
 
-fn get_poly(buf: &mut &[u8]) -> Result<RawPoly, String> {
+fn get_poly(buf: &mut &[u8]) -> Result<RawPoly, ClientError> {
     if buf.remaining() < 9 {
-        return Err("truncated polynomial header".into());
+        return Err(ClientError::Serialization(
+            "truncated polynomial header".into(),
+        ));
     }
     let domain = match buf.get_u8() {
         0 => Domain::Coeff,
         1 => Domain::Eval,
-        d => return Err(format!("invalid domain tag {d}")),
+        d => {
+            return Err(ClientError::Serialization(format!(
+                "invalid domain tag {d}"
+            )))
+        }
     };
     let count = buf.get_u32() as usize;
     let n = buf.get_u32() as usize;
-    if buf.remaining() < count * n * 8 {
-        return Err("truncated polynomial body".into());
+    if count
+        .checked_mul(n)
+        .and_then(|c| c.checked_mul(8))
+        .is_none_or(|b| buf.remaining() < b)
+    {
+        return Err(ClientError::Serialization(
+            "truncated polynomial body".into(),
+        ));
     }
     let mut limbs = Vec::with_capacity(count);
     for _ in 0..count {
@@ -228,14 +258,17 @@ impl RawCiphertext {
     ///
     /// # Errors
     ///
-    /// Returns a description of the corruption if the frame is malformed.
-    pub fn from_bytes(mut data: &[u8]) -> Result<Self, String> {
+    /// [`ClientError::Serialization`] describing the corruption if the frame
+    /// is malformed.
+    pub fn from_bytes(mut data: &[u8]) -> Result<Self, ClientError> {
         let buf = &mut data;
         if buf.remaining() < 28 {
-            return Err("truncated ciphertext header".into());
+            return Err(ClientError::Serialization(
+                "truncated ciphertext header".into(),
+            ));
         }
         if buf.get_u32() != MAGIC {
-            return Err("bad magic".into());
+            return Err(ClientError::Serialization("bad magic".into()));
         }
         let level = buf.get_u32() as usize;
         let scale = buf.get_f64();
@@ -243,7 +276,14 @@ impl RawCiphertext {
         let noise_log2 = buf.get_f64();
         let c0 = get_poly(buf)?;
         let c1 = get_poly(buf)?;
-        Ok(Self { c0, c1, level, scale, slots, noise_log2 })
+        Ok(Self {
+            c0,
+            c1,
+            level,
+            scale,
+            slots,
+            noise_log2,
+        })
     }
 }
 
@@ -253,7 +293,10 @@ mod tests {
 
     fn sample_ct() -> RawCiphertext {
         RawCiphertext {
-            c0: RawPoly { limbs: vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8]], domain: Domain::Eval },
+            c0: RawPoly {
+                limbs: vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8]],
+                domain: Domain::Eval,
+            },
             c1: RawPoly {
                 limbs: vec![vec![9, 10, 11, 12], vec![13, 14, 15, 16]],
                 domain: Domain::Eval,
@@ -280,7 +323,10 @@ mod tests {
         bytes[0] ^= 0xff;
         assert!(RawCiphertext::from_bytes(&bytes).is_err(), "bad magic");
         let bytes = ct.to_bytes();
-        assert!(RawCiphertext::from_bytes(&bytes[..bytes.len() - 4]).is_err(), "truncated");
+        assert!(
+            RawCiphertext::from_bytes(&bytes[..bytes.len() - 4]).is_err(),
+            "truncated"
+        );
         assert!(RawCiphertext::from_bytes(&[]).is_err(), "empty");
     }
 

@@ -11,10 +11,13 @@
 /// for smooth `f`).
 pub fn chebyshev_coefficients(f: impl Fn(f64) -> f64, a: f64, b: f64, degree: usize) -> Vec<f64> {
     let m = degree + 1;
-    let nodes: Vec<f64> =
-        (0..m).map(|k| (std::f64::consts::PI * (k as f64 + 0.5) / m as f64).cos()).collect();
-    let values: Vec<f64> =
-        nodes.iter().map(|&x| f(0.5 * (b - a) * x + 0.5 * (a + b))).collect();
+    let nodes: Vec<f64> = (0..m)
+        .map(|k| (std::f64::consts::PI * (k as f64 + 0.5) / m as f64).cos())
+        .collect();
+    let values: Vec<f64> = nodes
+        .iter()
+        .map(|&x| f(0.5 * (b - a) * x + 0.5 * (a + b)))
+        .collect();
     (0..m)
         .map(|j| {
             let sum: f64 = (0..m)
@@ -128,7 +131,9 @@ mod tests {
     #[test]
     fn long_division_identity() {
         // Random-ish series; verify f(u) == q(u)·T_k(u) + r(u) numerically.
-        let f: Vec<f64> = (0..16).map(|i| ((i * 37 % 11) as f64 - 5.0) * 0.3).collect();
+        let f: Vec<f64> = (0..16)
+            .map(|i| ((i * 37 % 11) as f64 - 5.0) * 0.3)
+            .collect();
         for k in [1usize, 3, 5, 8] {
             let (q, r) = long_division_chebyshev(&f, k);
             assert!(trim_degree(&r) < k || r.iter().all(|&x| x == 0.0));
@@ -136,8 +141,7 @@ mod tests {
                 let u = -1.0 + 2.0 * i as f64 / 60.0;
                 let tk = (k as f64 * u.acos()).cos();
                 let lhs = clenshaw(&f, u);
-                let rhs = clenshaw(&q, u) * tk
-                    + if r.is_empty() { 0.0 } else { clenshaw(&r, u) };
+                let rhs = clenshaw(&q, u) * tk + if r.is_empty() { 0.0 } else { clenshaw(&r, u) };
                 assert!((lhs - rhs).abs() < 1e-9, "k={k} u={u}: {lhs} vs {rhs}");
             }
         }

@@ -33,15 +33,22 @@ pub(crate) struct DiagMatrix {
 
 impl DiagMatrix {
     fn empty(n: usize, numeric: bool) -> Self {
-        Self { n, diags: BTreeMap::new(), numeric }
+        Self {
+            n,
+            diags: BTreeMap::new(),
+            numeric,
+        }
     }
 
     fn insert_entry(&mut self, shift: usize, row: usize, v: Complex64) {
         let n = self.n;
-        let d = self
-            .diags
-            .entry(shift)
-            .or_insert_with(|| if self.numeric { vec![Complex64::ZERO; n] } else { Vec::new() });
+        let d = self.diags.entry(shift).or_insert_with(|| {
+            if self.numeric {
+                vec![Complex64::ZERO; n]
+            } else {
+                Vec::new()
+            }
+        });
         if self.numeric {
             d[row] = v;
         }
@@ -115,6 +122,7 @@ fn rot_group(size: usize, m: usize) -> Vec<usize> {
 
 /// One forward special-FFT level (`len`) as a diagonal matrix (no bit
 /// reversal).
+#[allow(clippy::needless_range_loop)] // rot[j] indexing mirrors the published recurrence
 fn fft_level_matrix(n: usize, len: usize, m: usize, numeric: bool) -> DiagMatrix {
     let lenh = len / 2;
     let lenq = len * 4;
@@ -139,6 +147,7 @@ fn fft_level_matrix(n: usize, len: usize, m: usize, numeric: bool) -> DiagMatrix
 
 /// One inverse special-FFT level (`len`) as a diagonal matrix, pre-scaled by
 /// `1/2` so the product over all levels carries the `1/n` normalization.
+#[allow(clippy::needless_range_loop)] // rot[j] indexing mirrors the published recurrence
 fn ifft_level_matrix(n: usize, len: usize, m: usize, numeric: bool) -> DiagMatrix {
     let lenh = len / 2;
     let lenq = len * 4;
@@ -238,8 +247,11 @@ pub(crate) fn encode_stage(
     let q_l = ctx.moduli_q()[level].value() as f64;
     let pt_scale = q_l * ctx.standard_scale(level - 1) / ctx.standard_scale(level);
     let num_diags = stage.num_diags();
-    let n1 = (1usize << (((num_diags as f64).sqrt().ceil() as usize).next_power_of_two().trailing_zeros()))
-        .max(1);
+    let n1 = (1usize
+        << (((num_diags as f64).sqrt().ceil() as usize)
+            .next_power_of_two()
+            .trailing_zeros()))
+    .max(1);
     let mut entries = Vec::with_capacity(num_diags);
     for (&shift, values) in &stage.diags {
         let giant = shift / n1;
@@ -252,6 +264,7 @@ pub(crate) fn encode_stage(
                 .collect();
             let raw = client.encode(&rotated, pt_scale, level);
             adapter::load_plaintext(ctx, &raw)
+                .expect("internally encoded diagonals are always loadable")
         } else {
             adapter::placeholder_plaintext(ctx, level, pt_scale, slots)
         };
@@ -297,8 +310,9 @@ mod tests {
         let n_s = 16usize;
         let stc = build_stc_stages(n_s, 1, 1.0, true);
         assert_eq!(stc.len(), 1);
-        let v: Vec<Complex64> =
-            (0..n_s).map(|i| Complex64::new(i as f64, -(i as f64) * 0.5)).collect();
+        let v: Vec<Complex64> = (0..n_s)
+            .map(|i| Complex64::new(i as f64, -(i as f64) * 0.5))
+            .collect();
         // Reference: special_fft includes bitrev first; our matrix omits it.
         let mut reference = v.clone();
         fides_math::bit_reverse(&mut reference); // pre-undo: fft(bitrev(x)) = stages(x)
@@ -320,8 +334,7 @@ mod tests {
         assert_eq!(coarse.len(), 2);
         assert!(coarse[0].num_diags() > 3);
         // Same total transform.
-        let v: Vec<Complex64> =
-            (0..n_s).map(|i| Complex64::from_real(i as f64)).collect();
+        let v: Vec<Complex64> = (0..n_s).map(|i| Complex64::from_real(i as f64)).collect();
         let mut a = v.clone();
         for s in &fine {
             a = s.apply_plain(&a);
@@ -353,7 +366,9 @@ mod tests {
         let n_s = 8usize;
         let plain = build_cts_stages(n_s, 1, 1.0, true);
         let scaled = build_cts_stages(n_s, 1, 2.5, true);
-        let v: Vec<Complex64> = (0..n_s).map(|i| Complex64::from_real(1.0 + i as f64)).collect();
+        let v: Vec<Complex64> = (0..n_s)
+            .map(|i| Complex64::from_real(1.0 + i as f64))
+            .collect();
         let a = plain[0].apply_plain(&v);
         let b = scaled[0].apply_plain(&v);
         for (x, y) in a.iter().zip(&b) {

@@ -98,11 +98,19 @@ impl Bootstrapper {
         let n = ctx.n();
         let n_s = config.slots;
         if !n_s.is_power_of_two() || n_s > n / 2 {
-            return Err(FidesError::InvalidParams(format!("invalid slot count {n_s}")));
+            return Err(FidesError::InvalidParams(format!(
+                "invalid slot count {n_s}"
+            )));
         }
         let levels_max = ctx.max_level();
-        let n_cts = config.level_budget.0.min(n_s.trailing_zeros().max(1) as usize);
-        let n_stc = config.level_budget.1.min(n_s.trailing_zeros().max(1) as usize);
+        let n_cts = config
+            .level_budget
+            .0
+            .min(n_s.trailing_zeros().max(1) as usize);
+        let n_stc = config
+            .level_budget
+            .1
+            .min(n_s.trailing_zeros().max(1) as usize);
         let cheby_depth = ChebyshevEvaluator::depth_estimate(config.degree);
         let needed = n_cts + cheby_depth + config.double_angles as usize + n_stc;
         if needed >= levels_max {
@@ -150,9 +158,8 @@ impl Bootstrapper {
         let r = config.double_angles;
         let cheby_coeffs = chebyshev_coefficients(
             move |w| {
-                ((std::f64::consts::PI * k * w - std::f64::consts::FRAC_PI_2)
-                    / 2f64.powi(r as i32))
-                .cos()
+                ((std::f64::consts::PI * k * w - std::f64::consts::FRAC_PI_2) / 2f64.powi(r as i32))
+                    .cos()
             },
             -1.0,
             1.0,
@@ -205,7 +212,10 @@ impl Bootstrapper {
     /// Missing keys, slot mismatch, or insufficient levels.
     pub fn bootstrap(&self, ct: &Ciphertext, keys: &EvalKeySet) -> Result<Ciphertext> {
         if ct.slots() != self.config.slots {
-            return Err(FidesError::SlotMismatch { left: ct.slots(), right: self.config.slots });
+            return Err(FidesError::SlotMismatch {
+                left: ct.slots(),
+                right: self.config.slots,
+            });
         }
         let sigma_ref = self.sigma_ref;
         let rho = ct.scale() / sigma_ref;
@@ -297,7 +307,11 @@ fn raise_to_top(poly: &RNSPoly) -> RNSPoly {
             coeff0.copy_from_slice(poly.limb(0).data.as_slice());
         });
         for pass in 0..2u8 {
-            let kind = if pass == 0 { KernelKind::InttPhase1 } else { KernelKind::InttPhase2 };
+            let kind = if pass == 0 {
+                KernelKind::InttPhase1
+            } else {
+                KernelKind::InttPhase2
+            };
             let desc = KernelDesc::new(kind)
                 .ops(ctx.ntt_phase_ops_scaled())
                 .read(coeff0.buffer(), lb)
@@ -325,7 +339,10 @@ fn raise_to_top(poly: &RNSPoly) -> RNSPoly {
         gpu.launch(stream, copy, || {
             dst.copy_from_slice(poly.limb(0).data.as_slice());
         });
-        slots[0] = Some(Limb { data: dst, chain: ChainIdx::Q(0) });
+        slots[0] = Some(Limb {
+            data: dst,
+            chain: ChainIdx::Q(0),
+        });
     }
     // Remaining limbs: centered switch + NTT.
     let upper: Vec<usize> = (1..=target).collect();
@@ -351,7 +368,11 @@ fn raise_to_top(poly: &RNSPoly) -> RNSPoly {
         });
         let phase_ops = ctx.ntt_phase_ops_scaled() * range.len() as u64;
         for pass in 0..2u8 {
-            let kind = if pass == 0 { KernelKind::NttPhase1 } else { KernelKind::NttPhase2 };
+            let kind = if pass == 0 {
+                KernelKind::NttPhase1
+            } else {
+                KernelKind::NttPhase2
+            };
             let mut desc = KernelDesc::new(kind).ops(phase_ops);
             for (_, dst) in &fresh {
                 desc = desc.read(dst.buffer(), lb).write(dst.buffer(), lb);
@@ -368,7 +389,10 @@ fn raise_to_top(poly: &RNSPoly) -> RNSPoly {
             });
         }
         for (i, dst) in fresh {
-            slots[i] = Some(Limb { data: dst, chain: ChainIdx::Q(i) });
+            slots[i] = Some(Limb {
+                data: dst,
+                chain: ChainIdx::Q(i),
+            });
         }
     }
     ctx.sync_batch_streams();

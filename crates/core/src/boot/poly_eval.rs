@@ -92,7 +92,12 @@ impl<'a> ChebyshevEvaluator<'a> {
         for (_, c) in giants.iter_mut() {
             c.drop_to_level(base)?;
         }
-        Ok(Self { keys, baby, giants, k })
+        Ok(Self {
+            keys,
+            baby,
+            giants,
+            k,
+        })
     }
 
     /// The common level of all precomputed powers.
@@ -144,8 +149,12 @@ impl<'a> ChebyshevEvaluator<'a> {
             });
         }
         // Split at the largest giant ≤ d.
-        let (g_deg, g_ct) =
-            self.giants.iter().rev().find(|(deg, _)| *deg <= d).expect("giant exists");
+        let (g_deg, g_ct) = self
+            .giants
+            .iter()
+            .rev()
+            .find(|(deg, _)| *deg <= d)
+            .expect("giant exists");
         let (q, r) = long_division_chebyshev(coeffs, *g_deg);
         let eq = self.eval_rec(&q)?;
         let er = self.eval_rec(&r)?;

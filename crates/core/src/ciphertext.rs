@@ -38,7 +38,13 @@ impl Ciphertext {
     /// Wraps two polynomials into a ciphertext.
     pub fn from_parts(c0: RNSPoly, c1: RNSPoly, scale: f64, slots: usize, noise_log2: f64) -> Self {
         assert_eq!(c0.num_q(), c1.num_q(), "component level mismatch");
-        Self { c0, c1, scale, slots, noise_log2 }
+        Self {
+            c0,
+            c1,
+            scale,
+            slots,
+            noise_log2,
+        }
     }
 
     /// An all-zero ciphertext at `level` (useful as an accumulator).
@@ -108,7 +114,10 @@ impl Ciphertext {
     /// Drops limbs down to `level` without rescaling (LevelReduce).
     pub fn drop_to_level(&mut self, level: usize) -> Result<()> {
         if level > self.level() {
-            return Err(FidesError::NotEnoughLevels { needed: level, available: self.level() });
+            return Err(FidesError::NotEnoughLevels {
+                needed: level,
+                available: self.level(),
+            });
         }
         self.c0.drop_to_level(level);
         self.c1.drop_to_level(level);
@@ -117,14 +126,23 @@ impl Ciphertext {
 
     pub(crate) fn check_compatible(&self, other: &Ciphertext) -> Result<()> {
         if self.level() != other.level() {
-            return Err(FidesError::LevelMismatch { left: self.level(), right: other.level() });
+            return Err(FidesError::LevelMismatch {
+                left: self.level(),
+                right: other.level(),
+            });
         }
         if self.slots != other.slots {
-            return Err(FidesError::SlotMismatch { left: self.slots, right: other.slots });
+            return Err(FidesError::SlotMismatch {
+                left: self.slots,
+                right: other.slots,
+            });
         }
         let drift = (self.scale / other.scale - 1.0).abs();
         if drift > SCALE_TOLERANCE {
-            return Err(FidesError::ScaleMismatch { left: self.scale, right: other.scale });
+            return Err(FidesError::ScaleMismatch {
+                left: self.scale,
+                right: other.scale,
+            });
         }
         Ok(())
     }
@@ -167,7 +185,10 @@ impl Plaintext {
     /// Drops limbs down to `level` (plaintexts can always be truncated).
     pub fn drop_to_level(&mut self, level: usize) -> Result<()> {
         if level > self.level() {
-            return Err(FidesError::NotEnoughLevels { needed: level, available: self.level() });
+            return Err(FidesError::NotEnoughLevels {
+                needed: level,
+                available: self.level(),
+            });
         }
         self.poly.drop_to_level(level);
         Ok(())
@@ -192,11 +213,20 @@ mod tests {
         let c = ctx();
         let a = Ciphertext::zero(&c, 2, 2f64.powi(40), 8);
         let b = Ciphertext::zero(&c, 1, 2f64.powi(40), 8);
-        assert!(matches!(a.check_compatible(&b), Err(FidesError::LevelMismatch { .. })));
+        assert!(matches!(
+            a.check_compatible(&b),
+            Err(FidesError::LevelMismatch { .. })
+        ));
         let b = Ciphertext::zero(&c, 2, 2f64.powi(41), 8);
-        assert!(matches!(a.check_compatible(&b), Err(FidesError::ScaleMismatch { .. })));
+        assert!(matches!(
+            a.check_compatible(&b),
+            Err(FidesError::ScaleMismatch { .. })
+        ));
         let b = Ciphertext::zero(&c, 2, 2f64.powi(40), 4);
-        assert!(matches!(a.check_compatible(&b), Err(FidesError::SlotMismatch { .. })));
+        assert!(matches!(
+            a.check_compatible(&b),
+            Err(FidesError::SlotMismatch { .. })
+        ));
         let b = Ciphertext::zero(&c, 2, 2f64.powi(40) * (1.0 + 1e-9), 8);
         assert!(a.check_compatible(&b).is_ok(), "tiny drift tolerated");
     }

@@ -95,10 +95,14 @@ impl CkksContext {
         let n = raw.n();
         let moduli_q: Vec<Modulus> = raw.moduli_q.iter().map(|&q| Modulus::new(q)).collect();
         let moduli_p: Vec<Modulus> = raw.moduli_p.iter().map(|&p| Modulus::new(p)).collect();
-        let ntt_q: Vec<Ntt2d> =
-            moduli_q.iter().map(|&m| Ntt2d::new(NttTable::new(n, m))).collect();
-        let ntt_p: Vec<Ntt2d> =
-            moduli_p.iter().map(|&m| Ntt2d::new(NttTable::new(n, m))).collect();
+        let ntt_q: Vec<Ntt2d> = moduli_q
+            .iter()
+            .map(|&m| Ntt2d::new(NttTable::new(n, m)))
+            .collect();
+        let ntt_p: Vec<Ntt2d> = moduli_p
+            .iter()
+            .map(|&m| Ntt2d::new(NttTable::new(n, m)))
+            .collect();
         let num_q = moduli_q.len();
         let partition = DigitPartition::new(num_q, raw.dnum);
 
@@ -112,10 +116,12 @@ impl CkksContext {
                 let src: Vec<Modulus> = src_range.clone().map(|i| moduli_q[i]).collect();
                 let dst_q_indices: Vec<usize> =
                     (0..=level).filter(|i| !src_range.contains(i)).collect();
-                let mut dst: Vec<Modulus> =
-                    dst_q_indices.iter().map(|&i| moduli_q[i]).collect();
+                let mut dst: Vec<Modulus> = dst_q_indices.iter().map(|&i| moduli_q[i]).collect();
                 dst.extend(moduli_p.iter().copied());
-                per_digit.push(ModUpTables { conv: BaseConverter::new(&src, &dst), dst_q_indices });
+                per_digit.push(ModUpTables {
+                    conv: BaseConverter::new(&src, &dst),
+                    dst_q_indices,
+                });
             }
             mod_up.push(per_digit);
         }
@@ -305,7 +311,9 @@ impl CkksContext {
     /// Limb-batch ranges over `count` limbs (§III-F.1).
     pub fn batch_ranges(&self, count: usize) -> Vec<Range<usize>> {
         let b = self.params.limb_batch.max(1);
-        (0..count.div_ceil(b)).map(|k| (k * b)..((k + 1) * b).min(count)).collect()
+        (0..count.div_ceil(b))
+            .map(|k| (k * b)..((k + 1) * b).min(count))
+            .collect()
     }
 
     /// Stream assignment for batch `k`.
@@ -339,7 +347,7 @@ mod tests {
         assert_eq!(c.max_level(), 4);
         assert_eq!(c.moduli_q().len(), 5);
         assert_eq!(c.alpha(), 3); // ceil(5/2)
-        // Rescale scalar is the inverse of q_l mod q_i.
+                                  // Rescale scalar is the inverse of q_l mod q_i.
         let l = 4;
         for i in 0..l {
             let m = &c.moduli_q()[i];
@@ -390,7 +398,7 @@ mod tests {
         assert_eq!(t.conv.src().len(), 3);
         assert_eq!(t.dst_q_indices, vec![3, 4]);
         assert_eq!(t.conv.dst().len(), 2 + 3); // 2 q + 3 p
-        // Level 1: only digit 0 active with 2 primes.
+                                               // Level 1: only digit 0 active with 2 primes.
         let t = c.mod_up_tables(1, 0);
         assert_eq!(t.conv.src().len(), 2);
         assert!(t.dst_q_indices.is_empty());
@@ -403,6 +411,10 @@ mod tests {
         let m = &c.moduli_q()[0];
         let mono = c.monomial_half(0);
         let sq0 = m.mul_mod(mono[0], mono[0]);
-        assert_eq!(sq0, m.value() - 1, "X^{{N/2}} squared must be -1 in eval domain");
+        assert_eq!(
+            sq0,
+            m.value() - 1,
+            "X^{{N/2}} squared must be -1 in eval domain"
+        );
     }
 }

@@ -38,6 +38,34 @@ pub enum FidesError {
     MissingKey(String),
     /// Invalid parameter combination.
     InvalidParams(String),
+    /// Data crossed the adapter in the wrong representation domain.
+    DomainMismatch {
+        /// Domain the operation requires.
+        expected: &'static str,
+        /// Domain the data arrived in.
+        found: &'static str,
+    },
+    /// A ciphertext or plaintext level exceeds the context chain.
+    LevelOutOfRange {
+        /// Offending level.
+        level: usize,
+        /// Maximum level the chain supports.
+        max: usize,
+    },
+    /// A switching key's limb count does not match the context chain.
+    KeyShape {
+        /// Limbs the chain requires per digit component.
+        expected: usize,
+        /// Limbs the key carries.
+        found: usize,
+    },
+    /// A client-side operation failed (encode / encrypt / serialization).
+    Client(String),
+    /// An adapter frame (ciphertext / plaintext / key) is structurally
+    /// inconsistent — e.g. limb counts that contradict its declared level.
+    Malformed(String),
+    /// The active evaluation backend does not support the operation.
+    Unsupported(String),
 }
 
 impl fmt::Display for FidesError {
@@ -47,7 +75,10 @@ impl fmt::Display for FidesError {
                 write!(f, "ciphertext level mismatch: {left} vs {right}")
             }
             FidesError::ScaleMismatch { left, right } => {
-                write!(f, "scale mismatch beyond drift tolerance: {left:e} vs {right:e}")
+                write!(
+                    f,
+                    "scale mismatch beyond drift tolerance: {left:e} vs {right:e}"
+                )
             }
             FidesError::SlotMismatch { left, right } => {
                 write!(f, "slot count mismatch: {left} vs {right}")
@@ -57,11 +88,35 @@ impl fmt::Display for FidesError {
             }
             FidesError::MissingKey(which) => write!(f, "missing evaluation key: {which}"),
             FidesError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+            FidesError::DomainMismatch { expected, found } => {
+                write!(
+                    f,
+                    "domain mismatch: expected {expected} representation, found {found}"
+                )
+            }
+            FidesError::LevelOutOfRange { level, max } => {
+                write!(f, "level {level} out of range (chain supports 0..={max})")
+            }
+            FidesError::KeyShape { expected, found } => {
+                write!(
+                    f,
+                    "switching key shape mismatch: expected {expected} limbs, found {found}"
+                )
+            }
+            FidesError::Client(msg) => write!(f, "client operation failed: {msg}"),
+            FidesError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+            FidesError::Unsupported(what) => write!(f, "unsupported by this backend: {what}"),
         }
     }
 }
 
 impl std::error::Error for FidesError {}
+
+impl From<fides_client::ClientError> for FidesError {
+    fn from(e: fides_client::ClientError) -> Self {
+        FidesError::Client(e.to_string())
+    }
+}
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, FidesError>;
@@ -76,7 +131,10 @@ mod tests {
         assert!(e.to_string().contains("3 vs 5"));
         let e = FidesError::MissingKey("rotation(4)".into());
         assert!(e.to_string().contains("rotation(4)"));
-        let e = FidesError::NotEnoughLevels { needed: 2, available: 1 };
+        let e = FidesError::NotEnoughLevels {
+            needed: 2,
+            available: 1,
+        };
         assert!(e.to_string().contains("need 2"));
     }
 

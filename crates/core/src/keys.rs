@@ -58,7 +58,9 @@ impl EvalKeySet {
     ///
     /// [`FidesError::MissingKey`] if not loaded.
     pub fn mult_key(&self) -> Result<&KeySwitchingKey> {
-        self.mult.as_ref().ok_or_else(|| FidesError::MissingKey("relinearization".into()))
+        self.mult
+            .as_ref()
+            .ok_or_else(|| FidesError::MissingKey("relinearization".into()))
     }
 
     /// The rotation key for Galois element `g`.
@@ -67,7 +69,9 @@ impl EvalKeySet {
     ///
     /// [`FidesError::MissingKey`] if not loaded.
     pub fn rotation_key(&self, g: usize) -> Result<&KeySwitchingKey> {
-        self.rotations.get(&g).ok_or_else(|| FidesError::MissingKey(format!("rotation(g={g})")))
+        self.rotations
+            .get(&g)
+            .ok_or_else(|| FidesError::MissingKey(format!("rotation(g={g})")))
     }
 
     /// The conjugation key.
@@ -76,7 +80,9 @@ impl EvalKeySet {
     ///
     /// [`FidesError::MissingKey`] if not loaded.
     pub fn conj_key(&self) -> Result<&KeySwitchingKey> {
-        self.conj.as_ref().ok_or_else(|| FidesError::MissingKey("conjugation".into()))
+        self.conj
+            .as_ref()
+            .ok_or_else(|| FidesError::MissingKey("conjugation".into()))
     }
 
     /// Galois elements with loaded rotation keys.

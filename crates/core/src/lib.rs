@@ -32,7 +32,7 @@
 //! let raw_ct = client.encrypt(&pt, &pk, &mut rng);
 //!
 //! // ...server computes...
-//! let ct = adapter::load_ciphertext(&ctx, &raw_ct);
+//! let ct = adapter::load_ciphertext(&ctx, &raw_ct).unwrap();
 //! let sum = ct.add(&ct).unwrap();
 //!
 //! // ...client decrypts.
@@ -43,9 +43,11 @@
 #![warn(missing_docs)]
 
 pub mod adapter;
+pub mod backend;
 pub mod boot;
 mod ciphertext;
 mod context;
+pub mod cpu_ref;
 mod error;
 mod kernels;
 mod keys;
@@ -53,11 +55,13 @@ mod ops;
 mod params;
 mod poly;
 
+pub use backend::{BackendCt, EvalBackend, GpuSimBackend};
+pub use boot::{BootstrapConfig, Bootstrapper};
 pub use ciphertext::{Ciphertext, Plaintext, SCALE_TOLERANCE};
 pub use context::{ChainIdx, CkksContext, EvalPerm, NUM_STREAMS};
+pub use cpu_ref::{CpuBackend, HostCiphertext};
 pub use error::{FidesError, Result};
 pub use keys::{EvalKeySet, KeySwitchingKey};
-pub use boot::{BootstrapConfig, Bootstrapper};
 pub use ops::linear::{fold_rotations, BsgsEntry, BsgsPlan};
 pub use params::{CkksParameters, FusionConfig};
 pub use poly::{Limb, LimbPartition, RNSPoly};

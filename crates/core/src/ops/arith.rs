@@ -76,11 +76,17 @@ impl Ciphertext {
     /// Level/scale/slot mismatches.
     pub fn add_plain_assign(&mut self, pt: &Plaintext) -> Result<()> {
         if pt.level() != self.level() {
-            return Err(FidesError::LevelMismatch { left: self.level(), right: pt.level() });
+            return Err(FidesError::LevelMismatch {
+                left: self.level(),
+                right: pt.level(),
+            });
         }
         let drift = (self.scale / pt.scale - 1.0).abs();
         if drift > crate::ciphertext::SCALE_TOLERANCE {
-            return Err(FidesError::ScaleMismatch { left: self.scale, right: pt.scale });
+            return Err(FidesError::ScaleMismatch {
+                left: self.scale,
+                right: pt.scale,
+            });
         }
         self.c0.add_assign_poly(&pt.poly);
         self.noise_log2 += 0.25;

@@ -51,7 +51,9 @@ pub(crate) fn mod_up_digit(d2: &RNSPoly, j: usize) -> RNSPoly {
         for di in range.clone() {
             let src = d2.limb(src_range.start + di);
             let dst = VectorGpu::new(ctx.gpu(), n);
-            copy_desc = copy_desc.read(src.data.buffer(), lb).write(dst.buffer(), lb);
+            copy_desc = copy_desc
+                .read(src.data.buffer(), lb)
+                .write(dst.buffer(), lb);
             fresh.push(dst);
         }
         gpu.launch(stream, copy_desc, || {
@@ -89,7 +91,9 @@ pub(crate) fn mod_up_digit(d2: &RNSPoly, j: usize) -> RNSPoly {
                 let chain = ChainIdx::Q(src_range.start + di);
                 ctx.ntt(chain).inverse_pass2(fresh[off].as_mut_slice());
                 if fused {
-                    tables.conv.scale_input_inplace(di, fresh[off].as_mut_slice());
+                    tables
+                        .conv
+                        .scale_input_inplace(di, fresh[off].as_mut_slice());
                 }
             }
         });
@@ -101,7 +105,9 @@ pub(crate) fn mod_up_digit(d2: &RNSPoly, j: usize) -> RNSPoly {
             }
             gpu.launch(stream, ds, || {
                 for (off, di) in range.clone().enumerate() {
-                    tables.conv.scale_input_inplace(di, fresh[off].as_mut_slice());
+                    tables
+                        .conv
+                        .scale_input_inplace(di, fresh[off].as_mut_slice());
                 }
             });
         }
@@ -121,7 +127,9 @@ pub(crate) fn mod_up_digit(d2: &RNSPoly, j: usize) -> RNSPoly {
         for di in range.clone() {
             let i = src_range.start + di;
             let dst = VectorGpu::new(ctx.gpu(), n);
-            desc = desc.read(d2.limb(i).data.buffer(), lb).write(dst.buffer(), lb);
+            desc = desc
+                .read(d2.limb(i).data.buffer(), lb)
+                .write(dst.buffer(), lb);
             fresh.push((i, dst));
         }
         gpu.launch(stream, desc, || {
@@ -131,7 +139,10 @@ pub(crate) fn mod_up_digit(d2: &RNSPoly, j: usize) -> RNSPoly {
             }
         });
         for (i, dst) in fresh {
-            slots[i] = Some(Limb { data: dst, chain: ChainIdx::Q(i) });
+            slots[i] = Some(Limb {
+                data: dst,
+                chain: ChainIdx::Q(i),
+            });
         }
     }
 
@@ -160,13 +171,19 @@ pub(crate) fn mod_up_digit(d2: &RNSPoly, j: usize) -> RNSPoly {
         gpu.launch(stream, conv_desc, || {
             let scaled_refs: Vec<&[u64]> = scaled.iter().map(|s| s.as_slice()).collect();
             for (off, dpos) in range.clone().enumerate() {
-                tables.conv.convert_scaled_limb(&scaled_refs, dpos, fresh[off].1.as_mut_slice());
+                tables
+                    .conv
+                    .convert_scaled_limb(&scaled_refs, dpos, fresh[off].1.as_mut_slice());
             }
         });
         // NTT the converted limbs back to evaluation domain.
         let phase_ops = ctx.ntt_phase_ops_scaled() * range.len() as u64;
         for pass in 0..2u8 {
-            let kind = if pass == 0 { KernelKind::NttPhase1 } else { KernelKind::NttPhase2 };
+            let kind = if pass == 0 {
+                KernelKind::NttPhase1
+            } else {
+                KernelKind::NttPhase2
+            };
             let mut nd = KernelDesc::new(kind)
                 .ops(phase_ops)
                 .access_efficiency(ctx.params().access_efficiency);
@@ -196,7 +213,10 @@ pub(crate) fn mod_up_digit(d2: &RNSPoly, j: usize) -> RNSPoly {
     }
     ctx.sync_batch_streams();
 
-    let limbs: Vec<Limb> = slots.into_iter().map(|s| s.expect("all limbs assigned")).collect();
+    let limbs: Vec<Limb> = slots
+        .into_iter()
+        .map(|s| s.expect("all limbs assigned"))
+        .collect();
     RNSPoly {
         ctx: Arc::clone(&ctx),
         part: LimbPartition { limbs },
@@ -296,7 +316,11 @@ pub(crate) fn mod_down(poly: &mut RNSPoly) {
             let stream = ctx.stream_for_batch(k);
             let phase_ops = ctx.ntt_phase_ops_scaled() * range.len() as u64;
             for pass in 0..2u8 {
-                let kind = if pass == 0 { KernelKind::InttPhase1 } else { KernelKind::InttPhase2 };
+                let kind = if pass == 0 {
+                    KernelKind::InttPhase1
+                } else {
+                    KernelKind::InttPhase2
+                };
                 let mut ops = phase_ops;
                 if pass == 1 {
                     ops += kernels::shoup_ops(n) * range.len() as u64;
@@ -351,7 +375,11 @@ pub(crate) fn mod_down(poly: &mut RNSPoly) {
         });
         let phase_ops = ctx.ntt_phase_ops_scaled() * range.len() as u64;
         for pass in 0..2u8 {
-            let kind = if pass == 0 { KernelKind::NttPhase1 } else { KernelKind::NttPhase2 };
+            let kind = if pass == 0 {
+                KernelKind::NttPhase1
+            } else {
+                KernelKind::NttPhase2
+            };
             let mut ops = phase_ops;
             if pass == 1 && fused {
                 ops += (kernels::add_ops(n) + kernels::shoup_ops(n)) * range.len() as u64;
@@ -360,7 +388,9 @@ pub(crate) fn mod_down(poly: &mut RNSPoly) {
                 .ops(ops)
                 .access_efficiency(ctx.params().access_efficiency);
             for (off, i) in range.clone().enumerate() {
-                desc = desc.read(tmps[off].buffer(), lb).write(tmps[off].buffer(), lb);
+                desc = desc
+                    .read(tmps[off].buffer(), lb)
+                    .write(tmps[off].buffer(), lb);
                 if pass == 1 && fused {
                     desc = desc
                         .read(q_limbs[i].data.buffer(), lb)
@@ -375,7 +405,12 @@ pub(crate) fn mod_down(poly: &mut RNSPoly) {
                     } else {
                         t.forward_pass2(tmps[off].as_mut_slice());
                         if fused {
-                            combine_mod_down(&ctx, i, q_limbs[i].data.as_mut_slice(), tmps[off].as_slice());
+                            combine_mod_down(
+                                &ctx,
+                                i,
+                                q_limbs[i].data.as_mut_slice(),
+                                tmps[off].as_slice(),
+                            );
                         }
                     }
                 }
@@ -392,7 +427,12 @@ pub(crate) fn mod_down(poly: &mut RNSPoly) {
             }
             gpu.launch(stream, desc, || {
                 for (off, i) in range.clone().enumerate() {
-                    combine_mod_down(&ctx, i, q_limbs[i].data.as_mut_slice(), tmps[off].as_slice());
+                    combine_mod_down(
+                        &ctx,
+                        i,
+                        q_limbs[i].data.as_mut_slice(),
+                        tmps[off].as_slice(),
+                    );
                 }
             });
         }

@@ -33,8 +33,12 @@ pub struct BsgsPlan {
 impl BsgsPlan {
     /// Baby shifts required by [`Self::apply`] (excluding 0).
     pub fn baby_shifts(&self) -> Vec<i32> {
-        let mut s: Vec<i32> =
-            self.entries.iter().map(|e| e.baby as i32).filter(|&b| b != 0).collect();
+        let mut s: Vec<i32> = self
+            .entries
+            .iter()
+            .map(|e| e.baby as i32)
+            .filter(|&b| b != 0)
+            .collect();
         s.sort_unstable();
         s.dedup();
         s
@@ -82,7 +86,10 @@ impl BsgsPlan {
         };
         let level = ct.level();
         if pt_level != level {
-            return Err(FidesError::LevelMismatch { left: level, right: pt_level });
+            return Err(FidesError::LevelMismatch {
+                left: level,
+                right: pt_level,
+            });
         }
         let pt_scale = self.entries[0].pt.scale();
         // Hoisted baby rotations (0 handled as a copy inside).
@@ -112,8 +119,11 @@ impl BsgsPlan {
                 inner.c1.mul_add_assign_poly(&baby_ct.c1, &e.pt.poly);
             }
             inner.noise_log2 = ct.noise_log2() + 2.0;
-            let rotated =
-                if giant == 0 { inner } else { inner.rotate((giant * self.n1) as i32, keys)? };
+            let rotated = if giant == 0 {
+                inner
+            } else {
+                inner.rotate((giant * self.n1) as i32, keys)?
+            };
             match &mut acc {
                 None => acc = Some(rotated),
                 Some(a) => a.add_assign_ct(&rotated)?,
@@ -132,7 +142,12 @@ impl BsgsPlan {
 /// # Errors
 ///
 /// Missing rotation keys for `step·2^i`.
-pub fn fold_rotations(ct: &Ciphertext, step: i32, iterations: u32, keys: &EvalKeySet) -> Result<Ciphertext> {
+pub fn fold_rotations(
+    ct: &Ciphertext,
+    step: i32,
+    iterations: u32,
+    keys: &EvalKeySet,
+) -> Result<Ciphertext> {
     let mut acc = ct.duplicate();
     for i in 0..iterations {
         let shift = step * (1 << i);

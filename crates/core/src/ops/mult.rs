@@ -18,10 +18,16 @@ impl Ciphertext {
     /// Level/scale/slot mismatches or a missing relinearization key.
     pub fn mul(&self, other: &Ciphertext, keys: &EvalKeySet) -> Result<Ciphertext> {
         if self.level() != other.level() {
-            return Err(FidesError::LevelMismatch { left: self.level(), right: other.level() });
+            return Err(FidesError::LevelMismatch {
+                left: self.level(),
+                right: other.level(),
+            });
         }
         if self.slots != other.slots {
-            return Err(FidesError::SlotMismatch { left: self.slots, right: other.slots });
+            return Err(FidesError::SlotMismatch {
+                left: self.slots,
+                right: other.slots,
+            });
         }
         let ksk = keys.mult_key()?;
         // Tensor.
@@ -40,7 +46,9 @@ impl Ciphertext {
             c1,
             scale: self.scale * other.scale,
             slots: self.slots,
-            noise_log2: self.noise_log2 + other.noise_log2 + (self.context().n() as f64).log2() / 2.0,
+            noise_log2: self.noise_log2
+                + other.noise_log2
+                + (self.context().n() as f64).log2() / 2.0,
         })
     }
 
@@ -78,7 +86,10 @@ impl Ciphertext {
     /// Level mismatch.
     pub fn mul_plain(&self, pt: &Plaintext) -> Result<Ciphertext> {
         if pt.level() != self.level() {
-            return Err(FidesError::LevelMismatch { left: self.level(), right: pt.level() });
+            return Err(FidesError::LevelMismatch {
+                left: self.level(),
+                right: pt.level(),
+            });
         }
         let mut out = self.duplicate();
         out.c0.mul_assign_poly(&pt.poly);
@@ -127,7 +138,10 @@ impl Ciphertext {
     /// Not enough levels.
     pub fn mul_scalar_rescale(&self, c: f64) -> Result<Ciphertext> {
         if self.level() == 0 {
-            return Err(FidesError::NotEnoughLevels { needed: 1, available: 0 });
+            return Err(FidesError::NotEnoughLevels {
+                needed: 1,
+                available: 0,
+            });
         }
         let ctx = self.context();
         let l = self.level();
@@ -159,7 +173,10 @@ impl Ciphertext {
     /// [`FidesError::NotEnoughLevels`] at level 0.
     pub fn rescale_in_place(&mut self) -> Result<()> {
         if self.level() == 0 {
-            return Err(FidesError::NotEnoughLevels { needed: 1, available: 0 });
+            return Err(FidesError::NotEnoughLevels {
+                needed: 1,
+                available: 0,
+            });
         }
         let q_l = self.context().moduli_q()[self.level()].value() as f64;
         rescale_poly(&mut self.c0);

@@ -16,7 +16,11 @@ use crate::poly::RNSPoly;
 
 /// Rescales a single polynomial in place, dropping its top limb.
 pub(crate) fn rescale_poly(poly: &mut RNSPoly) {
-    assert_eq!(poly.format(), Domain::Eval, "rescale operates on evaluation-domain polynomials");
+    assert_eq!(
+        poly.format(),
+        Domain::Eval,
+        "rescale operates on evaluation-domain polynomials"
+    );
     assert_eq!(poly.num_p(), 0);
     assert!(poly.num_q() >= 2, "cannot rescale at the last level");
     let ctx = Arc::clone(poly.context());
@@ -38,7 +42,11 @@ pub(crate) fn rescale_poly(poly: &mut RNSPoly) {
             last.copy_from_slice(poly.limb(l).data.as_slice());
         });
         for pass in 0..2u8 {
-            let kind = if pass == 0 { KernelKind::InttPhase1 } else { KernelKind::InttPhase2 };
+            let kind = if pass == 0 {
+                KernelKind::InttPhase1
+            } else {
+                KernelKind::InttPhase2
+            };
             let desc = KernelDesc::new(kind)
                 .ops(ctx.ntt_phase_ops_scaled())
                 .read(last.buffer(), lb)
@@ -81,7 +89,11 @@ pub(crate) fn rescale_poly(poly: &mut RNSPoly) {
         }
         let phase_ops = ctx.ntt_phase_ops_scaled() * range.len() as u64;
         for pass in 0..2u8 {
-            let kind = if pass == 0 { KernelKind::NttPhase1 } else { KernelKind::NttPhase2 };
+            let kind = if pass == 0 {
+                KernelKind::NttPhase1
+            } else {
+                KernelKind::NttPhase2
+            };
             let mut ops = phase_ops;
             let mut desc = KernelDesc::new(kind);
             if pass == 0 && fused {
@@ -95,7 +107,9 @@ pub(crate) fn rescale_poly(poly: &mut RNSPoly) {
             }
             desc = desc.ops(ops);
             for (off, i) in range.clone().enumerate() {
-                desc = desc.read(tmps[off].buffer(), lb).write(tmps[off].buffer(), lb);
+                desc = desc
+                    .read(tmps[off].buffer(), lb)
+                    .write(tmps[off].buffer(), lb);
                 if pass == 1 && fused {
                     desc = desc
                         .read(poly.limb(i).data.buffer(), lb)
@@ -108,8 +122,7 @@ pub(crate) fn rescale_poly(poly: &mut RNSPoly) {
                     if pass == 0 {
                         if fused {
                             let m = &ctx.moduli_q()[i];
-                            for (o, &v) in
-                                tmps[off].as_mut_slice().iter_mut().zip(last.as_slice())
+                            for (o, &v) in tmps[off].as_mut_slice().iter_mut().zip(last.as_slice())
                             {
                                 *o = switch_modulus_centered(v, &q_last, m);
                             }

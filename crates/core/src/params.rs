@@ -25,14 +25,24 @@ pub struct FusionConfig {
 
 impl Default for FusionConfig {
     fn default() -> Self {
-        Self { rescale: true, mod_down: true, key_switch: true, dot_product: true }
+        Self {
+            rescale: true,
+            mod_down: true,
+            key_switch: true,
+            dot_product: true,
+        }
     }
 }
 
 impl FusionConfig {
     /// Everything off — the ablation baseline.
     pub fn none() -> Self {
-        Self { rescale: false, mod_down: false, key_switch: false, dot_product: false }
+        Self {
+            rescale: false,
+            mod_down: false,
+            key_switch: false,
+            dot_product: false,
+        }
     }
 }
 
@@ -127,7 +137,10 @@ impl CkksParameters {
 
     fn validate(&self) -> Result<()> {
         if !(4..=17).contains(&self.log_n) {
-            return Err(FidesError::InvalidParams(format!("log_n {} out of range", self.log_n)));
+            return Err(FidesError::InvalidParams(format!(
+                "log_n {} out of range",
+                self.log_n
+            )));
         }
         if self.levels == 0 {
             return Err(FidesError::InvalidParams("need at least one level".into()));
@@ -145,11 +158,15 @@ impl CkksParameters {
             ));
         }
         if self.first_mod_bits > 60 {
-            return Err(FidesError::InvalidParams("first modulus limited to 60 bits".into()));
+            return Err(FidesError::InvalidParams(
+                "first modulus limited to 60 bits".into(),
+            ));
         }
         // Primes must satisfy q ≡ 1 (mod 2N).
         if self.scale_bits as usize <= self.log_n + 1 {
-            return Err(FidesError::InvalidParams("scale too small for ring degree".into()));
+            return Err(FidesError::InvalidParams(
+                "scale too small for ring degree".into(),
+            ));
         }
         Ok(())
     }
@@ -175,9 +192,15 @@ impl CkksParameters {
     /// [16,29,59,4], [17,44,59,4]}`.
     pub fn fig8_sets() -> Vec<CkksParameters> {
         vec![
-            CkksParameters::new(13, 5, 36, 2).unwrap().with_first_mod_bits(48),
-            CkksParameters::new(14, 9, 41, 3).unwrap().with_first_mod_bits(52),
-            CkksParameters::new(15, 15, 47, 3).unwrap().with_first_mod_bits(55),
+            CkksParameters::new(13, 5, 36, 2)
+                .unwrap()
+                .with_first_mod_bits(48),
+            CkksParameters::new(14, 9, 41, 3)
+                .unwrap()
+                .with_first_mod_bits(52),
+            CkksParameters::new(15, 15, 47, 3)
+                .unwrap()
+                .with_first_mod_bits(55),
             CkksParameters::new(16, 29, 59, 4).unwrap(),
             CkksParameters::new(17, 44, 59, 4).unwrap(),
         ]
@@ -185,7 +208,9 @@ impl CkksParameters {
 
     /// Small functional-test parameters: fast to execute bit-exactly.
     pub fn toy() -> CkksParameters {
-        CkksParameters::new(10, 4, 40, 2).expect("toy parameters are valid").with_limb_batch(2)
+        CkksParameters::new(10, 4, 40, 2)
+            .expect("toy parameters are valid")
+            .with_limb_batch(2)
     }
 
     /// Toy parameters deep enough for functional bootstrapping tests.
@@ -198,7 +223,13 @@ impl CkksParameters {
     /// Generates the concrete prime chains (shared client/server
     /// description).
     pub fn to_raw(&self) -> RawParams {
-        RawParams::generate(self.log_n, self.levels, self.scale_bits, self.first_mod_bits, self.dnum)
+        RawParams::generate(
+            self.log_n,
+            self.levels,
+            self.scale_bits,
+            self.first_mod_bits,
+            self.dnum,
+        )
     }
 }
 
@@ -224,13 +255,21 @@ mod tests {
         assert!(CkksParameters::new(12, 0, 40, 2).is_err(), "no levels");
         assert!(CkksParameters::new(12, 4, 40, 0).is_err(), "dnum 0");
         assert!(CkksParameters::new(12, 4, 40, 6).is_err(), "dnum too large");
-        assert!(CkksParameters::new(12, 4, 60, 2).is_err(), "scale ≥ first mod");
-        assert!(CkksParameters::new(12, 4, 12, 2).is_err(), "scale too small for N");
+        assert!(
+            CkksParameters::new(12, 4, 60, 2).is_err(),
+            "scale ≥ first mod"
+        );
+        assert!(
+            CkksParameters::new(12, 4, 12, 2).is_err(),
+            "scale too small for N"
+        );
     }
 
     #[test]
     fn builder_overrides() {
-        let p = CkksParameters::toy().with_limb_batch(8).with_fusion(FusionConfig::none());
+        let p = CkksParameters::toy()
+            .with_limb_batch(8)
+            .with_fusion(FusionConfig::none());
         assert_eq!(p.limb_batch, 8);
         assert!(!p.fusion.rescale);
         let p = p.with_limb_batch(0);
@@ -241,8 +280,24 @@ mod tests {
     fn fig8_sets_match_paper() {
         let sets = CkksParameters::fig8_sets();
         assert_eq!(sets.len(), 5);
-        assert_eq!((sets[0].log_n, sets[0].levels, sets[0].scale_bits, sets[0].dnum), (13, 5, 36, 2));
-        assert_eq!((sets[4].log_n, sets[4].levels, sets[4].scale_bits, sets[4].dnum), (17, 44, 59, 4));
+        assert_eq!(
+            (
+                sets[0].log_n,
+                sets[0].levels,
+                sets[0].scale_bits,
+                sets[0].dnum
+            ),
+            (13, 5, 36, 2)
+        );
+        assert_eq!(
+            (
+                sets[4].log_n,
+                sets[4].levels,
+                sets[4].scale_bits,
+                sets[4].dnum
+            ),
+            (17, 44, 59, 4)
+        );
     }
 
     #[test]

@@ -59,11 +59,17 @@ impl RNSPoly {
         let n = ctx.n();
         let mut limbs = Vec::with_capacity(level + 1 + ctx.alpha());
         for i in 0..=level {
-            limbs.push(Limb { data: VectorGpu::new(ctx.gpu(), n), chain: ChainIdx::Q(i) });
+            limbs.push(Limb {
+                data: VectorGpu::new(ctx.gpu(), n),
+                chain: ChainIdx::Q(i),
+            });
         }
         let num_p = if with_p { ctx.alpha() } else { 0 };
         for k in 0..num_p {
-            limbs.push(Limb { data: VectorGpu::new(ctx.gpu(), n), chain: ChainIdx::P(k) });
+            limbs.push(Limb {
+                data: VectorGpu::new(ctx.gpu(), n),
+                chain: ChainIdx::P(k),
+            });
         }
         Self {
             ctx: Arc::clone(ctx),
@@ -76,11 +82,7 @@ impl RNSPoly {
 
     /// Builds a polynomial from host limb data ordered `q_0..q_level` (an
     /// adapter-layer upload; the PCIe transfer is charged separately).
-    pub fn from_host_q_limbs(
-        ctx: &Arc<CkksContext>,
-        limbs: Vec<Vec<u64>>,
-        format: Domain,
-    ) -> Self {
+    pub fn from_host_q_limbs(ctx: &Arc<CkksContext>, limbs: Vec<Vec<u64>>, format: Domain) -> Self {
         let num_q = limbs.len();
         let device_limbs: Vec<Limb> = limbs
             .into_iter()
@@ -92,7 +94,9 @@ impl RNSPoly {
             .collect();
         Self {
             ctx: Arc::clone(ctx),
-            part: LimbPartition { limbs: device_limbs },
+            part: LimbPartition {
+                limbs: device_limbs,
+            },
             num_q,
             num_p: 0,
             format,
@@ -131,7 +135,10 @@ impl RNSPoly {
 
     /// Copies limb data back to the host (`q` limbs only).
     pub fn to_host_q_limbs(&self) -> Vec<Vec<u64>> {
-        self.part.limbs[..self.num_q].iter().map(|l| l.data.to_vec()).collect()
+        self.part.limbs[..self.num_q]
+            .iter()
+            .map(|l| l.data.to_vec())
+            .collect()
     }
 
     pub(crate) fn limb(&self, i: usize) -> &Limb {
@@ -152,7 +159,11 @@ impl RNSPoly {
         let gpu = Arc::clone(ctx.gpu());
         let lb = kernels::limb_bytes(self.n());
         let mut limbs = Vec::with_capacity(self.part.limbs.len());
-        for (k, range) in ctx.batch_ranges(self.part.limbs.len()).into_iter().enumerate() {
+        for (k, range) in ctx
+            .batch_ranges(self.part.limbs.len())
+            .into_iter()
+            .enumerate()
+        {
             let stream = ctx.stream_for_batch(k);
             let mut desc = KernelDesc::new(KernelKind::Fill);
             let mut fresh: Vec<Limb> = Vec::with_capacity(range.len());
@@ -160,11 +171,16 @@ impl RNSPoly {
                 let src = &self.part.limbs[i];
                 let dst = VectorGpu::new(ctx.gpu(), self.n());
                 desc = desc.read(src.data.buffer(), lb).write(dst.buffer(), lb);
-                fresh.push(Limb { data: dst, chain: src.chain });
+                fresh.push(Limb {
+                    data: dst,
+                    chain: src.chain,
+                });
             }
             gpu.launch(stream, desc, || {
                 for (off, i) in range.clone().enumerate() {
-                    fresh[off].data.copy_from_slice(self.part.limbs[i].data.as_slice());
+                    fresh[off]
+                        .data
+                        .copy_from_slice(self.part.limbs[i].data.as_slice());
                 }
             });
             limbs.extend(fresh);
@@ -187,13 +203,21 @@ impl RNSPoly {
         f: impl Fn(&Modulus, &mut [u64], &[&[u64]]),
     ) {
         for o in others {
-            assert_eq!(o.part.limbs.len(), self.part.limbs.len(), "limb count mismatch");
+            assert_eq!(
+                o.part.limbs.len(),
+                self.part.limbs.len(),
+                "limb count mismatch"
+            );
             assert_eq!(o.format, self.format, "format mismatch");
         }
         let ctx = Arc::clone(&self.ctx);
         let gpu = Arc::clone(ctx.gpu());
         let lb = kernels::limb_bytes(self.n());
-        for (k, range) in ctx.batch_ranges(self.part.limbs.len()).into_iter().enumerate() {
+        for (k, range) in ctx
+            .batch_ranges(self.part.limbs.len())
+            .into_iter()
+            .enumerate()
+        {
             let stream = ctx.stream_for_batch(k);
             let mut desc =
                 KernelDesc::new(KernelKind::Elementwise).ops(ops_per_limb * range.len() as u64);
@@ -208,8 +232,10 @@ impl RNSPoly {
             let moduli: Vec<Modulus> = range.clone().map(|i| self.modulus_of(i)).collect();
             gpu.launch(stream, desc, || {
                 for (off, i) in range.clone().enumerate() {
-                    let srcs: Vec<&[u64]> =
-                        others.iter().map(|o| o.part.limbs[i].data.as_slice()).collect();
+                    let srcs: Vec<&[u64]> = others
+                        .iter()
+                        .map(|o| o.part.limbs[i].data.as_slice())
+                        .collect();
                     // Split borrow: limbs are disjoint, take raw slice.
                     let dst = self.part.limbs[i].data.as_mut_slice();
                     f(&moduli[off], dst, &srcs);
@@ -221,13 +247,17 @@ impl RNSPoly {
     /// `self += other`.
     pub fn add_assign_poly(&mut self, other: &RNSPoly) {
         let ops = kernels::add_ops(self.n());
-        self.zip_kernel(&[other], ops, |m, dst, srcs| m.add_assign_slices(dst, srcs[0]));
+        self.zip_kernel(&[other], ops, |m, dst, srcs| {
+            m.add_assign_slices(dst, srcs[0])
+        });
     }
 
     /// `self -= other`.
     pub fn sub_assign_poly(&mut self, other: &RNSPoly) {
         let ops = kernels::add_ops(self.n());
-        self.zip_kernel(&[other], ops, |m, dst, srcs| m.sub_assign_slices(dst, srcs[0]));
+        self.zip_kernel(&[other], ops, |m, dst, srcs| {
+            m.sub_assign_slices(dst, srcs[0])
+        });
     }
 
     /// `self = -self`.
@@ -238,9 +268,15 @@ impl RNSPoly {
 
     /// `self ⊙= other` (pointwise modular multiplication; both eval domain).
     pub fn mul_assign_poly(&mut self, other: &RNSPoly) {
-        assert_eq!(self.format, Domain::Eval, "dyadic product needs evaluation domain");
+        assert_eq!(
+            self.format,
+            Domain::Eval,
+            "dyadic product needs evaluation domain"
+        );
         let ops = kernels::mul_ops(self.n());
-        self.zip_kernel(&[other], ops, |m, dst, srcs| m.mul_assign_slices(dst, srcs[0]));
+        self.zip_kernel(&[other], ops, |m, dst, srcs| {
+            m.mul_assign_slices(dst, srcs[0])
+        });
     }
 
     /// `self += a ⊙ b` (fused multiply-accumulate, the dot-product fusion of
@@ -248,7 +284,9 @@ impl RNSPoly {
     pub fn mul_add_assign_poly(&mut self, a: &RNSPoly, b: &RNSPoly) {
         assert_eq!(self.format, Domain::Eval);
         let ops = kernels::mul_add_ops(self.n());
-        self.zip_kernel(&[a, b], ops, |m, dst, srcs| m.mul_add_assign_slices(dst, srcs[0], srcs[1]));
+        self.zip_kernel(&[a, b], ops, |m, dst, srcs| {
+            m.mul_add_assign_slices(dst, srcs[0], srcs[1])
+        });
     }
 
     /// `out = a ⊙ b` into a fresh polynomial.
@@ -263,7 +301,9 @@ impl RNSPoly {
         assert_eq!(scalars.len(), self.part.limbs.len());
         let ops = kernels::mul_ops(self.n());
         let scalars = scalars.to_vec();
-        self.indexed_kernel(ops, move |idx, m, dst| m.scalar_mul_assign(dst, scalars[idx]));
+        self.indexed_kernel(ops, move |idx, m, dst| {
+            m.scalar_mul_assign(dst, scalars[idx])
+        });
     }
 
     /// Per-limb scalar add: `self[i] += scalars[i]` (limb order). In
@@ -272,7 +312,9 @@ impl RNSPoly {
         assert_eq!(scalars.len(), self.part.limbs.len());
         let ops = kernels::add_ops(self.n());
         let scalars = scalars.to_vec();
-        self.indexed_kernel(ops, move |idx, m, dst| m.scalar_add_assign(dst, scalars[idx]));
+        self.indexed_kernel(ops, move |idx, m, dst| {
+            m.scalar_add_assign(dst, scalars[idx])
+        });
     }
 
     /// Elementwise kernel that knows the limb position (for per-limb
@@ -285,7 +327,11 @@ impl RNSPoly {
         let ctx = Arc::clone(&self.ctx);
         let gpu = Arc::clone(ctx.gpu());
         let lb = kernels::limb_bytes(self.n());
-        for (k, range) in ctx.batch_ranges(self.part.limbs.len()).into_iter().enumerate() {
+        for (k, range) in ctx
+            .batch_ranges(self.part.limbs.len())
+            .into_iter()
+            .enumerate()
+        {
             let stream = ctx.stream_for_batch(k);
             let mut desc =
                 KernelDesc::new(KernelKind::Elementwise).ops(ops_per_limb * range.len() as u64);
@@ -305,14 +351,22 @@ impl RNSPoly {
 
     /// Forward NTT over all limbs: two hierarchical passes per limb batch.
     pub fn ntt_inplace(&mut self) {
-        assert_eq!(self.format, Domain::Coeff, "forward NTT expects coefficient domain");
+        assert_eq!(
+            self.format,
+            Domain::Coeff,
+            "forward NTT expects coefficient domain"
+        );
         self.ntt_passes(true);
         self.format = Domain::Eval;
     }
 
     /// Inverse NTT over all limbs.
     pub fn intt_inplace(&mut self) {
-        assert_eq!(self.format, Domain::Eval, "inverse NTT expects evaluation domain");
+        assert_eq!(
+            self.format,
+            Domain::Eval,
+            "inverse NTT expects evaluation domain"
+        );
         self.ntt_passes(false);
         self.format = Domain::Coeff;
     }
@@ -323,7 +377,11 @@ impl RNSPoly {
         let n = self.n();
         let lb = kernels::limb_bytes(n);
         let phase_ops = ctx.ntt_phase_ops_scaled();
-        for (k, range) in ctx.batch_ranges(self.part.limbs.len()).into_iter().enumerate() {
+        for (k, range) in ctx
+            .batch_ranges(self.part.limbs.len())
+            .into_iter()
+            .enumerate()
+        {
             let stream = ctx.stream_for_batch(k);
             for pass in 0..2u8 {
                 let kind = match (forward, pass) {
@@ -368,16 +426,25 @@ impl RNSPoly {
         let n = self.n();
         let lb = kernels::limb_bytes(n);
         let mut limbs = Vec::with_capacity(self.part.limbs.len());
-        for (k, range) in ctx.batch_ranges(self.part.limbs.len()).into_iter().enumerate() {
+        for (k, range) in ctx
+            .batch_ranges(self.part.limbs.len())
+            .into_iter()
+            .enumerate()
+        {
             let stream = ctx.stream_for_batch(k);
-            let mut desc =
-                KernelDesc::new(KernelKind::Automorphism).ops(kernels::add_ops(n) * range.len() as u64);
+            let mut desc = KernelDesc::new(KernelKind::Automorphism)
+                .ops(kernels::add_ops(n) * range.len() as u64);
             desc = desc.read(perm.dev.buffer(), (n * 4) as u64);
             let mut fresh: Vec<Limb> = Vec::with_capacity(range.len());
             for i in range.clone() {
                 let dst = VectorGpu::new(ctx.gpu(), n);
-                desc = desc.read(self.part.limbs[i].data.buffer(), lb).write(dst.buffer(), lb);
-                fresh.push(Limb { data: dst, chain: self.part.limbs[i].chain });
+                desc = desc
+                    .read(self.part.limbs[i].data.buffer(), lb)
+                    .write(dst.buffer(), lb);
+                fresh.push(Limb {
+                    data: dst,
+                    chain: self.part.limbs[i].chain,
+                });
             }
             gpu.launch(stream, desc, || {
                 for (off, i) in range.clone().enumerate() {
@@ -401,7 +468,10 @@ impl RNSPoly {
 
     /// Drops limbs above `level` (OpenFHE's LevelReduce — no rescaling).
     pub fn drop_to_level(&mut self, level: usize) {
-        assert!(self.num_p == 0, "cannot drop levels on an extended polynomial");
+        assert!(
+            self.num_p == 0,
+            "cannot drop levels on an extended polynomial"
+        );
         assert!(level < self.num_q, "target level must be below current");
         self.part.limbs.truncate(level + 1);
         self.num_q = level + 1;
@@ -540,7 +610,7 @@ mod tests {
             }
         }
         a.neg_assign();
-        a.scalar_add_assign(&vec![1, 1]);
+        a.scalar_add_assign(&[1, 1]);
         let neg = a.to_host_q_limbs();
         for i in 0..2 {
             let m = c.moduli_q()[i];
@@ -558,7 +628,11 @@ mod tests {
         let before = gpu.stats().kernel_launches;
         a.add_assign_poly(&b);
         let after = gpu.stats().kernel_launches;
-        assert_eq!(after - before, 3, "5 limbs at batch 2 → 3 elementwise kernels");
+        assert_eq!(
+            after - before,
+            3,
+            "5 limbs at batch 2 → 3 elementwise kernels"
+        );
     }
 
     #[test]

@@ -5,10 +5,10 @@
 use std::sync::Arc;
 
 use fides_client::{ClientContext, KeyGenerator, RawSwitchingKey, SecretKey};
+use fides_core::boot::{chebyshev_coefficients, eval_chebyshev_plain, ChebyshevEvaluator};
 use fides_core::{
     adapter, BootstrapConfig, Bootstrapper, Ciphertext, CkksContext, CkksParameters, EvalKeySet,
 };
-use fides_core::boot::{chebyshev_coefficients, eval_chebyshev_plain, ChebyshevEvaluator};
 use fides_gpu_sim::{DeviceSpec, ExecMode, GpuSim};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,7 +29,13 @@ impl Harness {
         let mut kg = KeyGenerator::new(&client, 0xb001);
         let sk = kg.secret_key();
         let pk = kg.public_key(&sk);
-        Self { ctx, client, sk, pk, rng: StdRng::seed_from_u64(0x5eed) }
+        Self {
+            ctx,
+            client,
+            sk,
+            pk,
+            rng: StdRng::seed_from_u64(0x5eed),
+        }
     }
 
     fn keys_with_rotations(&self, shifts: &[i32]) -> EvalKeySet {
@@ -37,21 +43,26 @@ impl Harness {
         // Re-derive the same secret key stream? No: keys must match self.sk,
         // so generate from the stored secret.
         let relin = kg.relinearization_key(&self.sk);
-        let rots: Vec<(i32, RawSwitchingKey)> =
-            shifts.iter().map(|&k| (k, kg.rotation_key(&self.sk, k))).collect();
+        let rots: Vec<(i32, RawSwitchingKey)> = shifts
+            .iter()
+            .map(|&k| (k, kg.rotation_key(&self.sk, k)))
+            .collect();
         let conj = kg.conjugation_key(&self.sk);
-        adapter::load_eval_keys(&self.ctx, Some(&relin), &rots, Some(&conj))
+        adapter::load_eval_keys(&self.ctx, Some(&relin), &rots, Some(&conj)).unwrap()
     }
 
     fn encrypt_at(&mut self, values: &[f64], level: usize) -> Ciphertext {
-        let pt = self.client.encode_real(values, self.ctx.standard_scale(level), level);
+        let pt = self
+            .client
+            .encode_real(values, self.ctx.standard_scale(level), level);
         let raw = self.client.encrypt(&pt, &self.pk, &mut self.rng);
-        adapter::load_ciphertext(&self.ctx, &raw)
+        adapter::load_ciphertext(&self.ctx, &raw).unwrap()
     }
 
     fn decrypt(&self, ct: &Ciphertext) -> Vec<f64> {
         let raw = adapter::store_ciphertext(ct);
-        self.client.decode_real(&self.client.decrypt(&raw, &self.sk))
+        self.client
+            .decode_real(&self.client.decrypt(&raw, &self.sk))
     }
 }
 
@@ -63,7 +74,9 @@ fn chebyshev_evaluator_matches_plain() {
     let keys = h.keys_with_rotations(&[]);
     let degree = 23;
     let coeffs = chebyshev_coefficients(|x| (1.5 * x).sin() * 0.7 + 0.2 * x, -1.0, 1.0, degree);
-    let inputs: Vec<f64> = (0..16).map(|i| -1.0 + 2.0 * (i as f64 + 0.5) / 16.0).collect();
+    let inputs: Vec<f64> = (0..16)
+        .map(|i| -1.0 + 2.0 * (i as f64 + 0.5) / 16.0)
+        .collect();
     let ct = h.encrypt_at(&inputs, h.ctx.max_level());
     let ev = ChebyshevEvaluator::new(&ct, degree, &keys).unwrap();
     let out = ev.evaluate(&coeffs).unwrap();
@@ -96,7 +109,9 @@ fn approx_mod_sine_pipeline() {
         degree,
     );
     // Inputs small enough that sin stays in its principal behaviour zone.
-    let inputs: Vec<f64> = (0..16).map(|i| (i as f64 - 8.0) / (k_range * 4.0)).collect();
+    let inputs: Vec<f64> = (0..16)
+        .map(|i| (i as f64 - 8.0) / (k_range * 4.0))
+        .collect();
     let ct = h.encrypt_at(&inputs, h.ctx.max_level());
     let ev = ChebyshevEvaluator::new(&ct, degree, &keys).unwrap();
     let mut c = ev.evaluate(&coeffs).unwrap();
@@ -110,7 +125,10 @@ fn approx_mod_sine_pipeline() {
     let got = h.decrypt(&c);
     for (i, (&u, g)) in inputs.iter().zip(&got).enumerate() {
         let expect = (std::f64::consts::PI * k_range * u).sin();
-        assert!((g - expect).abs() < 1e-3, "slot {i}: {g} vs {expect} (u={u})");
+        assert!(
+            (g - expect).abs() < 1e-3,
+            "slot {i}: {g} vs {expect} (u={u})"
+        );
     }
 }
 
@@ -123,7 +141,9 @@ fn bootstrap_refreshes_levels_and_preserves_message() {
     let boot = Bootstrapper::new(&h.ctx, &h.client, config).unwrap();
     let keys = h.keys_with_rotations(&boot.required_rotations());
 
-    let values: Vec<f64> = (0..slots).map(|i| 0.35 * ((i as f64) * 0.9).sin()).collect();
+    let values: Vec<f64> = (0..slots)
+        .map(|i| 0.35 * ((i as f64) * 0.9).sin())
+        .collect();
     // Encrypt at the bottom of the chain (level 0): nothing left to compute.
     let mut ct = h.encrypt_at(&values, h.ctx.max_level());
     ct.drop_to_level(0).unwrap();
@@ -136,7 +156,10 @@ fn bootstrap_refreshes_levels_and_preserves_message() {
         refreshed.level(),
         boot.min_output_level()
     );
-    assert!(refreshed.level() >= 3, "must regain usable multiplicative depth");
+    assert!(
+        refreshed.level() >= 3,
+        "must regain usable multiplicative depth"
+    );
 
     let got = h.decrypt(&refreshed);
     for (i, (v, g)) in values.iter().zip(&got).enumerate() {
@@ -200,11 +223,11 @@ fn bootstrap_cost_only_at_paper_scale() {
             })
             .collect(),
     };
-    keys.set_mult(adapter::load_switching_key(&ctx, &mk()));
-    keys.set_conj(adapter::load_switching_key(&ctx, &mk()));
+    keys.set_mult(adapter::load_switching_key(&ctx, &mk()).unwrap());
+    keys.set_conj(adapter::load_switching_key(&ctx, &mk()).unwrap());
     for shift in boot.required_rotations() {
         let g = fides_client::galois_for_rotation(shift, ctx.n());
-        keys.insert_rotation(g, adapter::load_switching_key(&ctx, &mk()));
+        keys.insert_rotation(g, adapter::load_switching_key(&ctx, &mk()).unwrap());
     }
 
     let ct = adapter::placeholder_ciphertext(&ctx, 0, ctx.standard_scale(0), 1 << 14);

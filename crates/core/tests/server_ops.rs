@@ -34,29 +34,42 @@ impl Harness {
         let sk = kg.secret_key();
         let pk = kg.public_key(&sk);
         let relin = kg.relinearization_key(&sk);
-        let rot_keys: Vec<(i32, RawSwitchingKey)> =
-            rotations.iter().map(|&k| (k, kg.rotation_key(&sk, k))).collect();
+        let rot_keys: Vec<(i32, RawSwitchingKey)> = rotations
+            .iter()
+            .map(|&k| (k, kg.rotation_key(&sk, k)))
+            .collect();
         let conj = kg.conjugation_key(&sk);
-        let keys = adapter::load_eval_keys(&ctx, Some(&relin), &rot_keys, Some(&conj));
-        Self { ctx, client, sk, pk, keys, rng: StdRng::seed_from_u64(0xcafe) }
+        let keys = adapter::load_eval_keys(&ctx, Some(&relin), &rot_keys, Some(&conj)).unwrap();
+        Self {
+            ctx,
+            client,
+            sk,
+            pk,
+            keys,
+            rng: StdRng::seed_from_u64(0xcafe),
+        }
     }
 
     fn encrypt(&mut self, values: &[f64]) -> Ciphertext {
-        let pt =
-            self.client.encode_real(values, self.ctx.fresh_scale(), self.ctx.max_level());
+        let pt = self
+            .client
+            .encode_real(values, self.ctx.fresh_scale(), self.ctx.max_level());
         let raw = self.client.encrypt(&pt, &self.pk, &mut self.rng);
-        adapter::load_ciphertext(&self.ctx, &raw)
+        adapter::load_ciphertext(&self.ctx, &raw).unwrap()
     }
 
     fn encrypt_complex(&mut self, values: &[Complex64]) -> Ciphertext {
-        let pt = self.client.encode(values, self.ctx.fresh_scale(), self.ctx.max_level());
+        let pt = self
+            .client
+            .encode(values, self.ctx.fresh_scale(), self.ctx.max_level());
         let raw = self.client.encrypt(&pt, &self.pk, &mut self.rng);
-        adapter::load_ciphertext(&self.ctx, &raw)
+        adapter::load_ciphertext(&self.ctx, &raw).unwrap()
     }
 
     fn decrypt(&self, ct: &Ciphertext) -> Vec<f64> {
         let raw = adapter::store_ciphertext(ct);
-        self.client.decode_real(&self.client.decrypt(&raw, &self.sk))
+        self.client
+            .decode_real(&self.client.decrypt(&raw, &self.sk))
     }
 
     fn decrypt_complex(&self, ct: &Ciphertext) -> Vec<Complex64> {
@@ -71,7 +84,10 @@ fn ramp(n: usize) -> Vec<f64> {
 
 fn assert_close(got: &[f64], expect: &[f64], tol: f64, what: &str) {
     for (i, (g, e)) in got.iter().zip(expect).enumerate() {
-        assert!((g - e).abs() < tol, "{what}: slot {i}: got {g}, expected {e}");
+        assert!(
+            (g - e).abs() < tol,
+            "{what}: slot {i}: got {g}, expected {e}"
+        );
     }
 }
 
@@ -120,7 +136,7 @@ fn ptadd_ptmult() {
     let b: Vec<f64> = (0..64).map(|i| 0.3 + 0.01 * i as f64).collect();
     let ca = h.encrypt(&a);
     let raw_pt = h.client.encode_real(&b, ca.scale(), ca.level());
-    let pt = adapter::load_plaintext(&h.ctx, &raw_pt);
+    let pt = adapter::load_plaintext(&h.ctx, &raw_pt).unwrap();
 
     let sum = ca.add_plain(&pt).unwrap();
     let expect: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
@@ -184,16 +200,26 @@ fn rotations_and_conjugation() {
         let expect: Vec<f64> = (0..slots)
             .map(|i| a[((i as i64 + k as i64).rem_euclid(slots as i64)) as usize])
             .collect();
-        assert_close(&h.decrypt(&rotated), &expect, 1e-4, &format!("HRotate({k})"));
+        assert_close(
+            &h.decrypt(&rotated),
+            &expect,
+            1e-4,
+            &format!("HRotate({k})"),
+        );
     }
     // Conjugation on complex data.
-    let vals: Vec<Complex64> =
-        (0..slots).map(|i| Complex64::new(i as f64 * 0.1, 0.5 - i as f64 * 0.05)).collect();
+    let vals: Vec<Complex64> = (0..slots)
+        .map(|i| Complex64::new(i as f64 * 0.1, 0.5 - i as f64 * 0.05))
+        .collect();
     let cc = h.encrypt_complex(&vals);
     let conj = cc.conjugate(&h.keys).unwrap();
     let got = h.decrypt_complex(&conj);
     for (g, v) in got.iter().zip(&vals) {
-        assert!((*g - v.conj()).abs() < 1e-4, "HConjugate: {g:?} vs {:?}", v.conj());
+        assert!(
+            (*g - v.conj()).abs() < 1e-4,
+            "HConjugate: {g:?} vs {:?}",
+            v.conj()
+        );
     }
 }
 
@@ -224,8 +250,9 @@ fn hoisted_rotations_match_individual() {
 #[test]
 fn mul_by_i_multiplies_slots_by_imaginary_unit() {
     let mut h = Harness::new(&[]);
-    let vals: Vec<Complex64> =
-        (0..16).map(|i| Complex64::new(0.2 * i as f64, -0.1 * i as f64)).collect();
+    let vals: Vec<Complex64> = (0..16)
+        .map(|i| Complex64::new(0.2 * i as f64, -0.1 * i as f64))
+        .collect();
     let cc = h.encrypt_complex(&vals);
     let rotated = cc.mul_by_i();
     let got = h.decrypt_complex(&rotated);
@@ -244,7 +271,10 @@ fn level_mismatch_rejected() {
     let mut cb = h.encrypt(&ramp(8));
     cb.drop_to_level(ca.level() - 1).unwrap();
     assert!(matches!(ca.add(&cb), Err(FidesError::LevelMismatch { .. })));
-    assert!(matches!(ca.mul(&cb, &h.keys), Err(FidesError::LevelMismatch { .. })));
+    assert!(matches!(
+        ca.mul(&cb, &h.keys),
+        Err(FidesError::LevelMismatch { .. })
+    ));
 }
 
 #[test]
@@ -306,7 +336,10 @@ fn cost_only_mode_runs_hmult_schedule_at_paper_scale_quickly() {
     prod.rescale_in_place().unwrap();
     let dt = gpu.sync() - t0;
     // HMult + Rescale on the 4090 model lands in the ~1 ms regime (Table V).
-    assert!(dt > 100.0 && dt < 10_000.0, "simulated HMult+Rescale = {dt} µs");
+    assert!(
+        dt > 100.0 && dt < 10_000.0,
+        "simulated HMult+Rescale = {dt} µs"
+    );
 }
 
 /// Builds placeholder (cost-only) switching keys directly on the device.
@@ -317,12 +350,18 @@ fn synth_keys(ctx: &Arc<CkksContext>) -> EvalKeySet {
     let raw = RawSwitchingKey {
         digits: (0..ctx.raw_params().dnum)
             .map(|_| RawKeyDigit {
-                b: RawPoly { limbs: vec![Vec::new(); chain], domain: Domain::Eval },
-                a: RawPoly { limbs: vec![Vec::new(); chain], domain: Domain::Eval },
+                b: RawPoly {
+                    limbs: vec![Vec::new(); chain],
+                    domain: Domain::Eval,
+                },
+                a: RawPoly {
+                    limbs: vec![Vec::new(); chain],
+                    domain: Domain::Eval,
+                },
             })
             .collect(),
     };
     let mut keys = EvalKeySet::new();
-    keys.set_mult(adapter::load_switching_key(ctx, &raw));
+    keys.set_mult(adapter::load_switching_key(ctx, &raw).unwrap());
     keys
 }

@@ -147,7 +147,12 @@ impl DeviceSpec {
 
     /// All four GPU presets, in Table IV order.
     pub fn all_gpus() -> Vec<DeviceSpec> {
-        vec![Self::rtx_4060_ti(), Self::rtx_a4500(), Self::v100(), Self::rtx_4090()]
+        vec![
+            Self::rtx_4060_ti(),
+            Self::rtx_a4500(),
+            Self::v100(),
+            Self::rtx_4090(),
+        ]
     }
 
     /// Peak integer throughput in int32 ops per microsecond, after the
@@ -198,7 +203,10 @@ mod tests {
     fn gpu_ordering_by_bandwidth() {
         let gpus = DeviceSpec::all_gpus();
         for w in gpus.windows(2) {
-            assert!(w[0].dram_gbps < w[1].dram_gbps, "Table IV order is ascending bandwidth");
+            assert!(
+                w[0].dram_gbps < w[1].dram_gbps,
+                "Table IV order is ascending bandwidth"
+            );
         }
     }
 }

@@ -206,8 +206,18 @@ impl<T: Copy + Default> VectorGpu<T> {
     pub fn new(gpu: &Arc<GpuSim>, len: usize) -> Self {
         let bytes = (len * std::mem::size_of::<T>()) as u64;
         let buffer = gpu.pool_alloc(bytes);
-        let data = if gpu.is_functional() { vec![T::default(); len] } else { Vec::new() };
-        Self { data, logical_len: len, buffer, gpu: Arc::clone(gpu), managed: true }
+        let data = if gpu.is_functional() {
+            vec![T::default(); len]
+        } else {
+            Vec::new()
+        };
+        Self {
+            data,
+            logical_len: len,
+            buffer,
+            gpu: Arc::clone(gpu),
+            managed: true,
+        }
     }
 
     /// Allocates an *unmanaged* vector: accounting for its bytes is assumed
@@ -215,8 +225,18 @@ impl<T: Copy + Default> VectorGpu<T> {
     /// §III-D), so the pool records no separate alloc/free bytes.
     pub fn unmanaged(gpu: &Arc<GpuSim>, len: usize) -> Self {
         let buffer = gpu.pool_alloc(0);
-        let data = if gpu.is_functional() { vec![T::default(); len] } else { Vec::new() };
-        Self { data, logical_len: len, buffer, gpu: Arc::clone(gpu), managed: false }
+        let data = if gpu.is_functional() {
+            vec![T::default(); len]
+        } else {
+            Vec::new()
+        };
+        Self {
+            data,
+            logical_len: len,
+            buffer,
+            gpu: Arc::clone(gpu),
+            managed: false,
+        }
     }
 
     /// Uploads `data` into a fresh managed vector (functional mode keeps the
@@ -227,8 +247,18 @@ impl<T: Copy + Default> VectorGpu<T> {
         let len = data.len();
         let bytes = (len * std::mem::size_of::<T>()) as u64;
         let buffer = gpu.pool_alloc(bytes);
-        let data = if gpu.is_functional() { data } else { Vec::new() };
-        Self { data, logical_len: len, buffer, gpu: Arc::clone(gpu), managed: true }
+        let data = if gpu.is_functional() {
+            data
+        } else {
+            Vec::new()
+        };
+        Self {
+            data,
+            logical_len: len,
+            buffer,
+            gpu: Arc::clone(gpu),
+            managed: true,
+        }
     }
 
     /// Logical element count (valid in both execution modes).
@@ -390,7 +420,9 @@ mod tests {
         let t0 = gpu.sync();
         gpu.launch(
             0,
-            KernelDesc::new(KernelKind::Elementwise).read(BufferId(1), 1 << 20).ops(1000),
+            KernelDesc::new(KernelKind::Elementwise)
+                .read(BufferId(1), 1 << 20)
+                .ops(1000),
             || {},
         );
         let t1 = gpu.sync();

@@ -82,7 +82,10 @@ pub(crate) struct L2Model {
 
 impl L2Model {
     pub(crate) fn new(capacity: u64) -> Self {
-        Self { capacity, ..Default::default() }
+        Self {
+            capacity,
+            ..Default::default()
+        }
     }
 
     /// Returns `(hit, writebacks)`: whether `buf` was resident, and the
@@ -99,7 +102,14 @@ impl L2Model {
         let bytes = bytes.min(self.capacity);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.resident.insert(buf, Resident { bytes, seq, dirty: write || (hit && was_dirty) });
+        self.resident.insert(
+            buf,
+            Resident {
+                bytes,
+                seq,
+                dirty: write || (hit && was_dirty),
+            },
+        );
         self.lru.insert(seq, buf);
         self.total += bytes;
         let mut writebacks = Vec::new();
@@ -198,8 +208,7 @@ impl Timeline {
         let eff = desc.access_efficiency;
         // Write-back model: writes land in L2; DRAM sees misses plus dirty
         // evictions.
-        let dram_time =
-            (miss_bytes + writeback_bytes) as f64 / (spec.dram_bytes_per_us() * eff);
+        let dram_time = (miss_bytes + writeback_bytes) as f64 / (spec.dram_bytes_per_us() * eff);
         let l2_time = (hit_bytes + write_bytes) as f64 / (spec.l2_bytes_per_us() * eff);
         let compute_time = desc.int32_ops as f64 / spec.effective_int32_ops_per_us();
 
@@ -213,7 +222,10 @@ impl Timeline {
         let comp_end = comp_at + compute_time;
         self.compute_free = comp_end;
 
-        let end = (start + spec.min_kernel_us).max(dram_end).max(l2_end).max(comp_end);
+        let end = (start + spec.min_kernel_us)
+            .max(dram_end)
+            .max(l2_end)
+            .max(comp_end);
         *self.stream_slot(stream) = end;
 
         // Ledger.
@@ -318,14 +330,17 @@ mod tests {
         // respect aggregate DRAM bandwidth (no free parallel speedup).
         let mut t = tl();
         let bytes = 512u64 << 20; // 512 MB reads, distinct buffers => misses
-        let mk = |i: u64| {
-            KernelDesc::new(KernelKind::Elementwise).read(BufferId(100 + i), bytes)
-        };
+        let mk = |i: u64| KernelDesc::new(KernelKind::Elementwise).read(BufferId(100 + i), bytes);
         t.launch(0, &mk(0));
         t.launch(1, &mk(1));
         let spec = DeviceSpec::rtx_4090();
         let lower_bound = 2.0 * bytes as f64 / spec.dram_bytes_per_us();
-        assert!(t.makespan() >= lower_bound * 0.99, "{} < {}", t.makespan(), lower_bound);
+        assert!(
+            t.makespan() >= lower_bound * 0.99,
+            "{} < {}",
+            t.makespan(),
+            lower_bound
+        );
     }
 
     #[test]
@@ -337,7 +352,10 @@ mod tests {
         t.launch(0, &d);
         let miss_stats = t.stats.dram_read_bytes;
         t.launch(0, &d);
-        assert_eq!(t.stats.dram_read_bytes, miss_stats, "second read should hit L2");
+        assert_eq!(
+            t.stats.dram_read_bytes, miss_stats,
+            "second read should hit L2"
+        );
         assert_eq!(t.stats.l2_hit_bytes, bytes);
     }
 
@@ -346,11 +364,21 @@ mod tests {
         let mut t = tl();
         // Touch 100 buffers of 1MB each (100MB > 72MB), then re-read the first.
         for i in 0..100 {
-            t.launch(0, &KernelDesc::new(KernelKind::Elementwise).read(BufferId(i), 1 << 20));
+            t.launch(
+                0,
+                &KernelDesc::new(KernelKind::Elementwise).read(BufferId(i), 1 << 20),
+            );
         }
         let before = t.stats.dram_read_bytes;
-        t.launch(0, &KernelDesc::new(KernelKind::Elementwise).read(BufferId(0), 1 << 20));
-        assert_eq!(t.stats.dram_read_bytes, before + (1 << 20), "evicted buffer must miss");
+        t.launch(
+            0,
+            &KernelDesc::new(KernelKind::Elementwise).read(BufferId(0), 1 << 20),
+        );
+        assert_eq!(
+            t.stats.dram_read_bytes,
+            before + (1 << 20),
+            "evicted buffer must miss"
+        );
     }
 
     #[test]
@@ -381,7 +409,10 @@ mod tests {
     #[test]
     fn sync_aligns_clocks() {
         let mut t = tl();
-        t.launch(0, &KernelDesc::new(KernelKind::Elementwise).read(BufferId(1), 1 << 20));
+        t.launch(
+            0,
+            &KernelDesc::new(KernelKind::Elementwise).read(BufferId(1), 1 << 20),
+        );
         let m = t.sync_all();
         assert_eq!(t.makespan(), m);
         let m2 = t.sync_all();
@@ -395,7 +426,10 @@ mod tests {
         let end = t.launch(0, &d);
         let spec = DeviceSpec::rtx_4090();
         let expect = 1e10 / spec.effective_int32_ops_per_us();
-        assert!((end - expect).abs() / expect < 0.1, "end={end} expect~{expect}");
+        assert!(
+            (end - expect).abs() / expect < 0.1,
+            "end={end} expect~{expect}"
+        );
     }
 
     #[test]

@@ -34,7 +34,7 @@ mod prime;
 mod sampling;
 
 pub use cplx::{special_fft, special_ifft, Complex64};
-pub use modular::{MontgomeryOps, Modulus, ShoupPrecomp};
+pub use modular::{Modulus, MontgomeryOps, ShoupPrecomp};
 pub use ntt::{bit_reverse, reverse_bits, NttTable};
 pub use ntt2d::Ntt2d;
 pub use poly::{

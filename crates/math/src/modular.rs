@@ -63,7 +63,13 @@ impl Modulus {
         let mont_neg_inv = inv.wrapping_neg();
         let mont_r2 = ((u128::MAX % value as u128 + 1) % value as u128) as u64;
         let bits = 64 - value.leading_zeros();
-        Self { value, ratio, mont_neg_inv, mont_r2, bits }
+        Self {
+            value,
+            ratio,
+            mont_neg_inv,
+            mont_r2,
+            bits,
+        }
     }
 
     /// The modulus value `p`.
@@ -237,7 +243,10 @@ impl ShoupPrecomp {
     pub fn new(w: u64, modulus: &Modulus) -> Self {
         debug_assert!(w < modulus.value());
         let quotient = (((w as u128) << 64) / modulus.value() as u128) as u64;
-        Self { operand: w, quotient }
+        Self {
+            operand: w,
+            quotient,
+        }
     }
 
     /// Multiplies `x` (any `u64`) by the stored constant modulo `p` with one
@@ -309,10 +318,10 @@ mod tests {
     use super::*;
 
     const PRIMES: &[u64] = &[
-        998244353,               // 2^23 NTT prime
-        0x1fff_ffff_ffb4_0001,   // 61-bit
-        (1u64 << 61) - 1,        // Mersenne 61 (prime)
-        4611686018326724609,     // 62-bit NTT-friendly
+        998244353,             // 2^23 NTT prime
+        0x1fff_ffff_ffb4_0001, // 61-bit
+        (1u64 << 61) - 1,      // Mersenne 61 (prime)
+        4611686018326724609,   // 62-bit NTT-friendly
         65537,
         3,
     ];

@@ -30,7 +30,10 @@ pub fn reverse_bits(x: usize, bits: u32) -> usize {
 /// Panics if the slice length is not a power of two.
 pub fn bit_reverse<T>(a: &mut [T]) {
     let n = a.len();
-    assert!(n.is_power_of_two(), "bit_reverse needs a power-of-two length");
+    assert!(
+        n.is_power_of_two(),
+        "bit_reverse needs a power-of-two length"
+    );
     let bits = n.trailing_zeros();
     for i in 0..n {
         let j = reverse_bits(i, bits);
@@ -52,8 +55,13 @@ pub struct NttTable {
     log_n: u32,
     modulus: Modulus,
     psi: u64,
+    /// Flat ψ-power tables: retained alongside the per-stage Shoup tables
+    /// for verification tooling even though the transform kernels below
+    /// only consume the Shoup forms.
+    #[allow(dead_code)]
     root_powers: Vec<u64>,
     root_powers_shoup: Vec<ShoupPrecomp>,
+    #[allow(dead_code)]
     inv_root_powers: Vec<u64>,
     inv_root_powers_shoup: Vec<ShoupPrecomp>,
     n_inv: ShoupPrecomp,
@@ -68,7 +76,10 @@ impl NttTable {
     /// Panics if `n` is not a power of two or the modulus does not support a
     /// `2n`-th root of unity.
     pub fn new(n: usize, modulus: Modulus) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "ring degree must be a power of two ≥ 2");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "ring degree must be a power of two ≥ 2"
+        );
         let p = modulus.value();
         assert_eq!(
             (p - 1) % (2 * n as u64),
@@ -96,10 +107,14 @@ impl NttTable {
             debug_assert_eq!(modulus.mul_mod(root_powers[i], inv_root_powers[i]), 1);
         }
 
-        let root_powers_shoup =
-            root_powers.iter().map(|&w| ShoupPrecomp::new(w, &modulus)).collect();
-        let inv_root_powers_shoup =
-            inv_root_powers.iter().map(|&w| ShoupPrecomp::new(w, &modulus)).collect();
+        let root_powers_shoup = root_powers
+            .iter()
+            .map(|&w| ShoupPrecomp::new(w, &modulus))
+            .collect();
+        let inv_root_powers_shoup = inv_root_powers
+            .iter()
+            .map(|&w| ShoupPrecomp::new(w, &modulus))
+            .collect();
         let n_inv = ShoupPrecomp::new(modulus.inv_mod(n as u64), &modulus);
 
         Self {
@@ -311,7 +326,10 @@ fn find_primitive_2n_root(n: usize, modulus: &Modulus) -> u64 {
             return root;
         }
         candidate += 1;
-        assert!(candidate < p, "failed to find a primitive root (modulus not prime?)");
+        assert!(
+            candidate < p,
+            "failed to find a primitive root (modulus not prime?)"
+        );
     }
 }
 
@@ -448,6 +466,9 @@ mod tests {
         let mut a = vec![0u64; t.n()];
         a[0] = 5;
         t.forward_inplace(&mut a);
-        assert!(a.iter().all(|&x| x == 5), "constant poly evaluates to constant");
+        assert!(
+            a.iter().all(|&x| x == 5),
+            "constant poly evaluates to constant"
+        );
     }
 }

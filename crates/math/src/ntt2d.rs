@@ -70,7 +70,8 @@ impl Ntt2d {
     /// Executes only the second (row/contiguous) pass of the forward
     /// transform.
     pub fn forward_pass2(&self, a: &mut [u64]) {
-        self.table.forward_stages(a, self.split_stage, self.table.log_n());
+        self.table
+            .forward_stages(a, self.split_stage, self.table.log_n());
     }
 
     /// Full forward transform as the two hierarchical passes. Identical
@@ -122,7 +123,9 @@ mod tests {
         let mut state = 0x5eed_u64 + log_n as u64;
         let a = (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 state % p
             })
             .collect();

@@ -118,6 +118,7 @@ impl PolyOps for Modulus {
 
 /// Schoolbook negacyclic multiplication in `O(N^2)` — the reference the NTT
 /// path is validated against.
+#[allow(clippy::needless_range_loop)] // the index arithmetic IS the algorithm here
 pub fn negacyclic_schoolbook_mul(a: &[u64], b: &[u64], modulus: &Modulus) -> Vec<u64> {
     assert_eq!(a.len(), b.len());
     let n = a.len();
@@ -302,7 +303,10 @@ mod tests {
         let q_to = Modulus::new(97);
         for v in 0..1009u64 {
             let signed = q_from.to_centered_i64(v);
-            assert_eq!(switch_modulus_centered(v, &q_from, &q_to), q_to.from_i64(signed));
+            assert_eq!(
+                switch_modulus_centered(v, &q_from, &q_to),
+                q_to.from_i64(signed)
+            );
         }
     }
 

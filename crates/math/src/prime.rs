@@ -19,13 +19,13 @@ pub fn is_prime_u64(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     let mut d = n - 1;
     let mut r = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         r += 1;
     }
@@ -102,8 +102,14 @@ fn next_ntt_prime_above(lower_bound: u64, n: usize) -> u64 {
 /// Panics if `bit_size ≥ 62` (the library word-size bound) or if the search
 /// space is exhausted.
 pub fn generate_ntt_primes(bit_size: u32, count: usize, n: usize) -> Vec<u64> {
-    assert!(bit_size < 62, "bit size must stay below the 2^62 modulus bound");
-    assert!(bit_size > (2 * n).trailing_zeros() + 1, "bit size too small for ring degree");
+    assert!(
+        bit_size < 62,
+        "bit size must stay below the 2^62 modulus bound"
+    );
+    assert!(
+        bit_size > (2 * n).trailing_zeros() + 1,
+        "bit size too small for ring degree"
+    );
     let mut primes = Vec::with_capacity(count);
     let mut bound = 1u64 << bit_size;
     while primes.len() < count {

@@ -17,7 +17,9 @@ pub fn sample_uniform_poly<R: Rng + ?Sized>(rng: &mut R, n: usize, modulus: &Mod
 
 /// Samples uniform ternary coefficients in `{-1, 0, 1}`.
 pub fn sample_ternary_coeffs<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<i64> {
-    (0..n).map(|_| rng.random_range(0..3u32) as i64 - 1).collect()
+    (0..n)
+        .map(|_| rng.random_range(0..3u32) as i64 - 1)
+        .collect()
 }
 
 /// Samples discrete-Gaussian-ish coefficients by rounding a Box–Muller normal
@@ -60,7 +62,10 @@ mod tests {
         assert!(v.iter().all(|&x| x < m.value()));
         let mean = v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
         let expected = m.value() as f64 / 2.0;
-        assert!((mean - expected).abs() / expected < 0.05, "mean {mean} too far from {expected}");
+        assert!(
+            (mean - expected).abs() / expected < 0.05,
+            "mean {mean} too far from {expected}"
+        );
     }
 
     #[test]

@@ -74,7 +74,13 @@ impl BaseConverter {
         let headroom = u128::MAX / (max_src * max_dst);
         let chunk = headroom.min(1 << 20) as usize;
         assert!(chunk >= 1);
-        Self { src: src.to_vec(), dst: dst.to_vec(), src_hat_inv, src_hat_mod_dst, chunk }
+        Self {
+            src: src.to_vec(),
+            dst: dst.to_vec(),
+            src_hat_inv,
+            src_hat_mod_dst,
+            chunk,
+        }
     }
 
     /// Source base.
@@ -166,7 +172,10 @@ mod tests {
     use fides_math::generate_ntt_primes;
 
     fn moduli(bits: u32, count: usize, seed_n: usize) -> Vec<Modulus> {
-        generate_ntt_primes(bits, count, seed_n).into_iter().map(Modulus::new).collect()
+        generate_ntt_primes(bits, count, seed_n)
+            .into_iter()
+            .map(Modulus::new)
+            .collect()
     }
 
     /// Exact CRT of per-prime residues (test oracle).
@@ -175,8 +184,12 @@ mod tests {
         let mut acc = UBig::zero();
         for (i, m) in primes.iter().enumerate() {
             // q_hat = Q / q_i computed as product of the others.
-            let others: Vec<u64> =
-                primes.iter().enumerate().filter(|&(k, _)| k != i).map(|(_, m)| m.value()).collect();
+            let others: Vec<u64> = primes
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != i)
+                .map(|(_, m)| m.value())
+                .collect();
             let q_hat = UBig::product_of(&others);
             let q_hat_mod = q_hat.rem_u64(m.value());
             let inv = m.inv_mod(q_hat_mod);
@@ -202,8 +215,10 @@ mod tests {
             state
         };
         let n = 16usize;
-        let src_limbs: Vec<Vec<u64>> =
-            src.iter().map(|m| (0..n).map(|_| next() % m.value()).collect()).collect();
+        let src_limbs: Vec<Vec<u64>> = src
+            .iter()
+            .map(|m| (0..n).map(|_| next() % m.value()).collect())
+            .collect();
         let refs: Vec<&[u64]> = src_limbs.iter().map(|v| v.as_slice()).collect();
         let mut dst_limbs: Vec<Vec<u64>> = vec![Vec::new(); dst.len()];
         conv.convert(&refs, &mut dst_limbs);
@@ -277,7 +292,11 @@ mod tests {
         let src_limbs: Vec<Vec<u64>> = src
             .iter()
             .enumerate()
-            .map(|(i, m)| (0..n as u64).map(|k| (k * 7919 + i as u64) % m.value()).collect())
+            .map(|(i, m)| {
+                (0..n as u64)
+                    .map(|k| (k * 7919 + i as u64) % m.value())
+                    .collect()
+            })
             .collect();
         let refs: Vec<&[u64]> = src_limbs.iter().map(|v| v.as_slice()).collect();
         let mut expected = vec![Vec::new(); dst.len()];
@@ -289,10 +308,10 @@ mod tests {
             conv.scale_input_inplace(i, s);
         }
         let scaled_refs: Vec<&[u64]> = scaled.iter().map(|v| v.as_slice()).collect();
-        for j in 0..dst.len() {
+        for (j, exp) in expected.iter().enumerate() {
             let mut out = vec![0u64; n];
             conv.convert_scaled_limb(&scaled_refs, j, &mut out);
-            assert_eq!(out, expected[j]);
+            assert_eq!(&out, exp);
         }
     }
 

@@ -26,8 +26,12 @@ impl CrtContext {
         let q = UBig::product_of(&values);
         let q_hat: Vec<UBig> = (0..moduli.len())
             .map(|i| {
-                let others: Vec<u64> =
-                    values.iter().enumerate().filter(|&(k, _)| k != i).map(|(_, &v)| v).collect();
+                let others: Vec<u64> = values
+                    .iter()
+                    .enumerate()
+                    .filter(|&(k, _)| k != i)
+                    .map(|(_, &v)| v)
+                    .collect();
                 UBig::product_of(&others)
             })
             .collect();
@@ -36,7 +40,12 @@ impl CrtContext {
             .enumerate()
             .map(|(i, m)| m.inv_mod(q_hat[i].rem_u64(m.value())))
             .collect();
-        Self { moduli: moduli.to_vec(), q, q_hat, q_hat_inv }
+        Self {
+            moduli: moduli.to_vec(),
+            q,
+            q_hat,
+            q_hat_inv,
+        }
     }
 
     /// The chain.
@@ -107,8 +116,10 @@ mod tests {
     use fides_math::generate_ntt_primes;
 
     fn ctx(bits: u32, count: usize) -> CrtContext {
-        let moduli: Vec<Modulus> =
-            generate_ntt_primes(bits, count, 64).into_iter().map(Modulus::new).collect();
+        let moduli: Vec<Modulus> = generate_ntt_primes(bits, count, 64)
+            .into_iter()
+            .map(Modulus::new)
+            .collect();
         CrtContext::new(&moduli)
     }
 

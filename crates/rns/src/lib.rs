@@ -42,7 +42,9 @@ use fides_math::Modulus;
 
 /// `Π primes mod m`, computed residue-wise.
 pub fn product_mod(primes: &[u64], m: &Modulus) -> u64 {
-    primes.iter().fold(1u64, |acc, &p| m.mul_mod(acc, m.reduce_u64(p)))
+    primes
+        .iter()
+        .fold(1u64, |acc, &p| m.mul_mod(acc, m.reduce_u64(p)))
 }
 
 /// `(Π primes)^{-1} mod m` — the ModDown correction scalar `P^{-1}`.

@@ -6,10 +6,14 @@ use fides_rns::{BaseConverter, CrtContext, UBig};
 use proptest::prelude::*;
 
 fn chains() -> (Vec<Modulus>, Vec<Modulus>) {
-    let src: Vec<Modulus> =
-        generate_ntt_primes(30, 3, 64).into_iter().map(Modulus::new).collect();
-    let dst: Vec<Modulus> =
-        generate_ntt_primes(32, 3, 64).into_iter().map(Modulus::new).collect();
+    let src: Vec<Modulus> = generate_ntt_primes(30, 3, 64)
+        .into_iter()
+        .map(Modulus::new)
+        .collect();
+    let dst: Vec<Modulus> = generate_ntt_primes(32, 3, 64)
+        .into_iter()
+        .map(Modulus::new)
+        .collect();
     (src, dst)
 }
 

@@ -1,0 +1,121 @@
+//! Offline stand-in for the `bytes` crate: the [`Buf`] / [`BufMut`] cursor
+//! subset the wire framing in `fides-client::raw` uses. Multi-byte integers
+//! follow the real crate's conventions — big-endian for the plain getters /
+//! putters, little-endian for the `_le` variants.
+
+#![warn(missing_docs)]
+
+/// Read cursor over a byte buffer (implemented for `&[u8]`, advancing it).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is exhausted (guard with [`Buf::remaining`]).
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32;
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+
+    /// Reads a big-endian `f64`.
+    fn get_f64(&mut self) -> f64;
+}
+
+impl Buf for &[u8] {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
+    }
+
+    #[inline]
+    fn get_u32(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_be_bytes(head.try_into().unwrap())
+    }
+
+    #[inline]
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_le_bytes(head.try_into().unwrap())
+    }
+
+    #[inline]
+    fn get_f64(&mut self) -> f64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        f64::from_be_bytes(head.try_into().unwrap())
+    }
+}
+
+/// Write cursor appending to a growable buffer (implemented for `Vec<u8>`).
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+
+    /// Appends a big-endian `f64`.
+    fn put_f64(&mut self, v: f64);
+}
+
+impl BufMut for Vec<u8> {
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    #[inline]
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    #[inline]
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_f64(&mut self, v: f64) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = Vec::new();
+        buf.put_u8(0xAB);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u64_le(0x0123_4567_89AB_CDEF);
+        buf.put_f64(-1234.5678);
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.remaining(), 1 + 4 + 8 + 8);
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_f64(), -1234.5678);
+        assert_eq!(r.remaining(), 0);
+    }
+}

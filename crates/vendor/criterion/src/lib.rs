@@ -1,0 +1,206 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the `fides-bench` benchmarks use —
+//! `criterion_group!` / `criterion_main!`, benchmark groups, `iter` /
+//! `iter_batched`, `Throughput`, `BenchmarkId` — with a simple wall-clock
+//! driver: each routine is warmed up briefly, then timed over enough
+//! iterations to fill a short measurement window, and the mean time per
+//! iteration (plus derived throughput) is printed. No statistics, plots or
+//! comparison baselines — swap the real criterion back in when a registry
+//! is available.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(200);
+const MEASURE: Duration = Duration::from_millis(600);
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter rendered into the id.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Throughput annotation for a group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup (ignored by this driver).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Few iterations per setup.
+    LargeInput,
+    /// Many iterations per setup.
+    SmallInput,
+    /// One iteration per setup.
+    PerIteration,
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine` over a measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_end = Instant::now() + WARMUP;
+        while Instant::now() < warm_end {
+            std::hint::black_box(routine());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        let end = start + MEASURE;
+        while Instant::now() < end {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup excluded
+    /// from the timing).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let warm_end = Instant::now() + WARMUP;
+        while Instant::now() < warm_end {
+            std::hint::black_box(routine(setup()));
+        }
+        let mut iters = 0u64;
+        let mut spent = Duration::ZERO;
+        while spent < MEASURE {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            spent += t0.elapsed();
+            iters += 1;
+        }
+        self.mean_ns = spent.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the sample count (accepted for API compatibility; unused).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<I: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { mean_ns: f64::NAN };
+        f(&mut b);
+        let per_iter = b.mean_ns;
+        let extra = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.1} Melem/s", n as f64 / per_iter * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  {:>12.1} MiB/s",
+                    n as f64 / per_iter * 1e9 / (1 << 20) as f64
+                )
+            }
+            None => String::new(),
+        };
+        println!("{}/{id:<40} {:>12.1} ns/iter{extra}", self.name, per_iter);
+        self
+    }
+
+    /// Finishes the group (accepted for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Hint the optimizer to keep a value (re-export of `std::hint::black_box`).
+pub use std::hint::black_box;
+
+/// Collects benchmark functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,405 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`Strategy`] trait, `any::<T>()`, range strategies, [`Just`],
+//! `prop_oneof!`, `prop_assert!`/`prop_assert_eq!`, `ProptestConfig`, and
+//! the `proptest!` test-harness macro. The driver is a deterministic
+//! fixed-seed exerciser (no shrinking): each test function runs
+//! `config.cases` times over strategy-drawn inputs, plus a sweep of
+//! adversarial boundary draws (0, 1, `MAX`, …) that real proptest finds
+//! through shrinking.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The deterministic generator driving a test run.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: StdRng,
+    /// Index of the current case; cases 0..N_EDGE bias draws to boundaries.
+    case: u64,
+}
+
+/// Number of leading cases that draw boundary values where available.
+const N_EDGE: u64 = 8;
+
+impl TestRng {
+    /// A fresh deterministic generator (fixed seed: runs are reproducible).
+    pub fn deterministic() -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(0x_F1DE_517B_D00D_FEED),
+            case: 0,
+        }
+    }
+
+    /// Advances to the next test case.
+    pub fn next_case(&mut self) {
+        self.case += 1;
+    }
+
+    /// True while the driver is in the boundary-sweep phase.
+    fn edge_phase(&self) -> bool {
+        self.case < N_EDGE
+    }
+
+    fn bits(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// A value generator (subset of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// A constant strategy.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value (with boundary bias in the edge phase).
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                if rng.edge_phase() {
+                    let edges: [$t; 4] = [0, 1, <$t>::MAX, <$t>::MAX - 1];
+                    return edges[(rng.bits() % 4) as usize];
+                }
+                let mut v: $t = 0;
+                let mut shift = 0u32;
+                while shift < <$t>::BITS {
+                    v |= (rng.bits() as $t) << shift;
+                    shift += 64;
+                }
+                v
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, u128);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                if rng.edge_phase() {
+                    // MIN + 1 rather than MIN: |MIN| overflows, and real
+                    // proptest essentially never emits exactly MIN either.
+                    let edges: [$t; 5] = [0, 1, -1, <$t>::MIN + 1, <$t>::MAX];
+                    return edges[(rng.bits() % 5) as usize];
+                }
+                <$u as Arbitrary>::arbitrary(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize, i128 => u128);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.bits() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        if rng.edge_phase() {
+            let edges = [0.0f64, 1.0, -1.0, f64::MIN_POSITIVE, 1e300, -1e300];
+            return edges[(rng.bits() % 6) as usize];
+        }
+        // Finite values across magnitudes: mantissa in [-1, 1], exponent
+        // in [-300, 300].
+        let mantissa = (rng.bits() >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0;
+        let exp = (rng.bits() % 601) as i32 - 300;
+        mantissa * 10f64.powi(exp)
+    }
+}
+
+struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` strategy over every value of `T`.
+pub fn any<T: Arbitrary>() -> impl Strategy<Value = T> {
+    AnyStrategy::<T>(std::marker::PhantomData)
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                if rng.edge_phase() {
+                    let edges = [self.start, self.end - 1];
+                    return edges[(rng.bits() % 2) as usize];
+                }
+                let span = (self.end - self.start) as u128;
+                self.start + ((rng.bits() as u128 % span) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                if rng.edge_phase() {
+                    let edges = [lo, hi];
+                    return edges[(rng.bits() % 2) as usize];
+                }
+                let span = (hi - lo) as u128 + 1;
+                lo + ((rng.bits() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                if rng.edge_phase() {
+                    let edges = [self.start, self.end - 1];
+                    return edges[(rng.bits() % 2) as usize];
+                }
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.bits() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                if rng.edge_phase() {
+                    let edges = [lo, hi];
+                    return edges[(rng.bits() % 2) as usize];
+                }
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.bits() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        if rng.edge_phase() {
+            // Stay strictly inside the half-open bound.
+            let edges = [
+                self.start,
+                self.start + (self.end - self.start) * (1.0 - 1e-12),
+            ];
+            return edges[(rng.bits() % 2) as usize];
+        }
+        let u = (rng.bits() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// A choice among boxed alternatives (what `prop_oneof!` builds).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `options` (must be non-empty).
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = (rng.bits() % self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Run configuration (subset of `proptest::test_runner::Config`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to execute per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Everything a test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestRng, Union,
+    };
+}
+
+/// Asserts a condition inside a property test (no early-return machinery in
+/// this stand-in: behaves as `assert!` with the same message forms).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Chooses among strategies with uniform weight.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(Box::new($strategy) as Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over `cases` strategy draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr)
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic();
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)*
+                    { $body }
+                    rng.next_case();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..1000 {
+            let v = (3u32..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (-5i64..=5).generate(&mut rng);
+            assert!((-5..=5).contains(&w));
+            let f = (0.01f64..100.0).generate(&mut rng);
+            assert!((0.01..100.0).contains(&f));
+            rng.next_case();
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let s = prop_oneof![Just(1u64), Just(2u64), Just(3u64)];
+        let mut rng = TestRng::deterministic();
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<u64>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn edge_phase_hits_boundaries() {
+        let mut rng = TestRng::deterministic();
+        let mut saw_extreme = false;
+        for _ in 0..8 {
+            let v: u64 = any::<u64>().generate(&mut rng);
+            if v == 0 || v >= u64::MAX - 1 || v == 1 {
+                saw_extreme = true;
+            }
+        }
+        assert!(saw_extreme);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn harness_macro_runs(a in any::<u64>(), b in 1u64..100) {
+            prop_assert!((1..100).contains(&b));
+            prop_assert_eq!(a.wrapping_add(b).wrapping_sub(b), a);
+        }
+    }
+}

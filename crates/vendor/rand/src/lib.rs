@@ -1,0 +1,218 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors the
+//! small slice of the `rand 0.9` API the codebase uses: the [`Rng`] /
+//! [`SeedableRng`] traits, [`rngs::StdRng`], `random::<f64>()` and
+//! `random_range(..)`. The generator is xoshiro256++ seeded through
+//! SplitMix64 — deterministic for a given seed, statistically solid for the
+//! sampling this library performs (uniform residues, ternary secrets,
+//! Box–Muller Gaussians). **Not** a cryptographically secure generator; see
+//! `fides-client`'s security notes.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Types that can be produced uniformly from raw generator output.
+pub trait StandardUniform: Sized {
+    /// Draws one value from `rng`.
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardUniform for f64 {
+    #[inline]
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for u64 {
+    #[inline]
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardUniform for u32 {
+    #[inline]
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardUniform for bool {
+    #[inline]
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges a uniform value can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws one value in the range from `rng`.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                // Debiased multiply-shift rejection (Lemire).
+                loop {
+                    let x = rng.next_u64();
+                    let hi = ((x as u128 * span as u128) >> 64) as u64;
+                    let lo = (x as u128 * span as u128) as u64;
+                    if lo >= span || lo >= span.wrapping_neg() % span {
+                        return self.start + hi as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_range_uint!(u32, u64, usize);
+
+impl SampleRange<i64> for Range<i64> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> i64 {
+        assert!(self.start < self.end, "empty range");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        let draw = (0..span).sample_from(rng);
+        self.start.wrapping_add(draw as i64)
+    }
+}
+
+/// The random-number-generator interface (subset of `rand::Rng`).
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a value of type `T` from the standard uniform distribution.
+    #[inline]
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    #[inline]
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The standard generator: xoshiro256++ seeded via SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: u64 = r.random_range(0..977u64);
+            assert!(x < 977);
+            let y: u32 = r.random_range(0..3u32);
+            assert!(y < 3);
+            let f: f64 = r.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn uniform_f64_mean() {
+        let mut r = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn dyn_compatible_through_unsized_param() {
+        fn takes<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.random_range(0..10u64)
+        }
+        let mut r = StdRng::seed_from_u64(1);
+        assert!(takes(&mut r) < 10);
+    }
+}

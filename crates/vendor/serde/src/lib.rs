@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`: empty marker traits plus no-op derives.
+//!
+//! Nothing in-tree serializes through serde (the client↔server wire format
+//! is the explicit binary framing in `fides-client::raw`), so the derive
+//! attributes are kept purely as forward-compatible annotations.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The workspace has no registry access and nothing in-tree serializes
+//! through serde (the wire format is the hand-rolled binary framing in
+//! `fides-client`), so `#[derive(Serialize, Deserialize)]` expands to
+//! nothing. The attributes stay in the source so the real serde can be
+//! swapped back in when a registry is available.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -9,6 +9,8 @@
 
 pub mod loans;
 pub mod lr;
+pub mod lr_engine;
 
 pub use loans::LoanDataset;
 pub use lr::{LrConfig, LrTrainer};
+pub use lr_engine::EngineLrTrainer;

@@ -42,21 +42,27 @@ impl LoanDataset {
     ///
     /// Panics if `padded < features + 1`.
     pub fn generate(samples: usize, features: usize, padded: usize, seed: u64) -> Self {
-        assert!(padded >= features + 1, "padding must fit the bias column");
+        assert!(padded > features, "padding must fit the bias column");
         let mut rng = StdRng::seed_from_u64(seed);
         // Planted weights: moderate magnitudes so labels are separable-ish.
         let true_weights: Vec<f64> = (0..=features)
-            .map(|j| if j == 0 { 0.2 } else { 4.0 * ((j as f64 * 2.399).sin()) / (features as f64).sqrt() })
+            .map(|j| {
+                if j == 0 {
+                    0.2
+                } else {
+                    4.0 * ((j as f64 * 2.399).sin()) / (features as f64).sqrt()
+                }
+            })
             .collect();
         let mut rows = Vec::with_capacity(samples);
         let mut labels = Vec::with_capacity(samples);
         for _ in 0..samples {
             let mut row = vec![0.0f64; padded];
             row[0] = 1.0; // bias
-            for j in 1..=features {
+            for v in row.iter_mut().take(features + 1).skip(1) {
                 // Standardized feature values in roughly [-1, 1].
                 let u: f64 = rng.random::<f64>() + rng.random::<f64>() + rng.random::<f64>();
-                row[j] = (u / 1.5 - 1.0).clamp(-1.0, 1.0);
+                *v = (u / 1.5 - 1.0).clamp(-1.0, 1.0);
             }
             let z: f64 = true_weights.iter().zip(&row).map(|(w, x)| w * x).sum();
             let p = sigmoid(z);
@@ -64,7 +70,11 @@ impl LoanDataset {
             rows.push(row);
             labels.push(label);
         }
-        Self { features: rows, labels, true_weights }
+        Self {
+            features: rows,
+            labels,
+            true_weights,
+        }
     }
 
     /// The paper-shaped dataset: 45,000 × (25 → 32).
@@ -90,7 +100,9 @@ impl LoanDataset {
     /// A contiguous mini-batch (wrapping).
     pub fn batch(&self, start: usize, size: usize) -> (Vec<&[f64]>, Vec<f64>) {
         let n = self.len();
-        let rows = (0..size).map(|i| self.features[(start + i) % n].as_slice()).collect();
+        let rows = (0..size)
+            .map(|i| self.features[(start + i) % n].as_slice())
+            .collect();
         let labels = (0..size).map(|i| self.labels[(start + i) % n]).collect();
         (rows, labels)
     }
@@ -146,7 +158,7 @@ mod tests {
             w
         });
         assert!(acc > 0.6, "planted weights should beat chance: {acc}");
-        let zero_acc = d.accuracy(&vec![0.0; 16]);
+        let zero_acc = d.accuracy(&[0.0; 16]);
         assert!(acc > zero_acc, "signal exists");
     }
 

@@ -40,12 +40,114 @@ impl LrConfig {
     /// The paper's configuration: 1,024 samples × 32 features per
     /// ciphertext.
     pub fn paper() -> Self {
-        Self { batch: 1024, features: 32, learning_rate: 1.0 }
+        Self {
+            batch: 1024,
+            features: 32,
+            learning_rate: 1.0,
+        }
     }
 
     /// Slots used per ciphertext.
     pub fn slots(&self) -> usize {
         self.batch * self.features
+    }
+
+    /// Rotation shifts one iteration needs keys for.
+    pub fn required_rotations(&self) -> Vec<i32> {
+        let f = self.features as i32;
+        let mut shifts = Vec::new();
+        let mut k = 1i32;
+        while k < f {
+            shifts.push(k); // feature fold (left)
+            shifts.push(-k); // replicate (right)
+            k <<= 1;
+        }
+        let mut k = f;
+        while k < (self.batch as i32) * f {
+            shifts.push(k); // sample fold
+            k <<= 1;
+        }
+        shifts
+    }
+
+    /// Packs a batch sample-major: slot `i·f + j` = `rows[i][j]`.
+    pub fn pack_features(&self, rows: &[&[f64]]) -> Vec<f64> {
+        let f = self.features;
+        assert_eq!(rows.len(), self.batch);
+        let mut slots = vec![0.0; self.slots()];
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), f);
+            slots[i * f..(i + 1) * f].copy_from_slice(row);
+        }
+        slots
+    }
+
+    /// Packs labels block-constant: slot `i·f + j` = `labels[i]`.
+    pub fn pack_labels(&self, labels: &[f64]) -> Vec<f64> {
+        let f = self.features;
+        assert_eq!(labels.len(), self.batch);
+        let mut slots = vec![0.0; self.slots()];
+        for (i, &y) in labels.iter().enumerate() {
+            slots[i * f..(i + 1) * f].fill(y);
+        }
+        slots
+    }
+
+    /// Packs a weight vector tiled across every sample block.
+    pub fn pack_weights(&self, w: &[f64]) -> Vec<f64> {
+        let f = self.features;
+        assert_eq!(w.len(), f);
+        let mut slots = vec![0.0; self.slots()];
+        for block in slots.chunks_mut(f) {
+            block.copy_from_slice(w);
+        }
+        slots
+    }
+
+    /// Extracts the weight vector from decoded slots (first block).
+    pub fn unpack_weights(&self, slots: &[f64]) -> Vec<f64> {
+        slots[..self.features].to_vec()
+    }
+
+    /// Plaintext reference iteration with the **same** polynomial sigmoid
+    /// the encrypted path evaluates.
+    pub fn iteration_plain(&self, w: &[f64], rows: &[&[f64]], labels: &[f64]) -> Vec<f64> {
+        let f = self.features;
+        let b = self.batch;
+        let mut grad = vec![0.0f64; f];
+        for (row, &y) in rows.iter().zip(labels) {
+            let z: f64 = w.iter().zip(row.iter()).map(|(wj, xj)| wj * xj).sum();
+            let e = y - sigmoid_poly(z);
+            for (gj, xj) in grad.iter_mut().zip(row.iter()) {
+                *gj += e * xj;
+            }
+        }
+        w.iter()
+            .zip(&grad)
+            .map(|(wj, gj)| wj + self.learning_rate * gj / b as f64)
+            .collect()
+    }
+
+    /// Plaintext training loop (reference / accuracy baseline), using the
+    /// exact sigmoid for comparison purposes.
+    pub fn train_plain_exact(&self, w0: &[f64], batches: &[(Vec<&[f64]>, Vec<f64>)]) -> Vec<f64> {
+        let mut w = w0.to_vec();
+        for (rows, labels) in batches {
+            let f = self.features;
+            let b = self.batch;
+            let mut grad = vec![0.0f64; f];
+            for (row, &y) in rows.iter().zip(labels) {
+                let z: f64 = w.iter().zip(row.iter()).map(|(wj, xj)| wj * xj).sum();
+                let e = y - sigmoid(z);
+                for (gj, xj) in grad.iter_mut().zip(row.iter()) {
+                    *gj += e * xj;
+                }
+            }
+            for (wj, gj) in w.iter_mut().zip(&grad) {
+                *wj += self.learning_rate * gj / b as f64;
+            }
+        }
+        w
     }
 }
 
@@ -69,8 +171,15 @@ impl<'a> LrTrainer<'a> {
     /// capacity.
     pub fn new(ctx: &'a Arc<CkksContext>, client: &'a ClientContext, config: LrConfig) -> Self {
         assert!(config.batch.is_power_of_two() && config.features.is_power_of_two());
-        assert!(config.slots() <= ctx.n() / 2, "batch × features exceeds slot capacity");
-        Self { ctx, client, config }
+        assert!(
+            config.slots() <= ctx.n() / 2,
+            "batch × features exceeds slot capacity"
+        );
+        Self {
+            ctx,
+            client,
+            config,
+        }
     }
 
     /// The configuration.
@@ -83,59 +192,27 @@ impl<'a> LrTrainer<'a> {
 
     /// Rotation shifts one iteration needs keys for.
     pub fn required_rotations(&self) -> Vec<i32> {
-        let f = self.config.features as i32;
-        let mut shifts = Vec::new();
-        let mut k = 1i32;
-        while k < f {
-            shifts.push(k); // feature fold (left)
-            shifts.push(-k); // replicate (right)
-            k <<= 1;
-        }
-        let mut k = f;
-        while k < (self.config.batch as i32) * f {
-            shifts.push(k); // sample fold
-            k <<= 1;
-        }
-        shifts
+        self.config.required_rotations()
     }
 
-    /// Packs a batch sample-major: slot `i·f + j` = `rows[i][j]`.
+    /// Packs a batch sample-major (see [`LrConfig::pack_features`]).
     pub fn pack_features(&self, rows: &[&[f64]]) -> Vec<f64> {
-        let f = self.config.features;
-        assert_eq!(rows.len(), self.config.batch);
-        let mut slots = vec![0.0; self.config.slots()];
-        for (i, row) in rows.iter().enumerate() {
-            assert_eq!(row.len(), f);
-            slots[i * f..(i + 1) * f].copy_from_slice(row);
-        }
-        slots
+        self.config.pack_features(rows)
     }
 
-    /// Packs labels block-constant: slot `i·f + j` = `labels[i]`.
+    /// Packs labels block-constant (see [`LrConfig::pack_labels`]).
     pub fn pack_labels(&self, labels: &[f64]) -> Vec<f64> {
-        let f = self.config.features;
-        assert_eq!(labels.len(), self.config.batch);
-        let mut slots = vec![0.0; self.config.slots()];
-        for (i, &y) in labels.iter().enumerate() {
-            slots[i * f..(i + 1) * f].fill(y);
-        }
-        slots
+        self.config.pack_labels(labels)
     }
 
     /// Packs a weight vector tiled across every sample block.
     pub fn pack_weights(&self, w: &[f64]) -> Vec<f64> {
-        let f = self.config.features;
-        assert_eq!(w.len(), f);
-        let mut slots = vec![0.0; self.config.slots()];
-        for block in slots.chunks_mut(f) {
-            block.copy_from_slice(w);
-        }
-        slots
+        self.config.pack_weights(w)
     }
 
     /// Extracts the weight vector from decoded slots (first block).
     pub fn unpack_weights(&self, slots: &[f64]) -> Vec<f64> {
-        slots[..self.config.features].to_vec()
+        self.config.unpack_weights(slots)
     }
 
     /// One encrypted gradient-descent iteration:
@@ -227,59 +304,25 @@ impl<'a> LrTrainer<'a> {
 
     /// Plaintext reference iteration with the **same** polynomial sigmoid.
     pub fn iteration_plain(&self, w: &[f64], rows: &[&[f64]], labels: &[f64]) -> Vec<f64> {
-        let f = self.config.features;
-        let b = self.config.batch;
-        let mut grad = vec![0.0f64; f];
-        for (row, &y) in rows.iter().zip(labels) {
-            let z: f64 = w.iter().zip(row.iter()).map(|(wj, xj)| wj * xj).sum();
-            let e = y - sigmoid_poly(z);
-            for (gj, xj) in grad.iter_mut().zip(row.iter()) {
-                *gj += e * xj;
-            }
-        }
-        w.iter()
-            .zip(&grad)
-            .map(|(wj, gj)| wj + self.config.learning_rate * gj / b as f64)
-            .collect()
+        self.config.iteration_plain(w, rows, labels)
     }
 
     /// Plaintext training loop (reference / accuracy baseline), using the
     /// exact sigmoid for comparison purposes.
-    pub fn train_plain_exact(
-        &self,
-        w0: &[f64],
-        batches: &[(Vec<&[f64]>, Vec<f64>)],
-    ) -> Vec<f64> {
-        let mut w = w0.to_vec();
-        for (rows, labels) in batches {
-            let f = self.config.features;
-            let b = self.config.batch;
-            let mut grad = vec![0.0f64; f];
-            for (row, &y) in rows.iter().zip(labels) {
-                let z: f64 = w.iter().zip(row.iter()).map(|(wj, xj)| wj * xj).sum();
-                let e = y - sigmoid(z);
-                for (gj, xj) in grad.iter_mut().zip(row.iter()) {
-                    *gj += e * xj;
-                }
-            }
-            for (wj, gj) in w.iter_mut().zip(&grad) {
-                *wj += self.config.learning_rate * gj / b as f64;
-            }
-        }
-        w
+    pub fn train_plain_exact(&self, w0: &[f64], batches: &[(Vec<&[f64]>, Vec<f64>)]) -> Vec<f64> {
+        self.config.train_plain_exact(w0, batches)
     }
 
     fn encode_at(&self, slots: &[f64], level: usize) -> fides_core::Plaintext {
         if self.ctx.gpu().is_functional() {
             let q_l = self.ctx.moduli_q()[level].value() as f64;
-            let scale =
-                q_l * self.ctx.standard_scale(level - 1) / self.ctx.standard_scale(level);
+            let scale = q_l * self.ctx.standard_scale(level - 1) / self.ctx.standard_scale(level);
             let raw = self.client.encode_real(slots, scale, level);
             adapter::load_plaintext(self.ctx, &raw)
+                .expect("internally encoded plaintexts are always loadable")
         } else {
             let q_l = self.ctx.moduli_q()[level].value() as f64;
-            let scale =
-                q_l * self.ctx.standard_scale(level - 1) / self.ctx.standard_scale(level);
+            let scale = q_l * self.ctx.standard_scale(level - 1) / self.ctx.standard_scale(level);
             adapter::placeholder_plaintext(self.ctx, level, scale, slots.len())
         }
     }
@@ -299,10 +342,15 @@ mod tests {
         );
         let ctx = fides_core::CkksContext::new(fides_core::CkksParameters::toy(), gpu);
         let client = fides_client::ClientContext::new(ctx.raw_params().clone());
-        let cfg = LrConfig { batch: 4, features: 4, learning_rate: 1.0 };
+        let cfg = LrConfig {
+            batch: 4,
+            features: 4,
+            learning_rate: 1.0,
+        };
         let t = LrTrainer::new(&ctx, &client, cfg);
-        let rows_data: Vec<Vec<f64>> =
-            (0..4).map(|i| (0..4).map(|j| (i * 4 + j) as f64).collect()).collect();
+        let rows_data: Vec<Vec<f64>> = (0..4)
+            .map(|i| (0..4).map(|j| (i * 4 + j) as f64).collect())
+            .collect();
         let rows: Vec<&[f64]> = rows_data.iter().map(|r| r.as_slice()).collect();
         let x = t.pack_features(&rows);
         assert_eq!(x[5], 5.0);
@@ -322,7 +370,11 @@ mod tests {
         );
         let ctx = fides_core::CkksContext::new(fides_core::CkksParameters::toy(), gpu);
         let client = fides_client::ClientContext::new(ctx.raw_params().clone());
-        let cfg = LrConfig { batch: 8, features: 8, learning_rate: 1.0 };
+        let cfg = LrConfig {
+            batch: 8,
+            features: 8,
+            learning_rate: 1.0,
+        };
         let t = LrTrainer::new(&ctx, &client, cfg);
         let shifts = t.required_rotations();
         for k in [1, 2, 4, -1, -2, -4, 8, 16, 32] {
@@ -339,7 +391,11 @@ mod tests {
         );
         let ctx = fides_core::CkksContext::new(fides_core::CkksParameters::toy(), gpu);
         let client = fides_client::ClientContext::new(ctx.raw_params().clone());
-        let cfg = LrConfig { batch: 64, features: 8, learning_rate: 2.0 };
+        let cfg = LrConfig {
+            batch: 64,
+            features: 8,
+            learning_rate: 2.0,
+        };
         let t = LrTrainer::new(&ctx, &client, cfg);
         let mut w = vec![0.0f64; 8];
         let acc_before = data.accuracy(&w);

@@ -1,0 +1,198 @@
+//! Encrypted logistic-regression training on the `CkksEngine` session API.
+//!
+//! The same Han et al. packing and iteration as [`LrTrainer`]
+//! (`crate::lr::LrTrainer`, kept on the raw layered API for the cost-only
+//! paper benchmarks), expressed through operator-overloaded [`Ct`] handles —
+//! relinearization, rescaling and level alignment are the engine's job, so
+//! the iteration reads like the algorithm.
+//!
+//! ```
+//! use fides_api::CkksEngine;
+//! use fides_workloads::{EngineLrTrainer, LrConfig};
+//!
+//! let cfg = LrConfig { batch: 8, features: 8, learning_rate: 1.0 };
+//! let engine = CkksEngine::builder()
+//!     .log_n(10)
+//!     .levels(9)
+//!     .scale_bits(40)
+//!     .dnum(2)
+//!     .rotations(&cfg.required_rotations())
+//!     .seed(7)
+//!     .build()?;
+//! let trainer = EngineLrTrainer::new(&engine, cfg)?;
+//! # Ok::<(), fides_api::FidesError>(())
+//! ```
+//!
+//! [`LrTrainer`]: crate::lr::LrTrainer
+
+use fides_api::{CkksEngine, Ct, FidesError, Result};
+
+use crate::lr::{LrConfig, SIGMOID_C0, SIGMOID_C1, SIGMOID_C3};
+
+/// Encrypted mini-batch gradient-descent trainer over a [`CkksEngine`]
+/// session.
+///
+/// The session must have been built with `.rotations(&config.required_rotations())`.
+#[derive(Debug)]
+pub struct EngineLrTrainer<'a> {
+    engine: &'a CkksEngine,
+    config: LrConfig,
+}
+
+impl<'a> EngineLrTrainer<'a> {
+    /// Multiplicative levels consumed by one iteration.
+    pub const LEVELS_PER_ITERATION: usize = 6;
+
+    /// Creates a trainer over an engine session.
+    ///
+    /// # Errors
+    ///
+    /// [`FidesError::InvalidParams`] when batch/features are not powers of
+    /// two or exceed the session's slot capacity.
+    pub fn new(engine: &'a CkksEngine, config: LrConfig) -> Result<Self> {
+        if !config.batch.is_power_of_two() || !config.features.is_power_of_two() {
+            return Err(FidesError::InvalidParams(
+                "batch and features must be powers of two".into(),
+            ));
+        }
+        if config.slots() > engine.max_slots() {
+            return Err(FidesError::InvalidParams(format!(
+                "batch × features = {} exceeds the ring's {} slots",
+                config.slots(),
+                engine.max_slots()
+            )));
+        }
+        Ok(Self { engine, config })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LrConfig {
+        &self.config
+    }
+
+    /// Encrypts a packed mini-batch of feature rows.
+    ///
+    /// # Errors
+    ///
+    /// Encoding failures ([`FidesError::Client`]).
+    pub fn encrypt_features(&self, rows: &[&[f64]]) -> Result<Ct> {
+        self.engine.encrypt(&self.config.pack_features(rows))
+    }
+
+    /// Encrypts packed labels.
+    ///
+    /// # Errors
+    ///
+    /// As [`EngineLrTrainer::encrypt_features`].
+    pub fn encrypt_labels(&self, labels: &[f64]) -> Result<Ct> {
+        self.engine.encrypt(&self.config.pack_labels(labels))
+    }
+
+    /// Encrypts a weight vector (tiled across sample blocks).
+    ///
+    /// # Errors
+    ///
+    /// As [`EngineLrTrainer::encrypt_features`].
+    pub fn encrypt_weights(&self, w: &[f64]) -> Result<Ct> {
+        self.engine.encrypt(&self.config.pack_weights(w))
+    }
+
+    /// Decrypts a weight ciphertext back to the feature-length vector.
+    ///
+    /// # Errors
+    ///
+    /// Decryption failures.
+    pub fn decrypt_weights(&self, w: &Ct) -> Result<Vec<f64>> {
+        Ok(self.config.unpack_weights(&self.engine.decrypt(w)?))
+    }
+
+    /// One encrypted gradient-descent iteration:
+    /// `w ← w + (lr/b)·Xᵀ(y − σ̃(X·w))`. Consumes
+    /// [`Self::LEVELS_PER_ITERATION`] levels below `w`'s level.
+    ///
+    /// # Errors
+    ///
+    /// Missing rotation keys or insufficient levels.
+    pub fn iteration(&self, w: &Ct, x: &Ct, y: &Ct) -> Result<Ct> {
+        let f = self.config.features as i32;
+        let b = self.config.batch;
+
+        // 1. Per-slot products, folded over features: block starts hold the
+        //    dot products X·w. (`try_mul` aligns x down to w's level.)
+        let mut prod = x.try_mul(w)?;
+        let mut k = 1i32;
+        while k < f {
+            prod = prod.try_add(&prod.rotate(k)?)?;
+            k <<= 1;
+        }
+
+        // 2. Mask the block starts, then replicate each dot product across
+        //    its block.
+        let mut mask = vec![0.0; self.config.slots()];
+        for i in 0..b {
+            mask[i * self.config.features] = 1.0;
+        }
+        let mut z = prod.try_mul_plain(&mask)?;
+        let mut k = 1i32;
+        while k < f {
+            z = z.try_add(&z.rotate(-k)?)?;
+            k <<= 1;
+        }
+
+        // 3. Polynomial sigmoid p = c0 + c1·z + c3·z³ (two levels).
+        let z2 = z.try_square()?;
+        let cz = z.try_mul_scalar(SIGMOID_C3)?;
+        let z3c = z2.try_mul(&cz)?;
+        let c1z = z.try_mul_scalar(SIGMOID_C1)?;
+        let p = z3c.try_add(&c1z)?.try_add_scalar(SIGMOID_C0)?;
+
+        // 4. Error e = y − p (y auto-aligns down to p's level).
+        let e = y.try_sub(&p)?;
+
+        // 5. Gradient: fold e ⊙ x over samples.
+        let mut g = e.try_mul(x)?;
+        let mut k = f;
+        while (k as usize) < b * self.config.features {
+            g = g.try_add(&g.rotate(k)?)?;
+            k <<= 1;
+        }
+
+        // 6. Update: w ← w + (lr/b)·g.
+        let g = g.try_mul_scalar(self.config.learning_rate / b as f64)?;
+        w.try_add(&g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fides_api::CkksEngine;
+
+    #[test]
+    fn rejects_oversized_configs() {
+        let engine = CkksEngine::builder()
+            .log_n(10)
+            .levels(3)
+            .seed(1)
+            .build()
+            .unwrap();
+        let cfg = LrConfig {
+            batch: 512,
+            features: 8,
+            learning_rate: 1.0,
+        }; // 4096 > 512 slots
+        assert!(matches!(
+            EngineLrTrainer::new(&engine, cfg),
+            Err(FidesError::InvalidParams(_))
+        ));
+        let cfg = LrConfig {
+            batch: 3,
+            features: 8,
+            learning_rate: 1.0,
+        };
+        assert!(matches!(
+            EngineLrTrainer::new(&engine, cfg),
+            Err(FidesError::InvalidParams(_))
+        ));
+    }
+}

@@ -1,123 +1,91 @@
 //! Integration tests: encrypted logistic-regression iterations validated
 //! against the plaintext reference, including a bootstrap inside the
-//! training loop (the Table VII scenario at functional scale).
+//! training loop (the Table VII scenario at functional scale) — all through
+//! the `CkksEngine` session API.
 
-use std::sync::Arc;
-
-use fides_client::{ClientContext, KeyGenerator, RawSwitchingKey, SecretKey};
-use fides_core::{
-    adapter, BootstrapConfig, Bootstrapper, Ciphertext, CkksContext, CkksParameters, EvalKeySet,
-};
-use fides_gpu_sim::{DeviceSpec, ExecMode, GpuSim};
-use fides_workloads::{LoanDataset, LrConfig, LrTrainer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::cell::RefCell;
-
-struct Harness {
-    ctx: Arc<CkksContext>,
-    client: ClientContext,
-    sk: SecretKey,
-    pk: fides_client::RawPublicKey,
-    rng: RefCell<StdRng>,
-}
-
-impl Harness {
-    fn new(params: CkksParameters) -> Self {
-        let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::Functional);
-        let ctx = CkksContext::new(params, gpu);
-        let client = ClientContext::new(ctx.raw_params().clone());
-        let mut kg = KeyGenerator::new(&client, 77);
-        let sk = kg.secret_key();
-        let pk = kg.public_key(&sk);
-        Self { ctx, client, sk, pk, rng: RefCell::new(StdRng::seed_from_u64(99)) }
-    }
-
-    fn keys(&self, shifts: &[i32]) -> EvalKeySet {
-        let mut kg = KeyGenerator::new(&self.client, 78);
-        let relin = kg.relinearization_key(&self.sk);
-        let rots: Vec<(i32, RawSwitchingKey)> = {
-            let mut seen = std::collections::BTreeSet::new();
-            shifts
-                .iter()
-                .filter(|&&k| k != 0 && seen.insert(k))
-                .map(|&k| (k, kg.rotation_key(&self.sk, k)))
-                .collect()
-        };
-        let conj = kg.conjugation_key(&self.sk);
-        adapter::load_eval_keys(&self.ctx, Some(&relin), &rots, Some(&conj))
-    }
-
-    fn encrypt(&self, slots: &[f64]) -> Ciphertext {
-        let pt = self.client.encode_real(
-            slots,
-            self.ctx.standard_scale(self.ctx.max_level()),
-            self.ctx.max_level(),
-        );
-        let raw = self.client.encrypt(&pt, &self.pk, &mut *self.rng.borrow_mut());
-        adapter::load_ciphertext(&self.ctx, &raw)
-    }
-
-    fn decrypt(&self, ct: &Ciphertext) -> Vec<f64> {
-        let raw = adapter::store_ciphertext(ct);
-        self.client.decode_real(&self.client.decrypt(&raw, &self.sk))
-    }
-}
+use fides_api::{BootstrapConfig, CkksEngine};
+use fides_workloads::{EngineLrTrainer, LoanDataset, LrConfig};
 
 #[test]
 fn encrypted_iteration_matches_plain_reference() {
     // 9-level chain: enough for one iteration without bootstrapping.
-    let params = CkksParameters::new(10, 9, 40, 2).unwrap();
-    let h = Harness::new(params);
-    let cfg = LrConfig { batch: 8, features: 8, learning_rate: 1.0 };
-    let trainer = LrTrainer::new(&h.ctx, &h.client, cfg);
-    let keys = h.keys(&trainer.required_rotations());
+    let cfg = LrConfig {
+        batch: 8,
+        features: 8,
+        learning_rate: 1.0,
+    };
+    let engine = CkksEngine::builder()
+        .log_n(10)
+        .levels(9)
+        .scale_bits(40)
+        .dnum(2)
+        .rotations(&cfg.required_rotations())
+        .seed(77)
+        .build()
+        .unwrap();
+    let trainer = EngineLrTrainer::new(&engine, cfg).unwrap();
 
     let data = LoanDataset::generate(32, 6, 8, 11);
     let (rows, labels) = data.batch(0, 8);
 
     let w0 = vec![0.0f64; 8];
-    let x_ct = h.encrypt(&trainer.pack_features(&rows));
-    let y_ct = h.encrypt(&trainer.pack_labels(&labels));
-    let w_ct = h.encrypt(&trainer.pack_weights(&w0));
+    let x_ct = trainer.encrypt_features(&rows).unwrap();
+    let y_ct = trainer.encrypt_labels(&labels).unwrap();
+    let w_ct = trainer.encrypt_weights(&w0).unwrap();
 
-    let w1_ct = trainer.iteration(&w_ct, &x_ct, &y_ct, &keys).unwrap();
-    assert_eq!(w1_ct.level(), h.ctx.max_level() - LrTrainer::LEVELS_PER_ITERATION);
+    let w1_ct = trainer.iteration(&w_ct, &x_ct, &y_ct).unwrap();
+    assert_eq!(
+        w1_ct.level(),
+        engine.max_level() - EngineLrTrainer::LEVELS_PER_ITERATION
+    );
 
-    let got = trainer.unpack_weights(&h.decrypt(&w1_ct));
-    let expect = trainer.iteration_plain(&w0, &rows, &labels);
+    let got = trainer.decrypt_weights(&w1_ct).unwrap();
+    let expect = cfg.iteration_plain(&w0, &rows, &labels);
     for (j, (g, e)) in got.iter().zip(&expect).enumerate() {
         assert!((g - e).abs() < 5e-3, "weight {j}: {g} vs {e}");
     }
     // The weights must also be replicated across blocks (packing invariant).
-    let slots = h.decrypt(&w1_ct);
+    let slots = engine.decrypt(&w1_ct).unwrap();
     for blk in 1..8 {
         for j in 0..8 {
-            assert!((slots[blk * 8 + j] - slots[j]).abs() < 1e-3, "block {blk} slot {j}");
+            assert!(
+                (slots[blk * 8 + j] - slots[j]).abs() < 1e-3,
+                "block {blk} slot {j}"
+            );
         }
     }
 }
 
 #[test]
 fn two_encrypted_iterations_track_plain_training() {
-    let params = CkksParameters::new(10, 14, 40, 2).unwrap();
-    let h = Harness::new(params);
-    let cfg = LrConfig { batch: 8, features: 8, learning_rate: 2.0 };
-    let trainer = LrTrainer::new(&h.ctx, &h.client, cfg);
-    let keys = h.keys(&trainer.required_rotations());
+    let cfg = LrConfig {
+        batch: 8,
+        features: 8,
+        learning_rate: 2.0,
+    };
+    let engine = CkksEngine::builder()
+        .log_n(10)
+        .levels(14)
+        .scale_bits(40)
+        .dnum(2)
+        .rotations(&cfg.required_rotations())
+        .seed(78)
+        .build()
+        .unwrap();
+    let trainer = EngineLrTrainer::new(&engine, cfg).unwrap();
 
     let data = LoanDataset::generate(64, 6, 8, 13);
     let mut w_plain = vec![0.0f64; 8];
-    let mut w_ct = h.encrypt(&trainer.pack_weights(&w_plain));
+    let mut w_ct = trainer.encrypt_weights(&w_plain).unwrap();
 
     for it in 0..2 {
         let (rows, labels) = data.batch(it * 8, 8);
-        let x_ct = h.encrypt(&trainer.pack_features(&rows));
-        let y_ct = h.encrypt(&trainer.pack_labels(&labels));
-        w_ct = trainer.iteration(&w_ct, &x_ct, &y_ct, &keys).unwrap();
-        w_plain = trainer.iteration_plain(&w_plain, &rows, &labels);
+        let x_ct = trainer.encrypt_features(&rows).unwrap();
+        let y_ct = trainer.encrypt_labels(&labels).unwrap();
+        w_ct = trainer.iteration(&w_ct, &x_ct, &y_ct).unwrap();
+        w_plain = cfg.iteration_plain(&w_plain, &rows, &labels);
     }
-    let got = trainer.unpack_weights(&h.decrypt(&w_ct));
+    let got = trainer.decrypt_weights(&w_ct).unwrap();
     for (j, (g, e)) in got.iter().zip(&w_plain).enumerate() {
         assert!((g - e).abs() < 2e-2, "weight {j}: {g} vs {e}");
     }
@@ -128,11 +96,11 @@ fn iteration_with_bootstrap_in_the_loop() {
     // Deep enough chain that bootstrap output supports a full iteration:
     // budgets (1,1) + Chebyshev depth 9 + 6 double angles = 17 levels,
     // leaving 23 − 17 = 6 = LEVELS_PER_ITERATION.
-    let params = CkksParameters::new(11, 23, 50, 3).unwrap().with_first_mod_bits(55);
-    let h = Harness::new(params);
-    let cfg = LrConfig { batch: 8, features: 8, learning_rate: 2.0 };
-    let trainer = LrTrainer::new(&h.ctx, &h.client, cfg);
-
+    let cfg = LrConfig {
+        batch: 8,
+        features: 8,
+        learning_rate: 2.0,
+    };
     let boot_cfg = BootstrapConfig {
         slots: cfg.slots(),
         level_budget: (1, 1),
@@ -140,41 +108,49 @@ fn iteration_with_bootstrap_in_the_loop() {
         double_angles: 6,
         degree: 40,
     };
-    let boot = Bootstrapper::new(&h.ctx, &h.client, boot_cfg).unwrap();
-    assert!(boot.min_output_level() >= LrTrainer::LEVELS_PER_ITERATION);
-
-    let mut shifts = trainer.required_rotations();
-    shifts.extend(boot.required_rotations());
-    let keys = h.keys(&shifts);
+    let engine = CkksEngine::builder()
+        .log_n(11)
+        .levels(23)
+        .scale_bits(50)
+        .first_mod_bits(55)
+        .dnum(3)
+        .rotations(&cfg.required_rotations())
+        .bootstrap_config(boot_cfg)
+        .seed(79)
+        .build()
+        .unwrap();
+    let trainer = EngineLrTrainer::new(&engine, cfg).unwrap();
+    assert!(engine.min_bootstrap_level().unwrap() >= EngineLrTrainer::LEVELS_PER_ITERATION);
 
     let data = LoanDataset::generate(64, 6, 8, 17);
     let mut w_plain = vec![0.0f64; 8];
 
     // Iteration 1 at the top of the chain.
     let (rows, labels) = data.batch(0, 8);
-    let x_ct = h.encrypt(&trainer.pack_features(&rows));
-    let y_ct = h.encrypt(&trainer.pack_labels(&labels));
-    let w_ct = h.encrypt(&trainer.pack_weights(&w_plain));
-    let w_ct = trainer.iteration(&w_ct, &x_ct, &y_ct, &keys).unwrap();
-    w_plain = trainer.iteration_plain(&w_plain, &rows, &labels);
+    let x_ct = trainer.encrypt_features(&rows).unwrap();
+    let y_ct = trainer.encrypt_labels(&labels).unwrap();
+    let w_ct = trainer.encrypt_weights(&w_plain).unwrap();
+    let w_ct = trainer.iteration(&w_ct, &x_ct, &y_ct).unwrap();
+    w_plain = cfg.iteration_plain(&w_plain, &rows, &labels);
 
     // Exhaust the remaining depth, then bootstrap (Table VII's
     // iteration+bootstrap step).
-    let mut w_low = w_ct;
-    w_low.drop_to_level(0).unwrap();
-    let w_fresh = boot.bootstrap(&w_low, &keys).unwrap();
-    assert!(w_fresh.level() >= LrTrainer::LEVELS_PER_ITERATION);
+    let w_low = w_ct.at_level(0).unwrap();
+    let w_fresh = w_low.bootstrap().unwrap();
+    assert!(w_fresh.level() >= EngineLrTrainer::LEVELS_PER_ITERATION);
 
-    // Iteration 2 on the refreshed weights.
+    // Iteration 2 on the refreshed weights (x/y align inside iteration()).
     let (rows2, labels2) = data.batch(8, 8);
-    let x2 = h.encrypt(&trainer.pack_features(&rows2));
-    let y2 = h.encrypt(&trainer.pack_labels(&labels2));
-    // Bring x/y to the refreshed level happens inside iteration().
-    let w2 = trainer.iteration(&w_fresh, &x2, &y2, &keys).unwrap();
-    w_plain = trainer.iteration_plain(&w_plain, &rows2, &labels2);
+    let x2 = trainer.encrypt_features(&rows2).unwrap();
+    let y2 = trainer.encrypt_labels(&labels2).unwrap();
+    let w2 = trainer.iteration(&w_fresh, &x2, &y2).unwrap();
+    w_plain = cfg.iteration_plain(&w_plain, &rows2, &labels2);
 
-    let got = trainer.unpack_weights(&h.decrypt(&w2));
+    let got = trainer.decrypt_weights(&w2).unwrap();
     for (j, (g, e)) in got.iter().zip(&w_plain).enumerate() {
-        assert!((g - e).abs() < 0.05, "weight {j}: {g} vs {e} (post-bootstrap)");
+        assert!(
+            (g - e).abs() < 0.05,
+            "weight {j}: {g} vs {e} (post-bootstrap)"
+        );
     }
 }

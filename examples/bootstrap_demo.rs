@@ -1,60 +1,50 @@
 //! Bootstrapping demo: refresh an exhausted ciphertext (§III-F.7) at
-//! functional scale, report precision, regained depth and the simulated GPU
-//! cost of each run.
+//! functional scale through the `CkksEngine` session API — the builder
+//! generates every DFT/Chebyshev table and rotation key the pipeline needs.
 //!
 //! ```text
 //! cargo run --release --example bootstrap_demo
 //! ```
 
-use fides_client::{ClientContext, KeyGenerator};
-use fides_core::{adapter, BootstrapConfig, Bootstrapper, CkksContext, CkksParameters};
-use fides_gpu_sim::{DeviceSpec, ExecMode, GpuSim};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fideslib::CkksEngine;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Setting up [logN, L, Δ, dnum] = [11, 20, 50, 3] with bootstrapping keys...");
-    let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::Functional);
-    let ctx = CkksContext::new(CkksParameters::toy_boot(), gpu);
-    let client = ClientContext::new(ctx.raw_params().clone());
-    let mut kg = KeyGenerator::new(&client, 5);
-    let sk = kg.secret_key();
-    let pk = kg.public_key(&sk);
-
     let slots = 8usize;
-    let boot = Bootstrapper::new(&ctx, &client, BootstrapConfig::for_slots(slots))?;
-    let relin = kg.relinearization_key(&sk);
-    let rots: Vec<_> =
-        boot.required_rotations().iter().map(|&k| (k, kg.rotation_key(&sk, k))).collect();
-    let conj = kg.conjugation_key(&sk);
-    let keys = adapter::load_eval_keys(&ctx, Some(&relin), &rots, Some(&conj));
+    let engine = CkksEngine::builder()
+        .log_n(11)
+        .levels(20)
+        .scale_bits(50)
+        .first_mod_bits(55)
+        .dnum(3)
+        .bootstrap_slots(slots)
+        .seed(5)
+        .build()?;
     println!(
-        "  {} rotation keys, output level ≥ {}",
-        keys.loaded_rotations().len(),
-        boot.min_output_level()
+        "  bootstrap output level ≥ {}",
+        engine.min_bootstrap_level().unwrap()
     );
 
     let values: Vec<f64> = (0..slots).map(|i| 0.4 * ((i as f64) * 1.3).sin()).collect();
-    let mut rng = StdRng::seed_from_u64(6);
-    let mut ct = adapter::load_ciphertext(
-        &ctx,
-        &client.encrypt(
-            &client.encode_real(&values, ctx.standard_scale(ctx.max_level()), ctx.max_level()),
-            &pk,
-            &mut rng,
-        ),
-    );
+    let fresh = engine.encrypt(&values)?;
 
     // Exhaust the multiplicative budget.
-    ct.drop_to_level(0)?;
-    println!("\nciphertext exhausted: level {} (no multiplications possible)", ct.level());
+    let exhausted = fresh.at_level(0)?;
+    println!(
+        "\nciphertext exhausted: level {} (no multiplications possible)",
+        exhausted.level()
+    );
 
-    let t0 = ctx.gpu().sync();
-    let refreshed = boot.bootstrap(&ct, &keys)?;
-    let dt = ctx.gpu().sync() - t0;
+    let t0 = engine.sync_time_us().unwrap();
+    let refreshed = exhausted.bootstrap()?;
+    let dt = engine.sync_time_us().unwrap() - t0;
 
-    let got = client.decode_real(&client.decrypt(&adapter::store_ciphertext(&refreshed), &sk));
-    println!("bootstrapped: level {} | simulated GPU time {:.2} ms", refreshed.level(), dt / 1e3);
+    let got = engine.decrypt(&refreshed)?;
+    println!(
+        "bootstrapped: level {} | simulated GPU time {:.2} ms",
+        refreshed.level(),
+        dt / 1e3
+    );
     println!("\nslot | original | refreshed | error");
     let mut max_err = 0.0f64;
     for i in 0..slots {
@@ -66,9 +56,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(max_err < 0.02, "bootstrap must preserve the message");
 
     // The refreshed ciphertext can compute again.
-    let mut sq = refreshed.square(&keys)?;
-    sq.rescale_in_place()?;
-    let sq_got = client.decode_real(&client.decrypt(&adapter::store_ciphertext(&sq), &sk));
-    println!("squared after refresh: slot 1 = {:.5} (expect {:.5})", sq_got[1], values[1] * values[1]);
+    let sq = refreshed.try_square()?;
+    let sq_got = engine.decrypt(&sq)?;
+    println!(
+        "squared after refresh: slot 1 = {:.5} (expect {:.5})",
+        sq_got[1],
+        values[1] * values[1]
+    );
     Ok(())
 }

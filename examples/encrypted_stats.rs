@@ -1,77 +1,64 @@
 //! Encrypted descriptive statistics: mean and variance of a private vector
 //! using rotate-and-add folds — the MLaaS-style aggregate the paper's
-//! introduction motivates (a server computing over data it cannot read).
+//! introduction motivates, expressed through the `CkksEngine` session API.
 //!
 //! ```text
 //! cargo run --release --example encrypted_stats
 //! ```
 
-use fides_client::{ClientContext, KeyGenerator};
-use fides_core::{adapter, fold_rotations, CkksContext, CkksParameters};
-use fides_gpu_sim::{DeviceSpec, ExecMode, GpuSim};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fideslib::{CkksEngine, Ct};
+
+/// Rotate-and-add fold: every slot ends up holding Σ over `count` slots.
+fn fold(ct: &Ct, count: usize) -> Result<Ct, Box<dyn std::error::Error>> {
+    let mut acc = ct.clone();
+    for k in 0..count.ilog2() {
+        acc = acc.try_add(&acc.rotate(1 << k)?)?;
+    }
+    Ok(acc)
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::Functional);
-    let params = CkksParameters::new(12, 6, 40, 3)?;
-    let ctx = CkksContext::new(params, gpu);
-    let client = ClientContext::new(ctx.raw_params().clone());
-    let mut kg = KeyGenerator::new(&client, 1);
-    let sk = kg.secret_key();
-    let pk = kg.public_key(&sk);
-
     let n_values = 64usize;
-    // The fold needs rotations by powers of two.
     let shifts: Vec<i32> = (0..n_values.ilog2()).map(|k| 1 << k).collect();
-    let relin = kg.relinearization_key(&sk);
-    let rots: Vec<_> = shifts.iter().map(|&k| (k, kg.rotation_key(&sk, k))).collect();
-    let keys = adapter::load_eval_keys(&ctx, Some(&relin), &rots, None);
+    let engine = CkksEngine::builder()
+        .log_n(12)
+        .levels(6)
+        .scale_bits(40)
+        .rotations(&shifts)
+        .seed(1)
+        .build()?;
 
     // Private data: 64 "salaries".
-    let data: Vec<f64> = (0..n_values).map(|i| 0.3 + 0.4 * ((i as f64) * 0.71).sin()).collect();
+    let data: Vec<f64> = (0..n_values)
+        .map(|i| 0.3 + 0.4 * ((i as f64) * 0.71).sin())
+        .collect();
     let mean_true = data.iter().sum::<f64>() / n_values as f64;
-    let var_true =
-        data.iter().map(|x| (x - mean_true) * (x - mean_true)).sum::<f64>() / n_values as f64;
+    let var_true = data
+        .iter()
+        .map(|x| (x - mean_true) * (x - mean_true))
+        .sum::<f64>()
+        / n_values as f64;
 
-    let mut rng = StdRng::seed_from_u64(2);
-    let ct = adapter::load_ciphertext(
-        &ctx,
-        &client.encrypt(
-            &client.encode_real(&data, ctx.fresh_scale(), ctx.max_level()),
-            &pk,
-            &mut rng,
-        ),
-    );
+    let x = engine.encrypt(&data)?;
 
-    // mean = fold(x) / n  — every slot ends up holding Σx.
-    let folded = fold_rotations(&ct, 1, n_values.ilog2(), &keys)?;
-    let mean_ct = folded.mul_scalar_rescale(1.0 / n_values as f64)?;
+    // mean = fold(x) / n.
+    let mean = fold(&x, n_values)? * (1.0 / n_values as f64);
 
     // E[x²]: square, fold, divide.
-    let mut sq = ct.square(&keys)?;
-    sq.rescale_in_place()?;
-    let folded_sq = fold_rotations(&sq, 1, n_values.ilog2(), &keys)?;
-    let ex2_ct = folded_sq.mul_scalar_rescale(1.0 / n_values as f64)?;
+    let ex2 = fold(&x.try_square()?, n_values)? * (1.0 / n_values as f64);
 
-    // var = E[x²] − mean²
-    let mut mean_sq = mean_ct.square(&keys)?;
-    mean_sq.rescale_in_place()?;
-    let mut ex2_aligned = ex2_ct.duplicate();
-    ex2_aligned.drop_to_level(mean_sq.level())?;
-    let var_ct = ex2_aligned.sub(&mean_sq)?;
+    // var = E[x²] − mean² (operands auto-align levels).
+    let var = &ex2 - &mean.try_square()?;
 
-    let mean_got =
-        client.decode_real(&client.decrypt(&adapter::store_ciphertext(&mean_ct), &sk))[0];
-    let var_got =
-        client.decode_real(&client.decrypt(&adapter::store_ciphertext(&var_ct), &sk))[0];
+    let mean_got = engine.decrypt(&mean)?[0];
+    let var_got = engine.decrypt(&var)?[0];
 
     println!("encrypted mean     = {mean_got:.6}   (true {mean_true:.6})");
     println!("encrypted variance = {var_got:.6}   (true {var_true:.6})");
     assert!((mean_got - mean_true).abs() < 1e-4);
     assert!((var_got - var_true).abs() < 1e-4);
 
-    let t = ctx.gpu().sync();
-    println!("\nsimulated GPU time for the whole pipeline: {:.1} µs", t);
+    let t = engine.sync_time_us().expect("gpu-sim backend is timed");
+    println!("\nsimulated GPU time for the whole pipeline: {t:.1} µs");
     Ok(())
 }

@@ -1,67 +1,59 @@
 //! Hoisted rotations (§III-F.6): when several rotations of one ciphertext
 //! are needed (the BSGS baby steps of CoeffToSlot, for example), the
-//! decomposition + ModUp of `c₁` can be done once and shared. This example
-//! verifies the results match naive rotations and compares simulated GPU
-//! cost.
+//! decomposition + ModUp of `c₁` can be done once and shared —
+//! `Ct::rotate_many` versus one `Ct::rotate` per shift. This example
+//! verifies the results match and compares simulated GPU cost.
 //!
 //! ```text
 //! cargo run --release --example hoisted_rotations
 //! ```
 
-use fides_client::{ClientContext, KeyGenerator};
-use fides_core::{adapter, CkksContext, CkksParameters};
-use fides_gpu_sim::{DeviceSpec, ExecMode, GpuSim};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fideslib::CkksEngine;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::Functional);
-    let params = CkksParameters::new(12, 8, 40, 3)?;
-    let ctx = CkksContext::new(params, gpu);
-    let client = ClientContext::new(ctx.raw_params().clone());
-    let mut kg = KeyGenerator::new(&client, 3);
-    let sk = kg.secret_key();
-    let pk = kg.public_key(&sk);
-
     let shifts: Vec<i32> = vec![1, 2, 3, 5, 8, 13];
-    let relin = kg.relinearization_key(&sk);
-    let rots: Vec<_> = shifts.iter().map(|&k| (k, kg.rotation_key(&sk, k))).collect();
-    let keys = adapter::load_eval_keys(&ctx, Some(&relin), &rots, None);
+    let engine = CkksEngine::builder()
+        .log_n(12)
+        .levels(8)
+        .scale_bits(40)
+        .rotations(&shifts)
+        .seed(3)
+        .build()?;
 
     let data: Vec<f64> = (0..32).map(|i| i as f64).collect();
-    let mut rng = StdRng::seed_from_u64(4);
-    let ct = adapter::load_ciphertext(
-        &ctx,
-        &client.encrypt(
-            &client.encode_real(&data, ctx.fresh_scale(), ctx.max_level()),
-            &pk,
-            &mut rng,
-        ),
-    );
+    let ct = engine.encrypt(&data)?;
 
     // Naive: one full key switch per rotation.
-    let t0 = ctx.gpu().sync();
-    let naive: Vec<_> = shifts.iter().map(|&k| ct.rotate(k, &keys).unwrap()).collect();
-    let naive_us = ctx.gpu().sync() - t0;
+    let t0 = engine.sync_time_us().unwrap();
+    let naive: Vec<_> = shifts.iter().map(|&k| ct.rotate(k).unwrap()).collect();
+    let naive_us = engine.sync_time_us().unwrap() - t0;
 
     // Hoisted: ModUp once, then per-rotation permutation + inner product.
-    let t0 = ctx.gpu().sync();
-    let hoisted = ct.hoisted_rotations(&shifts, &keys)?;
-    let hoisted_us = ctx.gpu().sync() - t0;
+    let t0 = engine.sync_time_us().unwrap();
+    let hoisted = ct.rotate_many(&shifts)?;
+    let hoisted_us = engine.sync_time_us().unwrap() - t0;
 
     for (i, &k) in shifts.iter().enumerate() {
-        let a = client.decode_real(&client.decrypt(&adapter::store_ciphertext(&naive[i]), &sk));
-        let b =
-            client.decode_real(&client.decrypt(&adapter::store_ciphertext(&hoisted[i]), &sk));
+        let a = engine.decrypt(&naive[i])?;
+        let b = engine.decrypt(&hoisted[i])?;
         for (x, y) in a.iter().zip(&b).take(32) {
             assert!((x - y).abs() < 1e-4, "hoisted/naive mismatch at shift {k}");
         }
-        println!("shift {k:2}: slot0 naive = {:7.3}, hoisted = {:7.3}", a[0], b[0]);
+        println!(
+            "shift {k:2}: slot0 naive = {:7.3}, hoisted = {:7.3}",
+            a[0], b[0]
+        );
     }
 
     println!("\nsimulated GPU time for {} rotations:", shifts.len());
     println!("  naive   : {naive_us:9.1} µs");
-    println!("  hoisted : {hoisted_us:9.1} µs  ({:.2}x faster)", naive_us / hoisted_us);
-    assert!(hoisted_us < naive_us, "hoisting must win for multiple rotations");
+    println!(
+        "  hoisted : {hoisted_us:9.1} µs  ({:.2}x faster)",
+        naive_us / hoisted_us
+    );
+    assert!(
+        hoisted_us < naive_us,
+        "hoisting must win for multiple rotations"
+    );
     Ok(())
 }

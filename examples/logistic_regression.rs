@@ -1,35 +1,31 @@
 //! Encrypted logistic-regression training (the paper's §IV-B workload) at
-//! functional scale: trains on the synthetic loan dataset, compares the
-//! encrypted model against the plaintext reference, and reports simulated
-//! GPU timings per iteration.
+//! functional scale through the `CkksEngine` session API: trains on the
+//! synthetic loan dataset, compares the encrypted model against the
+//! plaintext reference, and reports simulated GPU timings per iteration.
 //!
 //! ```text
 //! cargo run --release --example logistic_regression
 //! ```
 
-use fides_client::{ClientContext, KeyGenerator};
-use fides_core::{adapter, CkksContext, CkksParameters};
-use fides_gpu_sim::{DeviceSpec, ExecMode, GpuSim};
-use fides_workloads::{LoanDataset, LrConfig, LrTrainer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fideslib::workloads::{EngineLrTrainer, LoanDataset, LrConfig};
+use fideslib::CkksEngine;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::Functional);
+    let cfg = LrConfig {
+        batch: 16,
+        features: 8,
+        learning_rate: 2.0,
+    };
     // 14 levels: two encrypted iterations without bootstrapping.
-    let params = CkksParameters::new(10, 14, 40, 2)?;
-    let ctx = CkksContext::new(params, gpu);
-    let client = ClientContext::new(ctx.raw_params().clone());
-    let mut kg = KeyGenerator::new(&client, 9);
-    let sk = kg.secret_key();
-    let pk = kg.public_key(&sk);
-
-    let cfg = LrConfig { batch: 16, features: 8, learning_rate: 2.0 };
-    let trainer = LrTrainer::new(&ctx, &client, cfg);
-    let relin = kg.relinearization_key(&sk);
-    let rots: Vec<_> =
-        trainer.required_rotations().iter().map(|&k| (k, kg.rotation_key(&sk, k))).collect();
-    let keys = adapter::load_eval_keys(&ctx, Some(&relin), &rots, None);
+    let engine = CkksEngine::builder()
+        .log_n(10)
+        .levels(14)
+        .scale_bits(40)
+        .dnum(2)
+        .rotations(&cfg.required_rotations())
+        .seed(9)
+        .build()?;
+    let trainer = EngineLrTrainer::new(&engine, cfg)?;
 
     let data = LoanDataset::generate(256, 6, 8, 2026);
     println!(
@@ -43,23 +39,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
     );
 
-    let mut rng = StdRng::seed_from_u64(10);
-    let mut encrypt = |slots: &[f64]| {
-        let pt = client.encode_real(slots, ctx.standard_scale(ctx.max_level()), ctx.max_level());
-        adapter::load_ciphertext(&ctx, &client.encrypt(&pt, &pk, &mut rng))
-    };
-
     let mut w_plain = vec![0.0f64; 8];
-    let mut w_ct = encrypt(&trainer.pack_weights(&w_plain));
+    let mut w_ct = trainer.encrypt_weights(&w_plain)?;
 
     for it in 0..2 {
         let (rows, labels) = data.batch(it * cfg.batch, cfg.batch);
-        let x = encrypt(&trainer.pack_features(&rows));
-        let y = encrypt(&trainer.pack_labels(&labels));
-        let t0 = ctx.gpu().sync();
-        w_ct = trainer.iteration(&w_ct, &x, &y, &keys)?;
-        let dt = ctx.gpu().sync() - t0;
-        w_plain = trainer.iteration_plain(&w_plain, &rows, &labels);
+        let x = trainer.encrypt_features(&rows)?;
+        let y = trainer.encrypt_labels(&labels)?;
+        let t0 = engine.sync_time_us().unwrap();
+        w_ct = trainer.iteration(&w_ct, &x, &y)?;
+        let dt = engine.sync_time_us().unwrap() - t0;
+        w_plain = cfg.iteration_plain(&w_plain, &rows, &labels);
         println!(
             "iteration {}: level {} → simulated GPU time {:.2} ms",
             it + 1,
@@ -68,8 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let w_enc = trainer
-        .unpack_weights(&client.decode_real(&client.decrypt(&adapter::store_ciphertext(&w_ct), &sk)));
+    let w_enc = trainer.decrypt_weights(&w_ct)?;
     println!("\nfeature | encrypted w | plaintext w");
     for j in 0..8 {
         println!("{j:7} | {:11.6} | {:11.6}", w_enc[j], w_plain[j]);

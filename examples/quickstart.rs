@@ -1,72 +1,37 @@
-//! Quickstart: encrypt on the client, compute on the simulated-GPU server,
-//! decrypt on the client.
+//! Quickstart: one `CkksEngine` session — encrypt, compute `x·y + 2x`
+//! homomorphically on the simulated-GPU server, decrypt.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! The raw layered API behind this (client contexts, key generation, the
+//! adapter, manual rescaling) is shown in `examples/raw_layered.rs`; the
+//! same computation on the CPU reference backend is in
+//! `examples/multi_backend.rs`.
 
-use fides_client::{ClientContext, KeyGenerator};
-use fides_core::{adapter, CkksContext, CkksParameters};
-use fides_gpu_sim::{DeviceSpec, ExecMode, GpuSim};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fideslib::api::{DeviceSpec, ExecMode};
+use fideslib::CkksEngine;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Server context on a simulated RTX 4090 (functional mode: the math
-    //    really runs; the simulator also produces GPU timings).
-    let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::Functional);
-    let params = CkksParameters::new(12, 6, 40, 3)?;
-    let ctx = CkksContext::new(params, gpu);
-
-    // 2. Client side: keys and data (the OpenFHE role in Fig. 1).
-    let client = ClientContext::new(ctx.raw_params().clone());
-    let mut kg = KeyGenerator::new(&client, 42);
-    let sk = kg.secret_key();
-    let pk = kg.public_key(&sk);
-    let relin = kg.relinearization_key(&sk);
-    let keys = adapter::load_eval_keys(&ctx, Some(&relin), &[], None);
-
+    let engine = CkksEngine::builder()
+        .log_n(12)
+        .levels(6)
+        .scale_bits(40)
+        .device(DeviceSpec::rtx_4090())
+        .exec_mode(ExecMode::Functional)
+        .seed(42)
+        .build()?;
     let xs: Vec<f64> = (0..8).map(|i| i as f64 / 10.0).collect();
     let ys: Vec<f64> = (0..8).map(|i| 1.0 - i as f64 / 20.0).collect();
-    let mut rng = StdRng::seed_from_u64(7);
-    let scale = ctx.fresh_scale();
-    let ct_x = adapter::load_ciphertext(
-        &ctx,
-        &client.encrypt(&client.encode_real(&xs, scale, ctx.max_level()), &pk, &mut rng),
-    );
-    let ct_y = adapter::load_ciphertext(
-        &ctx,
-        &client.encrypt(&client.encode_real(&ys, scale, ctx.max_level()), &pk, &mut rng),
-    );
-
-    // 3. Server: compute x·y + 2x homomorphically.
-    let mut prod = ct_x.mul(&ct_y, &keys)?;
-    prod.rescale_in_place()?;
-    let mut two_x = ct_x.mul_scalar_rescale(2.0)?;
-    two_x.drop_to_level(prod.level())?;
-    let result = prod.add(&two_x)?;
-
-    // 4. Client: decrypt and compare.
-    let got = client.decode_real(&client.decrypt(&adapter::store_ciphertext(&result), &sk));
-    println!("slot |  x     y   | x*y + 2x | decrypted");
+    let (x, y) = (engine.encrypt(&xs)?, engine.encrypt(&ys)?);
+    let result = &x * &y + &x * 2.0; // relinearize/rescale/align automatically
+    let got = engine.decrypt(&result)?;
     for i in 0..8 {
         let expect = xs[i] * ys[i] + 2.0 * xs[i];
-        println!(
-            "{i:4} | {:4.2}  {:4.2} | {expect:8.4} | {:9.4}",
-            xs[i],
-            ys[i],
-            got[i]
-        );
+        println!("slot {i}: {expect:8.4} vs {:8.4}", got[i]);
         assert!((got[i] - expect).abs() < 1e-4);
     }
-
-    // 5. The same run produced a simulated-GPU timing ledger.
-    let stats = ctx.gpu().stats();
-    println!(
-        "\nsimulated device: {} | kernels launched: {} | peak device memory: {:.1} MB",
-        ctx.gpu().spec().name,
-        stats.kernel_launches,
-        stats.peak_alloc_bytes as f64 / 1e6
-    );
+    println!("kernels: {}", engine.sim_stats().unwrap().kernel_launches);
     Ok(())
 }

@@ -1,66 +1,70 @@
 //! End-to-end workspace integration: the complete client → wire → server →
-//! wire → client pipeline over a multi-operation encrypted program.
+//! wire → client pipeline over a multi-operation encrypted program, driven
+//! through the `CkksEngine` session API (with the raw layered API exercised
+//! where the test is specifically about the layer boundary).
 
 use fideslib::client::{ClientContext, KeyGenerator, RawCiphertext};
 use fideslib::core::{adapter, CkksContext, CkksParameters};
 use fideslib::gpu_sim::{DeviceSpec, ExecMode, GpuSim};
+use fideslib::CkksEngine;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// An "MLaaS request": the client ships serialized ciphertexts; the server
-/// evaluates a small polynomial pipeline; the client decrypts the reply.
+/// An "MLaaS request" through the session API: encrypt, serialize across the
+/// wire, evaluate a small polynomial pipeline server-side, reply, decrypt.
 #[test]
 fn serialized_round_trip_program() {
-    // Server side.
-    let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::Functional);
-    let params = CkksParameters::new(11, 8, 45, 3).unwrap();
-    let ctx = CkksContext::new(params, gpu);
-
-    // Client side.
-    let client = ClientContext::new(ctx.raw_params().clone());
-    let mut kg = KeyGenerator::new(&client, 2026);
-    let sk = kg.secret_key();
-    let pk = kg.public_key(&sk);
-    let relin = kg.relinearization_key(&sk);
-    let rot1 = kg.rotation_key(&sk, 1);
-    let keys = adapter::load_eval_keys(&ctx, Some(&relin), &[(1, rot1)], None);
+    let engine = CkksEngine::builder()
+        .log_n(11)
+        .levels(8)
+        .scale_bits(45)
+        .dnum(3)
+        .rotations(&[1])
+        .seed(2026)
+        .build()
+        .unwrap();
 
     let data: Vec<f64> = (0..32).map(|i| (i as f64 / 32.0) - 0.5).collect();
-    let mut rng = StdRng::seed_from_u64(1);
-    let ct = client.encrypt(
-        &client.encode_real(&data, ctx.fresh_scale(), ctx.max_level()),
-        &pk,
-        &mut rng,
-    );
+    let ct = engine.encrypt(&data).unwrap();
 
     // Wire: serialize → deserialize (the client/server boundary).
-    let wire = ct.to_bytes();
+    let wire = engine.backend().store(ct.backend_ct()).unwrap().to_bytes();
     assert!(wire.len() > 32 * 1024, "9 limbs × 2 polys × 2 KiB each");
     let received = RawCiphertext::from_bytes(&wire).unwrap();
+    let x = fideslib::Ct::from_backend(
+        &engine,
+        engine.backend().load(&received).unwrap(),
+        data.len(),
+    );
 
     // Server program: y = (x² + 0.25) rotated left by one.
-    let x = adapter::load_ciphertext(&ctx, &received);
-    let mut sq = x.square(&keys).unwrap();
-    sq.rescale_in_place().unwrap();
-    let shifted = sq.add_scalar(0.25);
-    let rotated = shifted.rotate(1, &keys).unwrap();
+    let y = (x.try_square().unwrap() + 0.25).rotate(1).unwrap();
 
     // Wire back.
-    let reply = adapter::store_ciphertext(&rotated);
+    let reply = engine.backend().store(y.backend_ct()).unwrap();
     let reply = RawCiphertext::from_bytes(&reply.to_bytes()).unwrap();
-    assert!(reply.noise_log2 > 0.0, "noise estimate travels with the ciphertext");
+    assert!(
+        reply.noise_log2 > 0.0,
+        "noise estimate travels with the ciphertext"
+    );
+    let y = fideslib::Ct::from_backend(&engine, engine.backend().load(&reply).unwrap(), data.len());
 
-    let got = client.decode_real(&client.decrypt(&reply, &sk));
+    let got = engine.decrypt(&y).unwrap();
     for i in 0..32 {
         let src = data[(i + 1) % 32];
         let expect = src * src + 0.25;
-        assert!((got[i] - expect).abs() < 1e-4, "slot {i}: {} vs {expect}", got[i]);
+        assert!(
+            (got[i] - expect).abs() < 1e-4,
+            "slot {i}: {} vs {expect}",
+            got[i]
+        );
     }
 }
 
 /// The cost-only execution mode must produce exactly the same kernel
 /// schedule (and therefore timing) as functional mode — the data-oblivious
-/// property DESIGN.md's full-scale benchmarks rely on.
+/// property DESIGN.md's full-scale benchmarks rely on. Exercises the raw
+/// layered API deliberately: the property concerns the kernel layer.
 #[test]
 fn cost_only_schedule_matches_functional() {
     let params = CkksParameters::toy();
@@ -90,8 +94,9 @@ fn cost_only_schedule_matches_functional() {
             Some(&relin),
             &[(1, rot1.clone()), (2, rot2.clone())],
             None,
-        );
-        let ct = adapter::load_ciphertext(&ctx, &raw_ct);
+        )
+        .unwrap();
+        let ct = adapter::load_ciphertext(&ctx, &raw_ct).unwrap();
         let mut prod = ct.mul(&ct, &keys).unwrap();
         prod.rescale_in_place().unwrap();
         let rot = prod.rotate(2, &keys).unwrap();
@@ -109,65 +114,84 @@ fn cost_only_schedule_matches_functional() {
     };
     let functional = run(ExecMode::Functional);
     let cost_only = run(ExecMode::CostOnly);
-    assert_eq!(functional, cost_only, "kernel schedule must be data-oblivious");
+    assert_eq!(
+        functional, cost_only,
+        "kernel schedule must be data-oblivious"
+    );
 }
 
-/// Device-memory accounting through a whole program: everything allocated on
-/// the simulated device is released when the objects drop.
+/// Device-memory accounting through a whole engine session: everything
+/// allocated on the simulated device is released when the objects drop.
 #[test]
 fn device_memory_is_reclaimed() {
-    let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::CostOnly);
-    let baseline = {
-        let ctx = CkksContext::new(CkksParameters::toy(), std::sync::Arc::clone(&gpu));
-        let keys = fideslib::baselines::synth_keys(&ctx);
-        let ct = adapter::placeholder_ciphertext(
-            &ctx,
-            ctx.max_level(),
-            ctx.fresh_scale(),
-            ctx.n() / 2,
-        );
-        let before = gpu.stats().current_alloc_bytes;
-        let mut prod = ct.mul(&ct, &keys).unwrap();
-        prod.rescale_in_place().unwrap();
-        drop(prod);
-        let after = gpu.stats().current_alloc_bytes;
-        assert_eq!(before, after, "operation temporaries must be freed");
-        gpu.stats().current_alloc_bytes
-    };
-    // Context, keys and ciphertexts dropped: only permutation-table caches
-    // remain inside the dropped context... which is gone too.
-    assert!(gpu.stats().current_alloc_bytes <= baseline);
-    assert!(gpu.stats().peak_alloc_bytes > 0);
+    let engine = CkksEngine::builder()
+        .log_n(10)
+        .levels(4)
+        .scale_bits(40)
+        .dnum(2)
+        .exec_mode(ExecMode::CostOnly)
+        .seed(6)
+        .build()
+        .unwrap();
+    let ct = engine.encrypt(&[0.0; 8]).unwrap();
+    let before = engine.sim_stats().unwrap().current_alloc_bytes;
+    let prod = ct.try_square().unwrap();
+    drop(prod);
+    let after = engine.sim_stats().unwrap().current_alloc_bytes;
+    assert_eq!(before, after, "operation temporaries must be freed");
+    assert!(engine.sim_stats().unwrap().peak_alloc_bytes > 0);
 }
 
-/// Cross-parameter-set isolation: two contexts with different parameters can
-/// run in one process (the Rust port removes the paper's singleton
-/// limitation).
+/// Cross-parameter-set isolation: two engine sessions with different
+/// parameters and devices coexist in one process (the Rust port removes the
+/// paper's singleton limitation).
 #[test]
-fn multiple_contexts_coexist() {
-    let gpu_a = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::Functional);
-    let gpu_b = GpuSim::new(DeviceSpec::v100(), ExecMode::Functional);
-    let ctx_a = CkksContext::new(CkksParameters::toy(), gpu_a);
-    let ctx_b = CkksContext::new(CkksParameters::new(11, 3, 42, 2).unwrap(), gpu_b);
+fn multiple_engine_sessions_coexist() {
+    let a = CkksEngine::builder()
+        .log_n(10)
+        .levels(4)
+        .scale_bits(40)
+        .seed(3)
+        .build()
+        .unwrap();
+    let b = CkksEngine::builder()
+        .log_n(11)
+        .levels(3)
+        .scale_bits(42)
+        .dnum(2)
+        .device(DeviceSpec::v100())
+        .seed(4)
+        .build()
+        .unwrap();
 
-    for ctx in [&ctx_a, &ctx_b] {
-        let client = ClientContext::new(ctx.raw_params().clone());
-        let mut kg = KeyGenerator::new(&client, 3);
-        let sk = kg.secret_key();
-        let pk = kg.public_key(&sk);
-        let mut rng = StdRng::seed_from_u64(4);
-        let v = vec![0.5f64, -0.25];
-        let ct = adapter::load_ciphertext(
-            &ctx.clone(),
-            &client.encrypt(
-                &client.encode_real(&v, ctx.fresh_scale(), ctx.max_level()),
-                &pk,
-                &mut rng,
-            ),
-        );
-        let doubled = ct.mul_int(2);
-        let got = client.decode_real(&client.decrypt(&adapter::store_ciphertext(&doubled), &sk));
+    for engine in [&a, &b] {
+        let ct = engine.encrypt(&[0.5, -0.25]).unwrap();
+        let doubled = ct.try_mul_int(2).unwrap();
+        let got = engine.decrypt(&doubled).unwrap();
         assert!((got[0] - 1.0).abs() < 1e-5);
         assert!((got[1] + 0.5).abs() < 1e-5);
     }
+}
+
+/// Handles from different sessions must not combine.
+#[test]
+fn cross_session_handles_rejected() {
+    let a = CkksEngine::builder()
+        .log_n(10)
+        .levels(3)
+        .seed(1)
+        .build()
+        .unwrap();
+    let b = CkksEngine::builder()
+        .log_n(10)
+        .levels(3)
+        .seed(1)
+        .build()
+        .unwrap();
+    let x = a.encrypt(&[1.0]).unwrap();
+    let y = b.encrypt(&[1.0]).unwrap();
+    assert!(matches!(
+        x.try_add(&y),
+        Err(fideslib::core::FidesError::Unsupported(_))
+    ));
 }
