@@ -104,6 +104,17 @@ impl Ct {
         &self.ct
     }
 
+    /// Downloads the ciphertext in the portable wire form — the frame the
+    /// client would decrypt. Backends that agree bit-for-bit produce
+    /// identical frames, which the cross-backend determinism tests assert.
+    ///
+    /// # Errors
+    ///
+    /// Backend `store` failures (e.g. a handle from another session).
+    pub fn to_raw(&self) -> Result<fides_client::RawCiphertext> {
+        self.inner.backend.store(&self.ct)
+    }
+
     fn wrap(&self, ct: BackendCt) -> Ct {
         Ct {
             inner: Arc::clone(&self.inner),

@@ -68,6 +68,9 @@ pub struct CkksEngineBuilder {
     dnum: Option<usize>,
     limb_batch: Option<usize>,
     fusion: Option<FusionConfig>,
+    num_streams: Option<usize>,
+    graph_exec: Option<bool>,
+    workers: Option<usize>,
     device: DeviceSpec,
     exec_mode: ExecMode,
     seed: u64,
@@ -90,6 +93,9 @@ impl CkksEngine {
             dnum: None,
             limb_batch: None,
             fusion: None,
+            num_streams: None,
+            graph_exec: None,
+            workers: None,
             device: DeviceSpec::rtx_4090(),
             exec_mode: ExecMode::Functional,
             seed: 0,
@@ -201,6 +207,61 @@ impl CkksEngine {
     pub fn sync_time_us(&self) -> Option<f64> {
         self.inner.backend.sync_time_us()
     }
+
+    /// Scheduling-pass counters (graphs planned, kernels fused), when the
+    /// backend runs the stream-graph engine.
+    pub fn sched_stats(&self) -> Option<fides_core::SchedStats> {
+        self.inner.backend.sched_stats()
+    }
+
+    /// Runs `f` as **one deferred-execution graph**: every operation inside
+    /// records into a single kernel graph, so the scheduling pass fuses and
+    /// interleaves across op boundaries before replaying onto the stream
+    /// timeline. On backends without graph execution (CPU reference) `f`
+    /// simply runs.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `f` reports; the recorded graph is still executed (the work
+    /// already happened).
+    pub fn eval_scope<R>(&self, f: impl FnOnce() -> Result<R>) -> Result<R> {
+        let began = self.inner.backend.graph_begin();
+        // A panicking closure must not leak the open region: close it
+        // discarding the recording on unwind.
+        struct AbortGuard<'a> {
+            backend: &'a dyn EvalBackend,
+            armed: bool,
+        }
+        impl Drop for AbortGuard<'_> {
+            fn drop(&mut self) {
+                if self.armed {
+                    self.backend.graph_abort();
+                }
+            }
+        }
+        let mut guard = AbortGuard {
+            backend: self.inner.backend.as_ref(),
+            armed: began,
+        };
+        let r = f();
+        if began {
+            guard.armed = false;
+            self.inner.backend.graph_end();
+        }
+        r
+    }
+
+    /// Evaluates `op` over a batch of ciphertexts inside a single graph:
+    /// the per-ciphertext kernel schedules interleave round-robin across
+    /// the device streams instead of serializing op by op — the batching
+    /// the ROADMAP's heavy-traffic serving story needs.
+    ///
+    /// # Errors
+    ///
+    /// The first error `op` reports (remaining items are skipped).
+    pub fn eval_batch(&self, cts: &[Ct], op: impl Fn(&Ct) -> Result<Ct>) -> Result<Vec<Ct>> {
+        self.eval_scope(|| cts.iter().map(&op).collect())
+    }
 }
 
 impl CkksEngineBuilder {
@@ -240,9 +301,31 @@ impl CkksEngineBuilder {
         self
     }
 
-    /// Kernel fusion toggles (GPU-sim backend; §III-F.5).
+    /// Kernel fusion toggles (GPU-sim backend; §III-F.5). The
+    /// `elementwise` flag controls the graph-level fusion pass.
     pub fn fusion(mut self, fusion: FusionConfig) -> Self {
         self.fusion = Some(fusion);
+        self
+    }
+
+    /// Stream count limb batches cycle over (GPU-sim backend; default 16).
+    pub fn num_streams(mut self, streams: usize) -> Self {
+        self.num_streams = Some(streams);
+        self
+    }
+
+    /// Enables/disables the recorded-graph execution engine (GPU-sim
+    /// backend; default on). Off = eager per-op dispatch, the A/B baseline.
+    pub fn graph_exec(mut self, enabled: bool) -> Self {
+        self.graph_exec = Some(enabled);
+        self
+    }
+
+    /// Worker threads for limb-parallel execution (CPU backend; default:
+    /// `FIDES_WORKERS` or the machine's parallelism). Results are
+    /// bit-identical at every worker count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
         self
     }
 
@@ -331,6 +414,12 @@ impl CkksEngineBuilder {
         if let Some(fusion) = self.fusion {
             params = params.with_fusion(fusion);
         }
+        if let Some(streams) = self.num_streams {
+            params = params.with_num_streams(streams);
+        }
+        if let Some(graph) = self.graph_exec {
+            params = params.with_graph_exec(graph);
+        }
         let raw = params.to_raw();
         let client = ClientContext::new(raw.clone());
         let mut kg = KeyGenerator::new(&client, self.seed);
@@ -367,6 +456,9 @@ impl CkksEngineBuilder {
                     ));
                 }
                 let mut backend = CpuBackend::new(raw);
+                if let Some(workers) = self.workers {
+                    backend = backend.with_workers(workers);
+                }
                 backend.set_relin_key(relin);
                 for (shift, key) in dedup_rotation_keys(&mut kg, &sk, &self.rotations) {
                     backend.insert_rotation_key(shift, key);
@@ -435,6 +527,50 @@ mod tests {
             .bootstrap_slots(8)
             .build();
         assert!(matches!(r, Err(FidesError::Unsupported(_))));
+    }
+
+    #[test]
+    fn eval_batch_runs_one_graph_across_ops() {
+        let e = CkksEngine::builder()
+            .log_n(10)
+            .levels(3)
+            .num_streams(8)
+            .seed(3)
+            .build()
+            .unwrap();
+        let cts: Vec<_> = (0..4)
+            .map(|i| e.encrypt(&[i as f64, 0.5]).unwrap())
+            .collect();
+        let before = e.sched_stats().unwrap().graphs;
+        let doubled = e.eval_batch(&cts, |ct| ct.try_mul_int(2)).unwrap();
+        let after = e.sched_stats().unwrap().graphs;
+        assert_eq!(after - before, 1, "whole batch = one planned graph");
+        for (i, ct) in doubled.iter().enumerate() {
+            let got = e.decrypt(ct).unwrap();
+            assert!((got[0] - 2.0 * i as f64).abs() < 1e-4);
+        }
+        // eval_scope passes errors through but still closes the graph.
+        let err =
+            e.eval_scope(|| -> Result<()> { Err(FidesError::Unsupported("synthetic".into())) });
+        assert!(matches!(err, Err(FidesError::Unsupported(_))));
+        let x = e.encrypt(&[1.0]).unwrap();
+        assert!(e.decrypt(&x).is_ok(), "engine still usable after error");
+    }
+
+    #[test]
+    fn workers_knob_reaches_cpu_backend() {
+        let e = CkksEngine::builder()
+            .log_n(10)
+            .levels(2)
+            .backend(BackendChoice::Cpu)
+            .workers(2)
+            .seed(4)
+            .build()
+            .unwrap();
+        assert!(e.sched_stats().is_none(), "no graph engine on the CPU path");
+        let x = e.encrypt(&[0.25]).unwrap();
+        let y = x.try_add(&x).unwrap();
+        assert!((e.decrypt(&y).unwrap()[0] - 0.5).abs() < 1e-5);
     }
 
     #[test]

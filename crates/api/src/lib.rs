@@ -19,9 +19,19 @@
 //!
 //! The engine is **backend-pluggable** ([`EvalBackend`]): the default runs
 //! on the simulated GPU exactly like the raw API; `BackendChoice::Cpu`
-//! executes the identical RNS math on a plain-CPU reference implementation,
+//! executes the identical RNS math limb-parallel on a worker pool,
 //! which cross-checks the simulator and opens the door to real-hardware
 //! backends.
+//!
+//! ## Deferred (graph) evaluation
+//!
+//! On the gpu-sim backend every op runs through the stream-graph engine
+//! (`fides_core::sched`): kernels are recorded into a lazy graph, fused, and
+//! replayed over the configured stream count. [`CkksEngine::eval_scope`]
+//! widens one graph across several ops, and [`CkksEngine::eval_batch`]
+//! evaluates a batch of ciphertexts inside a single graph so their kernels
+//! interleave across streams. Knobs: `num_streams`, `fusion`, `graph_exec`,
+//! and `workers` (CPU backend) on the builder.
 //!
 //! ## Scale management
 //!
@@ -42,5 +52,5 @@ pub use engine::{BackendChoice, CkksEngine, CkksEngineBuilder};
 
 // The vocabulary types callers need alongside the engine.
 pub use fides_core::backend::{BackendCt, EvalBackend};
-pub use fides_core::{BootstrapConfig, FidesError, FusionConfig, Result};
-pub use fides_gpu_sim::{DeviceSpec, ExecMode, SimStats};
+pub use fides_core::{BootstrapConfig, FidesError, FusionConfig, Result, SchedStats};
+pub use fides_gpu_sim::{DeviceSpec, ExecMode, SimStats, StreamStats};

@@ -1,7 +1,12 @@
-//! Ablation: the kernel fusions of §III-F.5, toggled individually.
+//! Ablation: kernel fusion, toggled family by family — §III-F.5's in-kernel
+//! fusions plus the stream-graph planner's elementwise-chain fusion.
 //!
-//! Measures HMult + Rescale at `[16, 29, 59, 4]` on the RTX 4090 with each
-//! fusion family disabled, quantifying what each contributes.
+//! Measures HMult + Rescale at `[16, 29, 59, 4]` on the RTX 4090. Every
+//! configuration drives the same recorded-graph execution path
+//! (`fides_core::sched`): ops record kernel nodes, the planner fuses what
+//! the configuration allows, and the plan replays onto the stream timeline —
+//! so "kernel launches" below are exactly the launches the plan issued, and
+//! "fused away" is the planner's own ledger.
 
 use std::sync::Arc;
 
@@ -10,7 +15,9 @@ use fides_bench::{fmt_us, print_table};
 use fides_core::{adapter, CkksContext, CkksParameters, FusionConfig};
 use fides_gpu_sim::{DeviceSpec, ExecMode, GpuSim};
 
-fn measure(params: &CkksParameters) -> (f64, u64) {
+/// One configuration's measurements: simulated time, planned launches,
+/// launches fused away by the graph pass.
+fn measure(params: &CkksParameters) -> (f64, u64, u64) {
     let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::CostOnly);
     let ctx = CkksContext::new(params.clone(), Arc::clone(&gpu));
     let keys = synth_keys(&ctx);
@@ -22,17 +29,27 @@ fn measure(params: &CkksParameters) -> (f64, u64) {
     run();
     gpu.sync();
     gpu.reset_stats();
+    ctx.reset_sched_stats();
     let t0 = gpu.sync();
     run();
     let dt = gpu.sync() - t0;
-    (dt, gpu.stats().kernel_launches)
+    let sched = ctx.sched_stats();
+    (dt, gpu.stats().kernel_launches, sched.fused_kernels)
 }
 
 fn main() {
     println!("Fusion ablation — HMult + Rescale, [16, 29, 59, 4], RTX 4090");
+    println!("(all rows run the stream-graph planner; rows toggle what it may fuse)");
     let base = CkksParameters::paper_default().with_limb_batch(12);
     let configs: Vec<(&str, FusionConfig)> = vec![
         ("all fusions (FIDESlib)", FusionConfig::default()),
+        (
+            "no graph elementwise fusion",
+            FusionConfig {
+                elementwise: false,
+                ..FusionConfig::default()
+            },
+        ),
         (
             "no rescale fusion",
             FusionConfig {
@@ -63,20 +80,27 @@ fn main() {
         ),
         ("no fusions at all", FusionConfig::none()),
     ];
-    let (base_us, _) = measure(&base.clone().with_fusion(FusionConfig::default()));
+    let (base_us, _, _) = measure(&base.clone().with_fusion(FusionConfig::default()));
     let mut rows = Vec::new();
     for (name, fusion) in configs {
-        let (us, launches) = measure(&base.clone().with_fusion(fusion));
+        let (us, launches, fused) = measure(&base.clone().with_fusion(fusion));
         rows.push(vec![
             name.to_string(),
             fmt_us(us),
             launches.to_string(),
+            fused.to_string(),
             format!("{:+5.1}%", (us / base_us - 1.0) * 100.0),
         ]);
     }
     print_table(
         "HMult + Rescale fusion ablation",
-        &["configuration", "time", "kernel launches", "vs fused"],
+        &[
+            "configuration",
+            "time",
+            "kernel launches",
+            "fused away",
+            "vs fused",
+        ],
         &rows,
     );
 }

@@ -1,5 +1,12 @@
 //! Ablation: hoisted rotations (§III-F.6) vs naive per-rotation key
 //! switching, as a function of how many rotations share one input.
+//!
+//! Both variants run through the stream-graph planner: the naive loop plans
+//! one graph per rotation, while the hoisted path records the shared
+//! decomposition + ModUp and every rotation's inner products into a single
+//! graph whose launches interleave across the streams. The table therefore
+//! also reports planned kernel launches per variant — hoisting's saving is
+//! visible in the schedule itself, not just the clock.
 
 use std::sync::Arc;
 
@@ -28,28 +35,36 @@ fn main() {
         let hoisted = || {
             let _ = ct.hoisted_rotations(&shifts, &keys).unwrap();
         };
-        naive();
-        gpu.sync();
-        let t0 = gpu.sync();
-        naive();
-        let naive_us = gpu.sync() - t0;
-        hoisted();
-        gpu.sync();
-        let t0 = gpu.sync();
-        hoisted();
-        let hoisted_us = gpu.sync() - t0;
+        let measure = |run: &dyn Fn()| {
+            run();
+            gpu.sync();
+            gpu.reset_stats();
+            let t0 = gpu.sync();
+            run();
+            (gpu.sync() - t0, gpu.stats().kernel_launches)
+        };
+        let (naive_us, naive_launches) = measure(&naive);
+        let (hoisted_us, hoisted_launches) = measure(&hoisted);
         rows.push(vec![
             k.to_string(),
             fmt_us(naive_us),
+            naive_launches.to_string(),
             fmt_us(hoisted_us),
+            hoisted_launches.to_string(),
             format!("{:4.2}x", naive_us / hoisted_us),
         ]);
     }
     print_table(
         "k rotations: naive vs hoisted",
-        &["k", "naive", "hoisted", "speedup"],
+        &["k", "naive", "launches", "hoisted", "launches", "speedup"],
         &rows,
     );
-    println!("\nHoisting shares the decomposition + ModUp across rotations, so the gain");
+    let sched = ctx.sched_stats();
+    println!(
+        "\nplanner ledger (cumulative over every run above, warm-ups included):\n  \
+         {} graphs, {} kernels recorded, {} fused away, {} launched",
+        sched.graphs, sched.recorded_kernels, sched.fused_kernels, sched.planned_launches
+    );
+    println!("Hoisting shares the decomposition + ModUp across rotations, so the gain");
     println!("grows with k (the BSGS baby steps of bootstrapping's linear transforms).");
 }

@@ -22,7 +22,8 @@ fn phase_ops(op_factor: f64) -> u64 {
     (base as f64 * op_factor) as u64
 }
 
-/// One full transform over `limbs` limbs; returns µs per limb.
+/// One full transform over `limbs` limbs; returns (µs per limb, stream
+/// occupancy over the measured window).
 fn ntt_us_per_limb(
     spec: &DeviceSpec,
     limbs: usize,
@@ -30,7 +31,7 @@ fn ntt_us_per_limb(
     access_eff: f64,
     op_factor: f64,
     inverse: bool,
-) -> f64 {
+) -> (f64, f64) {
     let gpu = GpuSim::new(spec.clone(), ExecMode::CostOnly);
     let bufs: Vec<VectorGpu<u64>> = (0..limbs).map(|_| VectorGpu::new(&gpu, N)).collect();
     let lb = (N * 8) as u64;
@@ -58,10 +59,11 @@ fn ntt_us_per_limb(
     };
     run(&gpu); // cold pass warms the L2 model (steady-state measurement)
     gpu.sync();
+    gpu.reset_stats();
     let t0 = gpu.sync();
     run(&gpu);
     let dt = gpu.sync() - t0;
-    dt / limbs as f64
+    (dt / limbs as f64, gpu.stats().stream_occupancy())
 }
 
 fn main() {
@@ -69,9 +71,9 @@ fn main() {
     for spec in [DeviceSpec::rtx_4090(), DeviceSpec::rtx_4060_ti()] {
         let mut rows = Vec::new();
         for &limbs in &[16usize, 32, 64, 128] {
-            let f_ntt = ntt_us_per_limb(&spec, limbs, 8, 1.0, 1.0, false);
-            let f_intt = ntt_us_per_limb(&spec, limbs, 8, 1.0, 1.0, true);
-            let p_ntt = ntt_us_per_limb(
+            let (f_ntt, f_occ) = ntt_us_per_limb(&spec, limbs, 8, 1.0, 1.0, false);
+            let (f_intt, _) = ntt_us_per_limb(&spec, limbs, 8, 1.0, 1.0, true);
+            let (p_ntt, p_occ) = ntt_us_per_limb(
                 &spec,
                 limbs,
                 limbs, // monolithic
@@ -79,7 +81,7 @@ fn main() {
                 PHANTOM_NTT_OP_FACTOR,
                 false,
             );
-            let p_intt = ntt_us_per_limb(
+            let (p_intt, _) = ntt_us_per_limb(
                 &spec,
                 limbs,
                 limbs,
@@ -94,6 +96,7 @@ fn main() {
                 format!("{p_ntt:7.3}"),
                 format!("{p_intt:7.3}"),
                 format!("{:5.2}x", p_ntt / f_ntt),
+                format!("{:3.0}% / {:3.0}%", f_occ * 100.0, p_occ * 100.0),
             ]);
         }
         print_table(
@@ -105,6 +108,7 @@ fn main() {
                 "Phantom NTT",
                 "Phantom iNTT",
                 "gap",
+                "occupancy F/P",
             ],
             &rows,
         );

@@ -26,11 +26,13 @@ fn main() {
     let mut rows: Vec<Vec<String>> = limb_points.iter().map(|l| vec![l.to_string()]).collect();
     let mut headers: Vec<String> = vec!["limbs".into()];
 
+    let mut occupancies: Vec<String> = Vec::new();
     for spec in DeviceSpec::all_gpus() {
         headers.push(spec.name.clone());
         let params = CkksParameters::paper_default().with_limb_batch(best_batch(&spec.name));
         let gpu = GpuSim::new(spec.clone(), ExecMode::CostOnly);
         let ctx = CkksContext::new(params, Arc::clone(&gpu));
+        let mut device_occ = 0.0f64;
         for (row, &limbs) in rows.iter_mut().zip(&limb_points) {
             let level = limbs - 1;
             let ct = adapter::placeholder_ciphertext(
@@ -47,14 +49,18 @@ fn main() {
             };
             run();
             gpu.sync();
+            gpu.reset_stats();
             let t0 = gpu.sync();
             run();
             let dt = gpu.sync() - t0;
+            device_occ = device_occ.max(gpu.stats().stream_occupancy());
             row.push(format!("{dt:8.1}"));
         }
+        occupancies.push(format!("{}: {:.0}%", spec.name, device_occ * 100.0));
     }
     let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     print_table("PtMult + Rescale (µs)", &headers_ref, &rows);
+    println!("\npeak stream occupancy: {}", occupancies.join("  "));
     println!("\nPaper shape: ~linear in limbs; ~100–500 µs range; 4060 Ti knee below");
     println!("~20 limbs as the working set fits its 32 MB L2.");
 }

@@ -1,0 +1,239 @@
+//! Machine-readable performance snapshot: seeds the repo's perf trajectory.
+//!
+//! Emits `BENCH_PR2.json` with per-primitive and end-to-end LR-iteration
+//! timings on **both** backends:
+//!
+//! * gpu-sim (cost-only, paper parameters `[16, 29, 59, 4]`): simulated µs
+//!   and planned kernel launches, fusion on vs off — the stream-graph
+//!   planner's effect in one file;
+//! * cpu-reference (functional, `[11, 9, 2^40, 2]`): wall-clock µs at
+//!   worker counts 1 and 8 — the limb-parallel worker pool's scaling.
+//!
+//! CI uploads the file as an artifact, so every PR leaves a comparable
+//! perf record.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use fides_api::{BackendChoice, CkksEngine};
+use fides_baselines::synth_keys_with_rotations;
+use fides_bench::sim_time_us;
+use fides_core::{adapter, CkksContext, CkksParameters, FusionConfig};
+use fides_gpu_sim::{DeviceSpec, ExecMode, GpuSim};
+use fides_workloads::{EngineLrTrainer, LrConfig, LrTrainer};
+
+const OUT_PATH: &str = "BENCH_PR2.json";
+
+/// One timed gpu-sim entry.
+struct SimEntry {
+    op: &'static str,
+    fusion: bool,
+    sim_us: f64,
+    kernel_launches: u64,
+}
+
+fn gpu_sim_primitives(fusion: bool) -> Vec<SimEntry> {
+    let fusion_cfg = if fusion {
+        FusionConfig::default()
+    } else {
+        FusionConfig::none()
+    };
+    let params = CkksParameters::paper_default()
+        .with_limb_batch(12)
+        .with_fusion(fusion_cfg);
+    let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::CostOnly);
+    let ctx = CkksContext::new(params, Arc::clone(&gpu));
+    let keys = synth_keys_with_rotations(&ctx, &[1]);
+    let ct = adapter::placeholder_ciphertext(&ctx, ctx.max_level(), ctx.fresh_scale(), ctx.n() / 2);
+
+    let mut out = Vec::new();
+    let mut timed = |op: &'static str, run: &dyn Fn()| {
+        run(); // warm the L2 model
+        gpu.sync();
+        gpu.reset_stats();
+        let us = sim_time_us(&gpu, run);
+        out.push(SimEntry {
+            op,
+            fusion,
+            sim_us: us,
+            kernel_launches: gpu.stats().kernel_launches,
+        });
+    };
+    timed("hadd", &|| {
+        let _ = ct.add(&ct).unwrap();
+    });
+    timed("hmult_rescale", &|| {
+        let mut prod = ct.mul(&ct, &keys).unwrap();
+        prod.rescale_in_place().unwrap();
+    });
+    timed("hrotate", &|| {
+        let _ = ct.rotate(1, &keys).unwrap();
+    });
+    out
+}
+
+fn gpu_sim_lr_iteration(fusion: bool) -> f64 {
+    let fusion_cfg = if fusion {
+        FusionConfig::default()
+    } else {
+        FusionConfig::none()
+    };
+    let params = CkksParameters::paper_lr()
+        .with_limb_batch(12)
+        .with_fusion(fusion_cfg);
+    let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::CostOnly);
+    let ctx = CkksContext::new(params, Arc::clone(&gpu));
+    let client = fides_client::ClientContext::new(ctx.raw_params().clone());
+    let cfg = LrConfig::paper();
+    let trainer = LrTrainer::new(&ctx, &client, cfg);
+    let keys = synth_keys_with_rotations(&ctx, &trainer.required_rotations());
+    let top = ctx.max_level();
+    let w = adapter::placeholder_ciphertext(&ctx, top, ctx.standard_scale(top), cfg.slots());
+    let x = adapter::placeholder_ciphertext(&ctx, top, ctx.standard_scale(top), cfg.slots());
+    let y = adapter::placeholder_ciphertext(&ctx, top, ctx.standard_scale(top), cfg.slots());
+    let _ = trainer.iteration(&w, &x, &y, &keys).unwrap();
+    gpu.sync();
+    sim_time_us(&gpu, || {
+        let _ = trainer.iteration(&w, &x, &y, &keys).unwrap();
+    })
+}
+
+/// Wall-clock microseconds of `f`, best of three runs.
+fn wall_us(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    best
+}
+
+/// CPU-backend wall-clock entries at one worker count.
+struct CpuEntry {
+    workers: usize,
+    hadd_us: f64,
+    hmult_rescale_us: f64,
+    hrotate_us: f64,
+    lr_iteration_us: f64,
+}
+
+fn cpu_backend_times(workers: usize) -> CpuEntry {
+    let cfg = LrConfig {
+        batch: 8,
+        features: 8,
+        learning_rate: 1.0,
+    };
+    let engine = CkksEngine::builder()
+        .log_n(11)
+        .levels(9)
+        .scale_bits(40)
+        .dnum(2)
+        .backend(BackendChoice::Cpu)
+        .workers(workers)
+        .rotations(&cfg.required_rotations())
+        .seed(11)
+        .build()
+        .expect("snapshot parameters are valid");
+    let a = engine.encrypt(&[0.5; 64]).unwrap();
+    let b = engine.encrypt(&[0.25; 64]).unwrap();
+    let hadd_us = wall_us(|| {
+        let _ = a.try_add(&b).unwrap();
+    });
+    let hmult_rescale_us = wall_us(|| {
+        let _ = a.try_mul(&b).unwrap(); // engine policy rescales
+    });
+    let hrotate_us = wall_us(|| {
+        let _ = a.rotate(1).unwrap();
+    });
+    let trainer = EngineLrTrainer::new(&engine, cfg).unwrap();
+    let rows: Vec<Vec<f64>> = (0..cfg.batch)
+        .map(|i| {
+            (0..cfg.features)
+                .map(|j| ((i + j) % 5) as f64 * 0.1)
+                .collect()
+        })
+        .collect();
+    let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let x = trainer.encrypt_features(&row_refs).unwrap();
+    let y = trainer.encrypt_labels(&vec![1.0; cfg.batch]).unwrap();
+    let w = trainer.encrypt_weights(&vec![0.0; cfg.features]).unwrap();
+    let lr_iteration_us = wall_us(|| {
+        let _ = trainer.iteration(&w, &x, &y).unwrap();
+    });
+    CpuEntry {
+        workers,
+        hadd_us,
+        hmult_rescale_us,
+        hrotate_us,
+        lr_iteration_us,
+    }
+}
+
+fn main() {
+    println!("collecting gpu-sim primitive timings (fusion on/off)...");
+    let mut sim_entries = gpu_sim_primitives(true);
+    sim_entries.extend(gpu_sim_primitives(false));
+    println!("collecting gpu-sim LR iteration timings...");
+    let lr_fused = gpu_sim_lr_iteration(true);
+    let lr_unfused = gpu_sim_lr_iteration(false);
+    println!("collecting cpu-reference wall-clock timings (workers 1, 8)...");
+    let cpu_entries = [cpu_backend_times(1), cpu_backend_times(8)];
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"pr\": 2,\n");
+    json.push_str("  \"schema\": \"fideslib-bench-snapshot-v1\",\n");
+    json.push_str("  \"gpu_sim\": {\n");
+    json.push_str("    \"device\": \"RTX 4090 (simulated, cost-only)\",\n");
+    json.push_str("    \"params\": \"[logN, L, dnum] = [16, 29, 4], limb_batch 12\",\n");
+    json.push_str("    \"primitives\": [\n");
+    for (i, e) in sim_entries.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"op\": \"{}\", \"fusion\": {}, \"sim_us\": {:.2}, \"kernel_launches\": {}}}{}",
+            e.op,
+            e.fusion,
+            e.sim_us,
+            e.kernel_launches,
+            if i + 1 < sim_entries.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ],\n");
+    json.push_str("    \"lr_iteration\": [\n");
+    let _ = writeln!(
+        json,
+        "      {{\"fusion\": true, \"sim_us\": {lr_fused:.2}}},"
+    );
+    let _ = writeln!(
+        json,
+        "      {{\"fusion\": false, \"sim_us\": {lr_unfused:.2}}}"
+    );
+    json.push_str("    ]\n  },\n");
+    json.push_str("  \"cpu_reference\": {\n");
+    json.push_str("    \"params\": \"[logN, L, dnum] = [11, 9, 2], functional\",\n");
+    let _ = writeln!(
+        json,
+        "    \"host_parallelism\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    json.push_str("    \"by_workers\": [\n");
+    for (i, e) in cpu_entries.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"workers\": {}, \"hadd_us\": {:.1}, \"hmult_rescale_us\": {:.1}, \
+             \"hrotate_us\": {:.1}, \"lr_iteration_us\": {:.1}}}{}",
+            e.workers,
+            e.hadd_us,
+            e.hmult_rescale_us,
+            e.hrotate_us,
+            e.lr_iteration_us,
+            if i + 1 < cpu_entries.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ]\n  }\n}\n");
+
+    std::fs::write(OUT_PATH, &json).expect("write BENCH_PR2.json");
+    println!("\nwrote {OUT_PATH}:\n{json}");
+}

@@ -1,0 +1,71 @@
+//! Regression guard for the `ablate_fusion` claim: with fusion enabled the
+//! planner must issue **strictly fewer kernel launches** and the simulated
+//! time must be **lower** than with every fusion disabled — at the same
+//! paper-scale configuration the ablation binary reports.
+
+use std::sync::Arc;
+
+use fides_baselines::synth_keys;
+use fides_core::{adapter, CkksContext, CkksParameters, FusionConfig};
+use fides_gpu_sim::{DeviceSpec, ExecMode, GpuSim};
+
+/// Mirrors `ablate_fusion::measure`: HMult + Rescale, steady state.
+fn measure(params: &CkksParameters) -> (f64, u64, u64) {
+    let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::CostOnly);
+    let ctx = CkksContext::new(params.clone(), Arc::clone(&gpu));
+    let keys = synth_keys(&ctx);
+    let ct = adapter::placeholder_ciphertext(&ctx, ctx.max_level(), ctx.fresh_scale(), ctx.n() / 2);
+    let run = || {
+        let mut prod = ct.mul(&ct, &keys).unwrap();
+        prod.rescale_in_place().unwrap();
+    };
+    run();
+    gpu.sync();
+    gpu.reset_stats();
+    ctx.reset_sched_stats();
+    let t0 = gpu.sync();
+    run();
+    let dt = gpu.sync() - t0;
+    (
+        dt,
+        gpu.stats().kernel_launches,
+        ctx.sched_stats().fused_kernels,
+    )
+}
+
+#[test]
+fn fusion_strictly_reduces_launches_and_time() {
+    let base = CkksParameters::paper_default().with_limb_batch(12);
+    let (fused_us, fused_launches, fused_away) =
+        measure(&base.clone().with_fusion(FusionConfig::default()));
+    let (plain_us, plain_launches, none_away) = measure(&base.with_fusion(FusionConfig::none()));
+
+    assert!(
+        fused_launches < plain_launches,
+        "fusion must strictly reduce kernel launches: {fused_launches} vs {plain_launches}"
+    );
+    assert!(
+        fused_us < plain_us,
+        "fusion must lower simulated time: {fused_us} µs vs {plain_us} µs"
+    );
+    assert!(fused_away > 0, "planner ledger must record fused kernels");
+    assert_eq!(
+        none_away, 0,
+        "FusionConfig::none() must disable graph fusion"
+    );
+}
+
+#[test]
+fn graph_fusion_alone_reduces_launches() {
+    // Isolate the planner's elementwise pass from the in-kernel fusions.
+    let base = CkksParameters::paper_default().with_limb_batch(12);
+    let (_, with_graph, _) = measure(&base.clone().with_fusion(FusionConfig::default()));
+    let (_, without_graph, _) = measure(&base.with_fusion(FusionConfig {
+        elementwise: false,
+        ..FusionConfig::default()
+    }));
+    assert!(
+        with_graph < without_graph,
+        "elementwise graph fusion must reduce launches: {with_graph} vs {without_graph}"
+    );
+}

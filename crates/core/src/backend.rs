@@ -201,6 +201,27 @@ pub trait EvalBackend: fmt::Debug + Send + Sync {
     fn sync_time_us(&self) -> Option<f64> {
         None
     }
+
+    /// Opens a deferred-execution graph region: operations issued until
+    /// [`EvalBackend::graph_end`] record into one kernel graph, so the
+    /// scheduling pass can fuse and stream across op boundaries. Returns
+    /// `false` for backends without graph execution (then `graph_end` must
+    /// not be called).
+    fn graph_begin(&self) -> bool {
+        false
+    }
+
+    /// Closes a graph region opened by [`EvalBackend::graph_begin`],
+    /// planning and executing the recorded graph.
+    fn graph_end(&self) {}
+
+    /// Closes a graph region discarding its recording (the unwind path).
+    fn graph_abort(&self) {}
+
+    /// Scheduling-pass counters, for backends running the graph engine.
+    fn sched_stats(&self) -> Option<crate::sched::SchedStats> {
+        None
+    }
 }
 
 /// The paper-faithful backend: every operation runs as kernels on the
@@ -384,6 +405,22 @@ impl EvalBackend for GpuSimBackend {
 
     fn sync_time_us(&self) -> Option<f64> {
         Some(self.ctx.gpu().sync())
+    }
+
+    fn graph_begin(&self) -> bool {
+        self.ctx.graph_scope_begin()
+    }
+
+    fn graph_end(&self) {
+        self.ctx.graph_scope_end();
+    }
+
+    fn graph_abort(&self) {
+        self.ctx.graph_scope_abort();
+    }
+
+    fn sched_stats(&self) -> Option<crate::sched::SchedStats> {
+        Some(self.ctx.sched_stats())
     }
 }
 

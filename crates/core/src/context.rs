@@ -19,6 +19,7 @@ use fides_rns::{product_inv_mod, product_mod, BaseConverter, DigitPartition};
 use parking_lot::Mutex;
 
 use crate::params::CkksParameters;
+use crate::sched::{ExecGraph, GpuReplayExecutor, PlanConfig, PlanExecutor, Planner, SchedStats};
 
 /// Index into the combined modulus chain.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -48,7 +49,9 @@ pub struct EvalPerm {
     pub dev: VectorGpu<u32>,
 }
 
-/// Number of CUDA streams the server cycles kernel batches over.
+/// Default number of CUDA streams the server cycles kernel batches over
+/// (override per session with
+/// [`CkksParameters::with_num_streams`](crate::CkksParameters::with_num_streams)).
 pub const NUM_STREAMS: usize = 16;
 
 /// The immutable server context.
@@ -80,6 +83,8 @@ pub struct CkksContext {
     /// `NTT(X^{N/2}) mod q_i` — the imaginary-unit monomial used by
     /// bootstrapping's real/imaginary extraction.
     monomial_half: Vec<Vec<u64>>,
+    /// Cumulative scheduling-pass counters (graphs planned, kernels fused).
+    sched_ledger: Mutex<SchedStats>,
 }
 
 impl CkksContext {
@@ -187,6 +192,7 @@ impl CkksContext {
             standard_scale,
             perms: Mutex::new(HashMap::new()),
             monomial_half,
+            sched_ledger: Mutex::new(SchedStats::default()),
         })
     }
 
@@ -316,16 +322,105 @@ impl CkksContext {
             .collect()
     }
 
-    /// Stream assignment for batch `k`.
+    /// Stream assignment for batch `k` (round-robin over the configured
+    /// stream count).
     pub fn stream_for_batch(&self, k: usize) -> usize {
-        k % NUM_STREAMS
+        k % self.params.num_streams.max(1)
     }
 
     /// Synchronizes every stream used by batched kernels (cross-limb
-    /// dependency barrier).
+    /// dependency barrier). Inside a scheduled region this records a graph
+    /// barrier instead of fencing immediately.
     pub fn sync_batch_streams(&self) {
-        let streams: Vec<usize> = (0..NUM_STREAMS).collect();
+        let streams: Vec<usize> = (0..self.params.num_streams.max(1)).collect();
         self.gpu.fence(&streams, &streams);
+    }
+
+    /// Runs `f` as one scheduled region of the stream-graph engine: kernel
+    /// launches inside `f` are recorded into an [`ExecGraph`] instead of
+    /// timed, then a planning pass fuses elementwise chains and assigns
+    /// streams, and the resulting plan replays onto the device before this
+    /// returns. Regions nest — inner regions contribute their kernels to the
+    /// outermost graph, so wrapping a whole circuit fuses across op
+    /// boundaries.
+    ///
+    /// With [`CkksParameters::graph_exec`](crate::CkksParameters) off, `f`
+    /// runs with the legacy eager dispatch. Capture is per-thread (see
+    /// [`GpuSim::begin_capture`]); if `f` unwinds, the region is closed and
+    /// its recording discarded rather than leaked.
+    pub fn scheduled<R>(&self, f: impl FnOnce() -> R) -> R {
+        if !self.graph_scope_begin() {
+            return f();
+        }
+        // Close-on-unwind guard: a panicking op must not leave the capture
+        // region open (every later launch would record forever).
+        struct CloseGuard<'a> {
+            ctx: &'a CkksContext,
+            armed: bool,
+        }
+        impl Drop for CloseGuard<'_> {
+            fn drop(&mut self) {
+                if self.armed {
+                    self.ctx.graph_scope_abort();
+                }
+            }
+        }
+        let mut guard = CloseGuard {
+            ctx: self,
+            armed: true,
+        };
+        let r = f();
+        guard.armed = false;
+        self.graph_scope_end();
+        r
+    }
+
+    /// Opens a scheduled region without a closure (for callers holding
+    /// borrows a closure cannot capture, e.g. the engine's batch API).
+    /// Returns `false` when graph execution is disabled — in that case
+    /// [`Self::graph_scope_end`] must not be called.
+    pub fn graph_scope_begin(&self) -> bool {
+        if !self.params.graph_exec {
+            return false;
+        }
+        self.gpu.begin_capture();
+        true
+    }
+
+    /// Closes a scheduled region opened by [`Self::graph_scope_begin`]. The
+    /// outermost close plans and replays the recorded graph; nested closes
+    /// (and closes from threads that own no capture) are no-ops.
+    pub fn graph_scope_end(&self) {
+        let events = self.gpu.end_capture();
+        if events.is_empty() {
+            return;
+        }
+        let graph = ExecGraph::from_events(events);
+        let plan = Planner::new(PlanConfig {
+            fuse_elementwise: self.params.fusion.elementwise,
+            num_streams: self.params.num_streams,
+            ..PlanConfig::default()
+        })
+        .plan(&graph);
+        GpuReplayExecutor::new(&self.gpu).execute(&plan);
+        self.sched_ledger.lock().absorb(plan.stats());
+    }
+
+    /// Closes a scheduled region **discarding** its recording (no plan, no
+    /// replay) — the unwind path, where replaying timing for work that
+    /// panicked midway would be meaningless.
+    pub fn graph_scope_abort(&self) {
+        let _ = self.gpu.end_capture();
+    }
+
+    /// Snapshot of the cumulative scheduling counters.
+    pub fn sched_stats(&self) -> SchedStats {
+        *self.sched_ledger.lock()
+    }
+
+    /// Clears the scheduling counters.
+    pub fn reset_sched_stats(&self) {
+        *self.sched_ledger.lock() = SchedStats::default();
     }
 }
 
@@ -379,6 +474,102 @@ mod tests {
         let ranges = c.batch_ranges(5);
         assert_eq!(ranges, vec![0..2, 2..4, 4..5]);
         assert_eq!(c.batch_ranges(0).len(), 0);
+    }
+
+    #[test]
+    fn scheduled_region_fuses_elementwise_chains() {
+        use crate::poly::RNSPoly;
+        use fides_client::Domain;
+        let c = ctx(); // limb_batch 2, fusion on, graph exec on
+        let gpu = Arc::clone(c.gpu());
+        let mut a = RNSPoly::zero(&c, 4, false, Domain::Eval); // 5 limbs → 3 batches
+        let b = RNSPoly::zero(&c, 4, false, Domain::Eval);
+        gpu.reset_stats();
+        c.reset_sched_stats();
+        // Two chained adds per batch stream: eager dispatch would launch 6
+        // elementwise kernels; the planner fuses each stream's pair.
+        c.scheduled(|| {
+            a.add_assign_poly(&b);
+            a.add_assign_poly(&b);
+        });
+        let sched = c.sched_stats();
+        assert_eq!(sched.graphs, 1);
+        assert_eq!(sched.recorded_kernels, 6);
+        assert_eq!(sched.fused_kernels, 3);
+        assert_eq!(gpu.stats().kernel_launches, 3, "one fused launch per batch");
+    }
+
+    #[test]
+    fn scheduled_region_is_reentrant() {
+        use crate::poly::RNSPoly;
+        use fides_client::Domain;
+        let c = ctx();
+        let mut a = RNSPoly::zero(&c, 2, false, Domain::Eval);
+        let b = RNSPoly::zero(&c, 2, false, Domain::Eval);
+        c.reset_sched_stats();
+        c.scheduled(|| {
+            c.scheduled(|| a.add_assign_poly(&b));
+            c.scheduled(|| a.add_assign_poly(&b));
+        });
+        // One graph owned by the outermost region; inner regions contribute.
+        assert_eq!(c.sched_stats().graphs, 1);
+    }
+
+    #[test]
+    fn graph_exec_off_dispatches_eagerly() {
+        let params = CkksParameters::toy().with_graph_exec(false);
+        let c = CkksContext::new(
+            params,
+            GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::Functional),
+        );
+        use crate::poly::RNSPoly;
+        use fides_client::Domain;
+        let mut a = RNSPoly::zero(&c, 4, false, Domain::Eval);
+        let b = RNSPoly::zero(&c, 4, false, Domain::Eval);
+        c.gpu().reset_stats();
+        c.scheduled(|| {
+            a.add_assign_poly(&b);
+            a.add_assign_poly(&b);
+        });
+        assert_eq!(c.sched_stats().graphs, 0, "no planning pass");
+        assert_eq!(
+            c.gpu().stats().kernel_launches,
+            6,
+            "eager per-batch launches"
+        );
+    }
+
+    #[test]
+    fn panicking_scheduled_region_is_closed_not_leaked() {
+        use crate::poly::RNSPoly;
+        use fides_client::Domain;
+        let c = ctx();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.scheduled(|| panic!("op failed midway"));
+        }));
+        assert!(result.is_err());
+        assert!(
+            !c.gpu().is_capturing(),
+            "unwind must close the capture region"
+        );
+        // Subsequent ops schedule normally.
+        let mut a = RNSPoly::zero(&c, 2, false, Domain::Eval);
+        let b = RNSPoly::zero(&c, 2, false, Domain::Eval);
+        c.reset_sched_stats();
+        c.scheduled(|| a.add_assign_poly(&b));
+        assert_eq!(c.sched_stats().graphs, 1, "engine usable after panic");
+    }
+
+    #[test]
+    fn stream_count_is_configurable() {
+        let params = CkksParameters::toy().with_num_streams(2);
+        let c = CkksContext::new(
+            params,
+            GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::CostOnly),
+        );
+        assert_eq!(c.stream_for_batch(0), 0);
+        assert_eq!(c.stream_for_batch(1), 1);
+        assert_eq!(c.stream_for_batch(2), 0, "wraps at the configured count");
     }
 
     #[test]

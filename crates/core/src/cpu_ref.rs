@@ -1,12 +1,24 @@
-//! Plain-CPU reference backend.
+//! Plain-CPU reference backend with **limb-parallel execution**.
 //!
 //! Implements the identical server-side CKKS math as the simulated-GPU
 //! pipeline — elementwise tensor products, hybrid key switching
 //! (ModUp → key inner product → ModDown), fused-equivalent Rescale, and
 //! evaluation-domain Galois rotations — directly on host `Vec<u64>` limb
-//! vectors, with no kernel descriptors, streams or timing ledger.
+//! vectors, with no kernel descriptors or timing ledger.
 //!
-//! It exists for two reasons:
+//! Where the gpu-sim backend spreads limb batches over device streams, this
+//! backend spreads limbs over a worker pool (the vendored rayon stand-in):
+//! every per-limb loop — RNS residues are independent between the cross-limb
+//! sync points, exactly the property the paper's stream scheduling exploits —
+//! runs `par_iter`-style across [`CpuBackend::workers`] threads. Each limb's
+//! math is computed identically regardless of which worker runs it and
+//! outputs land in disjoint, pre-assigned slots, so results are
+//! **bit-identical at every worker count** (the determinism tests sweep
+//! workers 1 and 8). The default count honours the `FIDES_WORKERS`
+//! environment variable; override per session with
+//! [`CpuBackend::with_workers`] or the engine builder's `workers` knob.
+//!
+//! It exists for three reasons:
 //!
 //! 1. **Cross-checking.** The GPU simulator's functional mode is intricate
 //!    (limb batching, fusion variants, stream fences); this backend computes
@@ -16,6 +28,10 @@
 //! 2. **Multi-backend support.** `CkksEngine` accepts any
 //!    [`EvalBackend`](crate::backend::EvalBackend); this is the first
 //!    non-simulator implementation and the template for a real-hardware one.
+//! 3. **Real wall-clock throughput.** With the worker pool it is the
+//!    fastest in-tree way to actually *run* encrypted workloads, and the
+//!    second executor of the stream-graph architecture (the plan's limb
+//!    batches map onto workers instead of streams).
 //!
 //! Representation: ciphertext components live in evaluation domain over the
 //! active `q` limbs, exactly like [`RawCiphertext`] — loading and storing
@@ -35,6 +51,8 @@ use fides_math::{
 };
 use fides_rns::{product_inv_mod, BaseConverter, DigitPartition};
 use parking_lot::Mutex;
+use rayon::prelude::*;
+use rayon::{ThreadPool, ThreadPoolBuilder};
 
 use crate::backend::{BackendCt, EvalBackend};
 use crate::ciphertext::SCALE_TOLERANCE;
@@ -172,7 +190,9 @@ impl HostContext {
     }
 
     /// Lifts digit `j` of `d2` (eval domain, `level+1` limbs) to
-    /// `Q_ℓ ∪ P` — the host mirror of the GPU ModUp pipeline.
+    /// `Q_ℓ ∪ P` — the host mirror of the GPU ModUp pipeline. Both the
+    /// digit scaling and the per-destination conversions run limb-parallel
+    /// on the worker pool.
     fn mod_up_digit(&self, d2: &[Vec<u64>], j: usize, level: usize) -> Vec<Vec<u64>> {
         let tables = &self.mod_up[level][j];
         let src_range = self.partition.digit_range_at_level(j, level);
@@ -180,36 +200,47 @@ impl HostContext {
         let alpha = self.alpha();
 
         // Step 1: coefficient-domain, Eq.1-scaled copies of the digit limbs.
-        let mut scaled: Vec<Vec<u64>> = Vec::with_capacity(src_range.len());
-        for (di, i) in src_range.clone().enumerate() {
-            let mut x = d2[i].clone();
-            self.ntt_q[i].inverse_inplace(&mut x);
-            tables.conv.scale_input_inplace(di, &mut x);
-            scaled.push(x);
-        }
+        let scaled: Vec<Vec<u64>> = (0..src_range.len())
+            .into_par_iter()
+            .map(|di| {
+                let i = src_range.start + di;
+                let mut x = d2[i].clone();
+                self.ntt_q[i].inverse_inplace(&mut x);
+                tables.conv.scale_input_inplace(di, &mut x);
+                x
+            })
+            .collect();
         let scaled_refs: Vec<&[u64]> = scaled.iter().map(|v| v.as_slice()).collect();
 
         // Step 2: own digit limbs pass through in evaluation form; converted
-        // limbs are NTT'd back per destination chain.
+        // limbs are NTT'd back per destination chain, one worker per
+        // destination.
+        let base = tables.dst_q_indices.len();
+        let converted: Vec<Vec<u64>> = (0..base + alpha)
+            .into_par_iter()
+            .map(|dpos| {
+                let mut t = vec![0u64; n];
+                tables.conv.convert_scaled_limb(&scaled_refs, dpos, &mut t);
+                if dpos < base {
+                    self.ntt_q[tables.dst_q_indices[dpos]].forward_inplace(&mut t);
+                } else {
+                    self.ntt_p[dpos - base].forward_inplace(&mut t);
+                }
+                t
+            })
+            .collect();
+
         let total = level + 1 + alpha;
         let mut out: Vec<Option<Vec<u64>>> = (0..total).map(|_| None).collect();
         for i in src_range.clone() {
             out[i] = Some(d2[i].clone());
         }
-        for (dpos, &qi) in tables.dst_q_indices.iter().enumerate() {
-            let mut t = vec![0u64; n];
-            tables.conv.convert_scaled_limb(&scaled_refs, dpos, &mut t);
-            self.ntt_q[qi].forward_inplace(&mut t);
-            out[qi] = Some(t);
+        let mut converted = converted.into_iter();
+        for &qi in &tables.dst_q_indices {
+            out[qi] = Some(converted.next().expect("converted q limb"));
         }
-        let base = tables.dst_q_indices.len();
         for k in 0..alpha {
-            let mut t = vec![0u64; n];
-            tables
-                .conv
-                .convert_scaled_limb(&scaled_refs, base + k, &mut t);
-            self.ntt_p[k].forward_inplace(&mut t);
-            out[level + 1 + k] = Some(t);
+            out[level + 1 + k] = Some(converted.next().expect("converted p limb"));
         }
         out.into_iter()
             .map(|o| o.expect("all limbs assigned"))
@@ -222,12 +253,12 @@ impl HostContext {
         let n = self.n();
         let conv = &self.mod_down[level];
         let mut p_limbs: Vec<Vec<u64>> = poly.drain(level + 1..).collect();
-        for (k, pl) in p_limbs.iter_mut().enumerate() {
+        p_limbs.par_iter_mut().enumerate().for_each(|(k, pl)| {
             self.ntt_p[k].inverse_inplace(pl);
             conv.scale_input_inplace(k, pl);
-        }
+        });
         let p_refs: Vec<&[u64]> = p_limbs.iter().map(|v| v.as_slice()).collect();
-        for (i, limb) in poly.iter_mut().enumerate().take(level + 1) {
+        poly.par_iter_mut().enumerate().for_each(|(i, limb)| {
             let mut t = vec![0u64; n];
             conv.convert_scaled_limb(&p_refs, i, &mut t);
             self.ntt_q[i].forward_inplace(&mut t);
@@ -236,7 +267,7 @@ impl HostContext {
             for (x, &c) in limb.iter_mut().zip(&t) {
                 *x = inv.mul(m.sub_mod(*x, c), m);
             }
-        }
+        });
     }
 
     /// Full key switch of eval-domain `d2`; returns the `(c_0, c_1)` delta.
@@ -272,26 +303,26 @@ impl HostContext {
         let mut acc1 = vec![vec![0u64; n]; total];
         for j in 0..digits {
             let lifted = self.mod_up_digit(d2, j, level);
-            for (idx, lifted_limb) in lifted.iter().enumerate() {
-                let (m, key_idx) = if idx <= level {
+            // Inner products accumulate limb-parallel: each worker owns a
+            // disjoint (acc0[idx], acc1[idx]) pair.
+            let chain_of = |idx: usize| {
+                if idx <= level {
                     (&self.moduli_q[idx], idx)
                 } else {
                     (
                         &self.moduli_p[idx - (level + 1)],
                         num_q_full + (idx - (level + 1)),
                     )
-                };
-                m.mul_add_assign_slices(
-                    &mut acc0[idx],
-                    lifted_limb,
-                    &key.digits[j].b.limbs[key_idx],
-                );
-                m.mul_add_assign_slices(
-                    &mut acc1[idx],
-                    lifted_limb,
-                    &key.digits[j].a.limbs[key_idx],
-                );
-            }
+                }
+            };
+            acc0.par_iter_mut().enumerate().for_each(|(idx, acc)| {
+                let (m, key_idx) = chain_of(idx);
+                m.mul_add_assign_slices(acc, &lifted[idx], &key.digits[j].b.limbs[key_idx]);
+            });
+            acc1.par_iter_mut().enumerate().for_each(|(idx, acc)| {
+                let (m, key_idx) = chain_of(idx);
+                m.mul_add_assign_slices(acc, &lifted[idx], &key.digits[j].a.limbs[key_idx]);
+            });
         }
         self.mod_down(&mut acc0, level);
         self.mod_down(&mut acc1, level);
@@ -304,7 +335,7 @@ impl HostContext {
         let q_last = self.moduli_q[l];
         let mut last = limbs.pop().expect("at least two limbs");
         self.ntt_q[l].inverse_inplace(&mut last);
-        for (i, limb) in limbs.iter_mut().enumerate() {
+        limbs.par_iter_mut().enumerate().for_each(|(i, limb)| {
             let m = &self.moduli_q[i];
             let mut t: Vec<u64> = last
                 .iter()
@@ -315,11 +346,12 @@ impl HostContext {
             for (x, &s) in limb.iter_mut().zip(&t) {
                 *x = inv.mul(m.sub_mod(*x, s), m);
             }
-        }
+        });
     }
 }
 
-/// The plain-CPU reference backend.
+/// The plain-CPU reference backend, executing limb batches on a worker
+/// pool.
 #[derive(Debug)]
 pub struct CpuBackend {
     hctx: HostContext,
@@ -327,17 +359,39 @@ pub struct CpuBackend {
     /// Rotation keys by Galois element.
     rotations: HashMap<usize, RawSwitchingKey>,
     conj: Option<RawSwitchingKey>,
+    /// Worker pool per-limb loops run on.
+    pool: ThreadPool,
 }
 
 impl CpuBackend {
-    /// Creates a backend over the shared parameter description.
+    /// Creates a backend over the shared parameter description. The worker
+    /// count defaults to `FIDES_WORKERS` (when set) or the machine's
+    /// available parallelism.
     pub fn new(raw: RawParams) -> Self {
         Self {
             hctx: HostContext::new(raw),
             relin: None,
             rotations: HashMap::new(),
             conj: None,
+            pool: ThreadPoolBuilder::new()
+                .build()
+                .expect("thread pool construction is infallible"),
         }
+    }
+
+    /// Pins the worker count (`0` restores the default resolution). Results
+    /// are bit-identical at every worker count; only wall-clock changes.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.pool = ThreadPoolBuilder::new()
+            .num_threads(workers)
+            .build()
+            .expect("thread pool construction is infallible");
+        self
+    }
+
+    /// The worker count per-limb loops use.
+    pub fn workers(&self) -> usize {
+        self.pool.current_num_threads()
     }
 
     /// Installs the relinearization key.
@@ -421,11 +475,11 @@ impl CpuBackend {
         let perm = self.hctx.perm(g);
         let n = self.hctx.n();
         let permute = |limbs: &[Vec<u64>]| -> Vec<Vec<u64>> {
-            limbs
-                .iter()
-                .map(|limb| {
+            (0..limbs.len())
+                .into_par_iter()
+                .map(|i| {
                     let mut out = vec![0u64; n];
-                    fides_math::automorphism_eval(limb, &perm, &mut out);
+                    fides_math::automorphism_eval(&limbs[i], &perm, &mut out);
                     out
                 })
                 .collect()
@@ -434,9 +488,9 @@ impl CpuBackend {
         let a1 = permute(&ct.c1);
         let (ks0, ks1) = self.hctx.key_switch(&a1, ct.level, key)?;
         let mut c0 = a0;
-        for (i, limb) in c0.iter_mut().enumerate() {
+        c0.par_iter_mut().enumerate().for_each(|(i, limb)| {
             self.hctx.moduli_q[i].add_assign_slices(limb, &ks0[i]);
-        }
+        });
         Ok(HostCiphertext {
             c0,
             c1: ks1,
@@ -455,17 +509,20 @@ impl CpuBackend {
                 found: "evaluation",
             });
         }
-        Ok(pt
-            .poly
-            .limbs
-            .iter()
-            .enumerate()
-            .map(|(i, limb)| {
-                let mut x = limb.clone();
+        Ok((0..pt.poly.limbs.len())
+            .into_par_iter()
+            .map(|i| {
+                let mut x = pt.poly.limbs[i].clone();
                 self.hctx.ntt_q[i].forward_inplace(&mut x);
                 x
             })
             .collect())
+    }
+
+    /// Runs `f` with this backend's worker count installed (every
+    /// `par_iter` inside resolves to [`Self::workers`] threads).
+    fn on_pool<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.pool.install(f)
     }
 }
 
@@ -536,11 +593,14 @@ impl EvalBackend for CpuBackend {
         let (a, b) = (self.host(a)?, self.host(b)?);
         Self::check_compatible(a, b)?;
         let mut out = a.clone();
-        for i in 0..=a.level {
-            let m = &self.hctx.moduli_q[i];
-            m.add_assign_slices(&mut out.c0[i], &b.c0[i]);
-            m.add_assign_slices(&mut out.c1[i], &b.c1[i]);
-        }
+        self.on_pool(|| {
+            out.c0.par_iter_mut().enumerate().for_each(|(i, limb)| {
+                self.hctx.moduli_q[i].add_assign_slices(limb, &b.c0[i]);
+            });
+            out.c1.par_iter_mut().enumerate().for_each(|(i, limb)| {
+                self.hctx.moduli_q[i].add_assign_slices(limb, &b.c1[i]);
+            });
+        });
         out.noise_log2 = a.noise_log2.max(b.noise_log2) + 0.5;
         Ok(BackendCt::Host(out))
     }
@@ -549,11 +609,14 @@ impl EvalBackend for CpuBackend {
         let (a, b) = (self.host(a)?, self.host(b)?);
         Self::check_compatible(a, b)?;
         let mut out = a.clone();
-        for i in 0..=a.level {
-            let m = &self.hctx.moduli_q[i];
-            m.sub_assign_slices(&mut out.c0[i], &b.c0[i]);
-            m.sub_assign_slices(&mut out.c1[i], &b.c1[i]);
-        }
+        self.on_pool(|| {
+            out.c0.par_iter_mut().enumerate().for_each(|(i, limb)| {
+                self.hctx.moduli_q[i].sub_assign_slices(limb, &b.c0[i]);
+            });
+            out.c1.par_iter_mut().enumerate().for_each(|(i, limb)| {
+                self.hctx.moduli_q[i].sub_assign_slices(limb, &b.c1[i]);
+            });
+        });
         out.noise_log2 = a.noise_log2.max(b.noise_log2) + 0.5;
         Ok(BackendCt::Host(out))
     }
@@ -561,11 +624,14 @@ impl EvalBackend for CpuBackend {
     fn negate(&self, a: &BackendCt) -> Result<BackendCt> {
         let a = self.host(a)?;
         let mut out = a.clone();
-        for i in 0..=a.level {
-            let m = &self.hctx.moduli_q[i];
-            m.neg_assign(&mut out.c0[i]);
-            m.neg_assign(&mut out.c1[i]);
-        }
+        self.on_pool(|| {
+            out.c0.par_iter_mut().enumerate().for_each(|(i, limb)| {
+                self.hctx.moduli_q[i].neg_assign(limb);
+            });
+            out.c1.par_iter_mut().enumerate().for_each(|(i, limb)| {
+                self.hctx.moduli_q[i].neg_assign(limb);
+            });
+        });
         Ok(BackendCt::Host(out))
     }
 
@@ -573,9 +639,11 @@ impl EvalBackend for CpuBackend {
         let a = self.host(a)?;
         let scalars = self.scalar_residues(c, a.scale, a.level);
         let mut out = a.clone();
-        for (i, &s) in scalars.iter().enumerate() {
-            self.hctx.moduli_q[i].scalar_add_assign(&mut out.c0[i], s);
-        }
+        self.on_pool(|| {
+            out.c0.par_iter_mut().enumerate().for_each(|(i, limb)| {
+                self.hctx.moduli_q[i].scalar_add_assign(limb, scalars[i]);
+            });
+        });
         out.noise_log2 += 0.1;
         Ok(BackendCt::Host(out))
     }
@@ -595,11 +663,14 @@ impl EvalBackend for CpuBackend {
                 right: pt.scale,
             });
         }
-        let eval = self.plain_to_eval(pt)?;
         let mut out = a.clone();
-        for (i, ev) in eval.iter().enumerate() {
-            self.hctx.moduli_q[i].add_assign_slices(&mut out.c0[i], ev);
-        }
+        self.on_pool(|| -> Result<()> {
+            let eval = self.plain_to_eval(pt)?;
+            out.c0.par_iter_mut().enumerate().for_each(|(i, limb)| {
+                self.hctx.moduli_q[i].add_assign_slices(limb, &eval[i]);
+            });
+            Ok(())
+        })?;
         out.noise_log2 += 0.25;
         Ok(BackendCt::Host(out))
     }
@@ -612,13 +683,17 @@ impl EvalBackend for CpuBackend {
                 right: pt.level,
             });
         }
-        let eval = self.plain_to_eval(pt)?;
         let mut out = a.clone();
-        for (i, ev) in eval.iter().enumerate() {
-            let m = &self.hctx.moduli_q[i];
-            m.mul_assign_slices(&mut out.c0[i], ev);
-            m.mul_assign_slices(&mut out.c1[i], ev);
-        }
+        self.on_pool(|| -> Result<()> {
+            let eval = self.plain_to_eval(pt)?;
+            out.c0.par_iter_mut().enumerate().for_each(|(i, limb)| {
+                self.hctx.moduli_q[i].mul_assign_slices(limb, &eval[i]);
+            });
+            out.c1.par_iter_mut().enumerate().for_each(|(i, limb)| {
+                self.hctx.moduli_q[i].mul_assign_slices(limb, &eval[i]);
+            });
+            Ok(())
+        })?;
         out.scale = a.scale * pt.scale;
         out.noise_log2 = a.noise_log2 + 1.0;
         Ok(BackendCt::Host(out))
@@ -643,28 +718,39 @@ impl EvalBackend for CpuBackend {
             .as_ref()
             .ok_or_else(|| FidesError::MissingKey("relinearization".into()))?;
         let n = self.hctx.n();
-        let mut d0 = Vec::with_capacity(a.level + 1);
-        let mut d1 = Vec::with_capacity(a.level + 1);
-        let mut d2 = Vec::with_capacity(a.level + 1);
-        for i in 0..=a.level {
-            let m = &self.hctx.moduli_q[i];
-            let mut x0 = vec![0u64; n];
-            m.mul_slices(&a.c0[i], &b.c0[i], &mut x0);
-            let mut x1 = vec![0u64; n];
-            m.mul_slices(&a.c0[i], &b.c1[i], &mut x1);
-            m.mul_add_assign_slices(&mut x1, &a.c1[i], &b.c0[i]);
-            let mut x2 = vec![0u64; n];
-            m.mul_slices(&a.c1[i], &b.c1[i], &mut x2);
-            d0.push(x0);
-            d1.push(x1);
-            d2.push(x2);
-        }
-        let (ks0, ks1) = self.hctx.key_switch(&d2, a.level, key)?;
-        for i in 0..=a.level {
-            let m = &self.hctx.moduli_q[i];
-            m.add_assign_slices(&mut d0[i], &ks0[i]);
-            m.add_assign_slices(&mut d1[i], &ks1[i]);
-        }
+        let (d0, d1) = self.on_pool(|| -> Result<HostPolyPair> {
+            // Tensor product, one worker per limb.
+            let tensored: Vec<(Vec<u64>, Vec<u64>, Vec<u64>)> = (0..a.level + 1)
+                .into_par_iter()
+                .map(|i| {
+                    let m = &self.hctx.moduli_q[i];
+                    let mut x0 = vec![0u64; n];
+                    m.mul_slices(&a.c0[i], &b.c0[i], &mut x0);
+                    let mut x1 = vec![0u64; n];
+                    m.mul_slices(&a.c0[i], &b.c1[i], &mut x1);
+                    m.mul_add_assign_slices(&mut x1, &a.c1[i], &b.c0[i]);
+                    let mut x2 = vec![0u64; n];
+                    m.mul_slices(&a.c1[i], &b.c1[i], &mut x2);
+                    (x0, x1, x2)
+                })
+                .collect();
+            let mut d0 = Vec::with_capacity(a.level + 1);
+            let mut d1 = Vec::with_capacity(a.level + 1);
+            let mut d2 = Vec::with_capacity(a.level + 1);
+            for (x0, x1, x2) in tensored {
+                d0.push(x0);
+                d1.push(x1);
+                d2.push(x2);
+            }
+            let (ks0, ks1) = self.hctx.key_switch(&d2, a.level, key)?;
+            d0.par_iter_mut().enumerate().for_each(|(i, limb)| {
+                self.hctx.moduli_q[i].add_assign_slices(limb, &ks0[i]);
+            });
+            d1.par_iter_mut().enumerate().for_each(|(i, limb)| {
+                self.hctx.moduli_q[i].add_assign_slices(limb, &ks1[i]);
+            });
+            Ok((d0, d1))
+        })?;
         Ok(BackendCt::Host(HostCiphertext {
             c0: d0,
             c1: d1,
@@ -683,11 +769,14 @@ impl EvalBackend for CpuBackend {
         let a = self.host(a)?;
         let scalars = self.scalar_residues(c, const_scale, a.level);
         let mut out = a.clone();
-        for (i, &s) in scalars.iter().enumerate() {
-            let m = &self.hctx.moduli_q[i];
-            m.scalar_mul_assign(&mut out.c0[i], s);
-            m.scalar_mul_assign(&mut out.c1[i], s);
-        }
+        self.on_pool(|| {
+            out.c0.par_iter_mut().enumerate().for_each(|(i, limb)| {
+                self.hctx.moduli_q[i].scalar_mul_assign(limb, scalars[i]);
+            });
+            out.c1.par_iter_mut().enumerate().for_each(|(i, limb)| {
+                self.hctx.moduli_q[i].scalar_mul_assign(limb, scalars[i]);
+            });
+        });
         out.scale = a.scale * const_scale;
         out.noise_log2 = a.noise_log2 + 1.0;
         Ok(BackendCt::Host(out))
@@ -696,12 +785,16 @@ impl EvalBackend for CpuBackend {
     fn mul_int(&self, a: &BackendCt, k: i64) -> Result<BackendCt> {
         let a = self.host(a)?;
         let mut out = a.clone();
-        for i in 0..=a.level {
-            let m = &self.hctx.moduli_q[i];
-            let s = m.from_i64(k);
-            m.scalar_mul_assign(&mut out.c0[i], s);
-            m.scalar_mul_assign(&mut out.c1[i], s);
-        }
+        self.on_pool(|| {
+            out.c0.par_iter_mut().enumerate().for_each(|(i, limb)| {
+                let m = &self.hctx.moduli_q[i];
+                m.scalar_mul_assign(limb, m.from_i64(k));
+            });
+            out.c1.par_iter_mut().enumerate().for_each(|(i, limb)| {
+                let m = &self.hctx.moduli_q[i];
+                m.scalar_mul_assign(limb, m.from_i64(k));
+            });
+        });
         out.noise_log2 = a.noise_log2 + (k.unsigned_abs() as f64).log2().max(0.0);
         Ok(BackendCt::Host(out))
     }
@@ -715,8 +808,10 @@ impl EvalBackend for CpuBackend {
             });
         }
         let q_l = self.hctx.moduli_q[ct.level].value() as f64;
-        self.hctx.rescale_limbs(&mut ct.c0);
-        self.hctx.rescale_limbs(&mut ct.c1);
+        self.pool.install(|| {
+            self.hctx.rescale_limbs(&mut ct.c0);
+            self.hctx.rescale_limbs(&mut ct.c1);
+        });
         ct.level -= 1;
         ct.scale /= q_l;
         ct.noise_log2 = (ct.noise_log2 - q_l.log2()).max(4.0);
@@ -747,7 +842,9 @@ impl EvalBackend for CpuBackend {
             .rotations
             .get(&g)
             .ok_or_else(|| FidesError::MissingKey(format!("rotation(g={g})")))?;
-        Ok(BackendCt::Host(self.apply_galois(ct, g, key)?))
+        Ok(BackendCt::Host(
+            self.on_pool(|| self.apply_galois(ct, g, key))?,
+        ))
     }
 
     fn conjugate(&self, a: &BackendCt) -> Result<BackendCt> {
@@ -757,7 +854,9 @@ impl EvalBackend for CpuBackend {
             .conj
             .as_ref()
             .ok_or_else(|| FidesError::MissingKey("conjugation".into()))?;
-        Ok(BackendCt::Host(self.apply_galois(ct, g, key)?))
+        Ok(BackendCt::Host(
+            self.on_pool(|| self.apply_galois(ct, g, key))?,
+        ))
     }
 }
 
@@ -911,6 +1010,36 @@ mod tests {
             backend.mul(&a, &a),
             Err(FidesError::KeyShape { .. })
         ));
+    }
+
+    #[test]
+    fn worker_count_does_not_change_bits() {
+        // The same circuit on 1 and 8 workers must produce identical limb
+        // data: per-limb work is assigned to disjoint output slots, so the
+        // split is invisible to the math.
+        let raw = RawParams::generate(10, 4, 40, 60, 2);
+        let client = ClientContext::new(raw.clone());
+        let mut kg = KeyGenerator::new(&client, 77);
+        let sk = kg.secret_key();
+        let pk = kg.public_key(&sk);
+        let relin = kg.relinearization_key(&sk);
+        let rot = kg.rotation_key(&sk, 1);
+        let mut frames = Vec::new();
+        for workers in [1usize, 8] {
+            let mut backend = CpuBackend::new(raw.clone()).with_workers(workers);
+            assert_eq!(backend.workers(), workers);
+            backend.set_relin_key(relin.clone());
+            backend.insert_rotation_key(1, rot.clone());
+            let a = enc(&client, &backend, &pk, &[0.5, -0.25, 0.125, 0.75], 42);
+            let b = enc(&client, &backend, &pk, &[0.1, 0.2, -0.3, 0.4], 43);
+            let mut prod = backend.mul(&a, &b).unwrap();
+            backend.rescale(&mut prod).unwrap();
+            let rot = backend.rotate(&prod, 1).unwrap();
+            let sum = backend.add(&rot, &rot).unwrap();
+            frames.push(backend.store(&sum).unwrap());
+        }
+        assert_eq!(frames[0].c0.limbs, frames[1].c0.limbs);
+        assert_eq!(frames[0].c1.limbs, frames[1].c1.limbs);
     }
 
     #[test]

@@ -54,6 +54,7 @@ mod keys;
 mod ops;
 mod params;
 mod poly;
+pub mod sched;
 
 pub use backend::{BackendCt, EvalBackend, GpuSimBackend};
 pub use boot::{BootstrapConfig, Bootstrapper};
@@ -65,3 +66,4 @@ pub use keys::{EvalKeySet, KeySwitchingKey};
 pub use ops::linear::{fold_rotations, BsgsEntry, BsgsPlan};
 pub use params::{CkksParameters, FusionConfig};
 pub use poly::{Limb, LimbPartition, RNSPoly};
+pub use sched::{ExecGraph, ExecPlan, PlanConfig, Planner, SchedStats};

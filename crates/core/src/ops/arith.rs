@@ -1,4 +1,12 @@
 //! Additive operations: HAdd, HSub, PtAdd, ScalarAdd (Fig. 1 API surface).
+//!
+//! Each operation runs as one scheduled region of the stream-graph engine
+//! ([`sched`](crate::sched)): the `c_0`/`c_1` limb-batch kernels are
+//! recorded, the planner fuses the elementwise chains (both components of
+//! one batch collapse into a single launch), and the plan replays onto the
+//! stream timeline.
+
+use std::sync::Arc;
 
 use crate::ciphertext::{Ciphertext, Plaintext};
 use crate::error::{FidesError, Result};
@@ -22,8 +30,11 @@ impl Ciphertext {
     /// Level/scale/slot mismatches.
     pub fn add_assign_ct(&mut self, other: &Ciphertext) -> Result<()> {
         self.check_compatible(other)?;
-        self.c0.add_assign_poly(&other.c0);
-        self.c1.add_assign_poly(&other.c1);
+        let ctx = Arc::clone(self.context());
+        ctx.scheduled(|| {
+            self.c0.add_assign_poly(&other.c0);
+            self.c1.add_assign_poly(&other.c1);
+        });
         self.noise_log2 = self.noise_log2.max(other.noise_log2) + 0.5;
         Ok(())
     }
@@ -46,16 +57,22 @@ impl Ciphertext {
     /// Level/scale/slot mismatches.
     pub fn sub_assign_ct(&mut self, other: &Ciphertext) -> Result<()> {
         self.check_compatible(other)?;
-        self.c0.sub_assign_poly(&other.c0);
-        self.c1.sub_assign_poly(&other.c1);
+        let ctx = Arc::clone(self.context());
+        ctx.scheduled(|| {
+            self.c0.sub_assign_poly(&other.c0);
+            self.c1.sub_assign_poly(&other.c1);
+        });
         self.noise_log2 = self.noise_log2.max(other.noise_log2) + 0.5;
         Ok(())
     }
 
     /// Negates the message.
     pub fn negate_assign(&mut self) {
-        self.c0.neg_assign();
-        self.c1.neg_assign();
+        let ctx = Arc::clone(self.context());
+        ctx.scheduled(|| {
+            self.c0.neg_assign();
+            self.c1.neg_assign();
+        });
     }
 
     /// PtAdd: adds an encoded plaintext.

@@ -1,5 +1,14 @@
 //! Multiplicative operations: HMult, HSquare, PtMult, ScalarMult, Rescale,
 //! and the exact monomial multiplication bootstrapping uses.
+//!
+//! Every multi-kernel operation runs as one scheduled region of the
+//! stream-graph engine ([`sched`](crate::sched)): the tensor products, key
+//! switch and rescale pipelines record their kernel nodes (with the
+//! cross-limb sync points as graph barriers), a planning pass fuses the
+//! elementwise chains and assigns streams, and the plan replays onto the
+//! timeline before the op returns.
+
+use std::sync::Arc;
 
 use crate::ciphertext::{Ciphertext, Plaintext};
 use crate::error::{FidesError, Result};
@@ -30,17 +39,21 @@ impl Ciphertext {
             });
         }
         let ksk = keys.mult_key()?;
-        // Tensor.
-        let d0 = RNSPoly::mul_poly(&self.c0, &other.c0);
-        let mut d1 = RNSPoly::mul_poly(&self.c0, &other.c1);
-        d1.mul_add_assign_poly(&self.c1, &other.c0);
-        let d2 = RNSPoly::mul_poly(&self.c1, &other.c1);
-        // Relinearize d2.
-        let (ks0, ks1) = key_switch_core(&d2, ksk);
-        let mut c0 = d0;
-        c0.add_assign_poly(&ks0);
-        let mut c1 = d1;
-        c1.add_assign_poly(&ks1);
+        let ctx = Arc::clone(self.context());
+        let (c0, c1) = ctx.scheduled(|| {
+            // Tensor.
+            let d0 = RNSPoly::mul_poly(&self.c0, &other.c0);
+            let mut d1 = RNSPoly::mul_poly(&self.c0, &other.c1);
+            d1.mul_add_assign_poly(&self.c1, &other.c0);
+            let d2 = RNSPoly::mul_poly(&self.c1, &other.c1);
+            // Relinearize d2.
+            let (ks0, ks1) = key_switch_core(&d2, ksk);
+            let mut c0 = d0;
+            c0.add_assign_poly(&ks0);
+            let mut c1 = d1;
+            c1.add_assign_poly(&ks1);
+            (c0, c1)
+        });
         Ok(Ciphertext {
             c0,
             c1,
@@ -60,16 +73,20 @@ impl Ciphertext {
     /// Missing relinearization key.
     pub fn square(&self, keys: &EvalKeySet) -> Result<Ciphertext> {
         let ksk = keys.mult_key()?;
-        let d0 = RNSPoly::mul_poly(&self.c0, &self.c0);
-        let mut d1 = RNSPoly::mul_poly(&self.c0, &self.c1);
-        let d1_copy = d1.duplicate();
-        d1.add_assign_poly(&d1_copy); // 2·c0·c1
-        let d2 = RNSPoly::mul_poly(&self.c1, &self.c1);
-        let (ks0, ks1) = key_switch_core(&d2, ksk);
-        let mut c0 = d0;
-        c0.add_assign_poly(&ks0);
-        let mut c1 = d1;
-        c1.add_assign_poly(&ks1);
+        let ctx = Arc::clone(self.context());
+        let (c0, c1) = ctx.scheduled(|| {
+            let d0 = RNSPoly::mul_poly(&self.c0, &self.c0);
+            let mut d1 = RNSPoly::mul_poly(&self.c0, &self.c1);
+            let d1_copy = d1.duplicate();
+            d1.add_assign_poly(&d1_copy); // 2·c0·c1
+            let d2 = RNSPoly::mul_poly(&self.c1, &self.c1);
+            let (ks0, ks1) = key_switch_core(&d2, ksk);
+            let mut c0 = d0;
+            c0.add_assign_poly(&ks0);
+            let mut c1 = d1;
+            c1.add_assign_poly(&ks1);
+            (c0, c1)
+        });
         Ok(Ciphertext {
             c0,
             c1,
@@ -91,9 +108,13 @@ impl Ciphertext {
                 right: pt.level(),
             });
         }
-        let mut out = self.duplicate();
-        out.c0.mul_assign_poly(&pt.poly);
-        out.c1.mul_assign_poly(&pt.poly);
+        let ctx = Arc::clone(self.context());
+        let mut out = ctx.scheduled(|| {
+            let mut out = self.duplicate();
+            out.c0.mul_assign_poly(&pt.poly);
+            out.c1.mul_assign_poly(&pt.poly);
+            out
+        });
         out.scale = self.scale * pt.scale;
         out.noise_log2 = self.noise_log2 + 1.0;
         Ok(out)
@@ -121,9 +142,13 @@ impl Ciphertext {
                 r as u64
             })
             .collect();
-        let mut out = self.duplicate();
-        out.c0.scalar_mul_assign(&scalars);
-        out.c1.scalar_mul_assign(&scalars);
+        let ctx = Arc::clone(self.context());
+        let mut out = ctx.scheduled(|| {
+            let mut out = self.duplicate();
+            out.c0.scalar_mul_assign(&scalars);
+            out.c1.scalar_mul_assign(&scalars);
+            out
+        });
         out.scale = self.scale * const_scale;
         out.noise_log2 = self.noise_log2 + 1.0;
         out
@@ -158,9 +183,13 @@ impl Ciphertext {
         let scalars: Vec<u64> = (0..self.c0.num_q())
             .map(|i| self.context().moduli_q()[i].from_i64(k))
             .collect();
-        let mut out = self.duplicate();
-        out.c0.scalar_mul_assign(&scalars);
-        out.c1.scalar_mul_assign(&scalars);
+        let ctx = Arc::clone(self.context());
+        let mut out = ctx.scheduled(|| {
+            let mut out = self.duplicate();
+            out.c0.scalar_mul_assign(&scalars);
+            out.c1.scalar_mul_assign(&scalars);
+            out
+        });
         out.noise_log2 = self.noise_log2 + (k.unsigned_abs() as f64).log2().max(0.0);
         out
     }
@@ -178,9 +207,12 @@ impl Ciphertext {
                 available: 0,
             });
         }
-        let q_l = self.context().moduli_q()[self.level()].value() as f64;
-        rescale_poly(&mut self.c0);
-        rescale_poly(&mut self.c1);
+        let ctx = Arc::clone(self.context());
+        let q_l = ctx.moduli_q()[self.level()].value() as f64;
+        ctx.scheduled(|| {
+            rescale_poly(&mut self.c0);
+            rescale_poly(&mut self.c1);
+        });
         self.scale /= q_l;
         self.noise_log2 = (self.noise_log2 - q_l.log2()).max(4.0);
         Ok(())
@@ -190,18 +222,20 @@ impl Ciphertext {
     /// imaginary unit `i` in every slot. Exact: no scale change, no level
     /// consumed (used by bootstrapping's real/imaginary extraction).
     pub fn mul_by_i(&self) -> Ciphertext {
-        let ctx = std::sync::Arc::clone(self.context());
-        let mut out = self.duplicate();
-        let n = ctx.n();
-        let ops = crate::kernels::mul_ops(n);
-        for poly in [&mut out.c0, &mut out.c1] {
-            poly.indexed_kernel(ops, |idx, m, dst| {
-                let mono = ctx.monomial_half(idx);
-                for (d, &w) in dst.iter_mut().zip(mono) {
-                    *d = m.mul_mod(*d, w);
-                }
-            });
-        }
-        out
+        let ctx = Arc::clone(self.context());
+        ctx.scheduled(|| {
+            let mut out = self.duplicate();
+            let n = ctx.n();
+            let ops = crate::kernels::mul_ops(n);
+            for poly in [&mut out.c0, &mut out.c1] {
+                poly.indexed_kernel(ops, |idx, m, dst| {
+                    let mono = ctx.monomial_half(idx);
+                    for (d, &w) in dst.iter_mut().zip(mono) {
+                        *d = m.mul_mod(*d, w);
+                    }
+                });
+            }
+            out
+        })
     }
 }

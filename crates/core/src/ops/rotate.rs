@@ -40,14 +40,18 @@ impl Ciphertext {
     /// Core Galois transform: automorphism on both components followed by a
     /// key switch of the `c_1` part.
     pub(crate) fn apply_galois(&self, g: usize, ksk: &KeySwitchingKey) -> Ciphertext {
-        let a0 = self.c0.automorph_eval(g);
-        let a1 = self.c1.automorph_eval(g);
-        let (ks0, ks1) = key_switch_core(&a1, ksk);
-        let mut c0 = a0;
-        c0.add_assign_poly(&ks0);
+        let ctx = Arc::clone(self.context());
+        let (c0, c1) = ctx.scheduled(|| {
+            let a0 = self.c0.automorph_eval(g);
+            let a1 = self.c1.automorph_eval(g);
+            let (ks0, ks1) = key_switch_core(&a1, ksk);
+            let mut c0 = a0;
+            c0.add_assign_poly(&ks0);
+            (c0, ks1)
+        });
         Ciphertext {
             c0,
-            c1: ks1,
+            c1,
             scale: self.scale,
             slots: self.slots,
             noise_log2: self.noise_log2 + 1.0,
@@ -72,36 +76,39 @@ impl Ciphertext {
         }
         let level = self.level();
         let digits = ctx.partition().digits_at_level(level);
-        // Hoisted: decompose + ModUp once.
-        let lifted: Vec<RNSPoly> = (0..digits).map(|j| mod_up_digit(&self.c1, j)).collect();
+        ctx.scheduled(|| {
+            // Hoisted: decompose + ModUp once.
+            let lifted: Vec<RNSPoly> = (0..digits).map(|j| mod_up_digit(&self.c1, j)).collect();
 
-        let mut out = Vec::with_capacity(shifts.len());
-        for &k in shifts {
-            if k == 0 {
-                out.push(self.duplicate());
-                continue;
+            let mut out = Vec::with_capacity(shifts.len());
+            for &k in shifts {
+                if k == 0 {
+                    out.push(self.duplicate());
+                    continue;
+                }
+                let g = galois_for_rotation(k, n);
+                let ksk = keys.rotation_key(g)?;
+                let mut acc0 = RNSPoly::zero(&ctx, level, true, fides_client::Domain::Eval);
+                let mut acc1 = RNSPoly::zero(&ctx, level, true, fides_client::Domain::Eval);
+                for (j, lift) in lifted.iter().enumerate() {
+                    // Automorphism commutes with ModUp: permute the lifted
+                    // digit.
+                    let permuted = lift.automorph_eval(g);
+                    ksk_inner_product(&mut acc0, &mut acc1, &permuted, ksk, j);
+                }
+                mod_down(&mut acc0);
+                mod_down(&mut acc1);
+                let mut c0 = self.c0.automorph_eval(g);
+                c0.add_assign_poly(&acc0);
+                out.push(Ciphertext {
+                    c0,
+                    c1: acc1,
+                    scale: self.scale,
+                    slots: self.slots,
+                    noise_log2: self.noise_log2 + 1.0,
+                });
             }
-            let g = galois_for_rotation(k, n);
-            let ksk = keys.rotation_key(g)?;
-            let mut acc0 = RNSPoly::zero(&ctx, level, true, fides_client::Domain::Eval);
-            let mut acc1 = RNSPoly::zero(&ctx, level, true, fides_client::Domain::Eval);
-            for (j, lift) in lifted.iter().enumerate() {
-                // Automorphism commutes with ModUp: permute the lifted digit.
-                let permuted = lift.automorph_eval(g);
-                ksk_inner_product(&mut acc0, &mut acc1, &permuted, ksk, j);
-            }
-            mod_down(&mut acc0);
-            mod_down(&mut acc1);
-            let mut c0 = self.c0.automorph_eval(g);
-            c0.add_assign_poly(&acc0);
-            out.push(Ciphertext {
-                c0,
-                c1: acc1,
-                scale: self.scale,
-                slots: self.slots,
-                noise_log2: self.noise_log2 + 1.0,
-            });
-        }
-        Ok(out)
+            Ok(out)
+        })
     }
 }

@@ -21,6 +21,11 @@ pub struct FusionConfig {
     pub key_switch: bool,
     /// Fuse dot-product accumulations into single kernels.
     pub dot_product: bool,
+    /// Graph-level fusion: the scheduling pass
+    /// ([`Planner`](crate::sched::Planner)) collapses adjacent same-stream
+    /// elementwise-class launches (adds, scalar multiplies, fills,
+    /// automorphism pre-permutes) into single launches.
+    pub elementwise: bool,
 }
 
 impl Default for FusionConfig {
@@ -30,6 +35,7 @@ impl Default for FusionConfig {
             mod_down: true,
             key_switch: true,
             dot_product: true,
+            elementwise: true,
         }
     }
 }
@@ -42,6 +48,7 @@ impl FusionConfig {
             mod_down: false,
             key_switch: false,
             dot_product: false,
+            elementwise: false,
         }
     }
 }
@@ -64,6 +71,14 @@ pub struct CkksParameters {
     pub limb_batch: usize,
     /// Kernel fusion toggles.
     pub fusion: FusionConfig,
+    /// CUDA streams limb batches cycle over (round-robin). The scheduling
+    /// pass remaps recorded launches onto this many streams.
+    pub num_streams: usize,
+    /// Route server ops through the recorded-graph execution engine
+    /// ([`sched`](crate::sched)): ops record kernel nodes, a planning pass
+    /// fuses/streams them, and an executor replays the plan. `false`
+    /// restores the eager per-op dispatch (A/B baseline).
+    pub graph_exec: bool,
     /// Fraction of peak memory bandwidth the NTT access pattern achieves
     /// (1.0 for FIDESlib's coalesced hierarchical scheme; lower for
     /// Phantom-style monolithic strided kernels).
@@ -94,6 +109,8 @@ impl CkksParameters {
             dnum,
             limb_batch: 4,
             fusion: FusionConfig::default(),
+            num_streams: crate::context::NUM_STREAMS,
+            graph_exec: true,
             access_efficiency: 1.0,
             ntt_op_factor: 1.0,
         };
@@ -116,6 +133,19 @@ impl CkksParameters {
     /// Overrides the first-modulus size (builder style).
     pub fn with_first_mod_bits(mut self, bits: u32) -> Self {
         self.first_mod_bits = bits;
+        self
+    }
+
+    /// Overrides the stream count (builder style; clamped to ≥ 1).
+    pub fn with_num_streams(mut self, streams: usize) -> Self {
+        self.num_streams = streams.max(1);
+        self
+    }
+
+    /// Enables or disables the recorded-graph execution engine (builder
+    /// style).
+    pub fn with_graph_exec(mut self, enabled: bool) -> Self {
+        self.graph_exec = enabled;
         self
     }
 
@@ -272,8 +302,22 @@ mod tests {
             .with_fusion(FusionConfig::none());
         assert_eq!(p.limb_batch, 8);
         assert!(!p.fusion.rescale);
+        assert!(!p.fusion.elementwise);
         let p = p.with_limb_batch(0);
         assert_eq!(p.limb_batch, 1, "batch clamped to 1");
+    }
+
+    #[test]
+    fn scheduling_knobs() {
+        let p = CkksParameters::toy();
+        assert_eq!(p.num_streams, crate::context::NUM_STREAMS);
+        assert!(p.graph_exec, "graph engine is the default path");
+        assert!(p.fusion.elementwise);
+        let p = p.with_num_streams(0).with_graph_exec(false);
+        assert_eq!(p.num_streams, 1, "stream count clamped to 1");
+        assert!(!p.graph_exec);
+        let p = p.with_num_streams(4);
+        assert_eq!(p.num_streams, 4);
     }
 
     #[test]

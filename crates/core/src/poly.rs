@@ -6,6 +6,13 @@
 //! one kernel on a stream chosen round-robin, and NTTs are charged as the two
 //! hierarchical passes of Fig. 3. Cross-limb operations (base conversion,
 //! rescale) fence the batch streams first.
+//!
+//! Inside a scheduled region ([`CkksContext::scheduled`]) these launches are
+//! *recorded* as kernel nodes of the lazy [`ExecGraph`](crate::sched) —
+//! with the limb batch, stream and fence structure intact — instead of timed
+//! eagerly; the planning pass then fuses elementwise chains and replays the
+//! plan. Functional results are identical either way (the kernels are
+//! data-oblivious); only the timing model sees the difference.
 
 use std::sync::Arc;
 

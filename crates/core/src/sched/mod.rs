@@ -1,0 +1,77 @@
+//! The stream-graph execution engine: lazy kernel graphs, a fusion/stream
+//! planning pass, and pluggable executors.
+//!
+//! # Layering (paper Fig. 2 / §III-F)
+//!
+//! Before this module, every `RNSPoly` method fired its kernels eagerly: one
+//! [`GpuSim::launch`](fides_gpu_sim::GpuSim::launch) per limb batch, timed on
+//! the spot. The paper's performance story, however, is about what happens
+//! *between* kernels — launch overhead amortized by limb batching (§III-F.1),
+//! elementwise chains collapsed into single launches (§III-F.5), and batches
+//! spread round-robin over streams so the device never drains. Those are
+//! scheduling decisions, so this module makes the schedule a first-class
+//! value:
+//!
+//! ```text
+//!   engine (api)          Ciphertext ops (ops/*, poly.rs)
+//!        │                        │   record, don't time
+//!        ▼                        ▼
+//!   [`ExecGraph`]   — kernel nodes + fences, as captured
+//!        │  planning pass ([`Planner`])
+//!        ▼
+//!   [`ExecPlan`]    — fused launches, streams reassigned
+//!        │  pluggable executor ([`PlanExecutor`])
+//!        ▼
+//!   [`GpuReplayExecutor`] → multi-stream timeline (gpu-sim backend)
+//!   (the CPU reference backend executes limb batches on a worker pool
+//!    instead — see [`cpu_ref`](crate::cpu_ref))
+//! ```
+//!
+//! **Recording.** Ops run inside [`CkksContext::scheduled`]
+//! (crate::CkksContext::scheduled), which opens a capture region on the
+//! simulated device: each would-be launch becomes a [`KernelNode`] carrying
+//! its stream, limb-batch descriptor and kind; each
+//! `sync_batch_streams` becomes a barrier, splitting the graph into
+//! segments at the cross-limb sync points (rescale's SwitchModulus handoff,
+//! base conversion in key switching). Functional math still runs eagerly —
+//! CKKS server kernels are data-oblivious, so the *results* never depend on
+//! the schedule, only the timing does.
+//!
+//! **Planning.** [`Planner`] walks the graph once: it remaps streams onto
+//! the configured stream count
+//! ([`CkksParameters::num_streams`](crate::CkksParameters)) and, when the
+//! `elementwise` fusion knob
+//! ([`FusionConfig::elementwise`](crate::FusionConfig)) is on, fuses
+//! consecutive same-stream elementwise-class launches (elementwise
+//! arithmetic, fills, modulus switches, automorphism pre-permutes) within a
+//! segment into single launches — the graph-level generalization of the
+//! paper's §III-F.5 kernel fusions. Fused launches keep the exact byte and
+//! op totals of their constituents; only the per-launch overheads
+//! (`kernel_launch_us`, the minimum-kernel floor) amortize, which is
+//! precisely the effect the paper measures.
+//!
+//! **Execution.** [`ExecPlan::execute`] replays the planned launches onto
+//! the device through a [`PlanExecutor`]. The stock executor,
+//! [`GpuReplayExecutor`], drives the multi-stream gpu-sim timeline: per-
+//! stream occupancy is tracked by the simulator
+//! ([`SimStats::stream_occupancy`](fides_gpu_sim::SimStats::stream_occupancy))
+//! and fences are applied only at the recorded cross-limb sync points. A
+//! future multi-GPU backend partitions the same graph instead of replaying
+//! it on one device.
+//!
+//! # Knobs
+//!
+//! * stream count — `CkksParameters::with_num_streams` /
+//!   `CkksEngineBuilder::num_streams`;
+//! * graph fusion on/off — `FusionConfig::elementwise` (driven by the
+//!   `ablate_fusion` benchmark);
+//! * the whole graph path on/off — `CkksParameters::with_graph_exec`
+//!   (off = the old eager per-op dispatch, kept for A/B timing).
+
+mod exec;
+mod graph;
+mod plan;
+
+pub use exec::{GpuReplayExecutor, PlanExecutor};
+pub use graph::{ExecGraph, GraphOp, KernelNode};
+pub use plan::{ExecPlan, PlanConfig, PlanStep, Planner, SchedStats};

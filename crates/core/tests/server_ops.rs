@@ -298,6 +298,71 @@ fn fusion_off_produces_identical_results() {
 }
 
 #[test]
+fn graph_exec_is_bit_identical_to_eager_dispatch() {
+    // The stream-graph engine defers timing, never math: the same circuit
+    // run with graph execution on and off must produce identical limb data.
+    let mut h_graph = Harness::with_params(CkksParameters::toy(), &[1]);
+    let mut h_eager = Harness::with_params(CkksParameters::toy().with_graph_exec(false), &[1]);
+    let a = ramp(32);
+    let b: Vec<f64> = a.iter().map(|x| 0.25 - x).collect();
+    let mut frames = Vec::new();
+    for h in [&mut h_graph, &mut h_eager] {
+        let ca = h.encrypt(&a);
+        let cb = h.encrypt(&b);
+        let mut prod = ca.mul(&cb, &h.keys).unwrap();
+        prod.rescale_in_place().unwrap();
+        let rot = prod.rotate(1, &h.keys).unwrap();
+        frames.push(adapter::store_ciphertext(&rot));
+    }
+    assert_eq!(
+        frames[0].c0.limbs, frames[1].c0.limbs,
+        "graph replay changed c0"
+    );
+    assert_eq!(
+        frames[0].c1.limbs, frames[1].c1.limbs,
+        "graph replay changed c1"
+    );
+}
+
+#[test]
+fn graph_fusion_reduces_launches_without_changing_results() {
+    let fusion_off = fides_core::FusionConfig {
+        elementwise: false,
+        ..fides_core::FusionConfig::default()
+    };
+    let mut h_fused = Harness::with_params(CkksParameters::toy(), &[]);
+    let mut h_plain = Harness::with_params(CkksParameters::toy().with_fusion(fusion_off), &[]);
+    let a = ramp(32);
+    let b: Vec<f64> = a.iter().map(|x| x + 0.125).collect();
+    let mut launches = Vec::new();
+    let mut frames = Vec::new();
+    for h in [&mut h_fused, &mut h_plain] {
+        let ca = h.encrypt(&a);
+        let cb = h.encrypt(&b);
+        h.ctx.gpu().reset_stats();
+        let mut prod = ca.mul(&cb, &h.keys).unwrap();
+        prod.rescale_in_place().unwrap();
+        launches.push(h.ctx.gpu().stats().kernel_launches);
+        frames.push(adapter::store_ciphertext(&prod));
+    }
+    assert!(
+        launches[0] < launches[1],
+        "fusion must strictly reduce kernel launches ({} vs {})",
+        launches[0],
+        launches[1]
+    );
+    assert_eq!(frames[0].c0.limbs, frames[1].c0.limbs);
+    assert_eq!(frames[0].c1.limbs, frames[1].c1.limbs);
+    let sched = h_fused.ctx.sched_stats();
+    assert!(sched.fused_kernels > 0, "ledger records fused kernels");
+    assert_eq!(
+        sched.recorded_kernels,
+        sched.planned_launches + sched.fused_kernels,
+        "ledger is self-consistent"
+    );
+}
+
+#[test]
 fn scale_drift_stays_within_tolerance_over_depth() {
     let mut h = Harness::new(&[]);
     let a = ramp(16);

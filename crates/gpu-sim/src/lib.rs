@@ -50,7 +50,7 @@ pub use kernel::{
     SHOUP_MULMOD_OPS, WIDE_MUL_OPS,
 };
 pub use mem::BufferId;
-pub use timeline::{KindStats, SimStats};
+pub use timeline::{KindStats, SimStats, StreamStats};
 
 use mem::PoolState;
 use timeline::Timeline;
@@ -66,6 +66,29 @@ pub enum ExecMode {
     CostOnly,
 }
 
+/// One recorded device event, produced while a kernel-graph capture is
+/// active (see [`GpuSim::begin_capture`]).
+///
+/// Captured launches carry the exact descriptor and stream eager execution
+/// would have used; a scheduling layer may fuse, re-stream and replay them.
+#[derive(Clone, Debug)]
+pub enum GraphEvent {
+    /// A kernel launch deferred from the timeline.
+    Launch {
+        /// Stream the recording requested.
+        stream: usize,
+        /// Traffic/compute descriptor.
+        desc: KernelDesc,
+    },
+    /// An event fence: `waiters` wait for work recorded on `signals`.
+    Fence {
+        /// Streams whose recorded work is waited upon.
+        signals: Vec<usize>,
+        /// Streams that wait.
+        waiters: Vec<usize>,
+    },
+}
+
 /// A simulated GPU: device model, timeline, memory pool and execution mode.
 ///
 /// Cheap to share: wrap in [`Arc`] (construction already returns one).
@@ -79,6 +102,14 @@ pub struct GpuSim {
 struct SimState {
     timeline: Timeline,
     pool: PoolState,
+    /// Kernel-graph capture buffer (non-empty depth = capture active).
+    capture: Vec<GraphEvent>,
+    capture_depth: usize,
+    /// Thread owning the open capture. Capture is **per-thread**: launches
+    /// from other threads keep executing eagerly (mutex-serialized, exactly
+    /// the pre-graph behaviour), so concurrent sessions sharing one device
+    /// can never corrupt each other's graphs.
+    capture_owner: Option<std::thread::ThreadId>,
 }
 
 impl GpuSim {
@@ -89,6 +120,9 @@ impl GpuSim {
             state: Mutex::new(SimState {
                 timeline: Timeline::new(spec),
                 pool: PoolState::default(),
+                capture: Vec::new(),
+                capture_depth: 0,
+                capture_owner: None,
             }),
         })
     }
@@ -112,27 +146,98 @@ impl GpuSim {
 
     /// Launches a kernel on `stream`: records its timing and, in functional
     /// mode, runs `body` synchronously.
+    ///
+    /// Under an active capture ([`Self::begin_capture`]) the timing is
+    /// deferred — the launch is recorded as a [`GraphEvent`] instead of
+    /// advancing the timeline — while the body still runs (CKKS kernels are
+    /// data-oblivious, so functional results never depend on the schedule).
     pub fn launch<F: FnOnce()>(&self, stream: usize, desc: KernelDesc, body: F) {
-        self.state.lock().timeline.launch(stream, &desc);
+        {
+            let mut st = self.state.lock();
+            if st.capture_depth > 0 && st.capture_owner == Some(std::thread::current().id()) {
+                st.capture.push(GraphEvent::Launch { stream, desc });
+            } else {
+                st.timeline.launch(stream, &desc);
+            }
+        }
         if self.is_functional() {
             body();
         }
     }
 
     /// Launches a kernel whose body returns a value (functional mode), or
-    /// `None` in cost-only mode.
+    /// `None` in cost-only mode. Capture-aware like [`Self::launch`].
     pub fn launch_map<T, F: FnOnce() -> T>(
         &self,
         stream: usize,
         desc: KernelDesc,
         body: F,
     ) -> Option<T> {
-        self.state.lock().timeline.launch(stream, &desc);
+        {
+            let mut st = self.state.lock();
+            if st.capture_depth > 0 && st.capture_owner == Some(std::thread::current().id()) {
+                st.capture.push(GraphEvent::Launch { stream, desc });
+            } else {
+                st.timeline.launch(stream, &desc);
+            }
+        }
         if self.is_functional() {
             Some(body())
         } else {
             None
         }
+    }
+
+    /// Opens a kernel-graph capture region on the **calling thread**:
+    /// subsequent [`Self::launch`] and [`Self::fence`] calls from this
+    /// thread are recorded instead of timed (other threads keep executing
+    /// eagerly). Regions nest per owner; only the outermost
+    /// [`Self::end_capture`] returns the recorded events. Returns `true`
+    /// when this call opened the outermost region; when another thread
+    /// already owns a capture, nothing is opened and the caller's work runs
+    /// eagerly.
+    pub fn begin_capture(&self) -> bool {
+        let mut st = self.state.lock();
+        let me = std::thread::current().id();
+        if st.capture_depth == 0 {
+            st.capture_owner = Some(me);
+            st.capture_depth = 1;
+            true
+        } else {
+            if st.capture_owner == Some(me) {
+                st.capture_depth += 1;
+            }
+            false
+        }
+    }
+
+    /// Closes one capture region of the calling thread. The outermost close
+    /// drains and returns the recorded event list (empty vector for nested
+    /// closes and for threads that own no capture), leaving the timeline
+    /// untouched — replaying the events (fused or not) is the caller's job.
+    pub fn end_capture(&self) -> Vec<GraphEvent> {
+        let mut st = self.state.lock();
+        if st.capture_depth == 0 || st.capture_owner != Some(std::thread::current().id()) {
+            return Vec::new();
+        }
+        st.capture_depth -= 1;
+        if st.capture_depth == 0 {
+            st.capture_owner = None;
+            std::mem::take(&mut st.capture)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// True while a capture region is open.
+    pub fn is_capturing(&self) -> bool {
+        self.state.lock().capture_depth > 0
+    }
+
+    /// True while the **calling thread** owns an open capture region.
+    pub fn capturing_on_current_thread(&self) -> bool {
+        let st = self.state.lock();
+        st.capture_depth > 0 && st.capture_owner == Some(std::thread::current().id())
     }
 
     /// Records a host→device transfer of `bytes`.
@@ -154,24 +259,35 @@ impl GpuSim {
     }
 
     /// Event fence: streams in `waiters` wait for work recorded on
-    /// `signals`.
+    /// `signals`. Recorded instead of applied while a capture is active.
     pub fn fence(&self, signals: &[usize], waiters: &[usize]) {
-        self.state.lock().timeline.fence(signals, waiters);
+        let mut st = self.state.lock();
+        if st.capture_depth > 0 && st.capture_owner == Some(std::thread::current().id()) {
+            st.capture.push(GraphEvent::Fence {
+                signals: signals.to_vec(),
+                waiters: waiters.to_vec(),
+            });
+        } else {
+            st.timeline.fence(signals, waiters);
+        }
     }
 
     /// Snapshot of the statistics ledger.
     pub fn stats(&self) -> SimStats {
         let st = self.state.lock();
         let mut s = st.timeline.stats.clone();
+        s.makespan_us = st.timeline.makespan() - st.timeline.stats_epoch;
         s.current_alloc_bytes = st.pool.current_bytes;
         s.peak_alloc_bytes = st.pool.peak_bytes;
         s
     }
 
-    /// Clears the statistics ledger (clocks keep advancing monotonically).
+    /// Clears the statistics ledger and starts a new measurement window
+    /// (clocks keep advancing monotonically).
     pub fn reset_stats(&self) {
         let mut st = self.state.lock();
         st.timeline.stats = SimStats::default();
+        st.timeline.stats_epoch = st.timeline.makespan();
     }
 
     fn pool_alloc(&self, bytes: u64) -> BufferId {
@@ -438,6 +554,116 @@ mod tests {
         gpu.reset_stats();
         assert_eq!(gpu.stats().kernel_launches, 0);
         assert!(gpu.sync() >= t1, "clocks stay monotonic");
+    }
+
+    #[test]
+    fn capture_defers_timing_but_runs_bodies() {
+        let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::Functional);
+        let mut hits = 0;
+        assert!(gpu.begin_capture());
+        gpu.launch(
+            2,
+            KernelDesc::new(KernelKind::Elementwise).ops(1000),
+            || hits += 1,
+        );
+        gpu.fence(&[2], &[3]);
+        assert_eq!(hits, 1, "body runs during capture");
+        assert_eq!(gpu.stats().kernel_launches, 0, "timing deferred");
+        let events = gpu.end_capture();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], GraphEvent::Launch { stream: 2, .. }));
+        assert!(matches!(events[1], GraphEvent::Fence { .. }));
+        assert!(!gpu.is_capturing());
+        // Replaying advances the ledger.
+        for ev in events {
+            match ev {
+                GraphEvent::Launch { stream, desc } => gpu.launch(stream, desc, || {}),
+                GraphEvent::Fence { signals, waiters } => gpu.fence(&signals, &waiters),
+            }
+        }
+        assert_eq!(gpu.stats().kernel_launches, 1);
+    }
+
+    #[test]
+    fn nested_capture_drains_only_at_outermost() {
+        let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::CostOnly);
+        assert!(gpu.begin_capture());
+        assert!(!gpu.begin_capture(), "nested region is not the owner");
+        gpu.launch(0, KernelDesc::new(KernelKind::Elementwise), || {});
+        assert!(gpu.end_capture().is_empty(), "nested close returns nothing");
+        let events = gpu.end_capture();
+        assert_eq!(events.len(), 1, "outermost close drains everything");
+    }
+
+    #[test]
+    fn capture_is_per_thread() {
+        // A capture owned by this thread must not swallow launches from
+        // other threads (concurrent sessions sharing one device), and a
+        // foreign thread's begin/end must not disturb the owner's region.
+        let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::CostOnly);
+        assert!(gpu.begin_capture());
+        gpu.launch(0, KernelDesc::new(KernelKind::Elementwise), || {});
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                assert!(!gpu.begin_capture(), "foreign thread cannot own");
+                gpu.launch(1, KernelDesc::new(KernelKind::Elementwise), || {});
+                assert!(gpu.end_capture().is_empty());
+                assert!(!gpu.capturing_on_current_thread());
+            });
+        });
+        assert_eq!(
+            gpu.stats().kernel_launches,
+            1,
+            "foreign launch executed eagerly"
+        );
+        assert!(gpu.capturing_on_current_thread());
+        let events = gpu.end_capture();
+        assert_eq!(events.len(), 1, "owner's recording unaffected");
+    }
+
+    #[test]
+    fn per_stream_stats_and_occupancy() {
+        let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::CostOnly);
+        gpu.launch(
+            0,
+            KernelDesc::new(KernelKind::Elementwise)
+                .read(BufferId(1), 64 << 20)
+                .ops(1_000_000),
+            || {},
+        );
+        gpu.launch(
+            3,
+            KernelDesc::new(KernelKind::Elementwise)
+                .read(BufferId(2), 64 << 20)
+                .ops(1_000_000),
+            || {},
+        );
+        let s = gpu.stats();
+        assert_eq!(s.active_streams(), 2);
+        assert_eq!(s.per_stream.len(), 4);
+        assert_eq!(s.per_stream[0].launches, 1);
+        assert_eq!(s.per_stream[1].launches, 0);
+        assert_eq!(s.per_stream[3].launches, 1);
+        assert!(s.per_stream[0].busy_us > 0.0);
+        assert!(s.makespan_us > 0.0);
+        let occ = s.stream_occupancy();
+        assert!(occ > 0.0 && occ <= 1.0, "occupancy {occ} out of range");
+    }
+
+    #[test]
+    fn reset_stats_starts_new_occupancy_window() {
+        let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::CostOnly);
+        gpu.launch(
+            0,
+            KernelDesc::new(KernelKind::Elementwise).read(BufferId(1), 1 << 20),
+            || {},
+        );
+        gpu.sync();
+        gpu.reset_stats();
+        let s = gpu.stats();
+        assert_eq!(s.active_streams(), 0);
+        assert_eq!(s.stream_occupancy(), 0.0);
+        assert!(s.makespan_us.abs() < 1e-9, "window restarts at reset");
     }
 
     #[test]

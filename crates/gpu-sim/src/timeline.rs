@@ -38,6 +38,16 @@ pub struct KindStats {
     pub bytes: u64,
 }
 
+/// Aggregated statistics for one stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamStats {
+    /// Number of launches issued to this stream.
+    pub launches: u64,
+    /// Total time the stream was occupied by kernels, µs (kernels on one
+    /// stream serialize, so this never exceeds the measurement window).
+    pub busy_us: f64,
+}
+
 /// Snapshot of simulator counters.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct SimStats {
@@ -57,10 +67,42 @@ pub struct SimStats {
     pub d2h_bytes: u64,
     /// Per-kind breakdown.
     pub per_kind: BTreeMap<String, KindStats>,
+    /// Per-stream breakdown (index = stream id; streams never launched on
+    /// since the last reset have zero entries).
+    pub per_stream: Vec<StreamStats>,
+    /// Width of the measurement window in simulated µs: makespan progress
+    /// since the ledger was last reset. Denominator of
+    /// [`SimStats::stream_occupancy`].
+    pub makespan_us: f64,
     /// Live device allocation, bytes.
     pub current_alloc_bytes: u64,
     /// Peak device allocation, bytes.
     pub peak_alloc_bytes: u64,
+}
+
+impl SimStats {
+    /// Streams that launched at least one kernel in the window.
+    pub fn active_streams(&self) -> usize {
+        self.per_stream.iter().filter(|s| s.launches > 0).count()
+    }
+
+    /// Total stream-busy time across all streams, µs.
+    pub fn stream_busy_total_us(&self) -> f64 {
+        self.per_stream.iter().map(|s| s.busy_us).sum()
+    }
+
+    /// Mean stream occupancy over the measurement window: total per-stream
+    /// busy time divided by `active_streams × makespan`. 1.0 means every
+    /// active stream was saturated for the whole window; low values mean the
+    /// device idled behind launch overhead or serial phases (the utilization
+    /// the paper's stream/batching optimizations target).
+    pub fn stream_occupancy(&self) -> f64 {
+        let active = self.active_streams();
+        if active == 0 || self.makespan_us <= 0.0 {
+            return 0.0;
+        }
+        (self.stream_busy_total_us() / (active as f64 * self.makespan_us)).min(1.0)
+    }
 }
 
 #[derive(Debug)]
@@ -150,6 +192,8 @@ pub(crate) struct Timeline {
     pcie_free: f64,
     l2: L2Model,
     pub(crate) stats: SimStats,
+    /// Makespan at the last stats reset: start of the measurement window.
+    pub(crate) stats_epoch: f64,
 }
 
 /// PCIe gen4 x16 effective bandwidth, bytes/µs (≈ 24 GB/s achieved).
@@ -168,6 +212,7 @@ impl Timeline {
             pcie_free: 0.0,
             l2,
             stats: SimStats::default(),
+            stats_epoch: 0.0,
         }
     }
 
@@ -239,6 +284,17 @@ impl Timeline {
         entry.count += 1;
         entry.busy_us += end - start;
         entry.bytes += miss_bytes + hit_bytes + write_bytes;
+        if stream >= self.stats.per_stream.len() {
+            self.stats
+                .per_stream
+                .resize(stream + 1, StreamStats::default());
+        }
+        let ss = &mut self.stats.per_stream[stream];
+        ss.launches += 1;
+        // Clamp to the measurement window: a kernel may *start* on a clock
+        // that lags the epoch set at the last reset, and counting that
+        // pre-window span would overstate occupancy.
+        ss.busy_us += (end - start.max(self.stats_epoch)).max(0.0);
         end
     }
 

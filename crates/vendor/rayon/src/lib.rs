@@ -1,0 +1,516 @@
+//! Offline stand-in for `rayon`, backed by `std::thread` scoped threads.
+//!
+//! Implements exactly the API subset the workspace uses for limb-parallel
+//! execution: `par_iter`/`par_iter_mut` over slices (with `enumerate` and
+//! `for_each`), `into_par_iter().map(..).collect()` over index ranges,
+//! [`scope`], [`join`], and a [`ThreadPool`] whose `install` pins the worker
+//! count for a region.
+//!
+//! Work is split into one contiguous chunk per worker, each chunk processed
+//! in index order, and (for `collect`) chunk results concatenated in index
+//! order — so results are **bit-identical at every worker count**, which the
+//! cross-backend determinism tests rely on.
+//!
+//! The default worker count comes from the `FIDES_WORKERS` environment
+//! variable when set (the CI matrix sweeps it), otherwise from
+//! `std::thread::available_parallelism()`.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`]
+    /// (0 = no override).
+    static POOL_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of worker threads parallel operations on this thread use.
+pub fn current_num_threads() -> usize {
+    let over = POOL_OVERRIDE.with(|c| c.get());
+    if over > 0 {
+        return over;
+    }
+    if let Ok(v) = std::env::var("FIDES_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (construction cannot fail in
+/// the stand-in; the type exists for signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default worker count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count (0 = default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool (infallible in the stand-in).
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.num_threads,
+        })
+    }
+}
+
+/// A handle fixing the worker count for regions run under
+/// [`ThreadPool::install`]. The stand-in spawns scoped threads per operation
+/// rather than keeping persistent workers; only the count is pinned.
+#[derive(Debug)]
+pub struct ThreadPool {
+    /// Configured worker count (0 = resolve default at use).
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The worker count operations under this pool use.
+    pub fn current_num_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            current_num_threads()
+        }
+    }
+
+    /// Runs `f` with this pool's worker count installed on the calling
+    /// thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let n = self.current_num_threads();
+        let _restore = Restore(POOL_OVERRIDE.with(|c| c.replace(n)));
+        f()
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("joined task panicked");
+        (ra, rb)
+    })
+}
+
+/// A fork–join scope: tasks spawned on it all complete before [`scope`]
+/// returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that must finish before the scope ends.
+    ///
+    /// (Divergence from rayon: the closure takes no `&Scope` argument;
+    /// nested spawns need their own [`scope`].)
+    pub fn spawn<F: FnOnce() + Send + 'scope>(&self, f: F) {
+        self.inner.spawn(f);
+    }
+}
+
+/// Creates a fork–join scope; returns once every spawned task finished.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Ceil-divide `len` work items into per-worker chunk size.
+///
+/// The split is capped at the host's physical parallelism: the stand-in
+/// spawns a fresh scoped thread per chunk (no persistent workers), so
+/// threads beyond the core count cost spawn overhead without gaining
+/// anything. The *configured* worker count still decides the cap's upper
+/// bound, and the chunk→output mapping stays deterministic either way
+/// (disjoint slots, index order).
+fn chunk_size(len: usize) -> usize {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = current_num_threads().min(host).max(1);
+    len.div_ceil(workers).max(1)
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+/// Index-carrying variant of [`ParIter`].
+pub struct ParIterEnumerate<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> ParIterEnumerate<'a, T> {
+        ParIterEnumerate { slice: self.slice }
+    }
+
+    /// Applies `f` to every item across the workers.
+    pub fn for_each(self, f: impl Fn(&T) + Sync) {
+        self.enumerate().for_each(|(_, x)| f(x));
+    }
+}
+
+impl<T: Sync> ParIterEnumerate<'_, T> {
+    /// Applies `f` to every `(index, item)` pair across the workers.
+    pub fn for_each(self, f: impl Fn((usize, &T)) + Sync) {
+        let len = self.slice.len();
+        if len == 0 {
+            return;
+        }
+        let chunk = chunk_size(len);
+        if chunk >= len {
+            for (i, x) in self.slice.iter().enumerate() {
+                f((i, x));
+            }
+            return;
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            for (ci, part) in self.slice.chunks(chunk).enumerate() {
+                let base = ci * chunk;
+                s.spawn(move || {
+                    for (off, x) in part.iter().enumerate() {
+                        f((base + off, x));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+/// Index-carrying variant of [`ParIterMut`].
+pub struct ParIterMutEnumerate<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> ParIterMutEnumerate<'a, T> {
+        ParIterMutEnumerate { slice: self.slice }
+    }
+
+    /// Applies `f` to every item across the workers.
+    pub fn for_each(self, f: impl Fn(&mut T) + Sync) {
+        self.enumerate().for_each(|(_, x)| f(x));
+    }
+}
+
+impl<T: Send> ParIterMutEnumerate<'_, T> {
+    /// Applies `f` to every `(index, item)` pair across the workers.
+    pub fn for_each(self, f: impl Fn((usize, &mut T)) + Sync) {
+        let len = self.slice.len();
+        if len == 0 {
+            return;
+        }
+        let chunk = chunk_size(len);
+        if chunk >= len {
+            for (i, x) in self.slice.iter_mut().enumerate() {
+                f((i, x));
+            }
+            return;
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            for (ci, part) in self.slice.chunks_mut(chunk).enumerate() {
+                let base = ci * chunk;
+                s.spawn(move || {
+                    for (off, x) in part.iter_mut().enumerate() {
+                        f((base + off, x));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Parallel iterator over an index range.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+/// A mapped [`ParRange`], ready to [`collect`](ParRangeMap::collect) or
+/// [`for_each`](ParRangeMap::for_each).
+pub struct ParRangeMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl ParRange {
+    /// Maps every index through `f`.
+    pub fn map<R, F: Fn(usize) -> R + Sync>(self, f: F) -> ParRangeMap<F> {
+        ParRangeMap {
+            range: self.range,
+            f,
+        }
+    }
+
+    /// Applies `f` to every index across the workers.
+    pub fn for_each(self, f: impl Fn(usize) + Sync) {
+        self.map(f).for_each(|()| {});
+    }
+}
+
+impl<R: Send, F: Fn(usize) -> R + Sync> ParRangeMap<F> {
+    /// Collects the mapped values in index order (deterministic at any
+    /// worker count).
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let len = self.range.len();
+        let chunk = chunk_size(len);
+        if len == 0 || chunk >= len {
+            let v: Vec<R> = self.range.map(&self.f).collect();
+            return C::from(v);
+        }
+        let f = &self.f;
+        let start = self.range.start;
+        let parts: Vec<Vec<R>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..len.div_ceil(chunk))
+                .map(|ci| {
+                    let lo = start + ci * chunk;
+                    let hi = (lo + chunk).min(self.range.end);
+                    s.spawn(move || (lo..hi).map(f).collect::<Vec<R>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("joined task panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(len);
+        for p in parts {
+            out.extend(p);
+        }
+        C::from(out)
+    }
+
+    /// Applies the mapped computation for its effects only.
+    pub fn for_each(self, sink: impl Fn(R) + Sync) {
+        let len = self.range.len();
+        if len == 0 {
+            return;
+        }
+        let chunk = chunk_size(len);
+        if chunk >= len {
+            for i in self.range {
+                sink((self.f)(i));
+            }
+            return;
+        }
+        let f = &self.f;
+        let sink = &sink;
+        let start = self.range.start;
+        std::thread::scope(|s| {
+            for ci in 0..len.div_ceil(chunk) {
+                let lo = start + ci * chunk;
+                let hi = (lo + chunk).min(self.range.end);
+                s.spawn(move || {
+                    for i in lo..hi {
+                        sink(f(i));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Conversion into a parallel iterator (rayon's entry-point trait).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// `par_iter` over shared slices.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type.
+    type Item: 'a;
+    /// Creates a parallel iterator over `&self`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// `par_iter_mut` over exclusive slices.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type.
+    type Item: 'a;
+    /// Creates a parallel iterator over `&mut self`.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+/// The rayon-style glob-import module.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn pool(n: usize) -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
+
+    #[test]
+    fn par_iter_mut_visits_every_index_once() {
+        for workers in [1, 2, 8] {
+            let mut v = vec![0usize; 103];
+            pool(workers).install(|| {
+                v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i * 3);
+            });
+            for (i, x) in v.iter().enumerate() {
+                assert_eq!(*x, i * 3, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_collect_preserves_order_at_any_worker_count() {
+        let expect: Vec<usize> = (0..57).map(|i| i * i).collect();
+        for workers in [1, 3, 8, 64] {
+            let got: Vec<usize> =
+                pool(workers).install(|| (0..57).into_par_iter().map(|i| i * i).collect());
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn par_iter_counts_all_items() {
+        let hits = AtomicUsize::new(0);
+        let v: Vec<u32> = (0..41).collect();
+        pool(4).install(|| {
+            v.par_iter().for_each(|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 41);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn scope_waits_for_spawns() {
+        let hits = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..10 {
+                s.spawn(|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn install_pins_and_restores_worker_count() {
+        let p = pool(3);
+        let inside = p.install(current_num_threads);
+        assert_eq!(inside, 3);
+        let p2 = pool(5);
+        p.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            assert_eq!(p2.install(current_num_threads), 5);
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let mut v: Vec<u64> = Vec::new();
+        v.par_iter_mut().for_each(|_| {});
+        let got: Vec<u64> = (0..0).into_par_iter().map(|_| 1).collect();
+        assert!(got.is_empty());
+    }
+}

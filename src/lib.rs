@@ -61,4 +61,4 @@ pub use fides_math as math;
 pub use fides_rns as rns;
 pub use fides_workloads as workloads;
 
-pub use fides_api::{BackendChoice, CkksEngine, Ct};
+pub use fides_api::{BackendChoice, CkksEngine, Ct, FidesError, FusionConfig, Result, SchedStats};
