@@ -334,6 +334,8 @@ impl Ct {
 
     /// Bootstrap: refresh an exhausted ciphertext back to computing depth.
     /// The session must have been built with `.bootstrap_slots(..)`.
+    /// Available on both backends; refreshed ciphertexts are bit-identical
+    /// across them.
     ///
     /// # Errors
     ///
@@ -341,6 +343,26 @@ impl Ct {
     /// material.
     pub fn bootstrap(&self) -> Result<Ct> {
         Ok(self.wrap(self.inner.backend.bootstrap(&self.ct)?))
+    }
+
+    /// Evaluates the Chebyshev series `Σ coeffs[j]·T_j(x)` on this
+    /// ciphertext with the Paterson–Stockmeyer BSGS evaluator (the
+    /// ApproxModEval machinery of bootstrapping, exposed for general
+    /// polynomial approximation). Slot values must lie in `[−1, 1]`.
+    ///
+    /// Consumes `ChebyshevEvaluator::depth_estimate(deg)` levels at most.
+    ///
+    /// # Errors
+    ///
+    /// [`FidesError::NotEnoughLevels`] when the chain is too shallow for
+    /// the series degree, or a missing relinearization key.
+    pub fn try_chebyshev(&self, coeffs: &[f64]) -> Result<Ct> {
+        let backend = self.inner.backend.as_ref();
+        // Trim trailing ~zero coefficients before sizing the evaluator:
+        // padded coefficient buffers must not inflate the depth budget.
+        let degree = fides_core::boot::trim_degree(coeffs);
+        let ev = fides_core::boot::ChebyshevEvaluator::new(backend, &self.ct, degree)?;
+        Ok(self.wrap(ev.evaluate(&coeffs[..(degree + 1).min(coeffs.len())])?))
     }
 
     /// An exact copy dropped to `level` (LevelReduce).

@@ -84,6 +84,22 @@ impl CkksEngine {
     /// Starts a builder with the library defaults:
     /// `[log N, L, Δ] = [12, 6, 2^40]`, simulated RTX 4090, functional
     /// execution, the GPU-sim backend, and no rotation keys.
+    ///
+    /// ```
+    /// use fides_api::CkksEngine;
+    ///
+    /// let engine = CkksEngine::builder()
+    ///     .log_n(10)
+    ///     .levels(4)
+    ///     .scale_bits(40)
+    ///     .rotations(&[1])
+    ///     .seed(1)
+    ///     .build()?;
+    /// let x = engine.encrypt(&[1.0, 2.0, 3.0, 4.0])?;
+    /// let shifted = x.rotate(1)?;
+    /// assert!((engine.decrypt(&shifted)?[0] - 2.0).abs() < 1e-4);
+    /// # Ok::<(), fides_api::FidesError>(())
+    /// ```
     pub fn builder() -> CkksEngineBuilder {
         CkksEngineBuilder {
             log_n: 12,
@@ -190,6 +206,48 @@ impl CkksEngine {
     /// session was built with bootstrapping.
     pub fn min_bootstrap_level(&self) -> Option<usize> {
         self.inner.backend.min_bootstrap_level()
+    }
+
+    /// Bootstrap: refreshes an exhausted ciphertext back to computing depth
+    /// (ModRaise → CoeffToSlot → ApproxModEval → SlotToCoeff). The session
+    /// must have been built with [`bootstrap_slots`] (or
+    /// [`bootstrap_config`]); both backends support it and agree bit for
+    /// bit.
+    ///
+    /// ```
+    /// use fides_api::{BackendChoice, CkksEngine};
+    ///
+    /// let engine = CkksEngine::builder()
+    ///     .log_n(10)
+    ///     .levels(18)
+    ///     .scale_bits(50)
+    ///     .first_mod_bits(55)
+    ///     .dnum(3)
+    ///     .backend(BackendChoice::Cpu)
+    ///     .bootstrap_slots(4)
+    ///     .seed(7)
+    ///     .build()?;
+    /// let values = [0.25, -0.125, 0.0625, 0.2];
+    /// // Encrypt at the *bottom* of the chain: no multiplications left...
+    /// let exhausted = engine.encrypt_at(&values, 0)?;
+    /// // ...bootstrap back to computing depth and keep going.
+    /// let refreshed = engine.bootstrap(&exhausted)?;
+    /// assert!(refreshed.level() >= engine.min_bootstrap_level().unwrap());
+    /// let squared = refreshed.try_square()?;
+    /// let got = engine.decrypt(&squared)?;
+    /// assert!((got[0] - 0.0625).abs() < 1e-3);
+    /// # Ok::<(), fides_api::FidesError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`FidesError::Unsupported`] when the session has no bootstrapping
+    /// material, [`FidesError::MissingKey`] for missing rotation keys.
+    ///
+    /// [`bootstrap_slots`]: CkksEngineBuilder::bootstrap_slots
+    /// [`bootstrap_config`]: CkksEngineBuilder::bootstrap_config
+    pub fn bootstrap(&self, ct: &Ct) -> Result<Ct> {
+        ct.bootstrap()
     }
 
     /// Simulated-device name, when the backend models a device.
@@ -371,13 +429,14 @@ impl CkksEngineBuilder {
 
     /// Prepares bootstrapping for ciphertexts of `slots` slots: generates
     /// the Chebyshev/DFT material and every rotation key the pipeline
-    /// needs. GPU-sim backend only.
+    /// needs. Works on both backends — refreshed ciphertexts are
+    /// bit-identical across them.
     pub fn bootstrap_slots(self, slots: usize) -> Self {
         self.bootstrap_config(BootstrapConfig::for_slots(slots))
     }
 
     /// Prepares bootstrapping with an explicit configuration (transform
-    /// budgets, approximation degree). GPU-sim backend only.
+    /// budgets, approximation degree). Works on both backends.
     pub fn bootstrap_config(mut self, config: BootstrapConfig) -> Self {
         self.bootstrap = Some(config);
         self
@@ -427,44 +486,44 @@ impl CkksEngineBuilder {
         let pk = kg.public_key(&sk);
         let relin = kg.relinearization_key(&sk);
 
+        // Bootstrapping needs its circuit's rotation keys (computed from the
+        // transform structure alone) and the conjugation key on either
+        // backend; the heavyweight precomputation happens after the backend
+        // exists, so the encoded diagonals land in its native form.
+        let mut shifts = self.rotations.clone();
+        if let Some(config) = &self.bootstrap {
+            shifts.extend(fides_core::boot::required_rotations(raw.n(), config));
+        }
+        let rot_keys = dedup_rotation_keys(&mut kg, &sk, &shifts);
+        let conj = (self.conjugation || self.bootstrap.is_some()).then(|| kg.conjugation_key(&sk));
+
         let backend: Box<dyn EvalBackend> = match self.backend {
             BackendChoice::GpuSim => {
                 let gpu = GpuSim::new(self.device, self.exec_mode);
                 let ctx = CkksContext::from_raw(params, raw, gpu);
-                // Bootstrapping first: it may require extra rotations.
-                let boot = self
-                    .bootstrap
-                    .map(|config| Bootstrapper::new(&ctx, &client, config))
-                    .transpose()?;
-                let mut shifts = self.rotations.clone();
-                if let Some(b) = &boot {
-                    shifts.extend(b.required_rotations());
-                }
-                let rot_keys = dedup_rotation_keys(&mut kg, &sk, &shifts);
-                let conj = (self.conjugation || boot.is_some()).then(|| kg.conjugation_key(&sk));
                 let keys = adapter::load_eval_keys(&ctx, Some(&relin), &rot_keys, conj.as_ref())?;
                 let mut backend = GpuSimBackend::new(ctx, keys);
-                if let Some(b) = boot {
-                    backend = backend.with_bootstrapper(b);
+                if let Some(config) = self.bootstrap {
+                    let boot = Bootstrapper::new(&backend, &client, config)?;
+                    backend = backend.with_bootstrapper(boot);
                 }
                 Box::new(backend)
             }
             BackendChoice::Cpu => {
-                if self.bootstrap.is_some() {
-                    return Err(FidesError::Unsupported(
-                        "bootstrapping on the cpu-reference backend".into(),
-                    ));
-                }
                 let mut backend = CpuBackend::new(raw);
                 if let Some(workers) = self.workers {
                     backend = backend.with_workers(workers);
                 }
                 backend.set_relin_key(relin);
-                for (shift, key) in dedup_rotation_keys(&mut kg, &sk, &self.rotations) {
+                for (shift, key) in rot_keys {
                     backend.insert_rotation_key(shift, key);
                 }
-                if self.conjugation {
-                    backend.set_conj_key(kg.conjugation_key(&sk));
+                if let Some(conj) = conj {
+                    backend.set_conj_key(conj);
+                }
+                if let Some(config) = self.bootstrap {
+                    let boot = Bootstrapper::new(&backend, &client, config)?;
+                    backend.set_bootstrapper(boot);
                 }
                 Box::new(backend)
             }
@@ -519,14 +578,18 @@ mod tests {
     }
 
     #[test]
-    fn cpu_backend_rejects_bootstrapping() {
-        let r = CkksEngine::builder()
-            .log_n(10)
-            .levels(3)
-            .backend(BackendChoice::Cpu)
-            .bootstrap_slots(8)
-            .build();
-        assert!(matches!(r, Err(FidesError::Unsupported(_))));
+    fn bootstrap_rejects_shallow_chains_on_both_backends() {
+        // 3 levels cannot host the transform + ApproxModEval budget; the
+        // builder surfaces the validation error instead of panicking later.
+        for backend in [BackendChoice::GpuSim, BackendChoice::Cpu] {
+            let r = CkksEngine::builder()
+                .log_n(10)
+                .levels(3)
+                .backend(backend)
+                .bootstrap_slots(8)
+                .build();
+            assert!(matches!(r, Err(FidesError::InvalidParams(_))));
+        }
     }
 
     #[test]

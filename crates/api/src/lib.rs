@@ -42,7 +42,7 @@
 //! the policy OpenFHE applies inside `EvalMult`; the raw layered API leaves
 //! it to the caller.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod ct;
 mod engine;

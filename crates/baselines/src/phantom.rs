@@ -1,6 +1,6 @@
 //! Phantom comparator (paper §IV-B, §V).
 //!
-//! Phantom [15] is the leading open-source CUDA CKKS library and the paper's
+//! Phantom \[15\] is the leading open-source CUDA CKKS library and the paper's
 //! GPU baseline. It differs from FIDESlib in exactly the design dimensions
 //! Table VIII and §III enumerate, so the comparator is built as an *ablated
 //! configuration* of the same engine:

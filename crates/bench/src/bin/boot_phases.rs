@@ -1,0 +1,225 @@
+//! Machine-readable bootstrap performance snapshot (`BENCH_PR3.json`).
+//!
+//! The PR 3 counterpart of `snapshot` (BENCH_PR2.json), covering the new
+//! workload end to end:
+//!
+//! * gpu-sim (cost-only, paper parameters `[16, 29, 59, 4]`, 2¹⁴ slots):
+//!   **per-phase** simulated times of one bootstrap
+//!   (ModRaise / fold / CoeffToSlot / EvalMod / SlotToCoeff) plus planned
+//!   kernel-launch counts with fusion on vs off;
+//! * cpu-reference (functional, `[11, 20, 2^50, 3]`, 8 slots): bootstrap
+//!   wall-clock per phase at worker counts 1 and 8;
+//! * lr_boot (functional, CPU): iterations + bootstraps of the
+//!   past-the-level-budget LR training demo and its wall time.
+//!
+//! CI uploads the file as an artifact next to BENCH_PR2.json.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use fides_api::{BackendChoice, CkksEngine};
+use fides_baselines::synth_keys_with_rotations;
+use fides_client::ClientContext;
+use fides_core::{
+    adapter, boot, BackendCt, BootPhases, BootstrapConfig, Bootstrapper, CkksContext,
+    CkksParameters, CpuBackend, EvalBackend, FusionConfig, GpuSimBackend,
+};
+use fides_gpu_sim::{DeviceSpec, ExecMode, GpuSim};
+use fides_workloads::{BootstrappedLrTrainer, LrConfig};
+
+const OUT_PATH: &str = "BENCH_PR3.json";
+
+/// One cost-only bootstrap at paper scale: per-phase times + launch count.
+fn gpu_sim_bootstrap(fusion: bool) -> (BootPhases, u64, u64) {
+    let fusion_cfg = if fusion {
+        FusionConfig::default()
+    } else {
+        FusionConfig::none()
+    };
+    let params = CkksParameters::paper_default()
+        .with_limb_batch(12)
+        .with_fusion(fusion_cfg);
+    let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::CostOnly);
+    let ctx = CkksContext::new(params, Arc::clone(&gpu));
+    let client = ClientContext::new(ctx.raw_params().clone());
+    let slots = 1usize << 14;
+    let config = BootstrapConfig::for_slots(slots);
+    let shifts = boot::required_rotations(ctx.n(), &config);
+    let keys = synth_keys_with_rotations(&ctx, &shifts);
+    let backend = GpuSimBackend::new(Arc::clone(&ctx), keys);
+    let booter = Bootstrapper::new(&backend, &client, config).expect("chain deep enough");
+    let ct = BackendCt::Device(adapter::placeholder_ciphertext(
+        &ctx,
+        0,
+        ctx.standard_scale(0),
+        slots,
+    ));
+    // Warm-up, then a phased (synced) measured run.
+    let _ = booter.bootstrap(&backend, &ct).unwrap();
+    gpu.sync();
+    gpu.reset_stats();
+    ctx.reset_sched_stats();
+    let (_, phases) = booter.bootstrap_phased(&backend, &ct).unwrap();
+    gpu.sync();
+    (
+        phases,
+        gpu.stats().kernel_launches,
+        ctx.sched_stats().fused_kernels,
+    )
+}
+
+/// One functional CPU bootstrap at the given worker count.
+fn cpu_bootstrap(workers: usize) -> BootPhases {
+    let params = CkksParameters::new(11, 20, 50, 3)
+        .unwrap()
+        .with_first_mod_bits(55);
+    let raw = params.to_raw();
+    let client = ClientContext::new(raw.clone());
+    let mut kg = fides_client::KeyGenerator::new(&client, 0xbe5c);
+    let sk = kg.secret_key();
+    let pk = kg.public_key(&sk);
+    let slots = 8usize;
+    let config = BootstrapConfig::for_slots(slots);
+
+    let mut backend = CpuBackend::new(raw).with_workers(workers);
+    backend.set_relin_key(kg.relinearization_key(&sk));
+    backend.set_conj_key(kg.conjugation_key(&sk));
+    for shift in boot::required_rotations(client.n(), &config) {
+        backend.insert_rotation_key(shift, kg.rotation_key(&sk, shift));
+    }
+    let booter = Bootstrapper::new(&backend, &client, config).expect("chain deep enough");
+
+    let values: Vec<f64> = (0..slots).map(|i| 0.2 * (i as f64 * 0.5).sin()).collect();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+    let pt = client.encode_real(&values, backend.standard_scale(0), 0);
+    let ct = backend.load(&client.encrypt(&pt, &pk, &mut rng)).unwrap();
+    // Warm-up, then best-of-two phased runs.
+    let _ = booter.bootstrap(&backend, &ct).unwrap();
+    let (_, a) = booter.bootstrap_phased(&backend, &ct).unwrap();
+    let (_, b) = booter.bootstrap_phased(&backend, &ct).unwrap();
+    if a.total_us < b.total_us {
+        a
+    } else {
+        b
+    }
+}
+
+/// The lr_boot demo: iterations, bootstraps, wall time.
+fn lr_boot_run() -> (usize, usize, f64) {
+    let cfg = LrConfig {
+        batch: 4,
+        features: 4,
+        learning_rate: 1.0,
+    };
+    let engine = CkksEngine::builder()
+        .log_n(11)
+        .levels(26)
+        .scale_bits(50)
+        .first_mod_bits(55)
+        .dnum(3)
+        .backend(BackendChoice::Cpu)
+        .rotations(&cfg.required_rotations())
+        .bootstrap_config(BootstrapConfig {
+            slots: cfg.slots(),
+            level_budget: (2, 2),
+            k_range: 128.0,
+            double_angles: 6,
+            degree: 40,
+        })
+        .seed(0x60a1)
+        .build()
+        .expect("lr_boot parameters are valid");
+    let trainer = BootstrappedLrTrainer::new(&engine, cfg).unwrap();
+    let xs: Vec<Vec<f64>> = (0..cfg.batch)
+        .map(|i| {
+            (0..cfg.features)
+                .map(|j| 0.3 * (((i + j) % 5) as f64 / 5.0 - 0.4))
+                .collect()
+        })
+        .collect();
+    let row_refs: Vec<&[f64]> = xs.iter().map(|r| r.as_slice()).collect();
+    let x = trainer.trainer().encrypt_features(&row_refs).unwrap();
+    let y = trainer
+        .trainer()
+        .encrypt_labels(&[1.0, 0.0, 1.0, 0.0])
+        .unwrap();
+    let w = trainer
+        .trainer()
+        .encrypt_weights(&vec![0.0; cfg.features])
+        .unwrap();
+    let t0 = Instant::now();
+    let (_, stats) = trainer.train(&w, &x, &y, 6).unwrap();
+    let us = t0.elapsed().as_secs_f64() * 1e6;
+    (stats.iterations, stats.bootstraps, us)
+}
+
+fn phase_json(p: &BootPhases) -> String {
+    format!(
+        "{{\"mod_raise_us\": {:.2}, \"fold_us\": {:.2}, \"coeff_to_slot_us\": {:.2}, \
+         \"eval_mod_us\": {:.2}, \"slot_to_coeff_us\": {:.2}, \"total_us\": {:.2}}}",
+        p.mod_raise_us,
+        p.fold_us,
+        p.coeff_to_slot_us,
+        p.eval_mod_us,
+        p.slot_to_coeff_us,
+        p.total_us
+    )
+}
+
+fn main() {
+    println!("collecting gpu-sim bootstrap phases (fusion on/off)...");
+    let (fused_phases, fused_launches, fused_away) = gpu_sim_bootstrap(true);
+    let (plain_phases, plain_launches, _) = gpu_sim_bootstrap(false);
+    println!("collecting cpu-reference bootstrap phases (workers 1, 8)...");
+    let cpu_entries: Vec<(usize, BootPhases)> =
+        [1usize, 8].iter().map(|&w| (w, cpu_bootstrap(w))).collect();
+    println!("running lr_boot (LR training past the level budget)...");
+    let (lr_iters, lr_boots, lr_us) = lr_boot_run();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"pr\": 3,\n");
+    json.push_str("  \"schema\": \"fideslib-bench-bootstrap-v1\",\n");
+    json.push_str("  \"gpu_sim\": {\n");
+    json.push_str("    \"device\": \"RTX 4090 (simulated, cost-only)\",\n");
+    json.push_str(
+        "    \"params\": \"[logN, L, dnum] = [16, 29, 4], limb_batch 12, 16384 slots\",\n",
+    );
+    let _ = writeln!(json, "    \"phases_fused\": {},", phase_json(&fused_phases));
+    let _ = writeln!(
+        json,
+        "    \"phases_unfused\": {},",
+        phase_json(&plain_phases)
+    );
+    let _ = writeln!(json, "    \"kernel_launches_fused\": {fused_launches},");
+    let _ = writeln!(json, "    \"kernel_launches_unfused\": {plain_launches},");
+    let _ = writeln!(json, "    \"kernels_fused_away\": {fused_away}");
+    json.push_str("  },\n");
+    json.push_str("  \"cpu_reference\": {\n");
+    json.push_str("    \"params\": \"[logN, L, dnum] = [11, 20, 3], functional, 8 slots\",\n");
+    let _ = writeln!(
+        json,
+        "    \"host_parallelism\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    json.push_str("    \"by_workers\": [\n");
+    for (i, (w, p)) in cpu_entries.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"workers\": {}, \"phases\": {}}}{}",
+            w,
+            phase_json(p),
+            if i + 1 < cpu_entries.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ]\n  },\n");
+    json.push_str("  \"lr_boot\": {\n");
+    json.push_str("    \"params\": \"[logN, L, dnum] = [11, 26, 3], cpu backend, 16 slots\",\n");
+    let _ = writeln!(json, "    \"iterations\": {lr_iters},");
+    let _ = writeln!(json, "    \"bootstraps\": {lr_boots},");
+    let _ = writeln!(json, "    \"wall_us\": {lr_us:.1}\n  }}\n}}");
+
+    std::fs::write(OUT_PATH, &json).expect("write BENCH_PR3.json");
+    println!("\nwrote {OUT_PATH}:\n{json}");
+}

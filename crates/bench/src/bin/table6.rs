@@ -8,7 +8,10 @@ use std::sync::Arc;
 use fides_baselines::{cpu_context, ryzen_1t, ryzen_hexl_24t, synth_keys_with_rotations};
 use fides_bench::{fmt_us, print_table, sim_time_us};
 use fides_client::ClientContext;
-use fides_core::{adapter, BootstrapConfig, Bootstrapper, CkksContext, CkksParameters};
+use fides_core::{
+    adapter, boot, BackendCt, BootstrapConfig, Bootstrapper, CkksContext, CkksParameters,
+    EvalBackend, GpuSimBackend,
+};
 use fides_gpu_sim::{DeviceSpec, ExecMode, GpuSim};
 
 fn boot_us(
@@ -25,16 +28,24 @@ fn boot_us(
         (gpu, ctx)
     };
     let client = ClientContext::new(ctx.raw_params().clone());
-    let boot = Bootstrapper::new(&ctx, &client, BootstrapConfig::for_slots(slots))
-        .expect("chain deep enough");
-    let keys = synth_keys_with_rotations(&ctx, &boot.required_rotations());
-    let ct = adapter::placeholder_ciphertext(&ctx, 0, ctx.standard_scale(0), slots);
+    let config = BootstrapConfig::for_slots(slots);
+    let shifts = boot::required_rotations(ctx.n(), &config);
+    let keys = synth_keys_with_rotations(&ctx, &shifts);
+    let backend = GpuSimBackend::new(Arc::clone(&ctx), keys);
+    let booter = Bootstrapper::new(&backend, &client, config).expect("chain deep enough");
+    let backend = backend.with_bootstrapper(booter);
+    let ct = BackendCt::Device(adapter::placeholder_ciphertext(
+        &ctx,
+        0,
+        ctx.standard_scale(0),
+        slots,
+    ));
     // Warm-up then measure.
-    let _ = boot.bootstrap(&ct, &keys).unwrap();
+    let _ = backend.bootstrap(&ct).unwrap();
     gpu.sync();
     let mut level_out = 0usize;
     let us = sim_time_us(&gpu, || {
-        let r = boot.bootstrap(&ct, &keys).unwrap();
+        let r = backend.bootstrap(&ct).unwrap();
         level_out = r.level();
     });
     (us, level_out)

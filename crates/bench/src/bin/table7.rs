@@ -8,7 +8,10 @@ use std::sync::Arc;
 use fides_baselines::{cpu_context, ryzen_1t, ryzen_hexl_24t, synth_keys_with_rotations};
 use fides_bench::{fmt_us, print_table, sim_time_us};
 use fides_client::ClientContext;
-use fides_core::{adapter, BootstrapConfig, Bootstrapper, CkksContext, CkksParameters};
+use fides_core::{
+    adapter, boot, BackendCt, BootstrapConfig, Bootstrapper, CkksContext, CkksParameters,
+    EvalBackend, GpuSimBackend,
+};
 use fides_gpu_sim::{DeviceSpec, ExecMode, GpuSim};
 use fides_workloads::{LrConfig, LrTrainer};
 
@@ -31,12 +34,15 @@ fn lr_times(params: &CkksParameters, spec: DeviceSpec, cpu_flavor: bool) -> (f64
         double_angles: 6,
         degree: 31,
     };
-    let boot = Bootstrapper::new(&ctx, &client, boot_cfg).expect("chain deep enough");
-    assert!(boot.min_output_level() >= LrTrainer::LEVELS_PER_ITERATION);
 
     let mut shifts = trainer.required_rotations();
-    shifts.extend(boot.required_rotations());
+    shifts.extend(boot::required_rotations(ctx.n(), &boot_cfg));
     let keys = synth_keys_with_rotations(&ctx, &shifts);
+    let backend = GpuSimBackend::new(Arc::clone(&ctx), keys);
+    let booter = Bootstrapper::new(&backend, &client, boot_cfg).expect("chain deep enough");
+    assert!(booter.min_output_level() >= LrTrainer::LEVELS_PER_ITERATION);
+    let backend = backend.with_bootstrapper(booter);
+    let keys = backend.keys();
 
     let top = ctx.max_level();
     let w = adapter::placeholder_ciphertext(&ctx, top, ctx.standard_scale(top), cfg.slots());
@@ -44,16 +50,16 @@ fn lr_times(params: &CkksParameters, spec: DeviceSpec, cpu_flavor: bool) -> (f64
     let y = adapter::placeholder_ciphertext(&ctx, top, ctx.standard_scale(top), cfg.slots());
 
     // Warm up.
-    let _ = trainer.iteration(&w, &x, &y, &keys).unwrap();
+    let _ = trainer.iteration(&w, &x, &y, keys).unwrap();
     gpu.sync();
     let iter_us = sim_time_us(&gpu, || {
-        let _ = trainer.iteration(&w, &x, &y, &keys).unwrap();
+        let _ = trainer.iteration(&w, &x, &y, keys).unwrap();
     });
     let iter_boot_us = sim_time_us(&gpu, || {
-        let w1 = trainer.iteration(&w, &x, &y, &keys).unwrap();
+        let w1 = trainer.iteration(&w, &x, &y, keys).unwrap();
         let mut low = w1;
         low.drop_to_level(0).unwrap();
-        let _ = boot.bootstrap(&low, &keys).unwrap();
+        let _ = backend.bootstrap(&BackendCt::Device(low)).unwrap();
     });
     (iter_us, iter_boot_us)
 }

@@ -5,8 +5,12 @@
 
 use std::sync::Arc;
 
-use fides_baselines::synth_keys;
-use fides_core::{adapter, CkksContext, CkksParameters, FusionConfig};
+use fides_baselines::{synth_keys, synth_keys_with_rotations};
+use fides_client::ClientContext;
+use fides_core::{
+    adapter, boot, BackendCt, BootstrapConfig, Bootstrapper, CkksContext, CkksParameters,
+    EvalBackend, FusionConfig, GpuSimBackend,
+};
 use fides_gpu_sim::{DeviceSpec, ExecMode, GpuSim};
 
 /// Mirrors `ablate_fusion::measure`: HMult + Rescale, steady state.
@@ -49,6 +53,69 @@ fn fusion_strictly_reduces_launches_and_time() {
         "fusion must lower simulated time: {fused_us} µs vs {plain_us} µs"
     );
     assert!(fused_away > 0, "planner ledger must record fused kernels");
+    assert_eq!(
+        none_away, 0,
+        "FusionConfig::none() must disable graph fusion"
+    );
+}
+
+/// The full bootstrap circuit under the planner: simulated time, launch
+/// count, and fused-kernel ledger at one fusion setting.
+fn measure_bootstrap(params: &CkksParameters) -> (f64, u64, u64) {
+    let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::CostOnly);
+    let ctx = CkksContext::new(params.clone(), Arc::clone(&gpu));
+    let client = ClientContext::new(ctx.raw_params().clone());
+    let slots = 8usize;
+    let config = BootstrapConfig::for_slots(slots);
+    let shifts = boot::required_rotations(ctx.n(), &config);
+    let keys = synth_keys_with_rotations(&ctx, &shifts);
+    let backend = GpuSimBackend::new(Arc::clone(&ctx), keys);
+    let booter = Bootstrapper::new(&backend, &client, config).expect("chain deep enough");
+    let backend = backend.with_bootstrapper(booter);
+    let ct = BackendCt::Device(adapter::placeholder_ciphertext(
+        &ctx,
+        0,
+        ctx.standard_scale(0),
+        slots,
+    ));
+    let _ = backend.bootstrap(&ct).unwrap();
+    gpu.sync();
+    gpu.reset_stats();
+    ctx.reset_sched_stats();
+    let t0 = gpu.sync();
+    let _ = backend.bootstrap(&ct).unwrap();
+    let dt = gpu.sync() - t0;
+    (
+        dt,
+        gpu.stats().kernel_launches,
+        ctx.sched_stats().fused_kernels,
+    )
+}
+
+/// Extension of the guard to the PR 3 workload: the **whole bootstrap
+/// circuit** recorded through the planner must launch strictly fewer
+/// kernels (and run faster) with fusion than with every fusion disabled.
+#[test]
+fn bootstrap_circuit_fusion_strictly_reduces_launches() {
+    let base = CkksParameters::toy_boot();
+    let (fused_us, fused_launches, fused_away) =
+        measure_bootstrap(&base.clone().with_fusion(FusionConfig::default()));
+    let (plain_us, plain_launches, none_away) =
+        measure_bootstrap(&base.with_fusion(FusionConfig::none()));
+
+    assert!(
+        fused_launches < plain_launches,
+        "bootstrap fusion must strictly reduce kernel launches: \
+         {fused_launches} vs {plain_launches}"
+    );
+    assert!(
+        fused_us < plain_us,
+        "bootstrap fusion must lower simulated time: {fused_us} µs vs {plain_us} µs"
+    );
+    assert!(
+        fused_away > 0,
+        "planner ledger must record fused kernels across the bootstrap graph"
+    );
     assert_eq!(
         none_away, 0,
         "FusionConfig::none() must disable graph fusion"

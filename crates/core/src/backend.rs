@@ -31,9 +31,9 @@ use fides_client::{RawCiphertext, RawPlaintext};
 
 use crate::adapter;
 use crate::boot::Bootstrapper;
-use crate::ciphertext::Ciphertext;
+use crate::ciphertext::{Ciphertext, Plaintext};
 use crate::context::CkksContext;
-use crate::cpu_ref::HostCiphertext;
+use crate::cpu_ref::{HostCiphertext, HostPlaintext};
 use crate::error::{FidesError, Result};
 use crate::keys::EvalKeySet;
 use std::sync::Arc;
@@ -89,6 +89,56 @@ impl BackendCt {
         match self {
             BackendCt::Device(ct) => BackendCt::Device(ct.duplicate()),
             BackendCt::Host(ct) => BackendCt::Host(ct.clone()),
+        }
+    }
+
+    /// Overrides the scale metadata (scale *reinterpretation* — changes the
+    /// logical value, not the data; bootstrapping uses it around ModRaise).
+    pub fn set_scale(&mut self, scale: f64) {
+        assert!(scale > 0.0);
+        match self {
+            BackendCt::Device(ct) => ct.set_scale(scale),
+            BackendCt::Host(ct) => ct.scale = scale,
+        }
+    }
+}
+
+/// An encoded plaintext preloaded into some backend's native evaluation-
+/// domain representation (the operand of repeated `PtMult`s, e.g. the DFT
+/// diagonals of the bootstrap linear transforms).
+///
+/// Like [`BackendCt`], a handle created by one backend must only be fed back
+/// to that backend.
+#[derive(Debug)]
+pub enum BackendPt {
+    /// Resident on the simulated GPU.
+    Device(Plaintext),
+    /// Plain host limb vectors (CPU reference backend).
+    Host(HostPlaintext),
+}
+
+impl BackendPt {
+    /// Chain index of the top active prime.
+    pub fn level(&self) -> usize {
+        match self {
+            BackendPt::Device(pt) => pt.level(),
+            BackendPt::Host(pt) => pt.level,
+        }
+    }
+
+    /// Exact encoding scale.
+    pub fn scale(&self) -> f64 {
+        match self {
+            BackendPt::Device(pt) => pt.scale(),
+            BackendPt::Host(pt) => pt.scale,
+        }
+    }
+
+    /// Packed slot count.
+    pub fn slots(&self) -> usize {
+        match self {
+            BackendPt::Device(pt) => pt.slots(),
+            BackendPt::Host(pt) => pt.slots,
         }
     }
 }
@@ -165,9 +215,67 @@ pub trait EvalBackend: fmt::Debug + Send + Sync {
 
     /// Rotations by every shift in `shifts`. Backends with Halevi–Shoup
     /// hoisting share the ModUp across shifts; the default loops.
+    ///
+    /// Hoisting is bit-identical to per-shift rotation (the automorphism
+    /// commutes with the digit decomposition), so implementations are free
+    /// to choose either.
     fn hoisted_rotations(&self, a: &BackendCt, shifts: &[i32]) -> Result<Vec<BackendCt>> {
         shifts.iter().map(|&k| self.rotate(a, k)).collect()
     }
+
+    /// Whether operations compute real ciphertext data (`false` for
+    /// cost-only simulation, where only the kernel schedule is modelled).
+    fn is_functional(&self) -> bool {
+        true
+    }
+
+    /// Preloads a client-encoded (coefficient-domain) plaintext into the
+    /// backend's native evaluation-domain form, for repeated
+    /// [`EvalBackend::mul_plain_pre`] application.
+    ///
+    /// # Errors
+    ///
+    /// [`FidesError::DomainMismatch`] for evaluation-domain input,
+    /// [`FidesError::LevelOutOfRange`] beyond the chain.
+    fn load_plain(&self, raw: &RawPlaintext) -> Result<BackendPt>;
+
+    /// Backend-native placeholder plaintext: correct shape and metadata, no
+    /// data. Used by cost-only runs, where kernels are data-oblivious.
+    ///
+    /// # Errors
+    ///
+    /// [`FidesError::Unsupported`] on backends without a cost-only mode.
+    fn placeholder_plain(&self, _level: usize, _scale: f64, _slots: usize) -> Result<BackendPt> {
+        Err(FidesError::Unsupported(format!(
+            "placeholder plaintexts on the {} backend",
+            self.name()
+        )))
+    }
+
+    /// PtMult of a preloaded plaintext (not rescaled). The plaintext must
+    /// sit at the ciphertext's level.
+    ///
+    /// # Errors
+    ///
+    /// [`FidesError::LevelMismatch`], or a handle from another backend.
+    fn mul_plain_pre(&self, a: &BackendCt, pt: &BackendPt) -> Result<BackendCt>;
+
+    /// ModRaise: extends a level-0 ciphertext to the full chain by centered
+    /// modulus switching of its coefficients, turning the plaintext into
+    /// `t = m + q_0·I` (the entry step of bootstrapping).
+    ///
+    /// # Errors
+    ///
+    /// [`FidesError::LevelMismatch`] unless the input is at level 0.
+    fn mod_raise(&self, a: &BackendCt) -> Result<BackendCt>;
+
+    /// Exact multiplication by the imaginary unit (`PtMult` by the monomial
+    /// `X^{N/2}`; no scale change, no level consumed).
+    ///
+    /// # Errors
+    ///
+    /// A handle from another backend.
+    fn mul_by_i(&self, a: &BackendCt) -> Result<BackendCt>;
 
     /// Bootstrap: refresh an exhausted ciphertext. Optional capability.
     ///
@@ -380,15 +488,54 @@ impl EvalBackend for GpuSimBackend {
             .collect())
     }
 
+    fn is_functional(&self) -> bool {
+        self.ctx.gpu().is_functional()
+    }
+
+    fn load_plain(&self, raw: &RawPlaintext) -> Result<BackendPt> {
+        Ok(BackendPt::Device(adapter::load_plaintext(&self.ctx, raw)?))
+    }
+
+    fn placeholder_plain(&self, level: usize, scale: f64, slots: usize) -> Result<BackendPt> {
+        Ok(BackendPt::Device(adapter::placeholder_plaintext(
+            &self.ctx, level, scale, slots,
+        )))
+    }
+
+    fn mul_plain_pre(&self, a: &BackendCt, pt: &BackendPt) -> Result<BackendCt> {
+        let pt = match pt {
+            BackendPt::Device(p) => p,
+            BackendPt::Host(_) => {
+                return Err(FidesError::Unsupported(
+                    "host plaintext handed to the gpu-sim backend".into(),
+                ))
+            }
+        };
+        Ok(BackendCt::Device(self.device(a)?.mul_plain(pt)?))
+    }
+
+    fn mod_raise(&self, a: &BackendCt) -> Result<BackendCt> {
+        let ct = self.device(a)?;
+        if ct.level() != 0 {
+            return Err(FidesError::LevelMismatch {
+                left: ct.level(),
+                right: 0,
+            });
+        }
+        Ok(BackendCt::Device(crate::boot::raise_device(ct)))
+    }
+
+    fn mul_by_i(&self, a: &BackendCt) -> Result<BackendCt> {
+        Ok(BackendCt::Device(self.device(a)?.mul_by_i()))
+    }
+
     fn bootstrap(&self, a: &BackendCt) -> Result<BackendCt> {
         let boot = self.boot.as_ref().ok_or_else(|| {
             FidesError::Unsupported(
                 "bootstrapping: engine was built without .bootstrap_slots(..)".into(),
             )
         })?;
-        Ok(BackendCt::Device(
-            boot.bootstrap(self.device(a)?, &self.keys)?,
-        ))
+        boot.bootstrap(self, a)
     }
 
     fn min_bootstrap_level(&self) -> Option<usize> {

@@ -6,16 +6,15 @@
 //! is slot-wise, the two bit reversals cancel. Each FFT level is a
 //! 3-diagonal matrix (shifts `{0, ±len/2}` in rotation space); consecutive
 //! levels are composed into `level budget` stages of higher diagonal count —
-//! the sparsity/level trade-off of [44] the paper adopts.
+//! the sparsity/level trade-off of \[44\] the paper adopts.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 use fides_client::ClientContext;
 use fides_math::Complex64;
 
-use crate::adapter;
-use crate::context::CkksContext;
+use crate::backend::EvalBackend;
+use crate::error::Result;
 use crate::ops::linear::{BsgsEntry, BsgsPlan};
 
 /// A cyclic diagonal-sparse complex matrix of dimension `n`:
@@ -233,44 +232,69 @@ pub(crate) fn build_stc_stages(
     stages
 }
 
-/// Encodes one stage matrix into a [`BsgsPlan`] of device plaintexts at the
-/// given application level.
+/// Baby-step count for a stage with `num_diags` diagonals (shared by
+/// encoding and the structure-only rotation-shift computation).
+fn baby_count_for(num_diags: usize) -> usize {
+    (1usize
+        << (((num_diags as f64).sqrt().ceil() as usize)
+            .next_power_of_two()
+            .trailing_zeros()))
+    .max(1)
+}
+
+/// The rotation shifts a BSGS application of `stage` requires, computed from
+/// the diagonal structure alone (no encoding, no backend).
+pub(crate) fn stage_shifts(stage: &DiagMatrix) -> Vec<i32> {
+    let n1 = baby_count_for(stage.num_diags());
+    let mut shifts = Vec::new();
+    for &shift in stage.diags.keys() {
+        let giant = shift / n1;
+        let baby = shift % n1;
+        if baby != 0 {
+            shifts.push(baby as i32);
+        }
+        if giant != 0 {
+            shifts.push((giant * n1) as i32);
+        }
+    }
+    shifts.sort_unstable();
+    shifts.dedup();
+    shifts
+}
+
+/// Encodes one stage matrix into a [`BsgsPlan`] of backend-preloaded
+/// plaintexts at the given application level.
 pub(crate) fn encode_stage(
-    ctx: &Arc<CkksContext>,
+    backend: &dyn EvalBackend,
     client: &ClientContext,
     stage: &DiagMatrix,
     level: usize,
     slots: usize,
-) -> BsgsPlan {
+) -> Result<BsgsPlan> {
     // FLEXIBLEAUTO-exact plaintext scale: after the post-apply rescale the
     // ciphertext lands back on the standard ladder.
-    let q_l = ctx.moduli_q()[level].value() as f64;
-    let pt_scale = q_l * ctx.standard_scale(level - 1) / ctx.standard_scale(level);
+    let q_l = backend.modulus_value(level) as f64;
+    let pt_scale = q_l * backend.standard_scale(level - 1) / backend.standard_scale(level);
     let num_diags = stage.num_diags();
-    let n1 = (1usize
-        << (((num_diags as f64).sqrt().ceil() as usize)
-            .next_power_of_two()
-            .trailing_zeros()))
-    .max(1);
+    let n1 = baby_count_for(num_diags);
     let mut entries = Vec::with_capacity(num_diags);
     for (&shift, values) in &stage.diags {
         let giant = shift / n1;
         let baby = shift % n1;
-        let pt = if stage.numeric && ctx.gpu().is_functional() {
+        let pt = if stage.numeric && backend.is_functional() {
             // Pre-rotate right by giant·n1.
             let n = stage.n;
             let rotated: Vec<Complex64> = (0..n)
                 .map(|k| values[(k + n - (giant * n1) % n) % n])
                 .collect();
             let raw = client.encode(&rotated, pt_scale, level);
-            adapter::load_plaintext(ctx, &raw)
-                .expect("internally encoded diagonals are always loadable")
+            backend.load_plain(&raw)?
         } else {
-            adapter::placeholder_plaintext(ctx, level, pt_scale, slots)
+            backend.placeholder_plain(level, pt_scale, slots)?
         };
         entries.push(BsgsEntry { giant, baby, pt });
     }
-    BsgsPlan { n1, entries }
+    Ok(BsgsPlan { n1, entries })
 }
 
 #[cfg(test)]

@@ -7,6 +7,14 @@
 //! DFT stage matrices applied through BSGS ciphertext×plaintext-matrix
 //! products with hoisted rotations; ApproxModEval approximates
 //! `(q_0/2π)·sin(2π t/q_0)` to recover `m ≪ q_0` from `t = m + q_0·I`.
+//!
+//! The pipeline is **backend-generic**: every step is expressed through the
+//! [`EvalBackend`] trait, so the same [`Bootstrapper`] drives both the
+//! simulated-GPU pipeline and the CPU reference backend and produces
+//! bit-identical ciphertexts on each (the cross-backend bootstrap tests
+//! assert frame equality). On backends with graph execution each phase
+//! records into one `ExecGraph`, so the scheduling pass fuses and
+//! stream-remaps across the whole transform rather than op by op.
 
 pub(crate) mod chebyshev;
 pub(crate) mod cts;
@@ -18,14 +26,14 @@ use fides_client::{ClientContext, Domain};
 use fides_gpu_sim::{KernelDesc, KernelKind, VectorGpu};
 use fides_math::switch_modulus_centered;
 
-pub use chebyshev::{chebyshev_coefficients, eval_chebyshev_plain};
+pub use chebyshev::{chebyshev_coefficients, eval_chebyshev_plain, trim_degree};
 pub use poly_eval::ChebyshevEvaluator;
 
+use crate::backend::{BackendCt, EvalBackend};
 use crate::ciphertext::Ciphertext;
-use crate::context::{ChainIdx, CkksContext};
+use crate::context::ChainIdx;
 use crate::error::{FidesError, Result};
 use crate::kernels;
-use crate::keys::EvalKeySet;
 use crate::ops::linear::{fold_rotations, BsgsPlan};
 use crate::poly::{Limb, LimbPartition, RNSPoly};
 
@@ -63,15 +71,70 @@ impl BootstrapConfig {
             degree: 40,
         }
     }
+
+    fn stage_counts(&self) -> (usize, usize) {
+        let log_slots = self.slots.trailing_zeros().max(1) as usize;
+        (
+            self.level_budget.0.min(log_slots),
+            self.level_budget.1.min(log_slots),
+        )
+    }
 }
 
-/// Precomputed bootstrapping state for one `(context, config)` pair.
+/// Every rotation shift the bootstrap circuit for `config` needs keys for,
+/// computed from the transform *structure* alone (no key material, no
+/// backend) — the engine builder calls this before key generation.
+pub fn required_rotations(n: usize, config: &BootstrapConfig) -> Vec<i32> {
+    let n_s = config.slots;
+    if !n_s.is_power_of_two() || n_s > n / 2 {
+        return Vec::new(); // invalid configs are rejected by `Bootstrapper::new`
+    }
+    let (n_cts, n_stc) = config.stage_counts();
+    let g_fold = (n / 2) / n_s;
+    let mut shifts: Vec<i32> = Vec::new();
+    for i in 0..g_fold.trailing_zeros() {
+        shifts.push((n_s << i) as i32);
+    }
+    let cts = cts::build_cts_stages(n_s, n_cts, 1.0, false);
+    let stc = cts::build_stc_stages(n_s, n_stc, 1.0, false);
+    for stage in cts.iter().chain(&stc) {
+        shifts.extend(cts::stage_shifts(stage));
+    }
+    shifts.sort_unstable();
+    shifts.dedup();
+    shifts.retain(|&s| s != 0);
+    shifts
+}
+
+/// Per-phase timings of one bootstrap invocation (µs). On the simulated-GPU
+/// backend these are simulated device times (device-wide sync between
+/// phases); on the CPU backend, wall-clock times.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BootPhases {
+    /// ModRaise: centered modulus switching up the whole chain.
+    pub mod_raise_us: f64,
+    /// Sparse-packing trace fold (0 for fully packed ciphertexts).
+    pub fold_us: f64,
+    /// CoeffToSlot: BSGS stage-matrix products with hoisted rotations.
+    pub coeff_to_slot_us: f64,
+    /// Conjugate extraction + ApproxModEval on both halves + recombination.
+    pub eval_mod_us: f64,
+    /// SlotToCoeff: the inverse transform.
+    pub slot_to_coeff_us: f64,
+    /// Whole-pipeline time.
+    pub total_us: f64,
+}
+
+/// Precomputed bootstrapping state for one `(backend, config)` pair.
 ///
 /// Construction performs all §III-E-style precomputation: stage matrices,
-/// their encoded plaintext diagonals, and the Chebyshev coefficients.
+/// their encoded plaintext diagonals (preloaded into the backend's native
+/// plaintext form), and the Chebyshev coefficients.
 #[derive(Debug)]
 pub struct Bootstrapper {
     config: BootstrapConfig,
+    /// Ring degree of the session this bootstrapper was built for.
+    n: usize,
     cts_plans: Vec<BsgsPlan>,
     stc_plans: Vec<BsgsPlan>,
     cheby_coeffs: Vec<f64>,
@@ -82,35 +145,29 @@ pub struct Bootstrapper {
 }
 
 impl Bootstrapper {
-    /// Builds all precomputed material. The client context performs the
-    /// plaintext encoding of the DFT diagonals (encoding is a client-side
-    /// operation in the FIDESlib architecture).
+    /// Builds all precomputed material against `backend`. The client context
+    /// performs the plaintext encoding of the DFT diagonals (encoding is a
+    /// client-side operation in the FIDESlib architecture); the backend
+    /// preloads them into its native form.
     ///
     /// # Errors
     ///
     /// [`FidesError::InvalidParams`] if the parameter chain is too shallow
     /// for the configured transform budgets and approximation depth.
     pub fn new(
-        ctx: &Arc<CkksContext>,
+        backend: &dyn EvalBackend,
         client: &ClientContext,
         config: BootstrapConfig,
     ) -> Result<Self> {
-        let n = ctx.n();
+        let n = client.n();
         let n_s = config.slots;
         if !n_s.is_power_of_two() || n_s > n / 2 {
             return Err(FidesError::InvalidParams(format!(
                 "invalid slot count {n_s}"
             )));
         }
-        let levels_max = ctx.max_level();
-        let n_cts = config
-            .level_budget
-            .0
-            .min(n_s.trailing_zeros().max(1) as usize);
-        let n_stc = config
-            .level_budget
-            .1
-            .min(n_s.trailing_zeros().max(1) as usize);
+        let levels_max = backend.max_level();
+        let (n_cts, n_stc) = config.stage_counts();
         let cheby_depth = ChebyshevEvaluator::depth_estimate(config.degree);
         let needed = n_cts + cheby_depth + config.double_angles as usize + n_stc;
         if needed >= levels_max {
@@ -122,13 +179,13 @@ impl Bootstrapper {
 
         let g_fold = (n / 2) / n_s;
         let fold_iters = g_fold.trailing_zeros();
-        let q0 = ctx.moduli_q()[0].value() as f64;
+        let q0 = backend.modulus_value(0) as f64;
         // The raised ciphertext lives at the top of the chain; reinterpret
         // its scale to the ladder value THERE so every downstream operation
         // stays scale-consistent (the ladder drifts away from Δ at low
         // levels, so anchoring at level 0 would inject an off-ladder scale).
-        let sigma_ref = ctx.standard_scale(levels_max);
-        let numeric = ctx.gpu().is_functional();
+        let sigma_ref = backend.standard_scale(levels_max);
+        let numeric = backend.is_functional();
 
         // CtS: α = σ_ref / (g·K·q_0) — yields slots u with t/q_0 = K·u/2
         // after the ×2 of conjugate extraction.
@@ -142,13 +199,13 @@ impl Bootstrapper {
         let mut lvl = levels_max;
         let mut cts_plans = Vec::with_capacity(cts_mats.len());
         for m in &cts_mats {
-            cts_plans.push(cts::encode_stage(ctx, client, m, lvl, n_s));
+            cts_plans.push(cts::encode_stage(backend, client, m, lvl, n_s)?);
             lvl -= 1;
         }
         lvl -= cheby_depth + config.double_angles as usize;
         let mut stc_plans = Vec::with_capacity(stc_mats.len());
         for m in &stc_mats {
-            stc_plans.push(cts::encode_stage(ctx, client, m, lvl, n_s));
+            stc_plans.push(cts::encode_stage(backend, client, m, lvl, n_s)?);
             lvl -= 1;
         }
 
@@ -168,6 +225,7 @@ impl Bootstrapper {
 
         Ok(Self {
             config,
+            n,
             cts_plans,
             stc_plans,
             cheby_coeffs,
@@ -189,28 +247,47 @@ impl Bootstrapper {
     }
 
     /// Every rotation shift the bootstrap circuit needs keys for (the client
-    /// generates exactly these).
+    /// generates exactly these) — identical to
+    /// [`required_rotations`]`(n, config)`, the structure-only form the
+    /// engine builder uses before the backend exists.
     pub fn required_rotations(&self) -> Vec<i32> {
-        let mut shifts: Vec<i32> = Vec::new();
-        for i in 0..self.fold_iters {
-            shifts.push((self.config.slots << i) as i32);
-        }
-        for plan in self.cts_plans.iter().chain(&self.stc_plans) {
-            shifts.extend(plan.required_shifts());
-        }
-        shifts.sort_unstable();
-        shifts.dedup();
-        shifts.retain(|&s| s != 0);
-        shifts
+        required_rotations(self.n, &self.config)
     }
 
     /// Refreshes a ciphertext: returns an encryption of (approximately) the
-    /// same message at a high level (Bootstrap in Fig. 1).
+    /// same message at a high level (Bootstrap in Fig. 1). `backend` must be
+    /// the backend this bootstrapper was precomputed against.
     ///
     /// # Errors
     ///
     /// Missing keys, slot mismatch, or insufficient levels.
-    pub fn bootstrap(&self, ct: &Ciphertext, keys: &EvalKeySet) -> Result<Ciphertext> {
+    pub fn bootstrap(&self, backend: &dyn EvalBackend, ct: &BackendCt) -> Result<BackendCt> {
+        Ok(self.run(backend, ct, false)?.0)
+    }
+
+    /// As [`Bootstrapper::bootstrap`], additionally reporting per-phase
+    /// times. Phase boundaries force a device-wide sync on simulated
+    /// backends, so the total can exceed an untimed run where phases would
+    /// overlap across streams.
+    ///
+    /// # Errors
+    ///
+    /// As [`Bootstrapper::bootstrap`].
+    pub fn bootstrap_phased(
+        &self,
+        backend: &dyn EvalBackend,
+        ct: &BackendCt,
+    ) -> Result<(BackendCt, BootPhases)> {
+        let (out, phases) = self.run(backend, ct, true)?;
+        Ok((out, phases.expect("timed run reports phases")))
+    }
+
+    fn run(
+        &self,
+        backend: &dyn EvalBackend,
+        ct: &BackendCt,
+        timed: bool,
+    ) -> Result<(BackendCt, Option<BootPhases>)> {
         if ct.slots() != self.config.slots {
             return Err(FidesError::SlotMismatch {
                 left: ct.slots(),
@@ -219,68 +296,135 @@ impl Bootstrapper {
         }
         let sigma_ref = self.sigma_ref;
         let rho = ct.scale() / sigma_ref;
+        let wall = std::time::Instant::now();
+        let now = |on: bool| -> f64 {
+            if !on {
+                return 0.0;
+            }
+            backend
+                .sync_time_us()
+                .unwrap_or_else(|| wall.elapsed().as_secs_f64() * 1e6)
+        };
+        let mut phases = BootPhases::default();
+        let t0 = now(timed);
 
         // 1. ModRaise from the lowest level to the top of the chain.
-        let mut low = ct.duplicate();
-        low.drop_to_level(0)?;
-        let raised_c0 = raise_to_top(low.c0());
-        let raised_c1 = raise_to_top(low.c1());
-        let mut work = Ciphertext::from_parts(
-            raised_c0,
-            raised_c1,
-            sigma_ref, // scale reinterpretation; ρ restored at the end
-            self.config.slots,
-            ct.noise_log2(),
-        );
+        let mut work = in_graph(backend, || {
+            let mut low = ct.duplicate();
+            backend.drop_to_level(&mut low, 0)?;
+            let mut raised = backend.mod_raise(&low)?;
+            // Scale reinterpretation; ρ restored at the end.
+            raised.set_scale(sigma_ref);
+            Ok(raised)
+        })?;
+        let t1 = now(timed);
+        phases.mod_raise_us = t1 - t0;
 
         // 2. Sparse packing: trace-fold onto the subring.
         if self.fold_iters > 0 {
-            work = fold_rotations(&work, self.config.slots as i32, self.fold_iters, keys)?;
+            work = in_graph(backend, || {
+                fold_rotations(backend, &work, self.config.slots as i32, self.fold_iters)
+            })?;
         }
+        let t2 = now(timed);
+        phases.fold_us = t2 - t1;
 
-        // 3. CoeffToSlot.
-        for plan in &self.cts_plans {
-            work = plan.apply(&work, keys)?;
-        }
+        // 3. CoeffToSlot: one recorded graph across all stages.
+        work = in_graph(backend, || {
+            let mut w = work;
+            for plan in &self.cts_plans {
+                w = plan.apply(backend, &w)?;
+            }
+            Ok(w)
+        })?;
+        let t3 = now(timed);
+        phases.coeff_to_slot_us = t3 - t2;
 
-        // 4. Conjugate extraction: re = c + conj(c) = 2a·γ,
-        //    im = i·(conj(c) − c) = 2b·γ.
-        let conj = work.conjugate(keys)?;
-        let re = work.add(&conj)?;
-        let im = conj.sub(&work)?.mul_by_i();
+        // 4–6. Conjugate extraction, ApproxModEval on both halves,
+        // recombination a + i·b.
+        let comb = in_graph(backend, || {
+            // re = c + conj(c) = 2a·γ, im = i·(conj(c) − c) = 2b·γ.
+            let conj = backend.conjugate(&work)?;
+            let re = backend.add(&work, &conj)?;
+            let im = backend.mul_by_i(&backend.sub(&conj, &work)?)?;
 
-        // 5. ApproxModEval on both halves.
-        let re_sin = self.approx_mod(&re, keys)?;
-        let im_sin = self.approx_mod(&im, keys)?;
+            let re_sin = self.approx_mod(backend, &re)?;
+            let im_sin = self.approx_mod(backend, &im)?;
 
-        // 6. Recombine a + i·b.
-        let lvl = re_sin.level().min(im_sin.level());
-        let mut comb = re_sin;
-        comb.drop_to_level(lvl)?;
-        let mut im_part = im_sin.mul_by_i();
-        im_part.drop_to_level(lvl)?;
-        comb.add_assign_ct(&im_part)?;
+            let lvl = re_sin.level().min(im_sin.level());
+            let mut comb = re_sin;
+            backend.drop_to_level(&mut comb, lvl)?;
+            let mut im_part = backend.mul_by_i(&im_sin)?;
+            backend.drop_to_level(&mut im_part, lvl)?;
+            backend.add(&comb, &im_part)
+        })?;
+        let t4 = now(timed);
+        phases.eval_mod_us = t4 - t3;
 
-        // 7. SlotToCoeff.
-        for plan in &self.stc_plans {
-            comb = plan.apply(&comb, keys)?;
-        }
+        // 7. SlotToCoeff: again one graph across all stages.
+        let mut comb = in_graph(backend, || {
+            let mut c = comb;
+            for plan in &self.stc_plans {
+                c = plan.apply(backend, &c)?;
+            }
+            Ok(c)
+        })?;
+        let t5 = now(timed);
+        phases.slot_to_coeff_us = t5 - t4;
+        phases.total_us = t5 - t0;
 
         // 8. Restore the caller's scale interpretation.
         let s = comb.scale();
         comb.set_scale(s * rho);
-        Ok(comb)
+        Ok((comb, timed.then_some(phases)))
     }
 
     /// Chebyshev series + double-angle iterations.
-    fn approx_mod(&self, ct: &Ciphertext, keys: &EvalKeySet) -> Result<Ciphertext> {
-        let ev = ChebyshevEvaluator::new(ct, self.config.degree, keys)?;
+    fn approx_mod(&self, backend: &dyn EvalBackend, ct: &BackendCt) -> Result<BackendCt> {
+        let ev = ChebyshevEvaluator::new(backend, ct, self.config.degree)?;
         let mut c = ev.evaluate(&self.cheby_coeffs)?;
         for _ in 0..self.config.double_angles {
-            c = poly_eval::double_angle_step(&c, keys)?;
+            c = poly_eval::double_angle_step(backend, &c)?;
         }
         Ok(c)
     }
+}
+
+/// Runs `f` inside one deferred-execution graph region of `backend` (no-op
+/// on backends without graph execution). Mirrors the engine's `eval_scope`:
+/// errors still close (and execute) the region; panics discard it.
+fn in_graph<R>(backend: &dyn EvalBackend, f: impl FnOnce() -> Result<R>) -> Result<R> {
+    let began = backend.graph_begin();
+    struct AbortGuard<'a> {
+        backend: &'a dyn EvalBackend,
+        armed: bool,
+    }
+    impl Drop for AbortGuard<'_> {
+        fn drop(&mut self) {
+            if self.armed {
+                self.backend.graph_abort();
+            }
+        }
+    }
+    let mut guard = AbortGuard {
+        backend,
+        armed: began,
+    };
+    let r = f();
+    if began {
+        guard.armed = false;
+        backend.graph_end();
+    }
+    r
+}
+
+/// Device-side ModRaise (the gpu-sim backend's
+/// [`mod_raise`](EvalBackend::mod_raise)): both components raised by
+/// [`raise_to_top`].
+pub(crate) fn raise_device(ct: &Ciphertext) -> Ciphertext {
+    let c0 = raise_to_top(ct.c0());
+    let c1 = raise_to_top(ct.c1());
+    Ciphertext::from_parts(c0, c1, ct.scale(), ct.slots(), ct.noise_log2())
 }
 
 /// ModRaise: extends a level-0 polynomial to the full chain by centered

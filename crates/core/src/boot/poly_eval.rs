@@ -1,15 +1,18 @@
 //! Encrypted Chebyshev-series evaluation: BSGS baby/giant steps plus the
 //! Paterson–Stockmeyer recursion over the Chebyshev basis (§III-F.7,
 //! following OpenFHE's EvalChebyshevSeriesPS).
+//!
+//! The evaluator is backend-generic: it drives any [`EvalBackend`] through
+//! trait operations only, so both execution substrates run the identical
+//! sequence of ring operations and produce bit-identical ciphertexts.
 
+use crate::backend::{BackendCt, EvalBackend};
 use crate::boot::chebyshev::{long_division_chebyshev, trim_degree};
-use crate::ciphertext::Ciphertext;
-use crate::error::Result;
-use crate::keys::EvalKeySet;
+use crate::error::{FidesError, Result};
 
 /// Result of a sub-evaluation: either a ciphertext or an exact constant.
 enum Val {
-    Ct(Ciphertext),
+    Ct(BackendCt),
     Const(f64),
 }
 
@@ -19,11 +22,11 @@ enum Val {
 /// (at predictable depth) and aligned to a common level; the series is then
 /// evaluated by recursive Chebyshev long division.
 pub struct ChebyshevEvaluator<'a> {
-    keys: &'a EvalKeySet,
+    backend: &'a dyn EvalBackend,
     /// `baby[i]` holds `T_i` for `1 ≤ i < k`.
-    baby: Vec<Ciphertext>,
+    baby: Vec<BackendCt>,
     /// `(degree, T_degree)` for `degree = k·2^j`, ascending.
-    giants: Vec<(usize, Ciphertext)>,
+    giants: Vec<(usize, BackendCt)>,
     k: usize,
 }
 
@@ -54,28 +57,28 @@ impl<'a> ChebyshevEvaluator<'a> {
     /// # Errors
     ///
     /// Missing relinearization key or insufficient levels.
-    pub fn new(ct: &Ciphertext, degree: usize, keys: &'a EvalKeySet) -> Result<Self> {
+    pub fn new(backend: &'a dyn EvalBackend, ct: &BackendCt, degree: usize) -> Result<Self> {
         let k = Self::baby_count(degree);
         // T_1..T_{k-1}.
-        let mut baby: Vec<Ciphertext> = vec![ct.duplicate()];
+        let mut baby: Vec<BackendCt> = vec![ct.duplicate()];
         for i in 2..k {
             let a = i.div_ceil(2);
             let b = i / 2;
-            let t = mul_chebyshev(&baby[a - 1], &baby[b - 1], i % 2 == 0, &baby, keys)?;
+            let t = mul_chebyshev(backend, &baby[a - 1], &baby[b - 1], i % 2 == 0, &baby)?;
             baby.push(t);
         }
         // Giants: T_k, T_2k, ...
-        let mut giants: Vec<(usize, Ciphertext)> = Vec::new();
+        let mut giants: Vec<(usize, BackendCt)> = Vec::new();
         {
             // T_k = 2·T_{k/2}² − 1.
             let half = &baby[k / 2 - 1];
-            let t_k = double_angle_step(half, keys)?;
+            let t_k = double_angle_step(backend, half)?;
             giants.push((k, t_k));
         }
         let mut d = 2 * k;
         while d <= degree {
-            let prev = &giants.last().unwrap().1;
-            let next = double_angle_step(prev, keys)?;
+            let prev = &giants.last().expect("giants start non-empty").1;
+            let next = double_angle_step(backend, prev)?;
             giants.push((d, next));
             d *= 2;
         }
@@ -87,13 +90,13 @@ impl<'a> ChebyshevEvaluator<'a> {
             .min()
             .expect("non-empty");
         for c in baby.iter_mut() {
-            c.drop_to_level(base)?;
+            backend.drop_to_level(c, base)?;
         }
         for (_, c) in giants.iter_mut() {
-            c.drop_to_level(base)?;
+            backend.drop_to_level(c, base)?;
         }
         Ok(Self {
-            keys,
+            backend,
             baby,
             giants,
             k,
@@ -110,42 +113,39 @@ impl<'a> ChebyshevEvaluator<'a> {
     /// # Errors
     ///
     /// Missing keys or insufficient levels.
-    pub fn evaluate(&self, coeffs: &[f64]) -> Result<Ciphertext> {
+    pub fn evaluate(&self, coeffs: &[f64]) -> Result<BackendCt> {
         match self.eval_rec(coeffs)? {
             Val::Ct(c) => Ok(c),
             Val::Const(c) => {
                 // Degenerate all-constant series: materialize via 0·T_1 + c.
-                let mut out = self.baby[0].mul_scalar_rescale(0.0)?;
-                out.add_scalar_assign(c);
-                Ok(out)
+                let out = mul_scalar_rescale(self.backend, &self.baby[0], 0.0)?;
+                self.backend.add_scalar(&out, c)
             }
         }
     }
 
     fn eval_rec(&self, coeffs: &[f64]) -> Result<Val> {
+        let backend = self.backend;
         let d = trim_degree(coeffs);
         if d == 0 {
             return Ok(Val::Const(coeffs.first().copied().unwrap_or(0.0)));
         }
         if d < self.k {
             // Direct baby-step combination: Σ c_j·T_j + c_0.
-            let mut acc: Option<Ciphertext> = None;
+            let mut acc: Option<BackendCt> = None;
             for (j, &c) in coeffs.iter().enumerate().skip(1).take(d) {
                 if c == 0.0 {
                     continue;
                 }
-                let term = self.baby[j - 1].mul_scalar_rescale(c)?;
-                match &mut acc {
-                    None => acc = Some(term),
-                    Some(a) => a.add_assign_ct(&term)?,
-                }
+                let term = mul_scalar_rescale(backend, &self.baby[j - 1], c)?;
+                acc = Some(match acc {
+                    None => term,
+                    Some(a) => backend.add(&a, &term)?,
+                });
             }
             return Ok(match acc {
                 None => Val::Const(coeffs[0]),
-                Some(mut a) => {
-                    a.add_scalar_assign(coeffs[0]);
-                    Val::Ct(a)
-                }
+                Some(a) => Val::Ct(backend.add_scalar(&a, coeffs[0])?),
             });
         }
         // Split at the largest giant ≤ d.
@@ -160,66 +160,86 @@ impl<'a> ChebyshevEvaluator<'a> {
         let er = self.eval_rec(&r)?;
         // out = eq·T_g + er.
         let mut out = match eq {
-            Val::Const(c) => g_ct.mul_scalar_rescale(c)?,
+            Val::Const(c) => mul_scalar_rescale(backend, g_ct, c)?,
             Val::Ct(cq) => {
                 let lvl = cq.level().min(g_ct.level());
                 let mut a = cq;
-                a.drop_to_level(lvl)?;
+                backend.drop_to_level(&mut a, lvl)?;
                 let mut b = g_ct.duplicate();
-                b.drop_to_level(lvl)?;
-                let mut prod = a.mul(&b, self.keys)?;
-                prod.rescale_in_place()?;
+                backend.drop_to_level(&mut b, lvl)?;
+                let mut prod = backend.mul(&a, &b)?;
+                backend.rescale(&mut prod)?;
                 prod
             }
         };
         match er {
             Val::Const(c) => {
-                out.add_scalar_assign(c);
+                out = backend.add_scalar(&out, c)?;
             }
             Val::Ct(mut cr) => {
                 let lvl = out.level().min(cr.level());
-                out.drop_to_level(lvl)?;
-                cr.drop_to_level(lvl)?;
-                out.add_assign_ct(&cr)?;
+                backend.drop_to_level(&mut out, lvl)?;
+                backend.drop_to_level(&mut cr, lvl)?;
+                out = backend.add(&out, &cr)?;
             }
         }
         Ok(Val::Ct(out))
     }
 }
 
+/// ScalarMult by a constant encoded at exactly `q_ℓ · σ_{ℓ-1} / σ_ℓ`,
+/// immediately rescaled — a ciphertext on the standard-scale ladder stays on
+/// it (the policy of `Ciphertext::mul_scalar_rescale`, backend-generic).
+pub(crate) fn mul_scalar_rescale(
+    backend: &dyn EvalBackend,
+    ct: &BackendCt,
+    c: f64,
+) -> Result<BackendCt> {
+    let l = ct.level();
+    if l == 0 {
+        return Err(FidesError::NotEnoughLevels {
+            needed: 1,
+            available: 0,
+        });
+    }
+    let q_l = backend.modulus_value(l) as f64;
+    let const_scale = q_l * backend.standard_scale(l - 1) / backend.standard_scale(l);
+    let mut out = backend.mul_scalar_at(ct, c, const_scale)?;
+    backend.rescale(&mut out)?;
+    Ok(out)
+}
+
 /// `T_{a+b} = 2·T_a·T_b − T_{a−b}` where `a = ⌈i/2⌉, b = ⌊i/2⌋`; subtracts
 /// `T_0 = 1` for even `i` and `T_1` for odd `i`.
 fn mul_chebyshev(
-    ta: &Ciphertext,
-    tb: &Ciphertext,
+    backend: &dyn EvalBackend,
+    ta: &BackendCt,
+    tb: &BackendCt,
     even: bool,
-    baby: &[Ciphertext],
-    keys: &EvalKeySet,
-) -> Result<Ciphertext> {
+    baby: &[BackendCt],
+) -> Result<BackendCt> {
     let lvl = ta.level().min(tb.level());
     let mut a = ta.duplicate();
-    a.drop_to_level(lvl)?;
+    backend.drop_to_level(&mut a, lvl)?;
     let mut b = tb.duplicate();
-    b.drop_to_level(lvl)?;
-    let mut prod = a.mul(&b, keys)?;
-    prod.rescale_in_place()?;
-    let mut out = prod.mul_int(2);
+    backend.drop_to_level(&mut b, lvl)?;
+    let mut prod = backend.mul(&a, &b)?;
+    backend.rescale(&mut prod)?;
+    let out = backend.mul_int(&prod, 2)?;
     if even {
-        out.add_scalar_assign(-1.0);
+        backend.add_scalar(&out, -1.0)
     } else {
         let mut t1 = baby[0].duplicate();
-        t1.drop_to_level(out.level())?;
-        out.sub_assign_ct(&t1)?;
+        backend.drop_to_level(&mut t1, out.level())?;
+        backend.sub(&out, &t1)
     }
-    Ok(out)
 }
 
 /// One double-angle step: `T_{2m} = 2·T_m² − 1` (also `cos 2θ = 2cos²θ − 1`,
 /// the ApproxModEval iteration).
-pub(crate) fn double_angle_step(ct: &Ciphertext, keys: &EvalKeySet) -> Result<Ciphertext> {
-    let mut sq = ct.square(keys)?;
-    sq.rescale_in_place()?;
-    let mut out = sq.mul_int(2);
-    out.add_scalar_assign(-1.0);
-    Ok(out)
+pub(crate) fn double_angle_step(backend: &dyn EvalBackend, ct: &BackendCt) -> Result<BackendCt> {
+    let mut sq = backend.square(ct)?;
+    backend.rescale(&mut sq)?;
+    let out = backend.mul_int(&sq, 2)?;
+    backend.add_scalar(&out, -1.0)
 }

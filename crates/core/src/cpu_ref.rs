@@ -26,7 +26,7 @@
 //!    divergence localizes bugs to the execution machinery rather than the
 //!    math.
 //! 2. **Multi-backend support.** `CkksEngine` accepts any
-//!    [`EvalBackend`](crate::backend::EvalBackend); this is the first
+//!    [`EvalBackend`]; this is the first
 //!    non-simulator implementation and the template for a real-hardware one.
 //! 3. **Real wall-clock throughput.** With the worker pool it is the
 //!    fastest in-tree way to actually *run* encrypted workloads, and the
@@ -54,7 +54,8 @@ use parking_lot::Mutex;
 use rayon::prelude::*;
 use rayon::{ThreadPool, ThreadPoolBuilder};
 
-use crate::backend::{BackendCt, EvalBackend};
+use crate::backend::{BackendCt, BackendPt, EvalBackend};
+use crate::boot::Bootstrapper;
 use crate::ciphertext::SCALE_TOLERANCE;
 use crate::error::{FidesError, Result};
 
@@ -73,6 +74,20 @@ pub struct HostCiphertext {
     pub slots: usize,
     /// Static noise estimate (log2).
     pub noise_log2: f64,
+}
+
+/// A preloaded plaintext as plain host data: evaluation-domain `q` limbs
+/// (the CPU half of [`BackendPt`]).
+#[derive(Clone, Debug)]
+pub struct HostPlaintext {
+    /// Evaluation-domain limbs (one per active prime).
+    pub limbs: Vec<Vec<u64>>,
+    /// Chain index of the top active prime.
+    pub level: usize,
+    /// Exact encoding scale.
+    pub scale: f64,
+    /// Packed slot count.
+    pub slots: usize,
 }
 
 /// Limb vectors of a polynomial pair `(c_0, c_1)`.
@@ -102,6 +117,9 @@ struct HostContext {
     p_inv_mod_q: Vec<ShoupPrecomp>,
     /// FLEXIBLEAUTO-style standard scale per level.
     standard_scale: Vec<f64>,
+    /// `NTT(X^{N/2}) mod q_i` — the imaginary-unit monomial used by
+    /// bootstrapping's real/imaginary extraction.
+    monomial_half: Vec<Vec<u64>>,
     /// Cached evaluation-domain automorphism permutations.
     perms: Mutex<HashMap<usize, Arc<Vec<u32>>>>,
 }
@@ -152,6 +170,17 @@ impl HostContext {
             standard_scale[l] = s_next * s_next / moduli_q[l + 1].value() as f64;
         }
 
+        // NTT(X^{N/2}) per q prime.
+        let monomial_half: Vec<Vec<u64>> = ntt_q
+            .iter()
+            .map(|t| {
+                let mut v = vec![0u64; n];
+                v[n / 2] = 1;
+                t.forward_inplace(&mut v);
+                v
+            })
+            .collect();
+
         Self {
             raw,
             moduli_q,
@@ -163,6 +192,7 @@ impl HostContext {
             mod_down,
             p_inv_mod_q,
             standard_scale,
+            monomial_half,
             perms: Mutex::new(HashMap::new()),
         }
     }
@@ -359,6 +389,8 @@ pub struct CpuBackend {
     /// Rotation keys by Galois element.
     rotations: HashMap<usize, RawSwitchingKey>,
     conj: Option<RawSwitchingKey>,
+    /// Precomputed bootstrapping material, when configured.
+    boot: Option<Bootstrapper>,
     /// Worker pool per-limb loops run on.
     pool: ThreadPool,
 }
@@ -373,6 +405,7 @@ impl CpuBackend {
             relin: None,
             rotations: HashMap::new(),
             conj: None,
+            boot: None,
             pool: ThreadPoolBuilder::new()
                 .build()
                 .expect("thread pool construction is infallible"),
@@ -408,6 +441,12 @@ impl CpuBackend {
     /// Installs the conjugation key.
     pub fn set_conj_key(&mut self, key: RawSwitchingKey) {
         self.conj = Some(key);
+    }
+
+    /// Attaches precomputed bootstrapping material (built against this
+    /// backend with [`Bootstrapper::new`]).
+    pub fn set_bootstrapper(&mut self, boot: Bootstrapper) {
+        self.boot = Some(boot);
     }
 
     fn host<'a>(&self, ct: &'a BackendCt) -> Result<&'a HostCiphertext> {
@@ -523,6 +562,34 @@ impl CpuBackend {
     /// `par_iter` inside resolves to [`Self::workers`] threads).
     fn on_pool<R>(&self, f: impl FnOnce() -> R) -> R {
         self.pool.install(f)
+    }
+
+    /// ModRaise of one component: the coefficient form of limb 0 is switched
+    /// (centered) onto every upper prime — the host mirror of the device
+    /// `raise_to_top` kernel sequence, limb-parallel over destinations.
+    fn raise_limbs(&self, limbs: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        let target = self.hctx.max_level();
+        let q0 = self.hctx.moduli_q[0];
+        let mut coeff0 = limbs[0].clone();
+        self.hctx.ntt_q[0].inverse_inplace(&mut coeff0);
+        let mut out = Vec::with_capacity(target + 1);
+        // Limb 0: the original evaluation-form data.
+        out.push(limbs[0].clone());
+        // Remaining limbs: centered switch + NTT, one worker per limb.
+        let upper: Vec<Vec<u64>> = (1..target + 1)
+            .into_par_iter()
+            .map(|i| {
+                let m = &self.hctx.moduli_q[i];
+                let mut t: Vec<u64> = coeff0
+                    .iter()
+                    .map(|&v| switch_modulus_centered(v, &q0, m))
+                    .collect();
+                self.hctx.ntt_q[i].forward_inplace(&mut t);
+                t
+            })
+            .collect();
+        out.extend(upper);
+        out
     }
 }
 
@@ -857,6 +924,198 @@ impl EvalBackend for CpuBackend {
         Ok(BackendCt::Host(
             self.on_pool(|| self.apply_galois(ct, g, key))?,
         ))
+    }
+
+    fn hoisted_rotations(&self, a: &BackendCt, shifts: &[i32]) -> Result<Vec<BackendCt>> {
+        let ct = self.host(a)?;
+        let n = self.hctx.n();
+        // Check all keys up front.
+        for &k in shifts {
+            if k != 0 {
+                let g = galois_for_rotation(k, n);
+                if !self.rotations.contains_key(&g) {
+                    return Err(FidesError::MissingKey(format!("rotation(g={g})")));
+                }
+            }
+        }
+        let level = ct.level;
+        let num_q_full = self.hctx.max_level() + 1;
+        let alpha = self.hctx.alpha();
+        let digits = self.hctx.partition.digits_at_level(level);
+        self.on_pool(|| {
+            // Hoisted: decompose + ModUp of c1 once, shared across shifts
+            // (Halevi–Shoup, §III-F.6); the automorphism commutes with the
+            // digit decomposition, so permuting the lifted limbs afterwards
+            // is bit-identical to rotate-then-keyswitch.
+            let lifted: Vec<Vec<Vec<u64>>> = (0..digits)
+                .map(|j| self.hctx.mod_up_digit(&ct.c1, j, level))
+                .collect();
+            let mut out = Vec::with_capacity(shifts.len());
+            for &k in shifts {
+                if k == 0 {
+                    out.push(BackendCt::Host(ct.clone()));
+                    continue;
+                }
+                let g = galois_for_rotation(k, n);
+                let key = &self.rotations[&g];
+                let perm = self.hctx.perm(g);
+                let total = level + 1 + alpha;
+                let mut acc0 = vec![vec![0u64; n]; total];
+                let mut acc1 = vec![vec![0u64; n]; total];
+                let chain_of = |idx: usize| {
+                    if idx <= level {
+                        (&self.hctx.moduli_q[idx], idx)
+                    } else {
+                        (
+                            &self.hctx.moduli_p[idx - (level + 1)],
+                            num_q_full + (idx - (level + 1)),
+                        )
+                    }
+                };
+                for (j, lift) in lifted.iter().enumerate() {
+                    // Permute the lifted digit, then accumulate the key inner
+                    // products limb-parallel (disjoint output slots).
+                    let permuted: Vec<Vec<u64>> = (0..lift.len())
+                        .into_par_iter()
+                        .map(|idx| {
+                            let mut p = vec![0u64; n];
+                            fides_math::automorphism_eval(&lift[idx], &perm, &mut p);
+                            p
+                        })
+                        .collect();
+                    acc0.par_iter_mut().enumerate().for_each(|(idx, acc)| {
+                        let (m, key_idx) = chain_of(idx);
+                        m.mul_add_assign_slices(
+                            acc,
+                            &permuted[idx],
+                            &key.digits[j].b.limbs[key_idx],
+                        );
+                    });
+                    acc1.par_iter_mut().enumerate().for_each(|(idx, acc)| {
+                        let (m, key_idx) = chain_of(idx);
+                        m.mul_add_assign_slices(
+                            acc,
+                            &permuted[idx],
+                            &key.digits[j].a.limbs[key_idx],
+                        );
+                    });
+                }
+                self.hctx.mod_down(&mut acc0, level);
+                self.hctx.mod_down(&mut acc1, level);
+                let mut c0: Vec<Vec<u64>> = (0..ct.c0.len())
+                    .into_par_iter()
+                    .map(|i| {
+                        let mut p = vec![0u64; n];
+                        fides_math::automorphism_eval(&ct.c0[i], &perm, &mut p);
+                        p
+                    })
+                    .collect();
+                c0.par_iter_mut().enumerate().for_each(|(i, limb)| {
+                    self.hctx.moduli_q[i].add_assign_slices(limb, &acc0[i]);
+                });
+                out.push(BackendCt::Host(HostCiphertext {
+                    c0,
+                    c1: acc1,
+                    level,
+                    scale: ct.scale,
+                    slots: ct.slots,
+                    noise_log2: ct.noise_log2 + 1.0,
+                }));
+            }
+            Ok(out)
+        })
+    }
+
+    fn load_plain(&self, raw: &RawPlaintext) -> Result<BackendPt> {
+        if raw.level > self.hctx.max_level() {
+            return Err(FidesError::LevelOutOfRange {
+                level: raw.level,
+                max: self.hctx.max_level(),
+            });
+        }
+        let limbs = self.on_pool(|| self.plain_to_eval(raw))?;
+        Ok(BackendPt::Host(HostPlaintext {
+            limbs,
+            level: raw.level,
+            scale: raw.scale,
+            slots: raw.slots,
+        }))
+    }
+
+    fn mul_plain_pre(&self, a: &BackendCt, pt: &BackendPt) -> Result<BackendCt> {
+        let a = self.host(a)?;
+        let pt = match pt {
+            BackendPt::Host(p) => p,
+            BackendPt::Device(_) => {
+                return Err(FidesError::Unsupported(
+                    "device plaintext handed to the cpu-reference backend".into(),
+                ))
+            }
+        };
+        if pt.level != a.level {
+            return Err(FidesError::LevelMismatch {
+                left: a.level,
+                right: pt.level,
+            });
+        }
+        let mut out = a.clone();
+        self.on_pool(|| {
+            out.c0.par_iter_mut().enumerate().for_each(|(i, limb)| {
+                self.hctx.moduli_q[i].mul_assign_slices(limb, &pt.limbs[i]);
+            });
+            out.c1.par_iter_mut().enumerate().for_each(|(i, limb)| {
+                self.hctx.moduli_q[i].mul_assign_slices(limb, &pt.limbs[i]);
+            });
+        });
+        out.scale = a.scale * pt.scale;
+        out.noise_log2 = a.noise_log2 + 1.0;
+        Ok(BackendCt::Host(out))
+    }
+
+    fn mod_raise(&self, a: &BackendCt) -> Result<BackendCt> {
+        let ct = self.host(a)?;
+        if ct.level != 0 {
+            return Err(FidesError::LevelMismatch {
+                left: ct.level,
+                right: 0,
+            });
+        }
+        let (c0, c1) = self.on_pool(|| (self.raise_limbs(&ct.c0), self.raise_limbs(&ct.c1)));
+        Ok(BackendCt::Host(HostCiphertext {
+            c0,
+            c1,
+            level: self.hctx.max_level(),
+            scale: ct.scale,
+            slots: ct.slots,
+            noise_log2: ct.noise_log2,
+        }))
+    }
+
+    fn mul_by_i(&self, a: &BackendCt) -> Result<BackendCt> {
+        let a = self.host(a)?;
+        let mut out = a.clone();
+        self.on_pool(|| {
+            out.c0.par_iter_mut().enumerate().for_each(|(i, limb)| {
+                self.hctx.moduli_q[i].mul_assign_slices(limb, &self.hctx.monomial_half[i]);
+            });
+            out.c1.par_iter_mut().enumerate().for_each(|(i, limb)| {
+                self.hctx.moduli_q[i].mul_assign_slices(limb, &self.hctx.monomial_half[i]);
+            });
+        });
+        Ok(BackendCt::Host(out))
+    }
+
+    fn bootstrap(&self, a: &BackendCt) -> Result<BackendCt> {
+        let boot = self.boot.as_ref().ok_or_else(|| {
+            FidesError::Unsupported(
+                "bootstrapping: engine was built without .bootstrap_slots(..)".into(),
+            )
+        })?;
+        boot.bootstrap(self, a)
+    }
+
+    fn min_bootstrap_level(&self) -> Option<usize> {
+        self.boot.as_ref().map(|b| b.min_output_level())
     }
 }
 

@@ -56,11 +56,11 @@ mod params;
 mod poly;
 pub mod sched;
 
-pub use backend::{BackendCt, EvalBackend, GpuSimBackend};
-pub use boot::{BootstrapConfig, Bootstrapper};
+pub use backend::{BackendCt, BackendPt, EvalBackend, GpuSimBackend};
+pub use boot::{BootPhases, BootstrapConfig, Bootstrapper};
 pub use ciphertext::{Ciphertext, Plaintext, SCALE_TOLERANCE};
 pub use context::{ChainIdx, CkksContext, EvalPerm, NUM_STREAMS};
-pub use cpu_ref::{CpuBackend, HostCiphertext};
+pub use cpu_ref::{CpuBackend, HostCiphertext, HostPlaintext};
 pub use error::{FidesError, Result};
 pub use keys::{EvalKeySet, KeySwitchingKey};
 pub use ops::linear::{fold_rotations, BsgsEntry, BsgsPlan};

@@ -1,16 +1,21 @@
 //! Ciphertext × plaintext-matrix products via BSGS over diagonals, plus
 //! rotate-and-add folding — the building blocks of CoeffToSlot/SlotToCoeff
 //! (§III-F.7).
+//!
+//! Both routines are backend-generic: they drive any [`EvalBackend`] through
+//! its trait surface (hoisted rotations, preloaded-plaintext products), so
+//! the simulated-GPU pipeline and the CPU reference backend execute the
+//! identical operation sequence and agree bit for bit.
 
 use std::collections::BTreeMap;
 
-use crate::ciphertext::{Ciphertext, Plaintext};
+use crate::backend::{BackendCt, BackendPt, EvalBackend};
 use crate::error::{FidesError, Result};
-use crate::keys::EvalKeySet;
 
 /// One diagonal of a BSGS-decomposed matrix: the plaintext is the diagonal at
 /// shift `giant·n1 + baby`, **pre-rotated** left by `−giant·n1` at
-/// construction time (the standard BSGS trick).
+/// construction time (the standard BSGS trick), preloaded into the owning
+/// backend's native plaintext form.
 #[derive(Debug)]
 pub struct BsgsEntry {
     /// Giant-step multiple (`shift / n1`).
@@ -18,7 +23,7 @@ pub struct BsgsEntry {
     /// Baby-step offset (`shift % n1`).
     pub baby: usize,
     /// Pre-rotated encoded diagonal.
-    pub pt: Plaintext,
+    pub pt: BackendPt,
 }
 
 /// A plaintext matrix in BSGS form.
@@ -72,13 +77,13 @@ impl BsgsPlan {
     /// # Errors
     ///
     /// Level mismatch with the encoded diagonals or missing rotation keys.
-    pub fn apply(&self, ct: &Ciphertext, keys: &EvalKeySet) -> Result<Ciphertext> {
+    pub fn apply(&self, backend: &dyn EvalBackend, ct: &BackendCt) -> Result<BackendCt> {
         let pt_level = self.entries[0].pt.level();
         // Tolerate inputs above the encoded level (LevelReduce down to it).
         let owned;
         let ct = if ct.level() > pt_level {
             let mut d = ct.duplicate();
-            d.drop_to_level(pt_level)?;
+            backend.drop_to_level(&mut d, pt_level)?;
             owned = d;
             &owned
         } else {
@@ -91,11 +96,10 @@ impl BsgsPlan {
                 right: pt_level,
             });
         }
-        let pt_scale = self.entries[0].pt.scale();
         // Hoisted baby rotations (0 handled as a copy inside).
         let mut baby_shift_list = vec![0i32];
         baby_shift_list.extend(self.baby_shifts());
-        let babies = ct.hoisted_rotations(&baby_shift_list, keys)?;
+        let babies = backend.hoisted_rotations(ct, &baby_shift_list)?;
         let baby_index: BTreeMap<usize, usize> = baby_shift_list
             .iter()
             .enumerate()
@@ -108,29 +112,30 @@ impl BsgsPlan {
             by_giant.entry(e.giant).or_default().push(e);
         }
 
-        let mut acc: Option<Ciphertext> = None;
+        let mut acc: Option<BackendCt> = None;
         for (&giant, entries) in &by_giant {
             // Inner sum: Σ_b pt ⊙ baby_b at scale ct.scale · pt.scale.
-            let mut inner =
-                Ciphertext::zero(ct.context(), level, ct.scale() * pt_scale, ct.slots());
+            let mut inner: Option<BackendCt> = None;
             for e in entries {
-                let baby_ct = &babies[baby_index[&e.baby]];
-                inner.c0.mul_add_assign_poly(&baby_ct.c0, &e.pt.poly);
-                inner.c1.mul_add_assign_poly(&baby_ct.c1, &e.pt.poly);
+                let term = backend.mul_plain_pre(&babies[baby_index[&e.baby]], &e.pt)?;
+                inner = Some(match inner {
+                    None => term,
+                    Some(acc) => backend.add(&acc, &term)?,
+                });
             }
-            inner.noise_log2 = ct.noise_log2() + 2.0;
+            let inner = inner.expect("giant group has at least one diagonal");
             let rotated = if giant == 0 {
                 inner
             } else {
-                inner.rotate((giant * self.n1) as i32, keys)?
+                backend.rotate(&inner, (giant * self.n1) as i32)?
             };
-            match &mut acc {
-                None => acc = Some(rotated),
-                Some(a) => a.add_assign_ct(&rotated)?,
-            }
+            acc = Some(match acc {
+                None => rotated,
+                Some(a) => backend.add(&a, &rotated)?,
+            });
         }
         let mut out = acc.expect("plan has at least one diagonal");
-        out.rescale_in_place()?;
+        backend.rescale(&mut out)?;
         Ok(out)
     }
 }
@@ -143,16 +148,16 @@ impl BsgsPlan {
 ///
 /// Missing rotation keys for `step·2^i`.
 pub fn fold_rotations(
-    ct: &Ciphertext,
+    backend: &dyn EvalBackend,
+    ct: &BackendCt,
     step: i32,
     iterations: u32,
-    keys: &EvalKeySet,
-) -> Result<Ciphertext> {
+) -> Result<BackendCt> {
     let mut acc = ct.duplicate();
     for i in 0..iterations {
         let shift = step * (1 << i);
-        let rotated = acc.rotate(shift, keys)?;
-        acc.add_assign_ct(&rotated)?;
+        let rotated = backend.rotate(&acc, shift)?;
+        acc = backend.add(&acc, &rotated)?;
     }
     Ok(acc)
 }

@@ -27,8 +27,9 @@
 //!    instead — see [`cpu_ref`](crate::cpu_ref))
 //! ```
 //!
-//! **Recording.** Ops run inside [`CkksContext::scheduled`]
-//! (crate::CkksContext::scheduled), which opens a capture region on the
+//! **Recording.** Ops run inside
+//! [`CkksContext::scheduled`](crate::CkksContext::scheduled), which opens a
+//! capture region on the
 //! simulated device: each would-be launch becomes a [`KernelNode`] carrying
 //! its stream, limb-batch descriptor and kind; each
 //! `sync_batch_streams` becomes a barrier, splitting the graph into
@@ -50,8 +51,8 @@
 //! (`kernel_launch_us`, the minimum-kernel floor) amortize, which is
 //! precisely the effect the paper measures.
 //!
-//! **Execution.** [`ExecPlan::execute`] replays the planned launches onto
-//! the device through a [`PlanExecutor`]. The stock executor,
+//! **Execution.** [`PlanExecutor::execute`] replays the planned launches
+//! onto the device. The stock executor,
 //! [`GpuReplayExecutor`], drives the multi-stream gpu-sim timeline: per-
 //! stream occupancy is tracked by the simulator
 //! ([`SimStats::stream_occupancy`](fides_gpu_sim::SimStats::stream_occupancy))

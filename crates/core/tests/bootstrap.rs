@@ -1,13 +1,18 @@
 //! Functional bootstrapping tests: the complete pipeline executed bit-exactly
 //! at reduced ring degree, validated by client-side decryption — the
 //! integration-test methodology of the paper applied to its headline feature.
+//!
+//! The pipeline is backend-generic; these tests drive it through the
+//! simulated-GPU backend (the workspace-level `bootstrap_roundtrip` suite
+//! adds the CPU backend and cross-backend bit-identity).
 
 use std::sync::Arc;
 
 use fides_client::{ClientContext, KeyGenerator, RawSwitchingKey, SecretKey};
 use fides_core::boot::{chebyshev_coefficients, eval_chebyshev_plain, ChebyshevEvaluator};
 use fides_core::{
-    adapter, BootstrapConfig, Bootstrapper, Ciphertext, CkksContext, CkksParameters, EvalKeySet,
+    adapter, BackendCt, BootstrapConfig, Bootstrapper, CkksContext, CkksParameters, EvalBackend,
+    EvalKeySet, GpuSimBackend,
 };
 use fides_gpu_sim::{DeviceSpec, ExecMode, GpuSim};
 use rand::rngs::StdRng;
@@ -40,8 +45,7 @@ impl Harness {
 
     fn keys_with_rotations(&self, shifts: &[i32]) -> EvalKeySet {
         let mut kg = KeyGenerator::new(&self.client, 0xb002);
-        // Re-derive the same secret key stream? No: keys must match self.sk,
-        // so generate from the stored secret.
+        // Keys must match self.sk, so generate from the stored secret.
         let relin = kg.relinearization_key(&self.sk);
         let rots: Vec<(i32, RawSwitchingKey)> = shifts
             .iter()
@@ -51,15 +55,23 @@ impl Harness {
         adapter::load_eval_keys(&self.ctx, Some(&relin), &rots, Some(&conj)).unwrap()
     }
 
-    fn encrypt_at(&mut self, values: &[f64], level: usize) -> Ciphertext {
+    /// A gpu-sim backend holding keys for `shifts` (plus relin + conj).
+    fn backend(&self, shifts: &[i32]) -> GpuSimBackend {
+        GpuSimBackend::new(Arc::clone(&self.ctx), self.keys_with_rotations(shifts))
+    }
+
+    fn encrypt_at(&mut self, values: &[f64], level: usize) -> BackendCt {
         let pt = self
             .client
             .encode_real(values, self.ctx.standard_scale(level), level);
         let raw = self.client.encrypt(&pt, &self.pk, &mut self.rng);
-        adapter::load_ciphertext(&self.ctx, &raw).unwrap()
+        BackendCt::Device(adapter::load_ciphertext(&self.ctx, &raw).unwrap())
     }
 
-    fn decrypt(&self, ct: &Ciphertext) -> Vec<f64> {
+    fn decrypt(&self, ct: &BackendCt) -> Vec<f64> {
+        let BackendCt::Device(ct) = ct else {
+            panic!("harness produces device ciphertexts")
+        };
         let raw = adapter::store_ciphertext(ct);
         self.client
             .decode_real(&self.client.decrypt(&raw, &self.sk))
@@ -71,14 +83,14 @@ impl Harness {
 #[test]
 fn chebyshev_evaluator_matches_plain() {
     let mut h = Harness::new(CkksParameters::toy_boot());
-    let keys = h.keys_with_rotations(&[]);
+    let backend = h.backend(&[]);
     let degree = 23;
     let coeffs = chebyshev_coefficients(|x| (1.5 * x).sin() * 0.7 + 0.2 * x, -1.0, 1.0, degree);
     let inputs: Vec<f64> = (0..16)
         .map(|i| -1.0 + 2.0 * (i as f64 + 0.5) / 16.0)
         .collect();
     let ct = h.encrypt_at(&inputs, h.ctx.max_level());
-    let ev = ChebyshevEvaluator::new(&ct, degree, &keys).unwrap();
+    let ev = ChebyshevEvaluator::new(&backend, &ct, degree).unwrap();
     let out = ev.evaluate(&coeffs).unwrap();
     let consumed = h.ctx.max_level() - out.level();
     assert!(
@@ -98,7 +110,7 @@ fn chebyshev_evaluator_matches_plain() {
 #[test]
 fn approx_mod_sine_pipeline() {
     let mut h = Harness::new(CkksParameters::toy_boot());
-    let keys = h.keys_with_rotations(&[]);
+    let backend = h.backend(&[]);
     let k_range = 128.0f64;
     let r = 6u32;
     let degree = 40usize;
@@ -113,14 +125,15 @@ fn approx_mod_sine_pipeline() {
         .map(|i| (i as f64 - 8.0) / (k_range * 4.0))
         .collect();
     let ct = h.encrypt_at(&inputs, h.ctx.max_level());
-    let ev = ChebyshevEvaluator::new(&ct, degree, &keys).unwrap();
+    let ev = ChebyshevEvaluator::new(&backend, &ct, degree).unwrap();
     let mut c = ev.evaluate(&coeffs).unwrap();
     for _ in 0..r {
         // double angle: 2c² − 1
-        let mut sq = c.square(&keys).unwrap();
-        sq.rescale_in_place().unwrap();
-        c = sq.mul_int(2);
-        c.add_scalar_assign(-1.0);
+        let mut sq = backend.square(&c).unwrap();
+        backend.rescale(&mut sq).unwrap();
+        c = backend
+            .add_scalar(&backend.mul_int(&sq, 2).unwrap(), -1.0)
+            .unwrap();
     }
     let got = h.decrypt(&c);
     for (i, (&u, g)) in inputs.iter().zip(&got).enumerate() {
@@ -138,18 +151,19 @@ fn bootstrap_refreshes_levels_and_preserves_message() {
     let mut h = Harness::new(CkksParameters::toy_boot());
     let slots = 8usize;
     let config = BootstrapConfig::for_slots(slots);
-    let boot = Bootstrapper::new(&h.ctx, &h.client, config).unwrap();
-    let keys = h.keys_with_rotations(&boot.required_rotations());
+    let shifts = fides_core::boot::required_rotations(h.ctx.n(), &config);
+    let backend = h.backend(&shifts);
+    let boot = Bootstrapper::new(&backend, &h.client, config).unwrap();
 
     let values: Vec<f64> = (0..slots)
         .map(|i| 0.35 * ((i as f64) * 0.9).sin())
         .collect();
     // Encrypt at the bottom of the chain (level 0): nothing left to compute.
     let mut ct = h.encrypt_at(&values, h.ctx.max_level());
-    ct.drop_to_level(0).unwrap();
+    backend.drop_to_level(&mut ct, 0).unwrap();
     assert_eq!(ct.level(), 0);
 
-    let refreshed = boot.bootstrap(&ct, &keys).unwrap();
+    let refreshed = boot.bootstrap(&backend, &ct).unwrap();
     assert!(
         refreshed.level() >= boot.min_output_level(),
         "refreshed level {} below promised {}",
@@ -167,22 +181,30 @@ fn bootstrap_refreshes_levels_and_preserves_message() {
     }
 }
 
-/// Bootstrapped ciphertexts must support further computation.
+/// Bootstrapped ciphertexts must support further computation, and the timed
+/// entry point must attribute the pipeline to its phases.
 #[test]
 fn bootstrap_output_is_computable() {
     let mut h = Harness::new(CkksParameters::toy_boot());
     let slots = 8usize;
-    let boot = Bootstrapper::new(&h.ctx, &h.client, BootstrapConfig::for_slots(slots)).unwrap();
-    let keys = h.keys_with_rotations(&boot.required_rotations());
+    let config = BootstrapConfig::for_slots(slots);
+    let shifts = fides_core::boot::required_rotations(h.ctx.n(), &config);
+    let backend = h.backend(&shifts);
+    let boot = Bootstrapper::new(&backend, &h.client, config).unwrap();
 
     let values: Vec<f64> = (0..slots).map(|i| 0.2 + 0.05 * i as f64).collect();
     let mut ct = h.encrypt_at(&values, h.ctx.max_level());
-    ct.drop_to_level(0).unwrap();
-    let refreshed = boot.bootstrap(&ct, &keys).unwrap();
+    backend.drop_to_level(&mut ct, 0).unwrap();
+    let (refreshed, phases) = boot.bootstrap_phased(&backend, &ct).unwrap();
+    assert!(phases.total_us > 0.0);
+    assert!(
+        phases.coeff_to_slot_us > 0.0 && phases.eval_mod_us > 0.0 && phases.slot_to_coeff_us > 0.0,
+        "every phase must be attributed simulated time: {phases:?}"
+    );
 
     // Square the refreshed ciphertext — impossible before bootstrapping.
-    let mut sq = refreshed.square(&keys).unwrap();
-    sq.rescale_in_place().unwrap();
+    let mut sq = backend.square(&refreshed).unwrap();
+    backend.rescale(&mut sq).unwrap();
     let got = h.decrypt(&sq);
     for (i, (v, g)) in values.iter().zip(&got).enumerate() {
         assert!((v * v - g).abs() < 0.03, "slot {i}: {g} vs {}", v * v);
@@ -193,7 +215,8 @@ fn bootstrap_output_is_computable() {
 #[test]
 fn bootstrap_rejects_shallow_chains() {
     let h = Harness::new(CkksParameters::toy());
-    let err = Bootstrapper::new(&h.ctx, &h.client, BootstrapConfig::for_slots(8));
+    let backend = h.backend(&[]);
+    let err = Bootstrapper::new(&backend, &h.client, BootstrapConfig::for_slots(8));
     assert!(err.is_err(), "4-level chain cannot host bootstrapping");
 }
 
@@ -204,7 +227,6 @@ fn bootstrap_cost_only_at_paper_scale() {
     let ctx = CkksContext::new(CkksParameters::paper_default(), Arc::clone(&gpu));
     let client = ClientContext::new(ctx.raw_params().clone());
     let config = BootstrapConfig::for_slots(1 << 14);
-    let boot = Bootstrapper::new(&ctx, &client, config).unwrap();
 
     // Placeholder keys (values irrelevant in cost-only mode).
     let mut keys = EvalKeySet::new();
@@ -225,14 +247,21 @@ fn bootstrap_cost_only_at_paper_scale() {
     };
     keys.set_mult(adapter::load_switching_key(&ctx, &mk()).unwrap());
     keys.set_conj(adapter::load_switching_key(&ctx, &mk()).unwrap());
-    for shift in boot.required_rotations() {
+    for shift in fides_core::boot::required_rotations(ctx.n(), &config) {
         let g = fides_client::galois_for_rotation(shift, ctx.n());
         keys.insert_rotation(g, adapter::load_switching_key(&ctx, &mk()).unwrap());
     }
 
-    let ct = adapter::placeholder_ciphertext(&ctx, 0, ctx.standard_scale(0), 1 << 14);
+    let backend = GpuSimBackend::new(Arc::clone(&ctx), keys);
+    let boot = Bootstrapper::new(&backend, &client, config).unwrap();
+    let ct = BackendCt::Device(adapter::placeholder_ciphertext(
+        &ctx,
+        0,
+        ctx.standard_scale(0),
+        1 << 14,
+    ));
     let t0 = gpu.sync();
-    let refreshed = boot.bootstrap(&ct, &keys).unwrap();
+    let refreshed = boot.bootstrap(&backend, &ct).unwrap();
     let dt_us = gpu.sync() - t0;
     assert!(refreshed.level() >= boot.min_output_level());
     // Table VI: FIDESlib bootstraps 16384 slots in ~112 ms on the 4090.

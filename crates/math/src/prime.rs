@@ -5,7 +5,7 @@
 //! selects the first modulus and the auxiliary (`P`) moduli near `2^60` and
 //! the scaling moduli near `2^Δ`, alternating above/below the target so that
 //! the product of any window stays close to a power of the scale (this is the
-//! "careful tracking of scaling factors" prerequisite of [36]).
+//! "careful tracking of scaling factors" prerequisite of \[36\]).
 
 /// Deterministic Miller–Rabin primality test, exact for all `u64`.
 ///

@@ -9,8 +9,10 @@
 
 pub mod loans;
 pub mod lr;
+pub mod lr_boot;
 pub mod lr_engine;
 
 pub use loans::LoanDataset;
 pub use lr::{LrConfig, LrTrainer};
+pub use lr_boot::{BootTrainStats, BootstrappedLrTrainer};
 pub use lr_engine::EngineLrTrainer;

@@ -1,6 +1,6 @@
 //! Encrypted logistic-regression training (paper §IV-B, Table VII).
 //!
-//! Follows the Han et al. [51] approach the paper adapts: mini-batches of
+//! Follows the Han et al. \[51\] approach the paper adapts: mini-batches of
 //! `b` samples × `f` (power-of-two padded) features packed sample-major into
 //! `b·f` slots, rotation-based folds for the dot products and gradient
 //! reductions, a degree-3 polynomial sigmoid, and mini-batch gradient

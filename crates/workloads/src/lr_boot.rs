@@ -1,0 +1,249 @@
+//! Unbounded-depth encrypted LR training: gradient descent with automatic
+//! bootstrapping whenever the weight ciphertext runs out of levels — the
+//! paper's Table VII workload ("iteration + bootstrap") as a *functional*
+//! training loop rather than a cost model.
+//!
+//! Each [`EngineLrTrainer`] iteration consumes
+//! [`EngineLrTrainer::LEVELS_PER_ITERATION`] levels; without bootstrapping a
+//! chain of depth `L` caps training at `⌊L/6⌋` iterations. This trainer
+//! refreshes the weights through [`Ct::bootstrap`] when the next iteration
+//! would not fit, so the epoch count is limited only by noise — training
+//! runs **past the chain's level budget**.
+//!
+//! ```no_run
+//! use fides_api::{BackendChoice, BootstrapConfig, CkksEngine};
+//! use fides_workloads::{BootstrappedLrTrainer, LrConfig};
+//!
+//! let cfg = LrConfig { batch: 4, features: 4, learning_rate: 1.0 };
+//! let engine = CkksEngine::builder()
+//!     .log_n(11)
+//!     .levels(26)
+//!     .scale_bits(50)
+//!     .first_mod_bits(55)
+//!     .dnum(3)
+//!     .backend(BackendChoice::Cpu)
+//!     .rotations(&cfg.required_rotations())
+//!     .bootstrap_config(BootstrapConfig {
+//!         slots: cfg.slots(),
+//!         level_budget: (2, 2),
+//!         k_range: 128.0,
+//!         double_angles: 6,
+//!         degree: 40,
+//!     })
+//!     .seed(7)
+//!     .build()?;
+//! let trainer = BootstrappedLrTrainer::new(&engine, cfg)?;
+//! # Ok::<(), fides_api::FidesError>(())
+//! ```
+
+use fides_api::{CkksEngine, Ct, FidesError, Result};
+
+use crate::lr::LrConfig;
+use crate::lr_engine::EngineLrTrainer;
+
+/// Encrypted LR trainer that bootstraps the weight ciphertext whenever the
+/// next iteration would exhaust the modulus chain.
+///
+/// The session must have been built with
+/// `.rotations(&config.required_rotations())` **and** bootstrapping for
+/// `config.slots()` slots, with `min_bootstrap_level()` of at least
+/// [`EngineLrTrainer::LEVELS_PER_ITERATION`].
+#[derive(Debug)]
+pub struct BootstrappedLrTrainer<'a> {
+    inner: EngineLrTrainer<'a>,
+    engine: &'a CkksEngine,
+}
+
+/// Outcome of a bootstrapped training run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BootTrainStats {
+    /// Gradient-descent iterations executed.
+    pub iterations: usize,
+    /// Bootstraps interleaved between them.
+    pub bootstraps: usize,
+}
+
+impl<'a> BootstrappedLrTrainer<'a> {
+    /// Creates the trainer, validating that the session can both run
+    /// iterations and refresh between them.
+    ///
+    /// # Errors
+    ///
+    /// [`FidesError::InvalidParams`] for shape violations (see
+    /// [`EngineLrTrainer::new`]), [`FidesError::Unsupported`] when the
+    /// session has no bootstrapping material or refreshes too shallow to
+    /// continue training.
+    pub fn new(engine: &'a CkksEngine, config: LrConfig) -> Result<Self> {
+        let inner = EngineLrTrainer::new(engine, config)?;
+        let min_out = engine.min_bootstrap_level().ok_or_else(|| {
+            FidesError::Unsupported(
+                "bootstrapped training needs a session built with .bootstrap_slots(..)".into(),
+            )
+        })?;
+        if min_out < EngineLrTrainer::LEVELS_PER_ITERATION {
+            return Err(FidesError::Unsupported(format!(
+                "bootstrap returns ciphertexts at level {min_out}, below the {} levels one LR \
+                 iteration consumes — deepen the chain or cheapen the transform budgets",
+                EngineLrTrainer::LEVELS_PER_ITERATION
+            )));
+        }
+        Ok(Self { inner, engine })
+    }
+
+    /// The wrapped per-iteration trainer.
+    pub fn trainer(&self) -> &EngineLrTrainer<'a> {
+        &self.inner
+    }
+
+    /// Runs `iterations` gradient-descent steps from `w0`, bootstrapping the
+    /// weights whenever fewer than [`EngineLrTrainer::LEVELS_PER_ITERATION`]
+    /// levels remain. Returns the final weights and the iteration/bootstrap
+    /// counts.
+    ///
+    /// # Errors
+    ///
+    /// Missing keys or insufficient levels (only possible when the session
+    /// violates the construction-time validation).
+    pub fn train(
+        &self,
+        w0: &Ct,
+        x: &Ct,
+        y: &Ct,
+        iterations: usize,
+    ) -> Result<(Ct, BootTrainStats)> {
+        let mut stats = BootTrainStats::default();
+        let mut w = w0.clone();
+        for _ in 0..iterations {
+            if w.level() < EngineLrTrainer::LEVELS_PER_ITERATION {
+                w = self.engine.bootstrap(&w)?;
+                stats.bootstraps += 1;
+            }
+            w = self.inner.iteration(&w, x, y)?;
+            stats.iterations += 1;
+        }
+        Ok((w, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lr::{SIGMOID_C0, SIGMOID_C1, SIGMOID_C3};
+    use fides_api::{BackendChoice, BootstrapConfig, CkksEngine};
+
+    fn boot_engine() -> CkksEngine {
+        let cfg = test_cfg();
+        CkksEngine::builder()
+            .log_n(11)
+            .levels(26)
+            .scale_bits(50)
+            .first_mod_bits(55)
+            .dnum(3)
+            .backend(BackendChoice::Cpu)
+            .rotations(&cfg.required_rotations())
+            .bootstrap_config(BootstrapConfig {
+                slots: cfg.slots(),
+                level_budget: (2, 2),
+                k_range: 128.0,
+                double_angles: 6,
+                degree: 40,
+            })
+            .seed(0x17b)
+            .build()
+            .expect("bootstrapped LR parameters are valid")
+    }
+
+    fn test_cfg() -> LrConfig {
+        LrConfig {
+            batch: 4,
+            features: 4,
+            learning_rate: 1.0,
+        }
+    }
+
+    /// Plaintext mirror of the encrypted iteration (same polynomial
+    /// sigmoid), for convergence cross-checks.
+    fn plain_iteration(cfg: &LrConfig, w: &mut [f64], xs: &[Vec<f64>], ys: &[f64]) {
+        let b = cfg.batch;
+        let mut grad = vec![0.0; cfg.features];
+        for (row, &label) in xs.iter().zip(ys) {
+            let z: f64 = row.iter().zip(w.iter()).map(|(a, b)| a * b).sum();
+            let p = SIGMOID_C0 + SIGMOID_C1 * z + SIGMOID_C3 * z * z * z;
+            let e = label - p;
+            for (g, &xi) in grad.iter_mut().zip(row) {
+                *g += e * xi;
+            }
+        }
+        for (wi, g) in w.iter_mut().zip(&grad) {
+            *wi += cfg.learning_rate / b as f64 * g;
+        }
+    }
+
+    /// Training must run past the chain's level budget (26 levels = 4
+    /// iterations) by bootstrapping, and stay close to the plaintext
+    /// trajectory.
+    #[test]
+    fn trains_past_the_level_budget() {
+        let engine = boot_engine();
+        let cfg = test_cfg();
+        let trainer = BootstrappedLrTrainer::new(&engine, cfg).unwrap();
+
+        let xs: Vec<Vec<f64>> = (0..cfg.batch)
+            .map(|i| {
+                (0..cfg.features)
+                    .map(|j| 0.3 * (((i * cfg.features + j) % 5) as f64 / 5.0 - 0.4))
+                    .collect()
+            })
+            .collect();
+        let ys: Vec<f64> = (0..cfg.batch).map(|i| (i % 2) as f64).collect();
+        let row_refs: Vec<&[f64]> = xs.iter().map(|r| r.as_slice()).collect();
+        let x = trainer.trainer().encrypt_features(&row_refs).unwrap();
+        let y = trainer.trainer().encrypt_labels(&ys).unwrap();
+        let w0 = trainer
+            .trainer()
+            .encrypt_weights(&vec![0.0; cfg.features])
+            .unwrap();
+
+        // 5 iterations need ≥ 30 levels of depth: impossible without a
+        // bootstrap on this 26-level chain.
+        let iters = 5usize;
+        let (w, stats) = trainer.train(&w0, &x, &y, iters).unwrap();
+        assert_eq!(stats.iterations, iters);
+        assert!(
+            stats.bootstraps >= 1,
+            "training past the budget must have bootstrapped"
+        );
+
+        let got = trainer.trainer().decrypt_weights(&w).unwrap();
+        let mut expect = vec![0.0; cfg.features];
+        for _ in 0..iters {
+            plain_iteration(&cfg, &mut expect, &xs, &ys);
+        }
+        for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+            assert!(
+                (g - e).abs() < 0.05,
+                "weight {i}: encrypted {g} vs plaintext {e}"
+            );
+        }
+    }
+
+    /// Construction validates the refresh depth.
+    #[test]
+    fn rejects_sessions_without_bootstrapping() {
+        let cfg = test_cfg();
+        let engine = CkksEngine::builder()
+            .log_n(10)
+            .levels(9)
+            .scale_bits(40)
+            .dnum(2)
+            .backend(BackendChoice::Cpu)
+            .rotations(&cfg.required_rotations())
+            .seed(3)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            BootstrappedLrTrainer::new(&engine, cfg),
+            Err(FidesError::Unsupported(_))
+        ));
+    }
+}

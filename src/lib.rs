@@ -61,4 +61,6 @@ pub use fides_math as math;
 pub use fides_rns as rns;
 pub use fides_workloads as workloads;
 
-pub use fides_api::{BackendChoice, CkksEngine, Ct, FidesError, FusionConfig, Result, SchedStats};
+pub use fides_api::{
+    BackendChoice, BootstrapConfig, CkksEngine, Ct, FidesError, FusionConfig, Result, SchedStats,
+};

@@ -1,0 +1,87 @@
+//! Property test for the encrypted polynomial evaluator: the
+//! Paterson–Stockmeyer BSGS evaluation (`Ct::try_chebyshev`) must match the
+//! plain Horner-style recurrence (Clenshaw, the Chebyshev-basis form of
+//! Horner's rule) on random coefficients and evaluation points, within CKKS
+//! approximation error — on **both** backends.
+
+use fides_api::{BackendChoice, CkksEngine};
+use fides_core::boot::eval_chebyshev_plain;
+use proptest::prelude::*;
+
+fn engine(backend: BackendChoice, seed: u64) -> CkksEngine {
+    CkksEngine::builder()
+        .log_n(10)
+        .levels(9)
+        .scale_bits(40)
+        .dnum(2)
+        .backend(backend)
+        .seed(seed)
+        .build()
+        .expect("test parameters are valid")
+}
+
+/// Plain Horner/Clenshaw reference on `[-1, 1]`.
+fn reference(coeffs: &[f64], xs: &[f64]) -> Vec<f64> {
+    xs.iter()
+        .map(|&x| eval_chebyshev_plain(coeffs, -1.0, 1.0, x))
+        .collect()
+}
+
+/// Deterministic pseudo-random values in `[-1, 1]`.
+fn randoms(seed: u64, len: usize) -> Vec<f64> {
+    let mut s = seed | 1;
+    (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 2001) as f64 / 1000.0 - 1.0
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn paterson_stockmeyer_matches_horner_on_both_backends(
+        seed in any::<u64>(),
+        degree in 1usize..=12,
+        n_points in 4usize..=8,
+    ) {
+        // Random coefficients, normalized by their l1 norm so the series
+        // output stays within [-1, 1]-ish and precision bounds are uniform.
+        let raw_coeffs = randoms(seed.wrapping_mul(31).wrapping_add(5), degree + 1);
+        let l1: f64 = raw_coeffs.iter().map(|c| c.abs()).sum::<f64>().max(1.0);
+        let coeffs: Vec<f64> = raw_coeffs.iter().map(|c| c / l1).collect();
+        let points = randoms(seed, n_points);
+        let expect = reference(&coeffs, &points);
+
+        for backend in [BackendChoice::GpuSim, BackendChoice::Cpu] {
+            let e = engine(backend, seed);
+            let ct = e.encrypt(&points).unwrap();
+            let out = ct.try_chebyshev(&coeffs).unwrap();
+            let got = e.decrypt(&out).unwrap();
+            for (i, (g, want)) in got.iter().zip(&expect).enumerate() {
+                prop_assert!(
+                    (g - want).abs() < 2e-3,
+                    "{:?} slot {i}: PS {g} vs Horner {want}",
+                    backend
+                );
+            }
+        }
+    }
+}
+
+/// Degenerate series (constant, single term) still evaluate correctly.
+#[test]
+fn degenerate_series() {
+    let e = engine(BackendChoice::Cpu, 3);
+    let ct = e.encrypt(&[0.5, -0.5]).unwrap();
+    // Constant series: T_0 only.
+    let c = e.decrypt(&ct.try_chebyshev(&[0.25]).unwrap()).unwrap();
+    assert!((c[0] - 0.25).abs() < 1e-3 && (c[1] - 0.25).abs() < 1e-3);
+    // Pure T_1: identity.
+    let t1 = e.decrypt(&ct.try_chebyshev(&[0.0, 1.0]).unwrap()).unwrap();
+    assert!((t1[0] - 0.5).abs() < 1e-3 && (t1[1] + 0.5).abs() < 1e-3);
+}
