@@ -391,7 +391,7 @@ impl Ct {
         }
         let mut padded = values.to_vec();
         padded.resize(slots, 0.0);
-        Ok(self.inner.client.try_encode_real(&padded, scale, level)?)
+        Ok(self.inner.client.encode_real(&padded, scale, level)?)
     }
 }
 

@@ -25,6 +25,14 @@ pub enum BackendChoice {
     Cpu,
 }
 
+/// The engine's key material in client (wire) form, retained so sessions
+/// can be exported to a serving endpoint (see [`Session`](crate::Session)).
+pub(crate) struct RawEvalKeys {
+    pub(crate) relin: Option<fides_client::RawSwitchingKey>,
+    pub(crate) rotations: Vec<(i32, fides_client::RawSwitchingKey)>,
+    pub(crate) conj: Option<fides_client::RawSwitchingKey>,
+}
+
 /// Everything one encrypted session owns. [`Ct`] handles share it by `Arc`,
 /// so ciphertexts can be combined with plain operators without threading an
 /// engine reference around.
@@ -34,6 +42,34 @@ pub(crate) struct EngineInner {
     pub(crate) pk: RawPublicKey,
     pub(crate) backend: Box<dyn EvalBackend>,
     pub(crate) rng: Mutex<StdRng>,
+    pub(crate) raw_keys: RawEvalKeys,
+}
+
+impl EngineInner {
+    /// Validates slot capacity and pads `values` to the engine's canonical
+    /// packing — the next power of two — before encoding. This is the
+    /// **single** padding policy shared by encryption, plaintext
+    /// preloading and the wire session layer, so slot packings always
+    /// match across the engine and serving paths (CKKS packing makes the
+    /// slot count part of the encoding; mismatched packings would decode
+    /// to garbage, not errors).
+    pub(crate) fn encode_padded_real(
+        &self,
+        values: &[f64],
+        scale: f64,
+        level: usize,
+    ) -> Result<fides_client::RawPlaintext> {
+        let max_slots = self.client.n() / 2;
+        if values.len() > max_slots {
+            return Err(FidesError::Client(format!(
+                "operand has {} values but the ring packs {max_slots} slots",
+                values.len()
+            )));
+        }
+        let mut padded = values.to_vec();
+        padded.resize(values.len().next_power_of_two().max(1), 0.0);
+        Ok(self.client.encode_real(&padded, scale, level)?)
+    }
 }
 
 // Manual impl: the derived form would dump the secret key (and megabytes of
@@ -149,16 +185,11 @@ impl CkksEngine {
                 max: self.max_level(),
             });
         }
-        let mut padded = values.to_vec();
-        let slots = values.len().next_power_of_two().max(1);
-        padded.resize(slots, 0.0);
         let scale = self.inner.backend.standard_scale(level);
-        let pt = self.inner.client.try_encode_real(&padded, scale, level)?;
+        let pt = self.inner.encode_padded_real(values, scale, level)?;
         let raw = {
             let mut rng = self.inner.rng.lock().unwrap_or_else(|e| e.into_inner());
-            self.inner
-                .client
-                .try_encrypt(&pt, &self.inner.pk, &mut *rng)?
+            self.inner.client.encrypt(&pt, &self.inner.pk, &mut *rng)?
         };
         let ct = self.inner.backend.load(&raw)?;
         Ok(Ct {
@@ -176,8 +207,8 @@ impl CkksEngine {
     /// Backend `store` failures (e.g. a handle from another session).
     pub fn decrypt(&self, ct: &Ct) -> Result<Vec<f64>> {
         let raw = self.inner.backend.store(&ct.ct)?;
-        let pt = self.inner.client.try_decrypt(&raw, &self.inner.sk)?;
-        let mut out = self.inner.client.try_decode_real(&pt)?;
+        let pt = self.inner.client.decrypt(&raw, &self.inner.sk)?;
+        let mut out = self.inner.client.decode_real(&pt)?;
         out.truncate(ct.len);
         Ok(out)
     }
@@ -319,6 +350,77 @@ impl CkksEngine {
     /// The first error `op` reports (remaining items are skipped).
     pub fn eval_batch(&self, cts: &[Ct], op: impl Fn(&Ct) -> Result<Ct>) -> Result<Vec<Ct>> {
         self.eval_scope(|| cts.iter().map(&op).collect())
+    }
+
+    /// Evaluates a request-program circuit (the serving layer's
+    /// [`OpProgram`](fides_client::wire::OpProgram) register machine) over
+    /// session ciphertexts, inside one evaluation graph.
+    ///
+    /// This is the single-tenant twin of the multi-tenant server's request
+    /// path: both call [`fides_core::exec_program`] under the identical
+    /// standard-ladder policy, so results are bit-identical to the same
+    /// request served by `fides-serve`.
+    ///
+    /// `plains` are preloaded plaintext operands for the program's
+    /// `MulPlain` ops (see [`CkksEngine::preload_plain`]).
+    ///
+    /// # Errors
+    ///
+    /// [`FidesError::Client`] for structurally invalid programs; the usual
+    /// evaluation errors (missing keys, exhausted levels) otherwise.
+    pub fn eval_program(
+        &self,
+        inputs: &[Ct],
+        plains: &[fides_core::BackendPt],
+        program: &fides_client::wire::OpProgram,
+    ) -> Result<Vec<Ct>> {
+        let len = inputs.iter().map(|ct| ct.len()).max().unwrap_or(0);
+        let backend_inputs: Vec<_> = inputs
+            .iter()
+            .map(|ct| ct.backend_ct().duplicate())
+            .collect();
+        let outs = self.eval_scope(|| {
+            fides_core::exec_program(self.inner.backend.as_ref(), backend_inputs, plains, program)
+        })?;
+        Ok(outs
+            .into_iter()
+            .map(|ct| Ct {
+                inner: Arc::clone(&self.inner),
+                ct,
+                len,
+            })
+            .collect())
+    }
+
+    /// Encodes `values` at the ladder-exact constant scale for `level` and
+    /// preloads them into the backend's evaluation-domain plaintext cache —
+    /// the operand form a program's `MulPlain` consumes (multiply, rescale,
+    /// land exactly back on the standard-scale ladder).
+    ///
+    /// Values are zero-padded to the next power of two — the same packing
+    /// [`CkksEngine::encrypt`] applies — so the operand matches ciphertexts
+    /// that encrypted the same value count (CKKS packing makes the slot
+    /// count part of the encoding).
+    ///
+    /// # Errors
+    ///
+    /// [`FidesError::NotEnoughLevels`] at level 0 (a `MulPlain` there could
+    /// never rescale), [`FidesError::Client`] when `values` exceed the slot
+    /// capacity.
+    pub fn preload_plain(&self, values: &[f64], level: usize) -> Result<fides_core::BackendPt> {
+        let backend = self.inner.backend.as_ref();
+        let scale = fides_core::const_scale_for(backend, level)?;
+        let raw = self.inner.encode_padded_real(values, scale, level)?;
+        backend.load_plain(&raw)
+    }
+
+    /// The client half of this engine as a serving-layer tenant: a handle
+    /// that exports the session's evaluation keys as a
+    /// [`SessionRequest`](fides_client::wire::SessionRequest), encrypts
+    /// request inputs, and decrypts responses — everything a thin client
+    /// needs to talk to a `fides-serve` endpoint.
+    pub fn session(&self) -> crate::Session {
+        crate::Session::new(self.clone())
     }
 }
 
@@ -514,12 +616,12 @@ impl CkksEngineBuilder {
                 if let Some(workers) = self.workers {
                     backend = backend.with_workers(workers);
                 }
-                backend.set_relin_key(relin);
-                for (shift, key) in rot_keys {
-                    backend.insert_rotation_key(shift, key);
+                backend.set_relin_key(relin.clone());
+                for (shift, key) in &rot_keys {
+                    backend.insert_rotation_key(*shift, key.clone());
                 }
-                if let Some(conj) = conj {
-                    backend.set_conj_key(conj);
+                if let Some(conj) = &conj {
+                    backend.set_conj_key(conj.clone());
                 }
                 if let Some(config) = self.bootstrap {
                     let boot = Bootstrapper::new(&backend, &client, config)?;
@@ -539,6 +641,11 @@ impl CkksEngineBuilder {
                 pk,
                 backend,
                 rng,
+                raw_keys: RawEvalKeys {
+                    relin: Some(relin),
+                    rotations: rot_keys,
+                    conj,
+                },
             }),
         })
     }

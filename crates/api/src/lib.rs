@@ -46,11 +46,13 @@
 
 mod ct;
 mod engine;
+mod session;
 
 pub use ct::Ct;
 pub use engine::{BackendChoice, CkksEngine, CkksEngineBuilder};
+pub use session::Session;
 
 // The vocabulary types callers need alongside the engine.
-pub use fides_core::backend::{BackendCt, EvalBackend};
+pub use fides_core::backend::{BackendCt, BackendPt, EvalBackend};
 pub use fides_core::{BootstrapConfig, FidesError, FusionConfig, Result, SchedStats};
 pub use fides_gpu_sim::{DeviceSpec, ExecMode, SimStats, StreamStats};

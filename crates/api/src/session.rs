@@ -1,0 +1,294 @@
+//! Client-side session handles for the serving layer.
+//!
+//! A [`Session`] is the **thin-client view** of a [`CkksEngine`]: it speaks
+//! the wire protocol of `fides_client::wire` — exporting the engine's
+//! evaluation keys as a keygen upload, encrypting request operands, and
+//! decrypting responses — without ever exposing the secret key to the
+//! server side (paper §III-B: security rests entirely with the client).
+
+use std::sync::Arc;
+
+use fides_client::wire::{
+    params_fingerprint, EvalRequest, EvalResponse, OpProgram, SessionRequest,
+};
+use fides_core::{FidesError, Result};
+
+use crate::engine::CkksEngine;
+
+/// The client half of an engine, packaged for a serving endpoint.
+///
+/// Cloning is cheap (the underlying session state is shared with the
+/// engine).
+///
+/// ```
+/// use fides_api::CkksEngine;
+/// use fides_client::wire::{OpProgram, ProgramOp};
+///
+/// let engine = CkksEngine::builder().log_n(10).levels(3).seed(9).build()?;
+/// let session = engine.session();
+/// // Keygen upload: what the server must hold to serve this tenant.
+/// let open = session.session_request(&[])?;
+/// assert_eq!(open.params_hash, session.params_hash());
+/// // An evaluation request: one input, squared.
+/// let mut p = OpProgram::new(1);
+/// let sq = p.push(ProgramOp::Square { a: 0 });
+/// p.output(sq);
+/// let req = session.eval_request(7, &[&[0.5, -0.25]], &p)?;
+/// assert_eq!(req.session_id, 7);
+/// assert_eq!(req.inputs.len(), 1);
+/// # Ok::<(), fides_api::FidesError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Session {
+    engine: CkksEngine,
+}
+
+impl Session {
+    pub(crate) fn new(engine: CkksEngine) -> Self {
+        Self { engine }
+    }
+
+    /// The parameter fingerprint a server will check this tenant against.
+    pub fn params_hash(&self) -> u64 {
+        params_fingerprint(self.engine.inner.client.params())
+    }
+
+    /// Builds the keygen upload for this session: the engine's
+    /// relinearization, rotation and conjugation keys, plus `plains` —
+    /// plaintext operands (values, level) the server should preload into
+    /// its evaluation-domain cache (e.g. model weights), each encoded at
+    /// the ladder-exact constant scale for its level.
+    ///
+    /// Values are padded to the next power of two — the engine's canonical
+    /// packing, shared with [`Session::eval_request`] and
+    /// [`CkksEngine::encrypt`](crate::CkksEngine::encrypt) — so a
+    /// plaintext's packing matches request inputs of the same value count
+    /// (a program's `MulPlain` requires matching slot packings).
+    ///
+    /// The secret key never leaves the engine.
+    ///
+    /// # Errors
+    ///
+    /// [`FidesError::NotEnoughLevels`] for a plaintext at level 0,
+    /// [`FidesError::Client`] when plaintext values exceed the ring's slot
+    /// capacity.
+    pub fn session_request(&self, plains: &[(&[f64], usize)]) -> Result<SessionRequest> {
+        let inner = &self.engine.inner;
+        let backend = inner.backend.as_ref();
+        let mut plaintexts = Vec::with_capacity(plains.len());
+        for (values, level) in plains {
+            let scale = fides_core::const_scale_for(backend, *level)?;
+            plaintexts.push(inner.encode_padded_real(values, scale, *level)?);
+        }
+        Ok(SessionRequest {
+            params_hash: self.params_hash(),
+            relin: inner.raw_keys.relin.clone(),
+            rotations: inner.raw_keys.rotations.clone(),
+            conjugation: inner.raw_keys.conj.clone(),
+            plaintexts,
+        })
+    }
+
+    /// Encrypts `inputs` (each a value vector, padded to the engine's
+    /// canonical next-power-of-two packing and encrypted at the top level)
+    /// into an evaluation request carrying `program`.
+    ///
+    /// An input composes with a preloaded session plaintext (`MulPlain`)
+    /// when both were built from the same value count — the shared padding
+    /// policy then gives them identical slot packings.
+    ///
+    /// # Errors
+    ///
+    /// [`FidesError::Client`] when a value vector exceeds the slot
+    /// capacity.
+    pub fn eval_request(
+        &self,
+        session_id: u64,
+        inputs: &[&[f64]],
+        program: &OpProgram,
+    ) -> Result<EvalRequest> {
+        let inner = &self.engine.inner;
+        let level = self.engine.max_level();
+        let scale = inner.backend.standard_scale(level);
+        let mut cts = Vec::with_capacity(inputs.len());
+        for values in inputs {
+            let pt = inner.encode_padded_real(values, scale, level)?;
+            let raw = {
+                let mut rng = inner.rng.lock().unwrap_or_else(|e| e.into_inner());
+                inner.client.encrypt(&pt, &inner.pk, &mut *rng)?
+            };
+            cts.push(raw);
+        }
+        Ok(EvalRequest {
+            session_id,
+            inputs: cts,
+            program: program.clone(),
+        })
+    }
+
+    /// Decrypts a server response; `lens[i]` is the number of meaningful
+    /// values in output `i` (decoded vectors are truncated to it; pass the
+    /// ring's slot capacity to keep everything).
+    ///
+    /// # Errors
+    ///
+    /// [`FidesError::Client`] when the response carries a server error or
+    /// `lens` doesn't match the output count; decryption errors otherwise.
+    pub fn decrypt_response(
+        &self,
+        response: &EvalResponse,
+        lens: &[usize],
+    ) -> Result<Vec<Vec<f64>>> {
+        if let Some(err) = &response.error {
+            return Err(FidesError::Client(format!(
+                "server rejected request: {err}"
+            )));
+        }
+        if lens.len() != response.outputs.len() {
+            return Err(FidesError::Client(format!(
+                "response carries {} outputs but {} lengths were supplied",
+                response.outputs.len(),
+                lens.len()
+            )));
+        }
+        let inner = &self.engine.inner;
+        response
+            .outputs
+            .iter()
+            .zip(lens)
+            .map(|(raw, &len)| {
+                let pt = inner.client.decrypt(raw, &inner.sk)?;
+                let mut vals = inner.client.decode_real(&pt)?;
+                vals.truncate(len);
+                Ok(vals)
+            })
+            .collect()
+    }
+
+    /// The engine this session fronts.
+    pub fn engine(&self) -> &CkksEngine {
+        &self.engine
+    }
+}
+
+// The serving layer shares engines and sessions across request threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CkksEngine>();
+    assert_send_sync::<Session>();
+    assert_send_sync::<Arc<fides_core::CkksContext>>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fides_client::wire::ProgramOp;
+
+    #[test]
+    fn session_request_carries_engine_keys() {
+        let e = CkksEngine::builder()
+            .log_n(10)
+            .levels(3)
+            .rotations(&[1, -2])
+            .conjugation()
+            .seed(3)
+            .build()
+            .unwrap();
+        let s = e.session();
+        let req = s.session_request(&[(&[1.0, 2.0][..], 2)]).unwrap();
+        assert!(req.relin.is_some());
+        assert_eq!(req.rotations.len(), 2);
+        assert!(req.conjugation.is_some());
+        assert_eq!(req.plaintexts.len(), 1);
+        assert_eq!(req.plaintexts[0].level, 2);
+        // Round-trips through the wire form.
+        let back = SessionRequest::from_bytes(&req.to_bytes()).unwrap();
+        assert_eq!(req, back);
+    }
+
+    #[test]
+    fn eval_program_matches_handle_circuit() {
+        let e = CkksEngine::builder()
+            .log_n(10)
+            .levels(4)
+            .seed(8)
+            .build()
+            .unwrap();
+        let x = e.encrypt(&[0.5, -0.25, 0.125]).unwrap();
+        let y = e.encrypt(&[0.1, 0.2, 0.3]).unwrap();
+
+        // Handle circuit: (x * y + x) * 0.5
+        let by_handles = (&x * &y + &x) * 0.5;
+
+        let mut p = OpProgram::new(2);
+        let m = p.push(ProgramOp::Mul { a: 0, b: 1 });
+        let s = p.push(ProgramOp::Add { a: m, b: 0 });
+        let h = p.push(ProgramOp::MulScalar { a: s, c: 0.5 });
+        p.output(h);
+        let by_program = e.eval_program(&[x.clone(), y.clone()], &[], &p).unwrap();
+
+        let a = by_handles.to_raw().unwrap().to_bytes();
+        let b = by_program[0].to_raw().unwrap().to_bytes();
+        assert_eq!(a, b, "program execution must be bit-identical to handles");
+    }
+
+    #[test]
+    fn preload_plain_feeds_mul_plain() {
+        let e = CkksEngine::builder()
+            .log_n(10)
+            .levels(3)
+            .seed(2)
+            .build()
+            .unwrap();
+        let x = e.encrypt(&[1.0, 2.0, 4.0]).unwrap();
+        let w = e.preload_plain(&[0.5, 0.5, 0.5], e.max_level()).unwrap();
+        let mut p = OpProgram::new(1);
+        let m = p.push(ProgramOp::MulPlain { a: 0, plain: 0 });
+        p.output(m);
+        let out = e.eval_program(&[x], &[w], &p).unwrap();
+        let got = e.decrypt(&out[0]).unwrap();
+        for (g, want) in got.iter().zip([0.5, 1.0, 2.0]) {
+            assert!((g - want).abs() < 1e-4, "{g} vs {want}");
+        }
+    }
+
+    #[test]
+    fn mul_plain_packing_mismatch_is_typed_error() {
+        // 3 values pack 4 slots; 5 values pack 8 — multiplying across
+        // packings must fail typed, never decode to garbage.
+        let e = CkksEngine::builder()
+            .log_n(10)
+            .levels(3)
+            .seed(6)
+            .build()
+            .unwrap();
+        let x = e.encrypt(&[1.0, 2.0, 4.0]).unwrap();
+        let w = e.preload_plain(&[0.5; 5], e.max_level()).unwrap();
+        let mut p = OpProgram::new(1);
+        let m = p.push(ProgramOp::MulPlain { a: 0, plain: 0 });
+        p.output(m);
+        assert!(matches!(
+            e.eval_program(&[x], &[w], &p),
+            Err(FidesError::SlotMismatch { left: 4, right: 8 })
+        ));
+    }
+
+    #[test]
+    fn bad_response_is_typed_error() {
+        let e = CkksEngine::builder()
+            .log_n(10)
+            .levels(2)
+            .seed(1)
+            .build()
+            .unwrap();
+        let s = e.session();
+        let failed = EvalResponse::failed("missing rotation key");
+        assert!(matches!(
+            s.decrypt_response(&failed, &[]),
+            Err(FidesError::Client(_))
+        ));
+        let empty = EvalResponse::ok(vec![]);
+        assert!(s.decrypt_response(&empty, &[]).unwrap().is_empty());
+        assert!(s.decrypt_response(&empty, &[4]).is_err(), "arity mismatch");
+    }
+}

@@ -29,9 +29,13 @@ fn setup() -> Setup {
     let keys = adapter::load_eval_keys(&ctx, Some(&relin), &[(1, rot)], None).unwrap();
     let data: Vec<f64> = (0..2048).map(|i| (i as f64 * 0.001).sin()).collect();
     let mut rng = StdRng::seed_from_u64(2);
-    let pt = client.encode_real(&data, ctx.fresh_scale(), ctx.max_level());
-    let a = adapter::load_ciphertext(&ctx, &client.encrypt(&pt, &pk, &mut rng)).unwrap();
-    let b = adapter::load_ciphertext(&ctx, &client.encrypt(&pt, &pk, &mut rng)).unwrap();
+    let pt = client
+        .encode_real(&data, ctx.fresh_scale(), ctx.max_level())
+        .unwrap();
+    let raw_a = client.encrypt(&pt, &pk, &mut rng).unwrap();
+    let raw_b = client.encrypt(&pt, &pk, &mut rng).unwrap();
+    let a = adapter::load_ciphertext(&ctx, &raw_a).unwrap();
+    let b = adapter::load_ciphertext(&ctx, &raw_b).unwrap();
     Setup { ctx, keys, a, b }
 }
 

@@ -1,0 +1,94 @@
+//! The CI perf-regression gate.
+//!
+//! Compares a freshly generated bench JSON against the committed baseline
+//! and **fails (exit 1)** when a deterministic simulated metric — kernel
+//! launches or simulated time — regresses by more than the threshold
+//! (default 10%). Wall-clock metrics are report-only: runners vary, the
+//! simulator doesn't.
+//!
+//! ```text
+//! bench_diff <committed.json> <fresh.json> [--threshold 0.10] [--label NAME]
+//! ```
+//!
+//! Output is a GitHub-flavoured markdown table; CI appends it to
+//! `$GITHUB_STEP_SUMMARY` so every PR shows the comparison inline.
+
+use std::process::ExitCode;
+
+use fides_bench::diff::DiffReport;
+use fides_bench::json::Json;
+
+fn usage() -> ! {
+    eprintln!("usage: bench_diff <committed.json> <fresh.json> [--threshold 0.10] [--label NAME]");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = Vec::new();
+    let mut threshold = 0.10f64;
+    let mut label: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 => threshold = v,
+                _ => usage(),
+            },
+            "--label" => match it.next() {
+                Some(v) => label = Some(v.clone()),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ => positional.push(arg.clone()),
+        }
+    }
+    let [committed_path, fresh_path] = positional.as_slice() else {
+        usage();
+    };
+    let label = label.unwrap_or_else(|| {
+        std::path::Path::new(committed_path)
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| committed_path.clone())
+    });
+
+    let (committed, fresh) = match (load(committed_path), load(fresh_path)) {
+        (Ok(c), Ok(f)) => (c, f),
+        (c, f) => {
+            for err in [c.err(), f.err()].into_iter().flatten() {
+                eprintln!("bench_diff: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = DiffReport::compare(&committed, &fresh, threshold);
+    print!("{}", report.to_markdown(&label));
+
+    let regressions = report.regressions();
+    if regressions.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_diff: {} gated metric(s) regressed beyond {:.0}%:",
+            regressions.len(),
+            threshold * 100.0
+        );
+        for r in &regressions {
+            eprintln!(
+                "  {}: {:.2} -> {:.2} ({:+.1}%)",
+                r.path,
+                r.committed.unwrap_or(f64::NAN),
+                r.fresh.unwrap_or(f64::NAN),
+                r.delta.unwrap_or(f64::NAN) * 100.0
+            );
+        }
+        ExitCode::FAILURE
+    }
+}

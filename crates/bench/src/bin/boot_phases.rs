@@ -92,8 +92,13 @@ fn cpu_bootstrap(workers: usize) -> BootPhases {
 
     let values: Vec<f64> = (0..slots).map(|i| 0.2 * (i as f64 * 0.5).sin()).collect();
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
-    let pt = client.encode_real(&values, backend.standard_scale(0), 0);
-    let ct = backend.load(&client.encrypt(&pt, &pk, &mut rng)).unwrap();
+    let pt = client
+        .encode_real(&values, backend.standard_scale(0), 0)
+        .expect("bench inputs are always encodable");
+    let raw_ct = client
+        .encrypt(&pt, &pk, &mut rng)
+        .expect("bench inputs are always encryptable");
+    let ct = backend.load(&raw_ct).unwrap();
     // Warm-up, then best-of-two phased runs.
     let _ = booter.bootstrap(&backend, &ct).unwrap();
     let (_, a) = booter.bootstrap_phased(&backend, &ct).unwrap();
@@ -220,6 +225,7 @@ fn main() {
     let _ = writeln!(json, "    \"bootstraps\": {lr_boots},");
     let _ = writeln!(json, "    \"wall_us\": {lr_us:.1}\n  }}\n}}");
 
-    std::fs::write(OUT_PATH, &json).expect("write BENCH_PR3.json");
-    println!("\nwrote {OUT_PATH}:\n{json}");
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| OUT_PATH.into());
+    std::fs::write(&out_path, &json).expect("write BENCH_PR3.json");
+    println!("\nwrote {out_path}:\n{json}");
 }

@@ -234,6 +234,7 @@ fn main() {
     }
     json.push_str("    ]\n  }\n}\n");
 
-    std::fs::write(OUT_PATH, &json).expect("write BENCH_PR2.json");
-    println!("\nwrote {OUT_PATH}:\n{json}");
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| OUT_PATH.into());
+    std::fs::write(&out_path, &json).expect("write BENCH_PR2.json");
+    println!("\nwrote {out_path}:\n{json}");
 }

@@ -213,8 +213,13 @@ fn measured_functional_us(params: &CkksParameters, op: &str) -> f64 {
         .expect("client-generated keys are always loadable");
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     let values: Vec<f64> = (0..ctx.n() / 2).map(|i| (i as f64 * 0.01).sin()).collect();
-    let pt = client.encode_real(&values, ctx.fresh_scale(), ctx.max_level());
-    let a = adapter::load_ciphertext(&ctx, &client.encrypt(&pt, &pk, &mut rng))
+    let pt = client
+        .encode_real(&values, ctx.fresh_scale(), ctx.max_level())
+        .expect("bench inputs are always encodable");
+    let raw_ct = client
+        .encrypt(&pt, &pk, &mut rng)
+        .expect("bench inputs are always encryptable");
+    let a = adapter::load_ciphertext(&ctx, &raw_ct)
         .expect("client-encrypted ciphertexts are always loadable");
     let b = a.duplicate();
     let dev_pt =

@@ -1,0 +1,262 @@
+//! Multi-tenant serving throughput: the PR 4 perf snapshot.
+//!
+//! Drives the `fides-serve` session server with the `serve_lr` scoring
+//! workload — 4 tenants × 4 requests = 16 requests per configuration — and
+//! measures, for batch sizes 1 / 4 / 16 with graph fusion on and off:
+//!
+//! * **sim launches** and **simulated time** (deterministic: the gate
+//!   metrics `bench_diff` enforces);
+//! * cross-tenant fusion counts and stream occupancy;
+//! * wall-clock requests/sec (report-only — runners vary).
+//!
+//! Emits `BENCH_PR4.json` and asserts the serving layer's two invariants
+//! inline: batch-16 output frames are **bit-identical** to serial frames,
+//! and batch-16 **strictly reduces** total sim launches vs. 16 serial
+//! requests.
+//!
+//! ```text
+//! cargo run --release --bin throughput [OUT_PATH]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fides_api::CkksEngine;
+use fides_bench::print_table;
+use fides_client::wire::EvalRequest;
+use fides_core::{CkksParameters, FusionConfig};
+use fides_serve::{Server, ServerConfig};
+use fides_workloads::serve_lr::{synthetic_features, synthetic_model, ServeLrModel};
+
+const OUT_PATH: &str = "BENCH_PR4.json";
+const LOG_N: usize = 11;
+const LEVELS: usize = 6;
+const DIM: usize = 32;
+const TENANTS: usize = 4;
+const REQS_PER_TENANT: usize = 4;
+const NUM_STREAMS: usize = 8;
+
+struct Row {
+    batch: usize,
+    fusion: bool,
+    requests: usize,
+    sim_us: f64,
+    launches: u64,
+    recorded: u64,
+    fused: u64,
+    occupancy_pct: f64,
+    wall_req_per_sec: f64,
+    frames: Vec<Vec<u8>>,
+}
+
+fn tenants() -> Vec<(ServeLrModel, fides_api::Session)> {
+    (0..TENANTS)
+        .map(|t| {
+            let model = synthetic_model(DIM, t as u64 + 1);
+            let engine = CkksEngine::builder()
+                .log_n(LOG_N)
+                .levels(LEVELS)
+                .scale_bits(40)
+                .rotations(&model.required_rotations())
+                .seed(900 + t as u64)
+                .build()
+                .expect("tenant engine");
+            let session = engine.session();
+            (model, session)
+        })
+        .collect()
+}
+
+fn run_config(batch: usize, fusion: bool) -> Row {
+    let fusion_cfg = FusionConfig {
+        elementwise: fusion,
+        ..FusionConfig::default()
+    };
+    let params = CkksParameters::new(LOG_N, LEVELS, 40, 3)
+        .expect("bench params")
+        .with_num_streams(NUM_STREAMS)
+        .with_fusion(fusion_cfg);
+    let server = Server::new(ServerConfig::new(params).batch_size(batch)).expect("server");
+
+    let tenants = tenants();
+    let mut reqs: Vec<(usize, EvalRequest)> = Vec::new();
+    for (t, (model, session)) in tenants.iter().enumerate() {
+        let plains = model.session_plains(session.engine().max_level());
+        let refs: Vec<(&[f64], usize)> = plains.iter().map(|(v, l)| (v.as_slice(), *l)).collect();
+        let sid = server
+            .open_session(session.session_request(&refs).expect("session request"))
+            .expect("open session");
+        let program = model.scoring_program(0);
+        for r in 0..REQS_PER_TENANT {
+            let features = synthetic_features(DIM, t as u64, r as u64);
+            reqs.push((
+                t,
+                session
+                    .eval_request(sid, &[&features], &program)
+                    .expect("encrypt request"),
+            ));
+        }
+    }
+
+    // Serving starts from a clean stats window (session setup and key
+    // loading excluded) — launch counts AND stream occupancy then
+    // describe the serving phase alone.
+    let sync_before = server.sync_us().unwrap();
+    server.reset_sim_stats();
+
+    let wall = Instant::now();
+    let tickets: Vec<_> = reqs
+        .iter()
+        .map(|(_, req)| server.submit(req.clone()))
+        .collect();
+    while server.run_tick() > 0 {}
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    let sim_after = server.sim_stats().expect("gpu-sim substrate");
+    let sim_us = server.sync_us().unwrap() - sync_before;
+    let stats = server.stats();
+
+    let frames: Vec<Vec<u8>> = tickets
+        .iter()
+        .map(|ticket| {
+            let resp = ticket.try_take().expect("tick served every request");
+            assert!(resp.error.is_none(), "request failed: {:?}", resp.error);
+            resp.outputs[0].to_bytes()
+        })
+        .collect();
+
+    Row {
+        batch,
+        fusion,
+        requests: reqs.len(),
+        sim_us,
+        launches: sim_after.kernel_launches,
+        recorded: stats.recorded_kernels,
+        fused: stats.fused_kernels,
+        occupancy_pct: sim_after.stream_occupancy() * 100.0,
+        wall_req_per_sec: reqs.len() as f64 / wall_s,
+        frames,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| OUT_PATH.into());
+
+    let mut rows = Vec::new();
+    for fusion in [true, false] {
+        for batch in [1usize, 4, 16] {
+            rows.push(run_config(batch, fusion));
+        }
+    }
+
+    // Invariant 1: every configuration produces bit-identical frames
+    // (batching and fusion change the schedule, never the results).
+    let reference = &rows[0].frames;
+    for row in &rows[1..] {
+        assert_eq!(
+            &row.frames, reference,
+            "batch {} fusion {} drifted from the serial reference",
+            row.batch, row.fusion
+        );
+    }
+
+    // Invariant 2: batch-16 with fusion strictly reduces sim launches vs.
+    // 16 serial requests (cross-tenant chains fuse at request boundaries).
+    let serial = rows.iter().find(|r| r.batch == 1 && r.fusion).unwrap();
+    let batched = rows.iter().find(|r| r.batch == 16 && r.fusion).unwrap();
+    assert!(
+        batched.launches < serial.launches,
+        "batch-16 must strictly reduce launches: {} vs {}",
+        batched.launches,
+        serial.launches
+    );
+    let reduction_pct =
+        100.0 * (serial.launches - batched.launches) as f64 / serial.launches as f64;
+
+    print_table(
+        "serving throughput (16 serve_lr requests, 4 tenants)",
+        &[
+            "batch",
+            "fusion",
+            "sim ms",
+            "launches",
+            "recorded",
+            "fused",
+            "occup %",
+            "req/s (wall)",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.batch.to_string(),
+                    r.fusion.to_string(),
+                    format!("{:.2}", r.sim_us / 1e3),
+                    r.launches.to_string(),
+                    r.recorded.to_string(),
+                    r.fused.to_string(),
+                    format!("{:.1}", r.occupancy_pct),
+                    format!("{:.1}", r.wall_req_per_sec),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\nbatch-16 vs serial: {} → {} launches (−{reduction_pct:.1}%), bit-identical frames",
+        serial.launches, batched.launches
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"pr\": 4,");
+    let _ = writeln!(json, "  \"schema\": \"fideslib-bench-throughput-v1\",");
+    let _ = writeln!(json, "  \"gpu_sim\": {{");
+    let _ = writeln!(
+        json,
+        "    \"device\": \"RTX 4090 (simulated, functional)\","
+    );
+    let _ = writeln!(
+        json,
+        "    \"params\": \"[logN, L, dnum] = [{LOG_N}, {LEVELS}, 3], serve_lr dim {DIM}, \
+         {TENANTS} tenants x {REQS_PER_TENANT} requests, {NUM_STREAMS} streams\","
+    );
+    let _ = writeln!(json, "    \"by_batch\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "      {{\"batch\": {}, \"fusion\": {}, \"requests\": {}, \"sim_us\": {:.2}, \
+             \"kernel_launches\": {}, \"recorded_kernels\": {}, \"fused_kernels\": {}, \
+             \"stream_occupancy_pct\": {:.2}, \"wall_req_per_sec\": {:.2}}}{comma}",
+            r.batch,
+            r.fusion,
+            r.requests,
+            r.sim_us,
+            r.launches,
+            r.recorded,
+            r.fused,
+            r.occupancy_pct,
+            r.wall_req_per_sec,
+        );
+    }
+    let _ = writeln!(json, "    ],");
+    let _ = writeln!(json, "    \"batch16_vs_serial\": {{");
+    let _ = writeln!(
+        json,
+        "      \"serial_kernel_launches\": {},",
+        serial.launches
+    );
+    let _ = writeln!(
+        json,
+        "      \"batched_kernel_launches\": {},",
+        batched.launches
+    );
+    let _ = writeln!(json, "      \"launch_reduction_pct\": {reduction_pct:.2},");
+    let _ = writeln!(json, "      \"bit_identical\": true");
+    let _ = writeln!(json, "    }}");
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_PR4.json");
+    println!("wrote {out_path}");
+}

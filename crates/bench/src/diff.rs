@@ -1,0 +1,250 @@
+//! The perf-regression gate: compares a fresh bench JSON against the
+//! committed baseline.
+//!
+//! Simulated metrics (kernel launches, simulated microseconds) are
+//! **deterministic** — same code, same schedule, same numbers on any
+//! runner — so CI can fail hard when they regress. Wall-clock metrics vary
+//! with the runner and are report-only. Classification is by metric path:
+//!
+//! | path                                         | class       |
+//! |----------------------------------------------|-------------|
+//! | contains `wall` or under `cpu_reference`     | report-only |
+//! | contains `kernel_launches` / `sim_us`        | **gated**   |
+//! | under `gpu_sim` and ends with `_us`          | **gated**   |
+//! | anything else (config echoes, derived ratios)| report-only |
+
+use crate::json::Json;
+
+/// How a metric participates in the gate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricClass {
+    /// Deterministic simulated metric: an increase beyond the threshold
+    /// fails the gate.
+    Gated,
+    /// Reported in the table, never failing (wall clock, config echoes).
+    ReportOnly,
+}
+
+/// Classifies a flattened metric path (see module docs for the table).
+pub fn classify(path: &str) -> MetricClass {
+    let lower = path.to_ascii_lowercase();
+    if lower.contains("wall") || lower.contains("cpu_reference") {
+        return MetricClass::ReportOnly;
+    }
+    if lower.contains("kernel_launches") || lower.contains("sim_us") {
+        return MetricClass::Gated;
+    }
+    if lower.contains("gpu_sim") {
+        // Under the simulated device every *_us phase timing is
+        // deterministic simulated time.
+        if let Some(leaf) = lower.rsplit('.').next() {
+            if leaf.ends_with("_us") {
+                return MetricClass::Gated;
+            }
+        }
+    }
+    MetricClass::ReportOnly
+}
+
+/// One compared metric.
+#[derive(Clone, Debug)]
+pub struct MetricRow {
+    /// Flattened metric path.
+    pub path: String,
+    /// Committed baseline value.
+    pub committed: Option<f64>,
+    /// Freshly measured value.
+    pub fresh: Option<f64>,
+    /// Gate participation.
+    pub class: MetricClass,
+    /// Relative change `(fresh − committed) / committed` (`None` when
+    /// either side is missing or the baseline is 0).
+    pub delta: Option<f64>,
+    /// True when this row fails the gate.
+    pub regressed: bool,
+}
+
+/// The comparison of one bench file against its baseline.
+#[derive(Clone, Debug)]
+pub struct DiffReport {
+    /// Every metric present on either side, in path order.
+    pub rows: Vec<MetricRow>,
+    /// The regression threshold applied (relative, e.g. `0.10`).
+    pub threshold: f64,
+}
+
+impl DiffReport {
+    /// Compares two parsed bench documents.
+    pub fn compare(committed: &Json, fresh: &Json, threshold: f64) -> DiffReport {
+        let committed = committed.numeric_leaves();
+        let fresh = fresh.numeric_leaves();
+        let mut paths: Vec<&String> = committed.keys().chain(fresh.keys()).collect();
+        paths.sort();
+        paths.dedup();
+        let rows = paths
+            .into_iter()
+            .map(|path| {
+                let c = committed.get(path).copied();
+                let f = fresh.get(path).copied();
+                let class = classify(path);
+                let delta = match (c, f) {
+                    (Some(c), Some(f)) if c != 0.0 => Some((f - c) / c),
+                    _ => None,
+                };
+                let regressed = class == MetricClass::Gated && delta.is_some_and(|d| d > threshold);
+                MetricRow {
+                    path: path.clone(),
+                    committed: c,
+                    fresh: f,
+                    class,
+                    delta,
+                    regressed,
+                }
+            })
+            .collect();
+        DiffReport { rows, threshold }
+    }
+
+    /// The rows failing the gate.
+    pub fn regressions(&self) -> Vec<&MetricRow> {
+        self.rows.iter().filter(|r| r.regressed).collect()
+    }
+
+    /// Renders the comparison as a GitHub-flavoured markdown table:
+    /// every gated row, plus report-only rows whose change exceeds the
+    /// threshold (the rest are summarized).
+    pub fn to_markdown(&self, label: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let status = if self.regressions().is_empty() {
+            "✅ pass"
+        } else {
+            "❌ REGRESSED"
+        };
+        let _ = writeln!(
+            out,
+            "### perf gate: `{label}` — {status} (threshold {:.0}%)\n",
+            self.threshold * 100.0
+        );
+        let _ = writeln!(out, "| metric | committed | fresh | Δ | gate |");
+        let _ = writeln!(out, "|---|---:|---:|---:|---|");
+        let mut hidden = 0usize;
+        for row in &self.rows {
+            let noteworthy = row.class == MetricClass::Gated
+                || row.delta.is_some_and(|d| d.abs() > self.threshold)
+                || row.committed.is_none()
+                || row.fresh.is_none();
+            if !noteworthy {
+                hidden += 1;
+                continue;
+            }
+            let fmt_val = |v: Option<f64>| match v {
+                Some(v) => format!("{v:.2}"),
+                None => "—".into(),
+            };
+            let delta = match row.delta {
+                Some(d) => format!("{:+.1}%", d * 100.0),
+                None => "—".into(),
+            };
+            let gate = match (row.class, row.regressed) {
+                (MetricClass::Gated, true) => "❌",
+                (MetricClass::Gated, false) => "gated",
+                (MetricClass::ReportOnly, _) => "report",
+            };
+            let _ = writeln!(
+                out,
+                "| `{}` | {} | {} | {} | {} |",
+                row.path,
+                fmt_val(row.committed),
+                fmt_val(row.fresh),
+                delta,
+                gate
+            );
+        }
+        if hidden > 0 {
+            let _ = writeln!(
+                out,
+                "\n_{hidden} report-only metrics within ±{:.0}% omitted._",
+                self.threshold * 100.0
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_table() {
+        assert_eq!(
+            classify("gpu_sim.by_batch[0].kernel_launches"),
+            MetricClass::Gated
+        );
+        assert_eq!(classify("gpu_sim.by_batch[0].sim_us"), MetricClass::Gated);
+        assert_eq!(
+            classify("gpu_sim.phases_fused.coeff_to_slot_us"),
+            MetricClass::Gated
+        );
+        assert_eq!(
+            classify("gpu_sim.by_batch[0].wall_req_per_sec"),
+            MetricClass::ReportOnly
+        );
+        assert_eq!(
+            classify("cpu_reference.by_workers[0].hmult_rescale_us"),
+            MetricClass::ReportOnly
+        );
+        assert_eq!(classify("lr_boot.wall_us"), MetricClass::ReportOnly);
+        assert_eq!(classify("pr"), MetricClass::ReportOnly);
+        assert_eq!(
+            classify("gpu_sim.batch16_vs_serial.launch_reduction_pct"),
+            MetricClass::ReportOnly
+        );
+    }
+
+    fn doc(launches: u64, wall: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"gpu_sim": {{"kernel_launches": {launches}, "wall_us": {wall}}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn gate_fails_only_on_gated_regressions() {
+        // +25% launches: regressed.
+        let report = DiffReport::compare(&doc(1000, 5.0), &doc(1250, 5.0), 0.10);
+        assert_eq!(report.regressions().len(), 1);
+        assert!(report.to_markdown("x").contains("REGRESSED"));
+
+        // +5% launches: inside threshold.
+        let report = DiffReport::compare(&doc(1000, 5.0), &doc(1050, 5.0), 0.10);
+        assert!(report.regressions().is_empty());
+
+        // Launches *improve*, wall clock doubles: wall is report-only.
+        let report = DiffReport::compare(&doc(1000, 5.0), &doc(800, 10.0), 0.10);
+        assert!(report.regressions().is_empty());
+        assert!(report.to_markdown("x").contains("pass"));
+    }
+
+    #[test]
+    fn missing_and_new_keys_never_fail() {
+        let a = Json::parse(r#"{"gpu_sim": {"kernel_launches": 10}}"#).unwrap();
+        let b = Json::parse(r#"{"gpu_sim": {"sim_us": 4.0}}"#).unwrap();
+        let report = DiffReport::compare(&a, &b, 0.10);
+        assert!(report.regressions().is_empty());
+        let md = report.to_markdown("x");
+        assert!(md.contains("kernel_launches"));
+        assert!(md.contains("sim_us"));
+        assert!(md.contains('—'), "missing sides shown as dashes");
+    }
+
+    #[test]
+    fn identical_files_pass() {
+        let text = std::fs::read_to_string("../../BENCH_PR2.json").unwrap();
+        let v = Json::parse(&text).unwrap();
+        let report = DiffReport::compare(&v, &v, 0.10);
+        assert!(report.regressions().is_empty());
+        assert!(report.rows.iter().any(|r| r.class == MetricClass::Gated));
+    }
+}

@@ -1,0 +1,299 @@
+//! A minimal JSON reader for the perf-regression gate.
+//!
+//! The workspace's vendored `serde` is a no-op stand-in (no registry access
+//! in the build image), so the `bench_diff` gate carries its own ~150-line
+//! recursive-descent parser. It reads exactly the JSON the bench binaries
+//! emit — objects, arrays, numbers, strings, booleans, null — and flattens
+//! numeric leaves into `path → value` pairs for comparison.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (read as `f64` — bench metrics are all within
+    /// exact-double range).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first syntax error, with its
+    /// byte offset.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Flattens every **numeric** leaf into `dotted.path → value` pairs
+    /// (array elements as `path[i]`), the form the regression gate
+    /// compares.
+    pub fn numeric_leaves(&self) -> BTreeMap<String, f64> {
+        let mut out = BTreeMap::new();
+        self.collect_leaves(String::new(), &mut out);
+        out
+    }
+
+    fn collect_leaves(&self, path: String, out: &mut BTreeMap<String, f64>) {
+        match self {
+            Json::Num(v) => {
+                out.insert(path, *v);
+            }
+            Json::Arr(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    item.collect_leaves(format!("{path}[{i}]"), out);
+                }
+            }
+            Json::Obj(fields) => {
+                for (key, value) in fields {
+                    let sub = if path.is_empty() {
+                        key.clone()
+                    } else {
+                        format!("{path}.{key}")
+                    };
+                    value.collect_leaves(sub, out);
+                }
+            }
+            Json::Null | Json::Bool(_) | Json::Str(_) => {}
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", ch as char))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+        None => Err("unexpected end of document".into()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                out.push(match esc {
+                    b'"' => '"',
+                    b'\\' => '\\',
+                    b'/' => '/',
+                    b'n' => '\n',
+                    b't' => '\t',
+                    b'r' => '\r',
+                    b'u' => {
+                        // The bench files are ASCII; decode BMP escapes only.
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        *pos += 4;
+                        char::from_u32(code).ok_or("non-scalar \\u escape")?
+                    }
+                    other => return Err(format!("bad escape '\\{}'", other as char)),
+                });
+                *pos += 1;
+            }
+            _ => {
+                let ch_start = *pos;
+                while *pos < b.len() && b[*pos] != b'"' && b[*pos] != b'\\' {
+                    *pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&b[ch_start..*pos]).map_err(|_| "non-UTF8 string")?,
+                );
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        fields.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bench_shaped_documents() {
+        let doc = r#"{
+          "pr": 4, "schema": "x",
+          "gpu_sim": {
+            "rows": [
+              {"batch": 1, "sim_us": 12.5, "ok": true},
+              {"batch": 16, "sim_us": 3.25, "note": null}
+            ]
+          }
+        }"#;
+        let v = Json::parse(doc).unwrap();
+        let leaves = v.numeric_leaves();
+        assert_eq!(leaves["pr"], 4.0);
+        assert_eq!(leaves["gpu_sim.rows[0].sim_us"], 12.5);
+        assert_eq!(leaves["gpu_sim.rows[1].batch"], 16.0);
+        assert_eq!(leaves.len(), 5);
+    }
+
+    #[test]
+    fn parses_committed_bench_files() {
+        for path in ["../../BENCH_PR2.json", "../../BENCH_PR3.json"] {
+            let text = std::fs::read_to_string(path).unwrap();
+            let v = Json::parse(&text).unwrap();
+            assert!(
+                !v.numeric_leaves().is_empty(),
+                "{path} should carry metrics"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2,]").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = Json::parse(r#"{"k": "a\"b\\c\ndA"}"#).unwrap();
+        match v {
+            Json::Obj(fields) => {
+                assert_eq!(fields[0].1, Json::Str("a\"b\\c\ndA".into()));
+            }
+            _ => panic!("expected object"),
+        }
+    }
+
+    #[test]
+    fn numbers_including_exponents() {
+        let v = Json::parse("[1, -2.5, 3e2, 4.5E-1]").unwrap();
+        match v {
+            Json::Arr(items) => {
+                let nums: Vec<f64> = items
+                    .iter()
+                    .map(|i| match i {
+                        Json::Num(n) => *n,
+                        _ => panic!("expected number"),
+                    })
+                    .collect();
+                assert_eq!(nums, vec![1.0, -2.5, 300.0, 0.45]);
+            }
+            _ => panic!("expected array"),
+        }
+    }
+}

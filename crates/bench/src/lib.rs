@@ -7,6 +7,9 @@
 
 #![warn(missing_docs)]
 
+pub mod diff;
+pub mod json;
+
 use std::sync::Arc;
 
 use fides_gpu_sim::GpuSim;

@@ -5,6 +5,11 @@
 //! slots` (real parts in the low half, imaginary parts in the high half),
 //! scaled by `Δ` and rounded into RNS residues. Decoding reconstructs exact
 //! centered coefficients through CRT and applies the forward special FFT.
+//!
+//! Every operation validates its inputs and reports failures as typed
+//! [`ClientError`] values — the client is a service boundary, so malformed
+//! inputs must never abort the process (the PR1 error-handling migration,
+//! finished here: the old panicking convenience wrappers are gone).
 
 use fides_math::Complex64;
 
@@ -16,26 +21,13 @@ impl ClientContext {
     /// Encodes `values` (length a power of two, at most `N/2`) at the given
     /// `scale` for ciphertext level `level`.
     ///
-    /// # Panics
-    ///
-    /// Panics on the conditions [`ClientContext::try_encode`] reports as
-    /// errors (kept as a convenience wrapper for example/test code; services
-    /// should prefer the `try_` form or the `CkksEngine` API).
-    pub fn encode(&self, values: &[Complex64], scale: f64, level: usize) -> RawPlaintext {
-        self.try_encode(values, scale, level)
-            .unwrap_or_else(|e| panic!("encode failed: {e}"))
-    }
-
-    /// Encodes `values` (length a power of two, at most `N/2`) at the given
-    /// `scale` for ciphertext level `level`.
-    ///
     /// # Errors
     ///
     /// [`ClientError::BadSlotCount`] when the slot count is not a power of
     /// two or exceeds `N/2`, [`ClientError::LevelOutOfRange`] when `level`
     /// is past the chain, [`ClientError::BadScale`] for non-positive or
     /// non-finite scales.
-    pub fn try_encode(
+    pub fn encode(
         &self,
         values: &[Complex64],
         scale: f64,
@@ -99,40 +91,17 @@ impl ClientContext {
 
     /// Encodes real values (imaginary parts zero).
     ///
-    /// # Panics
-    ///
-    /// See [`ClientContext::encode`].
-    pub fn encode_real(&self, values: &[f64], scale: f64, level: usize) -> RawPlaintext {
-        let v: Vec<Complex64> = values.iter().map(|&x| Complex64::from_real(x)).collect();
-        self.encode(&v, scale, level)
-    }
-
-    /// Encodes real values (imaginary parts zero), reporting validation
-    /// failures as typed errors.
-    ///
     /// # Errors
     ///
-    /// See [`ClientContext::try_encode`].
-    pub fn try_encode_real(
+    /// See [`ClientContext::encode`].
+    pub fn encode_real(
         &self,
         values: &[f64],
         scale: f64,
         level: usize,
     ) -> Result<RawPlaintext, ClientError> {
         let v: Vec<Complex64> = values.iter().map(|&x| Complex64::from_real(x)).collect();
-        self.try_encode(&v, scale, level)
-    }
-
-    /// Decodes a plaintext back to complex slot values.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the plaintext is not in coefficient domain (the adapter
-    /// always converts before handing data back to the client); see
-    /// [`ClientContext::try_decode`] for the typed form.
-    pub fn decode(&self, pt: &RawPlaintext) -> Vec<Complex64> {
-        self.try_decode(pt)
-            .expect("decode expects coefficient domain")
+        self.encode(&v, scale, level)
     }
 
     /// Decodes a plaintext back to complex slot values.
@@ -141,7 +110,7 @@ impl ClientContext {
     ///
     /// [`ClientError::DomainMismatch`] if the plaintext is not in
     /// coefficient domain.
-    pub fn try_decode(&self, pt: &RawPlaintext) -> Result<Vec<Complex64>, ClientError> {
+    pub fn decode(&self, pt: &RawPlaintext) -> Result<Vec<Complex64>, ClientError> {
         if pt.poly.domain != Domain::Coeff {
             return Err(ClientError::DomainMismatch {
                 expected: "coefficient",
@@ -173,20 +142,11 @@ impl ClientContext {
 
     /// Decodes and keeps only real parts.
     ///
-    /// # Panics
-    ///
-    /// See [`ClientContext::decode`].
-    pub fn decode_real(&self, pt: &RawPlaintext) -> Vec<f64> {
-        self.decode(pt).into_iter().map(|c| c.re).collect()
-    }
-
-    /// Decodes and keeps only real parts, with typed errors.
-    ///
     /// # Errors
     ///
-    /// See [`ClientContext::try_decode`].
-    pub fn try_decode_real(&self, pt: &RawPlaintext) -> Result<Vec<f64>, ClientError> {
-        Ok(self.try_decode(pt)?.into_iter().map(|c| c.re).collect())
+    /// See [`ClientContext::decode`].
+    pub fn decode_real(&self, pt: &RawPlaintext) -> Result<Vec<f64>, ClientError> {
+        Ok(self.decode(pt)?.into_iter().map(|c| c.re).collect())
     }
 }
 
@@ -214,8 +174,8 @@ mod tests {
             let values: Vec<Complex64> = (0..slots)
                 .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
                 .collect();
-            let pt = c.encode(&values, 2f64.powi(40), 2);
-            let back = c.decode(&pt);
+            let pt = c.encode(&values, 2f64.powi(40), 2).unwrap();
+            let back = c.decode(&pt).unwrap();
             close_all(&back, &values, 1e-8);
         }
     }
@@ -230,13 +190,13 @@ mod tests {
         let b: Vec<Complex64> = (0..256)
             .map(|i| Complex64::new(0.5, i as f64 * -0.02))
             .collect();
-        let pa = c.encode(&a, scale, 1);
-        let pb = c.encode(&b, scale, 1);
+        let pa = c.encode(&a, scale, 1).unwrap();
+        let pb = c.encode(&b, scale, 1).unwrap();
         let mut sum = pa.clone();
         for (i, m) in c.moduli_q()[..=1].iter().enumerate() {
             m.add_assign_slices(&mut sum.poly.limbs[i], &pb.poly.limbs[i]);
         }
-        let got = c.decode(&sum);
+        let got = c.decode(&sum).unwrap();
         let expect: Vec<Complex64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
         close_all(&got, &expect, 1e-8);
     }
@@ -252,8 +212,8 @@ mod tests {
         let b: Vec<Complex64> = (0..slots)
             .map(|i| Complex64::new(0.5, 0.02 * i as f64 - 0.1))
             .collect();
-        let pa = c.encode(&a, scale, 1);
-        let pb = c.encode(&b, scale, 1);
+        let pa = c.encode(&a, scale, 1).unwrap();
+        let pb = c.encode(&b, scale, 1).unwrap();
         // Multiply polynomials mod each prime via NTT.
         let mut prod_limbs = Vec::new();
         for (i, t) in c.ntt_q()[..=1].iter().enumerate() {
@@ -275,7 +235,7 @@ mod tests {
             scale: scale * scale,
             slots,
         };
-        let got = c.decode(&ppt);
+        let got = c.decode(&ppt).unwrap();
         let expect: Vec<Complex64> = a.iter().zip(&b).map(|(&x, &y)| x * y).collect();
         // Quantization error at scale 2^20 is ~2^-20 per factor.
         close_all(&got, &expect, 1e-4);
@@ -291,7 +251,7 @@ mod tests {
         let values: Vec<Complex64> = (0..slots)
             .map(|i| Complex64::from_real(i as f64 + 1.0))
             .collect();
-        let pt = c.encode(&values, 2f64.powi(40), 0);
+        let pt = c.encode(&values, 2f64.powi(40), 0).unwrap();
         let m: Modulus = c.moduli_q()[0];
         for k in [1usize, 2, 3] {
             let g = crate::keygen::galois_for_rotation(k as i32, n);
@@ -306,7 +266,7 @@ mod tests {
                 scale: pt.scale,
                 slots,
             };
-            let got = c.decode(&rpt);
+            let got = c.decode(&rpt).unwrap();
             let expect: Vec<Complex64> = (0..slots).map(|i| values[(i + k) % slots]).collect();
             close_all(&got, &expect, 1e-8);
         }
@@ -321,7 +281,7 @@ mod tests {
         let values: Vec<Complex64> = (0..slots)
             .map(|i| Complex64::new(i as f64, 0.5 - i as f64))
             .collect();
-        let pt = c.encode(&values, 2f64.powi(40), 0);
+        let pt = c.encode(&values, 2f64.powi(40), 0).unwrap();
         let m = c.moduli_q()[0];
         let mut conj = vec![0u64; n];
         automorphism_coeff(&pt.poly.limbs[0], 2 * n - 1, &m, &mut conj);
@@ -334,16 +294,39 @@ mod tests {
             scale: pt.scale,
             slots,
         };
-        let got = c.decode(&rpt);
+        let got = c.decode(&rpt).unwrap();
         let expect: Vec<Complex64> = values.iter().map(|v| v.conj()).collect();
         close_all(&got, &expect, 1e-8);
     }
 
     #[test]
-    #[should_panic(expected = "bad slot count")]
-    fn oversized_slots_rejected() {
+    fn oversized_slots_rejected_typed() {
         let c = ctx();
         let values = vec![Complex64::ZERO; 1024]; // N/2 = 512 max
-        c.encode(&values, 2f64.powi(40), 0);
+        assert!(matches!(
+            c.encode(&values, 2f64.powi(40), 0),
+            Err(ClientError::BadSlotCount {
+                slots: 1024,
+                max_slots: 512
+            })
+        ));
+    }
+
+    #[test]
+    fn wrong_domain_decode_rejected_typed() {
+        let c = ctx();
+        let pt = RawPlaintext {
+            poly: RawPoly::zero(c.n(), 1, Domain::Eval),
+            level: 0,
+            scale: 2f64.powi(40),
+            slots: 8,
+        };
+        assert!(matches!(
+            c.decode(&pt),
+            Err(ClientError::DomainMismatch {
+                expected: "coefficient",
+                ..
+            })
+        ));
     }
 }

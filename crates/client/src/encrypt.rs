@@ -12,27 +12,11 @@ impl ClientContext {
     /// Public-key encryption of an encoded plaintext. The resulting
     /// ciphertext is in evaluation domain, ready for the server adapter.
     ///
-    /// # Panics
-    ///
-    /// Panics if the plaintext is not in coefficient domain; see
-    /// [`ClientContext::try_encrypt`] for the typed form.
-    pub fn encrypt<R: Rng + ?Sized>(
-        &self,
-        pt: &RawPlaintext,
-        pk: &RawPublicKey,
-        rng: &mut R,
-    ) -> RawCiphertext {
-        self.try_encrypt(pt, pk, rng)
-            .expect("encrypt expects an encoded plaintext")
-    }
-
-    /// Public-key encryption of an encoded plaintext, with typed errors.
-    ///
     /// # Errors
     ///
     /// [`ClientError::DomainMismatch`] if the plaintext is not in
     /// coefficient domain.
-    pub fn try_encrypt<R: Rng + ?Sized>(
+    pub fn encrypt<R: Rng + ?Sized>(
         &self,
         pt: &RawPlaintext,
         pk: &RawPublicKey,
@@ -95,27 +79,11 @@ impl ClientContext {
     /// Decrypts a ciphertext to a coefficient-domain plaintext
     /// (`m ≈ c_0 + c_1·s`).
     ///
-    /// # Panics
-    ///
-    /// Panics if the ciphertext is not in evaluation domain; see
-    /// [`ClientContext::try_decrypt`] for the typed form.
-    pub fn decrypt(&self, ct: &RawCiphertext, sk: &SecretKey) -> RawPlaintext {
-        self.try_decrypt(ct, sk)
-            .expect("server ciphertexts are in evaluation domain")
-    }
-
-    /// Decrypts a ciphertext to a coefficient-domain plaintext, with typed
-    /// errors.
-    ///
     /// # Errors
     ///
     /// [`ClientError::DomainMismatch`] if the ciphertext is not in
     /// evaluation domain.
-    pub fn try_decrypt(
-        &self,
-        ct: &RawCiphertext,
-        sk: &SecretKey,
-    ) -> Result<RawPlaintext, ClientError> {
+    pub fn decrypt(&self, ct: &RawCiphertext, sk: &SecretKey) -> Result<RawPlaintext, ClientError> {
         if ct.c0.domain != Domain::Eval {
             return Err(ClientError::DomainMismatch {
                 expected: "evaluation",
@@ -173,10 +141,12 @@ mod tests {
         let values: Vec<Complex64> = (0..512)
             .map(|i| Complex64::new((i as f64 * 0.01).sin(), (i as f64 * 0.02).cos()))
             .collect();
-        let pt = ctx.encode(&values, ctx.params().scale(), ctx.params().max_level());
-        let ct = ctx.encrypt(&pt, &pk, &mut rng);
-        let dec = ctx.decrypt(&ct, &sk);
-        let got = ctx.decode(&dec);
+        let pt = ctx
+            .encode(&values, ctx.params().scale(), ctx.params().max_level())
+            .unwrap();
+        let ct = ctx.encrypt(&pt, &pk, &mut rng).unwrap();
+        let dec = ctx.decrypt(&ct, &sk).unwrap();
+        let got = ctx.decode(&dec).unwrap();
         for (a, b) in got.iter().zip(&values) {
             assert!((*a - *b).abs() < 1e-6, "{a:?} vs {b:?}");
         }
@@ -187,9 +157,11 @@ mod tests {
         let (ctx, sk, pk) = setup();
         let mut rng = StdRng::seed_from_u64(6);
         // Encrypt zero and inspect the raw noise magnitude.
-        let pt = ctx.encode_real(&vec![0.0; 512], ctx.params().scale(), 1);
-        let ct = ctx.encrypt(&pt, &pk, &mut rng);
-        let dec = ctx.decrypt(&ct, &sk);
+        let pt = ctx
+            .encode_real(&vec![0.0; 512], ctx.params().scale(), 1)
+            .unwrap();
+        let ct = ctx.encrypt(&pt, &pk, &mut rng).unwrap();
+        let dec = ctx.decrypt(&ct, &sk).unwrap();
         let m0 = ctx.moduli_q()[0];
         let max_coeff = dec.poly.limbs[0]
             .iter()
@@ -209,15 +181,19 @@ mod tests {
         let a: Vec<f64> = (0..256).map(|i| i as f64 * 0.001).collect();
         let b: Vec<f64> = (0..256).map(|i| 1.0 - i as f64 * 0.002).collect();
         let scale = ctx.params().scale();
-        let cta = ctx.encrypt(&ctx.encode_real(&a, scale, 2), &pk, &mut rng);
-        let ctb = ctx.encrypt(&ctx.encode_real(&b, scale, 2), &pk, &mut rng);
+        let cta = ctx
+            .encrypt(&ctx.encode_real(&a, scale, 2).unwrap(), &pk, &mut rng)
+            .unwrap();
+        let ctb = ctx
+            .encrypt(&ctx.encode_real(&b, scale, 2).unwrap(), &pk, &mut rng)
+            .unwrap();
         let mut sum = cta.clone();
         for i in 0..=2 {
             let m = ctx.moduli_q()[i];
             m.add_assign_slices(&mut sum.c0.limbs[i], &ctb.c0.limbs[i]);
             m.add_assign_slices(&mut sum.c1.limbs[i], &ctb.c1.limbs[i]);
         }
-        let got = ctx.decode_real(&ctx.decrypt(&sum, &sk));
+        let got = ctx.decode_real(&ctx.decrypt(&sum, &sk).unwrap()).unwrap();
         for (i, g) in got.iter().enumerate() {
             assert!((g - (a[i] + b[i])).abs() < 1e-6);
         }
@@ -228,11 +204,11 @@ mod tests {
         let (ctx, sk, pk) = setup();
         let mut rng = StdRng::seed_from_u64(8);
         let values = vec![1.5f64, -2.5, 3.25, 0.0];
-        let pt = ctx.encode_real(&values, ctx.params().scale(), 1);
-        let ct = ctx.encrypt(&pt, &pk, &mut rng);
+        let pt = ctx.encode_real(&values, ctx.params().scale(), 1).unwrap();
+        let ct = ctx.encrypt(&pt, &pk, &mut rng).unwrap();
         let wire = ct.to_bytes();
         let back = RawCiphertext::from_bytes(&wire).unwrap();
-        let got = ctx.decode_real(&ctx.decrypt(&back, &sk));
+        let got = ctx.decode_real(&ctx.decrypt(&back, &sk).unwrap()).unwrap();
         for (g, v) in got.iter().zip(&values) {
             assert!((g - v).abs() < 1e-6);
         }

@@ -34,6 +34,9 @@ pub enum ClientError {
     },
     /// A serialized frame was malformed.
     Serialization(String),
+    /// A request program is structurally invalid (undefined registers,
+    /// missing plaintext slots, out-of-range outputs).
+    BadProgram(String),
 }
 
 impl fmt::Display for ClientError {
@@ -54,6 +57,7 @@ impl fmt::Display for ClientError {
                 )
             }
             ClientError::Serialization(msg) => write!(f, "malformed frame: {msg}"),
+            ClientError::BadProgram(msg) => write!(f, "invalid request program: {msg}"),
         }
     }
 }

@@ -19,11 +19,16 @@
 //! let pk = kg.public_key(&sk);
 //!
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-//! let pt = ctx.encode_real(&[1.0, 2.0, 3.0, 4.0], ctx.params().scale(), 2);
-//! let ct = ctx.encrypt(&pt, &pk, &mut rng);
-//! let back = ctx.decode_real(&ctx.decrypt(&ct, &sk));
+//! let pt = ctx.encode_real(&[1.0, 2.0, 3.0, 4.0], ctx.params().scale(), 2)?;
+//! let ct = ctx.encrypt(&pt, &pk, &mut rng)?;
+//! let back = ctx.decode_real(&ctx.decrypt(&ct, &sk)?)?;
 //! assert!((back[2] - 3.0).abs() < 1e-6);
+//! # Ok::<(), fides_client::ClientError>(())
 //! ```
+//!
+//! The [`wire`] module adds the serving-layer protocol on top: session
+//! (keygen) uploads, evaluation requests carrying op programs, and
+//! responses.
 
 #![warn(missing_docs)]
 
@@ -34,6 +39,7 @@ mod error;
 mod keygen;
 mod raw;
 pub mod security;
+pub mod wire;
 
 pub use context::ClientContext;
 pub use error::ClientError;

@@ -189,7 +189,7 @@ pub struct RawPublicKey {
 
 const MAGIC: u32 = 0xF1DE_517B;
 
-fn put_poly(buf: &mut Vec<u8>, poly: &RawPoly) {
+pub(crate) fn put_poly(buf: &mut Vec<u8>, poly: &RawPoly) {
     buf.put_u8(match poly.domain {
         Domain::Coeff => 0,
         Domain::Eval => 1,
@@ -203,7 +203,7 @@ fn put_poly(buf: &mut Vec<u8>, poly: &RawPoly) {
     }
 }
 
-fn get_poly(buf: &mut &[u8]) -> Result<RawPoly, ClientError> {
+pub(crate) fn get_poly(buf: &mut &[u8]) -> Result<RawPoly, ClientError> {
     if buf.remaining() < 9 {
         return Err(ClientError::Serialization(
             "truncated polynomial header".into(),

@@ -35,8 +35,8 @@ proptest! {
                 Complex64::new(re * magnitude, im * magnitude)
             })
             .collect();
-        let pt = c.encode(&values, 2f64.powi(40), 1);
-        let back = c.decode(&pt);
+        let pt = c.encode(&values, 2f64.powi(40), 1).unwrap();
+        let back = c.decode(&pt).unwrap();
         // Quantization error ~ sqrt(N)/Δ per slot, scaled by nothing else.
         let tol = magnitude * 1e-9 + 1e-9;
         for (a, b) in back.iter().zip(&values) {
@@ -55,15 +55,15 @@ proptest! {
         let a: Vec<f64> = (0..64).map(|i| ((seed.wrapping_add(i) % 100) as f64) / 50.0 - 1.0).collect();
         let b: Vec<f64> = (0..64).map(|i| ((seed.wrapping_mul(31).wrapping_add(i) % 100) as f64) / 50.0 - 1.0).collect();
         let scale = c.params().scale();
-        let ca = c.encrypt(&c.encode_real(&a, scale, 1), &pk, &mut rng);
-        let cb = c.encrypt(&c.encode_real(&b, scale, 1), &pk, &mut rng);
+        let ca = c.encrypt(&c.encode_real(&a, scale, 1).unwrap(), &pk, &mut rng).unwrap();
+        let cb = c.encrypt(&c.encode_real(&b, scale, 1).unwrap(), &pk, &mut rng).unwrap();
         let mut sum = ca.clone();
         for i in 0..=1 {
             let m = c.moduli_q()[i];
             m.add_assign_slices(&mut sum.c0.limbs[i], &cb.c0.limbs[i]);
             m.add_assign_slices(&mut sum.c1.limbs[i], &cb.c1.limbs[i]);
         }
-        let got = c.decode_real(&c.decrypt(&sum, &sk));
+        let got = c.decode_real(&c.decrypt(&sum, &sk).unwrap()).unwrap();
         for i in 0..64 {
             prop_assert!((got[i] - (a[i] + b[i])).abs() < 1e-5);
         }
@@ -78,7 +78,7 @@ proptest! {
         let pk = kg.public_key(&sk);
         let mut rng = StdRng::seed_from_u64(seed);
         let v = vec![0.25f64, -0.5, 0.75, 0.125];
-        let ct = c.encrypt(&c.encode_real(&v, c.params().scale(), 0), &pk, &mut rng);
+        let ct = c.encrypt(&c.encode_real(&v, c.params().scale(), 0).unwrap(), &pk, &mut rng).unwrap();
         let back = fides_client::RawCiphertext::from_bytes(&ct.to_bytes()).unwrap();
         prop_assert_eq!(ct, back);
     }

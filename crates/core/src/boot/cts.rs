@@ -287,7 +287,7 @@ pub(crate) fn encode_stage(
             let rotated: Vec<Complex64> = (0..n)
                 .map(|k| values[(k + n - (giant * n1) % n) % n])
                 .collect();
-            let raw = client.encode(&rotated, pt_scale, level);
+            let raw = client.encode(&rotated, pt_scale, level)?;
             backend.load_plain(&raw)?
         } else {
             backend.placeholder_plain(level, pt_scale, slots)?

@@ -1152,8 +1152,12 @@ mod tests {
     ) -> BackendCt {
         let mut rng = StdRng::seed_from_u64(seed);
         let level = backend.max_level();
-        let pt = client.encode_real(values, backend.standard_scale(level), level);
-        backend.load(&client.encrypt(&pt, pk, &mut rng)).unwrap()
+        let pt = client
+            .encode_real(values, backend.standard_scale(level), level)
+            .unwrap();
+        backend
+            .load(&client.encrypt(&pt, pk, &mut rng).unwrap())
+            .unwrap()
     }
 
     fn dec(
@@ -1162,7 +1166,9 @@ mod tests {
         sk: &fides_client::SecretKey,
         ct: &BackendCt,
     ) -> Vec<f64> {
-        client.decode_real(&client.decrypt(&backend.store(ct).unwrap(), sk))
+        client
+            .decode_real(&client.decrypt(&backend.store(ct).unwrap(), sk).unwrap())
+            .unwrap()
     }
 
     #[test]

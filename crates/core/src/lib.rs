@@ -28,16 +28,17 @@
 //! let sk = kg.secret_key();
 //! let pk = kg.public_key(&sk);
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-//! let pt = client.encode_real(&[1.0, 2.0], client.params().scale(), ctx.max_level());
-//! let raw_ct = client.encrypt(&pt, &pk, &mut rng);
+//! let pt = client.encode_real(&[1.0, 2.0], client.params().scale(), ctx.max_level())?;
+//! let raw_ct = client.encrypt(&pt, &pk, &mut rng)?;
 //!
 //! // ...server computes...
 //! let ct = adapter::load_ciphertext(&ctx, &raw_ct).unwrap();
 //! let sum = ct.add(&ct).unwrap();
 //!
 //! // ...client decrypts.
-//! let back = client.decode_real(&client.decrypt(&adapter::store_ciphertext(&sum), &sk));
+//! let back = client.decode_real(&client.decrypt(&adapter::store_ciphertext(&sum), &sk)?)?;
 //! assert!((back[0] - 2.0).abs() < 1e-4);
+//! # Ok::<(), fides_client::ClientError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -54,6 +55,7 @@ mod keys;
 mod ops;
 mod params;
 mod poly;
+pub mod program;
 pub mod sched;
 
 pub use backend::{BackendCt, BackendPt, EvalBackend, GpuSimBackend};
@@ -66,4 +68,5 @@ pub use keys::{EvalKeySet, KeySwitchingKey};
 pub use ops::linear::{fold_rotations, BsgsEntry, BsgsPlan};
 pub use params::{CkksParameters, FusionConfig};
 pub use poly::{Limb, LimbPartition, RNSPoly};
+pub use program::{const_scale_for, exec_program};
 pub use sched::{ExecGraph, ExecPlan, PlanConfig, Planner, SchedStats};

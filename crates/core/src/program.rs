@@ -1,0 +1,310 @@
+//! Server-side execution of client [`OpProgram`]s (the serving layer's
+//! request circuits).
+//!
+//! A request program is a tiny register machine over backend ciphertexts
+//! (see [`fides_client::wire`]). This module runs one against any
+//! [`EvalBackend`] under the **standard-ladder policy** — exactly the policy
+//! the `fides-api` operator overloads apply, so a program evaluated here is
+//! bit-identical to the same circuit written against `CkksEngine`
+//! ciphertext handles:
+//!
+//! * `Mul` / `Square` relinearize and **rescale immediately**, consuming one
+//!   level;
+//! * `MulScalar` / `MulPlain` multiply at the ladder-exact constant scale
+//!   and rescale, consuming one level;
+//! * binary ops align operand levels by dropping the higher operand
+//!   (LevelReduce — exact);
+//! * `AddScalar` / `MulInt` / `Negate` are exact and consume nothing.
+//!
+//! Both the multi-tenant server (`fides-serve`) and the single-tenant
+//! engine entry point (`CkksEngine::eval_program`) call into this executor,
+//! which is what makes "batched multi-tenant results ≡ serial engine
+//! results" a structural property rather than a testing aspiration.
+
+use fides_client::wire::{OpProgram, ProgramOp};
+
+use crate::backend::{BackendCt, BackendPt, EvalBackend};
+use crate::error::{FidesError, Result};
+
+/// The ladder-exact constant scale for a multiplication consuming the prime
+/// at `level`: `q_level · σ_{level-1} / σ_level`. Multiplying at this scale
+/// and rescaling lands the result exactly on the standard-scale ladder.
+///
+/// # Errors
+///
+/// [`FidesError::NotEnoughLevels`] at level 0 (no prime left to consume).
+pub fn const_scale_for(backend: &dyn EvalBackend, level: usize) -> Result<f64> {
+    if level == 0 {
+        return Err(FidesError::NotEnoughLevels {
+            needed: 1,
+            available: 0,
+        });
+    }
+    let q_l = backend.modulus_value(level) as f64;
+    Ok(q_l * backend.standard_scale(level - 1) / backend.standard_scale(level))
+}
+
+/// Aligns two operands to a common level by dropping the higher one (exact
+/// LevelReduce), then applies `op`.
+fn with_aligned(
+    backend: &dyn EvalBackend,
+    a: &BackendCt,
+    b: &BackendCt,
+    op: impl FnOnce(&BackendCt, &BackendCt) -> Result<BackendCt>,
+) -> Result<BackendCt> {
+    let (la, lb) = (a.level(), b.level());
+    let target = la.min(lb);
+    let dropped_a;
+    let a = if la > target {
+        let mut d = a.duplicate();
+        backend.drop_to_level(&mut d, target)?;
+        dropped_a = d;
+        &dropped_a
+    } else {
+        a
+    };
+    let dropped_b;
+    let b = if lb > target {
+        let mut d = b.duplicate();
+        backend.drop_to_level(&mut d, target)?;
+        dropped_b = d;
+        &dropped_b
+    } else {
+        b
+    };
+    op(a, b)
+}
+
+/// Executes `program` over `inputs` on `backend` under the standard-ladder
+/// policy, returning the ciphertexts of the program's output registers in
+/// order.
+///
+/// `plains` are the session's preloaded evaluation-domain plaintexts
+/// (`MulPlain` operands); each must sit at the level its consuming
+/// ciphertext has when the op runs, at the ladder-exact constant scale for
+/// that level (see [`const_scale_for`]).
+///
+/// The program is validated structurally before any ciphertext math runs,
+/// so a malformed request costs nothing on the device.
+///
+/// # Errors
+///
+/// [`FidesError::Client`] for structurally invalid programs (wrapping the
+/// client-side [`ClientError::BadProgram`](fides_client::ClientError)), the
+/// usual backend errors (missing keys, exhausted levels, level mismatches)
+/// for valid programs whose ops cannot run.
+pub fn exec_program(
+    backend: &dyn EvalBackend,
+    inputs: Vec<BackendCt>,
+    plains: &[BackendPt],
+    program: &OpProgram,
+) -> Result<Vec<BackendCt>> {
+    program.validate(plains.len())?;
+    if inputs.len() != program.inputs as usize {
+        return Err(FidesError::Client(format!(
+            "program expects {} input ciphertexts, request carries {}",
+            program.inputs,
+            inputs.len()
+        )));
+    }
+    let mut regs: Vec<BackendCt> = inputs;
+    regs.reserve(program.ops.len());
+    for op in &program.ops {
+        let out = exec_op(backend, &regs, plains, op)?;
+        regs.push(out);
+    }
+    Ok(program
+        .outputs
+        .iter()
+        .map(|&r| regs[r as usize].duplicate())
+        .collect())
+}
+
+fn exec_op(
+    backend: &dyn EvalBackend,
+    regs: &[BackendCt],
+    plains: &[BackendPt],
+    op: &ProgramOp,
+) -> Result<BackendCt> {
+    match *op {
+        ProgramOp::Add { a, b } => {
+            with_aligned(backend, &regs[a as usize], &regs[b as usize], |x, y| {
+                backend.add(x, y)
+            })
+        }
+        ProgramOp::Sub { a, b } => {
+            with_aligned(backend, &regs[a as usize], &regs[b as usize], |x, y| {
+                backend.sub(x, y)
+            })
+        }
+        ProgramOp::Mul { a, b } => {
+            let mut out = with_aligned(backend, &regs[a as usize], &regs[b as usize], |x, y| {
+                backend.mul(x, y)
+            })?;
+            backend.rescale(&mut out)?;
+            Ok(out)
+        }
+        ProgramOp::Square { a } => {
+            let mut out = backend.square(&regs[a as usize])?;
+            backend.rescale(&mut out)?;
+            Ok(out)
+        }
+        ProgramOp::Negate { a } => backend.negate(&regs[a as usize]),
+        ProgramOp::AddScalar { a, c } => backend.add_scalar(&regs[a as usize], c),
+        ProgramOp::MulScalar { a, c } => {
+            let ct = &regs[a as usize];
+            let const_scale = const_scale_for(backend, ct.level())?;
+            let mut out = backend.mul_scalar_at(ct, c, const_scale)?;
+            backend.rescale(&mut out)?;
+            Ok(out)
+        }
+        ProgramOp::MulInt { a, k } => backend.mul_int(&regs[a as usize], k),
+        ProgramOp::Rotate { a, k } => backend.rotate(&regs[a as usize], k),
+        ProgramOp::Conjugate { a } => backend.conjugate(&regs[a as usize]),
+        ProgramOp::MulPlain { a, plain } => {
+            let ct = &regs[a as usize];
+            let pt = &plains[plain as usize];
+            if pt.level() < ct.level() {
+                return Err(FidesError::LevelMismatch {
+                    left: ct.level(),
+                    right: pt.level(),
+                });
+            }
+            // Packing is part of the CKKS encoding: a slot-count mismatch
+            // would multiply against a differently-packed polynomial and
+            // decode to garbage rather than fail — reject it typed.
+            if pt.slots() != ct.slots() {
+                return Err(FidesError::SlotMismatch {
+                    left: ct.slots(),
+                    right: pt.slots(),
+                });
+            }
+            let mut out = backend.mul_plain_pre(ct, pt)?;
+            backend.rescale(&mut out)?;
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu_ref::CpuBackend;
+    use fides_client::wire::OpProgram;
+    use fides_client::{ClientContext, KeyGenerator, RawParams};
+    use rand::SeedableRng;
+
+    fn setup() -> (
+        CpuBackend,
+        ClientContext,
+        fides_client::RawPublicKey,
+        fides_client::SecretKey,
+    ) {
+        let raw = RawParams::generate(10, 4, 40, 60, 3);
+        let client = ClientContext::new(raw.clone());
+        let mut kg = KeyGenerator::new(&client, 5);
+        let sk = kg.secret_key();
+        let pk = kg.public_key(&sk);
+        let mut backend = CpuBackend::new(raw);
+        backend.set_relin_key(kg.relinearization_key(&sk));
+        backend.insert_rotation_key(1, kg.rotation_key(&sk, 1));
+        (backend, client, pk, sk)
+    }
+
+    fn encrypt(
+        backend: &CpuBackend,
+        client: &ClientContext,
+        pk: &fides_client::RawPublicKey,
+        values: &[f64],
+        seed: u64,
+    ) -> BackendCt {
+        let level = backend.max_level();
+        let pt = client
+            .encode_real(values, backend.standard_scale(level), level)
+            .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        backend
+            .load(&client.encrypt(&pt, pk, &mut rng).unwrap())
+            .unwrap()
+    }
+
+    fn decrypt(
+        backend: &CpuBackend,
+        client: &ClientContext,
+        sk: &fides_client::SecretKey,
+        ct: &BackendCt,
+    ) -> Vec<f64> {
+        client
+            .decode_real(&client.decrypt(&backend.store(ct).unwrap(), sk).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn program_matches_handwritten_circuit() {
+        let (backend, client, pk, sk) = setup();
+        let a = encrypt(&backend, &client, &pk, &[0.5, -0.25, 0.125, 0.0], 11);
+        let b = encrypt(&backend, &client, &pk, &[0.1, 0.2, 0.3, 0.4], 12);
+
+        // (a + b)² · 0.5 − b, rotated by 1.
+        let mut p = OpProgram::new(2);
+        let s = p.push(ProgramOp::Add { a: 0, b: 1 });
+        let sq = p.push(ProgramOp::Square { a: s });
+        let h = p.push(ProgramOp::MulScalar { a: sq, c: 0.5 });
+        let d = p.push(ProgramOp::Sub { a: h, b: 1 });
+        let r = p.push(ProgramOp::Rotate { a: d, k: 1 });
+        p.output(r);
+
+        let out = exec_program(&backend, vec![a, b], &[], &p).unwrap();
+        assert_eq!(out.len(), 1);
+        let got = decrypt(&backend, &client, &sk, &out[0]);
+        let av = [0.5f64, -0.25, 0.125, 0.0];
+        let bv = [0.1f64, 0.2, 0.3, 0.4];
+        for (i, g) in got.iter().take(4).enumerate() {
+            let j = (i + 1) % 4;
+            let expect = (av[j] + bv[j]).powi(2) * 0.5 - bv[j];
+            assert!((g - expect).abs() < 1e-3, "slot {i}: {g} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn invalid_program_rejected_before_execution() {
+        let (backend, client, pk, _sk) = setup();
+        let a = encrypt(&backend, &client, &pk, &[0.5], 13);
+        let mut p = OpProgram::new(1);
+        p.push(ProgramOp::Add { a: 0, b: 9 });
+        p.output(1);
+        assert!(matches!(
+            exec_program(&backend, vec![a], &[], &p),
+            Err(FidesError::Client(_))
+        ));
+    }
+
+    #[test]
+    fn input_arity_checked() {
+        let (backend, client, pk, _sk) = setup();
+        let a = encrypt(&backend, &client, &pk, &[0.5], 14);
+        let mut p = OpProgram::new(2);
+        let s = p.push(ProgramOp::Add { a: 0, b: 1 });
+        p.output(s);
+        assert!(matches!(
+            exec_program(&backend, vec![a], &[], &p),
+            Err(FidesError::Client(_))
+        ));
+    }
+
+    #[test]
+    fn const_scale_matches_ladder() {
+        let (backend, _client, _pk, _sk) = setup();
+        let l = backend.max_level();
+        let s = const_scale_for(&backend, l).unwrap();
+        let q_l = backend.modulus_value(l) as f64;
+        assert_eq!(
+            s,
+            q_l * backend.standard_scale(l - 1) / backend.standard_scale(l)
+        );
+        assert!(matches!(
+            const_scale_for(&backend, 0),
+            Err(FidesError::NotEnoughLevels { .. })
+        ));
+    }
+}

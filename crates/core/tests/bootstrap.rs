@@ -63,8 +63,9 @@ impl Harness {
     fn encrypt_at(&mut self, values: &[f64], level: usize) -> BackendCt {
         let pt = self
             .client
-            .encode_real(values, self.ctx.standard_scale(level), level);
-        let raw = self.client.encrypt(&pt, &self.pk, &mut self.rng);
+            .encode_real(values, self.ctx.standard_scale(level), level)
+            .unwrap();
+        let raw = self.client.encrypt(&pt, &self.pk, &mut self.rng).unwrap();
         BackendCt::Device(adapter::load_ciphertext(&self.ctx, &raw).unwrap())
     }
 
@@ -74,7 +75,8 @@ impl Harness {
         };
         let raw = adapter::store_ciphertext(ct);
         self.client
-            .decode_real(&self.client.decrypt(&raw, &self.sk))
+            .decode_real(&self.client.decrypt(&raw, &self.sk).unwrap())
+            .unwrap()
     }
 }
 

@@ -53,28 +53,33 @@ impl Harness {
     fn encrypt(&mut self, values: &[f64]) -> Ciphertext {
         let pt = self
             .client
-            .encode_real(values, self.ctx.fresh_scale(), self.ctx.max_level());
-        let raw = self.client.encrypt(&pt, &self.pk, &mut self.rng);
+            .encode_real(values, self.ctx.fresh_scale(), self.ctx.max_level())
+            .unwrap();
+        let raw = self.client.encrypt(&pt, &self.pk, &mut self.rng).unwrap();
         adapter::load_ciphertext(&self.ctx, &raw).unwrap()
     }
 
     fn encrypt_complex(&mut self, values: &[Complex64]) -> Ciphertext {
         let pt = self
             .client
-            .encode(values, self.ctx.fresh_scale(), self.ctx.max_level());
-        let raw = self.client.encrypt(&pt, &self.pk, &mut self.rng);
+            .encode(values, self.ctx.fresh_scale(), self.ctx.max_level())
+            .unwrap();
+        let raw = self.client.encrypt(&pt, &self.pk, &mut self.rng).unwrap();
         adapter::load_ciphertext(&self.ctx, &raw).unwrap()
     }
 
     fn decrypt(&self, ct: &Ciphertext) -> Vec<f64> {
         let raw = adapter::store_ciphertext(ct);
         self.client
-            .decode_real(&self.client.decrypt(&raw, &self.sk))
+            .decode_real(&self.client.decrypt(&raw, &self.sk).unwrap())
+            .unwrap()
     }
 
     fn decrypt_complex(&self, ct: &Ciphertext) -> Vec<Complex64> {
         let raw = adapter::store_ciphertext(ct);
-        self.client.decode(&self.client.decrypt(&raw, &self.sk))
+        self.client
+            .decode(&self.client.decrypt(&raw, &self.sk).unwrap())
+            .unwrap()
     }
 }
 
@@ -135,7 +140,7 @@ fn ptadd_ptmult() {
     let a = ramp(64);
     let b: Vec<f64> = (0..64).map(|i| 0.3 + 0.01 * i as f64).collect();
     let ca = h.encrypt(&a);
-    let raw_pt = h.client.encode_real(&b, ca.scale(), ca.level());
+    let raw_pt = h.client.encode_real(&b, ca.scale(), ca.level()).unwrap();
     let pt = adapter::load_plaintext(&h.ctx, &raw_pt).unwrap();
 
     let sum = ca.add_plain(&pt).unwrap();

@@ -19,13 +19,13 @@ pub fn is_prime_u64(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n.is_multiple_of(p) {
+        if n % p == 0 {
             return false;
         }
     }
     let mut d = n - 1;
     let mut r = 0u32;
-    while d.is_multiple_of(2) {
+    while d % 2 == 0 {
         d /= 2;
         r += 1;
     }

@@ -1,0 +1,85 @@
+//! Typed errors of the serving layer.
+
+use std::fmt;
+
+use fides_client::ClientError;
+use fides_core::FidesError;
+
+/// Errors the server reports at its session-management boundary.
+///
+/// Per-request evaluation failures never surface here — they come back as
+/// failed [`EvalResponse`](fides_client::wire::EvalResponse)s so one
+/// tenant's malformed circuit cannot poison a batch.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A tenant tried to attach with a parameter fingerprint that does not
+    /// match the server's chain.
+    ParamsMismatch {
+        /// The server's fingerprint.
+        expected: u64,
+        /// The tenant's fingerprint.
+        got: u64,
+    },
+    /// A session id that is unknown (never opened, closed, or evicted).
+    UnknownSession(u64),
+    /// Key material or preloaded plaintexts failed to load.
+    Fides(FidesError),
+    /// A wire frame failed to parse.
+    Client(ClientError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::ParamsMismatch { expected, got } => write!(
+                f,
+                "parameter fingerprint mismatch: server chain is {expected:#018x}, \
+                 tenant sent {got:#018x}"
+            ),
+            ServeError::UnknownSession(id) => {
+                write!(f, "unknown session {id} (closed, evicted, or never opened)")
+            }
+            ServeError::Fides(e) => write!(f, "session setup failed: {e}"),
+            ServeError::Client(e) => write!(f, "malformed request: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Fides(e) => Some(e),
+            ServeError::Client(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FidesError> for ServeError {
+    fn from(e: FidesError) -> Self {
+        ServeError::Fides(e)
+    }
+}
+
+impl From<ClientError> for ServeError {
+    fn from(e: ClientError) -> Self {
+        ServeError::Client(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServeError::ParamsMismatch {
+            expected: 1,
+            got: 2,
+        };
+        assert!(e.to_string().contains("mismatch"));
+        assert!(ServeError::UnknownSession(7).to_string().contains('7'));
+        let e: ServeError = FidesError::MissingKey("rotation 3".into()).into();
+        assert!(e.to_string().contains("rotation 3"));
+    }
+}

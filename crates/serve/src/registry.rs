@@ -1,0 +1,154 @@
+//! The bounded LRU session registry.
+//!
+//! A session is what the server holds **per tenant**: the tenant's
+//! evaluation keys, loaded into the execution substrate's native form, plus
+//! the tenant's preloaded evaluation-domain plaintexts (model weights and
+//! other repeated `MulPlain` operands). The registry is bounded — opening a
+//! session past capacity evicts the least-recently-used tenant, modelling a
+//! server whose device memory cannot hold every tenant's keys at once.
+//! Evicted tenants simply re-upload (the wire `SessionRequest` is the cache
+//! fill).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fides_core::backend::{BackendPt, EvalBackend};
+
+/// Everything the server holds on behalf of one tenant.
+pub(crate) struct SessionState {
+    /// The tenant's evaluation substrate: its keys bound to the shared
+    /// device context (gpu-sim) or a host evaluator (CPU reference).
+    pub(crate) backend: Box<dyn EvalBackend>,
+    /// Preloaded evaluation-domain plaintext operands, in upload order
+    /// (request programs index into this table).
+    pub(crate) plains: Vec<BackendPt>,
+}
+
+struct Entry {
+    state: Arc<SessionState>,
+    last_used: u64,
+}
+
+/// Bounded LRU map from session id to session state.
+pub(crate) struct Registry {
+    entries: HashMap<u64, Entry>,
+    capacity: usize,
+    next_id: u64,
+    clock: u64,
+    evicted: u64,
+}
+
+impl Registry {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            next_id: 1,
+            clock: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Inserts a session, evicting the least-recently-used entry when at
+    /// capacity. Returns the fresh session id.
+    pub(crate) fn insert(&mut self, state: SessionState) -> u64 {
+        if self.entries.len() >= self.capacity {
+            if let Some(&victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(id, e)| (e.last_used, **id))
+                .map(|(id, _)| id)
+            {
+                self.entries.remove(&victim);
+                self.evicted += 1;
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.clock += 1;
+        self.entries.insert(
+            id,
+            Entry {
+                state: Arc::new(state),
+                last_used: self.clock,
+            },
+        );
+        id
+    }
+
+    /// Looks a session up, marking it most-recently-used. The returned
+    /// `Arc` keeps a mid-batch session alive even if a concurrent open
+    /// evicts it.
+    pub(crate) fn touch(&mut self, id: u64) -> Option<Arc<SessionState>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(&id).map(|e| {
+            e.last_used = clock;
+            Arc::clone(&e.state)
+        })
+    }
+
+    pub(crate) fn remove(&mut self, id: u64) -> bool {
+        self.entries.remove(&id).is_some()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn evicted(&self) -> u64 {
+        self.evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fides_client::RawParams;
+    use fides_core::CpuBackend;
+
+    fn state() -> SessionState {
+        SessionState {
+            backend: Box::new(CpuBackend::new(RawParams::generate(8, 2, 30, 40, 2))),
+            plains: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut r = Registry::new(2);
+        let a = r.insert(state());
+        let b = r.insert(state());
+        assert_eq!(r.len(), 2);
+        // Touch `a`, so `b` is now the LRU victim.
+        assert!(r.touch(a).is_some());
+        let c = r.insert(state());
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.evicted(), 1);
+        assert!(r.touch(b).is_none(), "b was evicted");
+        assert!(r.touch(a).is_some());
+        assert!(r.touch(c).is_some());
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut r = Registry::new(1);
+        let a = r.insert(state());
+        let b = r.insert(state()); // evicts a
+        assert_ne!(a, b);
+        assert!(r.touch(a).is_none());
+        assert!(!r.remove(a));
+        assert!(r.remove(b));
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let mut r = Registry::new(0);
+        let a = r.insert(state());
+        assert!(r.touch(a).is_some());
+        let b = r.insert(state());
+        assert!(r.touch(a).is_none());
+        assert!(r.touch(b).is_some());
+    }
+}

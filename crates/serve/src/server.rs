@@ -1,0 +1,556 @@
+//! The session server: request queue, batch scheduler, graph sharing.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use fides_client::wire::{params_fingerprint, EvalRequest, EvalResponse, SessionRequest};
+use fides_client::{RawCiphertext, RawParams};
+use fides_core::backend::EvalBackend;
+use fides_core::sched::{ExecGraph, GpuReplayExecutor, PlanConfig, PlanExecutor, Planner};
+use fides_core::{adapter, CkksContext, CkksParameters, CpuBackend, GpuSimBackend};
+use fides_gpu_sim::{DeviceSpec, ExecMode, GpuSim, GraphEvent, SimStats};
+use parking_lot::Mutex;
+
+use crate::error::ServeError;
+use crate::registry::{Registry, SessionState};
+use crate::stats::ServeStats;
+
+/// Which execution substrate the server runs tenants on.
+#[derive(Clone, Debug)]
+pub enum ServeBackend {
+    /// The paper-faithful simulated-GPU pipeline: one device, one shared
+    /// context, cross-request graph batching.
+    GpuSim {
+        /// Simulated device model.
+        device: DeviceSpec,
+        /// Functional (math runs) or cost-only execution.
+        mode: ExecMode,
+    },
+    /// The plain-CPU reference evaluator (no kernel graphs — ticks execute
+    /// requests back to back; exists to cross-check the batched results).
+    Cpu {
+        /// Worker threads for limb-parallel execution (`None`: the
+        /// `FIDES_WORKERS` env or the machine's parallelism).
+        workers: Option<usize>,
+    },
+}
+
+impl Default for ServeBackend {
+    fn default() -> Self {
+        ServeBackend::GpuSim {
+            device: DeviceSpec::rtx_4090(),
+            mode: ExecMode::Functional,
+        }
+    }
+}
+
+/// Server configuration: the parameter chain every tenant must match, the
+/// execution substrate, and the serving knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// The CKKS parameter set (including `num_streams`, fusion toggles and
+    /// `graph_exec`, which drive the batch scheduler).
+    pub params: CkksParameters,
+    /// Execution substrate.
+    pub backend: ServeBackend,
+    /// Most requests one batch tick executes (≥ 1).
+    pub batch_size: usize,
+    /// Session-registry capacity; opening past it evicts the LRU tenant.
+    pub max_sessions: usize,
+}
+
+impl ServerConfig {
+    /// A configuration with the serving defaults: gpu-sim substrate on a
+    /// simulated RTX 4090, functional execution, batch size 16, at most 64
+    /// resident sessions.
+    pub fn new(params: CkksParameters) -> Self {
+        Self {
+            params,
+            backend: ServeBackend::default(),
+            batch_size: 16,
+            max_sessions: 64,
+        }
+    }
+
+    /// Selects the execution substrate.
+    pub fn backend(mut self, backend: ServeBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Most requests one batch tick executes.
+    pub fn batch_size(mut self, batch: usize) -> Self {
+        self.batch_size = batch.max(1);
+        self
+    }
+
+    /// Session-registry capacity.
+    pub fn max_sessions(mut self, sessions: usize) -> Self {
+        self.max_sessions = sessions.max(1);
+        self
+    }
+}
+
+enum Substrate {
+    /// One shared device context; per-tenant key sets attach to it.
+    Gpu(Arc<CkksContext>),
+    /// Per-tenant host evaluators over the same chain.
+    Cpu {
+        raw: RawParams,
+        workers: Option<usize>,
+    },
+}
+
+struct Slot {
+    resp: Mutex<Option<EvalResponse>>,
+}
+
+/// A handle to a submitted request; redeem with [`Ticket::try_take`] after
+/// a tick has run (or use [`Server::eval`] for the blocking path).
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+impl Ticket {
+    /// The response, once a batch tick has executed this request.
+    pub fn try_take(&self) -> Option<EvalResponse> {
+        self.slot.resp.lock().take()
+    }
+}
+
+struct Pending {
+    req: EvalRequest,
+    slot: Arc<Slot>,
+}
+
+struct ServerInner {
+    substrate: Substrate,
+    raw: RawParams,
+    params_hash: u64,
+    plan_cfg: PlanConfig,
+    graph_exec: bool,
+    batch_size: usize,
+    registry: Mutex<Registry>,
+    queue: Mutex<VecDeque<Pending>>,
+    /// Serializes batch execution: exactly one tick runs at a time, and a
+    /// blocked [`Server::eval`] caller waiting on this lock is guaranteed
+    /// its request was either served by the running tick or is still
+    /// queued for its own.
+    tick_lock: Mutex<()>,
+    stats: Mutex<ServeStats>,
+}
+
+/// A multi-tenant CKKS session server over one execution substrate.
+///
+/// Cloning is cheap — clones share the registry, queue and device, so a
+/// clone per request thread is the intended usage.
+///
+/// See the [crate docs](crate) for the serving model and a quick-serve
+/// example.
+#[derive(Clone)]
+pub struct Server {
+    inner: Arc<ServerInner>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field(
+                "params_hash",
+                &format_args!("{:#018x}", self.inner.params_hash),
+            )
+            .field("batch_size", &self.inner.batch_size)
+            .field("sessions", &self.inner.registry.lock().len())
+            .field("queued", &self.inner.queue.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Builds a server: constructs the substrate (device + shared context
+    /// for gpu-sim) and derives the parameter fingerprint tenants must
+    /// match.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Fides`] for invalid parameter sets.
+    pub fn new(config: ServerConfig) -> Result<Self, ServeError> {
+        let params = config.params;
+        let raw = params.to_raw();
+        let params_hash = params_fingerprint(&raw);
+        let plan_cfg = PlanConfig {
+            fuse_elementwise: params.fusion.elementwise,
+            num_streams: params.num_streams,
+            ..PlanConfig::default()
+        };
+        let graph_exec = params.graph_exec;
+        let substrate = match config.backend {
+            ServeBackend::GpuSim { device, mode } => {
+                let gpu = GpuSim::new(device, mode);
+                Substrate::Gpu(CkksContext::from_raw(params, raw.clone(), gpu))
+            }
+            ServeBackend::Cpu { workers } => Substrate::Cpu {
+                raw: raw.clone(),
+                workers,
+            },
+        };
+        Ok(Self {
+            inner: Arc::new(ServerInner {
+                substrate,
+                raw,
+                params_hash,
+                plan_cfg,
+                graph_exec,
+                batch_size: config.batch_size.max(1),
+                registry: Mutex::new(Registry::new(config.max_sessions)),
+                queue: Mutex::new(VecDeque::new()),
+                tick_lock: Mutex::new(()),
+                stats: Mutex::new(ServeStats::default()),
+            }),
+        })
+    }
+
+    /// The fingerprint of the server's parameter chain (what
+    /// [`SessionRequest::params_hash`] is checked against).
+    pub fn params_hash(&self) -> u64 {
+        self.inner.params_hash
+    }
+
+    /// The shared client/server parameter description.
+    pub fn raw_params(&self) -> &RawParams {
+        &self.inner.raw
+    }
+
+    /// Number of sessions currently resident in the registry.
+    pub fn session_count(&self) -> usize {
+        self.inner.registry.lock().len()
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn stats(&self) -> ServeStats {
+        let mut s = *self.inner.stats.lock();
+        s.sessions_evicted = self.inner.registry.lock().evicted();
+        s
+    }
+
+    /// Simulated-device statistics (gpu-sim substrate; `None` on CPU).
+    pub fn sim_stats(&self) -> Option<SimStats> {
+        match &self.inner.substrate {
+            Substrate::Gpu(ctx) => Some(ctx.gpu().stats()),
+            Substrate::Cpu { .. } => None,
+        }
+    }
+
+    /// Simulated-device makespan in µs (device-wide sync; gpu-sim only).
+    pub fn sync_us(&self) -> Option<f64> {
+        match &self.inner.substrate {
+            Substrate::Gpu(ctx) => Some(ctx.gpu().sync()),
+            Substrate::Cpu { .. } => None,
+        }
+    }
+
+    /// Clears the simulated-device statistics ledger (no-op on the CPU
+    /// substrate). Benchmarks call this after session setup so launch
+    /// counts and stream occupancy measure the serving phase alone, not
+    /// key loading.
+    pub fn reset_sim_stats(&self) {
+        if let Substrate::Gpu(ctx) = &self.inner.substrate {
+            ctx.gpu().reset_stats();
+        }
+    }
+
+    /// Opens a session from a keygen upload: validates the tenant's
+    /// parameter fingerprint, loads the evaluation keys into the
+    /// substrate's native form, preloads the uploaded plaintexts into the
+    /// evaluation-domain cache, and registers the tenant (evicting the LRU
+    /// session when the registry is full). Returns the session id the
+    /// tenant puts on its evaluation requests.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ParamsMismatch`] for a foreign chain,
+    /// [`ServeError::Fides`] when key material fails to load.
+    pub fn open_session(&self, req: SessionRequest) -> Result<u64, ServeError> {
+        if req.params_hash != self.inner.params_hash {
+            return Err(ServeError::ParamsMismatch {
+                expected: self.inner.params_hash,
+                got: req.params_hash,
+            });
+        }
+        let backend: Box<dyn EvalBackend> = match &self.inner.substrate {
+            Substrate::Gpu(ctx) => {
+                let keys = adapter::load_eval_keys(
+                    ctx,
+                    req.relin.as_ref(),
+                    &req.rotations,
+                    req.conjugation.as_ref(),
+                )?;
+                Box::new(GpuSimBackend::new(Arc::clone(ctx), keys))
+            }
+            Substrate::Cpu { raw, workers } => {
+                let mut backend = CpuBackend::new(raw.clone());
+                if let Some(workers) = workers {
+                    backend = backend.with_workers(*workers);
+                }
+                if let Some(relin) = req.relin {
+                    backend.set_relin_key(relin);
+                }
+                for (shift, key) in req.rotations {
+                    backend.insert_rotation_key(shift, key);
+                }
+                if let Some(conj) = req.conjugation {
+                    backend.set_conj_key(conj);
+                }
+                Box::new(backend)
+            }
+        };
+        let mut plains = Vec::with_capacity(req.plaintexts.len());
+        for pt in &req.plaintexts {
+            plains.push(backend.load_plain(pt)?);
+        }
+        let id = self
+            .inner
+            .registry
+            .lock()
+            .insert(SessionState { backend, plains });
+        self.inner.stats.lock().sessions_opened += 1;
+        Ok(id)
+    }
+
+    /// [`Server::open_session`] over a serialized wire frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Client`] for malformed frames, then as
+    /// [`Server::open_session`].
+    pub fn open_session_bytes(&self, frame: &[u8]) -> Result<u64, ServeError> {
+        self.open_session(SessionRequest::from_bytes(frame)?)
+    }
+
+    /// Closes a session, freeing its keys. Returns whether it was resident.
+    pub fn close_session(&self, id: u64) -> bool {
+        self.inner.registry.lock().remove(id)
+    }
+
+    /// Enqueues a request without blocking; a later batch tick (from any
+    /// thread) executes it. Redeem the ticket with [`Ticket::try_take`].
+    pub fn submit(&self, req: EvalRequest) -> Ticket {
+        let slot = Arc::new(Slot {
+            resp: Mutex::new(None),
+        });
+        self.inner.queue.lock().push_back(Pending {
+            req,
+            slot: Arc::clone(&slot),
+        });
+        Ticket { slot }
+    }
+
+    /// Runs one batch tick: drains up to `batch_size` queued requests,
+    /// executes them as one merged graph (gpu-sim substrate with graph
+    /// execution on), and fills their tickets. Returns how many requests
+    /// the tick served.
+    pub fn run_tick(&self) -> usize {
+        let _guard = self.inner.tick_lock.lock();
+        self.run_tick_locked()
+    }
+
+    /// Blocking evaluation: enqueues the request and drives batch ticks
+    /// until its response is ready. Concurrent callers' requests batch into
+    /// shared ticks — N threads blocked here produce multi-request graphs.
+    pub fn eval(&self, req: EvalRequest) -> EvalResponse {
+        let ticket = self.submit(req);
+        loop {
+            if let Some(resp) = ticket.try_take() {
+                return resp;
+            }
+            // Wait for any in-flight tick (it may serve us), then tick
+            // ourselves if it didn't.
+            let _guard = self.inner.tick_lock.lock();
+            if let Some(resp) = ticket.try_take() {
+                return resp;
+            }
+            self.run_tick_locked();
+            if let Some(resp) = ticket.try_take() {
+                return resp;
+            }
+        }
+    }
+
+    /// [`Server::eval`] over serialized wire frames: parses an
+    /// [`EvalRequest`], serves it, and returns the serialized
+    /// [`EvalResponse`] (parse failures come back as failed responses, so
+    /// this never panics on attacker-controlled bytes).
+    pub fn eval_bytes(&self, frame: &[u8]) -> Vec<u8> {
+        match EvalRequest::from_bytes(frame) {
+            Ok(req) => self.eval(req).to_bytes(),
+            Err(e) => EvalResponse::failed(format!("malformed request: {e}")).to_bytes(),
+        }
+    }
+
+    /// Executes one batch while holding the tick lock.
+    fn run_tick_locked(&self) -> usize {
+        let batch: Vec<Pending> = {
+            let mut queue = self.inner.queue.lock();
+            let n = queue.len().min(self.inner.batch_size);
+            queue.drain(..n).collect()
+        };
+        if batch.is_empty() {
+            return 0;
+        }
+
+        // Resolve sessions first (touching the LRU clock once per request);
+        // the Arc keeps a session alive even if an open evicts it mid-batch.
+        let resolved: Vec<(Pending, Option<Arc<SessionState>>)> = {
+            let mut registry = self.inner.registry.lock();
+            batch
+                .into_iter()
+                .map(|p| {
+                    let session = registry.touch(p.req.session_id);
+                    (p, session)
+                })
+                .collect()
+        };
+
+        let served = resolved.len();
+        let responses: Vec<EvalResponse> = match &self.inner.substrate {
+            Substrate::Gpu(ctx) if self.inner.graph_exec => {
+                self.serve_batch_graphed(ctx, &resolved)
+            }
+            _ => resolved
+                .iter()
+                .map(|(p, session)| Self::serve_one(session.as_deref(), &p.req))
+                .collect(),
+        };
+
+        {
+            let mut stats = self.inner.stats.lock();
+            stats.requests += served as u64;
+            stats.batches += 1;
+            stats.max_batch = stats.max_batch.max(served);
+            stats.failed += responses.iter().filter(|r| r.error.is_some()).count() as u64;
+        }
+        for ((p, _), resp) in resolved.into_iter().zip(responses) {
+            *p.slot.resp.lock() = Some(resp);
+        }
+        served
+    }
+
+    /// The graph-batched path: each request records into its own capture
+    /// region; the regions merge — with a per-request round-robin stream
+    /// offset — into one server-owned graph, planned once (fusion applies
+    /// across tenant boundaries) and replayed once.
+    fn serve_batch_graphed(
+        &self,
+        ctx: &Arc<CkksContext>,
+        batch: &[(Pending, Option<Arc<SessionState>>)],
+    ) -> Vec<EvalResponse> {
+        let gpu = ctx.gpu();
+        let mut merged: Vec<GraphEvent> = Vec::new();
+        let mut responses = Vec::with_capacity(batch.len());
+        for (i, (p, session)) in batch.iter().enumerate() {
+            let began = gpu.begin_capture();
+            let resp = Self::serve_one(session.as_deref(), &p.req);
+            if began {
+                merged.extend(offset_streams(gpu.end_capture(), i));
+            }
+            responses.push(resp);
+        }
+        if !merged.is_empty() {
+            let graph = ExecGraph::from_events(merged);
+            let plan = Planner::new(self.inner.plan_cfg).plan(&graph);
+            GpuReplayExecutor::new(gpu).execute(&plan);
+            let mut stats = self.inner.stats.lock();
+            stats.recorded_kernels += plan.stats().recorded_kernels;
+            stats.planned_launches += plan.stats().planned_launches;
+            stats.fused_kernels += plan.stats().fused_kernels;
+        }
+        responses
+    }
+
+    /// Serves one request against its session (functional math runs here;
+    /// on the graphed path the kernels are being recorded, not timed).
+    fn serve_one(session: Option<&SessionState>, req: &EvalRequest) -> EvalResponse {
+        let Some(session) = session else {
+            return EvalResponse::failed(ServeError::UnknownSession(req.session_id).to_string());
+        };
+        let backend = session.backend.as_ref();
+        let run = || -> Result<Vec<RawCiphertext>, fides_core::FidesError> {
+            let inputs = req
+                .inputs
+                .iter()
+                .map(|raw| backend.load(raw))
+                .collect::<Result<Vec<_>, _>>()?;
+            let outs = fides_core::exec_program(backend, inputs, &session.plains, &req.program)?;
+            outs.iter().map(|ct| backend.store(ct)).collect()
+        };
+        match run() {
+            Ok(outputs) => EvalResponse::ok(outputs),
+            Err(e) => EvalResponse::failed(e.to_string()),
+        }
+    }
+}
+
+/// Shifts every recorded stream (and fence endpoint) by the request's batch
+/// index. The planner remaps streams modulo `num_streams`, so this is the
+/// round-robin that spreads concurrent tenants across the device streams
+/// instead of stacking every request's first limb batch on stream 0.
+fn offset_streams(events: Vec<GraphEvent>, offset: usize) -> Vec<GraphEvent> {
+    if offset == 0 {
+        return events;
+    }
+    events
+        .into_iter()
+        .map(|ev| match ev {
+            GraphEvent::Launch { stream, desc } => GraphEvent::Launch {
+                stream: stream + offset,
+                desc,
+            },
+            GraphEvent::Fence { signals, waiters } => GraphEvent::Fence {
+                signals: signals.into_iter().map(|s| s + offset).collect(),
+                waiters: waiters.into_iter().map(|s| s + offset).collect(),
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fides_gpu_sim::{KernelDesc, KernelKind};
+
+    #[test]
+    fn offset_shifts_launches_and_fences() {
+        let events = vec![
+            GraphEvent::Launch {
+                stream: 1,
+                desc: KernelDesc::new(KernelKind::Elementwise),
+            },
+            GraphEvent::Fence {
+                signals: vec![0, 1],
+                waiters: vec![2],
+            },
+        ];
+        let out = offset_streams(events, 3);
+        match &out[0] {
+            GraphEvent::Launch { stream, .. } => assert_eq!(*stream, 4),
+            _ => panic!("expected launch"),
+        }
+        match &out[1] {
+            GraphEvent::Fence { signals, waiters } => {
+                assert_eq!(signals, &[3, 4]);
+                assert_eq!(waiters, &[5]);
+            }
+            _ => panic!("expected fence"),
+        }
+    }
+
+    #[test]
+    fn zero_offset_is_identity() {
+        let events = vec![GraphEvent::Launch {
+            stream: 7,
+            desc: KernelDesc::new(KernelKind::Fill),
+        }];
+        let out = offset_streams(events, 0);
+        assert!(matches!(out[0], GraphEvent::Launch { stream: 7, .. }));
+    }
+}

@@ -1,0 +1,53 @@
+//! Serving-layer counters.
+
+/// Cumulative counters describing what the server has done; snapshot with
+/// [`Server::stats`](crate::Server::stats).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ServeStats {
+    /// Evaluation requests served (successful or failed).
+    pub requests: u64,
+    /// Requests that came back as failed responses.
+    pub failed: u64,
+    /// Batch ticks that executed at least one request.
+    pub batches: u64,
+    /// Largest batch a single tick executed.
+    pub max_batch: usize,
+    /// Sessions opened over the server's lifetime.
+    pub sessions_opened: u64,
+    /// Sessions evicted by the registry's LRU bound.
+    pub sessions_evicted: u64,
+    /// Kernel nodes recorded across all batch graphs (gpu-sim substrate).
+    pub recorded_kernels: u64,
+    /// Kernel launches the batch plans actually issued.
+    pub planned_launches: u64,
+    /// Launches eliminated by elementwise fusion — including chains that
+    /// fused **across tenant boundaries** inside a batch.
+    pub fused_kernels: u64,
+}
+
+impl ServeStats {
+    /// Mean requests per executed batch.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_batch_handles_empty() {
+        assert_eq!(ServeStats::default().mean_batch(), 0.0);
+        let s = ServeStats {
+            requests: 32,
+            batches: 4,
+            ..Default::default()
+        };
+        assert_eq!(s.mean_batch(), 8.0);
+    }
+}

@@ -1,0 +1,368 @@
+//! The serving layer's correctness bar: batched multi-tenant execution is
+//! **bit-identical** to the same requests served one at a time, and to the
+//! same circuits run on a fresh single-tenant engine — across thread
+//! interleavings, worker counts and batch sizes.
+//!
+//! This holds structurally (CKKS server kernels are data-oblivious, so the
+//! batch schedule affects only timing), and these tests pin the structure
+//! down frame-byte by frame-byte.
+
+use std::collections::BTreeMap;
+
+use fides_api::CkksEngine;
+use fides_client::wire::EvalRequest;
+use fides_core::CkksParameters;
+use fides_serve::{ServeBackend, Server, ServerConfig};
+use fides_workloads::serve_lr::{synthetic_features, synthetic_model, ServeLrModel};
+
+const DIM: usize = 16;
+const LOG_N: usize = 10;
+const LEVELS: usize = 6;
+
+struct Tenant {
+    model: ServeLrModel,
+    session: fides_api::Session,
+}
+
+fn tenants(n: usize) -> Vec<Tenant> {
+    (0..n)
+        .map(|t| {
+            let model = synthetic_model(DIM, t as u64 + 1);
+            let engine = CkksEngine::builder()
+                .log_n(LOG_N)
+                .levels(LEVELS)
+                .scale_bits(40)
+                .rotations(&model.required_rotations())
+                .seed(500 + t as u64)
+                .build()
+                .unwrap();
+            Tenant {
+                model,
+                session: engine.session(),
+            }
+        })
+        .collect()
+}
+
+fn params() -> CkksParameters {
+    CkksParameters::new(LOG_N, LEVELS, 40, 3).unwrap()
+}
+
+fn open_all(server: &Server, tenants: &[Tenant]) -> Vec<u64> {
+    tenants
+        .iter()
+        .map(|t| {
+            let plains = t.model.session_plains(t.session.engine().max_level());
+            let refs: Vec<(&[f64], usize)> =
+                plains.iter().map(|(v, l)| (v.as_slice(), *l)).collect();
+            server
+                .open_session(t.session.session_request(&refs).unwrap())
+                .unwrap()
+        })
+        .collect()
+}
+
+/// The tenant's requests, pre-encrypted once so every server (and the
+/// engine reference) evaluates the *same* ciphertext bytes.
+fn requests(
+    tenants: &[Tenant],
+    sids: &[u64],
+    per_tenant: usize,
+) -> Vec<(usize, usize, EvalRequest)> {
+    let mut out = Vec::new();
+    for (t, tenant) in tenants.iter().enumerate() {
+        let program = tenant.model.scoring_program(0);
+        for r in 0..per_tenant {
+            let features = synthetic_features(DIM, t as u64, r as u64);
+            let req = tenant
+                .session
+                .eval_request(sids[t], &[&features], &program)
+                .unwrap();
+            out.push((t, r, req));
+        }
+    }
+    out
+}
+
+/// Serves every request through `server` from `threads` OS threads with
+/// interleaved hand-offs, returning output frames keyed by (tenant,
+/// request).
+fn serve_threaded(
+    server: &Server,
+    reqs: &[(usize, usize, EvalRequest)],
+    threads: usize,
+) -> BTreeMap<(usize, usize), Vec<Vec<u8>>> {
+    let results = std::sync::Mutex::new(BTreeMap::new());
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let results = &results;
+            let server = server.clone();
+            let mine: Vec<_> = reqs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % threads == worker)
+                .map(|(_, x)| x)
+                .collect();
+            scope.spawn(move || {
+                for (t, r, req) in mine {
+                    let resp = server.eval(req.clone());
+                    assert!(resp.error.is_none(), "request failed: {:?}", resp.error);
+                    let frames: Vec<Vec<u8>> =
+                        resp.outputs.iter().map(|ct| ct.to_bytes()).collect();
+                    results.lock().unwrap().insert((*t, *r), frames);
+                }
+            });
+        }
+    });
+    results.into_inner().unwrap()
+}
+
+#[test]
+fn batched_bit_identical_to_serial_and_engine() {
+    let tenants = tenants(3);
+    let per_tenant = 2;
+
+    // Reference: every request evaluated on its own fresh engine via
+    // eval_program (single-tenant, no server, no batching).
+    let batched_server = Server::new(ServerConfig::new(params()).batch_size(16)).unwrap();
+    let serial_server = Server::new(ServerConfig::new(params()).batch_size(1)).unwrap();
+    let b_sids = open_all(&batched_server, &tenants);
+    let s_sids = open_all(&serial_server, &tenants);
+    let reqs = requests(&tenants, &b_sids, per_tenant);
+
+    // Batched: everything queued, then drained in one tick of 6.
+    let tickets: Vec<_> = reqs
+        .iter()
+        .map(|(t, r, req)| (*t, *r, batched_server.submit(req.clone())))
+        .collect();
+    assert_eq!(batched_server.run_tick(), 6, "one tick serves the queue");
+
+    for (t, r, ticket) in &tickets {
+        let batched = ticket.try_take().expect("served");
+        assert!(batched.error.is_none());
+
+        // Serial: same wire request (session ids match by construction).
+        let mut serial_req = reqs
+            .iter()
+            .find(|(tt, rr, _)| tt == t && rr == r)
+            .unwrap()
+            .2
+            .clone();
+        serial_req.session_id = s_sids[*t];
+        let serial = serial_server.eval(serial_req);
+        assert!(serial.error.is_none());
+        assert_eq!(
+            batched.outputs.len(),
+            serial.outputs.len(),
+            "tenant {t} request {r}"
+        );
+        for (a, b) in batched.outputs.iter().zip(&serial.outputs) {
+            assert_eq!(a.to_bytes(), b.to_bytes(), "batched vs serial frames");
+        }
+
+        // Engine: the same ciphertext inputs through eval_program on the
+        // tenant's own engine (same keys — the session exported them).
+        let tenant = &tenants[*t];
+        let engine = tenant.session.engine();
+        let (_, _, wire_req) = reqs.iter().find(|(tt, rr, _)| tt == t && rr == r).unwrap();
+        let inputs: Vec<_> = wire_req
+            .inputs
+            .iter()
+            .map(|raw| fides_api::Ct::from_backend(engine, engine.backend().load(raw).unwrap(), 1))
+            .collect();
+        // The engine and session layers share one padding policy, so
+        // preload_plain over the same values gives the identical encoding
+        // the session uploaded.
+        let weights = tenant.model.session_plains(engine.max_level());
+        let plains: Vec<_> = weights
+            .iter()
+            .map(|(v, l)| engine.preload_plain(v, *l).unwrap())
+            .collect();
+        let outs = engine
+            .eval_program(&inputs, &plains, &wire_req.program)
+            .unwrap();
+        for (a, b) in batched.outputs.iter().zip(&outs) {
+            assert_eq!(
+                a.to_bytes(),
+                b.to_raw().unwrap().to_bytes(),
+                "batched vs single-tenant engine frames (tenant {t} request {r})"
+            );
+        }
+    }
+}
+
+#[test]
+fn threads_interleaved_match_serial_across_batch_sizes() {
+    let tenants = tenants(4);
+    let per_tenant = 2;
+
+    // The serial reference: batch size 1, single thread.
+    let reference = Server::new(ServerConfig::new(params()).batch_size(1)).unwrap();
+    let ref_sids = open_all(&reference, &tenants);
+    let reqs = requests(&tenants, &ref_sids, per_tenant);
+    let mut expected = BTreeMap::new();
+    for (t, r, req) in &reqs {
+        let resp = reference.eval(req.clone());
+        assert!(resp.error.is_none());
+        expected.insert(
+            (*t, *r),
+            resp.outputs
+                .iter()
+                .map(|ct| ct.to_bytes())
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    for batch_size in [1usize, 16] {
+        let server = Server::new(ServerConfig::new(params()).batch_size(batch_size)).unwrap();
+        let sids = open_all(&server, &tenants);
+        // Rewrite session ids for this server (fresh registry).
+        let mut my_reqs = reqs.clone();
+        for (t, _, req) in &mut my_reqs {
+            req.session_id = sids[*t];
+        }
+        let got = serve_threaded(&server, &my_reqs, 4);
+        assert_eq!(
+            got, expected,
+            "batch size {batch_size}: threaded frames drifted from serial"
+        );
+        let stats = server.stats();
+        assert_eq!(stats.requests, reqs.len() as u64);
+        assert_eq!(stats.failed, 0);
+    }
+}
+
+#[test]
+fn cpu_substrate_matches_gpu_across_worker_counts() {
+    let tenants = tenants(2);
+    let per_tenant = 2;
+
+    let gpu = Server::new(ServerConfig::new(params()).batch_size(16)).unwrap();
+    let gpu_sids = open_all(&gpu, &tenants);
+    let reqs = requests(&tenants, &gpu_sids, per_tenant);
+    let mut expected = BTreeMap::new();
+    for (t, r, req) in &reqs {
+        let resp = gpu.eval(req.clone());
+        assert!(resp.error.is_none());
+        expected.insert(
+            (*t, *r),
+            resp.outputs
+                .iter()
+                .map(|ct| ct.to_bytes())
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    // The CPU reference substrate must produce the same frames at every
+    // worker count (the FIDES_WORKERS axis of the CI matrix, pinned
+    // explicitly here).
+    for workers in [1usize, 8] {
+        for batch_size in [1usize, 16] {
+            let server = Server::new(
+                ServerConfig::new(params())
+                    .backend(ServeBackend::Cpu {
+                        workers: Some(workers),
+                    })
+                    .batch_size(batch_size),
+            )
+            .unwrap();
+            let sids = open_all(&server, &tenants);
+            let mut my_reqs = reqs.clone();
+            for (t, _, req) in &mut my_reqs {
+                req.session_id = sids[*t];
+            }
+            let got = serve_threaded(&server, &my_reqs, 4);
+            assert_eq!(
+                got, expected,
+                "cpu workers {workers} batch {batch_size}: frames drifted from gpu-sim"
+            );
+        }
+    }
+}
+
+#[test]
+fn cross_tenant_batching_strictly_reduces_launches() {
+    let tenants = tenants(4);
+    let per_tenant = 4; // 16 requests total
+
+    let batched = Server::new(ServerConfig::new(params()).batch_size(16)).unwrap();
+    let serial = Server::new(ServerConfig::new(params()).batch_size(1)).unwrap();
+    let b_sids = open_all(&batched, &tenants);
+    let s_sids = open_all(&serial, &tenants);
+    let reqs = requests(&tenants, &b_sids, per_tenant);
+
+    // Launch deltas measured from after session setup, so key loading
+    // doesn't blur the comparison.
+    let b_before = batched.sim_stats().unwrap().kernel_launches;
+    let tickets: Vec<_> = reqs
+        .iter()
+        .map(|(_, _, req)| batched.submit(req.clone()))
+        .collect();
+    assert_eq!(batched.run_tick(), 16);
+    let b_launches = batched.sim_stats().unwrap().kernel_launches - b_before;
+    let mut batched_frames = Vec::new();
+    for ticket in &tickets {
+        let resp = ticket.try_take().unwrap();
+        assert!(resp.error.is_none());
+        batched_frames.push(resp.outputs[0].to_bytes());
+    }
+
+    let s_before = serial.sim_stats().unwrap().kernel_launches;
+    let mut serial_frames = Vec::new();
+    for (t, _, req) in &reqs {
+        let mut req = req.clone();
+        req.session_id = s_sids[*t];
+        let resp = serial.eval(req);
+        assert!(resp.error.is_none());
+        serial_frames.push(resp.outputs[0].to_bytes());
+    }
+    let s_launches = serial.sim_stats().unwrap().kernel_launches - s_before;
+
+    assert_eq!(batched_frames, serial_frames, "results must not change");
+    assert!(
+        b_launches < s_launches,
+        "batch-16 must strictly reduce sim launches: batched {b_launches} vs serial {s_launches}"
+    );
+    let stats = batched.stats();
+    assert!(
+        stats.fused_kernels > 0,
+        "fusion must engage across the batch"
+    );
+    assert_eq!(stats.max_batch, 16);
+}
+
+#[test]
+fn registry_evicts_lru_and_rejects_foreign_chains() {
+    let tenants = tenants(3);
+    let server = Server::new(ServerConfig::new(params()).max_sessions(2)).unwrap();
+    let sids = open_all(&server, &tenants);
+    assert_eq!(server.session_count(), 2, "bounded registry");
+    // Tenant 0 was the LRU victim: its requests now fail cleanly.
+    let reqs = requests(&tenants, &sids, 1);
+    let resp = server.eval(reqs[0].2.clone());
+    assert!(
+        resp.error
+            .as_deref()
+            .unwrap_or("")
+            .contains("unknown session"),
+        "evicted session must fail cleanly, got {:?}",
+        resp.error
+    );
+    // Later tenants still work.
+    let resp = server.eval(reqs[2].2.clone());
+    assert!(resp.error.is_none());
+
+    // A foreign parameter chain is rejected before key loading.
+    let foreign = CkksEngine::builder()
+        .log_n(LOG_N)
+        .levels(LEVELS - 1)
+        .seed(1)
+        .build()
+        .unwrap();
+    let err = server.open_session(foreign.session().session_request(&[]).unwrap());
+    assert!(matches!(
+        err,
+        Err(fides_serve::ServeError::ParamsMismatch { .. })
+    ));
+    assert_eq!(server.stats().sessions_evicted, 1);
+}

@@ -3,7 +3,9 @@
 //! Realistic encrypted workloads for `fideslib-rs`: the logistic-regression
 //! training benchmark of the paper's §IV-B (Table VII) on a synthetic
 //! loan-eligibility dataset with the published shape (45,000 samples,
-//! 25 → 32 features, 1,024-sample mini-batches).
+//! 25 → 32 features, 1,024-sample mini-batches), plus the serving-side
+//! LR **scoring** workload ([`serve_lr`]) the multi-tenant session server
+//! batches across tenants.
 
 #![warn(missing_docs)]
 
@@ -11,8 +13,10 @@ pub mod loans;
 pub mod lr;
 pub mod lr_boot;
 pub mod lr_engine;
+pub mod serve_lr;
 
 pub use loans::LoanDataset;
 pub use lr::{LrConfig, LrTrainer};
 pub use lr_boot::{BootTrainStats, BootstrappedLrTrainer};
 pub use lr_engine::EngineLrTrainer;
+pub use serve_lr::ServeLrModel;

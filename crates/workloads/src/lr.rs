@@ -317,7 +317,10 @@ impl<'a> LrTrainer<'a> {
         if self.ctx.gpu().is_functional() {
             let q_l = self.ctx.moduli_q()[level].value() as f64;
             let scale = q_l * self.ctx.standard_scale(level - 1) / self.ctx.standard_scale(level);
-            let raw = self.client.encode_real(slots, scale, level);
+            let raw = self
+                .client
+                .encode_real(slots, scale, level)
+                .expect("internally encoded plaintexts are always valid");
             adapter::load_plaintext(self.ctx, &raw)
                 .expect("internally encoded plaintexts are always loadable")
         } else {

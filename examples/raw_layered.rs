@@ -34,22 +34,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ys: Vec<f64> = (0..8).map(|i| 1.0 - i as f64 / 20.0).collect();
     let mut rng = StdRng::seed_from_u64(7);
     let scale = ctx.fresh_scale();
-    let ct_x = adapter::load_ciphertext(
-        &ctx,
-        &client.encrypt(
-            &client.encode_real(&xs, scale, ctx.max_level()),
-            &pk,
-            &mut rng,
-        ),
+    let raw_x = client.encrypt(
+        &client.encode_real(&xs, scale, ctx.max_level())?,
+        &pk,
+        &mut rng,
     )?;
-    let ct_y = adapter::load_ciphertext(
-        &ctx,
-        &client.encrypt(
-            &client.encode_real(&ys, scale, ctx.max_level()),
-            &pk,
-            &mut rng,
-        ),
+    let ct_x = adapter::load_ciphertext(&ctx, &raw_x)?;
+    let raw_y = client.encrypt(
+        &client.encode_real(&ys, scale, ctx.max_level())?,
+        &pk,
+        &mut rng,
     )?;
+    let ct_y = adapter::load_ciphertext(&ctx, &raw_y)?;
 
     // 3. Server: compute x·y + 2x homomorphically.
     let mut prod = ct_x.mul(&ct_y, &keys)?;
@@ -59,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = prod.add(&two_x)?;
 
     // 4. Client: decrypt and compare.
-    let got = client.decode_real(&client.decrypt(&adapter::store_ciphertext(&result), &sk));
+    let got = client.decode_real(&client.decrypt(&adapter::store_ciphertext(&result), &sk)?)?;
     println!("slot |  x     y   | x*y + 2x | decrypted");
     for i in 0..8 {
         let expect = xs[i] * ys[i] + 2.0 * xs[i];

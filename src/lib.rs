@@ -49,8 +49,10 @@
 //! * [`gpu_sim`] — the device models, streams, kernels and memory
 //!   hierarchy.
 //! * [`math`] / [`rns`] — modular arithmetic, NTT, RNS substrates.
+//! * [`serve`] — the multi-tenant session server: bounded LRU session
+//!   registry, cross-request graph batching (see `examples/serve.rs`).
 //! * [`baselines`] — Phantom and OpenFHE-CPU comparators.
-//! * [`workloads`] — encrypted logistic-regression training.
+//! * [`workloads`] — encrypted logistic-regression training and serving.
 
 pub use fides_api as api;
 pub use fides_baselines as baselines;
@@ -59,8 +61,11 @@ pub use fides_core as core;
 pub use fides_gpu_sim as gpu_sim;
 pub use fides_math as math;
 pub use fides_rns as rns;
+pub use fides_serve as serve;
 pub use fides_workloads as workloads;
 
 pub use fides_api::{
     BackendChoice, BootstrapConfig, CkksEngine, Ct, FidesError, FusionConfig, Result, SchedStats,
+    Session,
 };
+pub use fides_serve::{ServeBackend, ServeStats, Server, ServerConfig};

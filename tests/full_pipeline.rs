@@ -80,11 +80,15 @@ fn cost_only_schedule_matches_functional() {
     let rot2 = kg.rotation_key(&sk, 2);
     let mut rng = StdRng::seed_from_u64(12);
     let data: Vec<f64> = (0..16).map(|i| i as f64 * 0.01).collect();
-    let raw_ct = client.encrypt(
-        &client.encode_real(&data, client.params().scale(), raw.max_level()),
-        &pk,
-        &mut rng,
-    );
+    let raw_ct = client
+        .encrypt(
+            &client
+                .encode_real(&data, client.params().scale(), raw.max_level())
+                .unwrap(),
+            &pk,
+            &mut rng,
+        )
+        .unwrap();
 
     let run = |mode: ExecMode| {
         let gpu = GpuSim::new(DeviceSpec::rtx_4090(), mode);
