@@ -73,7 +73,7 @@ fn gpu_sim_primitives(fusion: bool) -> Vec<SimEntry> {
     out
 }
 
-fn gpu_sim_lr_iteration(fusion: bool) -> f64 {
+fn gpu_sim_lr_iteration(fusion: bool) -> (f64, f64, u64) {
     let fusion_cfg = if fusion {
         FusionConfig::default()
     } else {
@@ -94,9 +94,16 @@ fn gpu_sim_lr_iteration(fusion: bool) -> f64 {
     let y = adapter::placeholder_ciphertext(&ctx, top, ctx.standard_scale(top), cfg.slots());
     let _ = trainer.iteration(&w, &x, &y, &keys).unwrap();
     gpu.sync();
-    sim_time_us(&gpu, || {
+    gpu.reset_stats();
+    let us = sim_time_us(&gpu, || {
         let _ = trainer.iteration(&w, &x, &y, &keys).unwrap();
-    })
+    });
+    let stats = gpu.stats();
+    (
+        us,
+        stats.stream_occupancy() * 100.0,
+        stats.peak_device_bytes,
+    )
 }
 
 /// Wall-clock microseconds of `f`, best of three runs.
@@ -176,8 +183,8 @@ fn main() {
     let mut sim_entries = gpu_sim_primitives(true);
     sim_entries.extend(gpu_sim_primitives(false));
     println!("collecting gpu-sim LR iteration timings...");
-    let lr_fused = gpu_sim_lr_iteration(true);
-    let lr_unfused = gpu_sim_lr_iteration(false);
+    let (lr_fused, lr_fused_occ, lr_fused_peak) = gpu_sim_lr_iteration(true);
+    let (lr_unfused, lr_unfused_occ, lr_unfused_peak) = gpu_sim_lr_iteration(false);
     println!("collecting cpu-reference wall-clock timings (workers 1, 8)...");
     let cpu_entries = [cpu_backend_times(1), cpu_backend_times(8)];
 
@@ -204,11 +211,13 @@ fn main() {
     json.push_str("    \"lr_iteration\": [\n");
     let _ = writeln!(
         json,
-        "      {{\"fusion\": true, \"sim_us\": {lr_fused:.2}}},"
+        "      {{\"fusion\": true, \"sim_us\": {lr_fused:.2}, \
+         \"stream_occupancy_pct\": {lr_fused_occ:.2}, \"peak_device_bytes\": {lr_fused_peak}}},"
     );
     let _ = writeln!(
         json,
-        "      {{\"fusion\": false, \"sim_us\": {lr_unfused:.2}}}"
+        "      {{\"fusion\": false, \"sim_us\": {lr_unfused:.2}, \
+         \"stream_occupancy_pct\": {lr_unfused_occ:.2}, \"peak_device_bytes\": {lr_unfused_peak}}}"
     );
     json.push_str("    ]\n  },\n");
     json.push_str("  \"cpu_reference\": {\n");

@@ -45,6 +45,10 @@ struct Row {
     recorded: u64,
     fused: u64,
     occupancy_pct: f64,
+    peak_device_bytes: u64,
+    allocations: u64,
+    plan_cache_hits: u64,
+    plan_cache_misses: u64,
     wall_req_per_sec: f64,
     frames: Vec<Vec<u8>>,
 }
@@ -134,6 +138,10 @@ fn run_config(batch: usize, fusion: bool) -> Row {
         recorded: stats.recorded_kernels,
         fused: stats.fused_kernels,
         occupancy_pct: sim_after.stream_occupancy() * 100.0,
+        peak_device_bytes: sim_after.peak_device_bytes,
+        allocations: sim_after.allocations,
+        plan_cache_hits: stats.plan_cache_hits,
+        plan_cache_misses: stats.plan_cache_misses,
         wall_req_per_sec: reqs.len() as f64 / wall_s,
         frames,
     }
@@ -227,7 +235,9 @@ fn main() {
             json,
             "      {{\"batch\": {}, \"fusion\": {}, \"requests\": {}, \"sim_us\": {:.2}, \
              \"kernel_launches\": {}, \"recorded_kernels\": {}, \"fused_kernels\": {}, \
-             \"stream_occupancy_pct\": {:.2}, \"wall_req_per_sec\": {:.2}}}{comma}",
+             \"stream_occupancy_pct\": {:.2}, \"peak_device_bytes\": {}, \"allocations\": {}, \
+             \"plan_cache_hits\": {}, \"plan_cache_misses\": {}, \
+             \"wall_req_per_sec\": {:.2}}}{comma}",
             r.batch,
             r.fusion,
             r.requests,
@@ -236,6 +246,10 @@ fn main() {
             r.recorded,
             r.fused,
             r.occupancy_pct,
+            r.peak_device_bytes,
+            r.allocations,
+            r.plan_cache_hits,
+            r.plan_cache_misses,
             r.wall_req_per_sec,
         );
     }

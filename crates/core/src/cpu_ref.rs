@@ -93,6 +93,98 @@ pub struct HostPlaintext {
 /// Limb vectors of a polynomial pair `(c_0, c_1)`.
 type HostPolyPair = (Vec<Vec<u64>>, Vec<Vec<u64>>);
 
+/// A pool of ring-degree-length limb buffers the NTT/key-switch hot path
+/// recycles instead of allocating per op.
+///
+/// Key switching alone churns through `O(digits × chain)` scratch vectors
+/// of `N` words each — digit lifts, base-conversion targets, inner-product
+/// accumulators — and at `N = 2¹⁶` every one is a multi-hundred-KB
+/// `malloc`/`free` round trip. The pool keeps returned buffers and hands
+/// them back (zeroed, copied-into, or dirty-for-full-overwrite as the call
+/// site requires), so steady-state evaluation allocates nothing on the hot
+/// path. Results are bit-identical by construction: every variant
+/// establishes the exact contents the old `vec![..]` produced before the
+/// buffer is read.
+///
+/// Thread-safe (workers take/put under a short lock) and bounded, so a
+/// deep circuit cannot hoard memory.
+#[derive(Debug, Default)]
+struct LimbPool {
+    free: Mutex<Vec<Vec<u64>>>,
+    reused: std::sync::atomic::AtomicU64,
+}
+
+impl LimbPool {
+    /// Most buffers the pool retains (≈ two full key-switch footprints at
+    /// paper scale; beyond that, freeing is cheaper than hoarding).
+    const MAX_FREE: usize = 256;
+
+    fn pop(&self, n: usize) -> Option<Vec<u64>> {
+        let v = self.free.lock().pop()?;
+        if v.len() == n {
+            self.reused
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Some(v)
+        } else {
+            // Foreign ring degree (never happens within one context);
+            // drop it rather than resize.
+            None
+        }
+    }
+
+    /// A zero-filled buffer of `n` words (accumulator call sites).
+    fn take_zeroed(&self, n: usize) -> Vec<u64> {
+        match self.pop(n) {
+            Some(mut v) => {
+                v.fill(0);
+                v
+            }
+            None => vec![0u64; n],
+        }
+    }
+
+    /// A buffer holding a copy of `src`.
+    fn take_copy(&self, src: &[u64]) -> Vec<u64> {
+        match self.pop(src.len()) {
+            Some(mut v) => {
+                v.copy_from_slice(src);
+                v
+            }
+            None => src.to_vec(),
+        }
+    }
+
+    /// A possibly-dirty buffer of `n` words — only for call sites that
+    /// overwrite every element before reading any.
+    fn take_dirty(&self, n: usize) -> Vec<u64> {
+        self.pop(n).unwrap_or_else(|| vec![0u64; n])
+    }
+
+    /// Returns a buffer to the pool.
+    fn put(&self, v: Vec<u64>) {
+        let mut free = self.free.lock();
+        if free.len() < Self::MAX_FREE {
+            free.push(v);
+        }
+    }
+
+    /// Returns a batch of buffers to the pool.
+    fn put_all(&self, vs: impl IntoIterator<Item = Vec<u64>>) {
+        let mut free = self.free.lock();
+        for v in vs {
+            if free.len() >= Self::MAX_FREE {
+                break;
+            }
+            free.push(v);
+        }
+    }
+
+    /// Buffers served from the pool instead of the allocator.
+    fn reuses(&self) -> u64 {
+        self.reused.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 /// ModUp tables for one `(level, digit)` pair (host copy of the context's).
 #[derive(Debug)]
 struct HostModUp {
@@ -122,6 +214,8 @@ struct HostContext {
     monomial_half: Vec<Vec<u64>>,
     /// Cached evaluation-domain automorphism permutations.
     perms: Mutex<HashMap<usize, Arc<Vec<u32>>>>,
+    /// Recycled limb buffers for the NTT/key-switch scratch churn.
+    pool: LimbPool,
 }
 
 impl HostContext {
@@ -194,6 +288,7 @@ impl HostContext {
             standard_scale,
             monomial_half,
             perms: Mutex::new(HashMap::new()),
+            pool: LimbPool::default(),
         }
     }
 
@@ -229,12 +324,13 @@ impl HostContext {
         let n = self.n();
         let alpha = self.alpha();
 
-        // Step 1: coefficient-domain, Eq.1-scaled copies of the digit limbs.
+        // Step 1: coefficient-domain, Eq.1-scaled copies of the digit limbs
+        // (pooled scratch, recycled below).
         let scaled: Vec<Vec<u64>> = (0..src_range.len())
             .into_par_iter()
             .map(|di| {
                 let i = src_range.start + di;
-                let mut x = d2[i].clone();
+                let mut x = self.pool.take_copy(&d2[i]);
                 self.ntt_q[i].inverse_inplace(&mut x);
                 tables.conv.scale_input_inplace(di, &mut x);
                 x
@@ -244,12 +340,13 @@ impl HostContext {
 
         // Step 2: own digit limbs pass through in evaluation form; converted
         // limbs are NTT'd back per destination chain, one worker per
-        // destination.
+        // destination. Pooled dirty buffers: the base conversion overwrites
+        // every word before any is read.
         let base = tables.dst_q_indices.len();
         let converted: Vec<Vec<u64>> = (0..base + alpha)
             .into_par_iter()
             .map(|dpos| {
-                let mut t = vec![0u64; n];
+                let mut t = self.pool.take_dirty(n);
                 tables.conv.convert_scaled_limb(&scaled_refs, dpos, &mut t);
                 if dpos < base {
                     self.ntt_q[tables.dst_q_indices[dpos]].forward_inplace(&mut t);
@@ -259,11 +356,13 @@ impl HostContext {
                 t
             })
             .collect();
+        drop(scaled_refs);
+        self.pool.put_all(scaled);
 
         let total = level + 1 + alpha;
         let mut out: Vec<Option<Vec<u64>>> = (0..total).map(|_| None).collect();
         for i in src_range.clone() {
-            out[i] = Some(d2[i].clone());
+            out[i] = Some(self.pool.take_copy(&d2[i]));
         }
         let mut converted = converted.into_iter();
         for &qi in &tables.dst_q_indices {
@@ -289,7 +388,7 @@ impl HostContext {
         });
         let p_refs: Vec<&[u64]> = p_limbs.iter().map(|v| v.as_slice()).collect();
         poly.par_iter_mut().enumerate().for_each(|(i, limb)| {
-            let mut t = vec![0u64; n];
+            let mut t = self.pool.take_dirty(n);
             conv.convert_scaled_limb(&p_refs, i, &mut t);
             self.ntt_q[i].forward_inplace(&mut t);
             let m = &self.moduli_q[i];
@@ -297,7 +396,10 @@ impl HostContext {
             for (x, &c) in limb.iter_mut().zip(&t) {
                 *x = inv.mul(m.sub_mod(*x, c), m);
             }
+            self.pool.put(t);
         });
+        drop(p_refs);
+        self.pool.put_all(p_limbs);
     }
 
     /// Full key switch of eval-domain `d2`; returns the `(c_0, c_1)` delta.
@@ -329,8 +431,8 @@ impl HostContext {
         let alpha = self.alpha();
         let num_q_full = self.max_level() + 1;
         let total = level + 1 + alpha;
-        let mut acc0 = vec![vec![0u64; n]; total];
-        let mut acc1 = vec![vec![0u64; n]; total];
+        let mut acc0: Vec<Vec<u64>> = (0..total).map(|_| self.pool.take_zeroed(n)).collect();
+        let mut acc1: Vec<Vec<u64>> = (0..total).map(|_| self.pool.take_zeroed(n)).collect();
         for j in 0..digits {
             let lifted = self.mod_up_digit(d2, j, level);
             // Inner products accumulate limb-parallel: each worker owns a
@@ -353,6 +455,7 @@ impl HostContext {
                 let (m, key_idx) = chain_of(idx);
                 m.mul_add_assign_slices(acc, &lifted[idx], &key.digits[j].a.limbs[key_idx]);
             });
+            self.pool.put_all(lifted);
         }
         self.mod_down(&mut acc0, level);
         self.mod_down(&mut acc1, level);
@@ -367,16 +470,18 @@ impl HostContext {
         self.ntt_q[l].inverse_inplace(&mut last);
         limbs.par_iter_mut().enumerate().for_each(|(i, limb)| {
             let m = &self.moduli_q[i];
-            let mut t: Vec<u64> = last
-                .iter()
-                .map(|&v| switch_modulus_centered(v, &q_last, m))
-                .collect();
+            let mut t = self.pool.take_dirty(last.len());
+            for (dst, &v) in t.iter_mut().zip(&last) {
+                *dst = switch_modulus_centered(v, &q_last, m);
+            }
             self.ntt_q[i].forward_inplace(&mut t);
             let inv = ShoupPrecomp::new(m.inv_mod(m.reduce_u64(q_last.value())), m);
             for (x, &s) in limb.iter_mut().zip(&t) {
                 *x = inv.mul(m.sub_mod(*x, s), m);
             }
+            self.pool.put(t);
         });
+        self.pool.put(last);
     }
 }
 
@@ -425,6 +530,13 @@ impl CpuBackend {
     /// The worker count per-limb loops use.
     pub fn workers(&self) -> usize {
         self.pool.current_num_threads()
+    }
+
+    /// Limb buffers the NTT/key-switch hot path served from the recycle
+    /// pool instead of the allocator (diagnostic counter; monotone over
+    /// the backend's lifetime).
+    pub fn limb_pool_reuses(&self) -> u64 {
+        self.hctx.pool.reuses()
     }
 
     /// Installs the relinearization key.
@@ -526,10 +638,12 @@ impl CpuBackend {
         let a0 = permute(&ct.c0);
         let a1 = permute(&ct.c1);
         let (ks0, ks1) = self.hctx.key_switch(&a1, ct.level, key)?;
+        self.hctx.pool.put_all(a1);
         let mut c0 = a0;
         c0.par_iter_mut().enumerate().for_each(|(i, limb)| {
             self.hctx.moduli_q[i].add_assign_slices(limb, &ks0[i]);
         });
+        self.hctx.pool.put_all(ks0);
         Ok(HostCiphertext {
             c0,
             c1: ks1,
@@ -810,12 +924,15 @@ impl EvalBackend for CpuBackend {
                 d2.push(x2);
             }
             let (ks0, ks1) = self.hctx.key_switch(&d2, a.level, key)?;
+            self.hctx.pool.put_all(d2);
             d0.par_iter_mut().enumerate().for_each(|(i, limb)| {
                 self.hctx.moduli_q[i].add_assign_slices(limb, &ks0[i]);
             });
             d1.par_iter_mut().enumerate().for_each(|(i, limb)| {
                 self.hctx.moduli_q[i].add_assign_slices(limb, &ks1[i]);
             });
+            self.hctx.pool.put_all(ks0);
+            self.hctx.pool.put_all(ks1);
             Ok((d0, d1))
         })?;
         Ok(BackendCt::Host(HostCiphertext {
@@ -960,8 +1077,10 @@ impl EvalBackend for CpuBackend {
                 let key = &self.rotations[&g];
                 let perm = self.hctx.perm(g);
                 let total = level + 1 + alpha;
-                let mut acc0 = vec![vec![0u64; n]; total];
-                let mut acc1 = vec![vec![0u64; n]; total];
+                let mut acc0: Vec<Vec<u64>> =
+                    (0..total).map(|_| self.hctx.pool.take_zeroed(n)).collect();
+                let mut acc1: Vec<Vec<u64>> =
+                    (0..total).map(|_| self.hctx.pool.take_zeroed(n)).collect();
                 let chain_of = |idx: usize| {
                     if idx <= level {
                         (&self.hctx.moduli_q[idx], idx)
@@ -978,7 +1097,7 @@ impl EvalBackend for CpuBackend {
                     let permuted: Vec<Vec<u64>> = (0..lift.len())
                         .into_par_iter()
                         .map(|idx| {
-                            let mut p = vec![0u64; n];
+                            let mut p = self.hctx.pool.take_dirty(n);
                             fides_math::automorphism_eval(&lift[idx], &perm, &mut p);
                             p
                         })
@@ -999,6 +1118,7 @@ impl EvalBackend for CpuBackend {
                             &key.digits[j].a.limbs[key_idx],
                         );
                     });
+                    self.hctx.pool.put_all(permuted);
                 }
                 self.hctx.mod_down(&mut acc0, level);
                 self.hctx.mod_down(&mut acc1, level);
@@ -1013,6 +1133,7 @@ impl EvalBackend for CpuBackend {
                 c0.par_iter_mut().enumerate().for_each(|(i, limb)| {
                     self.hctx.moduli_q[i].add_assign_slices(limb, &acc0[i]);
                 });
+                self.hctx.pool.put_all(acc0);
                 out.push(BackendCt::Host(HostCiphertext {
                     c0,
                     c1: acc1,
@@ -1021,6 +1142,9 @@ impl EvalBackend for CpuBackend {
                     slots: ct.slots,
                     noise_log2: ct.noise_log2 + 1.0,
                 }));
+            }
+            for lift in lifted {
+                self.hctx.pool.put_all(lift);
             }
             Ok(out)
         })
@@ -1305,6 +1429,23 @@ mod tests {
         }
         assert_eq!(frames[0].c0.limbs, frames[1].c0.limbs);
         assert_eq!(frames[0].c1.limbs, frames[1].c1.limbs);
+    }
+
+    #[test]
+    fn limb_pool_recycles_key_switch_scratch() {
+        let (client, backend, pk, sk) = setup();
+        let a = enc(&client, &backend, &pk, &[0.5, -0.25, 0.125, 0.75], 91);
+        let before = backend.limb_pool_reuses();
+        let mut prod = backend.mul(&a, &a).unwrap();
+        backend.rescale(&mut prod).unwrap();
+        let rot = backend.rotate(&prod, 1).unwrap();
+        assert!(
+            backend.limb_pool_reuses() > before,
+            "the NTT/key-switch hot path must recycle limb buffers"
+        );
+        // Pooling is invisible to the math: the result still decrypts.
+        let got = dec(&client, &backend, &sk, &rot);
+        assert!(got[0].is_finite());
     }
 
     #[test]

@@ -79,6 +79,14 @@ pub struct CkksParameters {
     /// fuses/streams them, and an executor replays the plan. `false`
     /// restores the eager per-op dispatch (A/B baseline).
     pub graph_exec: bool,
+    /// Scheduler v2 (default on): the planning pass derives a dependency
+    /// DAG from buffer read/write sets and barriers, critical-path
+    /// list-schedules it onto `num_streams`, and binds buffers to
+    /// liveness-colored pool slots. `false` restores the v1 modulo stream
+    /// remap without memory pooling (the A/B baseline `BENCH_PR5.json`
+    /// gates against). Either way results are bit-identical — only the
+    /// replayed schedule and the memory plan change.
+    pub sched_v2: bool,
     /// Fraction of peak memory bandwidth the NTT access pattern achieves
     /// (1.0 for FIDESlib's coalesced hierarchical scheme; lower for
     /// Phantom-style monolithic strided kernels).
@@ -111,6 +119,7 @@ impl CkksParameters {
             fusion: FusionConfig::default(),
             num_streams: crate::context::NUM_STREAMS,
             graph_exec: true,
+            sched_v2: true,
             access_efficiency: 1.0,
             ntt_op_factor: 1.0,
         };
@@ -146,6 +155,13 @@ impl CkksParameters {
     /// style).
     pub fn with_graph_exec(mut self, enabled: bool) -> Self {
         self.graph_exec = enabled;
+        self
+    }
+
+    /// Enables or disables scheduler v2 — dependency-aware stream
+    /// scheduling plus the memory liveness pass (builder style).
+    pub fn with_sched_v2(mut self, enabled: bool) -> Self {
+        self.sched_v2 = enabled;
         self
     }
 

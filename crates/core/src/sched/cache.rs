@@ -1,0 +1,380 @@
+//! Plan caching: structural graph fingerprints and a bounded LRU of
+//! finished [`ExecPlan`]s.
+//!
+//! Planning a steady-state graph from scratch every tick is pure waste:
+//! the serve batcher records the *same* graph shape tick after tick (same
+//! programs, same limb counts, same stream offsets), and `eval_scope`
+//! bodies repeat across iterations of a training loop. The only thing
+//! that changes between repetitions is buffer *identity* — fresh device
+//! allocations get fresh [`BufferId`]s.
+//!
+//! The fingerprint therefore hashes the graph's **structure**: kernel
+//! kinds, recorded streams, byte/op totals, barrier shapes and the
+//! *aliasing pattern* of buffers (each buffer renamed to its
+//! first-occurrence index), plus the planner configuration. Two graphs
+//! with equal fingerprints have isomorphic dependency DAGs with equal
+//! costs, so a cached plan is valid for both once its buffer references
+//! are rebound through the first-occurrence correspondence — an O(plan)
+//! copy instead of an O(V + E + V·log V) planning pass.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fides_gpu_sim::BufferId;
+
+use super::graph::{ExecGraph, GraphOp};
+use super::plan::{ExecPlan, PlanConfig, PlanStep};
+
+/// FNV-1a, 64-bit: tiny, deterministic across processes, and collision-
+/// safe enough for a bounded cache (a collision costs timing fidelity on
+/// one plan, never ciphertext bits — functional math runs at record time).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Computes the structural fingerprint of `graph` under `cfg` and the
+/// first-occurrence buffer binding the canonical renaming is relative to.
+///
+/// The binding is what [`PlanCache::lookup`] uses to rebind a cached
+/// plan's buffer references onto the current graph's buffers.
+pub fn fingerprint(graph: &ExecGraph, cfg: &PlanConfig) -> (u64, Vec<BufferId>) {
+    let mut h = Fnv::new();
+    h.u64(cfg.fuse_elementwise as u64);
+    h.u64(cfg.dep_schedule as u64);
+    h.u64(cfg.num_streams as u64);
+    h.u64(cfg.max_fuse as u64);
+    let mut canon: HashMap<BufferId, u64> = HashMap::new();
+    let mut binding: Vec<BufferId> = Vec::new();
+    let mut canon_of = |buf: BufferId, canon: &mut HashMap<BufferId, u64>| -> u64 {
+        *canon.entry(buf).or_insert_with(|| {
+            binding.push(buf);
+            binding.len() as u64 - 1
+        })
+    };
+    for op in &graph.ops {
+        match op {
+            GraphOp::Kernel(node) => {
+                h.u64(1);
+                h.u64(node.stream as u64);
+                h.u64(node.desc.kind.map_or(u64::MAX, |k| k as u64));
+                h.u64(node.desc.int32_ops);
+                h.u64(node.desc.access_efficiency.to_bits());
+                h.u64(node.desc.reads.len() as u64);
+                for &(buf, bytes) in &node.desc.reads {
+                    h.u64(canon_of(buf, &mut canon));
+                    h.u64(bytes);
+                }
+                h.u64(node.desc.writes.len() as u64);
+                for &(buf, bytes) in &node.desc.writes {
+                    h.u64(canon_of(buf, &mut canon));
+                    h.u64(bytes);
+                }
+            }
+            GraphOp::Barrier { signals, waiters } => {
+                h.u64(2);
+                h.u64(signals.len() as u64);
+                for &s in signals {
+                    h.u64(s as u64);
+                }
+                h.u64(waiters.len() as u64);
+                for &w in waiters {
+                    h.u64(w as u64);
+                }
+            }
+        }
+    }
+    (h.0, binding)
+}
+
+struct CacheEntry {
+    plan: Arc<ExecPlan>,
+    binding: Vec<BufferId>,
+    last_used: u64,
+}
+
+/// A bounded LRU of planned graphs, keyed by structural fingerprint.
+///
+/// [`CkksContext`](crate::CkksContext) holds one for `eval_scope`-style
+/// regions; the serve layer holds one per server for batch ticks. Lookups
+/// and insertions are `&mut self` — owners wrap the cache in their own
+/// lock.
+pub struct PlanCache {
+    capacity: usize,
+    entries: HashMap<u64, CacheEntry>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.entries.len())
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .finish()
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl PlanCache {
+    /// Default bound: enough for every distinct steady-state graph shape a
+    /// serving mix realistically cycles through.
+    pub const DEFAULT_CAPACITY: usize = 32;
+
+    /// Creates a cache bounded to `capacity` plans (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            entries: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Resident plan count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups served from cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that required a planning pass.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Returns the cached plan for `fp`, rebound onto `binding`'s buffers,
+    /// or `None` (counting a miss) when the shape has not been planned.
+    pub fn lookup(&mut self, fp: u64, binding: &[BufferId]) -> Option<ExecPlan> {
+        self.clock += 1;
+        match self.entries.get_mut(&fp) {
+            Some(e) if e.binding.len() == binding.len() => {
+                e.last_used = self.clock;
+                self.hits += 1;
+                Some(rebind(&e.plan, &e.binding, binding))
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Caches `plan` for `fp`, evicting the least-recently-used entry at
+    /// capacity.
+    pub fn insert(&mut self, fp: u64, plan: &ExecPlan, binding: Vec<BufferId>) {
+        self.clock += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&fp) {
+            // `last_used` values are unique (the clock ticks per call), so
+            // the minimum is unambiguous regardless of map iteration order.
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(
+            fp,
+            CacheEntry {
+                plan: Arc::new(plan.clone()),
+                binding,
+                last_used: self.clock,
+            },
+        );
+    }
+}
+
+/// Clones `plan` with every buffer reference translated from the cached
+/// graph's first-occurrence binding to the current graph's.
+fn rebind(plan: &Arc<ExecPlan>, old: &[BufferId], new: &[BufferId]) -> ExecPlan {
+    let mut out = (**plan).clone();
+    if old == new {
+        return out;
+    }
+    let map: HashMap<BufferId, BufferId> = old
+        .iter()
+        .zip(new)
+        .filter(|(a, b)| a != b)
+        .map(|(&a, &b)| (a, b))
+        .collect();
+    if map.is_empty() {
+        return out;
+    }
+    for step in &mut out.steps {
+        if let PlanStep::Launch { desc, .. } = step {
+            for (buf, _) in desc.reads.iter_mut().chain(desc.writes.iter_mut()) {
+                if let Some(&nb) = map.get(buf) {
+                    *buf = nb;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::Planner;
+    use fides_gpu_sim::{GraphEvent, KernelDesc, KernelKind};
+
+    fn cfg() -> PlanConfig {
+        PlanConfig {
+            num_streams: 4,
+            ..PlanConfig::default()
+        }
+    }
+
+    fn graph(bufs: &[u64]) -> ExecGraph {
+        ExecGraph::from_events(
+            bufs.iter()
+                .enumerate()
+                .map(|(i, &b)| GraphEvent::Launch {
+                    stream: i % 2,
+                    desc: KernelDesc::new(KernelKind::Elementwise)
+                        .read(BufferId(b), 4096)
+                        .write(BufferId(b), 4096)
+                        .ops(100),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn identical_structure_same_fingerprint_despite_buffers() {
+        let (fa, ba) = fingerprint(&graph(&[10, 11, 10]), &cfg());
+        let (fb, bb) = fingerprint(&graph(&[77, 93, 77]), &cfg());
+        assert_eq!(fa, fb, "buffer identity must not affect the fingerprint");
+        assert_eq!(ba, vec![BufferId(10), BufferId(11)]);
+        assert_eq!(bb, vec![BufferId(77), BufferId(93)]);
+    }
+
+    #[test]
+    fn aliasing_pattern_affects_fingerprint() {
+        // Same descriptors, different aliasing: [a, b, a] vs [a, b, b].
+        let (fa, _) = fingerprint(&graph(&[1, 2, 1]), &cfg());
+        let (fb, _) = fingerprint(&graph(&[1, 2, 2]), &cfg());
+        assert_ne!(fa, fb, "aliasing changes the dependency DAG");
+    }
+
+    #[test]
+    fn config_affects_fingerprint() {
+        let g = graph(&[1, 2]);
+        let (fa, _) = fingerprint(&g, &cfg());
+        let (fb, _) = fingerprint(
+            &g,
+            &PlanConfig {
+                num_streams: 8,
+                ..cfg()
+            },
+        );
+        let (fc, _) = fingerprint(
+            &g,
+            &PlanConfig {
+                fuse_elementwise: false,
+                ..cfg()
+            },
+        );
+        assert_ne!(fa, fb, "stream count is part of the key");
+        assert_ne!(fa, fc, "fusion config is part of the key");
+    }
+
+    #[test]
+    fn barrier_shape_affects_fingerprint() {
+        let mk = |waiters: Vec<usize>| {
+            ExecGraph::from_events(vec![GraphEvent::Fence {
+                signals: vec![0],
+                waiters,
+            }])
+        };
+        let (fa, _) = fingerprint(&mk(vec![1]), &cfg());
+        let (fb, _) = fingerprint(&mk(vec![2]), &cfg());
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn hit_rebinds_buffers_onto_current_graph() {
+        let mut cache = PlanCache::new(4);
+        let ga = graph(&[10, 11, 10]);
+        let (fp, binding) = fingerprint(&ga, &cfg());
+        let plan = Planner::new(cfg()).plan(&ga);
+        cache.insert(fp, &plan, binding);
+
+        let gb = graph(&[77, 93, 77]);
+        let (fp_b, binding_b) = fingerprint(&gb, &cfg());
+        assert_eq!(fp, fp_b);
+        let rebound = cache.lookup(fp_b, &binding_b).expect("cache hit");
+        assert_eq!(rebound.launch_count(), plan.launch_count());
+        let touched: Vec<BufferId> = rebound
+            .steps()
+            .iter()
+            .filter_map(|s| match s {
+                PlanStep::Launch { desc, .. } => Some(desc.reads.iter().map(|&(b, _)| b)),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        assert!(
+            touched.contains(&BufferId(77)),
+            "reads rebound: {touched:?}"
+        );
+        assert!(
+            !touched.contains(&BufferId(10)),
+            "stale ids gone: {touched:?}"
+        );
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn miss_and_lru_eviction() {
+        let mut cache = PlanCache::new(2);
+        let shapes = [graph(&[1]), graph(&[1, 2]), graph(&[1, 2, 3])];
+        for g in &shapes {
+            let (fp, binding) = fingerprint(g, &cfg());
+            assert!(cache.lookup(fp, &binding).is_none());
+            let plan = Planner::new(cfg()).plan(g);
+            cache.insert(fp, &plan, binding);
+        }
+        assert_eq!(cache.len(), 2, "bounded at capacity");
+        // The first shape was LRU and got evicted; the last two are hits.
+        let (fp0, b0) = fingerprint(&shapes[0], &cfg());
+        assert!(cache.lookup(fp0, &b0).is_none());
+        for g in &shapes[1..] {
+            let (fp, b) = fingerprint(g, &cfg());
+            assert!(cache.lookup(fp, &b).is_some());
+        }
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.hits(), 2);
+    }
+}

@@ -1,0 +1,836 @@
+//! Scheduler v2: dependency-aware critical-path list scheduling.
+//!
+//! The v1 planner assigned streams by modulo remap of the *recorded* stream
+//! index — whatever round-robin the recording happened to use is what
+//! replays, so independent work that recorded onto the same stream
+//! serializes and the device idles (BENCH_PR4 measured ~10% stream
+//! occupancy on the serve workload). This module instead derives a true
+//! dependency DAG from the recorded events and schedules it:
+//!
+//! 1. **Chain pre-fusion.** Consecutive same-recorded-stream
+//!    elementwise-class launches within a barrier segment collapse into
+//!    fused *units* first (the §III-F.5 fusion, unchanged), so scheduling
+//!    never splits a profitable chain across streams.
+//! 2. **Dependency edges.** Per-recorded-stream program order is always an
+//!    edge (recorded intra-stream order is semantic — see the module-level
+//!    invariant in [`sched`](crate::sched)). Across *barrier segments*,
+//!    buffer conflicts (read-after-write, write-after-write,
+//!    write-after-read) become precise edges: the recorded fence told us a
+//!    cross-limb dependency exists, and the read/write sets tell us exactly
+//!    which nodes it connects. Same-segment cross-stream accesses to one
+//!    buffer are *not* ordered — they were concurrent in the recording
+//!    (limb batches touch disjoint slices of one poly buffer).
+//! 3. **Critical-path list scheduling.** Units are ranked by critical-path
+//!    length (upward rank over a first-order cost model) and greedily
+//!    placed, in rank order, on the stream where they can start earliest —
+//!    with an affinity tie-break that keeps a recorded stream's chain
+//!    together so emission-time fusion still applies.
+//! 4. **Emission.** Launches are issued in *recorded* order (preserving
+//!    the producer→consumer temporal locality the L2 residency model
+//!    rewards), with chains flushing at the same positions the v1 planner
+//!    would. A dependency whose endpoints landed on different streams
+//!    becomes an event fence (`signals` → `waiters`); same-stream
+//!    dependencies ride stream serialization for free. Co-located
+//!    *alias-free* fusible chains merge (bounded by `max_fuse`), which is
+//!    what fuses independent tenants' chains inside one serve batch
+//!    without costing L2 residency refreshes.
+//!
+//! The result is a plan whose replay overlaps everything the recording
+//! *allows* to overlap, instead of everything the round-robin happened to
+//! separate. Results are bit-identical by construction: functional math
+//! runs at record time, so the plan only ever changes simulated timing.
+
+use std::collections::HashMap;
+
+use fides_gpu_sim::{BufferId, KernelDesc};
+
+use super::graph::{ExecGraph, GraphOp};
+use super::plan::{merge, ExecPlan, PlanConfig, PlanStep, SchedStats};
+
+/// One schedulable unit: a recorded kernel, possibly carrying a pre-fused
+/// chain of same-stream elementwise followers.
+struct Unit {
+    desc: KernelDesc,
+    rec_stream: usize,
+    segment: usize,
+    /// Recorded kernels absorbed into this unit (chain length ≥ 1).
+    count: usize,
+}
+
+impl Unit {
+    fn is_fusible(&self) -> bool {
+        super::graph::fusible_kind(self.desc.kind)
+    }
+}
+
+/// First-order cost-model constants used *only* to rank and place units
+/// (the real timing comes from the replay). They mirror the RTX 4090
+/// preset: 2 µs launch overhead, 1.6 µs latency floor, ~1 TB/s DRAM,
+/// ~13.6 G int32 ops/µs effective.
+const LAUNCH_US: f64 = 2.0;
+const MIN_KERNEL_US: f64 = 1.6;
+const BYTES_PER_US: f64 = 1.0e6;
+const OPS_PER_US: f64 = 13.6e6;
+
+/// A unit's estimated service time on its stream.
+fn unit_cost(desc: &KernelDesc) -> f64 {
+    let bytes = (desc.bytes_read() + desc.bytes_written()) as f64;
+    let mem = bytes / (BYTES_PER_US * desc.access_efficiency);
+    let compute = desc.int32_ops as f64 / OPS_PER_US;
+    mem.max(compute).max(MIN_KERNEL_US)
+}
+
+/// Bytes `merge(into, next)` would dedup away: traffic on buffers the two
+/// descriptors share. Zero for disjoint chains.
+fn dedup_overlap_bytes(into: &KernelDesc, next: &KernelDesc) -> u64 {
+    let touched = |buf: fides_gpu_sim::BufferId| {
+        into.reads.iter().any(|&(b, _)| b == buf) || into.writes.iter().any(|&(b, _)| b == buf)
+    };
+    next.reads
+        .iter()
+        .chain(&next.writes)
+        .filter(|&&(b, _)| touched(b))
+        .map(|&(_, bytes)| bytes)
+        .sum()
+}
+
+/// Stage 1: collapse same-recorded-stream elementwise chains into units
+/// (identical fusion rule to the v1 planner, applied before scheduling so
+/// chains are never split across streams). Returns the units in recorded
+/// chain-head order — a topological order of every edge stage 2 can add —
+/// plus, per barrier, the set of recorded streams it covers (barrier `k`
+/// separates segment `k` from `k + 1`; emission uses the sets to flush
+/// chains at the same positions the v1 planner would).
+fn build_units(graph: &ExecGraph, cfg: &PlanConfig) -> (Vec<Unit>, Vec<Vec<usize>>) {
+    let mut units: Vec<Unit> = Vec::new();
+    let mut barriers: Vec<Vec<usize>> = Vec::new();
+    // Open chain per recorded stream: index into `units`.
+    let mut open: HashMap<usize, usize> = HashMap::new();
+    for op in &graph.ops {
+        match op {
+            GraphOp::Kernel(node) => {
+                if cfg.fuse_elementwise && node.is_fusible() {
+                    if let Some(&idx) = open.get(&node.stream) {
+                        debug_assert_eq!(
+                            units[idx].segment, node.segment,
+                            "open chain crossed a barrier"
+                        );
+                        if units[idx].count < cfg.max_fuse {
+                            merge(&mut units[idx].desc, &node.desc);
+                            units[idx].count += 1;
+                            continue;
+                        }
+                        open.remove(&node.stream);
+                    }
+                    open.insert(node.stream, units.len());
+                } else {
+                    open.remove(&node.stream);
+                }
+                units.push(Unit {
+                    desc: node.desc.clone(),
+                    rec_stream: node.stream,
+                    segment: node.segment,
+                    count: 1,
+                });
+            }
+            // Barriers close the chains of the streams they cover (they
+            // end the segment); the ordering they encode becomes
+            // cross-segment dependency edges in stage 2.
+            GraphOp::Barrier { signals, waiters } => {
+                open.clear();
+                let mut set: Vec<usize> = signals.iter().chain(waiters).copied().collect();
+                set.sort_unstable();
+                set.dedup();
+                barriers.push(set);
+            }
+        }
+    }
+    (units, barriers)
+}
+
+/// Per-buffer conflict-tracking state for edge construction.
+///
+/// Writers come in *generations*: a maximal set of same-segment writers
+/// (concurrent limb batches writing disjoint slices of one poly buffer).
+/// A cross-segment access must depend on **every** member of the newest
+/// generation — tracking only a "last writer" would silently drop the
+/// ordering a recorded fence imposed on the other batches. One previous
+/// generation is kept for accesses that are concurrent with the current
+/// one (anything older is covered transitively, because each current-
+/// generation writer carries edges to the whole previous generation).
+#[derive(Default)]
+struct BufState {
+    /// The newest write generation and its segment.
+    writers_cur: Vec<usize>,
+    writers_seg: usize,
+    /// The complete generation before it (its segment always differs).
+    writers_prev: Vec<usize>,
+    /// Readers since `writers_cur` began, with their segments.
+    readers_cur: Vec<(usize, usize)>,
+    /// Readers of the previous generation's data.
+    readers_prev: Vec<(usize, usize)>,
+}
+
+/// Stage 2: dependency edges. Returns `(preds, succs)` adjacency, with
+/// every edge pointing from a lower to a higher unit index (unit order is
+/// recorded order, so segments are nondecreasing along it).
+fn build_edges(units: &[Unit]) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+    let n = units.len();
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut last_on_stream: HashMap<usize, usize> = HashMap::new();
+    let mut bufs: HashMap<BufferId, BufState> = HashMap::new();
+
+    for (i, u) in units.iter().enumerate() {
+        let mut p: Vec<usize> = Vec::new();
+        // Recorded intra-stream program order is always preserved.
+        if let Some(&prev) = last_on_stream.get(&u.rec_stream) {
+            p.push(prev);
+        }
+        // Cross-segment conflicts only: same-segment cross-stream accesses
+        // were concurrent in the recording (disjoint limb slices of one
+        // poly buffer), and same-stream conflicts ride the program-order
+        // edge transitively.
+        let crossing = |other: usize, other_seg: usize| {
+            other_seg != u.segment && units[other].rec_stream != u.rec_stream
+        };
+        for &(buf, _) in &u.desc.reads {
+            let st = bufs.entry(buf).or_default();
+            if !st.writers_cur.is_empty() && st.writers_seg != u.segment {
+                // Read-after-write on the whole newest generation.
+                p.extend(
+                    st.writers_cur
+                        .iter()
+                        .copied()
+                        .filter(|&w| crossing(w, st.writers_seg)),
+                );
+            } else {
+                // Concurrent with (or preceding) the current generation:
+                // the previous one is what this read is ordered after.
+                let prev_seg = st.writers_prev.first().map(|&w| units[w].segment);
+                if let Some(ps) = prev_seg {
+                    p.extend(st.writers_prev.iter().copied().filter(|&w| crossing(w, ps)));
+                }
+            }
+            st.readers_cur.push((i, u.segment));
+        }
+        for &(buf, _) in &u.desc.writes {
+            let st = bufs.entry(buf).or_default();
+            if st.writers_cur.is_empty() || st.writers_seg != u.segment {
+                // A new generation begins: it is ordered after every
+                // member of the one it supersedes (write-after-write) and
+                // after everything that read that data (write-after-read).
+                let old_writers = std::mem::take(&mut st.writers_cur);
+                let old_seg = old_writers.first().map(|&w| units[w].segment);
+                st.readers_prev = std::mem::take(&mut st.readers_cur);
+                if let Some(os) = old_seg {
+                    p.extend(old_writers.iter().copied().filter(|&w| crossing(w, os)));
+                }
+                st.writers_prev = old_writers;
+                st.writers_seg = u.segment;
+            }
+            // Joining (or having just started) the current generation:
+            // ordered after the previous generation and its readers.
+            let prev_seg = st.writers_prev.first().map(|&w| units[w].segment);
+            if let Some(ps) = prev_seg {
+                p.extend(st.writers_prev.iter().copied().filter(|&w| crossing(w, ps)));
+            }
+            p.extend(
+                st.readers_prev
+                    .iter()
+                    .filter(|&&(r, rseg)| r != i && crossing(r, rseg))
+                    .map(|&(r, _)| r),
+            );
+            st.writers_cur.push(i);
+        }
+        p.retain(|&q| q != i);
+        p.sort_unstable();
+        p.dedup();
+        for &q in &p {
+            succs[q].push(i);
+        }
+        preds[i] = p;
+        last_on_stream.insert(u.rec_stream, i);
+    }
+    (preds, succs)
+}
+
+/// A chain of fusible launches being grown on one *final* stream during
+/// emission.
+struct PendingChain {
+    desc: KernelDesc,
+    count: usize,
+    members: Vec<usize>,
+}
+
+/// The emission state for one final stream: issued-launch count plus the
+/// chains still open on it (FIFO by open position). Several chains — from
+/// different recorded streams the scheduler co-located — can be open at
+/// once, so an unrelated launch never forces a foreign chain to flush
+/// early (which would scramble the issue order the L2 residency model
+/// sees relative to the v1 planner).
+#[derive(Default)]
+struct StreamEmit {
+    launched: usize,
+    open: Vec<PendingChain>,
+}
+
+/// Scheduler v2 entry point: plans `graph` with dependency-aware list
+/// scheduling (see the module docs for the pipeline).
+pub(crate) fn plan_dag(graph: &ExecGraph, cfg: &PlanConfig) -> ExecPlan {
+    let (units, barriers) = build_units(graph, cfg);
+    let n = units.len();
+    let recorded = graph.kernel_count() as u64;
+    if n == 0 {
+        return ExecPlan {
+            steps: Vec::new(),
+            stats: SchedStats {
+                graphs: 1,
+                ..SchedStats::default()
+            },
+            mem: Default::default(),
+        };
+    }
+    let (preds, succs) = build_edges(&units);
+
+    // Upward rank (critical-path length to a sink). Unit index order is
+    // topological, so one reverse sweep suffices.
+    let cost: Vec<f64> = units.iter().map(|u| unit_cost(&u.desc)).collect();
+    let mut rank = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let tail = succs[i].iter().map(|&s| rank[s]).fold(0.0f64, f64::max);
+        rank[i] = cost[i] + tail;
+    }
+
+    // Greedy placement in descending rank order (a topological order:
+    // every predecessor outranks its successors because costs are
+    // positive). Each unit goes to the stream where it can start earliest
+    // — where "earliest" includes the **host submission clock**: the host
+    // pays `LAUNCH_US` per launch serially, so a stream that frees up
+    // within the submission interval is as good as an idle one. This is
+    // what keeps launch-bound work packed on few streams (where its
+    // elementwise chains stay adjacent and fuse) and spreads work across
+    // streams only when kernels are long enough that spreading actually
+    // buys makespan. Ties prefer the stream the unit's recorded stream
+    // last landed on (chains stay adjacent for emission fusion), then the
+    // lowest index.
+    let streams = cfg.num_streams.max(1);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| rank[b].total_cmp(&rank[a]).then(a.cmp(&b)));
+    let mut stream_free = vec![0.0f64; streams];
+    let mut finish = vec![0.0f64; n];
+    let mut assigned = vec![0usize; n];
+    let mut affinity: HashMap<usize, usize> = HashMap::new();
+    let mut host = 0.0f64;
+    for &u in &order {
+        let ready = preds[u].iter().map(|&p| finish[p]).fold(host, f64::max);
+        let earliest = |s: usize| stream_free[s].max(ready);
+        let min_start = (0..streams).map(earliest).fold(f64::INFINITY, f64::min);
+        let chosen = match affinity.get(&units[u].rec_stream) {
+            Some(&h) if earliest(h) == min_start => h,
+            _ => (0..streams)
+                .find(|&s| earliest(s) == min_start)
+                .expect("some stream attains the minimum"),
+        };
+        finish[u] = min_start + cost[u];
+        stream_free[chosen] = finish[u];
+        assigned[u] = chosen;
+        affinity.insert(units[u].rec_stream, chosen);
+        host += LAUNCH_US;
+    }
+
+    // Emission in *recorded* order (unit index order — every edge points
+    // from a lower to a higher index, so predecessors are always issued
+    // first). Recorded order preserves the producer→consumer temporal
+    // locality the L2 residency model rewards; the overlap win comes from
+    // the stream *assignment* and the precise fences, not from
+    // reshuffling issue order, because the host launch clock serializes
+    // submissions anyway. Several chains can stay open per final stream,
+    // a chain flushes exactly where v1 would flush it (a recorded barrier
+    // covering its streams, a successor of its members, or a dependent
+    // fence), and co-located alias-free chains — different tenants'
+    // requests — merge.
+    let mut steps: Vec<PlanStep> = Vec::new();
+    let mut emit: Vec<StreamEmit> = (0..streams).map(|_| StreamEmit::default()).collect();
+    // sync_mark[w][s]: launches on `s` that stream `w` already waits for.
+    let mut sync_mark: Vec<Vec<usize>> = vec![vec![0; streams]; streams];
+    // Launch slot (stream, index-on-stream) per unit once flushed.
+    let mut launch_of: Vec<Option<(usize, usize)>> = vec![None; n];
+
+    fn flush_chain(
+        s: usize,
+        chain_idx: usize,
+        emit: &mut [StreamEmit],
+        steps: &mut Vec<PlanStep>,
+        launch_of: &mut [Option<(usize, usize)>],
+    ) {
+        let chain = emit[s].open.remove(chain_idx);
+        for &m in &chain.members {
+            launch_of[m] = Some((s, emit[s].launched));
+        }
+        emit[s].launched += 1;
+        steps.push(PlanStep::Launch {
+            stream: s,
+            desc: chain.desc,
+        });
+    }
+
+    let mut cur_seg = 0usize;
+    for u in 0..n {
+        let s = assigned[u];
+        // Recorded barriers crossed since the last unit flush exactly the
+        // chains whose recorded streams they cover — the same positions
+        // the v1 planner flushes at, so a single-graph issue order is
+        // unchanged while another request's (uncovered) tail chain stays
+        // open for cross-request merging.
+        while cur_seg < units[u].segment {
+            let covered = &barriers[cur_seg];
+            for t in 0..streams {
+                let mut i = 0;
+                while i < emit[t].open.len() {
+                    let in_set = emit[t].open[i]
+                        .members
+                        .iter()
+                        .any(|&m| covered.binary_search(&units[m].rec_stream).is_ok());
+                    if in_set {
+                        flush_chain(t, i, &mut emit, &mut steps, &mut launch_of);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            cur_seg += 1;
+        }
+        // Dependencies: a predecessor still sitting in an open chain is
+        // flushed (alone — unrelated chains stay open); one that landed on
+        // another stream is then covered by an event fence.
+        for &p in &preds[u] {
+            let t = assigned[p];
+            if launch_of[p].is_none() {
+                let idx = emit[t]
+                    .open
+                    .iter()
+                    .position(|c| c.members.contains(&p))
+                    .expect("unissued predecessor is in an open chain");
+                flush_chain(t, idx, &mut emit, &mut steps, &mut launch_of);
+            }
+            if t == s {
+                continue; // stream serialization orders it
+            }
+            let (_, pidx) = launch_of[p].expect("predecessor flushed");
+            if sync_mark[s][t] <= pidx {
+                steps.push(PlanStep::Fence {
+                    signals: vec![t],
+                    waiters: vec![s],
+                });
+                sync_mark[s][t] = emit[t].launched;
+            }
+        }
+        if cfg.fuse_elementwise && units[u].is_fusible() {
+            // Merge into the oldest viable open chain on this stream.
+            // Dependency safety is already established: every predecessor
+            // of `u` is issued by now, so launching `u` at any open
+            // chain's (later) flush position cannot run it too early. A
+            // merge always saves one host submission (`LAUNCH_US`), but
+            // when the two sides *alias*, the merged descriptor dedups the
+            // re-touched bytes — and every deduped byte is an L2 touch
+            // that no longer refreshes the buffer's residency, which at
+            // out-of-cache scale turns into later DRAM misses. So a merge
+            // must be (near-)alias-free: the deduped traffic may cost at
+            // most the one launch it saves. Disjoint chains — different
+            // tenants, different limb ranges — merge freely; a chain
+            // re-touching its own working set does not. (Within a segment
+            // stage 1 already applied the §III-F.5 fusion rule
+            // unconditionally, matching v1.)
+            let target = emit[s].open.iter().position(|c| {
+                c.count + units[u].count <= cfg.max_fuse
+                    && (dedup_overlap_bytes(&c.desc, &units[u].desc) as f64 / BYTES_PER_US)
+                        <= LAUNCH_US
+            });
+            if let Some(idx) = target {
+                let chain = &mut emit[s].open[idx];
+                merge(&mut chain.desc, &units[u].desc);
+                chain.count += units[u].count;
+                chain.members.push(u);
+            } else {
+                emit[s].open.push(PendingChain {
+                    desc: units[u].desc.clone(),
+                    count: units[u].count,
+                    members: vec![u],
+                });
+            }
+        } else {
+            launch_of[u] = Some((s, emit[s].launched));
+            emit[s].launched += 1;
+            steps.push(PlanStep::Launch {
+                stream: s,
+                desc: units[u].desc.clone(),
+            });
+        }
+    }
+    for s in 0..streams {
+        while !emit[s].open.is_empty() {
+            flush_chain(s, 0, &mut emit, &mut steps, &mut launch_of);
+        }
+    }
+
+    let planned = steps
+        .iter()
+        .filter(|s| matches!(s, PlanStep::Launch { .. }))
+        .count() as u64;
+    ExecPlan {
+        steps,
+        stats: SchedStats {
+            graphs: 1,
+            recorded_kernels: recorded,
+            planned_launches: planned,
+            fused_kernels: recorded - planned,
+            ..SchedStats::default()
+        },
+        mem: Default::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fides_gpu_sim::{GraphEvent, KernelKind};
+
+    fn cfg(streams: usize, fuse: bool) -> PlanConfig {
+        PlanConfig {
+            fuse_elementwise: fuse,
+            num_streams: streams,
+            max_fuse: 8,
+            dep_schedule: true,
+        }
+    }
+
+    fn launch(stream: usize, kind: KernelKind, reads: &[u64], writes: &[u64]) -> GraphEvent {
+        let mut desc = KernelDesc::new(kind).ops(1000);
+        for &b in reads {
+            desc = desc.read(BufferId(b), 1 << 20);
+        }
+        for &b in writes {
+            desc = desc.write(BufferId(b), 1 << 20);
+        }
+        GraphEvent::Launch { stream, desc }
+    }
+
+    fn fence_all(streams: usize) -> GraphEvent {
+        let all: Vec<usize> = (0..streams).collect();
+        GraphEvent::Fence {
+            signals: all.clone(),
+            waiters: all,
+        }
+    }
+
+    fn launch_streams(plan: &ExecPlan) -> Vec<usize> {
+        plan.steps()
+            .iter()
+            .filter_map(|s| match s {
+                PlanStep::Launch { stream, .. } => Some(*stream),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Replays the plan symbolically and asserts that for every
+    /// cross-stream recorded dependency (pred before succ in `ordered`),
+    /// the plan orders them by stream or by an interleaved fence.
+    fn assert_ordered(plan: &ExecPlan, before: BufferId, after: BufferId) {
+        // Position of the launch touching each buffer.
+        let mut pos_before = None;
+        let mut pos_after = None;
+        let mut stream_before = 0;
+        let mut stream_after = 0;
+        for (i, step) in plan.steps().iter().enumerate() {
+            if let PlanStep::Launch { stream, desc } = step {
+                let touches = |b: BufferId| {
+                    desc.reads.iter().any(|&(x, _)| x == b)
+                        || desc.writes.iter().any(|&(x, _)| x == b)
+                };
+                if touches(before) && pos_before.is_none() {
+                    pos_before = Some(i);
+                    stream_before = *stream;
+                }
+                if touches(after) {
+                    pos_after = Some(i);
+                    stream_after = *stream;
+                }
+            }
+        }
+        let (pb, pa) = (pos_before.unwrap(), pos_after.unwrap());
+        assert!(pb < pa, "dependency issued out of order");
+        if stream_before != stream_after {
+            let fenced = plan.steps()[pb..pa].iter().any(|s| {
+                matches!(s, PlanStep::Fence { signals, waiters }
+                    if signals.contains(&stream_before) && waiters.contains(&stream_after))
+            });
+            assert!(fenced, "cross-stream dependency lacks a fence");
+        }
+    }
+
+    #[test]
+    fn independent_streams_spread_over_device() {
+        // Four independent recorded streams, two device streams: list
+        // scheduling balances them without fences.
+        let events = vec![
+            launch(0, KernelKind::NttPhase1, &[1], &[1]),
+            launch(1, KernelKind::NttPhase1, &[2], &[2]),
+            launch(2, KernelKind::NttPhase1, &[3], &[3]),
+            launch(3, KernelKind::NttPhase1, &[4], &[4]),
+        ];
+        let plan = plan_dag(&ExecGraph::from_events(events), &cfg(2, true));
+        let streams = launch_streams(&plan);
+        assert_eq!(streams.len(), 4);
+        assert_eq!(streams.iter().filter(|&&s| s == 0).count(), 2);
+        assert_eq!(streams.iter().filter(|&&s| s == 1).count(), 2);
+        assert!(
+            !plan
+                .steps()
+                .iter()
+                .any(|s| matches!(s, PlanStep::Fence { .. })),
+            "independent work needs no fences"
+        );
+    }
+
+    #[test]
+    fn cross_segment_raw_dependency_is_fenced() {
+        // Writer on recorded stream 0, barrier, reader on recorded stream
+        // 1. Whatever streams they land on, the plan must order them.
+        let events = vec![
+            launch(0, KernelKind::NttPhase1, &[], &[10]),
+            fence_all(2),
+            launch(1, KernelKind::NttPhase1, &[10], &[11]),
+        ];
+        let plan = plan_dag(&ExecGraph::from_events(events), &cfg(4, true));
+        assert_ordered(&plan, BufferId(10), BufferId(11));
+    }
+
+    #[test]
+    fn fence_between_writes_to_same_buffer_is_never_reordered() {
+        // The barrier-handling invariant (ISSUE 5 satellite): two writes
+        // to one buffer separated by a recorded fence must replay in
+        // recorded order — list scheduling may not swap or overlap them.
+        // The second write also reads a distinct marker buffer so the two
+        // launches are distinguishable in the plan.
+        let events = vec![
+            launch(0, KernelKind::NttPhase1, &[20], &[15]),
+            fence_all(4),
+            launch(2, KernelKind::NttPhase2, &[21], &[15]),
+        ];
+        let plan = plan_dag(&ExecGraph::from_events(events), &cfg(4, true));
+        assert_ordered(&plan, BufferId(20), BufferId(21));
+    }
+
+    #[test]
+    fn fence_orders_reader_after_every_concurrent_writer() {
+        // Two concurrent same-segment writers (limb batches writing
+        // disjoint slices of one poly buffer), a fence, then a reader:
+        // the reader must be ordered after *both* writers — tracking only
+        // the last writer would drop the first dependency. Each writer
+        // reads a distinct marker buffer so the launches are
+        // distinguishable; big kernels force the writers onto different
+        // streams than the reader.
+        let big = |stream: usize, marker: u64, rw: &[u64]| GraphEvent::Launch {
+            stream,
+            desc: KernelDesc::new(KernelKind::NttPhase1)
+                .read(BufferId(marker), 32 << 20)
+                .write(BufferId(rw[0]), 32 << 20)
+                .ops(1000),
+        };
+        let events = vec![
+            big(0, 40, &[15]),
+            big(1, 41, &[15]),
+            fence_all(4),
+            GraphEvent::Launch {
+                stream: 2,
+                desc: KernelDesc::new(KernelKind::NttPhase2)
+                    .read(BufferId(15), 32 << 20)
+                    .read(BufferId(42), 32 << 20)
+                    .ops(1000),
+            },
+        ];
+        let plan = plan_dag(&ExecGraph::from_events(events), &cfg(4, true));
+        assert_ordered(&plan, BufferId(40), BufferId(42));
+        assert_ordered(&plan, BufferId(41), BufferId(42));
+    }
+
+    #[test]
+    fn fence_orders_writer_after_every_concurrent_reader() {
+        // The write-after-read mirror: two concurrent readers, a fence,
+        // then a writer — the writer depends on both readers.
+        let rd = |stream: usize, marker: u64| GraphEvent::Launch {
+            stream,
+            desc: KernelDesc::new(KernelKind::NttPhase1)
+                .read(BufferId(marker), 32 << 20)
+                .read(BufferId(16), 32 << 20)
+                .ops(1000),
+        };
+        let events = vec![
+            rd(0, 50),
+            rd(1, 51),
+            fence_all(4),
+            GraphEvent::Launch {
+                stream: 2,
+                desc: KernelDesc::new(KernelKind::NttPhase2)
+                    .read(BufferId(52), 32 << 20)
+                    .write(BufferId(16), 32 << 20)
+                    .ops(1000),
+            },
+        ];
+        let plan = plan_dag(&ExecGraph::from_events(events), &cfg(4, true));
+        assert_ordered(&plan, BufferId(50), BufferId(52));
+        assert_ordered(&plan, BufferId(51), BufferId(52));
+    }
+
+    #[test]
+    fn reader_concurrent_with_new_writers_still_orders_after_old_generation() {
+        // Writer generation 1 (seg 0), fence, then generation 2 plus a
+        // reader concurrent with it (seg 1): the reader has no edge to
+        // the concurrent writers, but must still order after generation
+        // 1 — through `writers_prev`, not transitivity.
+        let big = |stream: usize, marker: u64, write: bool| {
+            let mut desc = KernelDesc::new(KernelKind::NttPhase1)
+                .read(BufferId(marker), 32 << 20)
+                .ops(1000);
+            desc = if write {
+                desc.write(BufferId(17), 32 << 20)
+            } else {
+                desc.read(BufferId(17), 32 << 20)
+            };
+            GraphEvent::Launch { stream, desc }
+        };
+        let events = vec![
+            big(0, 60, true),
+            fence_all(4),
+            big(1, 61, true),
+            big(2, 62, false),
+        ];
+        let plan = plan_dag(&ExecGraph::from_events(events), &cfg(4, true));
+        assert_ordered(&plan, BufferId(60), BufferId(62));
+    }
+
+    #[test]
+    fn same_segment_shared_buffer_stays_concurrent() {
+        // Two limb batches of one op write disjoint slices of the same
+        // poly buffer from different recorded streams, with no fence: the
+        // recording had them concurrent, and scheduler v2 must keep them
+        // concurrent (no fence between them). The kernels are large
+        // enough (32 MB ≫ the host submission interval) that the
+        // placement chooses to overlap rather than pack.
+        let big = |stream: usize| GraphEvent::Launch {
+            stream,
+            desc: KernelDesc::new(KernelKind::NttPhase1)
+                .write(BufferId(30), 32 << 20)
+                .ops(1000),
+        };
+        let events = vec![big(0), big(1)];
+        let plan = plan_dag(&ExecGraph::from_events(events), &cfg(4, true));
+        assert_eq!(plan.launch_count(), 2);
+        assert!(
+            !plan
+                .steps()
+                .iter()
+                .any(|s| matches!(s, PlanStep::Fence { .. })),
+            "same-segment disjoint-slice writes must not serialize"
+        );
+        let streams = launch_streams(&plan);
+        assert_ne!(streams[0], streams[1], "independent batches overlap");
+    }
+
+    #[test]
+    fn launch_bound_work_packs_instead_of_spreading() {
+        // Tiny kernels (at the latency floor, below the host submission
+        // interval) gain nothing from spreading: the host cannot feed a
+        // second stream fast enough. The placement packs them — keeping
+        // chains adjacent for fusion — instead of scattering them across
+        // idle streams.
+        let events: Vec<GraphEvent> = (0..6)
+            .map(|i| GraphEvent::Launch {
+                stream: i,
+                desc: KernelDesc::new(KernelKind::NttPhase1)
+                    .read(BufferId(100 + i as u64), 1024)
+                    .ops(10),
+            })
+            .collect();
+        let plan = plan_dag(&ExecGraph::from_events(events), &cfg(4, true));
+        let streams = launch_streams(&plan);
+        assert!(
+            streams.iter().all(|&s| s == streams[0]),
+            "floor-bound independent kernels should pack: {streams:?}"
+        );
+    }
+
+    #[test]
+    fn chains_pre_fuse_before_scheduling() {
+        let ew = |stream: usize, buf: u64| launch(stream, KernelKind::Elementwise, &[buf], &[buf]);
+        let events = vec![ew(0, 1), ew(0, 2), ew(1, 3)];
+        let plan = plan_dag(&ExecGraph::from_events(events), &cfg(4, true));
+        assert_eq!(plan.launch_count(), 2, "stream-0 chain fused");
+        assert_eq!(plan.stats().fused_kernels, 1);
+        assert_eq!(plan.stats().recorded_kernels, 3);
+    }
+
+    #[test]
+    fn emission_fuses_independent_chains_landing_on_one_stream() {
+        // Two independent recorded streams of elementwise work, one device
+        // stream: after placement they are adjacent on the same stream and
+        // merge (the cross-tenant fusion path of the serve batcher).
+        let ew = |stream: usize, buf: u64| launch(stream, KernelKind::Elementwise, &[buf], &[buf]);
+        let events = vec![ew(0, 1), ew(7, 2)];
+        let plan = plan_dag(&ExecGraph::from_events(events), &cfg(1, true));
+        assert_eq!(
+            plan.launch_count(),
+            1,
+            "independent chains merge on one stream"
+        );
+        assert_eq!(plan.stats().fused_kernels, 1);
+    }
+
+    #[test]
+    fn fusion_off_emits_every_unit() {
+        let ew = |stream: usize, buf: u64| launch(stream, KernelKind::Elementwise, &[buf], &[buf]);
+        let events = vec![ew(0, 1), ew(0, 2), ew(1, 3)];
+        let plan = plan_dag(&ExecGraph::from_events(events), &cfg(4, false));
+        assert_eq!(plan.launch_count(), 3);
+        assert_eq!(plan.stats().fused_kernels, 0);
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let mut events = Vec::new();
+        for i in 0..40u64 {
+            events.push(launch(
+                (i % 6) as usize,
+                if i % 3 == 0 {
+                    KernelKind::NttPhase1
+                } else {
+                    KernelKind::Elementwise
+                },
+                &[i % 7],
+                &[i % 5 + 100],
+            ));
+            if i % 11 == 10 {
+                events.push(fence_all(6));
+            }
+        }
+        let g = ExecGraph::from_events(events);
+        let a = plan_dag(&g, &cfg(4, true));
+        let b = plan_dag(&g, &cfg(4, true));
+        assert_eq!(a.launch_count(), b.launch_count());
+        let streams_a = launch_streams(&a);
+        let streams_b = launch_streams(&b);
+        assert_eq!(
+            streams_a, streams_b,
+            "stream assignment must be deterministic"
+        );
+    }
+
+    #[test]
+    fn empty_graph_plans_empty() {
+        let plan = plan_dag(&ExecGraph::from_events(Vec::new()), &cfg(4, true));
+        assert_eq!(plan.launch_count(), 0);
+        assert_eq!(plan.stats().graphs, 1);
+    }
+}

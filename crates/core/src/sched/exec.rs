@@ -39,6 +39,9 @@ impl PlanExecutor for GpuReplayExecutor<'_> {
             !self.gpu.capturing_on_current_thread(),
             "replaying into this thread's open capture would re-record the plan"
         );
+        let mem = plan.mem();
+        self.gpu
+            .record_plan_memory(mem.peak_device_bytes, mem.allocations);
         for step in plan.steps() {
             match step {
                 PlanStep::Launch { stream, desc } => {

@@ -24,16 +24,23 @@ impl KernelNode {
     /// candidates). NTT/iNTT phases and base conversions have cross-
     /// coefficient data flow and stay unfused.
     pub fn is_fusible(&self) -> bool {
-        matches!(
-            self.desc.kind,
-            Some(
-                KernelKind::Elementwise
-                    | KernelKind::Fill
-                    | KernelKind::SwitchModulus
-                    | KernelKind::Automorphism
-            )
-        )
+        fusible_kind(self.desc.kind)
     }
+}
+
+/// The kind-level fusibility rule behind [`KernelNode::is_fusible`] (also
+/// applied to fused descriptors, whose kind may have degraded to the
+/// generic elementwise label).
+pub(crate) fn fusible_kind(kind: Option<KernelKind>) -> bool {
+    matches!(
+        kind,
+        Some(
+            KernelKind::Elementwise
+                | KernelKind::Fill
+                | KernelKind::SwitchModulus
+                | KernelKind::Automorphism
+        )
+    )
 }
 
 /// A graph element: a kernel node or a stream barrier.

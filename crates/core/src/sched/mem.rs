@@ -1,0 +1,233 @@
+//! Plan-level device-memory liveness: interval coloring of buffer
+//! lifetimes into reusable pool slots.
+//!
+//! The planner sees every buffer a graph touches and the issue order of
+//! its launches, which is exactly the information a stream-ordered device
+//! allocator (CUDA's `cudaMallocAsync` pool, §III-D) exploits: a buffer
+//! whose last use has been issued can donate its slot to the next
+//! allocation. This pass computes, per plan:
+//!
+//! * each buffer's **footprint** (the largest single-launch access, a
+//!   proxy for its allocation size) and **live interval** in launch issue
+//!   order;
+//! * a greedy best-fit **slot assignment**: an expiring buffer's slot is
+//!   reused by the next buffer it can hold, so the pool's high-water mark
+//!   ([`MemPlan::peak_device_bytes`]) tracks peak *concurrent* liveness
+//!   instead of the sum of every allocation;
+//! * the **allocation count** ([`MemPlan::allocations`]) the pool performs
+//!   (slots created, not buffers bound).
+//!
+//! With scheduler v2 off the pass still runs but performs no reuse — every
+//! buffer is its own slot — which is what makes the memory win a gated
+//! A/B metric in `BENCH_PR5.json`. Issue-order liveness idealizes
+//! cross-stream overlap (a slot handoff between unordered launches would
+//! need the allocator's internal event dependency, which the stream-ordered
+//! pool inserts on demand); the metric models the pool's steady-state
+//! footprint, not a worst-case racy bound.
+
+use std::collections::{BTreeSet, HashMap};
+
+use fides_gpu_sim::BufferId;
+
+use super::plan::PlanStep;
+
+/// The memory plan the liveness pass derives for one [`ExecPlan`](super::ExecPlan).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemPlan {
+    /// Pool high-water mark in bytes: total size of every slot the pool
+    /// had to create.
+    pub peak_device_bytes: u64,
+    /// Slots the pool allocated (buffer bindings that could not reuse an
+    /// expired slot).
+    pub allocations: u64,
+    /// Distinct buffers the plan touches (the allocation count a
+    /// pool-less backend would perform).
+    pub buffers: u64,
+}
+
+impl MemPlan {
+    /// Fraction of buffer bindings served by slot reuse.
+    pub fn reuse_rate(&self) -> f64 {
+        if self.buffers == 0 {
+            0.0
+        } else {
+            1.0 - self.allocations as f64 / self.buffers as f64
+        }
+    }
+}
+
+/// Runs the liveness pass over planned steps. With `pool` set, expired
+/// slots are reused best-fit; otherwise every buffer allocates its own
+/// slot (the v1 baseline the gate compares against).
+pub(crate) fn analyze(steps: &[PlanStep], pool: bool) -> MemPlan {
+    // Footprints and live intervals in launch issue order.
+    let mut footprint: HashMap<BufferId, u64> = HashMap::new();
+    let mut first: HashMap<BufferId, usize> = HashMap::new();
+    let mut last: HashMap<BufferId, usize> = HashMap::new();
+    let mut launch_idx = 0usize;
+    for step in steps {
+        if let PlanStep::Launch { desc, .. } = step {
+            for &(buf, bytes) in desc.reads.iter().chain(&desc.writes) {
+                let f = footprint.entry(buf).or_insert(0);
+                *f = (*f).max(bytes);
+                first.entry(buf).or_insert(launch_idx);
+                last.insert(buf, launch_idx);
+            }
+            launch_idx += 1;
+        }
+    }
+    let buffers = footprint.len() as u64;
+    if !pool {
+        return MemPlan {
+            peak_device_bytes: footprint.values().sum(),
+            allocations: buffers,
+            buffers,
+        };
+    }
+
+    // Deterministic event lists per launch index.
+    let mut births: Vec<Vec<BufferId>> = vec![Vec::new(); launch_idx];
+    let mut deaths: Vec<Vec<BufferId>> = vec![Vec::new(); launch_idx];
+    for (&buf, &i) in &first {
+        births[i].push(buf);
+    }
+    for (&buf, &i) in &last {
+        deaths[i].push(buf);
+    }
+    for list in births.iter_mut().chain(deaths.iter_mut()) {
+        list.sort_unstable();
+    }
+
+    // Greedy best-fit: free slots keyed by (size, slot id) so the smallest
+    // slot that fits is found by range query.
+    let mut free: BTreeSet<(u64, u64)> = BTreeSet::new();
+    let mut slot_of: HashMap<BufferId, (u64, u64)> = HashMap::new();
+    let mut next_slot = 0u64;
+    let mut allocations = 0u64;
+    let mut pool_bytes = 0u64;
+    for i in 0..launch_idx {
+        // Bind buffers born at this launch *before* releasing the ones
+        // dying here: a buffer first and last touched by the same launch
+        // is live during it.
+        for &buf in &births[i] {
+            let need = footprint[&buf];
+            let reuse = free.range((need, 0)..).next().copied();
+            let slot = match reuse {
+                Some(s) => {
+                    free.remove(&s);
+                    s
+                }
+                None => {
+                    allocations += 1;
+                    pool_bytes += need;
+                    let s = (need, next_slot);
+                    next_slot += 1;
+                    s
+                }
+            };
+            slot_of.insert(buf, slot);
+        }
+        for &buf in &deaths[i] {
+            if let Some(slot) = slot_of.remove(&buf) {
+                free.insert(slot);
+            }
+        }
+    }
+    MemPlan {
+        peak_device_bytes: pool_bytes,
+        allocations,
+        buffers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fides_gpu_sim::{KernelDesc, KernelKind};
+
+    fn launch(reads: &[(u64, u64)], writes: &[(u64, u64)]) -> PlanStep {
+        let mut desc = KernelDesc::new(KernelKind::Elementwise);
+        for &(b, bytes) in reads {
+            desc = desc.read(BufferId(b), bytes);
+        }
+        for &(b, bytes) in writes {
+            desc = desc.write(BufferId(b), bytes);
+        }
+        PlanStep::Launch { stream: 0, desc }
+    }
+
+    #[test]
+    fn disjoint_lifetimes_share_one_slot() {
+        // Buffer 1 dies at launch 0; buffer 2 is born at launch 1 and fits
+        // in its slot.
+        let steps = vec![
+            launch(&[(1, 1024)], &[]),
+            launch(&[(2, 512)], &[]),
+            launch(&[(3, 256)], &[]),
+        ];
+        let pooled = analyze(&steps, true);
+        assert_eq!(pooled.buffers, 3);
+        assert_eq!(pooled.allocations, 1, "all three reuse the first slot");
+        assert_eq!(pooled.peak_device_bytes, 1024);
+        let raw = analyze(&steps, false);
+        assert_eq!(raw.allocations, 3);
+        assert_eq!(raw.peak_device_bytes, 1024 + 512 + 256);
+        assert!(pooled.peak_device_bytes < raw.peak_device_bytes);
+        assert!(pooled.reuse_rate() > 0.6);
+    }
+
+    #[test]
+    fn overlapping_lifetimes_need_distinct_slots() {
+        // Both buffers live across both launches: no reuse possible.
+        let steps = vec![
+            launch(&[(1, 1024), (2, 1024)], &[]),
+            launch(&[(2, 1024), (1, 1024)], &[]),
+        ];
+        let m = analyze(&steps, true);
+        assert_eq!(m.allocations, 2);
+        assert_eq!(m.peak_device_bytes, 2048);
+    }
+
+    #[test]
+    fn same_launch_birth_and_death_does_not_self_alias() {
+        // Buffer 1's last touch and buffer 2's first touch are the same
+        // launch: they are concurrently live and must not share a slot.
+        let steps = vec![
+            launch(&[(1, 1024)], &[]),
+            launch(&[(1, 1024)], &[(2, 1024)]),
+        ];
+        let m = analyze(&steps, true);
+        assert_eq!(m.allocations, 2);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_slot() {
+        // Slots of 100 and 1000 free up; a 150-byte buffer must take the
+        // 1000 slot (best fit that holds it), leaving 100 free.
+        let steps = vec![
+            launch(&[(1, 100), (2, 1000)], &[]),
+            launch(&[], &[(3, 150)]),
+            launch(&[], &[(4, 90)]),
+        ];
+        let m = analyze(&steps, true);
+        assert_eq!(
+            m.allocations, 2,
+            "150 reuses the 1000 slot, 90 the 100 slot"
+        );
+        assert_eq!(m.peak_device_bytes, 1100);
+    }
+
+    #[test]
+    fn empty_plan_is_zero() {
+        let m = analyze(&[], true);
+        assert_eq!(m, MemPlan::default());
+        assert_eq!(m.reuse_rate(), 0.0);
+    }
+
+    #[test]
+    fn footprint_is_max_single_access() {
+        let steps = vec![launch(&[(1, 100)], &[]), launch(&[(1, 900)], &[])];
+        let m = analyze(&steps, true);
+        assert_eq!(m.peak_device_bytes, 900);
+    }
+}

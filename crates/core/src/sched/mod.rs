@@ -38,18 +38,60 @@
 //! CKKS server kernels are data-oblivious, so the *results* never depend on
 //! the schedule, only the timing does.
 //!
-//! **Planning.** [`Planner`] walks the graph once: it remaps streams onto
-//! the configured stream count
-//! ([`CkksParameters::num_streams`](crate::CkksParameters)) and, when the
-//! `elementwise` fusion knob
-//! ([`FusionConfig::elementwise`](crate::FusionConfig)) is on, fuses
+//! **Planning.** [`Planner`] runs one of two passes. **Scheduler v2** (the
+//! default, [`CkksParameters::sched_v2`](crate::CkksParameters)) derives a
+//! dependency DAG from the recording — per-recorded-stream program order,
+//! plus precise buffer-conflict edges across barrier segments — and
+//! critical-path list-schedules it onto the configured stream count
+//! ([`CkksParameters::num_streams`](crate::CkksParameters)), so
+//! independent work (other tenants' requests, independent limb chains)
+//! genuinely overlaps; see `dag.rs`'s docs for the pipeline. The **v1
+//! pass** (`sched_v2` off, the A/B baseline) instead remaps recorded
+//! streams modulo the stream count. Both passes apply the `elementwise`
+//! fusion knob ([`FusionConfig::elementwise`](crate::FusionConfig)):
 //! consecutive same-stream elementwise-class launches (elementwise
 //! arithmetic, fills, modulus switches, automorphism pre-permutes) within a
-//! segment into single launches — the graph-level generalization of the
-//! paper's §III-F.5 kernel fusions. Fused launches keep the exact byte and
-//! op totals of their constituents; only the per-launch overheads
-//! (`kernel_launch_us`, the minimum-kernel floor) amortize, which is
-//! precisely the effect the paper measures.
+//! segment fuse into single launches — the graph-level generalization of
+//! the paper's §III-F.5 kernel fusions — and v2 additionally merges
+//! independent chains that land adjacently on one final stream. Fused
+//! launches keep the exact byte and op totals of their constituents; only
+//! the per-launch overheads (`kernel_launch_us`, the minimum-kernel floor)
+//! amortize, which is precisely the effect the paper measures.
+//!
+//! **Reordering invariant.** Whatever pass runs, the plan preserves:
+//! (1) *per-recorded-stream program order* — two launches recorded on the
+//! same stream replay in recorded order, always; and (2) *barrier
+//! ordering over shared buffers* — if a recorded fence separates two
+//! accesses to the same buffer (e.g. two writes, or rescale's cross-limb
+//! write→read handoff), the plan orders them, by stream serialization or
+//! by an emitted fence. What a pass **may** reorder is exactly the rest:
+//! launches on *different* recorded streams with no fence-separated buffer
+//! conflict were concurrent in the recording (limb batches touch disjoint
+//! slices of one poly buffer), and scheduler v2 exploits that freedom
+//! where v1 froze the recorded round-robin. Results never depend on any of
+//! this: functional math runs at record time and only timing replays
+//! (`dag::fence_between_writes_to_same_buffer_is_never_reordered` pins the
+//! barrier half of the invariant).
+//!
+//! **Plan caching.** Planning itself disappears in steady state: a
+//! structural [`fingerprint`] (descriptors, streams, barrier shapes and
+//! the buffer *aliasing pattern* — not buffer identities — plus the plan
+//! config) keys a bounded-LRU [`PlanCache`] in
+//! [`CkksContext`](crate::CkksContext) and the serve layer's `Server`.
+//! Repeated `eval_scope` bodies and steady-state serve ticks hit the
+//! cache and replay a rebound copy of the cached [`ExecPlan`] with zero
+//! planning work; changing the graph shape, `FusionConfig`, or stream
+//! count misses. Hit/miss counters surface in
+//! [`SchedStats`], [`SimStats`](fides_gpu_sim::SimStats) and the serve
+//! layer's `ServeStats`.
+//!
+//! **Memory planning.** A liveness pass (`mem.rs`) colors buffer lifetimes
+//! onto reusable pool slots (best-fit, stream-ordered-allocator style) and
+//! records the pooled high-water mark and allocation count on the plan
+//! ([`ExecPlan::mem`]) and the device ledger
+//! ([`SimStats::peak_device_bytes`](fides_gpu_sim::SimStats)), making
+//! device-memory footprint a gated A/B metric alongside launches and
+//! simulated time.
 //!
 //! **Execution.** [`PlanExecutor::execute`] replays the planned launches
 //! onto the device. The stock executor,
@@ -69,10 +111,15 @@
 //! * the whole graph path on/off — `CkksParameters::with_graph_exec`
 //!   (off = the old eager per-op dispatch, kept for A/B timing).
 
+mod cache;
+mod dag;
 mod exec;
 mod graph;
+mod mem;
 mod plan;
 
+pub use cache::{fingerprint, PlanCache};
 pub use exec::{GpuReplayExecutor, PlanExecutor};
 pub use graph::{ExecGraph, GraphOp, KernelNode};
+pub use mem::MemPlan;
 pub use plan::{ExecPlan, PlanConfig, PlanStep, Planner, SchedStats};

@@ -20,6 +20,13 @@ pub struct PlanConfig {
     /// kernel is bounded by registers/occupancy; 8 matches the deepest
     /// chain FIDESlib fuses).
     pub max_fuse: usize,
+    /// Scheduler v2: derive a dependency DAG (buffer read/write sets +
+    /// barriers) and critical-path list-schedule it onto the stream count
+    /// (see [`sched`](crate::sched) module docs). `false` restores the v1
+    /// modulo stream remap (the A/B baseline `BENCH_PR5.json` gates
+    /// against). Driven by
+    /// [`CkksParameters::sched_v2`](crate::CkksParameters).
+    pub dep_schedule: bool,
 }
 
 impl Default for PlanConfig {
@@ -28,6 +35,7 @@ impl Default for PlanConfig {
             fuse_elementwise: true,
             num_streams: crate::context::NUM_STREAMS,
             max_fuse: 8,
+            dep_schedule: true,
         }
     }
 }
@@ -44,6 +52,10 @@ pub struct SchedStats {
     pub planned_launches: u64,
     /// Kernel launches eliminated by elementwise-chain fusion.
     pub fused_kernels: u64,
+    /// Scheduled regions whose plan was served from the plan cache.
+    pub plan_cache_hits: u64,
+    /// Scheduled regions that ran the full planning pass.
+    pub plan_cache_misses: u64,
 }
 
 impl SchedStats {
@@ -53,6 +65,8 @@ impl SchedStats {
         self.recorded_kernels += other.recorded_kernels;
         self.planned_launches += other.planned_launches;
         self.fused_kernels += other.fused_kernels;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_cache_misses += other.plan_cache_misses;
     }
 }
 
@@ -81,12 +95,19 @@ pub enum PlanStep {
 pub struct ExecPlan {
     pub(crate) steps: Vec<PlanStep>,
     pub(crate) stats: SchedStats,
+    pub(crate) mem: super::mem::MemPlan,
 }
 
 impl ExecPlan {
     /// Counters for this plan.
     pub fn stats(&self) -> &SchedStats {
         &self.stats
+    }
+
+    /// The memory plan the liveness pass derived (slot-pooled footprint
+    /// with scheduler v2, raw per-buffer footprint without).
+    pub fn mem(&self) -> &super::mem::MemPlan {
+        &self.mem
     }
 
     /// Number of kernel launches the plan issues.
@@ -124,16 +145,37 @@ impl Planner {
         Self { cfg }
     }
 
-    /// Plans a recorded graph: remaps streams, fuses elementwise chains
-    /// (when enabled), and preserves every barrier.
+    /// Plans a recorded graph.
     ///
-    /// Per-stream program order is preserved exactly; only launches on
-    /// *different* streams may be reordered relative to each other (they
-    /// were concurrent to begin with). Op totals are invariant; traffic
-    /// *shrinks* where a chain re-touches its own buffers — values stay in
-    /// registers across the fused stages (the actual bandwidth saving of
-    /// §III-F.5), so the intermediate write→read roundtrips disappear.
+    /// With [`PlanConfig::dep_schedule`] set (scheduler v2, the default)
+    /// this derives a dependency DAG and critical-path list-schedules it —
+    /// see `sched/dag.rs`'s module docs. Otherwise the v1 pass
+    /// runs: streams remap modulo the configured count, elementwise chains
+    /// fuse (when enabled), and every barrier is preserved. Either way the
+    /// liveness pass then derives the plan's memory footprint
+    /// ([`ExecPlan::mem`]).
+    ///
+    /// Per-*recorded*-stream program order is preserved exactly; only
+    /// launches on *different* recorded streams may be reordered relative
+    /// to each other, and only when no recorded barrier separates work
+    /// that touches the same buffers (see the invariant in the
+    /// [`sched`](crate::sched) module docs). Op totals are invariant;
+    /// traffic *shrinks* where a chain re-touches its own buffers — values
+    /// stay in registers across the fused stages (the actual bandwidth
+    /// saving of §III-F.5), so the intermediate write→read roundtrips
+    /// disappear.
     pub fn plan(&self, graph: &ExecGraph) -> ExecPlan {
+        let mut plan = if self.cfg.dep_schedule {
+            super::dag::plan_dag(graph, &self.cfg)
+        } else {
+            self.plan_modulo(graph)
+        };
+        plan.mem = super::mem::analyze(&plan.steps, self.cfg.dep_schedule);
+        plan
+    }
+
+    /// The v1 planning pass: modulo stream remap + in-order chain fusion.
+    fn plan_modulo(&self, graph: &ExecGraph) -> ExecPlan {
         let streams = self.cfg.num_streams.max(1);
         let mut steps = Vec::with_capacity(graph.ops.len());
         // Chain being grown per stream (BTreeMap: deterministic flush order).
@@ -217,7 +259,9 @@ impl Planner {
                 recorded_kernels: recorded,
                 planned_launches: planned,
                 fused_kernels: fused,
+                ..SchedStats::default()
             },
+            mem: Default::default(),
         }
     }
 }
@@ -228,8 +272,9 @@ impl Planner {
 /// written is live in registers when the follower reads it, and a buffer
 /// written twice is stored once at the end, so the intermediate roundtrips
 /// are elided. This is the bandwidth saving that makes elementwise fusion
-/// profitable on a memory-bound device.
-fn merge(into: &mut KernelDesc, next: &KernelDesc) {
+/// profitable on a memory-bound device. (Shared with the v2 scheduler's
+/// pre-fusion and emission-fusion stages.)
+pub(crate) fn merge(into: &mut KernelDesc, next: &KernelDesc) {
     for &(buf, bytes) in &next.reads {
         let written = into.writes.iter().any(|&(b, _)| b == buf);
         let read = into.reads.iter().any(|&(b, _)| b == buf);
@@ -280,11 +325,14 @@ mod tests {
         }
     }
 
+    // The tests below pin the v1 (modulo-remap) pass; scheduler v2 has its
+    // own suite in `dag.rs`.
     fn planner(fuse: bool) -> Planner {
         Planner::new(PlanConfig {
             fuse_elementwise: fuse,
             num_streams: 4,
             max_fuse: 8,
+            dep_schedule: false,
         })
     }
 
@@ -360,6 +408,7 @@ mod tests {
             fuse_elementwise: true,
             num_streams: 4,
             max_fuse: 4,
+            dep_schedule: false,
         })
         .plan(&ExecGraph::from_events(events));
         assert_eq!(plan.launch_count(), 3, "10 kernels at cap 4 → 4+4+2");

@@ -272,6 +272,26 @@ impl GpuSim {
         }
     }
 
+    /// Records the memory plan of one scheduled graph: the liveness pass's
+    /// pooled high-water mark and slot count. The ledger keeps the largest
+    /// peak seen in the window and accumulates allocations.
+    pub fn record_plan_memory(&self, peak_device_bytes: u64, allocations: u64) {
+        let mut st = self.state.lock();
+        let stats = &mut st.timeline.stats;
+        stats.peak_device_bytes = stats.peak_device_bytes.max(peak_device_bytes);
+        stats.allocations += allocations;
+    }
+
+    /// Records one plan-cache lookup outcome for a scheduled graph.
+    pub fn record_plan_cache(&self, hit: bool) {
+        let mut st = self.state.lock();
+        if hit {
+            st.timeline.stats.plan_cache_hits += 1;
+        } else {
+            st.timeline.stats.plan_cache_misses += 1;
+        }
+    }
+
     /// Snapshot of the statistics ledger.
     pub fn stats(&self) -> SimStats {
         let st = self.state.lock();

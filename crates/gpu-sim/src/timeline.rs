@@ -43,8 +43,15 @@ pub struct KindStats {
 pub struct StreamStats {
     /// Number of launches issued to this stream.
     pub launches: u64,
-    /// Total time the stream was occupied by kernels, µs (kernels on one
-    /// stream serialize, so this never exceeds the measurement window).
+    /// Total *service* time of the stream's kernels, µs: each kernel
+    /// charges the larger of its latency floor and its own resource-phase
+    /// demands (DRAM, L2, compute), **not** time spent blocked behind
+    /// other streams' traffic in the shared resource queues. Queueing is
+    /// idle time by this accounting, so occupancy measures how well the
+    /// schedule packs a fixed amount of work rather than rewarding
+    /// contention. Kernels on one stream serialize with at least their
+    /// service time between completions, so this never exceeds the
+    /// measurement window.
     pub busy_us: f64,
 }
 
@@ -78,6 +85,19 @@ pub struct SimStats {
     pub current_alloc_bytes: u64,
     /// Peak device allocation, bytes.
     pub peak_alloc_bytes: u64,
+    /// Planner-derived device-memory high-water mark, bytes: the pool
+    /// footprint a stream-ordered allocator needs when ciphertext buffers
+    /// are bound to liveness-colored slots (largest plan wins within the
+    /// window). Zero until a planned graph replays.
+    pub peak_device_bytes: u64,
+    /// Pool slots the planned graphs allocated (after liveness reuse);
+    /// without the liveness pass this equals the number of distinct
+    /// buffers touched.
+    pub allocations: u64,
+    /// Planned graphs served from the plan cache in the window.
+    pub plan_cache_hits: u64,
+    /// Planned graphs that had to run the full planning pass.
+    pub plan_cache_misses: u64,
 }
 
 impl SimStats {
@@ -272,6 +292,15 @@ impl Timeline {
             .max(l2_end)
             .max(comp_end);
         *self.stream_slot(stream) = end;
+        // The kernel's own service demand: what it would occupy its stream
+        // with on an uncontended device. `end − start` additionally
+        // contains queueing behind *other* streams' resource traffic,
+        // which is idle time for this stream, not busy time.
+        let service = spec
+            .min_kernel_us
+            .max(dram_time)
+            .max(l2_time)
+            .max(compute_time);
 
         // Ledger.
         self.stats.kernel_launches += 1;
@@ -282,7 +311,7 @@ impl Timeline {
         let label = desc.kind.unwrap_or(KernelKind::Elementwise).label();
         let entry = self.stats.per_kind.entry(label.to_string()).or_default();
         entry.count += 1;
-        entry.busy_us += end - start;
+        entry.busy_us += service;
         entry.bytes += miss_bytes + hit_bytes + write_bytes;
         if stream >= self.stats.per_stream.len() {
             self.stats
@@ -291,10 +320,10 @@ impl Timeline {
         }
         let ss = &mut self.stats.per_stream[stream];
         ss.launches += 1;
-        // Clamp to the measurement window: a kernel may *start* on a clock
-        // that lags the epoch set at the last reset, and counting that
-        // pre-window span would overstate occupancy.
-        ss.busy_us += (end - start.max(self.stats_epoch)).max(0.0);
+        // Clamp to the measurement window: a kernel whose window ends
+        // before the epoch set at the last reset contributes nothing, and
+        // one straddling it contributes at most the in-window span.
+        ss.busy_us += service.min((end - self.stats_epoch).max(0.0));
         end
     }
 

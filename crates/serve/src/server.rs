@@ -6,7 +6,9 @@ use std::sync::Arc;
 use fides_client::wire::{params_fingerprint, EvalRequest, EvalResponse, SessionRequest};
 use fides_client::{RawCiphertext, RawParams};
 use fides_core::backend::EvalBackend;
-use fides_core::sched::{ExecGraph, GpuReplayExecutor, PlanConfig, PlanExecutor, Planner};
+use fides_core::sched::{
+    fingerprint, ExecGraph, GpuReplayExecutor, PlanCache, PlanConfig, PlanExecutor, Planner,
+};
 use fides_core::{adapter, CkksContext, CkksParameters, CpuBackend, GpuSimBackend};
 use fides_gpu_sim::{DeviceSpec, ExecMode, GpuSim, GraphEvent, SimStats};
 use parking_lot::Mutex;
@@ -138,6 +140,10 @@ struct ServerInner {
     /// queued for its own.
     tick_lock: Mutex<()>,
     stats: Mutex<ServeStats>,
+    /// Bounded LRU of planned batch graphs: steady-state ticks (same
+    /// request mix, same programs) replay a cached plan with zero
+    /// planning work.
+    plan_cache: Mutex<PlanCache>,
 }
 
 /// A multi-tenant CKKS session server over one execution substrate.
@@ -181,6 +187,7 @@ impl Server {
         let plan_cfg = PlanConfig {
             fuse_elementwise: params.fusion.elementwise,
             num_streams: params.num_streams,
+            dep_schedule: params.sched_v2,
             ..PlanConfig::default()
         };
         let graph_exec = params.graph_exec;
@@ -206,6 +213,7 @@ impl Server {
                 queue: Mutex::new(VecDeque::new()),
                 tick_lock: Mutex::new(()),
                 stats: Mutex::new(ServeStats::default()),
+                plan_cache: Mutex::new(PlanCache::default()),
             }),
         })
     }
@@ -457,12 +465,32 @@ impl Server {
         }
         if !merged.is_empty() {
             let graph = ExecGraph::from_events(merged);
-            let plan = Planner::new(self.inner.plan_cfg).plan(&graph);
+            // Steady-state ticks repeat the same graph *shape* with fresh
+            // buffers: the structural fingerprint finds the cached plan
+            // and rebinding replaces planning entirely.
+            let (fp, binding) = fingerprint(&graph, &self.inner.plan_cfg);
+            let (plan, hit) = {
+                let mut cache = self.inner.plan_cache.lock();
+                match cache.lookup(fp, &binding) {
+                    Some(plan) => (plan, true),
+                    None => {
+                        let plan = Planner::new(self.inner.plan_cfg).plan(&graph);
+                        cache.insert(fp, &plan, binding);
+                        (plan, false)
+                    }
+                }
+            };
+            gpu.record_plan_cache(hit);
             GpuReplayExecutor::new(gpu).execute(&plan);
             let mut stats = self.inner.stats.lock();
             stats.recorded_kernels += plan.stats().recorded_kernels;
             stats.planned_launches += plan.stats().planned_launches;
             stats.fused_kernels += plan.stats().fused_kernels;
+            if hit {
+                stats.plan_cache_hits += 1;
+            } else {
+                stats.plan_cache_misses += 1;
+            }
         }
         responses
     }

@@ -23,6 +23,11 @@ pub struct ServeStats {
     /// Launches eliminated by elementwise fusion — including chains that
     /// fused **across tenant boundaries** inside a batch.
     pub fused_kernels: u64,
+    /// Batch ticks whose plan came from the server's plan cache (zero
+    /// planning work — the steady-state fast path).
+    pub plan_cache_hits: u64,
+    /// Batch ticks that ran the full planning pass.
+    pub plan_cache_misses: u64,
 }
 
 impl ServeStats {
@@ -32,6 +37,16 @@ impl ServeStats {
             0.0
         } else {
             self.requests as f64 / self.batches as f64
+        }
+    }
+
+    /// Fraction of planned ticks served from the plan cache.
+    pub fn plan_cache_hit_rate(&self) -> f64 {
+        let total = self.plan_cache_hits + self.plan_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_cache_hits as f64 / total as f64
         }
     }
 }

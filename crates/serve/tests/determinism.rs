@@ -332,6 +332,143 @@ fn cross_tenant_batching_strictly_reduces_launches() {
 }
 
 #[test]
+fn plan_cache_steady_state_hits_and_invalidation() {
+    // Steady state: the same batch shape tick after tick. Tick 1 plans
+    // (miss); every later tick must replay the cached plan (hit) — and
+    // the responses must stay bit-identical to the planned tick's, since
+    // a cache hit replays a *rebound* plan over fresh buffers.
+    let tenants = tenants(2);
+    let server = Server::new(ServerConfig::new(params()).batch_size(16)).unwrap();
+    let sids = open_all(&server, &tenants);
+    let reqs = requests(&tenants, &sids, 4); // 8 requests per tick
+
+    let mut reference: Option<Vec<Vec<u8>>> = None;
+    for tick in 0..16 {
+        let tickets: Vec<_> = reqs
+            .iter()
+            .map(|(_, _, req)| server.submit(req.clone()))
+            .collect();
+        assert_eq!(
+            server.run_tick(),
+            reqs.len(),
+            "tick {tick} drains the batch"
+        );
+        let frames: Vec<Vec<u8>> = tickets
+            .iter()
+            .map(|t| {
+                let resp = t.try_take().expect("served");
+                assert!(resp.error.is_none());
+                resp.outputs[0].to_bytes()
+            })
+            .collect();
+        match &reference {
+            None => reference = Some(frames),
+            Some(reference) => assert_eq!(
+                &frames, reference,
+                "tick {tick}: cached-plan replay changed results"
+            ),
+        }
+    }
+    let stats = server.stats();
+    assert_eq!(stats.plan_cache_misses, 1, "only the first tick plans");
+    assert_eq!(
+        stats.plan_cache_hits, 15,
+        "steady-state ticks hit the cache"
+    );
+    assert!(
+        stats.plan_cache_hit_rate() >= 0.90,
+        "steady-state hit rate {:.2} below the 90% bar",
+        stats.plan_cache_hit_rate()
+    );
+
+    // Graph-shape change: a tick with a different request mix must miss.
+    let ticket = server.submit(reqs[0].2.clone());
+    assert_eq!(server.run_tick(), 1);
+    assert!(ticket.try_take().unwrap().error.is_none());
+    assert_eq!(
+        server.stats().plan_cache_misses,
+        2,
+        "a different batch shape must re-plan"
+    );
+
+    // Config changes key the cache too: a server with a different stream
+    // count or fusion config fingerprints the same recording differently
+    // (pinned by fides-core's `config_affects_fingerprint` unit test), so
+    // its first identical-shape tick plans from scratch.
+    let other = Server::new(
+        ServerConfig::new(
+            params()
+                .with_num_streams(2)
+                .with_fusion(fides_core::FusionConfig {
+                    elementwise: false,
+                    ..fides_core::FusionConfig::default()
+                }),
+        )
+        .batch_size(16),
+    )
+    .unwrap();
+    let other_sids = open_all(&other, &tenants);
+    let mut other_reqs = reqs.clone();
+    for (t, _, req) in &mut other_reqs {
+        req.session_id = other_sids[*t];
+    }
+    let tickets: Vec<_> = other_reqs
+        .iter()
+        .map(|(_, _, req)| other.submit(req.clone()))
+        .collect();
+    assert_eq!(other.run_tick(), other_reqs.len());
+    let other_frames: Vec<Vec<u8>> = tickets
+        .iter()
+        .map(|t| t.try_take().unwrap().outputs[0].to_bytes())
+        .collect();
+    assert_eq!(other.stats().plan_cache_misses, 1);
+    assert_eq!(
+        Some(other_frames),
+        reference,
+        "scheduling config must never change results"
+    );
+}
+
+#[test]
+fn sched_v2_off_matches_v2_on_frames() {
+    // The v1 (modulo-remap) scheduler is the A/B baseline: disabling
+    // scheduler v2 changes only the replayed timing, never the frames.
+    // Requests are encrypted once (encryption is randomized) and replayed
+    // against both servers with rewritten session ids.
+    let tenants = tenants(2);
+    let seed_server = Server::new(ServerConfig::new(params()).batch_size(16)).unwrap();
+    let seed_sids = open_all(&seed_server, &tenants);
+    let reqs = requests(&tenants, &seed_sids, 2);
+    let mut frames = Vec::new();
+    for sched_v2 in [true, false] {
+        let server =
+            Server::new(ServerConfig::new(params().with_sched_v2(sched_v2)).batch_size(16))
+                .unwrap();
+        let sids = open_all(&server, &tenants);
+        let mut my_reqs = reqs.clone();
+        for (t, _, req) in &mut my_reqs {
+            req.session_id = sids[*t];
+        }
+        let tickets: Vec<_> = my_reqs
+            .iter()
+            .map(|(_, _, req)| server.submit(req.clone()))
+            .collect();
+        assert_eq!(server.run_tick(), reqs.len());
+        frames.push(
+            tickets
+                .iter()
+                .map(|t| {
+                    let resp = t.try_take().unwrap();
+                    assert!(resp.error.is_none());
+                    resp.outputs[0].to_bytes()
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+    assert_eq!(frames[0], frames[1], "scheduler v2 on/off frames diverged");
+}
+
+#[test]
 fn registry_evicts_lru_and_rejects_foreign_chains() {
     let tenants = tenants(3);
     let server = Server::new(ServerConfig::new(params()).max_sessions(2)).unwrap();

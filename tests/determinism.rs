@@ -115,6 +115,49 @@ proptest! {
     }
 }
 
+/// Scheduler v2 (dependency-aware list scheduling + plan cache + memory
+/// liveness) vs the v1 modulo remap: planning only ever changes replayed
+/// timing, never ciphertext bits — across every circuit shape and on both
+/// backends.
+#[test]
+fn sched_v2_on_off_bit_identical() {
+    for pick in 0..3u8 {
+        for seed in [7u64, 1234, 987654321] {
+            let v2 = circuit(&engine(BackendChoice::GpuSim, 1, true, seed), seed, pick);
+            let v1_engine = CkksEngine::builder()
+                .log_n(10)
+                .levels(4)
+                .scale_bits(40)
+                .dnum(2)
+                .backend(BackendChoice::GpuSim)
+                .graph_exec(true)
+                .sched_v2(false)
+                .rotations(&[1, 2, -1])
+                .seed(seed)
+                .build()
+                .expect("test parameters are valid");
+            let v1 = circuit(&v1_engine, seed, pick);
+            assert_frames_equal(&v2, &v1, &format!("sched v2 vs v1 (pick {pick})"));
+            // And the CPU reference agrees with both.
+            let cpu = circuit(&engine(BackendChoice::Cpu, 8, true, seed), seed, pick);
+            assert_frames_equal(&v2, &cpu, &format!("sched v2 vs cpu (pick {pick})"));
+        }
+    }
+}
+
+/// Repeating an evaluation on one engine replays cached plans (same graph
+/// shape, fresh device buffers rebound into the plan) — results must not
+/// drift between the planned run and the cached-replay run.
+#[test]
+fn plan_cache_replay_bit_identical() {
+    let e = engine(BackendChoice::GpuSim, 1, true, 55);
+    let x = e.encrypt(&message(55, 16)).unwrap();
+    let y = e.encrypt(&message(56, 16)).unwrap();
+    let first = x.try_mul(&y).unwrap().rotate(1).unwrap();
+    let second = x.try_mul(&y).unwrap().rotate(1).unwrap();
+    assert_frames_equal(&first, &second, "cached-plan replay");
+}
+
 /// `eval_batch` (one graph across a whole batch) is also bit-identical to
 /// op-by-op evaluation.
 #[test]
