@@ -105,6 +105,7 @@ pub struct CkksEngineBuilder {
     limb_batch: Option<usize>,
     fusion: Option<FusionConfig>,
     num_streams: Option<usize>,
+    num_devices: Option<usize>,
     graph_exec: Option<bool>,
     sched_v2: Option<bool>,
     workers: Option<usize>,
@@ -147,6 +148,7 @@ impl CkksEngine {
             limb_batch: None,
             fusion: None,
             num_streams: None,
+            num_devices: None,
             graph_exec: None,
             sched_v2: None,
             workers: None,
@@ -476,6 +478,15 @@ impl CkksEngineBuilder {
         self
     }
 
+    /// Simulated device count (default 1). The engine itself always
+    /// evaluates on one device; the knob flows into the parameter set,
+    /// where the serving layer shards tenants across that many device
+    /// workers and the plan cache keys on the topology.
+    pub fn num_devices(mut self, devices: usize) -> Self {
+        self.num_devices = Some(devices);
+        self
+    }
+
     /// Enables/disables the recorded-graph execution engine (GPU-sim
     /// backend; default on). Off = eager per-op dispatch, the A/B baseline.
     pub fn graph_exec(mut self, enabled: bool) -> Self {
@@ -588,6 +599,9 @@ impl CkksEngineBuilder {
         }
         if let Some(streams) = self.num_streams {
             params = params.with_num_streams(streams);
+        }
+        if let Some(devices) = self.num_devices {
+            params = params.with_num_devices(devices);
         }
         if let Some(graph) = self.graph_exec {
             params = params.with_graph_exec(graph);

@@ -1,0 +1,324 @@
+//! Multi-device distributed serving snapshot: the PR 6 perf record
+//! (`BENCH_PR6.json`).
+//!
+//! Runs the batch-16 serve workload (8 tenants × 2 `serve_lr` requests,
+//! 8 streams, `2^15` ring, cost-only) on 1, 2 and 4 simulated devices.
+//! Tenants shard across device workers via the serve layer's consistent-
+//! hash router; each shard plans and replays its own merged graph on its
+//! own device, so the fleet makespan — `max` over shards and the
+//! interconnect — is what throughput divides by.
+//!
+//! Acceptance gates asserted inline:
+//!
+//! * aggregate req/s-per-sim-time is **strictly higher** at N = 2 and
+//!   N = 4 than at N = 1;
+//! * response frames are **byte-identical** across device counts *and*
+//!   across tenant placements (a permuted session-open order re-homes
+//!   every tenant) — checked functionally at `2^11`.
+//!
+//! The JSON leaves `sim_us` and `peak_device_bytes` are the CI-gated
+//! metrics (`bench_diff` classifies by name): gating the simulated window
+//! gates aggregate req/s-per-sim-time, since the request count is fixed.
+//!
+//! ```text
+//! cargo run --release --bin dist_bench [OUT_PATH]
+//! ```
+
+use std::fmt::Write as _;
+
+use fides_api::CkksEngine;
+use fides_bench::print_table;
+use fides_client::wire::EvalRequest;
+use fides_core::CkksParameters;
+use fides_gpu_sim::{DeviceSpec, ExecMode};
+use fides_serve::{Server, ServerConfig};
+use fides_workloads::serve_lr::{synthetic_features, synthetic_model, ServeLrModel};
+
+const OUT_PATH: &str = "BENCH_PR6.json";
+/// Cost-only paper-ish scale for the throughput runs (same reasoning as
+/// `sched_bench`: above the latency floor, below functional-run cost).
+const LOG_N: usize = 15;
+/// Functional scale for the cross-placement frame-identity check.
+const LOG_N_FUNC: usize = 11;
+const LEVELS: usize = 6;
+const DIM: usize = 32;
+const TENANTS: usize = 8;
+const REQS_PER_TENANT: usize = 2;
+const NUM_STREAMS: usize = 8;
+const DEVICE_COUNTS: [usize; 3] = [1, 2, 4];
+
+struct Row {
+    devices: usize,
+    sim_us: f64,
+    agg_req_per_sim_sec: f64,
+    launches: u64,
+    per_device_requests: Vec<u64>,
+    per_device_peak_bytes: Vec<u64>,
+    frames: Vec<Vec<u8>>,
+}
+
+fn serve_params(log_n: usize, devices: usize) -> CkksParameters {
+    CkksParameters::new(log_n, LEVELS, 40, 3)
+        .expect("bench params")
+        .with_num_streams(NUM_STREAMS)
+        .with_num_devices(devices)
+}
+
+fn tenants(log_n: usize) -> Vec<(ServeLrModel, fides_api::Session)> {
+    (0..TENANTS)
+        .map(|t| {
+            let model = synthetic_model(DIM, t as u64 + 1);
+            let engine = CkksEngine::builder()
+                .log_n(log_n)
+                .levels(LEVELS)
+                .scale_bits(40)
+                .rotations(&model.required_rotations())
+                .seed(900 + t as u64)
+                .build()
+                .expect("tenant engine");
+            (model, engine.session())
+        })
+        .collect()
+}
+
+/// Opens the tenants' sessions in `open_order` (session ids — and
+/// therefore router placements — follow that order), then builds the
+/// requests in **canonical tenant order** so frames compare positionally
+/// across placements.
+fn requests(
+    server: &Server,
+    tenants: &[(ServeLrModel, fides_api::Session)],
+    open_order: &[usize],
+) -> Vec<EvalRequest> {
+    let mut sids = vec![0u64; tenants.len()];
+    for &t in open_order {
+        let (model, session) = &tenants[t];
+        let plains = model.session_plains(session.engine().max_level());
+        let refs: Vec<(&[f64], usize)> = plains.iter().map(|(v, l)| (v.as_slice(), *l)).collect();
+        sids[t] = server
+            .open_session(session.session_request(&refs).expect("session request"))
+            .expect("open session");
+    }
+    let mut reqs = Vec::new();
+    for (t, (model, session)) in tenants.iter().enumerate() {
+        let program = model.scoring_program(0);
+        for r in 0..REQS_PER_TENANT {
+            let features = synthetic_features(DIM, t as u64, r as u64);
+            reqs.push(
+                session
+                    .eval_request(sids[t], &[&features], &program)
+                    .expect("encrypt request"),
+            );
+        }
+    }
+    reqs
+}
+
+/// Serves the full request mix on `devices` shards and measures the
+/// simulated serving window (fleet makespan).
+fn run_serve(log_n: usize, devices: usize, mode: ExecMode, open_order: &[usize]) -> Row {
+    let server = Server::new(
+        ServerConfig::new(serve_params(log_n, devices))
+            .backend(fides_serve::ServeBackend::GpuSim {
+                device: DeviceSpec::rtx_4090(),
+                mode,
+            })
+            .batch_size(TENANTS * REQS_PER_TENANT),
+    )
+    .expect("server");
+    assert_eq!(server.num_devices(), devices);
+    let tenants = tenants(log_n);
+    let reqs = requests(&server, &tenants, open_order);
+
+    let sync_before = server.sync_us().unwrap();
+    server.reset_sim_stats();
+    let tickets: Vec<_> = reqs.iter().map(|req| server.submit(req.clone())).collect();
+    while server.run_tick() > 0 {}
+    let sim_us = server.sync_us().unwrap() - sync_before;
+    let stats = server.stats();
+
+    let frames: Vec<Vec<u8>> = tickets
+        .iter()
+        .map(|t| {
+            let resp = t.try_take().expect("tick served every request");
+            assert!(resp.error.is_none(), "request failed: {:?}", resp.error);
+            resp.outputs[0].to_bytes()
+        })
+        .collect();
+
+    let launches: u64 = (0..devices)
+        .map(|d| server.sim_stats_device(d).expect("shard").kernel_launches)
+        .sum();
+    let per_device_peak_bytes: Vec<u64> = (0..devices)
+        .map(|d| server.sim_stats_device(d).expect("shard").peak_device_bytes)
+        .collect();
+
+    Row {
+        devices,
+        sim_us,
+        agg_req_per_sim_sec: reqs.len() as f64 / (sim_us * 1e-6),
+        launches,
+        per_device_requests: stats.per_device_requests.clone(),
+        per_device_peak_bytes,
+        frames,
+    }
+}
+
+fn identity_order() -> Vec<usize> {
+    (0..TENANTS).collect()
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| OUT_PATH.into());
+
+    println!("batch-16 serve workload on {DEVICE_COUNTS:?} devices (cost-only, logN {LOG_N})...");
+    let rows: Vec<Row> = DEVICE_COUNTS
+        .iter()
+        .map(|&n| run_serve(LOG_N, n, ExecMode::CostOnly, &identity_order()))
+        .collect();
+    for r in &rows {
+        println!(
+            "N={}: sim {:.1} us, {:.1} req/s-sim, launches {}, shard reqs {:?}, shard peaks {:?} MB",
+            r.devices,
+            r.sim_us,
+            r.agg_req_per_sim_sec,
+            r.launches,
+            r.per_device_requests,
+            r.per_device_peak_bytes
+                .iter()
+                .map(|b| b >> 20)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    // Scaling gate: sharding must strictly raise aggregate simulated
+    // throughput over the single device.
+    let base = &rows[0];
+    for r in &rows[1..] {
+        assert!(
+            r.agg_req_per_sim_sec > base.agg_req_per_sim_sec,
+            "N={} must beat N=1 on req/s-per-sim-time: {:.1} vs {:.1}",
+            r.devices,
+            r.agg_req_per_sim_sec,
+            base.agg_req_per_sim_sec
+        );
+    }
+    // Structural identity at bench scale: the device count changes the
+    // schedule only, never the response frames.
+    for r in &rows[1..] {
+        assert_eq!(
+            r.frames, base.frames,
+            "N={} changed response frames",
+            r.devices
+        );
+    }
+
+    println!(
+        "functional frame-identity across device counts and placements (logN {LOG_N_FUNC})..."
+    );
+    let f1 = run_serve(LOG_N_FUNC, 1, ExecMode::Functional, &identity_order());
+    for &n in &DEVICE_COUNTS[1..] {
+        let fwd = run_serve(LOG_N_FUNC, n, ExecMode::Functional, &identity_order());
+        assert_eq!(fwd.frames, f1.frames, "N={n} changed functional frames");
+        // Reverse the session-open order: every tenant gets a different
+        // session id, hashes to a different home shard, and the responses
+        // must not move a bit.
+        let permuted: Vec<usize> = (0..TENANTS).rev().collect();
+        let perm = run_serve(LOG_N_FUNC, n, ExecMode::Functional, &permuted);
+        assert_eq!(
+            perm.frames, f1.frames,
+            "N={n} permuted placement changed functional frames"
+        );
+        println!(
+            "  N={n}: identity + permuted placement frames match (shard reqs fwd {:?}, perm {:?})",
+            fwd.per_device_requests, perm.per_device_requests
+        );
+    }
+
+    print_table(
+        "distributed serving: batch-16 serve workload by device count",
+        &[
+            "devices",
+            "sim ms",
+            "req/s (sim)",
+            "launches",
+            "shard reqs",
+            "peak MB/device",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.devices.to_string(),
+                    format!("{:.2}", r.sim_us / 1e3),
+                    format!("{:.1}", r.agg_req_per_sim_sec),
+                    r.launches.to_string(),
+                    format!("{:?}", r.per_device_requests),
+                    format!(
+                        "{:?}",
+                        r.per_device_peak_bytes
+                            .iter()
+                            .map(|b| b >> 20)
+                            .collect::<Vec<_>>()
+                    ),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"pr\": 6,");
+    let _ = writeln!(json, "  \"schema\": \"fideslib-bench-dist-serve\",");
+    let _ = writeln!(json, "  \"gpu_sim\": {{");
+    let _ = writeln!(
+        json,
+        "    \"device\": \"RTX 4090 (simulated), pcie-gen4-x16 interconnect\","
+    );
+    let _ = writeln!(
+        json,
+        "    \"serve_params\": \"[logN, L, dnum] = [{LOG_N}, {LEVELS}, 3], serve_lr dim {DIM}, \
+         {TENANTS} tenants x {REQS_PER_TENANT} requests, {NUM_STREAMS} streams, batch 16, \
+         cost-only (functional identity checked at logN {LOG_N_FUNC})\","
+    );
+    let _ = writeln!(json, "    \"by_devices\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let peaks = r
+            .per_device_peak_bytes
+            .iter()
+            .map(|b| format!("{{\"peak_device_bytes\": {b}}}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            json,
+            "      {{\"devices\": {}, \"sim_us\": {:.2}, \"agg_req_per_sim_sec\": {:.2}, \
+             \"kernel_launches\": {}, \"per_device\": [{}]}}{}",
+            r.devices,
+            r.sim_us,
+            r.agg_req_per_sim_sec,
+            r.launches,
+            peaks,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "    ],");
+    let _ = writeln!(json, "    \"scaling_vs_single\": {{");
+    let _ = writeln!(
+        json,
+        "      \"speedup_n2\": {:.3},",
+        rows[1].agg_req_per_sim_sec / rows[0].agg_req_per_sim_sec
+    );
+    let _ = writeln!(
+        json,
+        "      \"speedup_n4\": {:.3},",
+        rows[2].agg_req_per_sim_sec / rows[0].agg_req_per_sim_sec
+    );
+    let _ = writeln!(json, "      \"frames_identical_across_topologies\": true,");
+    let _ = writeln!(json, "      \"frames_identical_across_placements\": true");
+    let _ = writeln!(json, "    }}");
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_PR6.json");
+    println!("wrote {out_path}");
+}

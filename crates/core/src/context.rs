@@ -20,8 +20,8 @@ use parking_lot::Mutex;
 
 use crate::params::CkksParameters;
 use crate::sched::{
-    fingerprint, ExecGraph, GpuReplayExecutor, PlanCache, PlanConfig, PlanExecutor, Planner,
-    SchedStats,
+    fingerprint, CostModel, ExecGraph, GpuReplayExecutor, PlanCache, PlanConfig, PlanExecutor,
+    Planner, SchedStats,
 };
 
 /// Index into the combined modulus chain.
@@ -410,12 +410,7 @@ impl CkksContext {
             return;
         }
         let graph = ExecGraph::from_events(events);
-        let cfg = PlanConfig {
-            fuse_elementwise: self.params.fusion.elementwise,
-            num_streams: self.params.num_streams,
-            dep_schedule: self.params.sched_v2,
-            ..PlanConfig::default()
-        };
+        let cfg = self.plan_config();
         let (fp, binding) = fingerprint(&graph, &cfg);
         let (plan, hit) = {
             let mut cache = self.plan_cache.lock();
@@ -444,6 +439,22 @@ impl CkksContext {
     /// panicked midway would be meaningless.
     pub fn graph_scope_abort(&self) {
         let _ = self.gpu.end_capture();
+    }
+
+    /// The planning configuration this context schedules with: fusion and
+    /// stream knobs from the parameters, plus a [`CostModel`] calibrated
+    /// from the *active* device spec (not hard-coded constants) and the
+    /// configured device count — both feed the plan-cache fingerprint, so
+    /// changing the device or the topology invalidates cached plans.
+    pub fn plan_config(&self) -> PlanConfig {
+        PlanConfig {
+            fuse_elementwise: self.params.fusion.elementwise,
+            num_streams: self.params.num_streams,
+            dep_schedule: self.params.sched_v2,
+            cost: CostModel::from_spec(&self.gpu.spec()),
+            devices: self.params.num_devices,
+            ..PlanConfig::default()
+        }
     }
 
     /// Snapshot of the cumulative scheduling counters.

@@ -95,6 +95,11 @@ pub struct CkksParameters {
     /// Radix-8, whose computational complexity the paper identifies as the
     /// primary NTT bottleneck, §III-F.4).
     pub ntt_op_factor: f64,
+    /// Simulated devices the serving layer shards tenants across (the
+    /// distributed path — [`sched::partition`](crate::sched::partition)
+    /// and the serve layer's device workers). `1` (the default) is the
+    /// classic single-device pipeline.
+    pub num_devices: usize,
 }
 
 impl CkksParameters {
@@ -122,6 +127,7 @@ impl CkksParameters {
             sched_v2: true,
             access_efficiency: 1.0,
             ntt_op_factor: 1.0,
+            num_devices: 1,
         };
         p.validate()?;
         Ok(p)
@@ -178,6 +184,14 @@ impl CkksParameters {
     pub fn with_ntt_op_factor(mut self, factor: f64) -> Self {
         assert!(factor >= 1.0);
         self.ntt_op_factor = factor;
+        self
+    }
+
+    /// Overrides the simulated device count (builder style; clamped to
+    /// ≥ 1). Values above 1 make the serve layer shard tenants across
+    /// that many device workers.
+    pub fn with_num_devices(mut self, devices: usize) -> Self {
+        self.num_devices = devices.max(1);
         self
     }
 
@@ -334,6 +348,11 @@ mod tests {
         assert!(!p.graph_exec);
         let p = p.with_num_streams(4);
         assert_eq!(p.num_streams, 4);
+        assert_eq!(p.num_devices, 1, "single device is the default");
+        let p = p.with_num_devices(0);
+        assert_eq!(p.num_devices, 1, "device count clamped to 1");
+        let p = p.with_num_devices(4);
+        assert_eq!(p.num_devices, 4);
     }
 
     #[test]

@@ -54,6 +54,12 @@ pub fn fingerprint(graph: &ExecGraph, cfg: &PlanConfig) -> (u64, Vec<BufferId>) 
     h.u64(cfg.dep_schedule as u64);
     h.u64(cfg.num_streams as u64);
     h.u64(cfg.max_fuse as u64);
+    // Topology is part of the key: a plan ranked under one device model or
+    // partitioned for one device count must never rebind onto another.
+    h.u64(cfg.devices as u64);
+    for w in cfg.cost.fingerprint_words() {
+        h.u64(w);
+    }
     let mut canon: HashMap<BufferId, u64> = HashMap::new();
     let mut binding: Vec<BufferId> = Vec::new();
     let mut canon_of = |buf: BufferId, canon: &mut HashMap<BufferId, u64>| -> u64 {
@@ -307,6 +313,57 @@ mod tests {
         );
         assert_ne!(fa, fb, "stream count is part of the key");
         assert_ne!(fa, fc, "fusion config is part of the key");
+    }
+
+    #[test]
+    fn topology_affects_fingerprint() {
+        use crate::sched::CostModel;
+        use fides_gpu_sim::DeviceSpec;
+        let g = graph(&[1, 2]);
+        let (f1, _) = fingerprint(&g, &cfg());
+        let (f2, _) = fingerprint(
+            &g,
+            &PlanConfig {
+                devices: 2,
+                ..cfg()
+            },
+        );
+        assert_ne!(f1, f2, "device count is part of the key");
+        let (f3, _) = fingerprint(
+            &g,
+            &PlanConfig {
+                cost: CostModel::from_spec(&DeviceSpec::v100()),
+                ..cfg()
+            },
+        );
+        assert_ne!(f1, f3, "the device cost model is part of the key");
+    }
+
+    #[test]
+    fn cache_invalidates_across_topologies_and_hits_within_one() {
+        // ISSUE 6 satellite: the same graph planned at N=1 must miss when
+        // looked up for N=2, and re-running at the same N must hit.
+        let mut cache = PlanCache::new(4);
+        let g = graph(&[10, 11, 10]);
+        let n1 = cfg();
+        let n2 = PlanConfig {
+            devices: 2,
+            ..cfg()
+        };
+
+        let (fp1, b1) = fingerprint(&g, &n1);
+        assert!(cache.lookup(fp1, &b1).is_none(), "cold N=1 miss");
+        cache.insert(fp1, &Planner::new(n1).plan(&g), b1.clone());
+
+        let (fp2, b2) = fingerprint(&g, &n2);
+        assert!(
+            cache.lookup(fp2, &b2).is_none(),
+            "N=2 must not reuse the N=1 plan"
+        );
+        cache.insert(fp2, &Planner::new(n2).plan(&g), b2.clone());
+
+        assert!(cache.lookup(fp1, &b1).is_some(), "re-run at N=1 hits");
+        assert!(cache.lookup(fp2, &b2).is_some(), "re-run at N=2 hits");
     }
 
     #[test]

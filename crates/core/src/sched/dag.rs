@@ -49,40 +49,28 @@ use super::plan::{merge, ExecPlan, PlanConfig, PlanStep, SchedStats};
 
 /// One schedulable unit: a recorded kernel, possibly carrying a pre-fused
 /// chain of same-stream elementwise followers.
-struct Unit {
-    desc: KernelDesc,
-    rec_stream: usize,
-    segment: usize,
+pub(crate) struct Unit {
+    pub(crate) desc: KernelDesc,
+    pub(crate) rec_stream: usize,
+    pub(crate) segment: usize,
     /// Recorded kernels absorbed into this unit (chain length ≥ 1).
-    count: usize,
+    pub(crate) count: usize,
 }
 
 impl Unit {
-    fn is_fusible(&self) -> bool {
+    pub(crate) fn is_fusible(&self) -> bool {
         super::graph::fusible_kind(self.desc.kind)
     }
 }
 
-/// First-order cost-model constants used *only* to rank and place units
-/// (the real timing comes from the replay). They mirror the RTX 4090
-/// preset: 2 µs launch overhead, 1.6 µs latency floor, ~1 TB/s DRAM,
-/// ~13.6 G int32 ops/µs effective.
-const LAUNCH_US: f64 = 2.0;
-const MIN_KERNEL_US: f64 = 1.6;
-const BYTES_PER_US: f64 = 1.0e6;
-const OPS_PER_US: f64 = 13.6e6;
-
-/// A unit's estimated service time on its stream.
-fn unit_cost(desc: &KernelDesc) -> f64 {
-    let bytes = (desc.bytes_read() + desc.bytes_written()) as f64;
-    let mem = bytes / (BYTES_PER_US * desc.access_efficiency);
-    let compute = desc.int32_ops as f64 / OPS_PER_US;
-    mem.max(compute).max(MIN_KERNEL_US)
-}
+// The first-order cost model used to rank and place units (the real timing
+// comes from the replay) lives in `PlanConfig::cost`, calibrated from the
+// active `DeviceSpec` (`CostModel::from_spec`); the `CostModel::default()`
+// literals preserve the historical hard-coded RTX 4090 figures.
 
 /// Bytes `merge(into, next)` would dedup away: traffic on buffers the two
 /// descriptors share. Zero for disjoint chains.
-fn dedup_overlap_bytes(into: &KernelDesc, next: &KernelDesc) -> u64 {
+pub(crate) fn dedup_overlap_bytes(into: &KernelDesc, next: &KernelDesc) -> u64 {
     let touched = |buf: fides_gpu_sim::BufferId| {
         into.reads.iter().any(|&(b, _)| b == buf) || into.writes.iter().any(|&(b, _)| b == buf)
     };
@@ -101,7 +89,7 @@ fn dedup_overlap_bytes(into: &KernelDesc, next: &KernelDesc) -> u64 {
 /// plus, per barrier, the set of recorded streams it covers (barrier `k`
 /// separates segment `k` from `k + 1`; emission uses the sets to flush
 /// chains at the same positions the v1 planner would).
-fn build_units(graph: &ExecGraph, cfg: &PlanConfig) -> (Vec<Unit>, Vec<Vec<usize>>) {
+pub(crate) fn build_units(graph: &ExecGraph, cfg: &PlanConfig) -> (Vec<Unit>, Vec<Vec<usize>>) {
     let mut units: Vec<Unit> = Vec::new();
     let mut barriers: Vec<Vec<usize>> = Vec::new();
     // Open chain per recorded stream: index into `units`.
@@ -174,7 +162,7 @@ struct BufState {
 /// Stage 2: dependency edges. Returns `(preds, succs)` adjacency, with
 /// every edge pointing from a lower to a higher unit index (unit order is
 /// recorded order, so segments are nondecreasing along it).
-fn build_edges(units: &[Unit]) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+pub(crate) fn build_edges(units: &[Unit]) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
     let n = units.len();
     let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -295,7 +283,8 @@ pub(crate) fn plan_dag(graph: &ExecGraph, cfg: &PlanConfig) -> ExecPlan {
 
     // Upward rank (critical-path length to a sink). Unit index order is
     // topological, so one reverse sweep suffices.
-    let cost: Vec<f64> = units.iter().map(|u| unit_cost(&u.desc)).collect();
+    let cm = cfg.cost;
+    let cost: Vec<f64> = units.iter().map(|u| cm.unit_cost(&u.desc)).collect();
     let mut rank = vec![0.0f64; n];
     for i in (0..n).rev() {
         let tail = succs[i].iter().map(|&s| rank[s]).fold(0.0f64, f64::max);
@@ -306,7 +295,7 @@ pub(crate) fn plan_dag(graph: &ExecGraph, cfg: &PlanConfig) -> ExecPlan {
     // every predecessor outranks its successors because costs are
     // positive). Each unit goes to the stream where it can start earliest
     // — where "earliest" includes the **host submission clock**: the host
-    // pays `LAUNCH_US` per launch serially, so a stream that frees up
+    // pays `launch_us` per launch serially, so a stream that frees up
     // within the submission interval is as good as an idle one. This is
     // what keeps launch-bound work packed on few streams (where its
     // elementwise chains stay adjacent and fuse) and spreads work across
@@ -336,7 +325,7 @@ pub(crate) fn plan_dag(graph: &ExecGraph, cfg: &PlanConfig) -> ExecPlan {
         stream_free[chosen] = finish[u];
         assigned[u] = chosen;
         affinity.insert(units[u].rec_stream, chosen);
-        host += LAUNCH_US;
+        host += cm.launch_us;
     }
 
     // Emission in *recorded* order (unit index order — every edge points
@@ -403,7 +392,17 @@ pub(crate) fn plan_dag(graph: &ExecGraph, cfg: &PlanConfig) -> ExecPlan {
         }
         // Dependencies: a predecessor still sitting in an open chain is
         // flushed (alone — unrelated chains stay open); one that landed on
-        // another stream is then covered by an event fence.
+        // another stream is then covered by an event fence. Fences
+        // **coalesce**: all of this unit's cross-stream predecessors share
+        // one fence (`signals` = every producer stream, `waiters` = this
+        // stream), and when the immediately preceding step is already a
+        // fence with the same waiter — no launch intervened, so the wait
+        // positions are identical — the new signals merge into it instead
+        // of emitting another step. Each replayed fence costs a host-side
+        // event round-trip, so fewer fences is strictly cheaper; the
+        // ordering is unchanged because a coalesced fence still makes `s`
+        // wait for every signalled stream's work issued so far.
+        let mut fence_signals: Vec<usize> = Vec::new();
         for &p in &preds[u] {
             let t = assigned[p];
             if launch_of[p].is_none() {
@@ -418,12 +417,25 @@ pub(crate) fn plan_dag(graph: &ExecGraph, cfg: &PlanConfig) -> ExecPlan {
                 continue; // stream serialization orders it
             }
             let (_, pidx) = launch_of[p].expect("predecessor flushed");
-            if sync_mark[s][t] <= pidx {
-                steps.push(PlanStep::Fence {
-                    signals: vec![t],
-                    waiters: vec![s],
-                });
+            if sync_mark[s][t] <= pidx && !fence_signals.contains(&t) {
+                fence_signals.push(t);
+            }
+        }
+        if !fence_signals.is_empty() {
+            fence_signals.sort_unstable();
+            for &t in &fence_signals {
                 sync_mark[s][t] = emit[t].launched;
+            }
+            match steps.last_mut() {
+                Some(PlanStep::Fence { signals, waiters }) if waiters.as_slice() == [s] => {
+                    signals.extend(fence_signals);
+                    signals.sort_unstable();
+                    signals.dedup();
+                }
+                _ => steps.push(PlanStep::Fence {
+                    signals: fence_signals,
+                    waiters: vec![s],
+                }),
             }
         }
         if cfg.fuse_elementwise && units[u].is_fusible() {
@@ -431,7 +443,7 @@ pub(crate) fn plan_dag(graph: &ExecGraph, cfg: &PlanConfig) -> ExecPlan {
             // Dependency safety is already established: every predecessor
             // of `u` is issued by now, so launching `u` at any open
             // chain's (later) flush position cannot run it too early. A
-            // merge always saves one host submission (`LAUNCH_US`), but
+            // merge always saves one host submission (`launch_us`), but
             // when the two sides *alias*, the merged descriptor dedups the
             // re-touched bytes — and every deduped byte is an L2 touch
             // that no longer refreshes the buffer's residency, which at
@@ -444,8 +456,8 @@ pub(crate) fn plan_dag(graph: &ExecGraph, cfg: &PlanConfig) -> ExecPlan {
             // unconditionally, matching v1.)
             let target = emit[s].open.iter().position(|c| {
                 c.count + units[u].count <= cfg.max_fuse
-                    && (dedup_overlap_bytes(&c.desc, &units[u].desc) as f64 / BYTES_PER_US)
-                        <= LAUNCH_US
+                    && (dedup_overlap_bytes(&c.desc, &units[u].desc) as f64 / cm.bytes_per_us)
+                        <= cm.launch_us
             });
             if let Some(idx) = target {
                 let chain = &mut emit[s].open[idx];
@@ -502,6 +514,7 @@ mod tests {
             num_streams: streams,
             max_fuse: 8,
             dep_schedule: true,
+            ..PlanConfig::default()
         }
     }
 
@@ -824,6 +837,110 @@ mod tests {
         assert_eq!(
             streams_a, streams_b,
             "stream assignment must be deterministic"
+        );
+    }
+
+    fn fence_count(plan: &ExecPlan) -> usize {
+        plan.steps()
+            .iter()
+            .filter(|s| matches!(s, PlanStep::Fence { .. }))
+            .count()
+    }
+
+    /// Per-edge fence count: what un-coalesced emission (one fence per
+    /// cross-stream signal/waiter pair) would have issued.
+    fn fence_pairs(plan: &ExecPlan) -> usize {
+        plan.steps()
+            .iter()
+            .filter_map(|s| match s {
+                PlanStep::Fence { signals, waiters } => Some(signals.len() * waiters.len()),
+                _ => None,
+            })
+            .sum()
+    }
+
+    #[test]
+    fn multi_predecessor_fences_coalesce_into_one() {
+        // Three concurrent writers on different device streams (big
+        // kernels spread), a recorded barrier, then a reader depending on
+        // all three. The reader lands on one writer's stream (serialized
+        // for free) and its remaining cross-stream waits coalesce into a
+        // **single** fence carrying both signal streams.
+        let big = |stream: usize, marker: u64, wbuf: u64| GraphEvent::Launch {
+            stream,
+            desc: KernelDesc::new(KernelKind::NttPhase1)
+                .read(BufferId(marker), 32 << 20)
+                .write(BufferId(wbuf), 32 << 20)
+                .ops(1000),
+        };
+        let events = vec![
+            big(0, 70, 25),
+            big(1, 71, 26),
+            big(2, 72, 27),
+            fence_all(4),
+            GraphEvent::Launch {
+                stream: 3,
+                desc: KernelDesc::new(KernelKind::NttPhase2)
+                    .read(BufferId(25), 32 << 20)
+                    .read(BufferId(26), 32 << 20)
+                    .read(BufferId(27), 32 << 20)
+                    .read(BufferId(73), 32 << 20)
+                    .ops(1000),
+            },
+        ];
+        let plan = plan_dag(&ExecGraph::from_events(events), &cfg(4, true));
+        assert_ordered(&plan, BufferId(70), BufferId(73));
+        assert_ordered(&plan, BufferId(71), BufferId(73));
+        assert_ordered(&plan, BufferId(72), BufferId(73));
+        assert_eq!(fence_count(&plan), 1, "all waits share one fence");
+        assert!(
+            fence_pairs(&plan) >= 2,
+            "the fence carries every cross-stream signal"
+        );
+    }
+
+    #[test]
+    fn coalescing_beats_per_edge_fences_on_lr_iteration_shape() {
+        // The LR-iteration shape: per-limb-batch partial products on
+        // several streams, a recorded barrier, a reduction reading every
+        // partial, another barrier, then the elementwise sigmoid tail.
+        // Coalescing must emit strictly fewer fence steps than the
+        // per-edge count (one per signal×waiter pair) while every
+        // dependency stays ordered.
+        let part = |stream: usize, buf: u64| GraphEvent::Launch {
+            stream,
+            desc: KernelDesc::new(KernelKind::NttPhase1)
+                .read(BufferId(200 + buf), 32 << 20)
+                .write(BufferId(buf), 32 << 20)
+                .ops(1000),
+        };
+        let mut events: Vec<GraphEvent> = (0..4).map(|i| part(i as usize, 80 + i)).collect();
+        events.push(fence_all(4));
+        events.push(GraphEvent::Launch {
+            stream: 0,
+            desc: KernelDesc::new(KernelKind::NttPhase2)
+                .read(BufferId(80), 32 << 20)
+                .read(BufferId(81), 32 << 20)
+                .read(BufferId(82), 32 << 20)
+                .read(BufferId(83), 32 << 20)
+                // Unique marker so `assert_ordered` resolves the reduction
+                // (buffer 90 is touched by the tail too).
+                .read(BufferId(301), 32 << 20)
+                .write(BufferId(90), 32 << 20)
+                .ops(1000),
+        });
+        events.push(fence_all(4));
+        events.push(launch(1, KernelKind::Elementwise, &[90], &[91]));
+        let plan = plan_dag(&ExecGraph::from_events(events), &cfg(4, true));
+        for b in 80..84 {
+            assert_ordered(&plan, BufferId(200 + b), BufferId(301));
+        }
+        assert_ordered(&plan, BufferId(301), BufferId(91));
+        let (fences, pairs) = (fence_count(&plan), fence_pairs(&plan));
+        assert!(pairs > 0, "reduction must cross streams");
+        assert!(
+            fences < pairs,
+            "coalescing must beat per-edge fences: {fences} vs {pairs}"
         );
     }
 

@@ -98,9 +98,18 @@
 //! [`GpuReplayExecutor`], drives the multi-stream gpu-sim timeline: per-
 //! stream occupancy is tracked by the simulator
 //! ([`SimStats::stream_occupancy`](fides_gpu_sim::SimStats::stream_occupancy))
-//! and fences are applied only at the recorded cross-limb sync points. A
-//! future multi-GPU backend partitions the same graph instead of replaying
-//! it on one device.
+//! and fences are applied only at the recorded cross-limb sync points.
+//!
+//! **Distribution.** The same graph can be cut across a simulated
+//! multi-device topology instead of replaying on one device: [`partition`]
+//! weighs kernel nodes with a per-device [`CostModel`], prices dependency
+//! edges as transfer time over the modeled interconnect
+//! ([`Topology`]), seeds a cost-balanced contiguous split and refines it
+//! with KL-style boundary sweeps, then emits per-device [`ExecPlan`]
+//! shards interleaved with explicit [`DistStep::Transfer`] hops.
+//! [`DistExecutor`] drives one [`GpuReplayExecutor`] per device of a
+//! [`GpuCluster`](fides_gpu_sim::GpuCluster) off a shared host clock,
+//! serializing cut-edge payloads on the link.
 //!
 //! # Knobs
 //!
@@ -116,10 +125,14 @@ mod dag;
 mod exec;
 mod graph;
 mod mem;
+mod partition;
 mod plan;
+mod topo;
 
 pub use cache::{fingerprint, PlanCache};
 pub use exec::{GpuReplayExecutor, PlanExecutor};
 pub use graph::{ExecGraph, GraphOp, KernelNode};
 pub use mem::MemPlan;
+pub use partition::{partition, DistExecutor, DistPlan, DistStats, DistStep};
 pub use plan::{ExecPlan, PlanConfig, PlanStep, Planner, SchedStats};
+pub use topo::{CostModel, Topology};

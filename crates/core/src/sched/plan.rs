@@ -27,6 +27,15 @@ pub struct PlanConfig {
     /// against). Driven by
     /// [`CkksParameters::sched_v2`](crate::CkksParameters).
     pub dep_schedule: bool,
+    /// First-order cost constants used to rank and place units, calibrated
+    /// from the active [`DeviceSpec`](fides_gpu_sim::DeviceSpec) via
+    /// [`CostModel::from_spec`](super::CostModel::from_spec) (the default
+    /// keeps the historical hard-coded figures for device-free callers).
+    pub cost: super::CostModel,
+    /// Devices the plan targets. `1` plans a single-device graph; larger
+    /// values feed the partitioner and — crucially — the fingerprint, so a
+    /// cached plan never rebinds across a topology change.
+    pub devices: usize,
 }
 
 impl Default for PlanConfig {
@@ -36,6 +45,8 @@ impl Default for PlanConfig {
             num_streams: crate::context::NUM_STREAMS,
             max_fuse: 8,
             dep_schedule: true,
+            cost: super::CostModel::default(),
+            devices: 1,
         }
     }
 }
@@ -333,6 +344,7 @@ mod tests {
             num_streams: 4,
             max_fuse: 8,
             dep_schedule: false,
+            ..PlanConfig::default()
         })
     }
 
@@ -409,6 +421,7 @@ mod tests {
             num_streams: 4,
             max_fuse: 4,
             dep_schedule: false,
+            ..PlanConfig::default()
         })
         .plan(&ExecGraph::from_events(events));
         assert_eq!(plan.launch_count(), 3, "10 kernels at cap 4 → 4+4+2");

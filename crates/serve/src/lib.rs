@@ -70,9 +70,11 @@
 
 mod error;
 mod registry;
+mod router;
 mod server;
 mod stats;
 
 pub use error::ServeError;
+pub use router::{Migration, ShardRouter};
 pub use server::{ServeBackend, Server, ServerConfig, Ticket};
 pub use stats::ServeStats;

@@ -12,16 +12,25 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use fides_client::wire::SessionRequest;
 use fides_core::backend::{BackendPt, EvalBackend};
 
 /// Everything the server holds on behalf of one tenant.
 pub(crate) struct SessionState {
-    /// The tenant's evaluation substrate: its keys bound to the shared
-    /// device context (gpu-sim) or a host evaluator (CPU reference).
+    /// The tenant's evaluation substrate: its keys bound to its device
+    /// shard's context (gpu-sim) or a host evaluator (CPU reference).
     pub(crate) backend: Box<dyn EvalBackend>,
     /// Preloaded evaluation-domain plaintext operands, in upload order
     /// (request programs index into this table).
     pub(crate) plains: Vec<BackendPt>,
+    /// Device shard holding this tenant's keys (always 0 off the
+    /// multi-device path).
+    pub(crate) device: usize,
+    /// The tenant's original key upload, retained host-side so a
+    /// migration can rebuild residency on another device without a
+    /// client round-trip (`None` on the CPU substrate, which never
+    /// migrates).
+    pub(crate) upload: Option<SessionRequest>,
 }
 
 struct Entry {
@@ -88,6 +97,24 @@ impl Registry {
         })
     }
 
+    /// Replaces a resident session's state in place (migration commit),
+    /// preserving its LRU position. Returns whether the id was resident.
+    pub(crate) fn replace(&mut self, id: u64, state: SessionState) -> bool {
+        match self.entries.get_mut(&id) {
+            Some(e) => {
+                e.state = Arc::new(state);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The id the next [`Self::insert`] will assign (placement runs
+    /// before the backend is built, so the server needs the id early).
+    pub(crate) fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
     pub(crate) fn remove(&mut self, id: u64) -> bool {
         self.entries.remove(&id).is_some()
     }
@@ -111,7 +138,21 @@ mod tests {
         SessionState {
             backend: Box::new(CpuBackend::new(RawParams::generate(8, 2, 30, 40, 2))),
             plains: Vec::new(),
+            device: 0,
+            upload: None,
         }
+    }
+
+    #[test]
+    fn replace_preserves_identity_and_lru_position() {
+        let mut r = Registry::new(2);
+        let a = r.insert(state());
+        assert_eq!(r.next_id(), a + 1);
+        let mut moved = state();
+        moved.device = 1;
+        assert!(r.replace(a, moved));
+        assert_eq!(r.touch(a).unwrap().device, 1);
+        assert!(!r.replace(999, state()), "unknown id rejected");
     }
 
     #[test]

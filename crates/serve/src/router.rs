@@ -1,0 +1,290 @@
+//! Tenant → device-shard placement for the multi-device server.
+//!
+//! The distributed serve path (`CkksParameters::num_devices` > 1) runs one
+//! device worker — its own simulated GPU plus CKKS context — per device
+//! and must decide **where each tenant's evaluation keys live**. Keys are
+//! the expensive resident state (tens of MB per tenant at serving
+//! parameters), so placement *is* key residency:
+//!
+//! * **Consistent hashing** assigns each tenant a home device: the tenant
+//!   id hashes onto a ring of per-device virtual nodes, and the first
+//!   vnode clockwise wins. Adding a device moves only ~1/N of the
+//!   tenants' homes, so a re-opened (previously evicted) tenant lands
+//!   back where its keys were resident.
+//! * **Eval-key residency is the placement cost.** A placed tenant stays
+//!   put — re-placing it means re-uploading its key material over the
+//!   interconnect — and the router migrates only under *sustained*
+//!   imbalance, choosing the hottest device's cheapest-to-move (smallest
+//!   key frame) tenant, i.e. the one whose residency costs least to
+//!   rebuild.
+//!
+//! The router is pure bookkeeping: the server performs the actual key
+//! re-load and prices the frame bytes on the cluster link; the router
+//! only decides *who goes where* — deterministically, so a fixed
+//! open/submit sequence always produces the same placements (the
+//! determinism suite relies on this).
+
+use std::collections::BTreeMap;
+
+/// Virtual nodes per device on the hash ring (smooths the split).
+const VNODES: u64 = 16;
+/// Consecutive imbalanced ticks before a migration fires.
+const SUSTAIN_TICKS: u32 = 4;
+
+/// A migration decision: move `tenant` from `from` to `to`, re-uploading
+/// `key_bytes` of key material.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Migration {
+    /// Session id of the tenant to move.
+    pub tenant: u64,
+    /// Device currently holding the tenant's keys.
+    pub from: usize,
+    /// Destination device.
+    pub to: usize,
+    /// Size of the key material to re-upload (wire-frame bytes).
+    pub key_bytes: u64,
+}
+
+/// Consistent-hash shard router with residency-aware migration.
+#[derive(Debug)]
+pub struct ShardRouter {
+    num_devices: usize,
+    /// Sorted (hash-point, device) ring.
+    ring: Vec<(u64, usize)>,
+    /// tenant id → (device, key frame bytes). BTreeMap: deterministic
+    /// iteration order for victim selection.
+    placed: BTreeMap<u64, (usize, u64)>,
+    /// Consecutive ticks the same device has been the sustained hotspot.
+    hot_streak: u32,
+    hot_device: usize,
+    migrations: u64,
+}
+
+/// SplitMix64 — deterministic, well-mixed 64-bit hash.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl ShardRouter {
+    /// A router over `n` device shards (clamped to ≥ 1).
+    pub fn new(n: usize) -> Self {
+        let n = n.max(1);
+        // Double-mix domain-separates vnode points from tenant hashes:
+        // device 0's vnode keys are the raw ids 0..VNODES, and a single
+        // mix would pin every small tenant id onto its own vnode point —
+        // i.e. onto device 0.
+        let mut ring: Vec<(u64, usize)> = (0..n)
+            .flat_map(|d| (0..VNODES).map(move |v| (mix(mix((d as u64) << 32 | v)), d)))
+            .collect();
+        ring.sort_unstable();
+        Self {
+            num_devices: n,
+            ring,
+            placed: BTreeMap::new(),
+            hot_streak: 0,
+            hot_device: 0,
+            migrations: 0,
+        }
+    }
+
+    /// Number of device shards.
+    pub fn num_devices(&self) -> usize {
+        self.num_devices
+    }
+
+    /// Places a tenant (idempotent): the first vnode clockwise of
+    /// `hash(tenant)` on the ring. `key_bytes` is the tenant's key-frame
+    /// size, the cost of ever re-placing it.
+    pub fn place(&mut self, tenant: u64, key_bytes: u64) -> usize {
+        if let Some(&(d, _)) = self.placed.get(&tenant) {
+            return d;
+        }
+        let h = mix(tenant);
+        let d = self
+            .ring
+            .iter()
+            .find(|&&(point, _)| point >= h)
+            .or_else(|| self.ring.first())
+            .map(|&(_, d)| d)
+            .unwrap_or(0);
+        self.placed.insert(tenant, (d, key_bytes));
+        d
+    }
+
+    /// The device currently holding a tenant's keys.
+    pub fn device_of(&self, tenant: u64) -> Option<usize> {
+        self.placed.get(&tenant).map(|&(d, _)| d)
+    }
+
+    /// Forgets a tenant (session closed or evicted).
+    pub fn remove(&mut self, tenant: u64) {
+        self.placed.remove(&tenant);
+    }
+
+    /// Pins a tenant to a device unconditionally (migration rollback:
+    /// the keys never moved, so the placement must not either).
+    pub fn assign(&mut self, tenant: u64, device: usize, key_bytes: u64) {
+        self.placed
+            .insert(tenant, (device.min(self.num_devices - 1), key_bytes));
+    }
+
+    /// Migrations decided so far.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Feeds one tick's per-device served-request counts and returns a
+    /// migration decision once imbalance has been sustained.
+    ///
+    /// A tick is *imbalanced* when the busiest device served more than
+    /// twice the emptiest device's share plus one (the "+1" keeps
+    /// single-request ticks quiet). Only after four (`SUSTAIN_TICKS`)
+    /// consecutive imbalanced ticks with the **same** hotspot does the
+    /// router move one tenant — the hotspot's smallest-key (cheapest
+    /// residency to rebuild) tenant — to the emptiest device. The move is
+    /// committed in the router immediately; the caller re-uploads the
+    /// keys and prices `key_bytes` on the link.
+    pub fn observe_tick(&mut self, per_device: &[u64]) -> Option<Migration> {
+        assert_eq!(per_device.len(), self.num_devices);
+        if self.num_devices < 2 {
+            return None;
+        }
+        let (hot, &hi) = per_device
+            .iter()
+            .enumerate()
+            .max_by_key(|&(d, &c)| (c, std::cmp::Reverse(d)))?;
+        let (cold, &lo) = per_device
+            .iter()
+            .enumerate()
+            .min_by_key(|&(d, &c)| (c, d))?;
+        let imbalanced = hi > 2 * lo + 1;
+        if !imbalanced || hot == cold {
+            self.hot_streak = 0;
+            return None;
+        }
+        if self.hot_streak > 0 && self.hot_device == hot {
+            self.hot_streak += 1;
+        } else {
+            self.hot_device = hot;
+            self.hot_streak = 1;
+        }
+        if self.hot_streak < SUSTAIN_TICKS {
+            return None;
+        }
+        // Cheapest-to-move tenant on the hot device (smallest key frame,
+        // ties to the lowest id via BTreeMap order).
+        let victim = self
+            .placed
+            .iter()
+            .filter(|&(_, &(d, _))| d == hot)
+            .min_by_key(|&(id, &(_, kb))| (kb, *id))
+            .map(|(&id, &(_, kb))| (id, kb));
+        let (tenant, key_bytes) = victim?;
+        self.placed.insert(tenant, (cold, key_bytes));
+        self.hot_streak = 0;
+        self.migrations += 1;
+        Some(Migration {
+            tenant,
+            from: hot,
+            to: cold,
+            key_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_deterministic_and_sticky() {
+        let mut a = ShardRouter::new(4);
+        let mut b = ShardRouter::new(4);
+        for t in 1..64u64 {
+            assert_eq!(a.place(t, 1000), b.place(t, 1000));
+        }
+        for t in 1..64u64 {
+            // Re-placing never moves a resident tenant.
+            assert_eq!(a.place(t, 1000), a.device_of(t).unwrap());
+        }
+    }
+
+    #[test]
+    fn hashing_spreads_tenants_across_devices() {
+        let mut r = ShardRouter::new(4);
+        let mut counts = [0u64; 4];
+        for t in 1..=256u64 {
+            counts[r.place(t, 1000)] += 1;
+        }
+        for (d, &c) in counts.iter().enumerate() {
+            assert!(c > 0, "device {d} got no tenants");
+        }
+    }
+
+    #[test]
+    fn single_device_routes_everything_to_zero() {
+        let mut r = ShardRouter::new(1);
+        for t in 1..32u64 {
+            assert_eq!(r.place(t, 1000), 0);
+        }
+        assert_eq!(r.observe_tick(&[100]), None);
+    }
+
+    #[test]
+    fn ring_growth_moves_few_tenants() {
+        let mut small = ShardRouter::new(2);
+        let mut big = ShardRouter::new(3);
+        let moved = (1..=256u64)
+            .filter(|&t| small.place(t, 1000) != big.place(t, 1000))
+            .count();
+        // Consistent hashing: growing the ring relocates roughly 1/3 of
+        // the tenants, not all of them.
+        assert!(moved < 160, "{moved}/256 tenants moved");
+    }
+
+    #[test]
+    fn sustained_imbalance_migrates_cheapest_tenant() {
+        let mut r = ShardRouter::new(2);
+        // Force-known placements: find tenants that hash to device 0.
+        let on_zero: Vec<u64> = (1..200u64)
+            .filter(|&t| {
+                let mut probe = ShardRouter::new(2);
+                probe.place(t, 0) == 0
+            })
+            .take(3)
+            .collect();
+        // Place them with distinct key sizes: the middle one is cheapest.
+        r.place(on_zero[0], 5000);
+        r.place(on_zero[1], 100);
+        r.place(on_zero[2], 9000);
+        // One imbalanced tick is not enough.
+        assert_eq!(r.observe_tick(&[10, 0]), None);
+        assert_eq!(r.observe_tick(&[10, 0]), None);
+        assert_eq!(r.observe_tick(&[10, 0]), None);
+        let m = r.observe_tick(&[10, 0]).expect("4th sustained tick fires");
+        assert_eq!(m.from, 0);
+        assert_eq!(m.to, 1);
+        assert_eq!(m.tenant, on_zero[1], "cheapest key frame moves");
+        assert_eq!(m.key_bytes, 100);
+        assert_eq!(r.device_of(on_zero[1]), Some(1), "router committed");
+        assert_eq!(r.migrations(), 1);
+        // A balanced tick resets the streak.
+        assert_eq!(r.observe_tick(&[5, 5]), None);
+        assert_eq!(r.observe_tick(&[10, 0]), None);
+    }
+
+    #[test]
+    fn balanced_ticks_never_migrate() {
+        let mut r = ShardRouter::new(2);
+        r.place(1, 100);
+        r.place(2, 100);
+        for _ in 0..32 {
+            assert_eq!(r.observe_tick(&[8, 8]), None);
+            assert_eq!(r.observe_tick(&[3, 2]), None);
+        }
+        assert_eq!(r.migrations(), 0);
+    }
+}

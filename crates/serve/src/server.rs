@@ -5,16 +5,20 @@ use std::sync::Arc;
 
 use fides_client::wire::{params_fingerprint, EvalRequest, EvalResponse, SessionRequest};
 use fides_client::{RawCiphertext, RawParams};
-use fides_core::backend::EvalBackend;
+use fides_core::backend::{BackendPt, EvalBackend};
 use fides_core::sched::{
-    fingerprint, ExecGraph, GpuReplayExecutor, PlanCache, PlanConfig, PlanExecutor, Planner,
+    fingerprint, CostModel, ExecGraph, GpuReplayExecutor, PlanCache, PlanConfig, PlanExecutor,
+    Planner,
 };
 use fides_core::{adapter, CkksContext, CkksParameters, CpuBackend, GpuSimBackend};
-use fides_gpu_sim::{DeviceSpec, ExecMode, GpuSim, GraphEvent, SimStats};
+use fides_gpu_sim::{
+    DeviceSpec, ExecMode, GpuCluster, GpuSim, GraphEvent, InterconnectSpec, SimStats,
+};
 use parking_lot::Mutex;
 
 use crate::error::ServeError;
 use crate::registry::{Registry, SessionState};
+use crate::router::{Migration, ShardRouter};
 use crate::stats::ServeStats;
 
 /// Which execution substrate the server runs tenants on.
@@ -94,8 +98,14 @@ impl ServerConfig {
 }
 
 enum Substrate {
-    /// One shared device context; per-tenant key sets attach to it.
-    Gpu(Arc<CkksContext>),
+    /// One device context **per shard**; tenants' key sets attach to the
+    /// shard the router places them on, and the cluster models the
+    /// interconnect migrations pay for. `contexts.len() == 1` is the
+    /// classic single-device pipeline.
+    Gpu {
+        contexts: Vec<Arc<CkksContext>>,
+        cluster: Arc<GpuCluster>,
+    },
     /// Per-tenant host evaluators over the same chain.
     Cpu {
         raw: RawParams,
@@ -133,6 +143,9 @@ struct ServerInner {
     graph_exec: bool,
     batch_size: usize,
     registry: Mutex<Registry>,
+    /// Tenant → device-shard placement (consistent hashing; migrates on
+    /// sustained imbalance).
+    router: Mutex<ShardRouter>,
     queue: Mutex<VecDeque<Pending>>,
     /// Serializes batch execution: exactly one tick runs at a time, and a
     /// blocked [`Server::eval`] caller waiting on this lock is guaranteed
@@ -184,17 +197,29 @@ impl Server {
         let params = config.params;
         let raw = params.to_raw();
         let params_hash = params_fingerprint(&raw);
-        let plan_cfg = PlanConfig {
+        let num_devices = params.num_devices.max(1);
+        let graph_exec = params.graph_exec;
+        let mut plan_cfg = PlanConfig {
             fuse_elementwise: params.fusion.elementwise,
             num_streams: params.num_streams,
             dep_schedule: params.sched_v2,
+            devices: num_devices,
             ..PlanConfig::default()
         };
-        let graph_exec = params.graph_exec;
         let substrate = match config.backend {
             ServeBackend::GpuSim { device, mode } => {
-                let gpu = GpuSim::new(device, mode);
-                Substrate::Gpu(CkksContext::from_raw(params, raw.clone(), gpu))
+                plan_cfg.cost = CostModel::from_spec(&device);
+                let contexts: Vec<Arc<CkksContext>> = (0..num_devices)
+                    .map(|_| {
+                        let gpu = GpuSim::new(device.clone(), mode);
+                        CkksContext::from_raw(params.clone(), raw.clone(), gpu)
+                    })
+                    .collect();
+                let cluster = GpuCluster::from_devices(
+                    contexts.iter().map(|c| Arc::clone(c.gpu())).collect(),
+                    InterconnectSpec::pcie_gen4(),
+                );
+                Substrate::Gpu { contexts, cluster }
             }
             ServeBackend::Cpu { workers } => Substrate::Cpu {
                 raw: raw.clone(),
@@ -210,12 +235,23 @@ impl Server {
                 graph_exec,
                 batch_size: config.batch_size.max(1),
                 registry: Mutex::new(Registry::new(config.max_sessions)),
+                router: Mutex::new(ShardRouter::new(num_devices)),
                 queue: Mutex::new(VecDeque::new()),
                 tick_lock: Mutex::new(()),
                 stats: Mutex::new(ServeStats::default()),
                 plan_cache: Mutex::new(PlanCache::default()),
             }),
         })
+    }
+
+    /// Number of device shards the server runs
+    /// ([`CkksParameters::num_devices`]; 1 on the CPU substrate's single
+    /// worker).
+    pub fn num_devices(&self) -> usize {
+        match &self.inner.substrate {
+            Substrate::Gpu { contexts, .. } => contexts.len(),
+            Substrate::Cpu { .. } => 1,
+        }
     }
 
     /// The fingerprint of the server's parameter chain (what
@@ -234,36 +270,56 @@ impl Server {
         self.inner.registry.lock().len()
     }
 
-    /// Snapshot of the serving counters.
+    /// Snapshot of the serving counters. Per-device occupancy is sampled
+    /// here from each shard's simulator ledger.
     pub fn stats(&self) -> ServeStats {
-        let mut s = *self.inner.stats.lock();
+        let mut s = self.inner.stats.lock().clone();
         s.sessions_evicted = self.inner.registry.lock().evicted();
+        if let Substrate::Gpu { contexts, .. } = &self.inner.substrate {
+            s.per_device_occupancy = contexts
+                .iter()
+                .map(|c| c.gpu().stats().stream_occupancy())
+                .collect();
+            s.per_device_requests.resize(contexts.len(), 0);
+            s.per_device_launches.resize(contexts.len(), 0);
+        }
         s
     }
 
     /// Simulated-device statistics (gpu-sim substrate; `None` on CPU).
+    /// With multiple shards this is **device 0**; see
+    /// [`Server::sim_stats_device`] for the others.
     pub fn sim_stats(&self) -> Option<SimStats> {
+        self.sim_stats_device(0)
+    }
+
+    /// Simulated-device statistics for shard `device` (`None` on CPU or
+    /// out of range).
+    pub fn sim_stats_device(&self, device: usize) -> Option<SimStats> {
         match &self.inner.substrate {
-            Substrate::Gpu(ctx) => Some(ctx.gpu().stats()),
+            Substrate::Gpu { contexts, .. } => contexts.get(device).map(|c| c.gpu().stats()),
             Substrate::Cpu { .. } => None,
         }
     }
 
-    /// Simulated-device makespan in µs (device-wide sync; gpu-sim only).
+    /// Simulated makespan in µs (gpu-sim only): the **fleet** makespan —
+    /// max over device syncs and the interconnect's free clock — so
+    /// multi-device throughput divides by the slowest shard, not the
+    /// mean.
     pub fn sync_us(&self) -> Option<f64> {
         match &self.inner.substrate {
-            Substrate::Gpu(ctx) => Some(ctx.gpu().sync()),
+            Substrate::Gpu { cluster, .. } => Some(cluster.sync_all()),
             Substrate::Cpu { .. } => None,
         }
     }
 
-    /// Clears the simulated-device statistics ledger (no-op on the CPU
-    /// substrate). Benchmarks call this after session setup so launch
-    /// counts and stream occupancy measure the serving phase alone, not
-    /// key loading.
+    /// Clears the simulated-device statistics ledgers (every shard and
+    /// the link; no-op on the CPU substrate). Benchmarks call this after
+    /// session setup so launch counts and stream occupancy measure the
+    /// serving phase alone, not key loading.
     pub fn reset_sim_stats(&self) {
-        if let Substrate::Gpu(ctx) = &self.inner.substrate {
-            ctx.gpu().reset_stats();
+        if let Substrate::Gpu { cluster, .. } = &self.inner.substrate {
+            cluster.reset_stats();
         }
     }
 
@@ -285,15 +341,27 @@ impl Server {
                 got: req.params_hash,
             });
         }
-        let backend: Box<dyn EvalBackend> = match &self.inner.substrate {
-            Substrate::Gpu(ctx) => {
-                let keys = adapter::load_eval_keys(
-                    ctx,
-                    req.relin.as_ref(),
-                    &req.rotations,
-                    req.conjugation.as_ref(),
-                )?;
-                Box::new(GpuSimBackend::new(Arc::clone(ctx), keys))
+        let state = match &self.inner.substrate {
+            Substrate::Gpu { contexts, .. } => {
+                // Place before loading: keys load straight into the home
+                // shard's context. The upcoming session id keys the
+                // consistent hash, and the key-frame size is the
+                // placement's future migration cost.
+                let key_bytes = req.to_bytes().len() as u64;
+                let device = {
+                    let registry = self.inner.registry.lock();
+                    self.inner
+                        .router
+                        .lock()
+                        .place(registry.next_id(), key_bytes)
+                };
+                let (backend, plains) = Self::gpu_session(&contexts[device], &req)?;
+                SessionState {
+                    backend,
+                    plains,
+                    device,
+                    upload: Some(req),
+                }
             }
             Substrate::Cpu { raw, workers } => {
                 let mut backend = CpuBackend::new(raw.clone());
@@ -309,20 +377,42 @@ impl Server {
                 if let Some(conj) = req.conjugation {
                     backend.set_conj_key(conj);
                 }
-                Box::new(backend)
+                let backend: Box<dyn EvalBackend> = Box::new(backend);
+                let mut plains = Vec::with_capacity(req.plaintexts.len());
+                for pt in &req.plaintexts {
+                    plains.push(backend.load_plain(pt)?);
+                }
+                SessionState {
+                    backend,
+                    plains,
+                    device: 0,
+                    upload: None,
+                }
             }
         };
+        let id = self.inner.registry.lock().insert(state);
+        self.inner.stats.lock().sessions_opened += 1;
+        Ok(id)
+    }
+
+    /// Loads a tenant's keys and plaintexts into one shard's context
+    /// (shared by session-open and migration).
+    fn gpu_session(
+        ctx: &Arc<CkksContext>,
+        req: &SessionRequest,
+    ) -> Result<(Box<dyn EvalBackend>, Vec<BackendPt>), ServeError> {
+        let keys = adapter::load_eval_keys(
+            ctx,
+            req.relin.as_ref(),
+            &req.rotations,
+            req.conjugation.as_ref(),
+        )?;
+        let backend: Box<dyn EvalBackend> = Box::new(GpuSimBackend::new(Arc::clone(ctx), keys));
         let mut plains = Vec::with_capacity(req.plaintexts.len());
         for pt in &req.plaintexts {
             plains.push(backend.load_plain(pt)?);
         }
-        let id = self
-            .inner
-            .registry
-            .lock()
-            .insert(SessionState { backend, plains });
-        self.inner.stats.lock().sessions_opened += 1;
-        Ok(id)
+        Ok((backend, plains))
     }
 
     /// [`Server::open_session`] over a serialized wire frame.
@@ -337,6 +427,7 @@ impl Server {
 
     /// Closes a session, freeing its keys. Returns whether it was resident.
     pub fn close_session(&self, id: u64) -> bool {
+        self.inner.router.lock().remove(id);
         self.inner.registry.lock().remove(id)
     }
 
@@ -421,8 +512,8 @@ impl Server {
 
         let served = resolved.len();
         let responses: Vec<EvalResponse> = match &self.inner.substrate {
-            Substrate::Gpu(ctx) if self.inner.graph_exec => {
-                self.serve_batch_graphed(ctx, &resolved)
+            Substrate::Gpu { contexts, .. } if self.inner.graph_exec => {
+                self.serve_batch_sharded(contexts, &resolved)
             }
             _ => resolved
                 .iter()
@@ -437,20 +528,128 @@ impl Server {
             stats.max_batch = stats.max_batch.max(served);
             stats.failed += responses.iter().filter(|r| r.error.is_some()).count() as u64;
         }
+        self.maybe_migrate(&resolved);
         for ((p, _), resp) in resolved.into_iter().zip(responses) {
             *p.slot.resp.lock() = Some(resp);
         }
         served
     }
 
-    /// The graph-batched path: each request records into its own capture
-    /// region; the regions merge — with a per-request round-robin stream
-    /// offset — into one server-owned graph, planned once (fusion applies
-    /// across tenant boundaries) and replayed once.
+    /// Splits a resolved batch into per-device shards (each request goes
+    /// to the device its session's keys live on), serves every non-empty
+    /// shard as its own merged graph on its own context, and scatters the
+    /// responses back into arrival order. Single-device servers take this
+    /// path too — with one shard it is exactly the classic batched tick.
+    fn serve_batch_sharded(
+        &self,
+        contexts: &[Arc<CkksContext>],
+        batch: &[(Pending, Option<Arc<SessionState>>)],
+    ) -> Vec<EvalResponse> {
+        let mut shards: Vec<Vec<usize>> = vec![Vec::new(); contexts.len()];
+        for (i, (_, session)) in batch.iter().enumerate() {
+            let device = session
+                .as_ref()
+                .map_or(0, |s| s.device.min(contexts.len() - 1));
+            shards[device].push(i);
+        }
+        let mut responses: Vec<Option<EvalResponse>> = (0..batch.len()).map(|_| None).collect();
+        for (device, shard) in shards.iter().enumerate() {
+            if shard.is_empty() {
+                continue;
+            }
+            let subset: Vec<&(Pending, Option<Arc<SessionState>>)> =
+                shard.iter().map(|&i| &batch[i]).collect();
+            let shard_resps = self.serve_batch_graphed(&contexts[device], device, &subset);
+            {
+                let mut stats = self.inner.stats.lock();
+                if stats.per_device_requests.len() < contexts.len() {
+                    stats.per_device_requests.resize(contexts.len(), 0);
+                }
+                stats.per_device_requests[device] += shard.len() as u64;
+            }
+            for (&i, resp) in shard.iter().zip(shard_resps) {
+                responses[i] = Some(resp);
+            }
+        }
+        responses
+            .into_iter()
+            .map(|r| r.expect("every request landed in exactly one shard"))
+            .collect()
+    }
+
+    /// After a tick, feeds the router the per-device request counts and —
+    /// on a sustained-imbalance decision — re-homes the chosen tenant's
+    /// keys on its new device, pricing the key frame on the interconnect.
+    fn maybe_migrate(&self, batch: &[(Pending, Option<Arc<SessionState>>)]) {
+        let Substrate::Gpu { contexts, cluster } = &self.inner.substrate else {
+            return;
+        };
+        if contexts.len() < 2 {
+            return;
+        }
+        let mut counts = vec![0u64; contexts.len()];
+        for (_, session) in batch {
+            if let Some(s) = session {
+                counts[s.device.min(contexts.len() - 1)] += 1;
+            }
+        }
+        let decision = self.inner.router.lock().observe_tick(&counts);
+        let Some(Migration {
+            tenant,
+            from,
+            to,
+            key_bytes,
+        }) = decision
+        else {
+            return;
+        };
+        let upload = {
+            let mut registry = self.inner.registry.lock();
+            registry.touch(tenant).and_then(|s| s.upload.clone())
+        };
+        let Some(upload) = upload else {
+            // Session vanished (evicted between decision and commit):
+            // forget the placement; a re-open re-places it.
+            self.inner.router.lock().remove(tenant);
+            return;
+        };
+        match Self::gpu_session(&contexts[to], &upload) {
+            Ok((backend, plains)) => {
+                self.inner.registry.lock().replace(
+                    tenant,
+                    SessionState {
+                        backend,
+                        plains,
+                        device: to,
+                        upload: Some(upload),
+                    },
+                );
+                // The key frame crosses the link from the old home; the
+                // new home's submission thread stalls until it lands.
+                let ready = cluster.device(from).host_clock();
+                let done = cluster.transfer(key_bytes, ready);
+                cluster.device(to).advance_host_to(done);
+                let mut stats = self.inner.stats.lock();
+                stats.migrations += 1;
+                stats.migration_bytes += key_bytes;
+            }
+            Err(_) => {
+                // Keys failed to rebuild: keep serving from the old home.
+                self.inner.router.lock().assign(tenant, from, key_bytes);
+            }
+        }
+    }
+
+    /// The graph-batched path for one device shard: each request records
+    /// into its own capture region on the shard's device; the regions
+    /// merge — with a shard-local round-robin stream offset — into one
+    /// server-owned graph, planned once (fusion applies across tenant
+    /// boundaries) and replayed once.
     fn serve_batch_graphed(
         &self,
         ctx: &Arc<CkksContext>,
-        batch: &[(Pending, Option<Arc<SessionState>>)],
+        device: usize,
+        batch: &[&(Pending, Option<Arc<SessionState>>)],
     ) -> Vec<EvalResponse> {
         let gpu = ctx.gpu();
         let mut merged: Vec<GraphEvent> = Vec::new();
@@ -486,6 +685,10 @@ impl Server {
             stats.recorded_kernels += plan.stats().recorded_kernels;
             stats.planned_launches += plan.stats().planned_launches;
             stats.fused_kernels += plan.stats().fused_kernels;
+            if stats.per_device_launches.len() <= device {
+                stats.per_device_launches.resize(device + 1, 0);
+            }
+            stats.per_device_launches[device] += plan.stats().planned_launches;
             if hit {
                 stats.plan_cache_hits += 1;
             } else {

@@ -2,7 +2,7 @@
 
 /// Cumulative counters describing what the server has done; snapshot with
 /// [`Server::stats`](crate::Server::stats).
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ServeStats {
     /// Evaluation requests served (successful or failed).
     pub requests: u64,
@@ -28,6 +28,20 @@ pub struct ServeStats {
     pub plan_cache_hits: u64,
     /// Batch ticks that ran the full planning pass.
     pub plan_cache_misses: u64,
+    /// Requests served per device shard (index = device; length =
+    /// `num_devices`, or 1 on the CPU substrate).
+    pub per_device_requests: Vec<u64>,
+    /// Planned kernel launches replayed per device shard.
+    pub per_device_launches: Vec<u64>,
+    /// Per-device stream occupancy over the stats window, filled at
+    /// snapshot time from each device's simulator ledger (gpu-sim
+    /// substrate; empty on CPU).
+    pub per_device_occupancy: Vec<f64>,
+    /// Tenants migrated between devices on sustained load imbalance.
+    pub migrations: u64,
+    /// Key-material bytes re-uploaded over the interconnect by those
+    /// migrations.
+    pub migration_bytes: u64,
 }
 
 impl ServeStats {

@@ -113,5 +113,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         server.sync_us().unwrap() / 1e3
     );
     println!("worst |encrypted − plain| across all scores: {worst:.2e}");
+
+    // Phase 3 — the same tenants on a TWO-device server. The consistent-
+    // hash router homes each tenant (= its evaluation keys) on a shard;
+    // each tick routes and merges per shard, so the shards' graphs plan
+    // and replay concurrently on their own simulated devices. Responses
+    // are bit-identical to the single-device server's — placement changes
+    // the schedule, never the math.
+    let params = CkksParameters::new(10, 6, 40, 3)?
+        .with_num_streams(8)
+        .with_num_devices(2);
+    let dist = Server::new(ServerConfig::new(params).batch_size(8))?;
+    println!("\ntwo-device server up ({} shards)", dist.num_devices());
+    let mut tickets = Vec::new();
+    for (t, (model, session, _)) in tenants.iter().enumerate() {
+        let plains = model.session_plains(session.engine().max_level());
+        let plain_refs: Vec<(&[f64], usize)> =
+            plains.iter().map(|(v, l)| (v.as_slice(), *l)).collect();
+        let sid = dist.open_session(session.session_request(&plain_refs)?)?;
+        let program = model.scoring_program(0);
+        for r in 0..REQUESTS_PER_TENANT {
+            let features = synthetic_features(DIM, t as u64, r as u64);
+            tickets.push((
+                t,
+                r,
+                dist.submit(session.eval_request(sid, &[&features], &program)?),
+            ));
+        }
+    }
+    while dist.run_tick() > 0 {}
+    let mut dist_worst = 0.0f64;
+    for (t, r, ticket) in &tickets {
+        let resp = ticket.try_take().expect("tick served every request");
+        let (model, session, _) = &tenants[*t];
+        let score = session.decrypt_response(&resp, &[1])?[0][0];
+        let expect = model.score_plain(&synthetic_features(DIM, *t as u64, *r as u64));
+        dist_worst = dist_worst.max((score - expect).abs());
+    }
+    assert!(dist_worst < 1e-3, "sharded scores drifted: {dist_worst}");
+    let dstats = dist.stats();
+    println!(
+        "sharded {} requests across devices as {:?}, fleet makespan {:.1} ms",
+        dstats.requests,
+        dstats.per_device_requests,
+        dist.sync_us().unwrap() / 1e3
+    );
+    println!("worst sharded |encrypted − plain|: {dist_worst:.2e}");
     Ok(())
 }
