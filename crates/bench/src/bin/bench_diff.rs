@@ -7,8 +7,12 @@
 //! simulator doesn't.
 //!
 //! ```text
-//! bench_diff <committed.json> <fresh.json> [--threshold 0.10] [--label NAME]
+//! bench_diff <committed.json> <fresh.json> [--threshold 0.10] [--label NAME] [--gate-wall]
 //! ```
+//!
+//! `--gate-wall` is for the nightly lane, which runs on a pinned runner
+//! class: wall metrics become **banded** — out of `±threshold` in either
+//! direction fails — while simulated metrics keep their one-sided gate.
 //!
 //! Output is a GitHub-flavoured markdown table; CI appends it to
 //! `$GITHUB_STEP_SUMMARY` so every PR shows the comparison inline.
@@ -19,7 +23,9 @@ use fides_bench::diff::DiffReport;
 use fides_bench::json::Json;
 
 fn usage() -> ! {
-    eprintln!("usage: bench_diff <committed.json> <fresh.json> [--threshold 0.10] [--label NAME]");
+    eprintln!(
+        "usage: bench_diff <committed.json> <fresh.json> [--threshold 0.10] [--label NAME] [--gate-wall]"
+    );
     std::process::exit(2);
 }
 
@@ -33,9 +39,11 @@ fn main() -> ExitCode {
     let mut positional = Vec::new();
     let mut threshold = 0.10f64;
     let mut label: Option<String> = None;
+    let mut gate_wall = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--gate-wall" => gate_wall = true,
             "--threshold" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(v) if v > 0.0 => threshold = v,
                 _ => usage(),
@@ -68,7 +76,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = DiffReport::compare(&committed, &fresh, threshold);
+    let report = DiffReport::compare_with(&committed, &fresh, threshold, gate_wall);
     print!("{}", report.to_markdown(&label));
 
     let regressions = report.regressions();

@@ -1,0 +1,432 @@
+//! Raw-speed kernel lane: scalar vs `u64x4` SIMD limb kernels (`BENCH_PR7.json`).
+//!
+//! Times the hot CPU limb kernels — NTT forward/inverse, elementwise
+//! Barrett multiply, the key-switch inner-product accumulate, RNS base
+//! conversion, and the rescale tail — **wall-clock**, with the SIMD slab
+//! path off vs on ([`fides_math::set_simd_enabled`]), at `logN ∈ {13, 14,
+//! 15}` × three limb counts. Both paths run the same code when the `simd`
+//! cargo feature is absent, so the speedup column only means something
+//! when built `--features simd` (CI's kernel lane does).
+//!
+//! Wall numbers are runner-dependent: every wall leaf carries `wall` in
+//! its path so the default perf gate reports them without failing, and
+//! the nightly lane bands them at ±30% (`bench_diff --gate-wall`). A
+//! small deterministic `gpu_sim` section models the same kernel shapes on
+//! the simulated device and stays hard-gated.
+//!
+//! Inline acceptance gates (only with the `simd` feature): the NTT and
+//! key-switch accumulate kernels must beat scalar on wall clock
+//! (geometric mean across sizes > 1.0×). The margin is deliberately just
+//! "faster at all": CI containers are narrow (often 1–2 cores, shared),
+//! so the honest claim is direction, not magnitude.
+//!
+//! ```text
+//! cargo run --release --features simd --bin kernel_bench [OUT_PATH]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fides_bench::print_table;
+use fides_gpu_sim::{BufferId, DeviceSpec, ExecMode, GpuSim, KernelDesc, KernelKind};
+use fides_math::{generate_ntt_primes, Modulus, NttTable, ShoupPrecomp};
+use fides_rns::BaseConverter;
+
+const OUT_PATH: &str = "BENCH_PR7.json";
+const LOG_NS: [usize; 3] = [13, 14, 15];
+const LIMB_COUNTS: [usize; 3] = [4, 8, 14];
+/// Key-switch digits in the accumulate kernel (hybrid key switching:
+/// `acc += digit_d · key_d` over dnum digits).
+const DNUM: usize = 3;
+/// Best-of repetitions per (kernel, path): wall timing on a shared
+/// container is min-stable, not mean-stable.
+const REPS: usize = 7;
+
+/// Deterministic fill (splitmix64): the bench must produce the same
+/// operand streams on every run so scalar and SIMD time identical work.
+fn splitmix_fill(seed: u64, p: u64, out: &mut [u64]) {
+    let mut s = seed;
+    for x in out.iter_mut() {
+        s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        *x = (z ^ (z >> 31)) % p;
+    }
+}
+
+fn limb_data(seed: u64, n: usize, moduli: &[Modulus]) -> Vec<Vec<u64>> {
+    moduli
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let mut v = vec![0u64; n];
+            splitmix_fill(seed.wrapping_add(i as u64), m.value(), &mut v);
+            v
+        })
+        .collect()
+}
+
+/// Times `op` best-of-[`REPS`] with the SIMD slabs forced **off**, then
+/// **on**, each on freshly set-up data (one warm-up call per path).
+/// Returns `(scalar_ns, simd_ns)`.
+fn time_pair<D, S: Fn() -> D, F: FnMut(&mut D)>(setup: S, mut op: F) -> (f64, f64) {
+    let mut run = |simd: bool| {
+        fides_math::set_simd_enabled(Some(simd));
+        let mut d = setup();
+        op(&mut d);
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let t = Instant::now();
+            op(&mut d);
+            best = best.min(t.elapsed().as_nanos() as f64);
+        }
+        best
+    };
+    let scalar = run(false);
+    let simd = run(true);
+    (scalar, simd)
+}
+
+#[derive(Clone, Copy)]
+struct KernelResult {
+    scalar_ns_per_coeff: f64,
+    simd_ns_per_coeff: f64,
+    speedup: f64,
+}
+
+fn result(scalar_ns: f64, simd_ns: f64, coeffs: usize) -> KernelResult {
+    KernelResult {
+        scalar_ns_per_coeff: scalar_ns / coeffs as f64,
+        simd_ns_per_coeff: simd_ns / coeffs as f64,
+        speedup: scalar_ns / simd_ns,
+    }
+}
+
+/// Per-kernel results at one `(log_n, limbs)` point, in [`KERNELS`] order.
+struct SizeRow {
+    log_n: usize,
+    limbs: usize,
+    kernels: Vec<KernelResult>,
+}
+
+const KERNELS: [&str; 7] = [
+    "ntt_fwd",
+    "ntt_inv",
+    "mul",
+    "keyswitch_mac",
+    "key_switch",
+    "base_conv",
+    "rescale_tail",
+];
+
+fn bench_size(log_n: usize, limbs: usize) -> SizeRow {
+    let n = 1usize << log_n;
+    let primes = generate_ntt_primes(59, 2 * limbs, n);
+    let src: Vec<Modulus> = primes[..limbs].iter().map(|&p| Modulus::new(p)).collect();
+    let dst: Vec<Modulus> = primes[limbs..].iter().map(|&p| Modulus::new(p)).collect();
+    let tables: Vec<NttTable> = src.iter().map(|&m| NttTable::new(n, m)).collect();
+    let coeffs = n * limbs;
+    let mut kernels = Vec::new();
+
+    // NTT forward / inverse: limbs independent transforms. Repeated
+    // application without inverting is fine for timing — values stay
+    // reduced, and both paths see the same evolving operand stream.
+    let (s, v) = time_pair(
+        || limb_data(1, n, &src),
+        |d| {
+            for (t, limb) in tables.iter().zip(d.iter_mut()) {
+                t.forward_inplace(limb);
+            }
+        },
+    );
+    kernels.push(result(s, v, coeffs));
+    let (s, v) = time_pair(
+        || limb_data(2, n, &src),
+        |d| {
+            for (t, limb) in tables.iter().zip(d.iter_mut()) {
+                t.inverse_inplace(limb);
+            }
+        },
+    );
+    kernels.push(result(s, v, coeffs));
+
+    // Elementwise Barrett multiply (hmult core).
+    let (s, v) = time_pair(
+        || (limb_data(3, n, &src), limb_data(4, n, &src)),
+        |(a, b)| {
+            for ((m, al), bl) in src.iter().zip(a.iter_mut()).zip(b.iter()) {
+                fides_math::simd::mul_assign(m, al, bl);
+            }
+        },
+    );
+    kernels.push(result(s, v, coeffs));
+
+    // Key-switch inner product: acc += digit_d · key_d over DNUM digits.
+    let (s, v) = time_pair(
+        || {
+            let digits: Vec<Vec<Vec<u64>>> = (0..DNUM)
+                .map(|d| limb_data(5 + d as u64, n, &src))
+                .collect();
+            let keys: Vec<Vec<Vec<u64>>> = (0..DNUM)
+                .map(|d| limb_data(50 + d as u64, n, &src))
+                .collect();
+            (limb_data(9, n, &src), digits, keys)
+        },
+        |(acc, digits, keys)| {
+            for d in 0..DNUM {
+                for ((m, accl), (dl, kl)) in src
+                    .iter()
+                    .zip(acc.iter_mut())
+                    .zip(digits[d].iter().zip(keys[d].iter()))
+                {
+                    fides_math::simd::mul_add_assign(m, accl, dl, kl);
+                }
+            }
+        },
+    );
+    kernels.push(result(s, v, coeffs));
+
+    // Composite key switch: the backend's actual hot path per digit is
+    // "NTT the raised digit, then accumulate digit · key" — time that
+    // shape whole. This is the gated kernel; the bare accumulate above
+    // stays reported so the table shows where the time goes.
+    let (s, v) = time_pair(
+        || {
+            let digits: Vec<Vec<Vec<u64>>> = (0..DNUM)
+                .map(|d| limb_data(70 + d as u64, n, &src))
+                .collect();
+            let keys: Vec<Vec<Vec<u64>>> = (0..DNUM)
+                .map(|d| limb_data(80 + d as u64, n, &src))
+                .collect();
+            (limb_data(10, n, &src), digits, keys)
+        },
+        |(acc, digits, keys)| {
+            for d in 0..DNUM {
+                for (t, dl) in tables.iter().zip(digits[d].iter_mut()) {
+                    t.forward_inplace(dl);
+                }
+                for ((m, accl), (dl, kl)) in src
+                    .iter()
+                    .zip(acc.iter_mut())
+                    .zip(digits[d].iter().zip(keys[d].iter()))
+                {
+                    fides_math::simd::mul_add_assign(m, accl, dl, kl);
+                }
+            }
+        },
+    );
+    kernels.push(result(s, v, coeffs));
+
+    // RNS base conversion src → dst (the ModUp/ModDown core).
+    let conv = BaseConverter::new(&src, &dst);
+    let (s, v) = time_pair(
+        || (limb_data(11, n, &src), vec![vec![0u64; n]; limbs]),
+        |(input, out)| {
+            let refs: Vec<&[u64]> = input.iter().map(|v| v.as_slice()).collect();
+            conv.convert(&refs, out);
+        },
+    );
+    kernels.push(result(s, v, coeffs));
+
+    // Rescale tail: x = q_last⁻¹ · (x − t) per remaining limb.
+    let inv: Vec<ShoupPrecomp> = src
+        .iter()
+        .map(|m| ShoupPrecomp::new(m.value() / 3, m))
+        .collect();
+    let (s, v) = time_pair(
+        || (limb_data(13, n, &src), limb_data(14, n, &src)),
+        |(x, t)| {
+            for ((m, w), (xl, tl)) in src.iter().zip(inv.iter()).zip(x.iter_mut().zip(t.iter())) {
+                fides_math::simd::sub_shoup_mul_assign(m, w, xl, tl);
+            }
+        },
+    );
+    kernels.push(result(s, v, coeffs));
+
+    SizeRow {
+        log_n,
+        limbs,
+        kernels,
+    }
+}
+
+/// Deterministic simulated-device view of the same kernel shapes: one NTT
+/// pass (both phases), one elementwise multiply, one base conversion per
+/// limb set. Hard-gated in CI — same code, same cost model, same numbers.
+fn sim_size(log_n: usize, limbs: usize) -> (u64, f64) {
+    let n = 1u64 << log_n;
+    let bytes = n * 8;
+    let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::CostOnly);
+    let t0 = gpu.sync();
+    for l in 0..limbs as u64 {
+        let poly = BufferId(100 + l);
+        let tmp = BufferId(200 + l);
+        for kind in [KernelKind::NttPhase1, KernelKind::NttPhase2] {
+            gpu.launch(
+                0,
+                KernelDesc::new(kind)
+                    .read(poly, bytes)
+                    .write(poly, bytes)
+                    .ops(n * log_n as u64 / 2),
+                || {},
+            );
+        }
+        gpu.launch(
+            0,
+            KernelDesc::new(KernelKind::Elementwise)
+                .read(poly, bytes)
+                .read(tmp, bytes)
+                .write(poly, bytes)
+                .ops(n),
+            || {},
+        );
+    }
+    let mut base = KernelDesc::new(KernelKind::BaseConv)
+        .write(BufferId(300), bytes)
+        .ops(n * limbs as u64);
+    for l in 0..limbs as u64 {
+        base = base.read(BufferId(100 + l), bytes);
+    }
+    gpu.launch(0, base, || {});
+    let sim_us = gpu.sync() - t0;
+    (gpu.stats().kernel_launches, sim_us)
+}
+
+fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut count) = (0.0f64, 0usize);
+    for x in xs {
+        log_sum += x.ln();
+        count += 1;
+    }
+    (log_sum / count as f64).exp()
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| OUT_PATH.into());
+    let simd_built = cfg!(feature = "simd");
+    println!(
+        "kernel lane: simd feature {} (scalar-vs-SIMD wall clock, best of {REPS})",
+        if simd_built {
+            "ON"
+        } else {
+            "OFF — both columns run the scalar path"
+        }
+    );
+
+    let mut rows = Vec::new();
+    for &log_n in &LOG_NS {
+        for &limbs in &LIMB_COUNTS {
+            println!("  timing logN={log_n} limbs={limbs}...");
+            rows.push(bench_size(log_n, limbs));
+        }
+    }
+    let sims: Vec<(usize, usize, u64, f64)> = LOG_NS
+        .iter()
+        .flat_map(|&log_n| {
+            LIMB_COUNTS.iter().map(move |&limbs| {
+                let (launches, sim_us) = sim_size(log_n, limbs);
+                (log_n, limbs, launches, sim_us)
+            })
+        })
+        .collect();
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .flat_map(|r| {
+            KERNELS.iter().zip(r.kernels.iter()).map(|(name, k)| {
+                vec![
+                    format!("2^{}", r.log_n),
+                    r.limbs.to_string(),
+                    (*name).into(),
+                    format!("{:.2}", k.scalar_ns_per_coeff),
+                    format!("{:.2}", k.simd_ns_per_coeff),
+                    format!("{:.2}x", k.speedup),
+                ]
+            })
+        })
+        .collect();
+    print_table(
+        "CPU limb kernels: scalar vs u64x4 slabs (wall ns/coeff)",
+        &["N", "limbs", "kernel", "scalar", "simd", "speedup"],
+        &table,
+    );
+
+    let geo: Vec<f64> = (0..KERNELS.len())
+        .map(|k| geomean(rows.iter().map(|r| r.kernels[k].speedup)))
+        .collect();
+    for (name, g) in KERNELS.iter().zip(geo.iter()) {
+        println!("  geomean {name}: {g:.3}x");
+    }
+
+    if simd_built {
+        // The acceptance gates: the tentpole kernels must actually be
+        // faster. Direction only — magnitude is runner-dependent.
+        for (name, idx) in [("ntt_fwd", 0usize), ("key_switch", 4)] {
+            assert!(
+                geo[idx] > 1.0,
+                "SIMD {name} must beat scalar wall clock (geomean {:.3}x ≤ 1.0)",
+                geo[idx]
+            );
+        }
+    } else {
+        println!("  (simd feature off: speedup gates skipped, columns are scalar twice)");
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"pr\": 7,");
+    let _ = writeln!(json, "  \"schema\": \"fideslib-bench-kernels-v1\",");
+    let _ = writeln!(json, "  \"simd_feature\": {simd_built},");
+    let _ = writeln!(json, "  \"cpu_kernels\": {{");
+    let _ = writeln!(
+        json,
+        "    \"note\": \"wall clock, best of {REPS}; runner-dependent — report-only in the \
+         default gate, banded ±30% in the nightly lane\","
+    );
+    let _ = writeln!(json, "    \"by_size\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"log_n\": {}, \"limbs\": {}",
+            r.log_n, r.limbs
+        );
+        for (name, k) in KERNELS.iter().zip(r.kernels.iter()) {
+            let _ = write!(
+                json,
+                ", \"{name}\": {{\"scalar_wall_ns_per_coeff\": {:.3}, \
+                 \"simd_wall_ns_per_coeff\": {:.3}, \"wall_speedup_x\": {:.3}}}",
+                k.scalar_ns_per_coeff, k.simd_ns_per_coeff, k.speedup
+            );
+        }
+        let _ = writeln!(json, "}}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "    ],");
+    let _ = writeln!(json, "    \"geomean_wall_speedup_x\": {{");
+    for (i, (name, g)) in KERNELS.iter().zip(geo.iter()).enumerate() {
+        let _ = writeln!(
+            json,
+            "      \"{name}\": {g:.3}{}",
+            if i + 1 < KERNELS.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "    }}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"gpu_sim\": {{");
+    let _ = writeln!(json, "    \"device\": \"RTX 4090 (simulated)\",");
+    let _ = writeln!(json, "    \"by_size\": [");
+    for (i, (log_n, limbs, launches, sim_us)) in sims.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"log_n\": {log_n}, \"limbs\": {limbs}, \"kernel_launches\": {launches}, \
+             \"sim_us\": {sim_us:.2}}}{}",
+            if i + 1 < sims.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_PR7.json");
+    println!("wrote {out_path}");
+}

@@ -92,8 +92,20 @@ pub struct DiffReport {
 }
 
 impl DiffReport {
-    /// Compares two parsed bench documents.
+    /// Compares two parsed bench documents. Wall-clock metrics are
+    /// report-only (the default CI gate).
     pub fn compare(committed: &Json, fresh: &Json, threshold: f64) -> DiffReport {
+        Self::compare_with(committed, fresh, threshold, false)
+    }
+
+    /// Compares two parsed bench documents, optionally **banding** wall-clock
+    /// metrics: with `gate_wall` set, any metric whose path contains `wall`
+    /// fails the gate when it moves outside `±threshold` in *either*
+    /// direction (wall numbers have no deterministic better/worse — a 2×
+    /// "improvement" usually means the runner changed, which the nightly
+    /// lane also wants to hear about). Simulated metrics keep their one-sided
+    /// gate: improvements always pass.
+    pub fn compare_with(committed: &Json, fresh: &Json, threshold: f64, gate_wall: bool) -> Self {
         let committed = committed.numeric_leaves();
         let fresh = fresh.numeric_leaves();
         let mut paths: Vec<&String> = committed.keys().chain(fresh.keys()).collect();
@@ -104,12 +116,24 @@ impl DiffReport {
             .map(|path| {
                 let c = committed.get(path).copied();
                 let f = fresh.get(path).copied();
-                let class = classify(path);
+                let mut class = classify(path);
                 let delta = match (c, f) {
                     (Some(c), Some(f)) if c != 0.0 => Some((f - c) / c),
                     _ => None,
                 };
-                let regressed = class == MetricClass::Gated && delta.is_some_and(|d| d > threshold);
+                let banded = gate_wall && path.to_ascii_lowercase().contains("wall");
+                let regressed = if class == MetricClass::Gated {
+                    delta.is_some_and(|d| d > threshold)
+                } else if banded {
+                    delta.is_some_and(|d| d.abs() > threshold)
+                } else {
+                    false
+                };
+                if banded {
+                    // Surface the banded wall rows as gate participants in
+                    // the markdown table.
+                    class = MetricClass::Gated;
+                }
                 MetricRow {
                     path: path.clone(),
                     committed: c,
@@ -261,6 +285,38 @@ mod tests {
         let report = DiffReport::compare(&doc(1000, 5.0), &doc(800, 10.0), 0.10);
         assert!(report.regressions().is_empty());
         assert!(report.to_markdown("x").contains("pass"));
+    }
+
+    #[test]
+    fn gate_wall_bands_wall_metrics_both_directions() {
+        // Default gate: wall doubling passes.
+        let report = DiffReport::compare(&doc(1000, 5.0), &doc(1000, 10.0), 0.30);
+        assert!(report.regressions().is_empty());
+
+        // Nightly gate: +100% wall trips the ±30% band.
+        let report = DiffReport::compare_with(&doc(1000, 5.0), &doc(1000, 10.0), 0.30, true);
+        assert_eq!(report.regressions().len(), 1);
+        assert_eq!(report.regressions()[0].path, "gpu_sim.wall_us");
+
+        // A -50% "improvement" is also out of band — the runner changed.
+        let report = DiffReport::compare_with(&doc(1000, 5.0), &doc(1000, 2.5), 0.30, true);
+        assert_eq!(report.regressions().len(), 1);
+
+        // Inside the band: passes, but the wall row renders as a gate
+        // participant.
+        let report = DiffReport::compare_with(&doc(1000, 5.0), &doc(1000, 6.0), 0.30, true);
+        assert!(report.regressions().is_empty());
+        let wall = report
+            .rows
+            .iter()
+            .find(|r| r.path == "gpu_sim.wall_us")
+            .unwrap();
+        assert_eq!(wall.class, MetricClass::Gated);
+
+        // Simulated metrics keep one-sided gating even in wall mode: a big
+        // launch-count improvement never fails.
+        let report = DiffReport::compare_with(&doc(1000, 5.0), &doc(100, 5.0), 0.30, true);
+        assert!(report.regressions().is_empty());
     }
 
     #[test]

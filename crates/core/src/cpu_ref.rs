@@ -393,9 +393,7 @@ impl HostContext {
             self.ntt_q[i].forward_inplace(&mut t);
             let m = &self.moduli_q[i];
             let inv = &self.p_inv_mod_q[i];
-            for (x, &c) in limb.iter_mut().zip(&t) {
-                *x = inv.mul(m.sub_mod(*x, c), m);
-            }
+            fides_math::simd::sub_shoup_mul_assign(m, inv, limb, &t);
             self.pool.put(t);
         });
         drop(p_refs);
@@ -476,9 +474,7 @@ impl HostContext {
             }
             self.ntt_q[i].forward_inplace(&mut t);
             let inv = ShoupPrecomp::new(m.inv_mod(m.reduce_u64(q_last.value())), m);
-            for (x, &s) in limb.iter_mut().zip(&t) {
-                *x = inv.mul(m.sub_mod(*x, s), m);
-            }
+            fides_math::simd::sub_shoup_mul_assign(m, &inv, limb, &t);
             self.pool.put(t);
         });
         self.pool.put(last);

@@ -245,6 +245,14 @@ fn rebind(plan: &Arc<ExecPlan>, old: &[BufferId], new: &[BufferId]) -> ExecPlan 
             }
         }
     }
+    // The liveness slot binding is keyed by buffer id, so it must follow
+    // the same translation — a stale key could collide with a *different*
+    // current buffer and alias two live buffers onto one slot.
+    out.slots = out
+        .slots
+        .into_iter()
+        .map(|(buf, slot)| (*map.get(&buf).unwrap_or(&buf), slot))
+        .collect();
     out
 }
 

@@ -277,6 +277,7 @@ pub(crate) fn plan_dag(graph: &ExecGraph, cfg: &PlanConfig) -> ExecPlan {
                 ..SchedStats::default()
             },
             mem: Default::default(),
+            slots: Default::default(),
         };
     }
     let (preds, succs) = build_edges(&units);
@@ -500,6 +501,7 @@ pub(crate) fn plan_dag(graph: &ExecGraph, cfg: &PlanConfig) -> ExecPlan {
             ..SchedStats::default()
         },
         mem: Default::default(),
+        slots: Default::default(),
     }
 }
 

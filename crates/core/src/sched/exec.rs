@@ -21,10 +21,27 @@ pub trait PlanExecutor {
 /// timeline and ledger exactly as an eager launch would (bodies are empty —
 /// the functional math already ran while recording), and each fence applies
 /// the recorded cross-limb sync point.
+///
+/// When the plan carries a liveness slot binding (scheduler v2), launches
+/// present **slot-canonical** buffer ids to the device: every plan-created
+/// temporary bound to pool slot `s` is replayed as buffer
+/// `SLOT_ID_BASE | s`, so temporaries that time-share a slot alias the
+/// same lines in the device's L2 residency model — a later tenant of a
+/// slot inherits whatever residency its predecessor left behind, exactly
+/// as a stream-ordered allocator's physical reuse behaves. External
+/// buffers (first touch is a read — caller-owned ciphertext and key
+/// storage) are absent from the binding and keep their recorded ids, so
+/// residency they accumulated in earlier plan executions still hits.
+/// Liveness guarantees no two buffers touched by one launch share a slot,
+/// so the rewrite never self-aliases a launch.
 #[derive(Debug)]
 pub struct GpuReplayExecutor<'a> {
     gpu: &'a Arc<GpuSim>,
 }
+
+/// High-bit namespace for slot-canonical buffer ids, keeping them disjoint
+/// from every recorded buffer id.
+const SLOT_ID_BASE: u64 = 1 << 63;
 
 impl<'a> GpuReplayExecutor<'a> {
     /// Creates an executor over a device.
@@ -42,10 +59,19 @@ impl PlanExecutor for GpuReplayExecutor<'_> {
         let mem = plan.mem();
         self.gpu
             .record_plan_memory(mem.peak_device_bytes, mem.allocations);
+        let binding = plan.slot_binding();
         for step in plan.steps() {
             match step {
                 PlanStep::Launch { stream, desc } => {
-                    self.gpu.launch(*stream, desc.clone(), || {});
+                    let mut desc = desc.clone();
+                    if !binding.is_empty() {
+                        for (buf, _) in desc.reads.iter_mut().chain(desc.writes.iter_mut()) {
+                            if let Some(&slot) = binding.get(buf) {
+                                *buf = fides_gpu_sim::BufferId(SLOT_ID_BASE | slot);
+                            }
+                        }
+                    }
+                    self.gpu.launch(*stream, desc, || {});
                 }
                 PlanStep::Fence { signals, waiters } => {
                     self.gpu.fence(signals, waiters);
@@ -90,5 +116,79 @@ mod tests {
         assert_eq!(stats.kernel_launches, 1);
         assert_eq!(stats.int32_ops, 200, "op totals preserved");
         assert!(gpu.sync() > t0, "replay advanced simulated time");
+    }
+
+    /// Satellite for ROADMAP item (b): liveness slot reuse must show up as
+    /// residency in the L2 model. Three LR-style iterations each allocate
+    /// fresh 32 MB intermediates (as recording does); slot-canonical replay
+    /// lets the iterations time-share L2 lines instead of dragging three
+    /// generations of buffer ids through the 72 MB cache.
+    #[test]
+    fn slot_binding_lowers_modeled_dram_traffic_on_lr_iterations() {
+        let mb = 32u64 << 20;
+        let fence_all = || GraphEvent::Fence {
+            signals: vec![0, 1, 2, 3],
+            waiters: vec![0, 1, 2, 3],
+        };
+        let mut events = Vec::new();
+        for it in 1..=3u64 {
+            let base = 1000 * it;
+            // Partial products: shared weights in, fresh 32 MB partials out.
+            for s in 0..4u64 {
+                events.push(GraphEvent::Launch {
+                    stream: s as usize,
+                    desc: KernelDesc::new(KernelKind::Elementwise)
+                        .read(BufferId(10 + s), mb)
+                        .write(BufferId(base + s), mb)
+                        .ops(1000),
+                });
+            }
+            events.push(fence_all());
+            // Reduction over the four partials.
+            let mut red = KernelDesc::new(KernelKind::BaseConv)
+                .write(BufferId(base + 90), mb)
+                .ops(1000);
+            for s in 0..4u64 {
+                red = red.read(BufferId(base + s), mb);
+            }
+            events.push(GraphEvent::Launch {
+                stream: 0,
+                desc: red,
+            });
+            events.push(fence_all());
+            // Elementwise tail producing this iteration's model update.
+            events.push(GraphEvent::Launch {
+                stream: 0,
+                desc: KernelDesc::new(KernelKind::SwitchModulus)
+                    .read(BufferId(base + 90), mb)
+                    .write(BufferId(base + 91), mb)
+                    .ops(1000),
+            });
+            events.push(fence_all());
+        }
+        let plan = Planner::new(PlanConfig::default()).plan(&ExecGraph::from_events(events));
+        assert!(
+            !plan.slot_binding().is_empty(),
+            "scheduler v2 plans carry a slot binding"
+        );
+        assert!(
+            plan.mem().reuse_rate() > 0.0,
+            "iterations must actually share slots for this shape to test anything"
+        );
+
+        let dram_bytes = |p: &ExecPlan| {
+            let gpu = GpuSim::new(DeviceSpec::rtx_4090(), ExecMode::CostOnly);
+            GpuReplayExecutor::new(&gpu).execute(p);
+            gpu.sync();
+            gpu.stats().dram_read_bytes
+        };
+        let pooled = dram_bytes(&plan);
+        let mut unbound = plan.clone();
+        unbound.slots.clear();
+        let verbatim = dram_bytes(&unbound);
+        assert!(
+            pooled < verbatim,
+            "slot residency must lower modeled DRAM traffic: pooled={pooled} verbatim={verbatim}"
+        );
     }
 }

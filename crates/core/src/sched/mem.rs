@@ -24,8 +24,18 @@
 //! need the allocator's internal event dependency, which the stream-ordered
 //! pool inserts on demand); the metric models the pool's steady-state
 //! footprint, not a worst-case racy bound.
+//!
+//! One distinction matters for the replay binding: a buffer whose **first
+//! touch is a read** was populated before the plan ran (a ciphertext limb,
+//! a key digit — storage the caller owns), so the pool never suballocates
+//! it. Those *external* buffers participate in the interval coloring (the
+//! counters model a pool that tracks everything the plan touches) but are
+//! excluded from the returned binding: at replay they keep their original
+//! ids, so L2 residency they accumulated in earlier plans survives. Only
+//! plan-created temporaries — first touch is a write — are presented to the
+//! device slot-canonically.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use fides_gpu_sim::BufferId;
 
@@ -59,30 +69,52 @@ impl MemPlan {
 /// Runs the liveness pass over planned steps. With `pool` set, expired
 /// slots are reused best-fit; otherwise every buffer allocates its own
 /// slot (the v1 baseline the gate compares against).
-pub(crate) fn analyze(steps: &[PlanStep], pool: bool) -> MemPlan {
-    // Footprints and live intervals in launch issue order.
+///
+/// Besides the [`MemPlan`] counters this returns the **buffer → slot
+/// binding** the coloring produced (empty without pooling): the replay
+/// executor presents slot-canonical buffer ids to the device so that slot
+/// reuse shows up as L2 residency — two buffers time-sharing one slot alias
+/// the same physical lines, exactly as a stream-ordered allocator's pool
+/// behaves. Buffers whose first touch is a read are external (born before
+/// the plan) and stay out of the binding: rewriting their ids would sever
+/// the L2 residency they carry across plan executions.
+pub(crate) fn analyze(steps: &[PlanStep], pool: bool) -> (MemPlan, HashMap<BufferId, u64>) {
+    // Footprints and live intervals in launch issue order. Reads are
+    // scanned before writes within a launch so an in-place operand whose
+    // first appearance is `read + write` classifies as external.
     let mut footprint: HashMap<BufferId, u64> = HashMap::new();
     let mut first: HashMap<BufferId, usize> = HashMap::new();
     let mut last: HashMap<BufferId, usize> = HashMap::new();
+    let mut external: HashSet<BufferId> = HashSet::new();
     let mut launch_idx = 0usize;
     for step in steps {
         if let PlanStep::Launch { desc, .. } = step {
-            for &(buf, bytes) in desc.reads.iter().chain(&desc.writes) {
-                let f = footprint.entry(buf).or_insert(0);
-                *f = (*f).max(bytes);
-                first.entry(buf).or_insert(launch_idx);
-                last.insert(buf, launch_idx);
+            for (is_read, accesses) in [(true, &desc.reads), (false, &desc.writes)] {
+                for &(buf, bytes) in accesses {
+                    let f = footprint.entry(buf).or_insert(0);
+                    *f = (*f).max(bytes);
+                    if let std::collections::hash_map::Entry::Vacant(e) = first.entry(buf) {
+                        e.insert(launch_idx);
+                        if is_read {
+                            external.insert(buf);
+                        }
+                    }
+                    last.insert(buf, launch_idx);
+                }
             }
             launch_idx += 1;
         }
     }
     let buffers = footprint.len() as u64;
     if !pool {
-        return MemPlan {
-            peak_device_bytes: footprint.values().sum(),
-            allocations: buffers,
-            buffers,
-        };
+        return (
+            MemPlan {
+                peak_device_bytes: footprint.values().sum(),
+                allocations: buffers,
+                buffers,
+            },
+            HashMap::new(),
+        );
     }
 
     // Deterministic event lists per launch index.
@@ -102,6 +134,7 @@ pub(crate) fn analyze(steps: &[PlanStep], pool: bool) -> MemPlan {
     // slot that fits is found by range query.
     let mut free: BTreeSet<(u64, u64)> = BTreeSet::new();
     let mut slot_of: HashMap<BufferId, (u64, u64)> = HashMap::new();
+    let mut binding: HashMap<BufferId, u64> = HashMap::new();
     let mut next_slot = 0u64;
     let mut allocations = 0u64;
     let mut pool_bytes = 0u64;
@@ -125,6 +158,9 @@ pub(crate) fn analyze(steps: &[PlanStep], pool: bool) -> MemPlan {
                     s
                 }
             };
+            if !external.contains(&buf) {
+                binding.insert(buf, slot.1);
+            }
             slot_of.insert(buf, slot);
         }
         for &buf in &deaths[i] {
@@ -133,11 +169,14 @@ pub(crate) fn analyze(steps: &[PlanStep], pool: bool) -> MemPlan {
             }
         }
     }
-    MemPlan {
-        peak_device_bytes: pool_bytes,
-        allocations,
-        buffers,
-    }
+    (
+        MemPlan {
+            peak_device_bytes: pool_bytes,
+            allocations,
+            buffers,
+        },
+        binding,
+    )
 }
 
 #[cfg(test)]
@@ -159,19 +198,23 @@ mod tests {
     #[test]
     fn disjoint_lifetimes_share_one_slot() {
         // Buffer 1 dies at launch 0; buffer 2 is born at launch 1 and fits
-        // in its slot.
+        // in its slot. Births are writes so the temporaries are slot-bound.
         let steps = vec![
-            launch(&[(1, 1024)], &[]),
-            launch(&[(2, 512)], &[]),
-            launch(&[(3, 256)], &[]),
+            launch(&[], &[(1, 1024)]),
+            launch(&[], &[(2, 512)]),
+            launch(&[], &[(3, 256)]),
         ];
-        let pooled = analyze(&steps, true);
+        let (pooled, binding) = analyze(&steps, true);
         assert_eq!(pooled.buffers, 3);
         assert_eq!(pooled.allocations, 1, "all three reuse the first slot");
         assert_eq!(pooled.peak_device_bytes, 1024);
-        let raw = analyze(&steps, false);
+        for b in [1u64, 2, 3] {
+            assert_eq!(binding[&BufferId(b)], 0, "all three bound to slot 0");
+        }
+        let (raw, raw_binding) = analyze(&steps, false);
         assert_eq!(raw.allocations, 3);
         assert_eq!(raw.peak_device_bytes, 1024 + 512 + 256);
+        assert!(raw_binding.is_empty(), "no binding without pooling");
         assert!(pooled.peak_device_bytes < raw.peak_device_bytes);
         assert!(pooled.reuse_rate() > 0.6);
     }
@@ -180,12 +223,13 @@ mod tests {
     fn overlapping_lifetimes_need_distinct_slots() {
         // Both buffers live across both launches: no reuse possible.
         let steps = vec![
-            launch(&[(1, 1024), (2, 1024)], &[]),
+            launch(&[], &[(1, 1024), (2, 1024)]),
             launch(&[(2, 1024), (1, 1024)], &[]),
         ];
-        let m = analyze(&steps, true);
+        let (m, binding) = analyze(&steps, true);
         assert_eq!(m.allocations, 2);
         assert_eq!(m.peak_device_bytes, 2048);
+        assert_ne!(binding[&BufferId(1)], binding[&BufferId(2)]);
     }
 
     #[test]
@@ -193,11 +237,16 @@ mod tests {
         // Buffer 1's last touch and buffer 2's first touch are the same
         // launch: they are concurrently live and must not share a slot.
         let steps = vec![
-            launch(&[(1, 1024)], &[]),
+            launch(&[], &[(1, 1024)]),
             launch(&[(1, 1024)], &[(2, 1024)]),
         ];
-        let m = analyze(&steps, true);
+        let (m, binding) = analyze(&steps, true);
         assert_eq!(m.allocations, 2);
+        assert_ne!(
+            binding[&BufferId(1)],
+            binding[&BufferId(2)],
+            "concurrently live buffers must not alias one slot"
+        );
     }
 
     #[test]
@@ -205,29 +254,61 @@ mod tests {
         // Slots of 100 and 1000 free up; a 150-byte buffer must take the
         // 1000 slot (best fit that holds it), leaving 100 free.
         let steps = vec![
-            launch(&[(1, 100), (2, 1000)], &[]),
+            launch(&[], &[(1, 100), (2, 1000)]),
             launch(&[], &[(3, 150)]),
             launch(&[], &[(4, 90)]),
         ];
-        let m = analyze(&steps, true);
+        let (m, binding) = analyze(&steps, true);
         assert_eq!(
             m.allocations, 2,
             "150 reuses the 1000 slot, 90 the 100 slot"
         );
         assert_eq!(m.peak_device_bytes, 1100);
+        assert_eq!(binding[&BufferId(3)], binding[&BufferId(2)]);
+        assert_eq!(binding[&BufferId(4)], binding[&BufferId(1)]);
+    }
+
+    #[test]
+    fn read_first_external_buffers_are_not_slot_bound() {
+        // Buffer 7's first touch is a read: it existed before the plan
+        // (caller-owned ciphertext storage), so the pool counts it but the
+        // replay binding must leave its id alone — rewriting it would
+        // disconnect the L2 residency it carries across plan executions.
+        // Buffer 8 is written first: a plan temporary, slot-bound.
+        let steps = vec![
+            launch(&[(7, 1024)], &[(8, 1024)]),
+            launch(&[(8, 1024)], &[]),
+        ];
+        let (m, binding) = analyze(&steps, true);
+        assert_eq!(m.buffers, 2, "external buffers still count");
+        assert_eq!(m.allocations, 2, "and still occupy a pool slot");
+        assert!(
+            !binding.contains_key(&BufferId(7)),
+            "read-first (external) buffer must keep its original id"
+        );
+        assert!(
+            binding.contains_key(&BufferId(8)),
+            "write-first temporary is slot-canonical"
+        );
+        // An in-place first touch (read + write of the same buffer in one
+        // launch) classifies as external too: the data pre-existed.
+        let steps = vec![launch(&[(9, 64)], &[(9, 64)])];
+        let (_, binding) = analyze(&steps, true);
+        assert!(!binding.contains_key(&BufferId(9)));
     }
 
     #[test]
     fn empty_plan_is_zero() {
-        let m = analyze(&[], true);
+        let (m, binding) = analyze(&[], true);
         assert_eq!(m, MemPlan::default());
         assert_eq!(m.reuse_rate(), 0.0);
+        assert!(binding.is_empty());
     }
 
     #[test]
     fn footprint_is_max_single_access() {
         let steps = vec![launch(&[(1, 100)], &[]), launch(&[(1, 900)], &[])];
-        let m = analyze(&steps, true);
+        let (m, _) = analyze(&steps, true);
         assert_eq!(m.peak_device_bytes, 900);
     }
 }

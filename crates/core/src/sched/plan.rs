@@ -107,6 +107,10 @@ pub struct ExecPlan {
     pub(crate) steps: Vec<PlanStep>,
     pub(crate) stats: SchedStats,
     pub(crate) mem: super::mem::MemPlan,
+    /// Buffer → liveness-pool slot binding (empty without the pooling
+    /// pass); lets the replay executor alias slot-sharing buffers in the
+    /// device's L2 residency model.
+    pub(crate) slots: std::collections::HashMap<fides_gpu_sim::BufferId, u64>,
 }
 
 impl ExecPlan {
@@ -119,6 +123,12 @@ impl ExecPlan {
     /// with scheduler v2, raw per-buffer footprint without).
     pub fn mem(&self) -> &super::mem::MemPlan {
         &self.mem
+    }
+
+    /// The buffer → pool-slot binding the liveness pass colored (empty
+    /// when the plan was produced without pooling, i.e. scheduler v1).
+    pub fn slot_binding(&self) -> &std::collections::HashMap<fides_gpu_sim::BufferId, u64> {
+        &self.slots
     }
 
     /// Number of kernel launches the plan issues.
@@ -181,7 +191,9 @@ impl Planner {
         } else {
             self.plan_modulo(graph)
         };
-        plan.mem = super::mem::analyze(&plan.steps, self.cfg.dep_schedule);
+        let (mem, slots) = super::mem::analyze(&plan.steps, self.cfg.dep_schedule);
+        plan.mem = mem;
+        plan.slots = slots;
         plan
     }
 
@@ -273,6 +285,7 @@ impl Planner {
                 ..SchedStats::default()
             },
             mem: Default::default(),
+            slots: Default::default(),
         }
     }
 }

@@ -32,6 +32,7 @@ mod ntt2d;
 mod poly;
 mod prime;
 mod sampling;
+pub mod simd;
 
 pub use cplx::{special_fft, special_ifft, Complex64};
 pub use modular::{Modulus, MontgomeryOps, ShoupPrecomp};
@@ -45,3 +46,4 @@ pub use prime::{generate_ntt_primes, generate_scaling_primes, is_prime_u64, next
 pub use sampling::{
     sample_gaussian_coeffs, sample_ternary_coeffs, sample_uniform_poly, signed_to_residues,
 };
+pub use simd::{set_simd_enabled, simd_enabled};

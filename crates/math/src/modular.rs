@@ -215,6 +215,101 @@ impl Modulus {
             v as i64
         }
     }
+
+    /// Four-lane [`Self::reduce_u128`]: the identical improved-Barrett
+    /// reduction applied independently per lane, with the final conditional
+    /// subtraction expressed branchlessly so the four lanes stay straight-line
+    /// code the autovectorizer can fuse. Bit-identical to the scalar form.
+    #[inline(always)]
+    pub fn reduce_u128_x4(&self, x: [u128; 4]) -> [u64; 4] {
+        let p = self.value;
+        let (r0, r1) = self.ratio;
+        let mut out = [0u64; 4];
+        for l in 0..4 {
+            let x0 = x[l] as u64;
+            let x1 = (x[l] >> 64) as u64;
+            let a_hi = ((x0 as u128 * r0 as u128) >> 64) as u64;
+            let b = x0 as u128 * r1 as u128;
+            let c = x1 as u128 * r0 as u128;
+            let s1 = a_hi as u128 + (b as u64) as u128 + (c as u64) as u128;
+            let q_lo = ((b >> 64) as u64)
+                .wrapping_add((c >> 64) as u64)
+                .wrapping_add((s1 >> 64) as u64)
+                .wrapping_add(x1.wrapping_mul(r1));
+            let r = x0.wrapping_sub(q_lo.wrapping_mul(p));
+            out[l] = csub(r, p);
+        }
+        out
+    }
+
+    /// Four-lane [`Self::add_mod`] (operands already in `[0, p)`).
+    #[inline(always)]
+    pub fn add_mod_x4(&self, a: [u64; 4], b: [u64; 4]) -> [u64; 4] {
+        let p = self.value;
+        let mut out = [0u64; 4];
+        for l in 0..4 {
+            debug_assert!(a[l] < p && b[l] < p);
+            out[l] = csub(a[l] + b[l], p);
+        }
+        out
+    }
+
+    /// Four-lane [`Self::sub_mod`] (operands already in `[0, p)`).
+    #[inline(always)]
+    pub fn sub_mod_x4(&self, a: [u64; 4], b: [u64; 4]) -> [u64; 4] {
+        let p = self.value;
+        let mut out = [0u64; 4];
+        for l in 0..4 {
+            debug_assert!(a[l] < p && b[l] < p);
+            // `a - b`, lending `p` back when the subtraction borrows — the
+            // branchless twin of the scalar `if a >= b` form.
+            let d = a[l].wrapping_sub(b[l]);
+            out[l] = d.wrapping_add(((a[l] < b[l]) as u64).wrapping_neg() & p);
+        }
+        out
+    }
+
+    /// Four-lane [`Self::neg_mod`] (operands already in `[0, p)`).
+    #[inline(always)]
+    pub fn neg_mod_x4(&self, a: [u64; 4]) -> [u64; 4] {
+        let p = self.value;
+        let mut out = [0u64; 4];
+        for l in 0..4 {
+            debug_assert!(a[l] < p);
+            out[l] = (p - a[l]) & ((a[l] != 0) as u64).wrapping_neg();
+        }
+        out
+    }
+
+    /// Four-lane Barrett [`Self::mul_mod`].
+    #[inline(always)]
+    pub fn mul_mod_x4(&self, a: [u64; 4], b: [u64; 4]) -> [u64; 4] {
+        let mut wide = [0u128; 4];
+        for l in 0..4 {
+            wide[l] = a[l] as u128 * b[l] as u128;
+        }
+        self.reduce_u128_x4(wide)
+    }
+
+    /// Four-lane fused multiply-add [`Self::mul_add_mod`]:
+    /// `a[l] * b[l] + c[l] mod p` per lane.
+    #[inline(always)]
+    pub fn mul_add_mod_x4(&self, a: [u64; 4], b: [u64; 4], c: [u64; 4]) -> [u64; 4] {
+        let mut wide = [0u128; 4];
+        for l in 0..4 {
+            wide[l] = a[l] as u128 * b[l] as u128 + c[l] as u128;
+        }
+        self.reduce_u128_x4(wide)
+    }
+}
+
+/// Branchless conditional subtraction: `if r >= p { r - p } else { r }`.
+///
+/// Same bits as the branchy form for every input; the mask shape is what lets
+/// the compiler keep four lanes in flight without a cmov per lane.
+#[inline(always)]
+fn csub(r: u64, p: u64) -> u64 {
+    r.wrapping_sub(((r >= p) as u64).wrapping_neg() & p)
 }
 
 /// Shoup precomputation for multiplying by a fixed constant `w < p`.
@@ -261,6 +356,24 @@ impl ShoupPrecomp {
         } else {
             r
         }
+    }
+
+    /// Four-lane [`Self::mul`]: the same Shoup multiplication per lane
+    /// (accepting any `u64` per lane, like the scalar form), branchless final
+    /// subtraction. Bit-identical to four scalar calls.
+    #[inline(always)]
+    pub fn mul_x4(&self, x: [u64; 4], modulus: &Modulus) -> [u64; 4] {
+        let p = modulus.value();
+        let mut out = [0u64; 4];
+        for l in 0..4 {
+            let q = ((self.quotient as u128 * x[l] as u128) >> 64) as u64;
+            let r = self
+                .operand
+                .wrapping_mul(x[l])
+                .wrapping_sub(q.wrapping_mul(p));
+            out[l] = csub(r, p);
+        }
+        out
     }
 }
 
@@ -310,6 +423,31 @@ impl<'a> MontgomeryOps<'a> {
     #[inline(always)]
     pub fn mul(&self, a: u64, b: u64) -> u64 {
         self.redc(a as u128 * b as u128)
+    }
+
+    /// Four-lane [`Self::redc`]: identical REDC per lane, branchless final
+    /// subtraction. Bit-identical to four scalar calls.
+    #[inline(always)]
+    pub fn redc_x4(&self, t: [u128; 4]) -> [u64; 4] {
+        let p = self.modulus.value();
+        let neg_inv = self.modulus.mont_neg_inv;
+        let mut out = [0u64; 4];
+        for l in 0..4 {
+            let m = (t[l] as u64).wrapping_mul(neg_inv);
+            let u = ((t[l] + m as u128 * p as u128) >> 64) as u64;
+            out[l] = csub(u, p);
+        }
+        out
+    }
+
+    /// Four-lane Montgomery [`Self::mul`].
+    #[inline(always)]
+    pub fn mul_x4(&self, a: [u64; 4], b: [u64; 4]) -> [u64; 4] {
+        let mut wide = [0u128; 4];
+        for l in 0..4 {
+            wide[l] = a[l] as u128 * b[l] as u128;
+        }
+        self.redc_x4(wide)
     }
 }
 

@@ -161,29 +161,14 @@ impl NttTable {
     ///
     /// Panics if `a.len() != N`.
     pub fn forward_inplace(&self, a: &mut [u64]) {
-        assert_eq!(a.len(), self.n);
-        let m = &self.modulus;
-        let mut half = self.n / 2;
-        let mut groups = 1usize;
-        while groups < self.n {
-            for i in 0..groups {
-                let w = &self.root_powers_shoup[groups + i];
-                let base = 2 * i * half;
-                for j in base..base + half {
-                    let u = a[j];
-                    let v = w.mul(a[j + half], m);
-                    a[j] = m.add_mod(u, v);
-                    a[j + half] = m.sub_mod(u, v);
-                }
-            }
-            groups <<= 1;
-            half >>= 1;
-        }
+        self.forward_stages(a, 0, self.log_n);
     }
 
     /// Forward NTT restricted to the butterfly stages `[stage_begin,
     /// stage_end)` (stage 0 is the first CT stage). Used by the
     /// hierarchical/2D NTT to split the transform into two memory passes.
+    /// The full in-place transform delegates here, so the butterfly kernel —
+    /// including its `u64x4` slab form — lives in exactly one place.
     pub(crate) fn forward_stages(&self, a: &mut [u64], stage_begin: u32, stage_end: u32) {
         assert_eq!(a.len(), self.n);
         assert!(stage_end <= self.log_n && stage_begin <= stage_end);
@@ -194,12 +179,8 @@ impl NttTable {
             for i in 0..groups {
                 let w = &self.root_powers_shoup[groups + i];
                 let base = 2 * i * half;
-                for j in base..base + half {
-                    let u = a[j];
-                    let v = w.mul(a[j + half], m);
-                    a[j] = m.add_mod(u, v);
-                    a[j + half] = m.sub_mod(u, v);
-                }
+                let (lo, hi) = a[base..base + 2 * half].split_at_mut(half);
+                crate::simd::ct_butterfly(m, w, lo, hi);
             }
             groups <<= 1;
             half >>= 1;
@@ -209,6 +190,8 @@ impl NttTable {
     /// Inverse NTT restricted to Gentleman–Sande stages `[stage_begin,
     /// stage_end)`, where stage 0 is the **first** GS stage (group count
     /// `N/2`). Used by the hierarchical/2D iNTT. No `N^{-1}` scaling.
+    /// The full in-place transforms delegate here, mirroring
+    /// [`Self::forward_stages`].
     pub(crate) fn inverse_stages(&self, a: &mut [u64], stage_begin: u32, stage_end: u32) {
         assert_eq!(a.len(), self.n);
         assert!(stage_end <= self.log_n && stage_begin <= stage_end);
@@ -219,12 +202,8 @@ impl NttTable {
             for i in 0..groups {
                 let w = &self.inv_root_powers_shoup[groups + i];
                 let base = 2 * i * half;
-                for j in base..base + half {
-                    let u = a[j];
-                    let v = a[j + half];
-                    a[j] = m.add_mod(u, v);
-                    a[j + half] = w.mul(m.sub_mod(u, v), m);
-                }
+                let (lo, hi) = a[base..base + 2 * half].split_at_mut(half);
+                crate::simd::gs_butterfly(m, w, lo, hi);
             }
             half <<= 1;
             groups >>= 1;
@@ -239,51 +218,15 @@ impl NttTable {
     ///
     /// Panics if `a.len() != N`.
     pub fn inverse_inplace(&self, a: &mut [u64]) {
-        assert_eq!(a.len(), self.n);
-        let m = &self.modulus;
-        let mut half = 1usize;
-        let mut groups = self.n / 2;
-        while groups >= 1 {
-            for i in 0..groups {
-                let w = &self.inv_root_powers_shoup[groups + i];
-                let base = 2 * i * half;
-                for j in base..base + half {
-                    let u = a[j];
-                    let v = a[j + half];
-                    a[j] = m.add_mod(u, v);
-                    a[j + half] = w.mul(m.sub_mod(u, v), m);
-                }
-            }
-            half <<= 1;
-            groups >>= 1;
-        }
-        for x in a.iter_mut() {
-            *x = self.n_inv.mul(*x, m);
-        }
+        self.inverse_stages(a, 0, self.log_n);
+        crate::simd::shoup_mul_assign(&self.modulus, &self.n_inv, a);
     }
 
     /// Inverse NTT without the trailing `N^{-1}` scaling (callers can fuse the
     /// scaling into a subsequent elementwise kernel, as FIDESlib's fusion
     /// machinery does).
     pub fn inverse_inplace_no_scale(&self, a: &mut [u64]) {
-        assert_eq!(a.len(), self.n);
-        let m = &self.modulus;
-        let mut half = 1usize;
-        let mut groups = self.n / 2;
-        while groups >= 1 {
-            for i in 0..groups {
-                let w = &self.inv_root_powers_shoup[groups + i];
-                let base = 2 * i * half;
-                for j in base..base + half {
-                    let u = a[j];
-                    let v = a[j + half];
-                    a[j] = m.add_mod(u, v);
-                    a[j + half] = w.mul(m.sub_mod(u, v), m);
-                }
-            }
-            half <<= 1;
-            groups >>= 1;
-        }
+        self.inverse_stages(a, 0, self.log_n);
     }
 
     /// The Shoup-precomputed `N^{-1}` constant (for fused scaling).

@@ -35,84 +35,60 @@ pub trait PolyOps {
     fn neg_assign(&self, a: &mut [u64]);
 }
 
+// Every elementwise loop routes through the `simd` slab module, which holds
+// both the scalar reference loop and (behind the `simd` feature +
+// `FIDES_SIMD` kill-switch) the bit-identical `u64x4` slab form.
 impl PolyOps for Modulus {
     #[inline]
     fn add_slices(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
-        assert!(a.len() == b.len() && a.len() == out.len());
-        for i in 0..a.len() {
-            out[i] = self.add_mod(a[i], b[i]);
-        }
+        crate::simd::add_into(self, a, b, out);
     }
 
     #[inline]
     fn add_assign_slices(&self, a: &mut [u64], b: &[u64]) {
-        assert_eq!(a.len(), b.len());
-        for (x, &y) in a.iter_mut().zip(b) {
-            *x = self.add_mod(*x, y);
-        }
+        crate::simd::add_assign(self, a, b);
     }
 
     #[inline]
     fn sub_slices(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
-        assert!(a.len() == b.len() && a.len() == out.len());
-        for i in 0..a.len() {
-            out[i] = self.sub_mod(a[i], b[i]);
-        }
+        crate::simd::sub_into(self, a, b, out);
     }
 
     #[inline]
     fn sub_assign_slices(&self, a: &mut [u64], b: &[u64]) {
-        assert_eq!(a.len(), b.len());
-        for (x, &y) in a.iter_mut().zip(b) {
-            *x = self.sub_mod(*x, y);
-        }
+        crate::simd::sub_assign(self, a, b);
     }
 
     #[inline]
     fn mul_slices(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
-        assert!(a.len() == b.len() && a.len() == out.len());
-        for i in 0..a.len() {
-            out[i] = self.mul_mod(a[i], b[i]);
-        }
+        crate::simd::mul_into(self, a, b, out);
     }
 
     #[inline]
     fn mul_assign_slices(&self, a: &mut [u64], b: &[u64]) {
-        assert_eq!(a.len(), b.len());
-        for (x, &y) in a.iter_mut().zip(b) {
-            *x = self.mul_mod(*x, y);
-        }
+        crate::simd::mul_assign(self, a, b);
     }
 
     #[inline]
     fn mul_add_assign_slices(&self, acc: &mut [u64], a: &[u64], b: &[u64]) {
-        assert!(acc.len() == a.len() && a.len() == b.len());
-        for i in 0..acc.len() {
-            acc[i] = self.reduce_u128(a[i] as u128 * b[i] as u128 + acc[i] as u128);
-        }
+        crate::simd::mul_add_assign(self, acc, a, b);
     }
 
     #[inline]
     fn scalar_mul_assign(&self, a: &mut [u64], c: u64) {
         let c = self.reduce_u64(c);
-        for x in a.iter_mut() {
-            *x = self.mul_mod(*x, c);
-        }
+        crate::simd::scalar_mul_assign(self, a, c);
     }
 
     #[inline]
     fn scalar_add_assign(&self, a: &mut [u64], c: u64) {
         let c = self.reduce_u64(c);
-        for x in a.iter_mut() {
-            *x = self.add_mod(*x, c);
-        }
+        crate::simd::scalar_add_assign(self, a, c);
     }
 
     #[inline]
     fn neg_assign(&self, a: &mut [u64]) {
-        for x in a.iter_mut() {
-            *x = self.neg_mod(*x);
-        }
+        crate::simd::neg_assign(self, a);
     }
 }
 

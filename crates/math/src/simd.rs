@@ -1,0 +1,475 @@
+//! Portable `u64x4` slab kernels for the hot limb loops.
+//!
+//! This module is the single dispatch point between the scalar reference loops
+//! and the 4-lane slab forms of every modular kernel (Barrett/Shoup
+//! elementwise ops, NTT butterflies, the fused rescale/ModDown tail). The lane
+//! primitives live on [`Modulus`]/[`ShoupPrecomp`] as `_x4` methods: plain
+//! `[u64; 4]` arrays with straight-line, branchless per-lane code — no
+//! `std::arch`, no nightly — shaped so the compiler autovectorizes the narrow
+//! arithmetic and keeps four reduction chains in flight where it cannot.
+//!
+//! **Bit-identity contract.** Every slab runs the *same reduction algorithm*
+//! per lane as its scalar twin (the branchless conditional subtraction is an
+//! algebraic rewrite, not an approximation), so results are bit-identical
+//! whether the slab path is compiled in, enabled, or disabled. The proptest
+//! suite in `tests/simd_identity.rs` pins this across full-range inputs.
+//!
+//! **Dispatch.** The vector path is compiled only under the `simd` cargo
+//! feature and consulted at runtime through [`simd_enabled`]: setting
+//! `FIDES_SIMD=0` in the environment (or calling
+//! [`set_simd_enabled`]`(Some(false))` in-process) falls back to the scalar
+//! loops. Without the feature the functions here *are* the scalar loops, so
+//! call sites in `poly.rs`/`ntt.rs`/`fides-rns`/`fides-core` route through
+//! this module unconditionally and carry no `cfg` of their own.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::modular::{Modulus, ShoupPrecomp};
+
+/// Tri-state kill-switch cache: 0 = unresolved, 1 = on, 2 = off.
+static SIMD_STATE: AtomicU8 = AtomicU8::new(0);
+
+/// Whether the 4-lane slab path is active.
+///
+/// `false` whenever the crate was built without the `simd` feature. With the
+/// feature, defaults to `true` unless the environment sets `FIDES_SIMD=0`
+/// (read once, then cached) or [`set_simd_enabled`] forced a value.
+#[inline]
+pub fn simd_enabled() -> bool {
+    if !cfg!(feature = "simd") {
+        return false;
+    }
+    match SIMD_STATE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let on = std::env::var("FIDES_SIMD").map_or(true, |v| v != "0");
+            SIMD_STATE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Forces the slab path on/off in-process (`Some`), or resets to the
+/// `FIDES_SIMD` environment default (`None`).
+///
+/// Used by the kernel benchmark to time both paths in one process and by the
+/// determinism suites to sweep the simd axis. A `Some(true)` still yields a
+/// scalar run when the `simd` feature is not compiled in.
+pub fn set_simd_enabled(v: Option<bool>) {
+    let state = match v {
+        None => 0,
+        Some(true) => 1,
+        Some(false) => 2,
+    };
+    SIMD_STATE.store(state, Ordering::Relaxed);
+}
+
+/// Loads a 4-element window as a lane array.
+#[cfg(feature = "simd")]
+#[inline(always)]
+fn lanes(s: &[u64]) -> [u64; 4] {
+    [s[0], s[1], s[2], s[3]]
+}
+
+/// `out[i] = a[i] + b[i] mod p`.
+pub fn add_into(m: &Modulus, a: &[u64], b: &[u64], out: &mut [u64]) {
+    assert!(a.len() == b.len() && a.len() == out.len());
+    #[cfg(feature = "simd")]
+    if simd_enabled() {
+        let mut co = out.chunks_exact_mut(4);
+        let mut ca = a.chunks_exact(4);
+        let mut cb = b.chunks_exact(4);
+        for ((xo, xa), xb) in (&mut co).zip(&mut ca).zip(&mut cb) {
+            xo.copy_from_slice(&m.add_mod_x4(lanes(xa), lanes(xb)));
+        }
+        let to = co.into_remainder();
+        for ((o, &x), &y) in to.iter_mut().zip(ca.remainder()).zip(cb.remainder()) {
+            *o = m.add_mod(x, y);
+        }
+        return;
+    }
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = m.add_mod(x, y);
+    }
+}
+
+/// `a[i] += b[i] mod p`.
+pub fn add_assign(m: &Modulus, a: &mut [u64], b: &[u64]) {
+    assert_eq!(a.len(), b.len());
+    #[cfg(feature = "simd")]
+    if simd_enabled() {
+        let mut ca = a.chunks_exact_mut(4);
+        let mut cb = b.chunks_exact(4);
+        for (xa, xb) in (&mut ca).zip(&mut cb) {
+            let r = m.add_mod_x4(lanes(xa), lanes(xb));
+            xa.copy_from_slice(&r);
+        }
+        for (x, &y) in ca.into_remainder().iter_mut().zip(cb.remainder()) {
+            *x = m.add_mod(*x, y);
+        }
+        return;
+    }
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x = m.add_mod(*x, y);
+    }
+}
+
+/// `out[i] = a[i] - b[i] mod p`.
+pub fn sub_into(m: &Modulus, a: &[u64], b: &[u64], out: &mut [u64]) {
+    assert!(a.len() == b.len() && a.len() == out.len());
+    #[cfg(feature = "simd")]
+    if simd_enabled() {
+        let mut co = out.chunks_exact_mut(4);
+        let mut ca = a.chunks_exact(4);
+        let mut cb = b.chunks_exact(4);
+        for ((xo, xa), xb) in (&mut co).zip(&mut ca).zip(&mut cb) {
+            xo.copy_from_slice(&m.sub_mod_x4(lanes(xa), lanes(xb)));
+        }
+        let to = co.into_remainder();
+        for ((o, &x), &y) in to.iter_mut().zip(ca.remainder()).zip(cb.remainder()) {
+            *o = m.sub_mod(x, y);
+        }
+        return;
+    }
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = m.sub_mod(x, y);
+    }
+}
+
+/// `a[i] -= b[i] mod p`.
+pub fn sub_assign(m: &Modulus, a: &mut [u64], b: &[u64]) {
+    assert_eq!(a.len(), b.len());
+    #[cfg(feature = "simd")]
+    if simd_enabled() {
+        let mut ca = a.chunks_exact_mut(4);
+        let mut cb = b.chunks_exact(4);
+        for (xa, xb) in (&mut ca).zip(&mut cb) {
+            let r = m.sub_mod_x4(lanes(xa), lanes(xb));
+            xa.copy_from_slice(&r);
+        }
+        for (x, &y) in ca.into_remainder().iter_mut().zip(cb.remainder()) {
+            *x = m.sub_mod(*x, y);
+        }
+        return;
+    }
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x = m.sub_mod(*x, y);
+    }
+}
+
+/// `out[i] = a[i] * b[i] mod p` (Barrett).
+pub fn mul_into(m: &Modulus, a: &[u64], b: &[u64], out: &mut [u64]) {
+    assert!(a.len() == b.len() && a.len() == out.len());
+    #[cfg(feature = "simd")]
+    if simd_enabled() {
+        let mut co = out.chunks_exact_mut(4);
+        let mut ca = a.chunks_exact(4);
+        let mut cb = b.chunks_exact(4);
+        for ((xo, xa), xb) in (&mut co).zip(&mut ca).zip(&mut cb) {
+            xo.copy_from_slice(&m.mul_mod_x4(lanes(xa), lanes(xb)));
+        }
+        let to = co.into_remainder();
+        for ((o, &x), &y) in to.iter_mut().zip(ca.remainder()).zip(cb.remainder()) {
+            *o = m.mul_mod(x, y);
+        }
+        return;
+    }
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = m.mul_mod(x, y);
+    }
+}
+
+/// `a[i] *= b[i] mod p` (Barrett).
+pub fn mul_assign(m: &Modulus, a: &mut [u64], b: &[u64]) {
+    assert_eq!(a.len(), b.len());
+    #[cfg(feature = "simd")]
+    if simd_enabled() {
+        let mut ca = a.chunks_exact_mut(4);
+        let mut cb = b.chunks_exact(4);
+        for (xa, xb) in (&mut ca).zip(&mut cb) {
+            let r = m.mul_mod_x4(lanes(xa), lanes(xb));
+            xa.copy_from_slice(&r);
+        }
+        for (x, &y) in ca.into_remainder().iter_mut().zip(cb.remainder()) {
+            *x = m.mul_mod(*x, y);
+        }
+        return;
+    }
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x = m.mul_mod(*x, y);
+    }
+}
+
+/// `acc[i] = a[i] * b[i] + acc[i] mod p` — the key-switch inner-product slab.
+pub fn mul_add_assign(m: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64]) {
+    assert!(acc.len() == a.len() && a.len() == b.len());
+    #[cfg(feature = "simd")]
+    if simd_enabled() {
+        let mut cc = acc.chunks_exact_mut(4);
+        let mut ca = a.chunks_exact(4);
+        let mut cb = b.chunks_exact(4);
+        for ((xc, xa), xb) in (&mut cc).zip(&mut ca).zip(&mut cb) {
+            let r = m.mul_add_mod_x4(lanes(xa), lanes(xb), lanes(xc));
+            xc.copy_from_slice(&r);
+        }
+        let tc = cc.into_remainder();
+        for ((x, &y), &z) in tc.iter_mut().zip(ca.remainder()).zip(cb.remainder()) {
+            *x = m.mul_add_mod(y, z, *x);
+        }
+        return;
+    }
+    for ((x, &y), &z) in acc.iter_mut().zip(a).zip(b) {
+        *x = m.mul_add_mod(y, z, *x);
+    }
+}
+
+/// `a[i] *= c mod p` for a runtime scalar `c` already in `[0, p)` (Barrett).
+pub fn scalar_mul_assign(m: &Modulus, a: &mut [u64], c: u64) {
+    #[cfg(feature = "simd")]
+    if simd_enabled() {
+        let c4 = [c; 4];
+        let mut ca = a.chunks_exact_mut(4);
+        for xa in &mut ca {
+            let r = m.mul_mod_x4(lanes(xa), c4);
+            xa.copy_from_slice(&r);
+        }
+        for x in ca.into_remainder().iter_mut() {
+            *x = m.mul_mod(*x, c);
+        }
+        return;
+    }
+    for x in a.iter_mut() {
+        *x = m.mul_mod(*x, c);
+    }
+}
+
+/// `a[i] += c mod p` for a scalar `c` already in `[0, p)`.
+pub fn scalar_add_assign(m: &Modulus, a: &mut [u64], c: u64) {
+    #[cfg(feature = "simd")]
+    if simd_enabled() {
+        let c4 = [c; 4];
+        let mut ca = a.chunks_exact_mut(4);
+        for xa in &mut ca {
+            let r = m.add_mod_x4(lanes(xa), c4);
+            xa.copy_from_slice(&r);
+        }
+        for x in ca.into_remainder().iter_mut() {
+            *x = m.add_mod(*x, c);
+        }
+        return;
+    }
+    for x in a.iter_mut() {
+        *x = m.add_mod(*x, c);
+    }
+}
+
+/// `a[i] = -a[i] mod p`.
+pub fn neg_assign(m: &Modulus, a: &mut [u64]) {
+    #[cfg(feature = "simd")]
+    if simd_enabled() {
+        let mut ca = a.chunks_exact_mut(4);
+        for xa in &mut ca {
+            let r = m.neg_mod_x4(lanes(xa));
+            xa.copy_from_slice(&r);
+        }
+        for x in ca.into_remainder().iter_mut() {
+            *x = m.neg_mod(*x);
+        }
+        return;
+    }
+    for x in a.iter_mut() {
+        *x = m.neg_mod(*x);
+    }
+}
+
+/// `x[i] = w * x[i] mod p` for a Shoup-precomputed constant `w` — the
+/// twiddle/`N^{-1}`/base-conversion scaling slab.
+pub fn shoup_mul_assign(m: &Modulus, w: &ShoupPrecomp, x: &mut [u64]) {
+    #[cfg(feature = "simd")]
+    if simd_enabled() {
+        let mut cx = x.chunks_exact_mut(4);
+        for xa in &mut cx {
+            let r = w.mul_x4(lanes(xa), m);
+            xa.copy_from_slice(&r);
+        }
+        for v in cx.into_remainder().iter_mut() {
+            *v = w.mul(*v, m);
+        }
+        return;
+    }
+    for v in x.iter_mut() {
+        *v = w.mul(*v, m);
+    }
+}
+
+/// `out[i] = w * x[i] mod p` for a Shoup-precomputed constant `w`.
+pub fn shoup_mul_into(m: &Modulus, w: &ShoupPrecomp, x: &[u64], out: &mut [u64]) {
+    assert_eq!(x.len(), out.len());
+    #[cfg(feature = "simd")]
+    if simd_enabled() {
+        let mut co = out.chunks_exact_mut(4);
+        let mut cx = x.chunks_exact(4);
+        for (xo, xa) in (&mut co).zip(&mut cx) {
+            xo.copy_from_slice(&w.mul_x4(lanes(xa), m));
+        }
+        for (o, &v) in co.into_remainder().iter_mut().zip(cx.remainder()) {
+            *o = w.mul(v, m);
+        }
+        return;
+    }
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o = w.mul(v, m);
+    }
+}
+
+/// `x[i] = w * (x[i] - c[i]) mod p` — the fused Rescale/ModDown tail
+/// (subtract the switched last-limb contribution, then multiply by the
+/// Shoup-precomputed `q_last^{-1}`).
+pub fn sub_shoup_mul_assign(m: &Modulus, w: &ShoupPrecomp, x: &mut [u64], c: &[u64]) {
+    assert_eq!(x.len(), c.len());
+    #[cfg(feature = "simd")]
+    if simd_enabled() {
+        let mut cx = x.chunks_exact_mut(4);
+        let mut cc = c.chunks_exact(4);
+        for (xa, xc) in (&mut cx).zip(&mut cc) {
+            let r = w.mul_x4(m.sub_mod_x4(lanes(xa), lanes(xc)), m);
+            xa.copy_from_slice(&r);
+        }
+        for (x, &y) in cx.into_remainder().iter_mut().zip(cc.remainder()) {
+            *x = w.mul(m.sub_mod(*x, y), m);
+        }
+        return;
+    }
+    for (x, &y) in x.iter_mut().zip(c) {
+        *x = w.mul(m.sub_mod(*x, y), m);
+    }
+}
+
+/// One Cooley–Tukey butterfly group: `lo`/`hi` are the two half-group slices,
+/// `w` the group twiddle. Per pair: `v = w·hi; (lo, hi) = (lo + v, lo - v)`.
+///
+/// Processes 4 coefficient pairs per step on the slab path; groups shorter
+/// than 4 pairs (the last `log2(4)` stages) fall through to the scalar tail.
+pub fn ct_butterfly(m: &Modulus, w: &ShoupPrecomp, lo: &mut [u64], hi: &mut [u64]) {
+    assert_eq!(lo.len(), hi.len());
+    #[cfg(feature = "simd")]
+    if simd_enabled() {
+        let mut cl = lo.chunks_exact_mut(4);
+        let mut ch = hi.chunks_exact_mut(4);
+        for (xl, xh) in (&mut cl).zip(&mut ch) {
+            let u = lanes(xl);
+            let v = w.mul_x4(lanes(xh), m);
+            xl.copy_from_slice(&m.add_mod_x4(u, v));
+            xh.copy_from_slice(&m.sub_mod_x4(u, v));
+        }
+        let tl = cl.into_remainder();
+        let th = ch.into_remainder();
+        for (l, h) in tl.iter_mut().zip(th.iter_mut()) {
+            let u = *l;
+            let v = w.mul(*h, m);
+            *l = m.add_mod(u, v);
+            *h = m.sub_mod(u, v);
+        }
+        return;
+    }
+    for (l, h) in lo.iter_mut().zip(hi.iter_mut()) {
+        let u = *l;
+        let v = w.mul(*h, m);
+        *l = m.add_mod(u, v);
+        *h = m.sub_mod(u, v);
+    }
+}
+
+/// One Gentleman–Sande butterfly group. Per pair:
+/// `(lo, hi) = (lo + hi, w·(lo - hi))`.
+pub fn gs_butterfly(m: &Modulus, w: &ShoupPrecomp, lo: &mut [u64], hi: &mut [u64]) {
+    assert_eq!(lo.len(), hi.len());
+    #[cfg(feature = "simd")]
+    if simd_enabled() {
+        let mut cl = lo.chunks_exact_mut(4);
+        let mut ch = hi.chunks_exact_mut(4);
+        for (xl, xh) in (&mut cl).zip(&mut ch) {
+            let u = lanes(xl);
+            let v = lanes(xh);
+            xl.copy_from_slice(&m.add_mod_x4(u, v));
+            xh.copy_from_slice(&w.mul_x4(m.sub_mod_x4(u, v), m));
+        }
+        let tl = cl.into_remainder();
+        let th = ch.into_remainder();
+        for (l, h) in tl.iter_mut().zip(th.iter_mut()) {
+            let u = *l;
+            let v = *h;
+            *l = m.add_mod(u, v);
+            *h = w.mul(m.sub_mod(u, v), m);
+        }
+        return;
+    }
+    for (l, h) in lo.iter_mut().zip(hi.iter_mut()) {
+        let u = *l;
+        let v = *h;
+        *l = m.add_mod(u, v);
+        *h = w.mul(m.sub_mod(u, v), m);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poly(n: usize, p: u64, seed: u64) -> Vec<u64> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s % p
+            })
+            .collect()
+    }
+
+    /// Odd lengths exercise the scalar tail; the slab and scalar paths must
+    /// agree bit for bit regardless of the kill-switch state.
+    #[test]
+    fn slabs_match_scalar_loops_including_tails() {
+        let m = Modulus::new(4611686018326724609);
+        let p = m.value();
+        for n in [0usize, 1, 3, 4, 7, 64, 65] {
+            let a = poly(n, p, 0x11 + n as u64);
+            let b = poly(n, p, 0x22 + n as u64);
+            let w = ShoupPrecomp::new(a.first().copied().unwrap_or(5), &m);
+
+            for &force in &[Some(false), Some(true)] {
+                set_simd_enabled(force);
+                let mut out = vec![0u64; n];
+                mul_into(&m, &a, &b, &mut out);
+                for i in 0..n {
+                    assert_eq!(out[i], m.mul_mod(a[i], b[i]));
+                }
+                let mut acc = a.clone();
+                mul_add_assign(&m, &mut acc, &a, &b);
+                for i in 0..n {
+                    assert_eq!(acc[i], m.mul_add_mod(a[i], b[i], a[i]));
+                }
+                let mut x = a.clone();
+                sub_shoup_mul_assign(&m, &w, &mut x, &b);
+                for i in 0..n {
+                    assert_eq!(x[i], w.mul(m.sub_mod(a[i], b[i]), &m));
+                }
+            }
+            set_simd_enabled(None);
+        }
+    }
+
+    #[test]
+    fn kill_switch_states() {
+        set_simd_enabled(Some(true));
+        assert_eq!(simd_enabled(), cfg!(feature = "simd"));
+        set_simd_enabled(Some(false));
+        assert!(!simd_enabled());
+        set_simd_enabled(None);
+        let _ = simd_enabled(); // resolves from the environment without panicking
+        set_simd_enabled(None);
+    }
+}

@@ -1,0 +1,259 @@
+//! Bit-identity of the `u64x4` lane kernels against their scalar
+//! counterparts — the contract the whole SIMD layer rests on: same prime,
+//! same inputs, same bits out, lane by lane, regardless of the `simd`
+//! feature or the runtime kill-switch.
+//!
+//! The x4 primitives in `modular.rs` are exercised directly on full-range
+//! inputs (including the Shoup operand at `u64::MAX`-adjacent values), and
+//! the slab functions in `fides_math::simd` are run with the kill-switch
+//! forced both ways and compared against hand-written scalar loops.
+
+use fides_math::{Modulus, MontgomeryOps, ShoupPrecomp};
+use proptest::prelude::*;
+
+fn arb_prime() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(65537u64),
+        Just(998244353u64),
+        Just((1u64 << 61) - 1),
+        Just(4611686018326724609u64),
+        Just(1000003u64),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every x4 arithmetic primitive equals four scalar calls.
+    #[test]
+    fn x4_primitives_match_scalar(
+        p in arb_prime(),
+        a0 in any::<u64>(), a1 in any::<u64>(), a2 in any::<u64>(), a3 in any::<u64>(),
+        b0 in any::<u64>(), b1 in any::<u64>(), b2 in any::<u64>(), b3 in any::<u64>(),
+    ) {
+        let m = Modulus::new(p);
+        let ar = [a0, a1, a2, a3].map(|x| x % p);
+        let br = [b0, b1, b2, b3].map(|x| x % p);
+        for l in 0..4 {
+            prop_assert_eq!(m.add_mod_x4(ar, br)[l], m.add_mod(ar[l], br[l]));
+            prop_assert_eq!(m.sub_mod_x4(ar, br)[l], m.sub_mod(ar[l], br[l]));
+            prop_assert_eq!(m.neg_mod_x4(ar)[l], m.neg_mod(ar[l]));
+            prop_assert_eq!(m.mul_mod_x4(ar, br)[l], m.mul_mod(ar[l], br[l]));
+            prop_assert_eq!(
+                m.mul_add_mod_x4(ar, br, m.neg_mod_x4(ar))[l],
+                m.mul_add_mod(ar[l], br[l], m.neg_mod(ar[l]))
+            );
+        }
+    }
+
+    /// Barrett x4 on **arbitrary** `u128` lanes (not pre-reduced).
+    #[test]
+    fn reduce_u128_x4_matches_scalar(
+        p in arb_prime(),
+        x0 in any::<u128>(), x1 in any::<u128>(), x2 in any::<u128>(), x3 in any::<u128>(),
+    ) {
+        let m = Modulus::new(p);
+        let x = [x0, x1, x2, x3];
+        let r = m.reduce_u128_x4(x);
+        for l in 0..4 {
+            prop_assert_eq!(r[l], m.reduce_u128(x[l]));
+            prop_assert_eq!(r[l], (x[l] % p as u128) as u64);
+        }
+    }
+
+    /// Shoup x4 including the full-range-`x` edge: Shoup multiplication
+    /// only requires the *precomputed* operand reduced; `x` may be any
+    /// `u64` as long as `w·x` fits the algorithm's slack — the scalar
+    /// `mul` accepts `x < 2^63` here, so pin agreement across that range
+    /// plus the extreme corners.
+    #[test]
+    fn shoup_mul_x4_matches_scalar(
+        p in arb_prime(),
+        w in any::<u64>(),
+        x0 in any::<u64>(), x1 in any::<u64>(), x2 in any::<u64>(), x3 in any::<u64>(),
+    ) {
+        let m = Modulus::new(p);
+        let sp = ShoupPrecomp::new(w % p, &m);
+        let xs = [x0, x1, x2, x3].map(|v| v % p);
+        let r = sp.mul_x4(xs, &m);
+        for l in 0..4 {
+            prop_assert_eq!(r[l], sp.mul(xs[l], &m));
+        }
+        // Corner lanes: 0, 1, p−1 and a repeated max-reduced value.
+        let corners = [0, 1, p - 1, p - 1];
+        let rc = sp.mul_x4(corners, &m);
+        for l in 0..4 {
+            prop_assert_eq!(rc[l], sp.mul(corners[l], &m));
+        }
+    }
+
+    /// Montgomery x4 REDC and multiply equal the scalar path.
+    #[test]
+    fn montgomery_x4_matches_scalar(
+        p in arb_prime(),
+        a0 in any::<u64>(), a1 in any::<u64>(), a2 in any::<u64>(), a3 in any::<u64>(),
+        b0 in any::<u64>(), b1 in any::<u64>(), b2 in any::<u64>(), b3 in any::<u64>(),
+    ) {
+        let m = Modulus::new(p);
+        let mont = MontgomeryOps::new(&m);
+        let ar = [a0, a1, a2, a3].map(|x| x % p);
+        let br = [b0, b1, b2, b3].map(|x| x % p);
+        let t = [0usize, 1, 2, 3].map(|l| ar[l] as u128 * br[l] as u128);
+        let redc = mont.redc_x4(t);
+        let prod = mont.mul_x4(ar, br);
+        for l in 0..4 {
+            prop_assert_eq!(redc[l], mont.redc(t[l]));
+            prop_assert_eq!(prod[l], mont.mul(ar[l], br[l]));
+        }
+    }
+}
+
+/// Runs `f` with the kill-switch forced to each state and returns both
+/// results, restoring the runtime default afterwards.
+fn both_states<T>(mut f: impl FnMut() -> T) -> (T, T) {
+    fides_math::set_simd_enabled(Some(false));
+    let off = f();
+    fides_math::set_simd_enabled(Some(true));
+    let on = f();
+    (off, on)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every slab function produces identical bytes with the SIMD path on
+    /// and off, on lengths that exercise the 4-lane body and the scalar
+    /// tail, and matches a hand-written scalar loop.
+    #[test]
+    fn slabs_bit_identical_and_match_reference(
+        p in arb_prime(),
+        seed in any::<u64>(),
+        len in prop_oneof![Just(0usize), Just(1usize), Just(3usize), Just(4usize), Just(7usize), Just(64usize), Just(65usize)],
+    ) {
+        let m = Modulus::new(p);
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s % p
+        };
+        let a: Vec<u64> = (0..len).map(|_| next()).collect();
+        let b: Vec<u64> = (0..len).map(|_| next()).collect();
+        let c: Vec<u64> = (0..len).map(|_| next()).collect();
+        let w = ShoupPrecomp::new(next(), &m);
+        let k = next();
+
+        // (name, result-off, result-on, hand-written scalar reference)
+        type Case = (&'static str, (Vec<u64>, Vec<u64>), Vec<u64>);
+        let cases: Vec<Case> = vec![
+            (
+                "add_assign",
+                both_states(|| {
+                    let mut x = a.clone();
+                    fides_math::simd::add_assign(&m, &mut x, &b);
+                    x
+                }),
+                a.iter().zip(&b).map(|(&x, &y)| m.add_mod(x, y)).collect(),
+            ),
+            (
+                "sub_assign",
+                both_states(|| {
+                    let mut x = a.clone();
+                    fides_math::simd::sub_assign(&m, &mut x, &b);
+                    x
+                }),
+                a.iter().zip(&b).map(|(&x, &y)| m.sub_mod(x, y)).collect(),
+            ),
+            (
+                "mul_assign",
+                both_states(|| {
+                    let mut x = a.clone();
+                    fides_math::simd::mul_assign(&m, &mut x, &b);
+                    x
+                }),
+                a.iter().zip(&b).map(|(&x, &y)| m.mul_mod(x, y)).collect(),
+            ),
+            (
+                "mul_add_assign",
+                both_states(|| {
+                    let mut x = c.clone();
+                    fides_math::simd::mul_add_assign(&m, &mut x, &a, &b);
+                    x
+                }),
+                a.iter()
+                    .zip(&b)
+                    .zip(&c)
+                    .map(|((&x, &y), &z)| m.mul_add_mod(x, y, z))
+                    .collect(),
+            ),
+            (
+                "neg_assign",
+                both_states(|| {
+                    let mut x = a.clone();
+                    fides_math::simd::neg_assign(&m, &mut x);
+                    x
+                }),
+                a.iter().map(|&x| m.neg_mod(x)).collect(),
+            ),
+            (
+                "scalar_mul_assign",
+                both_states(|| {
+                    let mut x = a.clone();
+                    fides_math::simd::scalar_mul_assign(&m, &mut x, k);
+                    x
+                }),
+                a.iter().map(|&x| m.mul_mod(x, k)).collect(),
+            ),
+            (
+                "shoup_mul_assign",
+                both_states(|| {
+                    let mut x = a.clone();
+                    fides_math::simd::shoup_mul_assign(&m, &w, &mut x);
+                    x
+                }),
+                a.iter().map(|&x| w.mul(x, &m)).collect(),
+            ),
+            (
+                "sub_shoup_mul_assign",
+                both_states(|| {
+                    let mut x = a.clone();
+                    fides_math::simd::sub_shoup_mul_assign(&m, &w, &mut x, &c);
+                    x
+                }),
+                a.iter()
+                    .zip(&c)
+                    .map(|(&x, &z)| w.mul(m.sub_mod(x, z), &m))
+                    .collect(),
+            ),
+        ];
+        for (name, (off, on), reference) in cases {
+            prop_assert_eq!(&off, &on, "{} differs across kill-switch states", name);
+            prop_assert_eq!(&on, &reference, "{} differs from scalar reference", name);
+        }
+
+        // Butterflies mutate two slices: compare the pair.
+        let half = len / 2;
+        let (fwd_off, fwd_on) = both_states(|| {
+            let (mut lo, mut hi) = (a[..half].to_vec(), b[..half].to_vec());
+            fides_math::simd::ct_butterfly(&m, &w, &mut lo, &mut hi);
+            (lo, hi)
+        });
+        prop_assert_eq!(&fwd_off, &fwd_on, "ct_butterfly differs across states");
+        for i in 0..half {
+            let v = w.mul(b[i], &m);
+            prop_assert_eq!(fwd_on.0[i], m.add_mod(a[i], v));
+            prop_assert_eq!(fwd_on.1[i], m.sub_mod(a[i], v));
+        }
+        let (inv_off, inv_on) = both_states(|| {
+            let (mut lo, mut hi) = (a[..half].to_vec(), b[..half].to_vec());
+            fides_math::simd::gs_butterfly(&m, &w, &mut lo, &mut hi);
+            (lo, hi)
+        });
+        prop_assert_eq!(&inv_off, &inv_on, "gs_butterfly differs across states");
+        for i in 0..half {
+            prop_assert_eq!(inv_on.0[i], m.add_mod(a[i], b[i]));
+            prop_assert_eq!(inv_on.1[i], w.mul(m.sub_mod(a[i], b[i]), &m));
+        }
+    }
+}

@@ -99,25 +99,22 @@ impl BaseConverter {
     /// FIDESlib fuses this into the iNTT that precedes conversion; exposing
     /// it separately lets the server library do the same.
     pub fn scale_input(&self, i: usize, x: &[u64], out: &mut [u64]) {
-        let m = &self.src[i];
-        let w = &self.src_hat_inv[i];
-        for (o, &v) in out.iter_mut().zip(x) {
-            *o = w.mul(v, m);
-        }
+        fides_math::simd::shoup_mul_into(&self.src[i], &self.src_hat_inv[i], x, out);
     }
 
     /// In-place variant of [`Self::scale_input`].
     pub fn scale_input_inplace(&self, i: usize, x: &mut [u64]) {
-        let m = &self.src[i];
-        let w = &self.src_hat_inv[i];
-        for v in x.iter_mut() {
-            *v = w.mul(*v, m);
-        }
+        fides_math::simd::shoup_mul_assign(&self.src[i], &self.src_hat_inv[i], x);
     }
 
     /// Computes destination limb `j` from the **pre-scaled** source limbs:
     /// `out[k] = Σ_i scaled[i][k] · [C/c_i]_{t_j} mod t_j`, accumulating in
     /// 128 bits with one deferred reduction.
+    ///
+    /// The slab path runs four coefficients at a time; the deferred-reduction
+    /// schedule is counted per source limb (never per value), so the four
+    /// lanes reduce at the same points as the scalar loop and stay
+    /// bit-identical.
     pub fn convert_scaled_limb(&self, scaled: &[&[u64]], j: usize, out: &mut [u64]) {
         assert_eq!(scaled.len(), self.src.len());
         let t = &self.dst[j];
@@ -125,7 +122,30 @@ impl BaseConverter {
         for s in scaled {
             assert_eq!(s.len(), n);
         }
-        for (k, o) in out.iter_mut().enumerate() {
+        let mut k = 0usize;
+        if fides_math::simd_enabled() {
+            while k + 4 <= n {
+                let mut acc = [0u128; 4];
+                let mut since_reduce = 0usize;
+                for (i, s) in scaled.iter().enumerate() {
+                    let hat = self.src_hat_mod_dst[i][j] as u128;
+                    for l in 0..4 {
+                        acc[l] += s[k + l] as u128 * hat;
+                    }
+                    since_reduce += 1;
+                    if since_reduce == self.chunk {
+                        let r = t.reduce_u128_x4(acc);
+                        for l in 0..4 {
+                            acc[l] = r[l] as u128;
+                        }
+                        since_reduce = 0;
+                    }
+                }
+                out[k..k + 4].copy_from_slice(&t.reduce_u128_x4(acc));
+                k += 4;
+            }
+        }
+        for (k, o) in out.iter_mut().enumerate().skip(k) {
             let mut acc = 0u128;
             let mut since_reduce = 0usize;
             for (i, s) in scaled.iter().enumerate() {
@@ -325,6 +345,41 @@ mod tests {
         let mut out = vec![Vec::new()];
         conv.convert(&r, &mut out);
         assert_eq!(out[0], refs[0]);
+    }
+
+    /// The x4 block in [`BaseConverter::convert_scaled_limb`] must be
+    /// bit-identical to the scalar loop: same count-based deferred-reduction
+    /// schedule, same Barrett, same bits — with lengths hitting both the
+    /// 4-lane body and the scalar tail, and wide (59-bit) primes so the
+    /// accumulators run close to the deferred-reduction headroom.
+    #[test]
+    fn convert_scaled_limb_identical_with_simd_on_and_off() {
+        let src = moduli(59, 9, 64);
+        let dst = moduli(58, 3, 64);
+        let conv = BaseConverter::new(&src, &dst);
+        for n in [1usize, 4, 7, 64, 67] {
+            let mut state = 0xfeed_u64 ^ n as u64;
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let src_limbs: Vec<Vec<u64>> = src
+                .iter()
+                .map(|m| (0..n).map(|_| next() % m.value()).collect())
+                .collect();
+            let refs: Vec<&[u64]> = src_limbs.iter().map(|v| v.as_slice()).collect();
+            let run = |enabled: bool| {
+                fides_math::set_simd_enabled(Some(enabled));
+                let mut out = vec![Vec::new(); dst.len()];
+                conv.convert(&refs, &mut out);
+                out
+            };
+            let off = run(false);
+            let on = run(true);
+            assert_eq!(off, on, "n={n}: simd on/off outputs diverge");
+        }
     }
 
     #[test]
