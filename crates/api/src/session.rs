@@ -165,6 +165,37 @@ impl Session {
             .collect()
     }
 
+    /// Encrypts one request per entry of `batches` and pipelines the whole
+    /// burst over `client` with
+    /// [`NetClient::eval_pipelined`](fides_client::net::NetClient::eval_pipelined),
+    /// so later requests don't wait for earlier batch ticks.
+    ///
+    /// Returns one result per batch, in order. Per-request rejections
+    /// (e.g. a load-shed tail under overload — see
+    /// [`ClientError::Overloaded`](fides_client::ClientError::Overloaded))
+    /// come back as `Err` entries without failing the burst.
+    ///
+    /// # Errors
+    ///
+    /// An outer `Err` means encryption failed or the connection itself
+    /// broke.
+    #[allow(clippy::type_complexity)]
+    pub fn eval_many(
+        &self,
+        client: &mut fides_client::net::NetClient,
+        session_id: u64,
+        batches: &[&[&[f64]]],
+        program: &OpProgram,
+    ) -> Result<Vec<std::result::Result<EvalResponse, fides_client::ClientError>>> {
+        let mut reqs = Vec::with_capacity(batches.len());
+        for inputs in batches {
+            reqs.push(self.eval_request(session_id, inputs, program)?);
+        }
+        client
+            .eval_pipelined(&reqs)
+            .map_err(|e| FidesError::Client(format!("pipelined eval failed: {e}")))
+    }
+
     /// The engine this session fronts.
     pub fn engine(&self) -> &CkksEngine {
         &self.engine

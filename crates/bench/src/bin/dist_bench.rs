@@ -132,7 +132,10 @@ fn run_serve(log_n: usize, devices: usize, mode: ExecMode, open_order: &[usize])
 
     let sync_before = server.sync_us().unwrap();
     server.reset_sim_stats();
-    let tickets: Vec<_> = reqs.iter().map(|req| server.submit(req.clone())).collect();
+    let tickets: Vec<_> = reqs
+        .iter()
+        .map(|req| server.submit(req.clone()).unwrap())
+        .collect();
     while server.run_tick() > 0 {}
     let sim_us = server.sync_us().unwrap() - sync_before;
     let stats = server.stats();

@@ -129,7 +129,10 @@ fn run_serve(sched_v2: bool) -> ServeRow {
 
     let sync_before = server.sync_us().unwrap();
     server.reset_sim_stats();
-    let tickets: Vec<_> = reqs.iter().map(|req| server.submit(req.clone())).collect();
+    let tickets: Vec<_> = reqs
+        .iter()
+        .map(|req| server.submit(req.clone()).unwrap())
+        .collect();
     while server.run_tick() > 0 {}
     let sim = server.sim_stats().expect("gpu-sim substrate");
     let sim_us = server.sync_us().unwrap() - sync_before;
@@ -164,7 +167,10 @@ fn run_steady_state() -> (u64, u64, f64) {
     let tenants = tenants(LOG_N_STEADY);
     let reqs = requests(&server, &tenants);
     for _ in 0..STEADY_TICKS {
-        let tickets: Vec<_> = reqs.iter().map(|req| server.submit(req.clone())).collect();
+        let tickets: Vec<_> = reqs
+            .iter()
+            .map(|req| server.submit(req.clone()).unwrap())
+            .collect();
         assert_eq!(server.run_tick(), reqs.len(), "one tick drains the batch");
         for t in &tickets {
             assert!(t.try_take().expect("served").error.is_none());

@@ -111,7 +111,7 @@ fn run_config(batch: usize, fusion: bool) -> Row {
     let wall = Instant::now();
     let tickets: Vec<_> = reqs
         .iter()
-        .map(|(_, req)| server.submit(req.clone()))
+        .map(|(_, req)| server.submit(req.clone()).unwrap())
         .collect();
     while server.run_tick() > 0 {}
     let wall_s = wall.elapsed().as_secs_f64();

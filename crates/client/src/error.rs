@@ -37,6 +37,26 @@ pub enum ClientError {
     /// A request program is structurally invalid (undefined registers,
     /// missing plaintext slots, out-of-range outputs).
     BadProgram(String),
+    /// A network frame declared a length beyond the decoder's bound — the
+    /// stream is treated as hostile and must be closed (never buffered).
+    FrameTooLarge {
+        /// The declared payload length.
+        len: u64,
+        /// The decoder's configured maximum.
+        max: u64,
+    },
+    /// A socket-level failure (connect, read, write, or unexpected EOF).
+    Io(String),
+    /// The server load-shed the request: its admission queue is full.
+    /// Retry after roughly this many batch ticks have drained (the
+    /// server's own backlog estimate; see the serving-layer docs).
+    Overloaded {
+        /// Server-estimated ticks until the backlog drains.
+        retry_after_ticks: u64,
+    },
+    /// The server refused the request for a non-transient reason (foreign
+    /// parameter chain, failed key load, malformed frame report).
+    Refused(String),
 }
 
 impl fmt::Display for ClientError {
@@ -58,6 +78,16 @@ impl fmt::Display for ClientError {
             }
             ClientError::Serialization(msg) => write!(f, "malformed frame: {msg}"),
             ClientError::BadProgram(msg) => write!(f, "invalid request program: {msg}"),
+            ClientError::FrameTooLarge { len, max } => write!(
+                f,
+                "frame length prefix {len} exceeds the decoder bound {max}"
+            ),
+            ClientError::Io(msg) => write!(f, "socket error: {msg}"),
+            ClientError::Overloaded { retry_after_ticks } => write!(
+                f,
+                "server overloaded: admission queue full, retry after ~{retry_after_ticks} ticks"
+            ),
+            ClientError::Refused(msg) => write!(f, "server refused request: {msg}"),
         }
     }
 }

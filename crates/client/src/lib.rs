@@ -28,7 +28,9 @@
 //!
 //! The [`wire`] module adds the serving-layer protocol on top: session
 //! (keygen) uploads, evaluation requests carrying op programs, and
-//! responses.
+//! responses — plus the length-prefixed socket framing. The [`net`]
+//! module is a blocking TCP client for that protocol, with pipelined
+//! submission ([`net::NetClient::eval_pipelined`]).
 
 #![warn(missing_docs)]
 
@@ -37,6 +39,7 @@ mod encode;
 mod encrypt;
 mod error;
 mod keygen;
+pub mod net;
 mod raw;
 pub mod security;
 pub mod wire;

@@ -1,0 +1,205 @@
+//! Blocking socket client for the serving-layer network front.
+//!
+//! [`NetClient`] speaks the length-prefixed frame protocol from [`wire`]
+//! over a plain `std::net::TcpStream`. The server end is asynchronous and
+//! batch-scheduled, so responses to pipelined requests may arrive out of
+//! order (different batch ticks); the client correlates them by the frame
+//! `seq` it assigned at send time.
+//!
+//! Two request shapes are supported:
+//!
+//! * [`NetClient::eval`] — one request, wait for its response (the simple
+//!   request/response loop);
+//! * [`NetClient::eval_pipelined`] — write a burst of requests back to
+//!   back, then collect all responses. This keeps the server's admission
+//!   queue fed across batch ticks, which is how a single connection
+//!   reaches batch-level throughput.
+//!
+//! [`wire`]: crate::wire
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::error::ClientError;
+use crate::wire::{
+    EvalRequest, EvalResponse, Frame, FrameDecoder, FrameKind, Reject, RejectCode, SessionRequest,
+};
+
+/// Read-buffer chunk size for draining the socket.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// A blocking connection to a serving-layer network front.
+#[derive(Debug)]
+pub struct NetClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    next_seq: u64,
+}
+
+impl NetClient {
+    /// Connects to a server's listen address.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] if the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ClientError::Io(e.to_string()))?;
+        stream.set_nodelay(true).ok();
+        Ok(Self {
+            stream,
+            decoder: FrameDecoder::new(),
+            next_seq: 0,
+        })
+    }
+
+    fn send(&mut self, kind: FrameKind, payload: Vec<u8>) -> Result<u64, ClientError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let frame = Frame::new(kind, seq, payload).encode();
+        self.stream
+            .write_all(&frame)
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        Ok(seq)
+    }
+
+    /// Blocks until the next complete frame arrives.
+    fn recv(&mut self) -> Result<Frame, ClientError> {
+        loop {
+            if let Some(frame) = self.decoder.next_frame()? {
+                return Ok(frame);
+            }
+            let mut chunk = [0u8; READ_CHUNK];
+            let n = self
+                .stream
+                .read(&mut chunk)
+                .map_err(|e| ClientError::Io(e.to_string()))?;
+            if n == 0 {
+                return Err(ClientError::Io(
+                    "connection closed by server mid-response".into(),
+                ));
+            }
+            self.decoder.feed(&chunk[..n]);
+        }
+    }
+
+    /// Maps a `Reject` frame onto the typed error it represents.
+    fn reject_to_error(payload: &[u8]) -> ClientError {
+        match Reject::from_bytes(payload) {
+            Ok(rej) => match rej.code {
+                RejectCode::Overloaded => ClientError::Overloaded {
+                    retry_after_ticks: rej.retry_after_ticks,
+                },
+                RejectCode::Malformed => {
+                    ClientError::Serialization(format!("server reported: {}", rej.message))
+                }
+                RejectCode::Refused => ClientError::Refused(rej.message),
+            },
+            Err(e) => e,
+        }
+    }
+
+    /// Uploads key material and opens a server session; returns the
+    /// session id.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on socket failure, [`ClientError::Overloaded`]
+    /// if the server load-shed the upload, [`ClientError::Refused`] /
+    /// [`ClientError::Serialization`] on rejection.
+    pub fn open_session(&mut self, req: &SessionRequest) -> Result<u64, ClientError> {
+        let seq = self.send(FrameKind::OpenSession, req.to_bytes())?;
+        let frame = self.recv()?;
+        if frame.seq != seq {
+            return Err(ClientError::Serialization(format!(
+                "response seq {} does not match request seq {seq}",
+                frame.seq
+            )));
+        }
+        match frame.kind {
+            FrameKind::SessionOpened => {
+                if frame.payload.len() != 8 {
+                    return Err(ClientError::Serialization(
+                        "session-opened payload must be 8 bytes".into(),
+                    ));
+                }
+                let mut sid = [0u8; 8];
+                sid.copy_from_slice(&frame.payload);
+                Ok(u64::from_le_bytes(sid))
+            }
+            FrameKind::Reject => Err(Self::reject_to_error(&frame.payload)),
+            k => Err(ClientError::Serialization(format!(
+                "unexpected frame kind {k:?} in reply to OpenSession"
+            ))),
+        }
+    }
+
+    /// Sends one evaluation request and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on socket failure, [`ClientError::Overloaded`]
+    /// if load-shed (retry after the hinted number of ticks),
+    /// [`ClientError::Refused`] / [`ClientError::Serialization`] on
+    /// rejection.
+    pub fn eval(&mut self, req: &EvalRequest) -> Result<EvalResponse, ClientError> {
+        let mut out = self.eval_pipelined(std::slice::from_ref(req))?;
+        out.pop()
+            .expect("eval_pipelined returns one result per request")
+    }
+
+    /// Writes a burst of evaluation requests back to back, then collects
+    /// every response.
+    ///
+    /// Returns one result per request, **in request order** (responses are
+    /// matched by seq, so out-of-order completion across server batch
+    /// ticks is fine). Per-request rejections (e.g. a load-shed tail of
+    /// the burst) surface as `Err` entries in the returned vector without
+    /// failing the burst.
+    ///
+    /// # Errors
+    ///
+    /// An outer `Err` means the connection itself broke (socket failure or
+    /// framing desync) and remaining responses are unrecoverable.
+    #[allow(clippy::type_complexity)]
+    pub fn eval_pipelined(
+        &mut self,
+        reqs: &[EvalRequest],
+    ) -> Result<Vec<Result<EvalResponse, ClientError>>, ClientError> {
+        let mut seqs = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            seqs.push(self.send(FrameKind::Eval, req.to_bytes())?);
+        }
+        let mut slots: Vec<Option<Result<EvalResponse, ClientError>>> =
+            (0..reqs.len()).map(|_| None).collect();
+        let mut outstanding = reqs.len();
+        while outstanding > 0 {
+            let frame = self.recv()?;
+            let Some(idx) = seqs.iter().position(|&s| s == frame.seq) else {
+                return Err(ClientError::Serialization(format!(
+                    "response seq {} matches no outstanding request",
+                    frame.seq
+                )));
+            };
+            if slots[idx].is_some() {
+                return Err(ClientError::Serialization(format!(
+                    "duplicate response for seq {}",
+                    frame.seq
+                )));
+            }
+            slots[idx] = Some(match frame.kind {
+                FrameKind::EvalDone => EvalResponse::from_bytes(&frame.payload),
+                FrameKind::Reject => Err(Self::reject_to_error(&frame.payload)),
+                k => {
+                    return Err(ClientError::Serialization(format!(
+                        "unexpected frame kind {k:?} in reply to Eval"
+                    )))
+                }
+            });
+            outstanding -= 1;
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("all outstanding responses collected"))
+            .collect())
+    }
+}

@@ -718,6 +718,255 @@ impl EvalResponse {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Socket framing
+// ---------------------------------------------------------------------------
+
+/// Magic prefix of every socket frame (distinct from the payload magics, so
+/// a payload accidentally fed as a frame fails immediately).
+const FRAME_MAGIC: u32 = 0xF1DE_F4A3;
+
+/// Frame header size: magic (4) + kind (1) + seq (8) + length prefix (4).
+pub const FRAME_HEADER_LEN: usize = 17;
+
+/// Default upper bound on a frame's declared payload length. Large enough
+/// for a paper-scale keygen upload (tens of MB of switching keys), small
+/// enough that a hostile length prefix can never balloon the read buffer.
+pub const MAX_FRAME_LEN: usize = 1 << 28;
+
+/// What a socket frame carries. The framing layer is payload-agnostic:
+/// each kind names which `to_bytes`/`from_bytes` codec applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Client → server: a [`SessionRequest`] keygen upload.
+    OpenSession,
+    /// Server → client: the session id (payload: `u64` LE) for an
+    /// `OpenSession` frame.
+    SessionOpened,
+    /// Client → server: an [`EvalRequest`].
+    Eval,
+    /// Server → client: the [`EvalResponse`] for an `Eval` frame.
+    EvalDone,
+    /// Server → client: the request was not admitted (payload:
+    /// [`Reject`]). After a `Malformed` reject the server closes the
+    /// connection — framing sync is lost.
+    Reject,
+}
+
+impl FrameKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            FrameKind::OpenSession => 1,
+            FrameKind::SessionOpened => 2,
+            FrameKind::Eval => 3,
+            FrameKind::EvalDone => 4,
+            FrameKind::Reject => 5,
+        }
+    }
+
+    fn from_u8(tag: u8) -> Result<Self, ClientError> {
+        Ok(match tag {
+            1 => FrameKind::OpenSession,
+            2 => FrameKind::SessionOpened,
+            3 => FrameKind::Eval,
+            4 => FrameKind::EvalDone,
+            5 => FrameKind::Reject,
+            t => {
+                return Err(ClientError::Serialization(format!(
+                    "invalid frame kind {t}"
+                )))
+            }
+        })
+    }
+}
+
+/// One length-prefixed socket frame:
+/// `[u32 magic BE][u8 kind][u64 seq LE][u32 len BE][payload]`.
+///
+/// `seq` correlates responses with requests on a pipelined connection —
+/// the server echoes the request's seq on its `EvalDone`/`Reject`, so
+/// responses may complete out of order (different batch ticks) without
+/// losing correlation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    /// Payload discriminator.
+    pub kind: FrameKind,
+    /// Request/response correlation id (client-assigned, server-echoed).
+    pub seq: u64,
+    /// The payload bytes (codec per [`FrameKind`]).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Wraps a payload in a frame.
+    pub fn new(kind: FrameKind, seq: u64, payload: Vec<u8>) -> Self {
+        Self { kind, seq, payload }
+    }
+
+    /// Serializes the frame for the socket.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + self.payload.len());
+        buf.put_u32(FRAME_MAGIC);
+        buf.put_u8(self.kind.to_u8());
+        buf.put_u64_le(self.seq);
+        buf.put_u32(self.payload.len() as u32);
+        buf.extend_from_slice(&self.payload);
+        buf
+    }
+}
+
+/// Incremental frame decoder for a byte stream.
+///
+/// Feed it whatever chunks the socket yields; [`FrameDecoder::next_frame`]
+/// returns one complete frame at a time (`Ok(None)` = need more bytes).
+/// Errors are **fatal for the stream**: a bad magic, kind, or an oversized
+/// length prefix means framing sync is lost (or the peer is hostile), and
+/// the connection must be closed. Truncation is *not* an error — an
+/// incomplete frame simply stays pending, and idle-connection policy (not
+/// the decoder) decides when to give up on it.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    max_len: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder with the default [`MAX_FRAME_LEN`] bound.
+    pub fn new() -> Self {
+        Self::with_max_len(MAX_FRAME_LEN)
+    }
+
+    /// A decoder rejecting frames whose declared payload exceeds
+    /// `max_len`.
+    pub fn with_max_len(max_len: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            max_len,
+        }
+    }
+
+    /// Appends raw stream bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete frame, if the buffer holds one.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Serialization`] on a bad magic or kind,
+    /// [`ClientError::FrameTooLarge`] on an oversized length prefix — both
+    /// mean the stream must be closed.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, ClientError> {
+        if self.buf.len() < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let mut head = &self.buf[..FRAME_HEADER_LEN];
+        if head.get_u32() != FRAME_MAGIC {
+            return Err(ClientError::Serialization("bad frame magic".into()));
+        }
+        let kind = FrameKind::from_u8(head.get_u8())?;
+        let seq = head.get_u64_le();
+        let len = head.get_u32() as usize;
+        if len > self.max_len {
+            return Err(ClientError::FrameTooLarge {
+                len: len as u64,
+                max: self.max_len as u64,
+            });
+        }
+        if self.buf.len() < FRAME_HEADER_LEN + len {
+            return Ok(None);
+        }
+        let payload = self.buf[FRAME_HEADER_LEN..FRAME_HEADER_LEN + len].to_vec();
+        self.buf.drain(..FRAME_HEADER_LEN + len);
+        Ok(Some(Frame { kind, seq, payload }))
+    }
+}
+
+/// Why a request was rejected at the network front.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectCode {
+    /// The admission queue is full; retry after `retry_after_ticks`.
+    Overloaded,
+    /// The frame or its payload failed to parse; the server closes the
+    /// connection after sending this (framing sync is lost).
+    Malformed,
+    /// The request was understood but refused (foreign parameter chain,
+    /// failed key load).
+    Refused,
+}
+
+impl RejectCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            RejectCode::Overloaded => 1,
+            RejectCode::Malformed => 2,
+            RejectCode::Refused => 3,
+        }
+    }
+
+    fn from_u8(tag: u8) -> Result<Self, ClientError> {
+        Ok(match tag {
+            1 => RejectCode::Overloaded,
+            2 => RejectCode::Malformed,
+            3 => RejectCode::Refused,
+            t => {
+                return Err(ClientError::Serialization(format!(
+                    "invalid reject code {t}"
+                )))
+            }
+        })
+    }
+}
+
+/// Payload of a [`FrameKind::Reject`] frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Reject {
+    /// Why the request was rejected.
+    pub code: RejectCode,
+    /// For [`RejectCode::Overloaded`]: the server's estimate of how many
+    /// batch ticks must drain before a retry can be admitted (0 for the
+    /// other codes). A tick's wall duration is deployment-specific; the
+    /// estimate is `ceil(queued / batch_size)` at shed time.
+    pub retry_after_ticks: u64,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl Reject {
+    /// Serializes into a reject-frame payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.put_u8(self.code.to_u8());
+        buf.put_u64_le(self.retry_after_ticks);
+        put_string(&mut buf, &self.message);
+        buf
+    }
+
+    /// Deserializes a reject-frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Serialization`] describing the corruption.
+    pub fn from_bytes(mut data: &[u8]) -> Result<Self, ClientError> {
+        let buf = &mut data;
+        need(buf, 9, "reject header")?;
+        let code = RejectCode::from_u8(buf.get_u8())?;
+        let retry_after_ticks = buf.get_u64_le();
+        let message = get_string(buf)?;
+        Ok(Self {
+            code,
+            retry_after_ticks,
+            message,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -852,5 +1101,80 @@ mod tests {
         );
         assert!(SessionRequest::from_bytes(&[1, 2, 3]).is_err());
         assert!(EvalResponse::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn frame_roundtrip_and_incremental_decode() {
+        let frames = vec![
+            Frame::new(FrameKind::OpenSession, 0, vec![1, 2, 3]),
+            Frame::new(FrameKind::Eval, 7, vec![]),
+            Frame::new(FrameKind::EvalDone, 7, vec![0xAA; 1000]),
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&f.encode());
+        }
+        // Feed in awkward chunk sizes; every frame must come out intact.
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for chunk in stream.chunks(13) {
+            dec.feed(chunk);
+            while let Some(f) = dec.next_frame().unwrap() {
+                out.push(f);
+            }
+        }
+        assert_eq!(out, frames);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn frame_decoder_rejects_corruption() {
+        // Bad magic.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&[0u8; FRAME_HEADER_LEN]);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(ClientError::Serialization(_))
+        ));
+
+        // Bad kind tag.
+        let mut bytes = Frame::new(FrameKind::Eval, 1, vec![]).encode();
+        bytes[4] = 99;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(ClientError::Serialization(_))
+        ));
+
+        // Oversized length prefix is rejected from the header alone —
+        // before any payload arrives or is buffered.
+        let mut huge = Frame::new(FrameKind::Eval, 1, vec![]).encode();
+        huge[13..17].copy_from_slice(&(u32::MAX).to_be_bytes());
+        let mut dec = FrameDecoder::with_max_len(1 << 20);
+        dec.feed(&huge);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(ClientError::FrameTooLarge { .. })
+        ));
+
+        // Truncation is pending, not an error.
+        let whole = Frame::new(FrameKind::Eval, 2, vec![5; 64]).encode();
+        let mut dec = FrameDecoder::new();
+        dec.feed(&whole[..whole.len() - 1]);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        dec.feed(&whole[whole.len() - 1..]);
+        assert!(dec.next_frame().unwrap().is_some());
+    }
+
+    #[test]
+    fn reject_payload_roundtrip() {
+        let rej = Reject {
+            code: RejectCode::Overloaded,
+            retry_after_ticks: 3,
+            message: "queue full".into(),
+        };
+        assert_eq!(rej, Reject::from_bytes(&rej.to_bytes()).unwrap());
+        assert!(Reject::from_bytes(&[0xFF]).is_err());
     }
 }

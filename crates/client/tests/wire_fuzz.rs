@@ -1,0 +1,201 @@
+//! Fuzz-style robustness suite for the socket framing layer: whatever
+//! bytes a peer sends — truncated frames, hostile length prefixes, bit
+//! flips, pure garbage — the decoder must return a typed error or keep
+//! waiting for more input. It must never panic, never allocate the
+//! declared (attacker-controlled) length, and never mis-frame a stream
+//! that later turns valid after an error was reported.
+
+use fides_client::wire::{
+    Frame, FrameDecoder, FrameKind, Reject, RejectCode, FRAME_HEADER_LEN, MAX_FRAME_LEN,
+};
+use fides_client::ClientError;
+use proptest::prelude::*;
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+fn sample_frames(seed: u64, n: usize) -> Vec<Frame> {
+    let kinds = [
+        FrameKind::OpenSession,
+        FrameKind::SessionOpened,
+        FrameKind::Eval,
+        FrameKind::EvalDone,
+        FrameKind::Reject,
+    ];
+    let mut s = seed | 1;
+    (0..n)
+        .map(|i| {
+            let kind = kinds[(xorshift(&mut s) % kinds.len() as u64) as usize];
+            let len = (xorshift(&mut s) % 512) as usize;
+            let payload: Vec<u8> = (0..len).map(|_| xorshift(&mut s) as u8).collect();
+            Frame::new(kind, seed.wrapping_add(i as u64), payload)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Round-trip: any frame sequence, cut into arbitrary chunk sizes,
+    /// decodes back to exactly the frames that were encoded.
+    #[test]
+    fn roundtrip_any_chunking(
+        seed in any::<u64>(),
+        frames in 1usize..6,
+        chunk in 1usize..97,
+    ) {
+        let frames = sample_frames(seed, frames);
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&f.encode());
+        }
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for piece in stream.chunks(chunk) {
+            dec.feed(piece);
+            while let Some(f) = dec.next_frame().unwrap() {
+                out.push(f);
+            }
+        }
+        prop_assert_eq!(out, frames);
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+
+    /// Truncating a valid stream anywhere is never an error — the tail
+    /// frame stays pending and every complete prefix frame is delivered.
+    #[test]
+    fn truncation_is_pending_not_error(seed in any::<u64>(), cut_back in 1usize..64) {
+        let frames = sample_frames(seed, 3);
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&f.encode());
+        }
+        let cut = stream.len() - cut_back.min(stream.len() - 1);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&stream[..cut]);
+        let mut delivered = 0;
+        while let Some(f) = dec.next_frame().unwrap() {
+            prop_assert_eq!(&f, &frames[delivered]);
+            delivered += 1;
+        }
+        prop_assert!(delivered < frames.len(), "a truncated stream cannot complete");
+        // Feeding the rest completes the remaining frames exactly.
+        dec.feed(&stream[cut..]);
+        while let Some(f) = dec.next_frame().unwrap() {
+            prop_assert_eq!(&f, &frames[delivered]);
+            delivered += 1;
+        }
+        prop_assert_eq!(delivered, frames.len());
+    }
+
+    /// A corrupted header byte yields a typed error (or, if the
+    /// corruption only touched seq/len fields, at worst a differently
+    /// framed stream) — never a panic, never an unbounded buffer.
+    #[test]
+    fn header_bit_flips_never_panic(seed in any::<u64>(), byte in 0usize..FRAME_HEADER_LEN, bit in 0u32..8) {
+        let frames = sample_frames(seed, 2);
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&f.encode());
+        }
+        stream[byte] ^= 1u8 << bit;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&stream);
+        // Drain until error or exhaustion; every outcome is acceptable
+        // except panic/hang. Bound the loop defensively.
+        for _ in 0..8 {
+            match dec.next_frame() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(ClientError::Serialization(_)) | Err(ClientError::FrameTooLarge { .. }) => break,
+                Err(e) => prop_assert!(false, "unexpected error type: {e}"),
+            }
+        }
+    }
+
+    /// A hostile length prefix beyond the decoder bound is rejected from
+    /// the header alone — before any payload bytes exist to buffer.
+    #[test]
+    fn oversized_length_prefix_rejected_early(seed in any::<u64>(), extra in 1u64..u32::MAX as u64) {
+        let mut s = seed | 1;
+        let max = 1usize << (10 + (xorshift(&mut s) % 8) as usize);
+        let declared = (max as u64 + extra).min(u32::MAX as u64);
+        let mut frame = Frame::new(FrameKind::Eval, seed, vec![]).encode();
+        frame[13..17].copy_from_slice(&(declared as u32).to_be_bytes());
+        let mut dec = FrameDecoder::with_max_len(max);
+        dec.feed(&frame);
+        match dec.next_frame() {
+            Err(ClientError::FrameTooLarge { len, max: m }) => {
+                prop_assert_eq!(len, declared);
+                prop_assert_eq!(m, max as u64);
+            }
+            other => prop_assert!(false, "expected FrameTooLarge, got {other:?}"),
+        }
+        // The decoder held only the header bytes, not the declared size.
+        prop_assert!(dec.buffered() <= FRAME_HEADER_LEN);
+    }
+
+    /// Pure garbage: random bytes produce typed errors or pending, and
+    /// the decode loop always terminates.
+    #[test]
+    fn garbage_never_panics(seed in any::<u64>(), len in 0usize..4096) {
+        let mut s = seed | 1;
+        let garbage: Vec<u8> = (0..len).map(|_| xorshift(&mut s) as u8).collect();
+        let mut dec = FrameDecoder::new();
+        dec.feed(&garbage);
+        for _ in 0..len + 1 {
+            match dec.next_frame() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Reject payloads survive corruption the same way: typed error or
+    /// valid parse, never a panic.
+    #[test]
+    fn reject_payload_corruption(seed in any::<u64>(), flip in 0usize..16) {
+        let rej = Reject {
+            code: RejectCode::Overloaded,
+            retry_after_ticks: seed % 1000,
+            message: format!("backlog {seed}"),
+        };
+        let mut bytes = rej.to_bytes();
+        let idx = flip % bytes.len();
+        bytes[idx] ^= 0x40;
+        match Reject::from_bytes(&bytes) {
+            Ok(_) => {}
+            Err(ClientError::Serialization(_)) => {}
+            Err(e) => prop_assert!(false, "unexpected error type: {e}"),
+        }
+        // Truncations of the valid payload are typed errors.
+        let bytes = rej.to_bytes();
+        for cut in 0..bytes.len() {
+            prop_assert!(Reject::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+}
+
+/// The default bound itself is sane: a maximum-size frame round-trips.
+#[test]
+fn max_len_boundary_roundtrips() {
+    let payload = vec![7u8; 1 << 16];
+    let frame = Frame::new(FrameKind::EvalDone, 9, payload);
+    let mut dec = FrameDecoder::with_max_len(1 << 16);
+    dec.feed(&frame.encode());
+    assert_eq!(dec.next_frame().unwrap().unwrap(), frame);
+    // One byte over the bound is rejected.
+    let over = Frame::new(FrameKind::EvalDone, 9, vec![7u8; (1 << 16) + 1]);
+    let mut dec = FrameDecoder::with_max_len(1 << 16);
+    dec.feed(&over.encode());
+    assert!(matches!(
+        dec.next_frame(),
+        Err(ClientError::FrameTooLarge { .. })
+    ));
+    const _: () = assert!(MAX_FRAME_LEN >= 1 << 20, "default admits real key uploads");
+}

@@ -26,6 +26,18 @@ pub enum ServeError {
     Fides(FidesError),
     /// A wire frame failed to parse.
     Client(ClientError),
+    /// The admission queue is at capacity and the request was load-shed
+    /// (never buffered without bound, never blocking the submitter).
+    Overloaded {
+        /// The server's backlog-drain estimate: retry after roughly this
+        /// many batch ticks (`⌈queued / batch_size⌉` at shed time). A
+        /// tick's wall duration is deployment-specific — the hint orders
+        /// retries, it is not a wall-clock promise.
+        retry_after_ticks: u64,
+    },
+    /// A socket-level failure in the network front (bind, accept, read,
+    /// or write).
+    Io(String),
 }
 
 impl fmt::Display for ServeError {
@@ -41,6 +53,11 @@ impl fmt::Display for ServeError {
             }
             ServeError::Fides(e) => write!(f, "session setup failed: {e}"),
             ServeError::Client(e) => write!(f, "malformed request: {e}"),
+            ServeError::Overloaded { retry_after_ticks } => write!(
+                f,
+                "server overloaded: admission queue full, retry after ~{retry_after_ticks} ticks"
+            ),
+            ServeError::Io(msg) => write!(f, "socket error: {msg}"),
         }
     }
 }

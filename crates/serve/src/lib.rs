@@ -60,7 +60,7 @@
 //! let mut p = OpProgram::new(1);
 //! let sq = p.push(ProgramOp::Square { a: 0 });
 //! p.output(sq);
-//! let resp = server.eval(tenant.eval_request(sid, &[&[0.5, -0.25]], &p)?);
+//! let resp = server.eval(tenant.eval_request(sid, &[&[0.5, -0.25]], &p)?)?;
 //! let out = tenant.decrypt_response(&resp, &[2])?;
 //! assert!((out[0][0] - 0.25).abs() < 1e-3);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -69,12 +69,16 @@
 #![deny(missing_docs)]
 
 mod error;
+pub mod net;
+mod qos;
 mod registry;
 mod router;
 mod server;
 mod stats;
 
 pub use error::ServeError;
+pub use net::{NetServer, NetServerConfig};
+pub use qos::{AdmissionQueue, QosPolicy};
 pub use router::{Migration, ShardRouter};
 pub use server::{ServeBackend, Server, ServerConfig, Ticket};
 pub use stats::ServeStats;

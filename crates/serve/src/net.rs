@@ -1,0 +1,437 @@
+//! The socket front: a non-blocking TCP listener decoding length-prefixed
+//! frames into the batch scheduler.
+//!
+//! [`NetServer`] runs a readiness event loop (the vendored `mio` poll) over
+//! one listener and its accepted connections:
+//!
+//! ```text
+//!   readable ──► drain socket ──► FrameDecoder ──► OpenSession / Eval
+//!                                                    │ submit() — bounded,
+//!                                                    │ load-sheds to Reject
+//!   loop body ──► run_tick() while tickets are outstanding
+//!                                                    │
+//!   tickets redeemed ──► EvalDone/Reject frames ──► per-connection outbox
+//!   writable ──► flush outbox (absorbing WouldBlock)
+//! ```
+//!
+//! Two invariants keep the front honest under load:
+//!
+//! * **The tick lock is never held while touching a socket.** Frames are
+//!   decoded and responses written from the event loop; batch execution
+//!   happens inside [`Server::run_tick`], which acquires and releases the
+//!   lock itself. A slow or stalled peer therefore cannot extend a batch
+//!   tick, and a long tick cannot block accepting or shedding new work.
+//! * **Backpressure is explicit, not implicit.** A request that cannot be
+//!   admitted gets a [`RejectCode::Overloaded`] frame carrying
+//!   `retry_after_ticks` on the spot; the admission queue's bound (not
+//!   socket buffers) is the only queue that grows with offered load.
+//!
+//! Malformed input (bad magic, oversized length prefix, an unparseable
+//! payload) earns a [`RejectCode::Malformed`] frame and the connection is
+//! closed once the reject flushes — after a framing error the byte stream
+//! can no longer be trusted.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use fides_client::wire::{
+    EvalRequest, Frame, FrameDecoder, FrameKind, Reject, RejectCode, SessionRequest,
+};
+use fides_client::ClientError;
+use mio::net::{TcpListener, TcpStream};
+use mio::{Events, Interest, Poll, Token};
+
+use crate::error::ServeError;
+use crate::server::{Server, Ticket};
+
+const LISTENER: Token = Token(0);
+/// Poll timeout: the loop must keep driving batch ticks while requests
+/// are outstanding even when no socket event arrives.
+const POLL_TIMEOUT: Duration = Duration::from_millis(1);
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Tuning knobs for the socket front.
+#[derive(Clone, Debug)]
+pub struct NetServerConfig {
+    /// Upper bound on a frame's declared payload length; a peer
+    /// declaring more is treated as hostile and disconnected.
+    pub max_frame_len: usize,
+    /// Most simultaneously open connections; accepts past it are
+    /// immediately closed.
+    pub max_connections: usize,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        Self {
+            max_frame_len: fides_client::wire::MAX_FRAME_LEN,
+            max_connections: 256,
+        }
+    }
+}
+
+/// One accepted connection's state.
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Admitted requests awaiting their batch tick, by client seq.
+    inflight: Vec<(u64, Ticket)>,
+    /// Encoded response bytes not yet accepted by the socket.
+    outbox: Vec<u8>,
+    /// Bytes of `outbox` already written.
+    written: usize,
+    /// Stop reading (peer EOF or a framing error); close once the
+    /// outbox flushes and no admitted request is still in flight.
+    draining: bool,
+}
+
+impl Conn {
+    fn queue_frame(&mut self, frame: &Frame) {
+        self.outbox.extend_from_slice(&frame.encode());
+    }
+
+    fn outbox_empty(&self) -> bool {
+        self.written == self.outbox.len()
+    }
+
+    fn finished(&self) -> bool {
+        self.draining && self.outbox_empty() && self.inflight.is_empty()
+    }
+}
+
+/// Stops a running [`NetServer`] loop from another thread.
+#[derive(Clone, Debug)]
+pub struct NetShutdown(Arc<AtomicBool>);
+
+impl NetShutdown {
+    /// Asks the event loop to exit after its current iteration.
+    pub fn shutdown(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+}
+
+/// A non-blocking TCP front over a [`Server`].
+pub struct NetServer {
+    server: Server,
+    config: NetServerConfig,
+    poll: Poll,
+    listener: TcpListener,
+    addr: SocketAddr,
+    conns: HashMap<Token, Conn>,
+    next_token: usize,
+    stop: Arc<AtomicBool>,
+}
+
+impl NetServer {
+    /// Binds the front to `addr` (use port 0 for an ephemeral port; read
+    /// it back with [`NetServer::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the bind fails.
+    pub fn bind(
+        server: Server,
+        addr: impl std::net::ToSocketAddrs,
+        config: NetServerConfig,
+    ) -> Result<Self, ServeError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| ServeError::Io(e.to_string()))?
+            .next()
+            .ok_or_else(|| ServeError::Io("address resolved to nothing".into()))?;
+        let mut listener = TcpListener::bind(addr).map_err(|e| ServeError::Io(e.to_string()))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        let poll = Poll::new().map_err(|e| ServeError::Io(e.to_string()))?;
+        poll.registry()
+            .register(&mut listener, LISTENER, Interest::READABLE)
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        Ok(Self {
+            server,
+            config,
+            poll,
+            listener,
+            addr,
+            conns: HashMap::new(),
+            next_token: 1,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound listen address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle that stops [`NetServer::run`] from another thread.
+    pub fn shutdown_handle(&self) -> NetShutdown {
+        NetShutdown(Arc::clone(&self.stop))
+    }
+
+    /// Binds to `addr` and runs the event loop on its own thread.
+    /// Returns the bound address, the shutdown handle, and the join
+    /// handle.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the bind fails.
+    pub fn spawn(
+        server: Server,
+        addr: impl std::net::ToSocketAddrs,
+        config: NetServerConfig,
+    ) -> Result<(SocketAddr, NetShutdown, std::thread::JoinHandle<()>), ServeError> {
+        let mut front = Self::bind(server, addr, config)?;
+        let bound = front.local_addr();
+        let shutdown = front.shutdown_handle();
+        let join = std::thread::spawn(move || front.run());
+        Ok((bound, shutdown, join))
+    }
+
+    /// Runs the event loop until [`NetShutdown::shutdown`] is called.
+    /// Connections still open at shutdown are dropped.
+    pub fn run(&mut self) {
+        let mut events = Events::with_capacity(64);
+        while !self.stop.load(Ordering::SeqCst) {
+            events.clear();
+            let _ = self.poll.poll(&mut events, Some(POLL_TIMEOUT));
+            let tokens: Vec<Token> = events.iter().map(|ev| ev.token()).collect();
+            for token in tokens {
+                if token == LISTENER {
+                    self.accept_ready();
+                } else {
+                    self.read_ready(token);
+                }
+            }
+            // Admitted work outstanding? Drive a batch tick. run_tick
+            // takes (and releases) the tick lock internally — no socket
+            // is touched while it is held.
+            if self.conns.values().any(|c| !c.inflight.is_empty()) {
+                self.server.run_tick();
+            }
+            self.redeem_tickets();
+            self.flush_all();
+            self.reap();
+        }
+    }
+
+    /// Accepts every pending connection (readiness is level-triggered).
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((mut stream, _peer)) => {
+                    if self.conns.len() >= self.config.max_connections {
+                        drop(stream); // immediate close: connection-level shed
+                        continue;
+                    }
+                    let token = Token(self.next_token);
+                    self.next_token += 1;
+                    if self
+                        .poll
+                        .registry()
+                        .register(&mut stream, token, Interest::READABLE | Interest::WRITABLE)
+                        .is_err()
+                    {
+                        continue; // registration failed: drop the socket
+                    }
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            decoder: FrameDecoder::with_max_len(self.config.max_frame_len),
+                            inflight: Vec::new(),
+                            outbox: Vec::new(),
+                            written: 0,
+                            draining: false,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Drains a readable connection and dispatches every complete frame.
+    fn read_ready(&mut self, token: Token) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.draining {
+            return;
+        }
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.draining = true;
+                    break;
+                }
+                Ok(n) => conn.decoder.feed(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    conn.draining = true;
+                    break;
+                }
+            }
+        }
+        loop {
+            match conn.decoder.next_frame() {
+                Ok(Some(frame)) => Self::dispatch(&self.server, conn, frame),
+                Ok(None) => break,
+                Err(e) => {
+                    // Framing desync: reject (seq 0 — no frame to echo),
+                    // stop reading, close once the reject flushes.
+                    let reject = Reject {
+                        code: RejectCode::Malformed,
+                        retry_after_ticks: 0,
+                        message: e.to_string(),
+                    };
+                    conn.queue_frame(&Frame::new(FrameKind::Reject, 0, reject.to_bytes()));
+                    conn.draining = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Handles one decoded frame: session open or eval submission.
+    fn dispatch(server: &Server, conn: &mut Conn, frame: Frame) {
+        match frame.kind {
+            FrameKind::OpenSession => {
+                let reply = match SessionRequest::from_bytes(&frame.payload) {
+                    Ok(req) => match server.open_session(req) {
+                        Ok(sid) => Frame::new(
+                            FrameKind::SessionOpened,
+                            frame.seq,
+                            sid.to_le_bytes().into(),
+                        ),
+                        Err(e) => reject_frame(frame.seq, RejectCode::Refused, 0, &e.to_string()),
+                    },
+                    Err(e) => {
+                        conn.draining = true;
+                        reject_frame(frame.seq, RejectCode::Malformed, 0, &e.to_string())
+                    }
+                };
+                conn.queue_frame(&reply);
+            }
+            FrameKind::Eval => match EvalRequest::from_bytes(&frame.payload) {
+                Ok(req) => match server.submit(req) {
+                    Ok(ticket) => conn.inflight.push((frame.seq, ticket)),
+                    Err(ServeError::Overloaded { retry_after_ticks }) => {
+                        conn.queue_frame(&reject_frame(
+                            frame.seq,
+                            RejectCode::Overloaded,
+                            retry_after_ticks,
+                            "admission queue full",
+                        ));
+                    }
+                    Err(e) => conn.queue_frame(&reject_frame(
+                        frame.seq,
+                        RejectCode::Refused,
+                        0,
+                        &e.to_string(),
+                    )),
+                },
+                Err(e) => {
+                    conn.draining = true;
+                    conn.queue_frame(&reject_frame(
+                        frame.seq,
+                        RejectCode::Malformed,
+                        0,
+                        &e.to_string(),
+                    ));
+                }
+            },
+            // Server-to-client kinds arriving at the server are protocol
+            // abuse: reject and drop the stream.
+            FrameKind::SessionOpened | FrameKind::EvalDone | FrameKind::Reject => {
+                conn.draining = true;
+                conn.queue_frame(&reject_frame(
+                    frame.seq,
+                    RejectCode::Malformed,
+                    0,
+                    "client sent a server-side frame kind",
+                ));
+            }
+        }
+    }
+
+    /// Moves completed tickets' responses into their connections'
+    /// outboxes.
+    fn redeem_tickets(&mut self) {
+        for conn in self.conns.values_mut() {
+            let mut i = 0;
+            while i < conn.inflight.len() {
+                if let Some(resp) = conn.inflight[i].1.try_take() {
+                    let (seq, _) = conn.inflight.swap_remove(i);
+                    let frame = Frame::new(FrameKind::EvalDone, seq, resp.to_bytes());
+                    conn.queue_frame(&frame);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Writes every connection's outbox until done or `WouldBlock`
+    /// (writability is level-triggered; leftovers retry next iteration).
+    fn flush_all(&mut self) {
+        for conn in self.conns.values_mut() {
+            while conn.written < conn.outbox.len() {
+                match conn.stream.write(&conn.outbox[conn.written..]) {
+                    Ok(0) => {
+                        conn.draining = true;
+                        break;
+                    }
+                    Ok(n) => conn.written += n,
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(_) => {
+                        conn.draining = true;
+                        conn.written = conn.outbox.len();
+                        break;
+                    }
+                }
+            }
+            if conn.outbox_empty() && !conn.outbox.is_empty() {
+                conn.outbox.clear();
+                conn.written = 0;
+            }
+        }
+    }
+
+    /// Drops connections that are fully drained.
+    fn reap(&mut self) {
+        let dead: Vec<Token> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.finished())
+            .map(|(&t, _)| t)
+            .collect();
+        for token in dead {
+            self.poll.registry().deregister_token(token);
+            self.conns.remove(&token);
+        }
+    }
+}
+
+fn reject_frame(seq: u64, code: RejectCode, retry_after_ticks: u64, message: &str) -> Frame {
+    let reject = Reject {
+        code,
+        retry_after_ticks,
+        message: message.to_string(),
+    };
+    Frame::new(FrameKind::Reject, seq, reject.to_bytes())
+}
+
+// The decoder's error type comes from the client crate; make sure the
+// conversion the dispatcher relies on exists and stays typed.
+const _: () = {
+    fn _assert_conv(e: ClientError) -> ServeError {
+        ServeError::from(e)
+    }
+};

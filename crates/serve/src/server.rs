@@ -1,6 +1,5 @@
 //! The session server: request queue, batch scheduler, graph sharing.
 
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 use fides_client::wire::{params_fingerprint, EvalRequest, EvalResponse, SessionRequest};
@@ -17,6 +16,7 @@ use fides_gpu_sim::{
 use parking_lot::Mutex;
 
 use crate::error::ServeError;
+use crate::qos::{AdmissionQueue, QosPolicy};
 use crate::registry::{Registry, SessionState};
 use crate::router::{Migration, ShardRouter};
 use crate::stats::ServeStats;
@@ -63,6 +63,11 @@ pub struct ServerConfig {
     pub batch_size: usize,
     /// Session-registry capacity; opening past it evicts the LRU tenant.
     pub max_sessions: usize,
+    /// Admission-queue capacity (≥ 1): requests past it are load-shed
+    /// with [`ServeError::Overloaded`] instead of buffered without bound.
+    pub admission_capacity: usize,
+    /// How queued requests are released into batch ticks.
+    pub qos: QosPolicy,
 }
 
 impl ServerConfig {
@@ -75,6 +80,8 @@ impl ServerConfig {
             backend: ServeBackend::default(),
             batch_size: 16,
             max_sessions: 64,
+            admission_capacity: 1024,
+            qos: QosPolicy::default(),
         }
     }
 
@@ -93,6 +100,18 @@ impl ServerConfig {
     /// Session-registry capacity.
     pub fn max_sessions(mut self, sessions: usize) -> Self {
         self.max_sessions = sessions.max(1);
+        self
+    }
+
+    /// Admission-queue capacity (load-shed threshold).
+    pub fn admission_capacity(mut self, capacity: usize) -> Self {
+        self.admission_capacity = capacity.max(1);
+        self
+    }
+
+    /// Cross-tenant scheduling policy for the admission queue.
+    pub fn qos(mut self, qos: QosPolicy) -> Self {
+        self.qos = qos;
         self
     }
 }
@@ -146,7 +165,7 @@ struct ServerInner {
     /// Tenant → device-shard placement (consistent hashing; migrates on
     /// sustained imbalance).
     router: Mutex<ShardRouter>,
-    queue: Mutex<VecDeque<Pending>>,
+    queue: Mutex<AdmissionQueue<Pending>>,
     /// Serializes batch execution: exactly one tick runs at a time, and a
     /// blocked [`Server::eval`] caller waiting on this lock is guaranteed
     /// its request was either served by the running tick or is still
@@ -236,7 +255,10 @@ impl Server {
                 batch_size: config.batch_size.max(1),
                 registry: Mutex::new(Registry::new(config.max_sessions)),
                 router: Mutex::new(ShardRouter::new(num_devices)),
-                queue: Mutex::new(VecDeque::new()),
+                queue: Mutex::new(AdmissionQueue::new(
+                    config.qos,
+                    config.admission_capacity.max(1),
+                )),
                 tick_lock: Mutex::new(()),
                 stats: Mutex::new(ServeStats::default()),
                 plan_cache: Mutex::new(PlanCache::default()),
@@ -433,15 +455,53 @@ impl Server {
 
     /// Enqueues a request without blocking; a later batch tick (from any
     /// thread) executes it. Redeem the ticket with [`Ticket::try_take`].
-    pub fn submit(&self, req: EvalRequest) -> Ticket {
+    ///
+    /// Admission is **bounded**: when the queue is at
+    /// [`ServerConfig::admission_capacity`] the request is load-shed
+    /// immediately — never buffered without bound, never blocking the
+    /// submitter.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] with `retry_after_ticks`, the server's
+    /// estimate (`⌈queued / batch_size⌉`) of how many batch ticks must
+    /// drain before a retry can be admitted.
+    pub fn submit(&self, req: EvalRequest) -> Result<Ticket, ServeError> {
         let slot = Arc::new(Slot {
             resp: Mutex::new(None),
         });
-        self.inner.queue.lock().push_back(Pending {
+        let session = req.session_id;
+        let pending = Pending {
             req,
             slot: Arc::clone(&slot),
-        });
-        Ticket { slot }
+        };
+        let shed_backlog = {
+            let mut queue = self.inner.queue.lock();
+            match queue.push(session, pending) {
+                Ok(()) => None,
+                Err(_) => Some(queue.len()),
+            }
+        };
+        if let Some(queued) = shed_backlog {
+            self.inner.stats.lock().shed += 1;
+            let batch = self.inner.batch_size as u64;
+            return Err(ServeError::Overloaded {
+                retry_after_ticks: (queued as u64).div_ceil(batch),
+            });
+        }
+        Ok(Ticket { slot })
+    }
+
+    /// Requests currently admitted but not yet served.
+    pub fn queued(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    /// Sets a session's weight for deficit-round-robin scheduling
+    /// (default 1; no-op under [`QosPolicy::Fifo`]). A weight-`w` lane
+    /// releases `w×` a weight-1 lane's requests per rotation round.
+    pub fn set_session_weight(&self, session: u64, weight: u32) {
+        self.inner.queue.lock().set_weight(session, weight);
     }
 
     /// Runs one batch tick: drains up to `batch_size` queued requests,
@@ -456,8 +516,19 @@ impl Server {
     /// Blocking evaluation: enqueues the request and drives batch ticks
     /// until its response is ready. Concurrent callers' requests batch into
     /// shared ticks — N threads blocked here produce multi-request graphs.
-    pub fn eval(&self, req: EvalRequest) -> EvalResponse {
-        let ticket = self.submit(req);
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when admission load-sheds the request
+    /// (see [`Server::submit`]); the caller should retry after the hinted
+    /// number of ticks.
+    pub fn eval(&self, req: EvalRequest) -> Result<EvalResponse, ServeError> {
+        let ticket = self.submit(req)?;
+        Ok(self.drive(&ticket))
+    }
+
+    /// Drives batch ticks until an admitted ticket's response is ready.
+    fn drive(&self, ticket: &Ticket) -> EvalResponse {
         loop {
             if let Some(resp) = ticket.try_take() {
                 return resp;
@@ -477,22 +548,23 @@ impl Server {
 
     /// [`Server::eval`] over serialized wire frames: parses an
     /// [`EvalRequest`], serves it, and returns the serialized
-    /// [`EvalResponse`] (parse failures come back as failed responses, so
-    /// this never panics on attacker-controlled bytes).
+    /// [`EvalResponse`] (parse failures and load-sheds come back as
+    /// failed responses, so this never panics on attacker-controlled
+    /// bytes). The socket front (`NetServer`) reports the same
+    /// conditions as typed `Reject` frames instead.
     pub fn eval_bytes(&self, frame: &[u8]) -> Vec<u8> {
         match EvalRequest::from_bytes(frame) {
-            Ok(req) => self.eval(req).to_bytes(),
+            Ok(req) => match self.eval(req) {
+                Ok(resp) => resp.to_bytes(),
+                Err(e) => EvalResponse::failed(e.to_string()).to_bytes(),
+            },
             Err(e) => EvalResponse::failed(format!("malformed request: {e}")).to_bytes(),
         }
     }
 
     /// Executes one batch while holding the tick lock.
     fn run_tick_locked(&self) -> usize {
-        let batch: Vec<Pending> = {
-            let mut queue = self.inner.queue.lock();
-            let n = queue.len().min(self.inner.batch_size);
-            queue.drain(..n).collect()
-        };
+        let batch: Vec<Pending> = self.inner.queue.lock().pop_batch(self.inner.batch_size);
         if batch.is_empty() {
             return 0;
         }

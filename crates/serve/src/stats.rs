@@ -14,6 +14,9 @@ pub struct ServeStats {
     pub max_batch: usize,
     /// Sessions opened over the server's lifetime.
     pub sessions_opened: u64,
+    /// Requests load-shed by the bounded admission queue (returned
+    /// `Overloaded`, never queued).
+    pub shed: u64,
     /// Sessions evicted by the registry's LRU bound.
     pub sessions_evicted: u64,
     /// Kernel nodes recorded across all batch graphs (gpu-sim substrate).

@@ -126,7 +126,7 @@ fn serve_threaded(
                 .collect();
             scope.spawn(move || {
                 for (t, r, req) in mine {
-                    let resp = server.eval(req.clone());
+                    let resp = server.eval(req.clone()).unwrap();
                     assert!(resp.error.is_none(), "request failed: {:?}", resp.error);
                     let frames: Vec<Vec<u8>> =
                         resp.outputs.iter().map(|ct| ct.to_bytes()).collect();
@@ -154,7 +154,7 @@ fn batched_bit_identical_to_serial_and_engine() {
     // Batched: everything queued, then drained in one tick of 6.
     let tickets: Vec<_> = reqs
         .iter()
-        .map(|(t, r, req)| (*t, *r, batched_server.submit(req.clone())))
+        .map(|(t, r, req)| (*t, *r, batched_server.submit(req.clone()).unwrap()))
         .collect();
     assert_eq!(batched_server.run_tick(), 6, "one tick serves the queue");
 
@@ -170,7 +170,7 @@ fn batched_bit_identical_to_serial_and_engine() {
             .2
             .clone();
         serial_req.session_id = s_sids[*t];
-        let serial = serial_server.eval(serial_req);
+        let serial = serial_server.eval(serial_req).unwrap();
         assert!(serial.error.is_none());
         assert_eq!(
             batched.outputs.len(),
@@ -223,7 +223,7 @@ fn threads_interleaved_match_serial_across_batch_sizes() {
     let reqs = requests(&tenants, &ref_sids, per_tenant);
     let mut expected = BTreeMap::new();
     for (t, r, req) in &reqs {
-        let resp = reference.eval(req.clone());
+        let resp = reference.eval(req.clone()).unwrap();
         assert!(resp.error.is_none());
         expected.insert(
             (*t, *r),
@@ -263,7 +263,7 @@ fn cpu_substrate_matches_gpu_across_worker_counts() {
     let reqs = requests(&tenants, &gpu_sids, per_tenant);
     let mut expected = BTreeMap::new();
     for (t, r, req) in &reqs {
-        let resp = gpu.eval(req.clone());
+        let resp = gpu.eval(req.clone()).unwrap();
         assert!(resp.error.is_none());
         expected.insert(
             (*t, *r),
@@ -318,7 +318,7 @@ fn cross_tenant_batching_strictly_reduces_launches() {
     let b_before = total_launches(&batched);
     let tickets: Vec<_> = reqs
         .iter()
-        .map(|(_, _, req)| batched.submit(req.clone()))
+        .map(|(_, _, req)| batched.submit(req.clone()).unwrap())
         .collect();
     assert_eq!(batched.run_tick(), 16);
     let b_launches = total_launches(&batched) - b_before;
@@ -334,7 +334,7 @@ fn cross_tenant_batching_strictly_reduces_launches() {
     for (t, _, req) in &reqs {
         let mut req = req.clone();
         req.session_id = s_sids[*t];
-        let resp = serial.eval(req);
+        let resp = serial.eval(req).unwrap();
         assert!(resp.error.is_none());
         serial_frames.push(resp.outputs[0].to_bytes());
     }
@@ -375,7 +375,7 @@ fn plan_cache_steady_state_hits_and_invalidation() {
     for tick in 0..16 {
         let tickets: Vec<_> = reqs
             .iter()
-            .map(|(_, _, req)| server.submit(req.clone()))
+            .map(|(_, _, req)| server.submit(req.clone()).unwrap())
             .collect();
         assert_eq!(
             server.run_tick(),
@@ -411,7 +411,7 @@ fn plan_cache_steady_state_hits_and_invalidation() {
     );
 
     // Graph-shape change: a tick with a different request mix must miss.
-    let ticket = server.submit(reqs[0].2.clone());
+    let ticket = server.submit(reqs[0].2.clone()).unwrap();
     assert_eq!(server.run_tick(), 1);
     assert!(ticket.try_take().unwrap().error.is_none());
     assert_eq!(
@@ -444,7 +444,7 @@ fn plan_cache_steady_state_hits_and_invalidation() {
     }
     let tickets: Vec<_> = other_reqs
         .iter()
-        .map(|(_, _, req)| other.submit(req.clone()))
+        .map(|(_, _, req)| other.submit(req.clone()).unwrap())
         .collect();
     assert_eq!(other.run_tick(), other_reqs.len());
     let other_frames: Vec<Vec<u8>> = tickets
@@ -481,7 +481,7 @@ fn sched_v2_off_matches_v2_on_frames() {
         }
         let tickets: Vec<_> = my_reqs
             .iter()
-            .map(|(_, _, req)| server.submit(req.clone()))
+            .map(|(_, _, req)| server.submit(req.clone()).unwrap())
             .collect();
         assert_eq!(server.run_tick(), reqs.len());
         frames.push(
@@ -506,7 +506,7 @@ fn registry_evicts_lru_and_rejects_foreign_chains() {
     assert_eq!(server.session_count(), 2, "bounded registry");
     // Tenant 0 was the LRU victim: its requests now fail cleanly.
     let reqs = requests(&tenants, &sids, 1);
-    let resp = server.eval(reqs[0].2.clone());
+    let resp = server.eval(reqs[0].2.clone()).unwrap();
     assert!(
         resp.error
             .as_deref()
@@ -516,7 +516,7 @@ fn registry_evicts_lru_and_rejects_foreign_chains() {
         resp.error
     );
     // Later tenants still work.
-    let resp = server.eval(reqs[2].2.clone());
+    let resp = server.eval(reqs[2].2.clone()).unwrap();
     assert!(resp.error.is_none());
 
     // A foreign parameter chain is rejected before key loading.
@@ -532,4 +532,84 @@ fn registry_evicts_lru_and_rejects_foreign_chains() {
         Err(fides_serve::ServeError::ParamsMismatch { .. })
     ));
     assert_eq!(server.stats().sessions_evicted, 1);
+}
+
+/// The network front preserves the determinism bar end to end: N client
+/// threads over **real sockets** — each opening its session and
+/// pipelining its requests through frames, the event loop, the admission
+/// queue and the DRR scheduler — get responses byte-identical to the
+/// same requests through the in-process `eval` path. Worker counts and
+/// device counts come from the CI matrix (`FIDES_WORKERS` ×
+/// `FIDES_DEVICES`), like every other test in this suite.
+#[test]
+fn socket_serving_matches_in_process() {
+    use fides_client::net::NetClient;
+    use fides_serve::{NetServer, NetServerConfig};
+
+    let tenants = tenants(3);
+    let per_tenant = 2;
+
+    // In-process reference.
+    let reference = Server::new(ServerConfig::new(params()).batch_size(16)).unwrap();
+    let ref_sids = open_all(&reference, &tenants);
+    let reqs = requests(&tenants, &ref_sids, per_tenant);
+    let mut expected = BTreeMap::new();
+    for (t, r, req) in &reqs {
+        let resp = reference.eval(req.clone()).unwrap();
+        assert!(resp.error.is_none());
+        expected.insert((*t, *r), resp.to_bytes());
+    }
+
+    // Socket server over a fresh Server with the same chain.
+    let server = Server::new(ServerConfig::new(params()).batch_size(16)).unwrap();
+    let (addr, shutdown, join) =
+        NetServer::spawn(server, "127.0.0.1:0", NetServerConfig::default()).unwrap();
+
+    // One client thread per tenant: open a session over the socket, then
+    // pipeline the tenant's whole burst on one connection.
+    let got = std::sync::Mutex::new(BTreeMap::new());
+    std::thread::scope(|scope| {
+        for (t, tenant) in tenants.iter().enumerate() {
+            let got = &got;
+            let reqs = &reqs;
+            scope.spawn(move || {
+                let mut client = NetClient::connect(addr).unwrap();
+                let plains = tenant
+                    .model
+                    .session_plains(tenant.session.engine().max_level());
+                let refs: Vec<(&[f64], usize)> =
+                    plains.iter().map(|(v, l)| (v.as_slice(), *l)).collect();
+                let sid = client
+                    .open_session(&tenant.session.session_request(&refs).unwrap())
+                    .unwrap();
+                let mut mine: Vec<(usize, EvalRequest)> = reqs
+                    .iter()
+                    .filter(|(tt, _, _)| *tt == t)
+                    .map(|(_, r, req)| (*r, req.clone()))
+                    .collect();
+                for (_, req) in &mut mine {
+                    req.session_id = sid;
+                }
+                let burst: Vec<EvalRequest> = mine.iter().map(|(_, rq)| rq.clone()).collect();
+                let resps = client.eval_pipelined(&burst).unwrap();
+                for ((r, _), resp) in mine.iter().zip(resps) {
+                    let resp = resp.expect("admitted and served");
+                    assert!(
+                        resp.error.is_none(),
+                        "socket request failed: {:?}",
+                        resp.error
+                    );
+                    got.lock().unwrap().insert((t, *r), resp.to_bytes());
+                }
+            });
+        }
+    });
+    shutdown.shutdown();
+    join.join().unwrap();
+
+    assert_eq!(
+        got.into_inner().unwrap(),
+        expected,
+        "socket frames drifted from the in-process eval path"
+    );
 }

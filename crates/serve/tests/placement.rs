@@ -102,7 +102,7 @@ fn serve_batch(
         .map(|(t, r, req)| {
             let mut req = req.clone();
             req.session_id = sids[*t];
-            (*t, *r, server.submit(req))
+            (*t, *r, server.submit(req).unwrap())
         })
         .collect();
     while server.run_tick() > 0 {}
@@ -182,7 +182,7 @@ fn sustained_imbalance_migrates_tenant_without_changing_frames() {
     let expected: Vec<Vec<u8>> = hot_tenants
         .iter()
         .map(|&t| {
-            let resp = server.eval(reqs[t * REQS_PER_TENANT].2.clone());
+            let resp = server.eval(reqs[t * REQS_PER_TENANT].2.clone()).unwrap();
             assert!(resp.error.is_none());
             resp.outputs[0].to_bytes()
         })
@@ -198,8 +198,12 @@ fn sustained_imbalance_migrates_tenant_without_changing_frames() {
     // moves the hot shard's cheapest tenant and the server re-uploads its
     // keys over the cluster link.
     for _ in 0..4 {
-        let a = server.submit(reqs[hot_tenants[0] * REQS_PER_TENANT].2.clone());
-        let b = server.submit(reqs[hot_tenants[1] * REQS_PER_TENANT].2.clone());
+        let a = server
+            .submit(reqs[hot_tenants[0] * REQS_PER_TENANT].2.clone())
+            .unwrap();
+        let b = server
+            .submit(reqs[hot_tenants[1] * REQS_PER_TENANT].2.clone())
+            .unwrap();
         assert_eq!(server.run_tick(), 2);
         assert!(a.try_take().unwrap().error.is_none());
         assert!(b.try_take().unwrap().error.is_none());
@@ -215,7 +219,7 @@ fn sustained_imbalance_migrates_tenant_without_changing_frames() {
     // re-loaded keys — and every hot tenant's response is still
     // bit-identical to its pre-migration frame.
     for (i, &t) in hot_tenants.iter().enumerate() {
-        let resp = server.eval(reqs[t * REQS_PER_TENANT].2.clone());
+        let resp = server.eval(reqs[t * REQS_PER_TENANT].2.clone()).unwrap();
         assert!(resp.error.is_none());
         assert_eq!(
             resp.outputs[0].to_bytes(),

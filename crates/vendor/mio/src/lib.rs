@@ -1,0 +1,543 @@
+//! Offline stand-in for the `mio` crate: a readiness-polling event loop
+//! over `std::net`.
+//!
+//! The build image has no registry access, so this vendored crate provides
+//! the mio API *shape* — explicit [`Token`]s, [`Interest`] registration, a
+//! [`Poll`]/[`Events`] readiness loop, and non-blocking
+//! [`net::TcpListener`]/[`net::TcpStream`] wrappers — implemented with
+//! portable `std::net` probing instead of epoll/kqueue:
+//!
+//! * **stream readability** is probed with a 1-byte `peek` (`WouldBlock`
+//!   means not ready; `Ok(0)` means the peer closed, which *is* readable —
+//!   the next `read` returns EOF);
+//! * **listener readability** is probed by attempting a non-blocking
+//!   `accept`; an accepted connection is stashed inside the shared
+//!   listener state and handed back by the next [`net::TcpListener::accept`]
+//!   call, so no connection is ever dropped by the probe;
+//! * **writability** is reported whenever it is registered for — there is
+//!   no portable probe for socket send-buffer space, so writers must treat
+//!   `WouldBlock` from `write` as "keep the rest for the next event-loop
+//!   turn" (which is how real mio applications are written anyway).
+//!
+//! [`Poll::poll`] scans registered sources every 500 µs until an event
+//! fires or the timeout elapses. That makes this a *polling* stand-in, not
+//! an epoll: per-turn latency is bounded by the scan interval, which is
+//! plenty for the serving layer's tick-granular scheduler and for tests,
+//! while keeping the loop structure byte-for-byte portable to real mio.
+
+use std::io;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How long [`Poll::poll`] sleeps between readiness scans.
+const SCAN_INTERVAL: Duration = Duration::from_micros(500);
+
+/// Associates a registered event source with the events it produces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// Interest in readiness events, registered per source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Interest in readable readiness.
+    pub const READABLE: Interest = Interest(0b01);
+    /// Interest in writable readiness.
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Whether this interest includes readable readiness.
+    pub fn is_readable(self) -> bool {
+        self.0 & Interest::READABLE.0 != 0
+    }
+
+    /// Whether this interest includes writable readiness.
+    pub fn is_writable(self) -> bool {
+        self.0 & Interest::WRITABLE.0 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        Interest(self.0 | rhs.0)
+    }
+}
+
+/// Readiness event types.
+pub mod event {
+    use super::Token;
+
+    /// One readiness event: a token plus the readiness it observed.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Event {
+        pub(crate) token: Token,
+        pub(crate) readable: bool,
+        pub(crate) writable: bool,
+    }
+
+    impl Event {
+        /// The token the source was registered with.
+        pub fn token(&self) -> Token {
+            self.token
+        }
+
+        /// Whether the source is ready for reading (or has hit EOF/error,
+        /// which the next read surfaces).
+        pub fn is_readable(&self) -> bool {
+            self.readable
+        }
+
+        /// Whether the source is ready for writing.
+        pub fn is_writable(&self) -> bool {
+            self.writable
+        }
+    }
+}
+
+/// A batch of readiness events filled by [`Poll::poll`].
+#[derive(Debug)]
+pub struct Events {
+    inner: Vec<event::Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// An event buffer holding at most `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            inner: Vec::with_capacity(capacity),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Iterates the events of the last poll.
+    pub fn iter(&self) -> std::slice::Iter<'_, event::Event> {
+        self.inner.iter()
+    }
+
+    /// Whether the last poll produced no events.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Clears the buffer (done automatically by [`Poll::poll`]).
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a event::Event;
+    type IntoIter = std::slice::Iter<'a, event::Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+/// What the registry keeps per registered source: a probe that reports
+/// current readiness without consuming any data (opaque; produced by the
+/// [`Source`] implementations in [`net`]).
+pub struct Probe(ProbeKind);
+
+enum ProbeKind {
+    Listener(std::sync::Arc<ListenerShared>),
+    Stream(std::sync::Arc<StreamShared>),
+}
+
+impl Probe {
+    fn is_readable(&self) -> bool {
+        match &self.0 {
+            // Try a non-blocking accept; stash success so the caller's
+            // `accept()` gets it. An accept error other than WouldBlock is
+            // readable too — the caller's accept surfaces it.
+            ProbeKind::Listener(shared) => {
+                if !shared
+                    .stash
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .is_empty()
+                {
+                    return true;
+                }
+                match shared.inner.accept() {
+                    Ok(conn) => {
+                        shared
+                            .stash
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push(conn);
+                        true
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => false,
+                    Err(_) => true,
+                }
+            }
+            ProbeKind::Stream(shared) => {
+                let mut byte = [0u8; 1];
+                match shared.inner.peek(&mut byte) {
+                    Ok(_) => true, // data buffered, or EOF (read returns 0)
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => false,
+                    Err(_) => true, // socket error: surfaces on read
+                }
+            }
+        }
+    }
+}
+
+struct Registration {
+    token: Token,
+    interest: Interest,
+    probe: Probe,
+}
+
+/// Registers event sources with a [`Poll`] instance.
+pub struct Registry {
+    sources: Mutex<Vec<Registration>>,
+}
+
+impl Registry {
+    /// Registers an event source with a token and interest set.
+    /// Re-registering the same source replaces its previous registration.
+    pub fn register<S: Source + ?Sized>(
+        &self,
+        source: &mut S,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        let probe = source.probe();
+        let mut sources = self.sources.lock().unwrap_or_else(|e| e.into_inner());
+        sources.retain(|r| r.token != token);
+        sources.push(Registration {
+            token,
+            interest,
+            probe,
+        });
+        Ok(())
+    }
+
+    /// Changes the interest set of an already-registered token (mio's
+    /// `reregister`). Unknown tokens register fresh.
+    pub fn reregister<S: Source + ?Sized>(
+        &self,
+        source: &mut S,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.register(source, token, interest)
+    }
+
+    /// Removes a source's registration by token.
+    pub fn deregister_token(&self, token: Token) {
+        self.sources
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .retain(|r| r.token != token);
+    }
+}
+
+/// An event source registrable with a [`Registry`].
+pub trait Source {
+    /// The readiness probe the registry retains (shares state with the
+    /// source, so probing never steals data from it).
+    fn probe(&self) -> Probe;
+}
+
+/// The event loop: polls registered sources for readiness.
+pub struct Poll {
+    registry: Registry,
+}
+
+impl Poll {
+    /// A fresh poll instance with an empty registry.
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll {
+            registry: Registry {
+                sources: Mutex::new(Vec::new()),
+            },
+        })
+    }
+
+    /// The registry sources are registered with.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Scans registered sources until at least one event fires or
+    /// `timeout` elapses (`None` waits until an event fires). Events land
+    /// in `events`, cleared first, at most its capacity per call.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            {
+                let sources = self
+                    .registry
+                    .sources
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                for reg in sources.iter() {
+                    if events.inner.len() >= events.capacity {
+                        break;
+                    }
+                    let readable = reg.interest.is_readable() && reg.probe.is_readable();
+                    // No portable send-buffer probe exists; writable
+                    // interest is level-triggered every scan and writers
+                    // absorb `WouldBlock` (see module docs).
+                    let writable = reg.interest.is_writable();
+                    if readable || writable {
+                        events.inner.push(event::Event {
+                            token: reg.token,
+                            readable,
+                            writable,
+                        });
+                    }
+                }
+            }
+            if !events.is_empty() {
+                return Ok(());
+            }
+            if let Some(deadline) = deadline {
+                if Instant::now() >= deadline {
+                    return Ok(());
+                }
+            }
+            std::thread::sleep(SCAN_INTERVAL);
+        }
+    }
+}
+
+/// Non-blocking TCP types mirroring `mio::net`.
+pub mod net {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{Shutdown, SocketAddr, ToSocketAddrs};
+
+    /// A non-blocking TCP listener registrable with a [`Poll`].
+    pub struct TcpListener {
+        pub(crate) shared: std::sync::Arc<ListenerShared>,
+    }
+
+    impl TcpListener {
+        /// Binds a non-blocking listener.
+        pub fn bind(addr: impl ToSocketAddrs) -> io::Result<TcpListener> {
+            let inner = std::net::TcpListener::bind(addr)?;
+            inner.set_nonblocking(true)?;
+            Ok(TcpListener {
+                shared: std::sync::Arc::new(ListenerShared {
+                    inner,
+                    stash: Mutex::new(Vec::new()),
+                }),
+            })
+        }
+
+        /// The bound address (for `bind("127.0.0.1:0")` ephemeral ports).
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.shared.inner.local_addr()
+        }
+
+        /// Accepts one pending connection, non-blocking: connections the
+        /// readiness probe already accepted are handed back first. The
+        /// returned stream is non-blocking.
+        pub fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+            let stashed = self
+                .shared
+                .stash
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop();
+            let (stream, addr) = match stashed {
+                Some(conn) => conn,
+                None => self.shared.inner.accept()?,
+            };
+            stream.set_nonblocking(true)?;
+            Ok((
+                TcpStream {
+                    shared: std::sync::Arc::new(StreamShared { inner: stream }),
+                },
+                addr,
+            ))
+        }
+    }
+
+    impl Source for TcpListener {
+        fn probe(&self) -> Probe {
+            Probe(ProbeKind::Listener(std::sync::Arc::clone(&self.shared)))
+        }
+    }
+
+    /// A non-blocking TCP stream registrable with a [`Poll`].
+    pub struct TcpStream {
+        pub(crate) shared: std::sync::Arc<StreamShared>,
+    }
+
+    impl TcpStream {
+        /// Opens a non-blocking connection (the connect itself is issued
+        /// blocking for simplicity; only I/O afterwards is non-blocking).
+        pub fn connect(addr: SocketAddr) -> io::Result<TcpStream> {
+            let stream = std::net::TcpStream::connect(addr)?;
+            stream.set_nonblocking(true)?;
+            stream.set_nodelay(true)?;
+            Ok(TcpStream {
+                shared: std::sync::Arc::new(StreamShared { inner: stream }),
+            })
+        }
+
+        /// The peer's address.
+        pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+            self.shared.inner.peer_addr()
+        }
+
+        /// Shuts the connection down.
+        pub fn shutdown(&self, how: Shutdown) -> io::Result<()> {
+            self.shared.inner.shutdown(how)
+        }
+    }
+
+    impl Source for TcpStream {
+        fn probe(&self) -> Probe {
+            Probe(ProbeKind::Stream(std::sync::Arc::clone(&self.shared)))
+        }
+    }
+
+    impl Read for TcpStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            (&self.shared.inner).read(buf)
+        }
+    }
+
+    impl Write for TcpStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            (&self.shared.inner).write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            (&self.shared.inner).flush()
+        }
+    }
+
+    impl Read for &TcpStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            (&self.shared.inner).read(buf)
+        }
+    }
+
+    impl Write for &TcpStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            (&self.shared.inner).write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            (&self.shared.inner).flush()
+        }
+    }
+}
+
+/// Shared state between a listener handle and its registry probe: the
+/// probe's non-blocking accepts stash connections here for the handle.
+pub struct ListenerShared {
+    inner: std::net::TcpListener,
+    #[allow(clippy::type_complexity)]
+    stash: Mutex<Vec<(std::net::TcpStream, std::net::SocketAddr)>>,
+}
+
+/// Shared state between a stream handle and its registry probe.
+pub struct StreamShared {
+    inner: std::net::TcpStream,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    const LISTENER: Token = Token(0);
+    const CLIENT: Token = Token(1);
+
+    #[test]
+    fn listener_and_stream_readiness_roundtrip() {
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+
+        let mut listener = net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        poll.registry()
+            .register(&mut listener, LISTENER, Interest::READABLE)
+            .unwrap();
+
+        // Nothing pending yet: a short poll times out empty.
+        poll.poll(&mut events, Some(Duration::from_millis(5)))
+            .unwrap();
+        assert!(events.is_empty(), "no connection pending");
+
+        // A connect makes the listener readable; accept yields the conn.
+        let mut client = net::TcpStream::connect(addr).unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.token() == LISTENER && e.is_readable()));
+        let (mut server_side, _) = listener.accept().unwrap();
+
+        // Register the client readable; server writes; client becomes
+        // readable and reads the bytes back.
+        poll.registry()
+            .register(&mut client, CLIENT, Interest::READABLE)
+            .unwrap();
+        server_side.write_all(b"ping").unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.token() == CLIENT && e.is_readable()));
+        let mut buf = [0u8; 4];
+        client.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+
+        // EOF reports readable too (read then returns 0).
+        drop(server_side);
+        poll.poll(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.token() == CLIENT && e.is_readable()));
+        assert_eq!(client.read(&mut buf).unwrap(), 0, "clean EOF");
+    }
+
+    #[test]
+    fn writable_interest_is_level_triggered_and_deregister_works() {
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(4);
+        let listener = net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = net::TcpStream::connect(addr).unwrap();
+
+        poll.registry()
+            .register(&mut client, CLIENT, Interest::WRITABLE)
+            .unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(1)))
+            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.token() == CLIENT && e.is_writable()));
+
+        // Dropping writable interest silences the token.
+        poll.registry()
+            .reregister(&mut client, CLIENT, Interest::READABLE)
+            .unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(5)))
+            .unwrap();
+        assert!(events.is_empty(), "no data, no writable interest");
+
+        poll.registry().deregister_token(CLIENT);
+        poll.poll(&mut events, Some(Duration::from_millis(5)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn interest_combinators() {
+        let rw = Interest::READABLE | Interest::WRITABLE;
+        assert!(rw.is_readable() && rw.is_writable());
+        assert!(!Interest::READABLE.is_writable());
+        assert!(!Interest::WRITABLE.is_readable());
+    }
+}

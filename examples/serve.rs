@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for r in 0..REQUESTS_PER_TENANT {
             let features = synthetic_features(DIM, t as u64, r as u64);
             let req = session.eval_request(*sid, &[&features], &program)?;
-            tickets.push((t, r, server.submit(req)));
+            tickets.push((t, r, server.submit(req)?));
         }
     }
     while server.run_tick() > 0 {}
@@ -85,7 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let req = session
                     .eval_request(*sid, &[&features], &program)
                     .expect("encrypt");
-                let resp = server.eval(req);
+                let resp = server.eval(req).expect("admitted");
                 let score = session.decrypt_response(&resp, &[1]).expect("decrypt")[0][0];
                 let expect = model.score_plain(&features);
                 assert!((score - expect).abs() < 1e-3);
@@ -137,7 +137,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             tickets.push((
                 t,
                 r,
-                dist.submit(session.eval_request(sid, &[&features], &program)?),
+                dist.submit(session.eval_request(sid, &[&features], &program)?)?,
             ));
         }
     }
