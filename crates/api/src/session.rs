@@ -196,6 +196,95 @@ impl Session {
             .map_err(|e| FidesError::Client(format!("pipelined eval failed: {e}")))
     }
 
+    /// Writes this session's key material as a versioned persist stream
+    /// (`fides_client::persist`): a params record followed by a session
+    /// record carrying the same keygen upload
+    /// [`Session::session_request`] would send. A tenant that exported
+    /// its keys can re-attach to a restarted server without regenerating
+    /// them — [`Session::import_keys`] reads the stream back into a
+    /// [`SessionRequest`] for `open_session`. The secret key never
+    /// appears in the stream.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::session_request`] for `plains`;
+    /// [`FidesError::Client`] when the sink fails.
+    pub fn export_keys<W: std::io::Write>(&self, w: W, plains: &[(&[f64], usize)]) -> Result<()> {
+        use fides_client::persist::{kind, ParamsRecord, RecordWriter, SessionRecord};
+        let upload = self.session_request(plains)?;
+        let to_client = |e: fides_client::ClientError| FidesError::Client(e.to_string());
+        let mut writer = RecordWriter::new(w).map_err(to_client)?;
+        writer
+            .record(
+                kind::PARAMS,
+                &ParamsRecord {
+                    params_hash: upload.params_hash,
+                }
+                .encode(),
+            )
+            .map_err(to_client)?;
+        writer
+            .record(
+                kind::SESSION,
+                &SessionRecord {
+                    id: 0,
+                    device: 0,
+                    weight: 1,
+                    upload,
+                }
+                .encode(),
+            )
+            .map_err(to_client)?;
+        writer.finish().map_err(to_client)?;
+        Ok(())
+    }
+
+    /// Reads a [`Session::export_keys`] stream back into the keygen
+    /// upload it carried, validating the stream's params record against
+    /// the upload's own fingerprint. The result feeds straight into a
+    /// server's `open_session`.
+    ///
+    /// # Errors
+    ///
+    /// [`FidesError::Client`] for truncation, corruption, a format
+    /// version this build does not read, a missing or mismatched params
+    /// record, or a stream without a session record.
+    pub fn import_keys<R: std::io::Read>(r: R) -> Result<SessionRequest> {
+        use fides_client::persist::{kind, ParamsRecord, RecordReader, SessionRecord};
+        let to_client = |e: fides_client::ClientError| FidesError::Client(e.to_string());
+        let mut reader = RecordReader::new(r).map_err(to_client)?;
+        let mut params: Option<ParamsRecord> = None;
+        let mut upload: Option<SessionRequest> = None;
+        while let Some(rec) = reader.next_record().map_err(to_client)? {
+            match rec.kind {
+                kind::PARAMS => {
+                    params = Some(ParamsRecord::decode(&rec.payload).map_err(to_client)?);
+                }
+                kind::SESSION => {
+                    let sess = SessionRecord::decode(&rec.payload).map_err(to_client)?;
+                    upload = Some(sess.upload);
+                }
+                other => {
+                    return Err(FidesError::Client(format!(
+                        "unexpected record kind {other} in a key export"
+                    )))
+                }
+            }
+        }
+        let upload = upload
+            .ok_or_else(|| FidesError::Client("key export carries no session record".into()))?;
+        match params {
+            Some(p) if p.params_hash == upload.params_hash => Ok(upload),
+            Some(p) => Err(FidesError::Client(format!(
+                "key export params fingerprint {:#018x} does not match its upload's {:#018x}",
+                p.params_hash, upload.params_hash
+            ))),
+            None => Err(FidesError::Client(
+                "key export carries no params record".into(),
+            )),
+        }
+    }
+
     /// The engine this session fronts.
     pub fn engine(&self) -> &CkksEngine {
         &self.engine
@@ -301,6 +390,34 @@ mod tests {
         assert!(matches!(
             e.eval_program(&[x], &[w], &p),
             Err(FidesError::SlotMismatch { left: 4, right: 8 })
+        ));
+    }
+
+    #[test]
+    fn key_export_roundtrips_and_rejects_corruption() {
+        let e = CkksEngine::builder()
+            .log_n(10)
+            .levels(3)
+            .rotations(&[1])
+            .seed(4)
+            .build()
+            .unwrap();
+        let s = e.session();
+        let mut buf = Vec::new();
+        s.export_keys(&mut buf, &[(&[1.0, 2.0][..], 2)]).unwrap();
+        let back = Session::import_keys(&buf[..]).unwrap();
+        assert_eq!(back, s.session_request(&[(&[1.0, 2.0][..], 2)]).unwrap());
+        // A flipped payload bit fails the record CRC, typed.
+        let mut corrupt = buf.clone();
+        corrupt[40] ^= 0x01;
+        assert!(matches!(
+            Session::import_keys(&corrupt[..]),
+            Err(FidesError::Client(_))
+        ));
+        // Truncation is typed, never a panic.
+        assert!(matches!(
+            Session::import_keys(&buf[..buf.len() - 5]),
+            Err(FidesError::Client(_))
         ));
     }
 

@@ -1,0 +1,358 @@
+//! Warm-restart economics: the PR 9 perf snapshot for the durable-session
+//! layer.
+//!
+//! Measures time-to-first-tick for three ways of bringing up a serving
+//! process, over the same tenants and the same pre-encrypted requests:
+//!
+//! * **cold** — a fresh server; every tenant re-uploads its keys and the
+//!   first tick plans every batch graph from scratch;
+//! * **restore** — the server restores a snapshot taken *after* the
+//!   workload reached steady state: sessions, placements and hot plans
+//!   come back together, and the first tick replays a restored plan
+//!   without planning anything;
+//! * **restore+warmup** — the server restores a snapshot taken *before*
+//!   the first tick (sessions only, no plans) and then primes the plan
+//!   cache with [`fides_serve::Server::warmup`] shapes; the first live
+//!   tick again plans nothing.
+//!
+//! The planning counters are simulated-deterministic and CI-gated; the
+//! `wall_*` columns (snapshot/restore/setup/first-tick milliseconds) are
+//! report-only, like every wall metric in this repo. Two invariants are
+//! asserted inline while regenerating:
+//!
+//! 1. both restore modes serve their first tick with **zero** plan-cache
+//!    misses (and the cold server must plan at least once);
+//! 2. the first-tick frames are **bit-identical** across all three modes
+//!    — durability changes startup cost, never math.
+//!
+//! ```text
+//! cargo run --release --bin restart_bench [OUT_PATH]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fides_api::CkksEngine;
+use fides_bench::print_table;
+use fides_client::wire::{EvalRequest, OpProgram, ProgramOp};
+use fides_core::CkksParameters;
+use fides_serve::{Server, ServerConfig, WarmupShape};
+
+const OUT_PATH: &str = "BENCH_PR9.json";
+const LOG_N: usize = 10;
+const LEVELS: usize = 4;
+const TENANTS: usize = 4;
+const BATCH: usize = 16;
+const SLOTS: usize = 3;
+/// Steady-state ticks the donor serves before the hot snapshot.
+const WARM_TICKS: usize = 3;
+
+struct Tenant {
+    session: fides_api::Session,
+    program: OpProgram,
+}
+
+fn square_program() -> OpProgram {
+    let mut p = OpProgram::new(1);
+    let sq = p.push(ProgramOp::Square { a: 0 });
+    let out = p.push(ProgramOp::AddScalar { a: sq, c: 0.125 });
+    p.output(out);
+    p
+}
+
+fn tenants() -> Vec<Tenant> {
+    (0..TENANTS)
+        .map(|t| {
+            let engine = CkksEngine::builder()
+                .log_n(LOG_N)
+                .levels(LEVELS)
+                .scale_bits(40)
+                .seed(9900 + t as u64)
+                .build()
+                .expect("tenant engine");
+            Tenant {
+                session: engine.session(),
+                program: square_program(),
+            }
+        })
+        .collect()
+}
+
+fn server() -> Server {
+    let params = CkksParameters::new(LOG_N, LEVELS, 40, 3).expect("bench params");
+    Server::new(ServerConfig::new(params).batch_size(BATCH)).expect("server")
+}
+
+fn open_all(server: &Server, tenants: &[Tenant]) -> Vec<u64> {
+    tenants
+        .iter()
+        .map(|t| {
+            server
+                .open_session(t.session.session_request(&[]).expect("session request"))
+                .expect("open session")
+        })
+        .collect()
+}
+
+/// One request per tenant, pre-encrypted once so every mode serves the
+/// identical ciphertext bytes (session ids are rewritten per server).
+fn requests(tenants: &[Tenant]) -> Vec<EvalRequest> {
+    tenants
+        .iter()
+        .enumerate()
+        .map(|(t, tenant)| {
+            let x = 0.1 + 0.01 * t as f64;
+            tenant
+                .session
+                .eval_request(0, &[&[x, -x, x * 0.5]], &tenant.program)
+                .expect("encrypt")
+        })
+        .collect()
+}
+
+/// One batched tick of the whole mix; returns the output frames.
+fn serve_tick(server: &Server, reqs: &[EvalRequest], sids: &[u64]) -> Vec<Vec<u8>> {
+    let tickets: Vec<_> = reqs
+        .iter()
+        .zip(sids)
+        .map(|(req, sid)| {
+            let mut req = req.clone();
+            req.session_id = *sid;
+            server.submit(req).expect("submit")
+        })
+        .collect();
+    assert_eq!(server.run_tick(), reqs.len(), "the tick drains the batch");
+    tickets
+        .iter()
+        .map(|t| {
+            let resp = t.try_take().expect("served");
+            assert!(resp.error.is_none(), "request failed: {:?}", resp.error);
+            resp.to_bytes()
+        })
+        .collect()
+}
+
+struct ModeRow {
+    mode: &'static str,
+    plan_misses: u64,
+    plan_hits: u64,
+    warm_plan_hits: u64,
+    planned_launches: u64,
+    restored_sessions: u64,
+    wall_setup_ms: f64,
+    wall_first_tick_ms: f64,
+    frames: Vec<Vec<u8>>,
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| OUT_PATH.into());
+    let tenants = tenants();
+    let reqs = requests(&tenants);
+
+    // The donor process: sessions opened, a pre-tick snapshot taken, then
+    // steady state reached and the hot snapshot taken.
+    let donor = server();
+    let donor_sids = open_all(&donor, &tenants);
+    let mut image_sessions_only = Vec::new();
+    let wall = Instant::now();
+    donor
+        .snapshot(&mut image_sessions_only)
+        .expect("pre-tick snapshot");
+    let wall_snapshot_cold_ms = wall.elapsed().as_secs_f64() * 1e3;
+    for _ in 0..WARM_TICKS {
+        serve_tick(&donor, &reqs, &donor_sids);
+    }
+    let mut image_hot = Vec::new();
+    let wall = Instant::now();
+    donor.snapshot(&mut image_hot).expect("hot snapshot");
+    let wall_snapshot_hot_ms = wall.elapsed().as_secs_f64() * 1e3;
+
+    // Mode 1: cold start — keys re-uploaded, first tick plans.
+    let cold = {
+        let wall = Instant::now();
+        let server = server();
+        let sids = open_all(&server, &tenants);
+        let wall_setup_ms = wall.elapsed().as_secs_f64() * 1e3;
+        let wall = Instant::now();
+        let frames = serve_tick(&server, &reqs, &sids);
+        let wall_first_tick_ms = wall.elapsed().as_secs_f64() * 1e3;
+        let s = server.stats();
+        ModeRow {
+            mode: "cold",
+            plan_misses: s.plan_cache_misses,
+            plan_hits: s.plan_cache_hits,
+            warm_plan_hits: s.warm_plan_hits,
+            planned_launches: s.planned_launches,
+            restored_sessions: s.restored_sessions,
+            wall_setup_ms,
+            wall_first_tick_ms,
+            frames,
+        }
+    };
+
+    // Mode 2: restore the hot snapshot — plans come back warm.
+    let restore = {
+        let wall = Instant::now();
+        let server = server();
+        let n = server.restore(&image_hot[..]).expect("restore hot");
+        assert_eq!(n, TENANTS as u64);
+        let wall_setup_ms = wall.elapsed().as_secs_f64() * 1e3;
+        let wall = Instant::now();
+        let frames = serve_tick(&server, &reqs, &donor_sids);
+        let wall_first_tick_ms = wall.elapsed().as_secs_f64() * 1e3;
+        let s = server.stats();
+        ModeRow {
+            mode: "restore",
+            plan_misses: s.plan_cache_misses,
+            plan_hits: s.plan_cache_hits,
+            warm_plan_hits: s.warm_plan_hits,
+            planned_launches: s.planned_launches,
+            restored_sessions: s.restored_sessions,
+            wall_setup_ms,
+            wall_first_tick_ms,
+            frames,
+        }
+    };
+
+    // Mode 3: restore the sessions-only snapshot, then warm up declared
+    // shapes before the first live tick.
+    let restore_warmup = {
+        let wall = Instant::now();
+        let server = server();
+        let n = server.restore(&image_sessions_only[..]).expect("restore");
+        assert_eq!(n, TENANTS as u64);
+        let shape = WarmupShape {
+            requests: tenants
+                .iter()
+                .enumerate()
+                .map(|(t, tenant)| (donor_sids[t], tenant.program.clone(), SLOTS))
+                .collect(),
+        };
+        let planned = server.warmup(&[shape]).expect("warmup");
+        assert!(planned >= 1, "warmup must build the batch plan");
+        let wall_setup_ms = wall.elapsed().as_secs_f64() * 1e3;
+        let misses_after_warmup = server.stats().plan_cache_misses;
+        let wall = Instant::now();
+        let frames = serve_tick(&server, &reqs, &donor_sids);
+        let wall_first_tick_ms = wall.elapsed().as_secs_f64() * 1e3;
+        let s = server.stats();
+        ModeRow {
+            mode: "restore+warmup",
+            // First-tick planning only: the warmup's own planning is
+            // setup-phase work, subtracted here.
+            plan_misses: s.plan_cache_misses - misses_after_warmup,
+            plan_hits: s.plan_cache_hits,
+            warm_plan_hits: s.warm_plan_hits,
+            planned_launches: s.planned_launches,
+            restored_sessions: s.restored_sessions,
+            wall_setup_ms,
+            wall_first_tick_ms,
+            frames,
+        }
+    };
+
+    let rows = [cold, restore, restore_warmup];
+
+    // Invariant 1: warm restarts plan nothing on the first live tick; a
+    // cold start must plan.
+    assert!(rows[0].plan_misses >= 1, "cold first tick must plan");
+    assert_eq!(rows[1].plan_misses, 0, "restore first tick must not plan");
+    assert_eq!(rows[2].plan_misses, 0, "warmed first tick must not plan");
+    assert!(rows[1].warm_plan_hits >= 1, "restore hits restored plans");
+    assert!(rows[2].warm_plan_hits >= 1, "warmup hits primed plans");
+
+    // Invariant 2: durability never changes math — first-tick frames are
+    // bit-identical across all three modes.
+    assert_eq!(rows[0].frames, rows[1].frames, "cold vs restore frames");
+    assert_eq!(rows[0].frames, rows[2].frames, "cold vs warmed frames");
+
+    print_table(
+        "time-to-first-tick by startup mode",
+        &[
+            "mode",
+            "plan misses",
+            "plan hits",
+            "warm hits",
+            "launches",
+            "restored",
+            "setup ms",
+            "first tick ms",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.mode.to_string(),
+                    r.plan_misses.to_string(),
+                    r.plan_hits.to_string(),
+                    r.warm_plan_hits.to_string(),
+                    r.planned_launches.to_string(),
+                    r.restored_sessions.to_string(),
+                    format!("{:.2}", r.wall_setup_ms),
+                    format!("{:.2}", r.wall_first_tick_ms),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\nsnapshot sizes: sessions-only {} bytes, hot {} bytes; \
+         first-tick frames bit-identical across modes",
+        image_sessions_only.len(),
+        image_hot.len()
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"pr\": 9,");
+    let _ = writeln!(json, "  \"schema\": \"fideslib-bench-restart-v1\",");
+    let _ = writeln!(json, "  \"gpu_sim\": {{");
+    let _ = writeln!(
+        json,
+        "    \"device\": \"RTX 4090 (simulated, functional)\","
+    );
+    let _ = writeln!(
+        json,
+        "    \"params\": \"[logN, L, dnum] = [{LOG_N}, {LEVELS}, 3], batch {BATCH}, \
+         {TENANTS} tenants, {WARM_TICKS} warm ticks before the hot snapshot\","
+    );
+    let _ = writeln!(
+        json,
+        "    \"snapshot_bytes_sessions_only\": {},",
+        image_sessions_only.len()
+    );
+    let _ = writeln!(json, "    \"snapshot_bytes_hot\": {},", image_hot.len());
+    let _ = writeln!(
+        json,
+        "    \"wall_snapshot_sessions_only_ms\": {wall_snapshot_cold_ms:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"wall_snapshot_hot_ms\": {wall_snapshot_hot_ms:.3},"
+    );
+    let _ = writeln!(json, "    \"modes\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "      {{\"mode\": \"{}\", \"first_tick_plan_misses\": {}, \
+             \"first_tick_plan_hits\": {}, \"warm_plan_hits\": {}, \
+             \"planned_launches\": {}, \"restored_sessions\": {}, \
+             \"wall_setup_ms\": {:.3}, \"wall_first_tick_ms\": {:.3}}}{comma}",
+            r.mode,
+            r.plan_misses,
+            r.plan_hits,
+            r.warm_plan_hits,
+            r.planned_launches,
+            r.restored_sessions,
+            r.wall_setup_ms,
+            r.wall_first_tick_ms,
+        );
+    }
+    let _ = writeln!(json, "    ],");
+    let _ = writeln!(json, "    \"bit_identical_across_modes\": true");
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_PR9.json");
+    println!("wrote {out_path}");
+}

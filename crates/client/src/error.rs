@@ -45,6 +45,21 @@ pub enum ClientError {
         /// The decoder's configured maximum.
         max: u64,
     },
+    /// A persisted stream declared a format version this build does not
+    /// understand — re-export it with a matching release instead of
+    /// guessing at the layout.
+    UnsupportedFormat {
+        /// The version tag found in the stream header.
+        found: u32,
+        /// The only version this decoder accepts.
+        supported: u32,
+    },
+    /// A persisted record failed its CRC check: the payload was corrupted
+    /// at rest (bit rot, a torn write, or tampering).
+    ChecksumMismatch {
+        /// The record-kind tag of the damaged record.
+        kind: u8,
+    },
     /// A socket-level failure (connect, read, write, or unexpected EOF).
     Io(String),
     /// The server load-shed the request: its admission queue is full.
@@ -82,6 +97,13 @@ impl fmt::Display for ClientError {
                 f,
                 "frame length prefix {len} exceeds the decoder bound {max}"
             ),
+            ClientError::UnsupportedFormat { found, supported } => write!(
+                f,
+                "unsupported persist format version {found} (this build reads version {supported})"
+            ),
+            ClientError::ChecksumMismatch { kind } => {
+                write!(f, "record checksum mismatch (kind {kind}): corrupted data")
+            }
             ClientError::Io(msg) => write!(f, "socket error: {msg}"),
             ClientError::Overloaded { retry_after_ticks } => write!(
                 f,

@@ -40,6 +40,7 @@ mod encrypt;
 mod error;
 mod keygen;
 pub mod net;
+pub mod persist;
 mod raw;
 pub mod security;
 pub mod wire;

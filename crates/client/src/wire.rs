@@ -288,7 +288,7 @@ const SESSION_MAGIC: u32 = 0xF1DE_5E55;
 const EVAL_MAGIC: u32 = 0xF1DE_0E4A;
 const RESP_MAGIC: u32 = 0xF1DE_0E4B;
 
-fn need(buf: &[u8], bytes: usize, what: &str) -> Result<(), ClientError> {
+pub(crate) fn need(buf: &[u8], bytes: usize, what: &str) -> Result<(), ClientError> {
     if buf.remaining() < bytes {
         return Err(ClientError::Serialization(format!("truncated {what}")));
     }
@@ -312,14 +312,14 @@ fn get_string(buf: &mut &[u8]) -> Result<String, ClientError> {
     Ok(s)
 }
 
-fn put_plaintext(buf: &mut Vec<u8>, pt: &RawPlaintext) {
+pub(crate) fn put_plaintext(buf: &mut Vec<u8>, pt: &RawPlaintext) {
     buf.put_u32(pt.level as u32);
     buf.put_f64(pt.scale);
     buf.put_u32(pt.slots as u32);
     put_poly(buf, &pt.poly);
 }
 
-fn get_plaintext(buf: &mut &[u8]) -> Result<RawPlaintext, ClientError> {
+pub(crate) fn get_plaintext(buf: &mut &[u8]) -> Result<RawPlaintext, ClientError> {
     need(buf, 16, "plaintext header")?;
     let level = buf.get_u32() as usize;
     let scale = buf.get_f64();
@@ -333,7 +333,7 @@ fn get_plaintext(buf: &mut &[u8]) -> Result<RawPlaintext, ClientError> {
     })
 }
 
-fn put_key(buf: &mut Vec<u8>, key: &RawSwitchingKey) {
+pub(crate) fn put_key(buf: &mut Vec<u8>, key: &RawSwitchingKey) {
     buf.put_u32(key.digits.len() as u32);
     for d in &key.digits {
         put_poly(buf, &d.b);
@@ -341,7 +341,7 @@ fn put_key(buf: &mut Vec<u8>, key: &RawSwitchingKey) {
     }
 }
 
-fn get_key(buf: &mut &[u8]) -> Result<RawSwitchingKey, ClientError> {
+pub(crate) fn get_key(buf: &mut &[u8]) -> Result<RawSwitchingKey, ClientError> {
     need(buf, 4, "key header")?;
     let dnum = buf.get_u32() as usize;
     let mut digits = Vec::with_capacity(dnum);
@@ -353,7 +353,7 @@ fn get_key(buf: &mut &[u8]) -> Result<RawSwitchingKey, ClientError> {
     Ok(RawSwitchingKey { digits })
 }
 
-fn put_opt_key(buf: &mut Vec<u8>, key: &Option<RawSwitchingKey>) {
+pub(crate) fn put_opt_key(buf: &mut Vec<u8>, key: &Option<RawSwitchingKey>) {
     match key {
         None => buf.put_u8(0),
         Some(k) => {
@@ -363,7 +363,7 @@ fn put_opt_key(buf: &mut Vec<u8>, key: &Option<RawSwitchingKey>) {
     }
 }
 
-fn get_opt_key(buf: &mut &[u8]) -> Result<Option<RawSwitchingKey>, ClientError> {
+pub(crate) fn get_opt_key(buf: &mut &[u8]) -> Result<Option<RawSwitchingKey>, ClientError> {
     need(buf, 1, "key presence tag")?;
     match buf.get_u8() {
         0 => Ok(None),

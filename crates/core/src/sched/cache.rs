@@ -107,6 +107,10 @@ struct CacheEntry {
     plan: Arc<ExecPlan>,
     binding: Vec<BufferId>,
     last_used: u64,
+    /// Entered the cache pre-planned (snapshot restore or an explicit
+    /// warmup pass) rather than from live traffic — lets the serving
+    /// layer count warm-start hits separately.
+    warm: bool,
 }
 
 /// A bounded LRU of planned graphs, keyed by structural fingerprint.
@@ -215,8 +219,44 @@ impl PlanCache {
                 plan: Arc::new(plan.clone()),
                 binding,
                 last_used: self.clock,
+                warm: false,
             },
         );
+    }
+
+    /// Re-inserts a deserialized entry and marks it warm. Same LRU
+    /// bookkeeping as [`PlanCache::insert`]; callers restore entries in
+    /// least-recently-used-first order to reproduce eviction behavior.
+    pub fn restore_entry(&mut self, fp: u64, plan: ExecPlan, binding: Vec<BufferId>) {
+        self.insert(fp, &plan, binding);
+        self.mark_warm(fp);
+    }
+
+    /// Flags a resident fingerprint as pre-planned (warmup pass); no-op
+    /// when absent.
+    pub fn mark_warm(&mut self, fp: u64) {
+        if let Some(e) = self.entries.get_mut(&fp) {
+            e.warm = true;
+        }
+    }
+
+    /// Whether `fp` is resident *and* was pre-planned by a restore or
+    /// warmup rather than live traffic.
+    pub fn is_warm(&self, fp: u64) -> bool {
+        self.entries.get(&fp).is_some_and(|e| e.warm)
+    }
+
+    /// Every resident entry as `(fingerprint, plan, binding)`, least
+    /// recently used first — the serialization order that lets a restore
+    /// replay [`PlanCache::restore_entry`] calls and land in the same LRU
+    /// state.
+    pub fn export_entries(&self) -> Vec<(u64, Arc<ExecPlan>, Vec<BufferId>)> {
+        let mut entries: Vec<(&u64, &CacheEntry)> = self.entries.iter().collect();
+        entries.sort_by_key(|(_, e)| e.last_used);
+        entries
+            .into_iter()
+            .map(|(&fp, e)| (fp, Arc::clone(&e.plan), e.binding.clone()))
+            .collect()
     }
 }
 

@@ -38,6 +38,25 @@ pub enum ServeError {
     /// A socket-level failure in the network front (bind, accept, read,
     /// or write).
     Io(String),
+    /// A durable-session operation failed: a snapshot stream was
+    /// structurally invalid for this server (wrong record order, device
+    /// index out of range, duplicate session id, counts that disagree
+    /// with the stream's own metadata), or a warmup shape referenced
+    /// state the server does not hold.
+    Snapshot(String),
+}
+
+/// The one canonical parameter-fingerprint gate: both the live
+/// session-open path and snapshot restore funnel through here, so a
+/// tenant attaching over the wire and a snapshot taken on a
+/// differently-parameterized server fail with the same typed
+/// [`ServeError::ParamsMismatch`].
+pub(crate) fn check_params_hash(expected: u64, got: u64) -> Result<(), ServeError> {
+    if expected == got {
+        Ok(())
+    } else {
+        Err(ServeError::ParamsMismatch { expected, got })
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -58,6 +77,7 @@ impl fmt::Display for ServeError {
                 "server overloaded: admission queue full, retry after ~{retry_after_ticks} ticks"
             ),
             ServeError::Io(msg) => write!(f, "socket error: {msg}"),
+            ServeError::Snapshot(msg) => write!(f, "snapshot/restore failed: {msg}"),
         }
     }
 }

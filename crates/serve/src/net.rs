@@ -168,6 +168,43 @@ impl NetServer {
         self.addr
     }
 
+    /// The [`Server`] behind this front (cheap to clone; the clone shares
+    /// registry, queue and device state).
+    pub fn server(&self) -> &Server {
+        &self.server
+    }
+
+    /// [`Server::snapshot`] on the fronted server: serializes durable
+    /// session state between batch ticks while the front keeps accepting
+    /// connections.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::snapshot`].
+    pub fn snapshot<W: std::io::Write>(&self, w: W) -> Result<(), ServeError> {
+        self.server.snapshot(w)
+    }
+
+    /// [`Server::restore`] on the fronted server: rebuilds sessions,
+    /// placements and warm plans from a snapshot stream, typically before
+    /// the event loop starts taking traffic.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::restore`].
+    pub fn restore<R: std::io::Read>(&self, r: R) -> Result<u64, ServeError> {
+        self.server.restore(r)
+    }
+
+    /// [`Server::warmup`] on the fronted server.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::warmup`].
+    pub fn warmup(&self, shapes: &[crate::WarmupShape]) -> Result<usize, ServeError> {
+        self.server.warmup(shapes)
+    }
+
     /// A handle that stops [`NetServer::run`] from another thread.
     pub fn shutdown_handle(&self) -> NetShutdown {
         NetShutdown(Arc::clone(&self.stop))

@@ -112,6 +112,12 @@ impl<T> AdmissionQueue<T> {
         }
     }
 
+    /// A session's configured DRR weight (1 when never set — the
+    /// default share). Snapshots read this to persist tenant weights.
+    pub fn weight_of(&self, session: u64) -> u32 {
+        self.weights.get(&session).copied().unwrap_or(1)
+    }
+
     /// Admits a request into its session's lane, or returns it when the
     /// queue is at capacity (the load-shed path — the caller owes the
     /// client a retry hint, not silence).

@@ -115,6 +115,64 @@ impl Registry {
         self.next_id
     }
 
+    /// Inserts a session under a snapshot-assigned id (restore path),
+    /// evicting the LRU entry when at capacity. Rejects a duplicate id
+    /// with `false` — a snapshot stream never legitimately repeats one.
+    /// Bumps `next_id` past `id` so post-restore opens never collide
+    /// with restored sessions.
+    pub(crate) fn insert_with_id(&mut self, id: u64, state: SessionState) -> bool {
+        if self.entries.contains_key(&id) {
+            return false;
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some(&victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(id, e)| (e.last_used, **id))
+                .map(|(id, _)| id)
+            {
+                self.entries.remove(&victim);
+                self.evicted += 1;
+            }
+        }
+        self.clock += 1;
+        self.entries.insert(
+            id,
+            Entry {
+                state: Arc::new(state),
+                last_used: self.clock,
+            },
+        );
+        self.next_id = self.next_id.max(id + 1);
+        true
+    }
+
+    /// Whether a session with this id is resident (restore stages its
+    /// whole stream first and pre-checks staged ids against residents so
+    /// a failed restore never half-commits).
+    pub(crate) fn contains(&self, id: u64) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// Raises the next-assigned id to at least `n` (restore replays the
+    /// snapshotted counter so ids stay unique across the restart even if
+    /// the highest-id session had been closed before the snapshot).
+    pub(crate) fn ensure_next_id(&mut self, n: u64) {
+        self.next_id = self.next_id.max(n);
+    }
+
+    /// Every resident session as `(id, state)`, least recently used
+    /// first — the serialization order that lets a restore replay
+    /// [`Self::insert_with_id`] calls and land in the same LRU state.
+    pub(crate) fn export(&self) -> Vec<(u64, Arc<SessionState>)> {
+        let mut entries: Vec<(&u64, &Entry)> = self.entries.iter().collect();
+        entries.sort_by_key(|(id, e)| (e.last_used, **id));
+        entries
+            .into_iter()
+            .map(|(&id, e)| (id, Arc::clone(&e.state)))
+            .collect()
+    }
+
     pub(crate) fn remove(&mut self, id: u64) -> bool {
         self.entries.remove(&id).is_some()
     }

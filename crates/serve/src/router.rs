@@ -131,6 +131,18 @@ impl ShardRouter {
             .insert(tenant, (device.min(self.num_devices - 1), key_bytes));
     }
 
+    /// Every committed placement as `(tenant, device, key_bytes)`, in
+    /// tenant-id order. A snapshot serializes these and a restore replays
+    /// them through [`Self::assign`], reproducing post-migration homes
+    /// exactly (the imbalance `hot_streak` is transient tick state and
+    /// deliberately resets across a restart).
+    pub fn export_placements(&self) -> Vec<(u64, usize, u64)> {
+        self.placed
+            .iter()
+            .map(|(&t, &(d, kb))| (t, d, kb))
+            .collect()
+    }
+
     /// Migrations decided so far.
     pub fn migrations(&self) -> u64 {
         self.migrations

@@ -1,13 +1,20 @@
 //! The session server: request queue, batch scheduler, graph sharing.
 
+use std::io::{Read, Write};
 use std::sync::Arc;
 
-use fides_client::wire::{params_fingerprint, EvalRequest, EvalResponse, SessionRequest};
-use fides_client::{RawCiphertext, RawParams};
+use fides_client::persist::{
+    kind, ParamsRecord, PlacementRecord, RecordReader, RecordWriter, ServerMetaRecord,
+    SessionRecord,
+};
+use fides_client::wire::{
+    params_fingerprint, EvalRequest, EvalResponse, OpProgram, SessionRequest,
+};
+use fides_client::{Domain, RawCiphertext, RawParams, RawPoly};
 use fides_core::backend::{BackendPt, EvalBackend};
 use fides_core::sched::{
-    fingerprint, CostModel, ExecGraph, GpuReplayExecutor, PlanCache, PlanConfig, PlanExecutor,
-    Planner,
+    decode_plan_entry, encode_plan_entry, fingerprint, CostModel, ExecGraph, GpuReplayExecutor,
+    PlanCache, PlanConfig, PlanExecutor, Planner,
 };
 use fides_core::{adapter, CkksContext, CkksParameters, CpuBackend, GpuSimBackend};
 use fides_gpu_sim::{
@@ -15,7 +22,7 @@ use fides_gpu_sim::{
 };
 use parking_lot::Mutex;
 
-use crate::error::ServeError;
+use crate::error::{check_params_hash, ServeError};
 use crate::qos::{AdmissionQueue, QosPolicy};
 use crate::registry::{Registry, SessionState};
 use crate::router::{Migration, ShardRouter};
@@ -152,6 +159,18 @@ impl Ticket {
 struct Pending {
     req: EvalRequest,
     slot: Arc<Slot>,
+}
+
+/// One tick's worth of request shapes for [`Server::warmup`]: ordered
+/// `(session id, program, ciphertext slot count)` entries replayed as a
+/// single synthetic batch, so the primed plan covers the same
+/// cross-tenant graph merge a live tick of that mix would produce.
+#[derive(Clone, Debug, Default)]
+pub struct WarmupShape {
+    /// `(session id, program, slots)` per batched request, in tick
+    /// arrival order (the batch index drives stream round-robin, so
+    /// order is part of the plan fingerprint).
+    pub requests: Vec<(u64, OpProgram, usize)>,
 }
 
 struct ServerInner {
@@ -357,46 +376,59 @@ impl Server {
     /// [`ServeError::ParamsMismatch`] for a foreign chain,
     /// [`ServeError::Fides`] when key material fails to load.
     pub fn open_session(&self, req: SessionRequest) -> Result<u64, ServeError> {
-        if req.params_hash != self.inner.params_hash {
-            return Err(ServeError::ParamsMismatch {
-                expected: self.inner.params_hash,
-                got: req.params_hash,
-            });
-        }
-        let state = match &self.inner.substrate {
-            Substrate::Gpu { contexts, .. } => {
+        check_params_hash(self.inner.params_hash, req.params_hash)?;
+        let device = match &self.inner.substrate {
+            Substrate::Gpu { .. } => {
                 // Place before loading: keys load straight into the home
                 // shard's context. The upcoming session id keys the
                 // consistent hash, and the key-frame size is the
                 // placement's future migration cost.
                 let key_bytes = req.to_bytes().len() as u64;
-                let device = {
-                    let registry = self.inner.registry.lock();
-                    self.inner
-                        .router
-                        .lock()
-                        .place(registry.next_id(), key_bytes)
-                };
+                let registry = self.inner.registry.lock();
+                self.inner
+                    .router
+                    .lock()
+                    .place(registry.next_id(), key_bytes)
+            }
+            Substrate::Cpu { .. } => 0,
+        };
+        let state = self.build_session(device, req)?;
+        let id = self.inner.registry.lock().insert(state);
+        self.inner.stats.lock().sessions_opened += 1;
+        Ok(id)
+    }
+
+    /// Builds a tenant's session state on a given device shard: loads the
+    /// evaluation keys into the substrate's native form and preloads the
+    /// uploaded plaintexts. Shared by [`Server::open_session`] (placement
+    /// chooses `device`) and [`Server::restore`] (the snapshot names it).
+    fn build_session(
+        &self,
+        device: usize,
+        req: SessionRequest,
+    ) -> Result<SessionState, ServeError> {
+        match &self.inner.substrate {
+            Substrate::Gpu { contexts, .. } => {
                 let (backend, plains) = Self::gpu_session(&contexts[device], &req)?;
-                SessionState {
+                Ok(SessionState {
                     backend,
                     plains,
                     device,
                     upload: Some(req),
-                }
+                })
             }
             Substrate::Cpu { raw, workers } => {
                 let mut backend = CpuBackend::new(raw.clone());
                 if let Some(workers) = workers {
                     backend = backend.with_workers(*workers);
                 }
-                if let Some(relin) = req.relin {
+                if let Some(relin) = req.relin.clone() {
                     backend.set_relin_key(relin);
                 }
-                for (shift, key) in req.rotations {
-                    backend.insert_rotation_key(shift, key);
+                for (shift, key) in &req.rotations {
+                    backend.insert_rotation_key(*shift, key.clone());
                 }
-                if let Some(conj) = req.conjugation {
+                if let Some(conj) = req.conjugation.clone() {
                     backend.set_conj_key(conj);
                 }
                 let backend: Box<dyn EvalBackend> = Box::new(backend);
@@ -404,17 +436,16 @@ impl Server {
                 for pt in &req.plaintexts {
                     plains.push(backend.load_plain(pt)?);
                 }
-                SessionState {
+                // The upload is retained on the CPU substrate too — it
+                // never migrates, but snapshots serialize sessions from it.
+                Ok(SessionState {
                     backend,
                     plains,
                     device: 0,
-                    upload: None,
-                }
+                    upload: Some(req),
+                })
             }
-        };
-        let id = self.inner.registry.lock().insert(state);
-        self.inner.stats.lock().sessions_opened += 1;
-        Ok(id)
+        }
     }
 
     /// Loads a tenant's keys and plaintexts into one shard's context
@@ -504,6 +535,324 @@ impl Server {
         self.inner.queue.lock().set_weight(session, weight);
     }
 
+    /// Serializes the server's durable state as a versioned persist
+    /// stream: the parameter fingerprint, the tenant registry (session
+    /// ids, device homes, DRR weights, full key uploads) in LRU order,
+    /// the shard router's committed placements, and every cached batch
+    /// plan. Taken under the tick lock, so the snapshot is a consistent
+    /// point between batch ticks — never mid-batch.
+    ///
+    /// Queued-but-unserved requests are deliberately *not* captured:
+    /// clients hold their tickets and resubmit after a restart, exactly
+    /// as they do after a load-shed.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Client`] when the sink fails mid-write;
+    /// [`ServeError::Snapshot`] when a resident session retains no key
+    /// upload to serialize.
+    pub fn snapshot<W: Write>(&self, w: W) -> Result<(), ServeError> {
+        let _guard = self.inner.tick_lock.lock();
+        let (sessions, next_session_id) = {
+            let registry = self.inner.registry.lock();
+            (registry.export(), registry.next_id())
+        };
+        let weights: Vec<u32> = {
+            let queue = self.inner.queue.lock();
+            sessions
+                .iter()
+                .map(|(id, _)| queue.weight_of(*id))
+                .collect()
+        };
+        let placements = self.inner.router.lock().export_placements();
+        let plans = self.inner.plan_cache.lock().export_entries();
+
+        let mut writer = RecordWriter::new(w)?;
+        writer.record(
+            kind::PARAMS,
+            &ParamsRecord {
+                params_hash: self.inner.params_hash,
+            }
+            .encode(),
+        )?;
+        writer.record(
+            kind::SERVER,
+            &ServerMetaRecord {
+                num_devices: self.num_devices() as u32,
+                next_session_id,
+                sessions: sessions.len() as u32,
+                plans: plans.len() as u32,
+            }
+            .encode(),
+        )?;
+        for ((id, state), weight) in sessions.iter().zip(&weights) {
+            let upload = state.upload.clone().ok_or_else(|| {
+                ServeError::Snapshot(format!("session {id} retains no key upload"))
+            })?;
+            writer.record(
+                kind::SESSION,
+                &SessionRecord {
+                    id: *id,
+                    device: state.device as u32,
+                    weight: *weight,
+                    upload,
+                }
+                .encode(),
+            )?;
+        }
+        for (tenant, device, key_bytes) in placements {
+            writer.record(
+                kind::PLACEMENT,
+                &PlacementRecord {
+                    tenant,
+                    device: device as u32,
+                    key_bytes,
+                }
+                .encode(),
+            )?;
+        }
+        for (fp, plan, binding) in plans {
+            writer.record(kind::PLAN, &encode_plan_entry(fp, &plan, &binding))?;
+        }
+        writer.finish()?;
+        Ok(())
+    }
+
+    /// Rebuilds durable state from a [`Server::snapshot`] stream onto
+    /// this (typically freshly constructed, same-configuration) server:
+    /// sessions are re-registered under their original ids with their
+    /// keys re-loaded onto their snapshotted device homes, DRR weights
+    /// and router placements are replayed, and cached plans land back in
+    /// the plan cache marked warm — the first post-restore tick of a
+    /// steady-state workload replays a cached plan with zero planning
+    /// work. Returns the number of sessions restored.
+    ///
+    /// Restore is **atomic**: the whole stream is decoded and validated
+    /// into staged state first, and nothing touches the registry, queue,
+    /// router or plan cache until every record has checked out — a
+    /// truncated or corrupted snapshot leaves the server exactly as it
+    /// was.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ParamsMismatch`] when the snapshot was taken on a
+    /// different parameter chain; [`ServeError::Client`] for a
+    /// truncated, corrupted, or version-mismatched stream (the typed
+    /// persist errors pass through); [`ServeError::Snapshot`] for a
+    /// structurally invalid snapshot — wrong record order, device count
+    /// or index mismatch, duplicate session ids, or record counts that
+    /// disagree with the stream's own metadata.
+    pub fn restore<R: Read>(&self, r: R) -> Result<u64, ServeError> {
+        let _guard = self.inner.tick_lock.lock();
+        let mut reader = RecordReader::new(r)?;
+        let params = match reader.next_record()? {
+            Some(rec) if rec.kind == kind::PARAMS => ParamsRecord::decode(&rec.payload)?,
+            Some(rec) => {
+                return Err(ServeError::Snapshot(format!(
+                    "expected params record first, found kind {}",
+                    rec.kind
+                )))
+            }
+            None => return Err(ServeError::Snapshot("empty snapshot stream".into())),
+        };
+        check_params_hash(self.inner.params_hash, params.params_hash)?;
+        let meta = match reader.next_record()? {
+            Some(rec) if rec.kind == kind::SERVER => ServerMetaRecord::decode(&rec.payload)?,
+            Some(rec) => {
+                return Err(ServeError::Snapshot(format!(
+                    "expected server metadata second, found kind {}",
+                    rec.kind
+                )))
+            }
+            None => {
+                return Err(ServeError::Snapshot(
+                    "snapshot ends before server metadata".into(),
+                ))
+            }
+        };
+        if meta.num_devices as usize != self.num_devices() {
+            return Err(ServeError::Snapshot(format!(
+                "snapshot taken on {} device shards, this server runs {}",
+                meta.num_devices,
+                self.num_devices()
+            )));
+        }
+        // Stage: decode and validate the whole stream without touching
+        // live state. Session states are fully built here (keys loaded,
+        // plaintexts preloaded) but owned by the stage — on any error
+        // they simply drop and the server is untouched.
+        let mut staged_sessions: Vec<(u64, u32, SessionState)> = Vec::new();
+        let mut staged_placements: Vec<(u64, usize, u64)> = Vec::new();
+        let mut staged_plans = Vec::new();
+        while let Some(rec) = reader.next_record()? {
+            match rec.kind {
+                kind::SESSION => {
+                    let sess = SessionRecord::decode(&rec.payload)?;
+                    check_params_hash(self.inner.params_hash, sess.upload.params_hash)?;
+                    let device = sess.device as usize;
+                    if device >= self.num_devices() {
+                        return Err(ServeError::Snapshot(format!(
+                            "session {} homed on device {device}, server has {}",
+                            sess.id,
+                            self.num_devices()
+                        )));
+                    }
+                    if staged_sessions.iter().any(|(id, _, _)| *id == sess.id)
+                        || self.inner.registry.lock().contains(sess.id)
+                    {
+                        return Err(ServeError::Snapshot(format!(
+                            "duplicate session id {}",
+                            sess.id
+                        )));
+                    }
+                    let state = self.build_session(device, sess.upload)?;
+                    staged_sessions.push((sess.id, sess.weight, state));
+                }
+                kind::PLACEMENT => {
+                    let p = PlacementRecord::decode(&rec.payload)?;
+                    let device = p.device as usize;
+                    if device >= self.num_devices() {
+                        return Err(ServeError::Snapshot(format!(
+                            "placement of tenant {} on device {device}, server has {}",
+                            p.tenant,
+                            self.num_devices()
+                        )));
+                    }
+                    staged_placements.push((p.tenant, device, p.key_bytes));
+                }
+                kind::PLAN => {
+                    staged_plans.push(decode_plan_entry(&rec.payload)?);
+                }
+                other => {
+                    return Err(ServeError::Snapshot(format!(
+                        "unexpected record kind {other} in server snapshot"
+                    )))
+                }
+            }
+        }
+        let restored_sessions = staged_sessions.len() as u64;
+        if restored_sessions != u64::from(meta.sessions)
+            || staged_plans.len() as u64 != u64::from(meta.plans)
+        {
+            return Err(ServeError::Snapshot(format!(
+                "snapshot metadata declares {} sessions and {} plans, stream carried \
+                 {restored_sessions} and {}",
+                meta.sessions,
+                meta.plans,
+                staged_plans.len()
+            )));
+        }
+        // Commit: the stream checked out end to end; replay the staged
+        // state in snapshot order. Duplicate ids were rejected above, so
+        // every insert lands.
+        for (id, weight, state) in staged_sessions {
+            self.inner.registry.lock().insert_with_id(id, state);
+            if weight != 1 {
+                self.inner.queue.lock().set_weight(id, weight);
+            }
+        }
+        for (tenant, device, key_bytes) in staged_placements {
+            self.inner.router.lock().assign(tenant, device, key_bytes);
+        }
+        for (fp, plan, binding) in staged_plans {
+            self.inner
+                .plan_cache
+                .lock()
+                .restore_entry(fp, plan, binding);
+        }
+        self.inner
+            .registry
+            .lock()
+            .ensure_next_id(meta.next_session_id);
+        self.inner.stats.lock().restored_sessions += restored_sessions;
+        Ok(restored_sessions)
+    }
+
+    /// Primes the plan cache by recording and planning synthetic batches:
+    /// each [`WarmupShape`] is one tick's request mix, served with all-zero
+    /// input ciphertexts at the chain top (kernels are data-oblivious, so
+    /// the recorded graph — and therefore the plan fingerprint — is
+    /// shape-identical to a live tick of the same mix). Primed entries are
+    /// marked warm; a matching live tick hits the cache immediately and
+    /// counts in [`ServeStats::warm_plan_hits`]. Returns the number of
+    /// plans newly built; the CPU substrate and eager (non-graph)
+    /// execution have nothing to prime and return 0.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] for a shape naming a session that is
+    /// not resident; [`ServeError::Client`] for a program that fails
+    /// validation; [`ServeError::Snapshot`] when a shape's synthetic batch
+    /// fails to execute.
+    pub fn warmup(&self, shapes: &[WarmupShape]) -> Result<usize, ServeError> {
+        let _guard = self.inner.tick_lock.lock();
+        let Substrate::Gpu { contexts, .. } = &self.inner.substrate else {
+            return Ok(0);
+        };
+        if !self.inner.graph_exec {
+            return Ok(0);
+        }
+        let planned_before = self.inner.plan_cache.lock().misses();
+        for shape in shapes {
+            let resolved: Vec<(Pending, Option<Arc<SessionState>>)> = {
+                let mut registry = self.inner.registry.lock();
+                shape
+                    .requests
+                    .iter()
+                    .map(|(session_id, program, slots)| {
+                        let session = registry
+                            .touch(*session_id)
+                            .ok_or(ServeError::UnknownSession(*session_id))?;
+                        program.validate(session.plains.len())?;
+                        let req = EvalRequest {
+                            session_id: *session_id,
+                            inputs: (0..program.inputs)
+                                .map(|_| {
+                                    Self::zero_ciphertext(
+                                        &self.inner.raw,
+                                        session.backend.as_ref(),
+                                        *slots,
+                                    )
+                                })
+                                .collect(),
+                            program: program.clone(),
+                        };
+                        Ok((
+                            Pending {
+                                req,
+                                slot: Arc::new(Slot {
+                                    resp: Mutex::new(None),
+                                }),
+                            },
+                            Some(session),
+                        ))
+                    })
+                    .collect::<Result<_, ServeError>>()?
+            };
+            let responses = self.serve_batch_sharded(contexts, &resolved, true);
+            if let Some(err) = responses.into_iter().find_map(|r| r.error) {
+                return Err(ServeError::Snapshot(format!("warmup shape failed: {err}")));
+            }
+        }
+        let planned_after = self.inner.plan_cache.lock().misses();
+        Ok((planned_after - planned_before) as usize)
+    }
+
+    /// A syntactically valid all-zero ciphertext at the chain top. The
+    /// graph recorded while evaluating it is shape-identical to a live
+    /// fresh-encryption request's, which is all a warmup needs.
+    fn zero_ciphertext(raw: &RawParams, backend: &dyn EvalBackend, slots: usize) -> RawCiphertext {
+        let level = backend.max_level();
+        RawCiphertext {
+            c0: RawPoly::zero(raw.n(), level + 1, Domain::Eval),
+            c1: RawPoly::zero(raw.n(), level + 1, Domain::Eval),
+            level,
+            scale: backend.standard_scale(level),
+            slots,
+            noise_log2: 0.0,
+        }
+    }
+
     /// Runs one batch tick: drains up to `batch_size` queued requests,
     /// executes them as one merged graph (gpu-sim substrate with graph
     /// execution on), and fills their tickets. Returns how many requests
@@ -585,7 +934,7 @@ impl Server {
         let served = resolved.len();
         let responses: Vec<EvalResponse> = match &self.inner.substrate {
             Substrate::Gpu { contexts, .. } if self.inner.graph_exec => {
-                self.serve_batch_sharded(contexts, &resolved)
+                self.serve_batch_sharded(contexts, &resolved, false)
             }
             _ => resolved
                 .iter()
@@ -616,6 +965,7 @@ impl Server {
         &self,
         contexts: &[Arc<CkksContext>],
         batch: &[(Pending, Option<Arc<SessionState>>)],
+        mark_warm: bool,
     ) -> Vec<EvalResponse> {
         let mut shards: Vec<Vec<usize>> = vec![Vec::new(); contexts.len()];
         for (i, (_, session)) in batch.iter().enumerate() {
@@ -631,8 +981,11 @@ impl Server {
             }
             let subset: Vec<&(Pending, Option<Arc<SessionState>>)> =
                 shard.iter().map(|&i| &batch[i]).collect();
-            let shard_resps = self.serve_batch_graphed(&contexts[device], device, &subset);
-            {
+            let shard_resps =
+                self.serve_batch_graphed(&contexts[device], device, &subset, mark_warm);
+            // Synthetic warmup batches stay out of the live request
+            // counters — they prime plans, they do not serve tenants.
+            if !mark_warm {
                 let mut stats = self.inner.stats.lock();
                 if stats.per_device_requests.len() < contexts.len() {
                     stats.per_device_requests.resize(contexts.len(), 0);
@@ -722,6 +1075,7 @@ impl Server {
         ctx: &Arc<CkksContext>,
         device: usize,
         batch: &[&(Pending, Option<Arc<SessionState>>)],
+        mark_warm: bool,
     ) -> Vec<EvalResponse> {
         let gpu = ctx.gpu();
         let mut merged: Vec<GraphEvent> = Vec::new();
@@ -740,14 +1094,18 @@ impl Server {
             // buffers: the structural fingerprint finds the cached plan
             // and rebinding replaces planning entirely.
             let (fp, binding) = fingerprint(&graph, &self.inner.plan_cfg);
-            let (plan, hit) = {
+            let (plan, hit, warm) = {
                 let mut cache = self.inner.plan_cache.lock();
+                let warm = cache.is_warm(fp);
                 match cache.lookup(fp, &binding) {
-                    Some(plan) => (plan, true),
+                    Some(plan) => (plan, true, warm),
                     None => {
                         let plan = Planner::new(self.inner.plan_cfg).plan(&graph);
                         cache.insert(fp, &plan, binding);
-                        (plan, false)
+                        if mark_warm {
+                            cache.mark_warm(fp);
+                        }
+                        (plan, false, false)
                     }
                 }
             };
@@ -763,6 +1121,9 @@ impl Server {
             stats.per_device_launches[device] += plan.stats().planned_launches;
             if hit {
                 stats.plan_cache_hits += 1;
+                if warm {
+                    stats.warm_plan_hits += 1;
+                }
             } else {
                 stats.plan_cache_misses += 1;
             }

@@ -40,6 +40,15 @@ pub struct ServeStats {
     /// snapshot time from each device's simulator ledger (gpu-sim
     /// substrate; empty on CPU).
     pub per_device_occupancy: Vec<f64>,
+    /// Sessions reconstructed from a snapshot stream by
+    /// [`Server::restore`](crate::Server::restore) (key material re-loaded,
+    /// ids and weights preserved).
+    pub restored_sessions: u64,
+    /// Plan-cache hits whose entry was pre-planned — restored from a
+    /// snapshot or built by [`Server::warmup`](crate::Server::warmup) —
+    /// rather than planned by earlier live traffic. A warm restart shows
+    /// these on its very first ticks.
+    pub warm_plan_hits: u64,
     /// Tenants migrated between devices on sustained load imbalance.
     pub migrations: u64,
     /// Key-material bytes re-uploaded over the interconnect by those
