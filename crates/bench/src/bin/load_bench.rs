@@ -37,7 +37,7 @@ use fides_api::CkksEngine;
 use fides_bench::print_table;
 use fides_client::wire::EvalRequest;
 use fides_core::CkksParameters;
-use fides_serve::{QosPolicy, Server, ServerConfig, Ticket};
+use fides_serve::{QosPolicy, ServeStats, Server, ServerConfig, Ticket};
 
 const OUT_PATH: &str = "BENCH_PR8.json";
 const LOG_N: usize = 10;
@@ -145,6 +145,8 @@ struct OpenLoopRow {
     wall_req_per_sec: f64,
     /// (tenant, request index) → frame bytes, for the identity check.
     frames: HashMap<(usize, usize), Vec<u8>>,
+    /// Tick-engine phase timers at the end of the run.
+    stats: ServeStats,
 }
 
 /// Open-loop generator: each tick, the quiet tenants submit one request
@@ -261,6 +263,7 @@ fn run_open_loop(policy: QosPolicy, name: &'static str, load_pct: usize) -> Open
         ticks,
         wall_req_per_sec: served as f64 / wall_s,
         frames,
+        stats: server.stats(),
     }
 }
 
@@ -271,6 +274,7 @@ struct ClosedLoopRow {
     p99_sim_us: f64,
     throughput_req_per_sim_s: f64,
     wall_req_per_sec: f64,
+    stats: ServeStats,
 }
 
 /// Closed-loop generator: keep `concurrency` requests outstanding
@@ -326,6 +330,7 @@ fn run_closed_loop(concurrency: usize, total: usize) -> ClosedLoopRow {
         p99_sim_us: percentile(&latencies, 0.99),
         throughput_req_per_sim_s: latencies.len() as f64 / sim_s,
         wall_req_per_sec: latencies.len() as f64 / wall_s,
+        stats: server.stats(),
     }
 }
 
@@ -525,6 +530,28 @@ fn main() {
         );
     }
     let _ = writeln!(json, "    ],");
+    // Tick-engine phase timers summed over every run above. Wall-clock
+    // (`wall_` keys are report-only in the perf gate); `overlapped_ticks`
+    // counts plan-ahead overlaps and is 0 unless FIDES_PLAN_AHEAD is set.
+    {
+        let all = open_rows
+            .iter()
+            .map(|r| &r.stats)
+            .chain(closed_rows.iter().map(|r| &r.stats));
+        let (mut plan, mut replay, mut flush, mut overlapped) = (0u64, 0u64, 0u64, 0u64);
+        for s in all {
+            plan += s.plan_us;
+            replay += s.replay_us;
+            flush += s.flush_us;
+            overlapped += s.overlapped_ticks;
+        }
+        let _ = writeln!(json, "    \"tick_engine\": {{");
+        let _ = writeln!(json, "      \"wall_plan_us\": {plan},");
+        let _ = writeln!(json, "      \"wall_replay_us\": {replay},");
+        let _ = writeln!(json, "      \"wall_flush_us\": {flush},");
+        let _ = writeln!(json, "      \"wall_overlapped_ticks\": {overlapped}");
+        let _ = writeln!(json, "    }},");
+    }
     let _ = writeln!(json, "    \"overload_2x\": {{");
     let _ = writeln!(
         json,

@@ -141,6 +141,10 @@ struct ModeRow {
     restored_sessions: u64,
     wall_setup_ms: f64,
     wall_first_tick_ms: f64,
+    /// Tick-engine phase timers (wall µs, cumulative incl. any warmup).
+    wall_plan_us: u64,
+    wall_replay_us: u64,
+    wall_flush_us: u64,
     frames: Vec<Vec<u8>>,
 }
 
@@ -186,6 +190,9 @@ fn main() {
             restored_sessions: s.restored_sessions,
             wall_setup_ms,
             wall_first_tick_ms,
+            wall_plan_us: s.plan_us,
+            wall_replay_us: s.replay_us,
+            wall_flush_us: s.flush_us,
             frames,
         }
     };
@@ -210,6 +217,9 @@ fn main() {
             restored_sessions: s.restored_sessions,
             wall_setup_ms,
             wall_first_tick_ms,
+            wall_plan_us: s.plan_us,
+            wall_replay_us: s.replay_us,
+            wall_flush_us: s.flush_us,
             frames,
         }
     };
@@ -247,6 +257,9 @@ fn main() {
             restored_sessions: s.restored_sessions,
             wall_setup_ms,
             wall_first_tick_ms,
+            wall_plan_us: s.plan_us,
+            wall_replay_us: s.replay_us,
+            wall_flush_us: s.flush_us,
             frames,
         }
     };
@@ -337,7 +350,9 @@ fn main() {
             "      {{\"mode\": \"{}\", \"first_tick_plan_misses\": {}, \
              \"first_tick_plan_hits\": {}, \"warm_plan_hits\": {}, \
              \"planned_launches\": {}, \"restored_sessions\": {}, \
-             \"wall_setup_ms\": {:.3}, \"wall_first_tick_ms\": {:.3}}}{comma}",
+             \"wall_setup_ms\": {:.3}, \"wall_first_tick_ms\": {:.3}, \
+             \"wall_plan_us\": {}, \"wall_replay_us\": {}, \
+             \"wall_flush_us\": {}}}{comma}",
             r.mode,
             r.plan_misses,
             r.plan_hits,
@@ -346,6 +361,9 @@ fn main() {
             r.restored_sessions,
             r.wall_setup_ms,
             r.wall_first_tick_ms,
+            r.wall_plan_us,
+            r.wall_replay_us,
+            r.wall_flush_us,
         );
     }
     let _ = writeln!(json, "    ],");

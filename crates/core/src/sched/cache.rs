@@ -19,11 +19,12 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use fides_gpu_sim::BufferId;
 
 use super::graph::{ExecGraph, GraphOp};
-use super::plan::{ExecPlan, PlanConfig, PlanStep};
+use super::plan::{ExecPlan, PlanConfig, PlanStep, Planner};
 
 /// FNV-1a, 64-bit: tiny, deterministic across processes, and collision-
 /// safe enough for a bounded cache (a collision costs timing fidelity on
@@ -103,6 +104,30 @@ pub fn fingerprint(graph: &ExecGraph, cfg: &PlanConfig) -> (u64, Vec<BufferId>) 
     (h.0, binding)
 }
 
+/// Plans every graph in `graphs` under `cfg`, fanning the planning passes
+/// out over at most `workers` threads (`0` resolves the ambient rayon
+/// worker count). Returns, in input order, each graph's plan paired with
+/// the wall microseconds its own planning pass took.
+///
+/// This is the cache-miss fan-out for batch servers whose per-shard
+/// graphs are independent by construction: `Planner::plan` is a pure
+/// function of `(cfg, graph)`, so the plans are byte-identical to the
+/// sequential ones at every worker count — only the wall time changes.
+/// Fingerprinting and cache bookkeeping stay on the calling thread; only
+/// the planning passes themselves run in parallel.
+pub fn plan_parallel(
+    cfg: &PlanConfig,
+    graphs: &[&ExecGraph],
+    workers: usize,
+) -> Vec<(ExecPlan, u64)> {
+    let cfg = *cfg;
+    rayon::map_bounded(workers, graphs.len(), move |i| {
+        let t0 = Instant::now();
+        let plan = Planner::new(cfg).plan(graphs[i]);
+        (plan, t0.elapsed().as_micros() as u64)
+    })
+}
+
 struct CacheEntry {
     plan: Arc<ExecPlan>,
     binding: Vec<BufferId>,
@@ -125,6 +150,9 @@ pub struct PlanCache {
     clock: u64,
     hits: u64,
     misses: u64,
+    /// Wall microseconds spent in planning passes on behalf of this
+    /// cache's misses (owners report it via [`PlanCache::note_plan_us`]).
+    plan_us: u64,
 }
 
 impl std::fmt::Debug for PlanCache {
@@ -157,6 +185,7 @@ impl PlanCache {
             clock: 0,
             hits: 0,
             misses: 0,
+            plan_us: 0,
         }
     }
 
@@ -180,6 +209,20 @@ impl PlanCache {
         self.misses
     }
 
+    /// Cumulative wall microseconds the owner spent planning this cache's
+    /// misses (see [`PlanCache::note_plan_us`]).
+    pub fn plan_us(&self) -> u64 {
+        self.plan_us
+    }
+
+    /// Accounts `us` wall microseconds of planning work into this cache's
+    /// ledger. Owners call this with the per-plan timings
+    /// [`plan_parallel`] measures (or their own), so "how much planning
+    /// latency did the cache fail to absorb" is answerable per cache.
+    pub fn note_plan_us(&mut self, us: u64) {
+        self.plan_us += us;
+    }
+
     /// Returns the cached plan for `fp`, rebound onto `binding`'s buffers,
     /// or `None` (counting a miss) when the shape has not been planned.
     pub fn lookup(&mut self, fp: u64, binding: &[BufferId]) -> Option<ExecPlan> {
@@ -198,18 +241,27 @@ impl PlanCache {
     }
 
     /// Caches `plan` for `fp`, evicting the least-recently-used entry at
-    /// capacity.
+    /// capacity — preferring **non-warm** victims. Warm entries (snapshot
+    /// restore, warmup pass) sit at the cold end of the LRU order the
+    /// moment they land, because nothing has hit them yet; plain LRU
+    /// would let a post-restore burst of transient new shapes wipe the
+    /// entire warm set before evicting a single member of its own burst.
+    /// Churn therefore evicts among itself first; a warm entry only
+    /// leaves once every resident entry is warm (plain LRU then, so the
+    /// cache can still turn over fully).
     pub fn insert(&mut self, fp: u64, plan: &ExecPlan, binding: Vec<BufferId>) {
         self.clock += 1;
         if self.entries.len() >= self.capacity && !self.entries.contains_key(&fp) {
             // `last_used` values are unique (the clock ticks per call), so
             // the minimum is unambiguous regardless of map iteration order.
-            if let Some(victim) = self
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(&k, _)| k)
-            {
+            let lru_of = |warm_only: bool| {
+                self.entries
+                    .iter()
+                    .filter(|(_, e)| warm_only || !e.warm)
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(&k, _)| k)
+            };
+            if let Some(victim) = lru_of(false).or_else(|| lru_of(true)) {
                 self.entries.remove(&victim);
             }
         }
@@ -227,6 +279,11 @@ impl PlanCache {
     /// Re-inserts a deserialized entry and marks it warm. Same LRU
     /// bookkeeping as [`PlanCache::insert`]; callers restore entries in
     /// least-recently-used-first order to reproduce eviction behavior.
+    /// The warm mark is also eviction protection: restored entries land
+    /// at the cold end of the LRU order (nothing has hit them yet), and
+    /// [`PlanCache::insert`] prefers non-warm victims, so a post-restore
+    /// burst of new shapes churns among itself instead of silently
+    /// undoing the restore.
     pub fn restore_entry(&mut self, fp: u64, plan: ExecPlan, binding: Vec<BufferId>) {
         self.insert(fp, &plan, binding);
         self.mark_warm(fp);
@@ -459,6 +516,100 @@ mod tests {
         );
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn warm_restored_entries_survive_a_post_restore_burst() {
+        // ISSUE 10 satellite: restored entries are the oldest in LRU
+        // order, so plain LRU would evict the whole warm set before any
+        // member of a new-shape burst. Eviction must prefer non-warm
+        // victims instead.
+        let mut cache = PlanCache::new(4);
+        let warm_shapes = [graph(&[1]), graph(&[1, 2])];
+        for g in &warm_shapes {
+            let (fp, binding) = fingerprint(g, &cfg());
+            cache.restore_entry(fp, Planner::new(cfg()).plan(g), binding);
+        }
+        // A burst of 4 brand-new shapes: more than the remaining space,
+        // enough to wipe both warm entries under plain LRU.
+        let burst = [
+            graph(&[1, 2, 3]),
+            graph(&[1, 2, 3, 4]),
+            graph(&[1, 2, 3, 4, 5]),
+            graph(&[1, 2, 3, 4, 5, 6]),
+        ];
+        for g in &burst {
+            let (fp, binding) = fingerprint(g, &cfg());
+            cache.insert(fp, &Planner::new(cfg()).plan(g), binding);
+        }
+        assert_eq!(cache.len(), 4, "still bounded");
+        for g in &warm_shapes {
+            let (fp, b) = fingerprint(g, &cfg());
+            assert!(
+                cache.lookup(fp, &b).is_some(),
+                "warm entry evicted by a transient burst"
+            );
+            assert!(cache.is_warm(fp), "warm mark survives the burst");
+        }
+        // The burst churned among itself: its two oldest members are the
+        // ones that left.
+        let (fp_old, b_old) = fingerprint(&burst[0], &cfg());
+        assert!(cache.lookup(fp_old, &b_old).is_none());
+        let (fp_new, b_new) = fingerprint(&burst[3], &cfg());
+        assert!(cache.lookup(fp_new, &b_new).is_some());
+    }
+
+    #[test]
+    fn all_warm_cache_still_turns_over_by_plain_lru() {
+        let mut cache = PlanCache::new(2);
+        let shapes = [graph(&[1]), graph(&[1, 2]), graph(&[1, 2, 3])];
+        for g in &shapes[..2] {
+            let (fp, binding) = fingerprint(g, &cfg());
+            cache.restore_entry(fp, Planner::new(cfg()).plan(g), binding);
+        }
+        let (fp2, b2) = fingerprint(&shapes[2], &cfg());
+        cache.insert(fp2, &Planner::new(cfg()).plan(&shapes[2]), b2.clone());
+        assert_eq!(cache.len(), 2);
+        let (fp0, b0) = fingerprint(&shapes[0], &cfg());
+        assert!(
+            cache.lookup(fp0, &b0).is_none(),
+            "with every entry warm, the oldest warm entry is the victim"
+        );
+        assert!(cache.lookup(fp2, &b2).is_some());
+    }
+
+    #[test]
+    fn plan_parallel_matches_sequential_at_every_worker_count() {
+        let graphs = [
+            graph(&[1, 2, 1]),
+            graph(&[3, 4, 5, 3]),
+            graph(&[6]),
+            graph(&[7, 8, 9, 10, 7, 9]),
+        ];
+        let refs: Vec<&ExecGraph> = graphs.iter().collect();
+        let seq: Vec<ExecPlan> = graphs.iter().map(|g| Planner::new(cfg()).plan(g)).collect();
+        for workers in [0, 1, 2, 8] {
+            let par = plan_parallel(&cfg(), &refs, workers);
+            assert_eq!(par.len(), seq.len());
+            for (i, ((plan, _us), expect)) in par.iter().zip(&seq).enumerate() {
+                assert_eq!(
+                    plan.launch_count(),
+                    expect.launch_count(),
+                    "graph {i}, workers={workers}"
+                );
+                assert_eq!(plan.stats(), expect.stats());
+                assert_eq!(plan.mem(), expect.mem());
+            }
+        }
+    }
+
+    #[test]
+    fn plan_us_ledger_accumulates() {
+        let mut cache = PlanCache::new(4);
+        assert_eq!(cache.plan_us(), 0);
+        cache.note_plan_us(120);
+        cache.note_plan_us(30);
+        assert_eq!(cache.plan_us(), 150);
     }
 
     #[test]

@@ -83,7 +83,13 @@
 //! planning work; changing the graph shape, `FusionConfig`, or stream
 //! count misses. Hit/miss counters surface in
 //! [`SchedStats`], [`SimStats`](fides_gpu_sim::SimStats) and the serve
-//! layer's `ServeStats`.
+//! layer's `ServeStats`. When several *independent* graphs miss at once
+//! (the serve layer's per-device batch shards), [`plan_parallel`] fans
+//! the planning passes out over a bounded rayon pool — `Planner::plan`
+//! is a pure function of `(config, graph)`, so the plans are identical
+//! to the sequential ones at every worker count, and each pass's wall
+//! microseconds come back for the owner's planning-latency ledger
+//! ([`PlanCache::note_plan_us`]).
 //!
 //! **Memory planning.** A liveness pass (`mem.rs`) colors buffer lifetimes
 //! onto reusable pool slots (best-fit, stream-ordered-allocator style) and
@@ -130,7 +136,7 @@ mod persist;
 mod plan;
 mod topo;
 
-pub use cache::{fingerprint, PlanCache};
+pub use cache::{fingerprint, plan_parallel, PlanCache};
 pub use exec::{GpuReplayExecutor, PlanExecutor};
 pub use graph::{ExecGraph, GraphOp, KernelNode};
 pub use mem::MemPlan;

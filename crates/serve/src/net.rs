@@ -16,11 +16,14 @@
 //!
 //! Two invariants keep the front honest under load:
 //!
-//! * **The tick lock is never held while touching a socket.** Frames are
+//! * **No tick lock is ever held while touching a socket.** Frames are
 //!   decoded and responses written from the event loop; batch execution
 //!   happens inside [`Server::run_tick`], which acquires and releases the
-//!   lock itself. A slow or stalled peer therefore cannot extend a batch
-//!   tick, and a long tick cannot block accepting or shedding new work.
+//!   epoch locks itself and fills tickets only after both are released.
+//!   Response frames are then serialized and enqueued here, entirely
+//!   off-lock (the time shows up in `ServeStats::flush_us`). A slow or
+//!   stalled peer therefore cannot extend a batch tick, and a long tick
+//!   cannot block accepting or shedding new work.
 //! * **Backpressure is explicit, not implicit.** A request that cannot be
 //!   admitted gets a [`RejectCode::Overloaded`] frame carrying
 //!   `retry_after_ticks` on the spot; the admission queue's bound (not
@@ -36,7 +39,7 @@ use std::io::{ErrorKind, Read, Write};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use fides_client::wire::{
     EvalRequest, Frame, FrameDecoder, FrameKind, Reject, RejectCode, SessionRequest,
@@ -245,13 +248,19 @@ impl NetServer {
                 }
             }
             // Admitted work outstanding? Drive a batch tick. run_tick
-            // takes (and releases) the tick lock internally — no socket
-            // is touched while it is held.
+            // takes (and releases) the epoch locks internally — no
+            // socket is touched while either is held.
             if self.conns.values().any(|c| !c.inflight.is_empty()) {
                 self.server.run_tick();
             }
-            self.redeem_tickets();
+            // Serialize and write response frames off-lock; the time is
+            // the front's share of the flush ledger.
+            let t0 = Instant::now();
+            let redeemed = self.redeem_tickets();
             self.flush_all();
+            if redeemed > 0 {
+                self.server.note_flush_us(t0.elapsed().as_micros() as u64);
+            }
             self.reap();
         }
     }
@@ -399,8 +408,9 @@ impl NetServer {
     }
 
     /// Moves completed tickets' responses into their connections'
-    /// outboxes.
-    fn redeem_tickets(&mut self) {
+    /// outboxes; returns how many frames were redeemed.
+    fn redeem_tickets(&mut self) -> usize {
+        let mut redeemed = 0;
         for conn in self.conns.values_mut() {
             let mut i = 0;
             while i < conn.inflight.len() {
@@ -408,11 +418,13 @@ impl NetServer {
                     let (seq, _) = conn.inflight.swap_remove(i);
                     let frame = Frame::new(FrameKind::EvalDone, seq, resp.to_bytes());
                     conn.queue_frame(&frame);
+                    redeemed += 1;
                 } else {
                     i += 1;
                 }
             }
         }
+        redeemed
     }
 
     /// Writes every connection's outbox until done or `WouldBlock`

@@ -2,6 +2,7 @@
 
 use std::io::{Read, Write};
 use std::sync::Arc;
+use std::time::Instant;
 
 use fides_client::persist::{
     kind, ParamsRecord, PlacementRecord, RecordReader, RecordWriter, ServerMetaRecord,
@@ -13,12 +14,12 @@ use fides_client::wire::{
 use fides_client::{Domain, RawCiphertext, RawParams, RawPoly};
 use fides_core::backend::{BackendPt, EvalBackend};
 use fides_core::sched::{
-    decode_plan_entry, encode_plan_entry, fingerprint, CostModel, ExecGraph, GpuReplayExecutor,
-    PlanCache, PlanConfig, PlanExecutor, Planner,
+    decode_plan_entry, encode_plan_entry, fingerprint, plan_parallel, CostModel, ExecGraph,
+    ExecPlan, GpuReplayExecutor, PlanCache, PlanConfig, PlanExecutor,
 };
 use fides_core::{adapter, CkksContext, CkksParameters, CpuBackend, GpuSimBackend};
 use fides_gpu_sim::{
-    DeviceSpec, ExecMode, GpuCluster, GpuSim, GraphEvent, InterconnectSpec, SimStats,
+    BufferId, DeviceSpec, ExecMode, GpuCluster, GpuSim, GraphEvent, InterconnectSpec, SimStats,
 };
 use parking_lot::Mutex;
 
@@ -75,6 +76,9 @@ pub struct ServerConfig {
     pub admission_capacity: usize,
     /// How queued requests are released into batch ticks.
     pub qos: QosPolicy,
+    /// Tick-pipelining knobs (plan-ahead double buffering, planning
+    /// fan-out width). Defaults to [`PipelineConfig::from_env`].
+    pub pipeline: PipelineConfig,
 }
 
 impl ServerConfig {
@@ -89,6 +93,7 @@ impl ServerConfig {
             max_sessions: 64,
             admission_capacity: 1024,
             qos: QosPolicy::default(),
+            pipeline: PipelineConfig::from_env(),
         }
     }
 
@@ -119,6 +124,72 @@ impl ServerConfig {
     /// Cross-tenant scheduling policy for the admission queue.
     pub fn qos(mut self, qos: QosPolicy) -> Self {
         self.qos = qos;
+        self
+    }
+
+    /// Tick-pipelining knobs.
+    pub fn pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+}
+
+/// Knobs for the pipelined tick engine.
+///
+/// Every tick runs as two epochs — an **admission epoch** (drain the
+/// queue, resolve sessions, record the batch graphs, plan or look up
+/// cached plans) and an **execution epoch** (replay the planned launches
+/// on the simulated devices) — each under its own lock. With
+/// `plan_ahead` off the epochs run back to back inside one `run_tick`
+/// call, which is byte-for-byte the classic serial tick (plus the
+/// response flush moving off-lock). With `plan_ahead` on, `run_tick`
+/// overlaps tick *N*'s execution epoch with tick *N+1*'s admission
+/// epoch: planning for the next batch runs while the current one
+/// replays, and the prepared tick is staged for whoever ticks next.
+///
+/// Responses cannot change: functional CKKS math runs at record time
+/// inside the admission epoch, and the execution epoch only advances the
+/// simulated timeline — so frames are byte-identical at every setting
+/// (the determinism suite pins this).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Overlap tick *N*'s execution epoch with tick *N+1*'s admission
+    /// epoch (plan-ahead double buffering). Off by default — opt in per
+    /// server, or set `FIDES_PLAN_AHEAD=1`.
+    pub plan_ahead: bool,
+    /// Worker cap for the parallel planning fan-out when several device
+    /// shards miss the plan cache in one tick (`0`: the ambient rayon
+    /// width, which honors `FIDES_WORKERS`). Cache lookups always stay
+    /// on the calling thread; only misses fan out.
+    pub plan_workers: usize,
+}
+
+impl PipelineConfig {
+    /// The default configuration with `plan_ahead` taken from the
+    /// `FIDES_PLAN_AHEAD` environment variable (`1`/`true`/`on`), so CI
+    /// matrices and benches flip the knob without plumbing config.
+    pub fn from_env() -> Self {
+        let plan_ahead = std::env::var("FIDES_PLAN_AHEAD")
+            .map(|v| {
+                let v = v.trim();
+                v == "1" || v.eq_ignore_ascii_case("true") || v.eq_ignore_ascii_case("on")
+            })
+            .unwrap_or(false);
+        Self {
+            plan_ahead,
+            ..Self::default()
+        }
+    }
+
+    /// Enables plan-ahead double buffering.
+    pub fn plan_ahead(mut self, on: bool) -> Self {
+        self.plan_ahead = on;
+        self
+    }
+
+    /// Caps the planning fan-out width (`0`: ambient rayon width).
+    pub fn plan_workers(mut self, workers: usize) -> Self {
+        self.plan_workers = workers;
         self
     }
 }
@@ -161,6 +232,30 @@ struct Pending {
     slot: Arc<Slot>,
 }
 
+/// One device shard's planned replay work for a prepared tick.
+struct ShardExec {
+    device: usize,
+    plan: ExecPlan,
+    /// Whether the plan came out of the cache (feeds the device's
+    /// plan-cache ledger at replay time).
+    hit: bool,
+}
+
+/// A tick that has finished its admission epoch: requests drained and
+/// resolved, functional math already run at record time, responses
+/// computed, and every shard's graph planned (or fetched from the plan
+/// cache). All that remains is the execution epoch — replaying the
+/// shard plans onto the simulated timeline — and the off-lock response
+/// flush.
+struct PreparedTick {
+    resolved: Vec<(Pending, Option<Arc<SessionState>>)>,
+    responses: Vec<EvalResponse>,
+    shards: Vec<ShardExec>,
+    /// Synthetic warmup batch: primes plans, never counts as served
+    /// traffic and never fills tickets.
+    synthetic: bool,
+}
+
 /// One tick's worth of request shapes for [`Server::warmup`]: ordered
 /// `(session id, program, ciphertext slot count)` entries replayed as a
 /// single synthetic batch, so the primed plan covers the same
@@ -185,11 +280,21 @@ struct ServerInner {
     /// sustained imbalance).
     router: Mutex<ShardRouter>,
     queue: Mutex<AdmissionQueue<Pending>>,
-    /// Serializes batch execution: exactly one tick runs at a time, and a
-    /// blocked [`Server::eval`] caller waiting on this lock is guaranteed
-    /// its request was either served by the running tick or is still
-    /// queued for its own.
-    tick_lock: Mutex<()>,
+    pipeline: PipelineConfig,
+    /// Serializes **admission epochs**: queue draining (so DRR credits
+    /// snapshot at epoch boundaries), session resolution, graph capture
+    /// and planning. Exactly one tick is being prepared at a time.
+    prep_lock: Mutex<()>,
+    /// Serializes **execution epochs**: replay of planned launches onto
+    /// the simulated devices, the served-request counters, and migration
+    /// decisions. Always acquired *after* `prep_lock` when a caller needs
+    /// both (serial ticks, snapshot, restore, warmup) — plan-ahead's
+    /// overlap takes them from sibling closures, never nested the other
+    /// way, so the order is deadlock-free.
+    exec_lock: Mutex<()>,
+    /// Plan-ahead's double buffer: the tick prepared during the previous
+    /// execution epoch, waiting for whoever runs the next tick.
+    staged: Mutex<Option<PreparedTick>>,
     stats: Mutex<ServeStats>,
     /// Bounded LRU of planned batch graphs: steady-state ticks (same
     /// request mix, same programs) replay a cached plan with zero
@@ -278,7 +383,10 @@ impl Server {
                     config.qos,
                     config.admission_capacity.max(1),
                 )),
-                tick_lock: Mutex::new(()),
+                pipeline: config.pipeline,
+                prep_lock: Mutex::new(()),
+                exec_lock: Mutex::new(()),
+                staged: Mutex::new(None),
                 stats: Mutex::new(ServeStats::default()),
                 plan_cache: Mutex::new(PlanCache::default()),
             }),
@@ -539,12 +647,16 @@ impl Server {
     /// stream: the parameter fingerprint, the tenant registry (session
     /// ids, device homes, DRR weights, full key uploads) in LRU order,
     /// the shard router's committed placements, and every cached batch
-    /// plan. Taken under the tick lock, so the snapshot is a consistent
-    /// point between batch ticks — never mid-batch.
+    /// plan. Taken under both epoch locks, so the snapshot is a
+    /// consistent point between batch ticks — never mid-admission and
+    /// never mid-replay.
     ///
     /// Queued-but-unserved requests are deliberately *not* captured:
     /// clients hold their tickets and resubmit after a restart, exactly
-    /// as they do after a load-shed.
+    /// as they do after a load-shed. Under plan-ahead a *staged* tick
+    /// (prepared but not yet executed) is the same story — its requests
+    /// are unserved, its plans are already in the cache and therefore in
+    /// the snapshot.
     ///
     /// # Errors
     ///
@@ -552,7 +664,8 @@ impl Server {
     /// [`ServeError::Snapshot`] when a resident session retains no key
     /// upload to serialize.
     pub fn snapshot<W: Write>(&self, w: W) -> Result<(), ServeError> {
-        let _guard = self.inner.tick_lock.lock();
+        let _prep = self.inner.prep_lock.lock();
+        let _exec = self.inner.exec_lock.lock();
         let (sessions, next_session_id) = {
             let registry = self.inner.registry.lock();
             (registry.export(), registry.next_id())
@@ -643,7 +756,8 @@ impl Server {
     /// or index mismatch, duplicate session ids, or record counts that
     /// disagree with the stream's own metadata.
     pub fn restore<R: Read>(&self, r: R) -> Result<u64, ServeError> {
-        let _guard = self.inner.tick_lock.lock();
+        let _prep = self.inner.prep_lock.lock();
+        let _exec = self.inner.exec_lock.lock();
         let mut reader = RecordReader::new(r)?;
         let params = match reader.next_record()? {
             Some(rec) if rec.kind == kind::PARAMS => ParamsRecord::decode(&rec.payload)?,
@@ -785,8 +899,9 @@ impl Server {
     /// validation; [`ServeError::Snapshot`] when a shape's synthetic batch
     /// fails to execute.
     pub fn warmup(&self, shapes: &[WarmupShape]) -> Result<usize, ServeError> {
-        let _guard = self.inner.tick_lock.lock();
-        let Substrate::Gpu { contexts, .. } = &self.inner.substrate else {
+        let _prep = self.inner.prep_lock.lock();
+        let _exec = self.inner.exec_lock.lock();
+        let Substrate::Gpu { .. } = &self.inner.substrate else {
             return Ok(0);
         };
         if !self.inner.graph_exec {
@@ -829,8 +944,13 @@ impl Server {
                     })
                     .collect::<Result<_, ServeError>>()?
             };
-            let responses = self.serve_batch_sharded(contexts, &resolved, true);
-            if let Some(err) = responses.into_iter().find_map(|r| r.error) {
+            // Synthetic ticks ride the same two epochs as live traffic
+            // (both locks are held across the whole warmup): prepare
+            // records and plans the batch, execute replays it so the
+            // primed timeline matches a live tick's.
+            let tick = self.prepare_resolved(resolved, true);
+            self.execute_tick(&tick);
+            if let Some(err) = tick.responses.into_iter().find_map(|r| r.error) {
                 return Err(ServeError::Snapshot(format!("warmup shape failed: {err}")));
             }
         }
@@ -854,12 +974,80 @@ impl Server {
     }
 
     /// Runs one batch tick: drains up to `batch_size` queued requests,
-    /// executes them as one merged graph (gpu-sim substrate with graph
-    /// execution on), and fills their tickets. Returns how many requests
-    /// the tick served.
+    /// executes them as one merged graph per device shard (gpu-sim
+    /// substrate with graph execution on), and fills their tickets.
+    /// Returns how many requests the tick served.
+    ///
+    /// The tick runs as two epochs — admission (drain + record + plan)
+    /// under `prep_lock`, execution (replay) under `exec_lock` — and the
+    /// response flush happens after both locks release. With
+    /// [`PipelineConfig::plan_ahead`] on, the two epochs of *consecutive*
+    /// ticks overlap: while this call replays its batch, a sibling
+    /// closure prepares the next one and stages it for the next caller.
     pub fn run_tick(&self) -> usize {
-        let _guard = self.inner.tick_lock.lock();
-        self.run_tick_locked()
+        if !self.inner.pipeline.plan_ahead {
+            // Serial tick: both epochs back to back under their locks —
+            // exactly the classic single-lock tick, with the response
+            // flush moved off-lock.
+            let prep = self.inner.prep_lock.lock();
+            let Some(tick) = self.prepare_tick() else {
+                return 0;
+            };
+            {
+                let _exec = self.inner.exec_lock.lock();
+                self.execute_tick(&tick);
+            }
+            drop(prep);
+            return self.flush_tick(tick);
+        }
+        // Plan-ahead: take the staged tick (or prepare one inline on the
+        // first call), then overlap its execution epoch with the next
+        // tick's admission epoch.
+        let tick = {
+            let _prep = self.inner.prep_lock.lock();
+            match self.inner.staged.lock().take() {
+                Some(staged) => Some(staged),
+                None => self.prepare_tick(),
+            }
+        };
+        let Some(tick) = tick else {
+            return 0;
+        };
+        let ((), next) = rayon::join(
+            || {
+                let _exec = self.inner.exec_lock.lock();
+                self.execute_tick(&tick);
+            },
+            || {
+                let _prep = self.inner.prep_lock.lock();
+                self.prepare_tick()
+            },
+        );
+        if next.is_some() {
+            self.inner.stats.lock().overlapped_ticks += 1;
+        }
+        let mut served = self.flush_tick(tick);
+        if let Some(next_tick) = next {
+            let spare = {
+                let mut staged = self.inner.staged.lock();
+                if staged.is_none() {
+                    *staged = Some(next_tick);
+                    None
+                } else {
+                    Some(next_tick)
+                }
+            };
+            // A racing caller staged its own tick first: execute the
+            // spare immediately instead of dropping prepared work.
+            if let Some(spare) = spare {
+                {
+                    let _exec = self.inner.exec_lock.lock();
+                    self.execute_tick(&spare);
+                }
+                served += self.flush_tick(spare);
+            }
+        }
+        served
     }
 
     /// Blocking evaluation: enqueues the request and drives batch ticks
@@ -882,15 +1070,13 @@ impl Server {
             if let Some(resp) = ticket.try_take() {
                 return resp;
             }
-            // Wait for any in-flight tick (it may serve us), then tick
-            // ourselves if it didn't.
-            let _guard = self.inner.tick_lock.lock();
-            if let Some(resp) = ticket.try_take() {
-                return resp;
-            }
-            self.run_tick_locked();
-            if let Some(resp) = ticket.try_take() {
-                return resp;
+            if self.run_tick() == 0 {
+                // Nothing left to drain, so our request is inside
+                // another caller's in-flight tick: wait for that
+                // execution epoch to finish (its flush fills our slot
+                // just after the lock releases), then re-check.
+                drop(self.inner.exec_lock.lock());
+                std::thread::yield_now();
             }
         }
     }
@@ -911,13 +1097,16 @@ impl Server {
         }
     }
 
-    /// Executes one batch while holding the tick lock.
-    fn run_tick_locked(&self) -> usize {
+    /// Admission epoch (caller holds `prep_lock`): drains up to
+    /// `batch_size` queued requests — DRR lane credits snapshot at this
+    /// epoch boundary, exactly as they did at the old tick boundary —
+    /// resolves their sessions, and runs the record/plan pass. Returns
+    /// `None` for an empty queue.
+    fn prepare_tick(&self) -> Option<PreparedTick> {
         let batch: Vec<Pending> = self.inner.queue.lock().pop_batch(self.inner.batch_size);
         if batch.is_empty() {
-            return 0;
+            return None;
         }
-
         // Resolve sessions first (touching the LRU clock once per request);
         // the Arc keeps a session alive even if an open evicts it mid-batch.
         let resolved: Vec<(Pending, Option<Arc<SessionState>>)> = {
@@ -930,43 +1119,60 @@ impl Server {
                 })
                 .collect()
         };
+        Some(self.prepare_resolved(resolved, false))
+    }
 
-        let served = resolved.len();
-        let responses: Vec<EvalResponse> = match &self.inner.substrate {
+    /// Runs a resolved batch's record/plan pass. Functional math runs
+    /// here — on the graphed path kernels are recorded, not timed — so
+    /// every response is final before the execution epoch even starts;
+    /// that is what makes overlapping execution with the next tick's
+    /// preparation response-invariant.
+    fn prepare_resolved(
+        &self,
+        resolved: Vec<(Pending, Option<Arc<SessionState>>)>,
+        synthetic: bool,
+    ) -> PreparedTick {
+        match &self.inner.substrate {
             Substrate::Gpu { contexts, .. } if self.inner.graph_exec => {
-                self.serve_batch_sharded(contexts, &resolved, false)
+                let (responses, shards) = self.capture_and_plan(contexts, &resolved, synthetic);
+                PreparedTick {
+                    resolved,
+                    responses,
+                    shards,
+                    synthetic,
+                }
             }
-            _ => resolved
-                .iter()
-                .map(|(p, session)| Self::serve_one(session.as_deref(), &p.req))
-                .collect(),
-        };
-
-        {
-            let mut stats = self.inner.stats.lock();
-            stats.requests += served as u64;
-            stats.batches += 1;
-            stats.max_batch = stats.max_batch.max(served);
-            stats.failed += responses.iter().filter(|r| r.error.is_some()).count() as u64;
+            _ => {
+                let responses = resolved
+                    .iter()
+                    .map(|(p, session)| Self::serve_one(session.as_deref(), &p.req))
+                    .collect();
+                PreparedTick {
+                    resolved,
+                    responses,
+                    shards: Vec::new(),
+                    synthetic,
+                }
+            }
         }
-        self.maybe_migrate(&resolved);
-        for ((p, _), resp) in resolved.into_iter().zip(responses) {
-            *p.slot.resp.lock() = Some(resp);
-        }
-        served
     }
 
     /// Splits a resolved batch into per-device shards (each request goes
-    /// to the device its session's keys live on), serves every non-empty
-    /// shard as its own merged graph on its own context, and scatters the
-    /// responses back into arrival order. Single-device servers take this
-    /// path too — with one shard it is exactly the classic batched tick.
-    fn serve_batch_sharded(
+    /// to the device its session's keys live on), records every non-empty
+    /// shard as its own merged graph — with a shard-local round-robin
+    /// stream offset — on its own context, then plans the shards: cache
+    /// lookups stay on the calling thread, and only misses fan out over
+    /// the bounded rayon pool ([`plan_parallel`]). `Planner::plan` is a
+    /// pure function of `(config, graph)`, so the fan-out produces plans
+    /// identical to sequential planning at every worker count.
+    /// Single-device servers take this path too — with one shard it is
+    /// exactly the classic batched tick.
+    fn capture_and_plan(
         &self,
         contexts: &[Arc<CkksContext>],
         batch: &[(Pending, Option<Arc<SessionState>>)],
-        mark_warm: bool,
-    ) -> Vec<EvalResponse> {
+        synthetic: bool,
+    ) -> (Vec<EvalResponse>, Vec<ShardExec>) {
         let mut shards: Vec<Vec<usize>> = vec![Vec::new(); contexts.len()];
         for (i, (_, session)) in batch.iter().enumerate() {
             let device = session
@@ -975,31 +1181,196 @@ impl Server {
             shards[device].push(i);
         }
         let mut responses: Vec<Option<EvalResponse>> = (0..batch.len()).map(|_| None).collect();
+        struct ShardGraph {
+            device: usize,
+            graph: ExecGraph,
+        }
+        let mut graphs: Vec<ShardGraph> = Vec::new();
         for (device, shard) in shards.iter().enumerate() {
             if shard.is_empty() {
                 continue;
             }
-            let subset: Vec<&(Pending, Option<Arc<SessionState>>)> =
-                shard.iter().map(|&i| &batch[i]).collect();
-            let shard_resps =
-                self.serve_batch_graphed(&contexts[device], device, &subset, mark_warm);
+            let gpu = contexts[device].gpu();
+            let mut merged: Vec<GraphEvent> = Vec::new();
+            for (pos, &i) in shard.iter().enumerate() {
+                let (p, session) = &batch[i];
+                let began = gpu.begin_capture();
+                let resp = Self::serve_one(session.as_deref(), &p.req);
+                if began {
+                    merged.extend(offset_streams(gpu.end_capture(), pos));
+                }
+                responses[i] = Some(resp);
+            }
             // Synthetic warmup batches stay out of the live request
             // counters — they prime plans, they do not serve tenants.
-            if !mark_warm {
+            if !synthetic {
                 let mut stats = self.inner.stats.lock();
                 if stats.per_device_requests.len() < contexts.len() {
                     stats.per_device_requests.resize(contexts.len(), 0);
                 }
                 stats.per_device_requests[device] += shard.len() as u64;
             }
-            for (&i, resp) in shard.iter().zip(shard_resps) {
-                responses[i] = Some(resp);
+            if !merged.is_empty() {
+                graphs.push(ShardGraph {
+                    device,
+                    graph: ExecGraph::from_events(merged),
+                });
             }
         }
-        responses
+
+        // Plan the shard graphs. Steady-state ticks repeat the same graph
+        // *shapes* with fresh buffers: the structural fingerprint finds
+        // the cached plan and rebinding replaces planning entirely.
+        let plan_t0 = Instant::now();
+        let mut execs: Vec<Option<ShardExec>> = graphs.iter().map(|_| None).collect();
+        struct Miss {
+            slot: usize,
+            fp: u64,
+            binding: Vec<BufferId>,
+        }
+        let mut misses: Vec<Miss> = Vec::new();
+        let mut hits = 0u64;
+        let mut warm_hits = 0u64;
+        {
+            // Cache lock released before the fan-out: planning a miss can
+            // dwarf every lookup combined.
+            let mut cache = self.inner.plan_cache.lock();
+            for (slot, sg) in graphs.iter().enumerate() {
+                let (fp, binding) = fingerprint(&sg.graph, &self.inner.plan_cfg);
+                let warm = cache.is_warm(fp);
+                match cache.lookup(fp, &binding) {
+                    Some(plan) => {
+                        hits += 1;
+                        if warm {
+                            warm_hits += 1;
+                        }
+                        execs[slot] = Some(ShardExec {
+                            device: sg.device,
+                            plan,
+                            hit: true,
+                        });
+                    }
+                    None => misses.push(Miss { slot, fp, binding }),
+                }
+            }
+        }
+        let miss_count = misses.len() as u64;
+        let mut per_device_plan: Vec<(usize, u64)> = Vec::new();
+        if !misses.is_empty() {
+            let miss_graphs: Vec<&ExecGraph> =
+                misses.iter().map(|m| &graphs[m.slot].graph).collect();
+            let planned = plan_parallel(
+                &self.inner.plan_cfg,
+                &miss_graphs,
+                self.inner.pipeline.plan_workers,
+            );
+            let mut cache = self.inner.plan_cache.lock();
+            for (m, (plan, us)) in misses.into_iter().zip(planned) {
+                cache.insert(m.fp, &plan, m.binding);
+                if synthetic {
+                    cache.mark_warm(m.fp);
+                }
+                cache.note_plan_us(us);
+                per_device_plan.push((graphs[m.slot].device, us));
+                execs[m.slot] = Some(ShardExec {
+                    device: graphs[m.slot].device,
+                    plan,
+                    hit: false,
+                });
+            }
+        }
+        let plan_us = plan_t0.elapsed().as_micros() as u64;
+
+        let execs: Vec<ShardExec> = execs
+            .into_iter()
+            .map(|e| e.expect("every shard graph was planned or fetched"))
+            .collect();
+        {
+            let mut stats = self.inner.stats.lock();
+            stats.plan_cache_hits += hits;
+            stats.warm_plan_hits += warm_hits;
+            stats.plan_cache_misses += miss_count;
+            stats.plan_us += plan_us;
+            for (device, us) in per_device_plan {
+                if stats.per_device_plan_us.len() <= device {
+                    stats.per_device_plan_us.resize(device + 1, 0);
+                }
+                stats.per_device_plan_us[device] += us;
+            }
+            for exec in &execs {
+                stats.recorded_kernels += exec.plan.stats().recorded_kernels;
+                stats.planned_launches += exec.plan.stats().planned_launches;
+                stats.fused_kernels += exec.plan.stats().fused_kernels;
+                if stats.per_device_launches.len() <= exec.device {
+                    stats.per_device_launches.resize(exec.device + 1, 0);
+                }
+                stats.per_device_launches[exec.device] += exec.plan.stats().planned_launches;
+            }
+        }
+        let responses = responses
             .into_iter()
             .map(|r| r.expect("every request landed in exactly one shard"))
-            .collect()
+            .collect();
+        (responses, execs)
+    }
+
+    /// Execution epoch (caller holds `exec_lock`): replays every shard's
+    /// planned launches onto its simulated device and accounts the tick's
+    /// served traffic. Replay only advances the simulated timeline —
+    /// responses were finalized in the admission epoch — so nothing here
+    /// can change a frame.
+    fn execute_tick(&self, tick: &PreparedTick) {
+        let replay_us = match &self.inner.substrate {
+            Substrate::Gpu { contexts, .. } => {
+                let t0 = Instant::now();
+                for shard in &tick.shards {
+                    let gpu = contexts[shard.device].gpu();
+                    gpu.record_plan_cache(shard.hit);
+                    GpuReplayExecutor::new(gpu).execute(&shard.plan);
+                }
+                t0.elapsed().as_micros() as u64
+            }
+            // CPU substrate: the math already ran at prepare time; there
+            // is no planned timeline to replay.
+            Substrate::Cpu { .. } => 0,
+        };
+        if tick.synthetic {
+            return;
+        }
+        {
+            let mut stats = self.inner.stats.lock();
+            stats.requests += tick.resolved.len() as u64;
+            stats.batches += 1;
+            stats.max_batch = stats.max_batch.max(tick.resolved.len());
+            stats.failed += tick.responses.iter().filter(|r| r.error.is_some()).count() as u64;
+            stats.replay_us += replay_us;
+        }
+        self.maybe_migrate(&tick.resolved);
+    }
+
+    /// Fills the tick's tickets — **off-lock**: both epoch locks are
+    /// released before any slot is written, so response delivery (and,
+    /// behind the socket front, frame serialization) never extends a
+    /// tick's critical section. Returns how many requests the tick
+    /// served.
+    fn flush_tick(&self, tick: PreparedTick) -> usize {
+        let served = tick.resolved.len();
+        if tick.synthetic {
+            return served;
+        }
+        let t0 = Instant::now();
+        for ((p, _), resp) in tick.resolved.into_iter().zip(tick.responses) {
+            *p.slot.resp.lock() = Some(resp);
+        }
+        self.note_flush_us(t0.elapsed().as_micros() as u64);
+        served
+    }
+
+    /// Adds to the off-lock flush ledger (`ServeStats::flush_us`); the
+    /// socket front also reports its frame serialization + enqueue time
+    /// here.
+    pub(crate) fn note_flush_us(&self, us: u64) {
+        self.inner.stats.lock().flush_us += us;
     }
 
     /// After a tick, feeds the router the per-device request counts and —
@@ -1063,72 +1434,6 @@ impl Server {
                 self.inner.router.lock().assign(tenant, from, key_bytes);
             }
         }
-    }
-
-    /// The graph-batched path for one device shard: each request records
-    /// into its own capture region on the shard's device; the regions
-    /// merge — with a shard-local round-robin stream offset — into one
-    /// server-owned graph, planned once (fusion applies across tenant
-    /// boundaries) and replayed once.
-    fn serve_batch_graphed(
-        &self,
-        ctx: &Arc<CkksContext>,
-        device: usize,
-        batch: &[&(Pending, Option<Arc<SessionState>>)],
-        mark_warm: bool,
-    ) -> Vec<EvalResponse> {
-        let gpu = ctx.gpu();
-        let mut merged: Vec<GraphEvent> = Vec::new();
-        let mut responses = Vec::with_capacity(batch.len());
-        for (i, (p, session)) in batch.iter().enumerate() {
-            let began = gpu.begin_capture();
-            let resp = Self::serve_one(session.as_deref(), &p.req);
-            if began {
-                merged.extend(offset_streams(gpu.end_capture(), i));
-            }
-            responses.push(resp);
-        }
-        if !merged.is_empty() {
-            let graph = ExecGraph::from_events(merged);
-            // Steady-state ticks repeat the same graph *shape* with fresh
-            // buffers: the structural fingerprint finds the cached plan
-            // and rebinding replaces planning entirely.
-            let (fp, binding) = fingerprint(&graph, &self.inner.plan_cfg);
-            let (plan, hit, warm) = {
-                let mut cache = self.inner.plan_cache.lock();
-                let warm = cache.is_warm(fp);
-                match cache.lookup(fp, &binding) {
-                    Some(plan) => (plan, true, warm),
-                    None => {
-                        let plan = Planner::new(self.inner.plan_cfg).plan(&graph);
-                        cache.insert(fp, &plan, binding);
-                        if mark_warm {
-                            cache.mark_warm(fp);
-                        }
-                        (plan, false, false)
-                    }
-                }
-            };
-            gpu.record_plan_cache(hit);
-            GpuReplayExecutor::new(gpu).execute(&plan);
-            let mut stats = self.inner.stats.lock();
-            stats.recorded_kernels += plan.stats().recorded_kernels;
-            stats.planned_launches += plan.stats().planned_launches;
-            stats.fused_kernels += plan.stats().fused_kernels;
-            if stats.per_device_launches.len() <= device {
-                stats.per_device_launches.resize(device + 1, 0);
-            }
-            stats.per_device_launches[device] += plan.stats().planned_launches;
-            if hit {
-                stats.plan_cache_hits += 1;
-                if warm {
-                    stats.warm_plan_hits += 1;
-                }
-            } else {
-                stats.plan_cache_misses += 1;
-            }
-        }
-        responses
     }
 
     /// Serves one request against its session (functional math runs here;

@@ -54,6 +54,29 @@ pub struct ServeStats {
     /// Key-material bytes re-uploaded over the interconnect by those
     /// migrations.
     pub migration_bytes: u64,
+    /// Wall microseconds the admission epochs spent in planning sections
+    /// (fingerprint, cache lookup, and the planning passes for misses).
+    /// With parallel per-shard planning this is the *elapsed* time of the
+    /// fan-out, not the sum of the workers' time — compare against
+    /// [`ServeStats::per_device_plan_us`] to see the overlap.
+    pub plan_us: u64,
+    /// Wall microseconds each device shard's planning passes took,
+    /// measured inside the (possibly parallel) per-shard pass. The sum is
+    /// the sequential-equivalent planning cost; the per-tick max is the
+    /// parallel critical path.
+    pub per_device_plan_us: Vec<u64>,
+    /// Wall microseconds execution epochs spent replaying planned
+    /// launches onto the simulated devices.
+    pub replay_us: u64,
+    /// Wall microseconds spent flushing responses — filling ticket slots
+    /// after the execution epoch released its lock, plus (behind the
+    /// socket front) serializing and writing response frames. Never
+    /// overlaps a tick lock by construction.
+    pub flush_us: u64,
+    /// Plan-ahead ticks whose execution epoch overlapped the *next*
+    /// tick's admission epoch with real work on both sides — the
+    /// double-buffering actually pipelining, not just enabled.
+    pub overlapped_ticks: u64,
 }
 
 impl ServeStats {

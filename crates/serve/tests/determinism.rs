@@ -534,6 +534,105 @@ fn registry_evicts_lru_and_rejects_foreign_chains() {
     assert_eq!(server.stats().sessions_evicted, 1);
 }
 
+/// Plan-ahead double buffering is frame-invariant: overlapping tick N's
+/// execution epoch with tick N+1's admission epoch must leave every
+/// response frame byte-identical to the serial tick engine — under
+/// single-threaded tick driving and under racing eval threads, at every
+/// point of the FIDES_WORKERS × FIDES_DEVICES matrix. (The QoS suite
+/// pins the flood scenario's tick-for-tick schedule separately.)
+#[test]
+fn plan_ahead_frames_match_serial_ticks() {
+    use fides_serve::PipelineConfig;
+    let tenants = tenants(3);
+    let per_tenant = 3;
+
+    // Serial reference: plan-ahead explicitly off (immune to the
+    // FIDES_PLAN_AHEAD matrix axis).
+    let serial = Server::new(
+        ServerConfig::new(params())
+            .batch_size(4)
+            .pipeline(PipelineConfig::default().plan_ahead(false)),
+    )
+    .unwrap();
+    let s_sids = open_all(&serial, &tenants);
+    let reqs = requests(&tenants, &s_sids, per_tenant);
+    let mut expected = BTreeMap::new();
+    for (t, r, req) in &reqs {
+        let resp = serial.eval(req.clone()).unwrap();
+        assert!(resp.error.is_none());
+        expected.insert(
+            (*t, *r),
+            resp.outputs
+                .iter()
+                .map(|ct| ct.to_bytes())
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    // Pipelined, single driver: queue everything, then drain — the first
+    // run_tick stages tick N+1 while tick N replays, so with 9 requests
+    // at batch 4 the double buffer is exercised on every call.
+    let pipelined = Server::new(
+        ServerConfig::new(params())
+            .batch_size(4)
+            .pipeline(PipelineConfig::default().plan_ahead(true)),
+    )
+    .unwrap();
+    let p_sids = open_all(&pipelined, &tenants);
+    let mut my_reqs = reqs.clone();
+    for (t, _, req) in &mut my_reqs {
+        req.session_id = p_sids[*t];
+    }
+    let tickets: Vec<_> = my_reqs
+        .iter()
+        .map(|(t, r, req)| (*t, *r, pipelined.submit(req.clone()).unwrap()))
+        .collect();
+    let mut served = 0;
+    while served < my_reqs.len() {
+        served += pipelined.run_tick();
+    }
+    assert_eq!(
+        served,
+        my_reqs.len(),
+        "plan-ahead drained exactly the queue"
+    );
+    for (t, r, ticket) in &tickets {
+        let resp = ticket.try_take().expect("ticket filled after the drain");
+        assert!(resp.error.is_none());
+        let frames: Vec<Vec<u8>> = resp.outputs.iter().map(|ct| ct.to_bytes()).collect();
+        assert_eq!(
+            Some(&frames),
+            expected.get(&(*t, *r)),
+            "plan-ahead changed frames (tenant {t} request {r})"
+        );
+    }
+    let stats = pipelined.stats();
+    assert_eq!(stats.requests, my_reqs.len() as u64);
+    assert!(
+        stats.overlapped_ticks >= 1,
+        "a multi-tick drain must engage the double buffer"
+    );
+
+    // Pipelined, racing eval threads: the staged-tick handoff under
+    // contention must not reorder or alter results either.
+    let racing = Server::new(
+        ServerConfig::new(params())
+            .batch_size(4)
+            .pipeline(PipelineConfig::default().plan_ahead(true)),
+    )
+    .unwrap();
+    let r_sids = open_all(&racing, &tenants);
+    let mut race_reqs = reqs.clone();
+    for (t, _, req) in &mut race_reqs {
+        req.session_id = r_sids[*t];
+    }
+    let got = serve_threaded(&racing, &race_reqs, 4);
+    assert_eq!(
+        got, expected,
+        "racing plan-ahead frames drifted from serial"
+    );
+}
+
 /// The network front preserves the determinism bar end to end: N client
 /// threads over **real sockets** — each opening its session and
 /// pipelining its requests through frames, the event loop, the admission

@@ -365,6 +365,56 @@ impl<R: Send, F: Fn(usize) -> R + Sync> ParRangeMap<F> {
     }
 }
 
+/// Maps `0..len` through `f` on at most `workers` threads, collecting the
+/// results in index order (`workers == 0` resolves the ambient count).
+///
+/// This is the bounded fan-out the scheduler's plan-miss path uses: the
+/// caller picks an explicit worker cap per call site instead of mutating
+/// the thread-local pool override, so concurrent callers with different
+/// caps cannot race each other's settings. Determinism matches the rest
+/// of the stand-in — one contiguous chunk per worker, chunk results
+/// concatenated in index order.
+pub fn map_bounded<T, F>(workers: usize, len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = if workers == 0 {
+        current_num_threads()
+    } else {
+        workers
+    };
+    if len == 0 {
+        return Vec::new();
+    }
+    if workers <= 1 || len == 1 {
+        return (0..len).map(f).collect();
+    }
+    let chunk = len.div_ceil(workers).max(1);
+    if chunk >= len {
+        return (0..len).map(f).collect();
+    }
+    let f = &f;
+    let parts: Vec<Vec<T>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..len.div_ceil(chunk))
+            .map(|ci| {
+                let lo = ci * chunk;
+                let hi = (lo + chunk).min(len);
+                s.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("joined task panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(len);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
 /// Conversion into a parallel iterator (rayon's entry-point trait).
 pub trait IntoParallelIterator {
     /// The parallel iterator type.
@@ -504,6 +554,24 @@ mod tests {
             assert_eq!(p2.install(current_num_threads), 5);
             assert_eq!(current_num_threads(), 3);
         });
+    }
+
+    #[test]
+    fn map_bounded_is_order_preserving_at_any_cap() {
+        let expect: Vec<usize> = (0..91).map(|i| i * 7).collect();
+        for workers in [0, 1, 2, 8, 64] {
+            let got = map_bounded(workers, 91, |i| i * 7);
+            assert_eq!(got, expect, "workers={workers}");
+        }
+        assert!(map_bounded(4, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn map_bounded_ignores_pool_override() {
+        // An explicit cap wins over the ambient install — callers with
+        // different caps must not interfere through the thread-local.
+        let got = pool(1).install(|| map_bounded(8, 33, |i| i + 1));
+        assert_eq!(got, (1..34).collect::<Vec<_>>());
     }
 
     #[test]
